@@ -1,0 +1,79 @@
+// Command ftgen emits the repository's graphs in DOT or edge-list
+// format, for plotting (regenerates Figures 1, 2 and 4 as drawings) or
+// for consumption by other tools.
+//
+// Usage:
+//
+//	ftgen -graph db   -m 2 -h 4                 # B_{2,4} (Figure 1)
+//	ftgen -graph ftdb -m 2 -h 4 -k 1            # B^1_{2,4} (Figure 2)
+//	ftgen -graph se   -h 4                      # SE_4
+//	ftgen -graph ftse -h 4 -k 2                 # natural FT shuffle-exchange
+//	ftgen -graph db -m 2 -h 4 -format edgelist  # machine-readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/shuffle"
+)
+
+func main() {
+	kind := flag.String("graph", "db", "graph kind: db | ftdb | se | ftse")
+	m := flag.Int("m", 2, "de Bruijn base")
+	h := flag.Int("h", 4, "digits / bits")
+	k := flag.Int("k", 1, "fault budget (ft graphs)")
+	format := flag.String("format", "dot", "output format: dot | edgelist")
+	flag.Parse()
+
+	g, name, err := build(*kind, *m, *h, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftgen: %v\n", err)
+		os.Exit(1)
+	}
+	switch *format {
+	case "dot":
+		err = g.WriteDOT(os.Stdout, graph.DOTOptions{Name: name})
+	case "edgelist":
+		err = g.WriteEdgeList(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func build(kind string, m, h, k int) (*graph.Graph, string, error) {
+	switch kind {
+	case "db":
+		p := debruijn.Params{M: m, H: h}
+		g, err := debruijn.New(p)
+		if err != nil {
+			return nil, "", err
+		}
+		debruijn.ApplyLabels(g, p)
+		return g, "debruijn", nil
+	case "ftdb":
+		g, err := ft.New(ft.Params{M: m, H: h, K: k})
+		return g, "ftdebruijn", err
+	case "se":
+		p := shuffle.Params{H: h}
+		g, err := shuffle.New(p)
+		if err != nil {
+			return nil, "", err
+		}
+		shuffle.ApplyLabels(g, p)
+		return g, "shuffleexchange", nil
+	case "ftse":
+		g, err := ft.NewSENatural(ft.SEParams{H: h, K: k})
+		return g, "ftshuffleexchange", err
+	default:
+		return nil, "", fmt.Errorf("unknown graph kind %q", kind)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestBuildKinds(t *testing.T) {
+	cases := []struct {
+		kind       string
+		m, h, k    int
+		wantN      int
+		wantMaxDeg int
+	}{
+		{"db", 2, 4, 0, 16, 4},
+		{"ftdb", 2, 4, 1, 17, 8},
+		{"se", 2, 4, 0, 16, 3},
+		{"ftse", 2, 4, 2, 18, 18},
+	}
+	for _, c := range cases {
+		g, name, err := build(c.kind, c.m, c.h, c.k)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if name == "" {
+			t.Errorf("%s: empty name", c.kind)
+		}
+		if g.N() != c.wantN {
+			t.Errorf("%s: n = %d, want %d", c.kind, g.N(), c.wantN)
+		}
+		if g.MaxDegree() > c.wantMaxDeg {
+			t.Errorf("%s: degree %d > %d", c.kind, g.MaxDegree(), c.wantMaxDeg)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, _, err := build("nope", 2, 4, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, _, err := build("db", 1, 4, 0); err == nil {
+		t.Error("bad base accepted")
+	}
+	if _, _, err := build("ftdb", 2, 2, 1); err == nil {
+		t.Error("h=2 accepted for ft graph")
+	}
+	if _, _, err := build("se", 2, 0, 0); err == nil {
+		t.Error("h=0 accepted for se")
+	}
+	if _, _, err := build("ftse", 2, 2, 1); err == nil {
+		t.Error("h=2 accepted for ftse")
+	}
+}

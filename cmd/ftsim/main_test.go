@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseFaultsSim(t *testing.T) {
+	got, err := parseFaults("")
+	if err != nil || got != nil {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+	got, err = parseFaults(" 1 , 2 ")
+	if err != nil || len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("parse = %v, %v", got, err)
+	}
+	if _, err := parseFaults("a"); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestRunAscendPaths(t *testing.T) {
+	// FT machine path.
+	if err := runAscend(4, 2, []int{3}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Unprotected healthy.
+	if err := runAscend(4, 0, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	// Unprotected with a fault: reports failure but returns nil error.
+	if err := runAscend(4, 0, []int{5}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Fault out of range on unprotected machine.
+	if err := runAscend(3, 0, []int{99}, true); err == nil {
+		t.Error("out-of-range fault accepted")
+	}
+	// Too many faults on the FT machine.
+	if err := runAscend(4, 1, []int{1, 2}, false); err == nil {
+		t.Error("budget exceeded accepted")
+	}
+}
+
+func TestRunBusPath(t *testing.T) {
+	if err := runBus(3, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBus(2, 1, 1); err == nil {
+		t.Error("h=2 accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseFaults(t *testing.T) {
+	got, err := parseFaults("3, 11,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 11, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseFaults = %v", got)
+		}
+	}
+	if _, err := parseFaults("3,x"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+func TestSetupTargets(t *testing.T) {
+	for _, target := range []string{"db", "se", "se-natural"} {
+		tgt, host, mapper, err := setup(target, 2, 4, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if tgt.N() != 16 || host.N() != 18 {
+			t.Errorf("%s: sizes %d/%d", target, tgt.N(), host.N())
+		}
+		phi, err := mapper([]int{0, 5})
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if len(phi) != 16 {
+			t.Errorf("%s: phi length %d", target, len(phi))
+		}
+	}
+	if _, _, _, err := setup("nope", 2, 4, 1); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, _, _, err := setup("db", 1, 4, 1); err == nil {
+		t.Error("bad params accepted")
+	}
+}

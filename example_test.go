@@ -1,0 +1,73 @@
+package ftnet_test
+
+import (
+	"fmt"
+	"log"
+
+	"ftnet"
+)
+
+// Build a fault-tolerant de Bruijn machine and reconfigure around two
+// dead processors.
+func ExampleNewDeBruijn2() {
+	net, err := ftnet.NewDeBruijn2(4, 2) // B^2_{2,4}: 18 nodes, degree <= 12
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := net.Reconfigure([]int{3, 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("host nodes:", net.Host.N())
+	fmt.Println("target 3 runs on host:", m.Phi(3))
+	fmt.Println("target 11 runs on host:", m.Phi(11))
+	// Output:
+	// host nodes: 18
+	// target 3 runs on host: 4
+	// target 11 runs on host: 13
+}
+
+// Prove (k,G)-tolerance on an instance by enumerating every fault set.
+func ExampleDeBruijnNet_VerifyExhaustive() {
+	net, err := ftnet.NewDeBruijn(2, 3, 2) // 10 nodes, C(10,2)=45 fault sets
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.VerifyExhaustive(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("every 2-fault set tolerated")
+	// Output:
+	// every 2-fault set tolerated
+}
+
+// The fault-tolerant shuffle-exchange network shares the de Bruijn host.
+func ExampleNewShuffleExchange() {
+	net, err := ftnet.NewShuffleExchange(4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phi, err := net.Reconfigure([]int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("host degree bound:", 4*net.P.K+4)
+	fmt.Println("SE node 0 runs on host:", phi[0])
+	// Output:
+	// host degree bound: 8
+	// SE node 0 runs on host: 1
+}
+
+// Hayes's classic fault-tolerant ring falls out of the generalized
+// construction.
+func ExampleNewRing() {
+	net, err := ftnet.NewRing(8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("host nodes:", net.Host.N())
+	fmt.Println("host degree:", net.Host.MaxDegree())
+	// Output:
+	// host nodes: 10
+	// host degree: 6
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a fault-tolerant de Bruijn machine, break it, and
+// reconfigure it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftnet"
+)
+
+func main() {
+	// A 16-node base-2 de Bruijn machine (h=4) that must survive any
+	// k=2 node failures. The host has exactly 16+2 = 18 nodes — the
+	// paper's minimum — and degree at most 4k+4 = 12.
+	net, err := ftnet.NewDeBruijn2(4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target: %d nodes / %d edges (degree %d)\n",
+		net.Target.N(), net.Target.M(), net.Target.MaxDegree())
+	fmt.Printf("host:   %d nodes / %d edges (degree %d, bound %d)\n",
+		net.Host.N(), net.Host.M(), net.Host.MaxDegree(), net.P.DegreeBound())
+
+	// Two processors die.
+	faults := []int{3, 11}
+	m, err := net.Reconfigure(faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfaults at host nodes %v; reconfiguration:\n", faults)
+	for x := 0; x < net.Target.N(); x++ {
+		marker := ""
+		if m.Delta(x) > 0 {
+			marker = fmt.Sprintf("  (displaced by %d)", m.Delta(x))
+		}
+		fmt.Printf("  target %2d -> host %2d%s\n", x, m.Phi(x), marker)
+	}
+
+	// Every target edge survives — prove it for this fault set, then
+	// for EVERY possible 2-fault set.
+	if err := net.VerifyRandomized(50, 1); err != nil {
+		log.Fatalf("randomized verification failed: %v", err)
+	}
+	if err := net.VerifyExhaustive(); err != nil {
+		log.Fatalf("exhaustive verification failed: %v", err)
+	}
+	fmt.Println("\nverified: every possible 2-fault set leaves a healthy B_{2,4}")
+}

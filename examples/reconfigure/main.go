@@ -1,0 +1,65 @@
+// Reconfigure walks through Figure 3 of the paper: the relabeling of
+// B^1_{2,4} after a single node fault, showing which host node carries
+// which target label and which host edges become the "solid" target
+// edges.
+//
+// Run with: go run ./examples/reconfigure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/route"
+)
+
+func main() {
+	p := ft.Params{M: 2, H: 4, K: 1}
+	host := ft.MustNew(p)
+	target := debruijn.MustNew(p.Target())
+
+	const failed = 1 // the figure fails one node
+	m, err := ft.NewMapping(p.NTarget(), p.NHost(), []int{failed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("B^1_{2,4}: %d host nodes, fault at node %d\n\n", p.NHost(), failed)
+	inv := m.HostToTarget()
+	for v := 0; v < p.NHost(); v++ {
+		switch {
+		case m.IsFaulty(v):
+			fmt.Printf("  host %2d: X (faulty)\n", v)
+		case inv[v] < 0:
+			fmt.Printf("  host %2d: unused spare\n", v)
+		default:
+			fmt.Printf("  host %2d: carries target %2d [%04b]\n", v, inv[v], inv[v])
+		}
+	}
+
+	// The figure's solid lines: images of target edges. Count and verify.
+	phi := m.PhiSlice()
+	if err := graph.CheckEmbedding(target, host, phi); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nall %d target edges present among the %d host edges\n", target.M(), host.M())
+
+	// Routing is unaffected: lift a shortest target route onto the host.
+	u, v := 3, 12
+	path, err := route.ShortPath(u, v, p.Target())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lifted, err := route.Lift(path, phi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := route.Validate(lifted, host); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroute %d -> %d on target: %v\n", u, v, path)
+	fmt.Printf("same route on reconfigured host (dilation 1): %v\n", lifted)
+}

@@ -1,0 +1,62 @@
+package ftnet
+
+import (
+	"ftnet/internal/ft"
+	"ftnet/internal/reconfig"
+	"ftnet/internal/verify"
+)
+
+// This file extends the facade beyond the paper's headline
+// constructions: the generalized linear-rule targets (rings, chordal
+// rings) and the distributed reconfiguration protocol.
+
+// RingNet is a fault-tolerant ring built with the same technique the
+// paper applies to de Bruijn graphs (and which reproduces Hayes's
+// classic construction): host of n+k nodes, node x linked to its k+1
+// cyclic successors, degree 2k+2.
+type RingNet struct {
+	P      ft.GeneralParams
+	Target *Graph
+	Host   *Graph
+}
+
+// NewRing returns the k-fault-tolerant ring on n nodes.
+func NewRing(n, k int) (*RingNet, error) {
+	p := ft.Ring(n, k)
+	target, err := ft.NewTarget(p)
+	if err != nil {
+		return nil, err
+	}
+	host, err := ft.NewGeneral(p)
+	if err != nil {
+		return nil, err
+	}
+	return &RingNet{P: p, Target: target, Host: host}, nil
+}
+
+// Reconfigure computes the ring embedding after the given faults.
+func (n *RingNet) Reconfigure(faults []int) (*Mapping, error) {
+	return ft.NewMapping(n.P.N, n.P.N+n.P.K, faults)
+}
+
+// VerifyExhaustive enumerates every fault set.
+func (n *RingNet) VerifyExhaustive() error {
+	rep := verify.Exhaustive(n.Target, n.Host, n.P.K, ft.GeneralMapper(n.P))
+	if !rep.Ok() {
+		return rep.First
+	}
+	return nil
+}
+
+// DistributedReconfigure runs the decentralized protocol on the de
+// Bruijn network: faults flood through the healthy host, then every
+// node computes its assignment locally. It returns the dissemination
+// rounds and the per-host-node assignment (-1 = faulty or spare). The
+// result is guaranteed identical to Reconfigure's.
+func (n *DeBruijnNet) DistributedReconfigure(faults []int) (rounds int, hostToTarget []int, err error) {
+	out, err := reconfig.Run(n.Host, n.P.NTarget(), faults)
+	if err != nil {
+		return 0, nil, err
+	}
+	return out.Rounds, out.HostToTarget, nil
+}

@@ -1,0 +1,55 @@
+package ftnet
+
+import "testing"
+
+func TestRingFacade(t *testing.T) {
+	net, err := NewRing(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Host.N() != 14 {
+		t.Fatalf("host size %d", net.Host.N())
+	}
+	if net.Host.MaxDegree() != 6 {
+		t.Errorf("FT ring degree %d, want 2k+2 = 6", net.Host.MaxDegree())
+	}
+	m, err := net.Reconfigure([]int{3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phi(3) != 4 {
+		t.Errorf("phi(3) = %d", m.Phi(3))
+	}
+	if err := net.VerifyExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRing(1, 2); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestDistributedReconfigureFacade(t *testing.T) {
+	net, err := NewDeBruijn2(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []int{3, 11}
+	rounds, assign, err := net.DistributedReconfigure(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 {
+		t.Errorf("rounds = %d", rounds)
+	}
+	// Consistency with the centralized map.
+	m, err := net.Reconfigure(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.HostToTarget()
+	for v := range want {
+		if assign[v] != want[v] {
+			t.Fatalf("assignment mismatch at host %d: %d vs %d", v, assign[v], want[v])
+		}
+	}
+}

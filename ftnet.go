@@ -1,0 +1,162 @@
+// Package ftnet is a library of fault-tolerant de Bruijn and
+// shuffle-exchange interconnection networks, reproducing Bruck, Cypher
+// and Ho, "Fault-Tolerant de Bruijn and Shuffle-Exchange Networks"
+// (ICPP 1992 / IEEE TPDS 1994).
+//
+// Given a target topology with N nodes and a fault budget k, the library
+// constructs a host graph with exactly N+k nodes — the minimum possible —
+// that is guaranteed to contain a fault-free copy of the target after
+// ANY k node faults, plus the reconfiguration map that locates the copy.
+//
+// # Quick start
+//
+//	// A 16-node base-2 de Bruijn machine that survives any 2 faults.
+//	net, err := ftnet.NewDeBruijn2(4, 2)        // h=4, k=2: 18 nodes, degree <= 12
+//	m, err := net.Reconfigure([]int{3, 11})     // any <= 2 faults
+//	phi := m.PhiSlice()                          // target node x runs on phi[x]
+//
+// The package is a facade over the internal implementation packages;
+// everything reachable from here is verified by the repository's test
+// suite, including exhaustive fault-set enumeration for small sizes.
+package ftnet
+
+import (
+	"io"
+
+	"ftnet/internal/bus"
+	"ftnet/internal/debruijn"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/shuffle"
+	"ftnet/internal/verify"
+)
+
+// Graph is the immutable simple undirected graph type used throughout.
+type Graph = graph.Graph
+
+// Mapping is a reconfiguration map assigning target nodes to healthy
+// host nodes.
+type Mapping = ft.Mapping
+
+// BusArch is the Section-V bus implementation of a fault-tolerant
+// de Bruijn network.
+type BusArch = bus.Arch
+
+// DeBruijnNet is a fault-tolerant de Bruijn network: the target graph
+// B_{m,h}, its host B^k_{m,h}, and the reconfiguration machinery.
+type DeBruijnNet struct {
+	P      ft.Params
+	Target *Graph // B_{m,h}
+	Host   *Graph // B^k_{m,h}: m^h + k nodes, degree <= 4(m-1)k + 2m
+}
+
+// NewDeBruijn returns the fault-tolerant base-m de Bruijn network for
+// h-digit addresses tolerating k faults (m >= 2, h >= 3, k >= 0).
+func NewDeBruijn(m, h, k int) (*DeBruijnNet, error) {
+	p := ft.Params{M: m, H: h, K: k}
+	host, err := ft.New(p)
+	if err != nil {
+		return nil, err
+	}
+	target, err := debruijn.New(p.Target())
+	if err != nil {
+		return nil, err
+	}
+	return &DeBruijnNet{P: p, Target: target, Host: host}, nil
+}
+
+// NewDeBruijn2 is NewDeBruijn with base 2 (degree bound 4k+4).
+func NewDeBruijn2(h, k int) (*DeBruijnNet, error) { return NewDeBruijn(2, h, k) }
+
+// Reconfigure computes the embedding of the target into the healthy part
+// of the host for the given faulty host nodes (at most k of them).
+func (n *DeBruijnNet) Reconfigure(faults []int) (*Mapping, error) {
+	return ft.NewMapping(n.P.NTarget(), n.P.NHost(), faults)
+}
+
+// VerifyExhaustive proves (k,G)-tolerance on this instance by
+// enumerating every possible fault set. Feasible for small sizes; for
+// large instances use VerifyRandomized.
+func (n *DeBruijnNet) VerifyExhaustive() error {
+	rep := verify.Exhaustive(n.Target, n.Host, n.P.K, n.mapper())
+	if !rep.Ok() {
+		return rep.First
+	}
+	return nil
+}
+
+// VerifyRandomized samples trials fault sets from each standard fault
+// model (random, block, spares, spread, max-degree) and checks them.
+func (n *DeBruijnNet) VerifyRandomized(trials int, seed int64) error {
+	rep := verify.Randomized(n.Target, n.Host, n.P.K, n.mapper(), trials, seed, nil)
+	if !rep.Ok() {
+		return rep.First
+	}
+	return nil
+}
+
+func (n *DeBruijnNet) mapper() verify.Mapper {
+	return func(faults []int) ([]int, error) {
+		m, err := ft.NewMapping(n.P.NTarget(), n.P.NHost(), faults)
+		if err != nil {
+			return nil, err
+		}
+		return m.PhiSlice(), nil
+	}
+}
+
+// Buses returns the Section-V bus implementation of this network
+// (bus-degree at most 2k+3 for base 2).
+func (n *DeBruijnNet) Buses() (*BusArch, error) { return bus.New(n.P) }
+
+// WriteTargetDOT and WriteHostDOT render the graphs in Graphviz format.
+func (n *DeBruijnNet) WriteTargetDOT(w io.Writer) error {
+	debruijn.ApplyLabels(n.Target, n.P.Target())
+	return n.Target.WriteDOT(w, graph.DOTOptions{Name: "target"})
+}
+
+// WriteHostDOT renders the host graph in Graphviz format.
+func (n *DeBruijnNet) WriteHostDOT(w io.Writer) error {
+	return n.Host.WriteDOT(w, graph.DOTOptions{Name: "host"})
+}
+
+// ShuffleExchangeNet is a fault-tolerant shuffle-exchange network. The
+// host is B^k_{2,h} (degree <= 4k+4); SE node x reaches its host slot
+// through the precomputed same-size embedding Psi of SE_h into B_{2,h}.
+type ShuffleExchangeNet struct {
+	P      ft.SEParams
+	Target *Graph // SE_h
+	Host   *Graph // B^k_{2,h}
+	Psi    []int  // embedding of SE_h into B_{2,h}
+}
+
+// NewShuffleExchange returns the fault-tolerant shuffle-exchange network
+// for h-bit addresses tolerating k faults (h >= 3, k >= 0).
+func NewShuffleExchange(h, k int) (*ShuffleExchangeNet, error) {
+	p := ft.SEParams{H: h, K: k}
+	host, psi, err := ft.NewSEViaDB(p)
+	if err != nil {
+		return nil, err
+	}
+	target, err := shuffle.New(shuffle.Params{H: h})
+	if err != nil {
+		return nil, err
+	}
+	return &ShuffleExchangeNet{P: p, Target: target, Host: host, Psi: psi}, nil
+}
+
+// Reconfigure returns, for the given faulty host nodes, the slice
+// mapping each SE node to its healthy host node.
+func (n *ShuffleExchangeNet) Reconfigure(faults []int) ([]int, error) {
+	return ft.SEMapViaDB(n.P, n.Psi, faults)
+}
+
+// VerifyRandomized samples fault sets and checks the SE embedding
+// survives each of them.
+func (n *ShuffleExchangeNet) VerifyRandomized(trials int, seed int64) error {
+	rep := verify.Randomized(n.Target, n.Host, n.P.K, verify.Mapper(n.Reconfigure), trials, seed, nil)
+	if !rep.Ok() {
+		return rep.First
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package ftnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeDeBruijnQuickPath(t *testing.T) {
+	net, err := NewDeBruijn2(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Host.N() != 18 || net.Target.N() != 16 {
+		t.Fatalf("sizes: host=%d target=%d", net.Host.N(), net.Target.N())
+	}
+	if net.Host.MaxDegree() > 12 {
+		t.Errorf("host degree %d > 4k+4", net.Host.MaxDegree())
+	}
+	m, err := net.Reconfigure([]int{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := m.PhiSlice()
+	if phi[3] != 4 {
+		t.Errorf("phi[3] = %d, want 4 (skipping fault at 3)", phi[3])
+	}
+	if err := net.VerifyRandomized(10, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDeBruijnExhaustiveSmall(t *testing.T) {
+	net, err := NewDeBruijn(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.VerifyExhaustive(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBaseM(t *testing.T) {
+	net, err := NewDeBruijn(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Host.N() != 29 {
+		t.Errorf("host size %d", net.Host.N())
+	}
+	if err := net.VerifyRandomized(5, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := NewDeBruijn(1, 3, 0); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := NewDeBruijn2(2, 0); err == nil {
+		t.Error("h=2 accepted")
+	}
+	net, _ := NewDeBruijn2(3, 1)
+	if _, err := net.Reconfigure([]int{1, 2}); err == nil {
+		t.Error("too many faults accepted")
+	}
+}
+
+func TestFacadeBuses(t *testing.T) {
+	net, err := NewDeBruijn2(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := net.Buses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.MaxBusDegree() > 5 {
+		t.Errorf("bus degree %d > 2k+3", arch.MaxBusDegree())
+	}
+}
+
+func TestFacadeDOT(t *testing.T) {
+	net, err := NewDeBruijn2(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteTargetDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph target {") {
+		t.Error("target DOT missing header")
+	}
+	buf.Reset()
+	if err := net.WriteHostDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph host {") {
+		t.Error("host DOT missing header")
+	}
+}
+
+func TestFacadeShuffleExchange(t *testing.T) {
+	net, err := NewShuffleExchange(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Host.N() != 18 || net.Target.N() != 16 {
+		t.Fatalf("sizes: host=%d target=%d", net.Host.N(), net.Target.N())
+	}
+	phi, err := net.Reconfigure([]int{0, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, img := range phi {
+		if img == 0 || img == 17 {
+			t.Fatal("SE node mapped onto a faulty host node")
+		}
+	}
+	if err := net.VerifyRandomized(10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShuffleExchange(1, 0); err == nil {
+		t.Error("h=1 accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package ascend runs normal hypercube algorithms (the Ascend/Descend
+// class of Preparata–Vuillemin, which the paper cites as the workload
+// constant-degree networks must support) on shuffle-exchange machines —
+// healthy, faulted, or reconfigured onto a fault-tolerant host.
+//
+// The classic emulation (Stone's perfect shuffle): data for logical
+// address a sits at node a; each of h rounds performs
+//
+//	exchange:  the values at x and x^1 are combined pairwise, and
+//	shuffle:   every value moves along the shuffle edge x -> rot(x).
+//
+// After h rounds every hypercube dimension has been touched exactly once
+// and all data is back home, having used only shuffle-exchange edges.
+// Total cost: 2h communication cycles, independent of input — unless an
+// edge used by the schedule is missing or a node is dead, in which case
+// the machine cannot run the algorithm at all (the paper's motivation
+// for fault tolerance).
+package ascend
+
+import (
+	"fmt"
+
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// Op combines the pair of values meeting across an exchange edge.
+// It receives the value at the even node (low) and at the odd node
+// (high) and returns their replacements.
+type Op func(low, high int64) (newLow, newHigh int64)
+
+// Sum makes both nodes hold the pairwise sum (after h rounds every node
+// holds the total).
+func Sum(a, b int64) (int64, int64) { s := a + b; return s, s }
+
+// MaxOp makes both nodes hold the max (after h rounds: global max).
+func MaxOp(a, b int64) (int64, int64) {
+	if a > b {
+		return a, a
+	}
+	return b, b
+}
+
+// MinMax sorts the pair (compare-exchange), the primitive of
+// bitonic-style algorithms.
+func MinMax(a, b int64) (int64, int64) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+// Host is the physical machine an SE algorithm runs on. Logical SE node
+// x executes on physical node Loc[x]; Dead marks failed physical nodes.
+// For a healthy machine, Loc is the identity and Dead is all-false.
+type Host struct {
+	G    *graph.Graph
+	Loc  []int
+	Dead []bool
+}
+
+// NewHealthy returns a host that is the identity mapping onto g.
+func NewHealthy(g *graph.Graph) *Host {
+	loc := make([]int, g.N())
+	for i := range loc {
+		loc[i] = i
+	}
+	return &Host{G: g, Loc: loc, Dead: make([]bool, g.N())}
+}
+
+// link reports whether logical nodes x and y can communicate in one
+// cycle: both alive and physically adjacent.
+func (hst *Host) link(x, y int) error {
+	px, py := hst.Loc[x], hst.Loc[y]
+	if hst.Dead[px] {
+		return fmt.Errorf("ascend: node %d (hosting %d) is dead", px, x)
+	}
+	if hst.Dead[py] {
+		return fmt.Errorf("ascend: node %d (hosting %d) is dead", py, y)
+	}
+	if !hst.G.HasEdge(px, py) {
+		return fmt.Errorf("ascend: no physical link (%d,%d) for logical (%d,%d)", px, py, x, y)
+	}
+	return nil
+}
+
+// Result reports a completed run.
+type Result struct {
+	Values []int64 // final value per logical address
+	Cycles int     // communication cycles consumed (2h on success)
+}
+
+// RunSE executes h rounds of (exchange+combine, shuffle) over 2^h
+// values on the host. It fails — identifying the first broken round —
+// when the schedule needs a dead node or missing edge, which is exactly
+// what happens on an unprotected machine with faults.
+func RunSE(h int, hst *Host, vals []int64, op Op) (Result, error) {
+	if h < 1 {
+		return Result{}, fmt.Errorf("ascend: h=%d must be >= 1", h)
+	}
+	n := num.MustIPow(2, h)
+	if len(vals) != n {
+		return Result{}, fmt.Errorf("ascend: %d values for %d nodes", len(vals), n)
+	}
+	if len(hst.Loc) != n {
+		return Result{}, fmt.Errorf("ascend: host maps %d logical nodes, want %d", len(hst.Loc), n)
+	}
+	data := make([]int64, n)
+	copy(data, vals)
+	next := make([]int64, n)
+	cycles := 0
+	for round := 0; round < h; round++ {
+		// Exchange phase: pairwise combine across every exchange edge.
+		for x := 0; x < n; x += 2 {
+			if err := hst.link(x, x^1); err != nil {
+				return Result{}, fmt.Errorf("round %d exchange: %w", round, err)
+			}
+			data[x], data[x^1] = op(data[x], data[x^1])
+		}
+		cycles++
+		// Shuffle phase: value at x moves to rot(x). The two fixed points
+		// (all-zeros, all-ones) keep their value without communicating.
+		for x := 0; x < n; x++ {
+			y := num.RotLeft(x, 2, h)
+			if y != x {
+				if err := hst.link(x, y); err != nil {
+					return Result{}, fmt.Errorf("round %d shuffle: %w", round, err)
+				}
+			}
+			next[y] = data[x]
+		}
+		data, next = next, data
+		cycles++
+	}
+	return Result{Values: data, Cycles: cycles}, nil
+}
+
+// SurvivingFraction runs the schedule on a host with dead nodes,
+// skipping broken pairwise operations instead of failing, and returns
+// the fraction of logical addresses whose final value matches the
+// reference (fault-free) run. It quantifies how much of the computation
+// an unprotected machine can still complete.
+func SurvivingFraction(h int, hst *Host, vals []int64, op Op) (float64, error) {
+	n := num.MustIPow(2, h)
+	if len(vals) != n {
+		return 0, fmt.Errorf("ascend: %d values for %d nodes", len(vals), n)
+	}
+	ref, err := RunSE(h, NewHealthy(hostSizeGraph(hst.G, n)), vals, op)
+	if err != nil {
+		return 0, err
+	}
+	data := make([]int64, n)
+	copy(data, vals)
+	next := make([]int64, n)
+	valid := make([]bool, n)
+	nextValid := make([]bool, n)
+	for i := range valid {
+		valid[i] = !hst.Dead[hst.Loc[i]]
+	}
+	for round := 0; round < h; round++ {
+		for x := 0; x < n; x += 2 {
+			if hst.link(x, x^1) == nil && valid[x] && valid[x^1] {
+				data[x], data[x^1] = op(data[x], data[x^1])
+			} else {
+				valid[x], valid[x^1] = false, false
+			}
+		}
+		for x := 0; x < n; x++ {
+			y := num.RotLeft(x, 2, h)
+			ok := valid[x]
+			if y != x && hst.link(x, y) != nil {
+				ok = false
+			}
+			next[y] = data[x]
+			nextValid[y] = ok
+		}
+		data, next = next, data
+		valid, nextValid = nextValid, valid
+	}
+	good := 0
+	for i := range data {
+		if valid[i] && data[i] == ref.Values[i] {
+			good++
+		}
+	}
+	return float64(good) / float64(n), nil
+}
+
+// hostSizeGraph returns a graph with at least n nodes for reference
+// runs: the SE edges are what RunSE checks, so a complete graph on n
+// nodes is a safe universal host.
+func hostSizeGraph(_ *graph.Graph, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}

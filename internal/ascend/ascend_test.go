@@ -1,0 +1,194 @@
+package ascend
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/ft"
+	"ftnet/internal/num"
+	"ftnet/internal/shuffle"
+)
+
+func seq(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(i + 1)
+	}
+	return v
+}
+
+func TestSumOnHealthySE(t *testing.T) {
+	for h := 2; h <= 7; h++ {
+		n := 1 << h
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		res, err := RunSE(h, NewHealthy(se), seq(n), Sum)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		want := int64(n) * int64(n+1) / 2
+		for x, v := range res.Values {
+			if v != want {
+				t.Fatalf("h=%d node %d: sum=%d, want %d", h, x, v, want)
+			}
+		}
+		if res.Cycles != 2*h {
+			t.Errorf("h=%d: cycles=%d, want 2h=%d", h, res.Cycles, 2*h)
+		}
+	}
+}
+
+func TestMaxOnHealthySE(t *testing.T) {
+	h := 5
+	n := 1 << h
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, n)
+	var want int64 = -1
+	for i := range vals {
+		vals[i] = int64(rng.Intn(10000))
+		if vals[i] > want {
+			want = vals[i]
+		}
+	}
+	se := shuffle.MustNew(shuffle.Params{H: h})
+	res, err := RunSE(h, NewHealthy(se), vals, MaxOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, v := range res.Values {
+		if v != want {
+			t.Fatalf("node %d: max=%d, want %d", x, v, want)
+		}
+	}
+}
+
+func TestMinMaxPrimitive(t *testing.T) {
+	a, b := MinMax(5, 3)
+	if a != 3 || b != 5 {
+		t.Errorf("MinMax(5,3) = %d,%d", a, b)
+	}
+	a, b = MinMax(1, 2)
+	if a != 1 || b != 2 {
+		t.Errorf("MinMax(1,2) = %d,%d", a, b)
+	}
+}
+
+func TestUnprotectedMachineFailsWithOneFault(t *testing.T) {
+	// The paper's motivation: a single processor failure breaks the
+	// algorithm class on an unprotected machine.
+	h := 4
+	se := shuffle.MustNew(shuffle.Params{H: h})
+	hst := NewHealthy(se)
+	hst.Dead[5] = true
+	if _, err := RunSE(h, hst, seq(1<<h), Sum); err == nil {
+		t.Fatal("dead node did not break the run")
+	}
+}
+
+func TestSurvivingFractionDegrades(t *testing.T) {
+	h := 5
+	se := shuffle.MustNew(shuffle.Params{H: h})
+	hst := NewHealthy(se)
+	hst.Dead[7] = true
+	frac, err := SurvivingFraction(h, hst, seq(1<<h), Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac >= 1 {
+		t.Errorf("fraction %f should be < 1 with a dead node", frac)
+	}
+	// For the all-to-all Sum, any fault poisons everything downstream;
+	// the fraction should collapse dramatically.
+	if frac > 0.5 {
+		t.Errorf("fraction %f suspiciously high for global reduction", frac)
+	}
+	// Healthy machine keeps everything.
+	frac2, err := SurvivingFraction(h, NewHealthy(se), seq(1<<h), Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac2 != 1 {
+		t.Errorf("healthy fraction = %f", frac2)
+	}
+}
+
+func TestReconfiguredMachineRunsAtFullSpeed(t *testing.T) {
+	// The paper's payoff: after k faults, the FT host still runs the
+	// Ascend schedule in exactly 2h cycles via the reconfiguration map.
+	rng := rand.New(rand.NewSource(11))
+	for h := 3; h <= 6; h++ {
+		for k := 1; k <= 3; k++ {
+			p := ft.SEParams{H: h, K: k}
+			host, psi, err := ft.NewSEViaDB(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 1 << h
+			for trial := 0; trial < 5; trial++ {
+				faults := num.RandomSubset(rng, p.NHost(), k)
+				loc, err := ft.SEMapViaDB(p, psi, faults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dead := make([]bool, p.NHost())
+				for _, f := range faults {
+					dead[f] = true
+				}
+				hst := &Host{G: host, Loc: loc, Dead: dead}
+				res, err := RunSE(h, hst, seq(n), Sum)
+				if err != nil {
+					t.Fatalf("h=%d k=%d faults=%v: %v", h, k, faults, err)
+				}
+				want := int64(n) * int64(n+1) / 2
+				for x, v := range res.Values {
+					if v != want {
+						t.Fatalf("node %d: %d != %d", x, v, want)
+					}
+				}
+				if res.Cycles != 2*h {
+					t.Errorf("reconfigured cycles = %d, want %d (full speed)", res.Cycles, 2*h)
+				}
+			}
+		}
+	}
+}
+
+func TestReconfiguredNaturalVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := ft.SEParams{H: 5, K: 2}
+	host, err := ft.NewSENatural(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << p.H
+	faults := num.RandomSubset(rng, p.NHost(), p.K)
+	mp, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := make([]bool, p.NHost())
+	for _, f := range faults {
+		dead[f] = true
+	}
+	hst := &Host{G: host, Loc: mp.PhiSlice(), Dead: dead}
+	res, err := RunSE(p.H, hst, seq(n), Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2*p.H {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+}
+
+func TestRunSEValidation(t *testing.T) {
+	se := shuffle.MustNew(shuffle.Params{H: 3})
+	if _, err := RunSE(0, NewHealthy(se), nil, Sum); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := RunSE(3, NewHealthy(se), seq(4), Sum); err == nil {
+		t.Error("wrong value count accepted")
+	}
+	short := &Host{G: se, Loc: []int{0, 1}, Dead: make([]bool, 8)}
+	if _, err := RunSE(3, short, seq(8), Sum); err == nil {
+		t.Error("short Loc accepted")
+	}
+}

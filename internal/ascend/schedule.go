@@ -1,0 +1,167 @@
+package ascend
+
+import (
+	"fmt"
+
+	"ftnet/internal/num"
+)
+
+// This file generalizes RunSE from the fixed one-dimension-per-round
+// sweep to arbitrary normal-algorithm schedules: any sequence of
+// hypercube dimensions, each with its own pairwise operator. This is
+// what the Ascend/Descend class of Preparata-Vuillemin actually
+// requires, and bitonic sort (the classic member) exercises it fully.
+//
+// Mechanics: the machine tracks a global rotation state rho — the value
+// of logical address a currently resides at node RotLeft^rho(a). At
+// rotation rho, the exchange edges pair addresses differing in bit
+// (h - rho) mod h, so operating on dimension d costs however many
+// shuffles move rho to (h - d) mod h, plus one exchange cycle. Schedules
+// that walk dimensions downward (Descend order, like bitonic sort's
+// inner loops) pay exactly one shuffle per step.
+
+// PairOp combines the two values meeting across an exchange edge. It
+// receives the LOGICAL addresses holding the values (aLow has bit d
+// = 0, aHigh has bit d = 1), so operators may be address-dependent —
+// bitonic sort's direction bit, for example.
+type PairOp func(aLow, aHigh int, low, high int64) (newLow, newHigh int64)
+
+// Step is one schedule entry: apply Op across dimension Dim.
+type Step struct {
+	Dim int
+	Op  PairOp
+}
+
+// RunSchedule executes the schedule on the host, starting and ending
+// with all data home (rotation state 0). It returns the final values
+// (indexed by logical address) and the communication cycles consumed.
+// Like RunSE it fails when the schedule needs a dead node or missing
+// edge.
+func RunSchedule(h int, hst *Host, vals []int64, steps []Step) (Result, error) {
+	if h < 1 {
+		return Result{}, fmt.Errorf("ascend: h=%d must be >= 1", h)
+	}
+	n := num.MustIPow(2, h)
+	if len(vals) != n {
+		return Result{}, fmt.Errorf("ascend: %d values for %d nodes", len(vals), n)
+	}
+	if len(hst.Loc) != n {
+		return Result{}, fmt.Errorf("ascend: host maps %d logical nodes, want %d", len(hst.Loc), n)
+	}
+	for _, s := range steps {
+		if s.Dim < 0 || s.Dim >= h {
+			return Result{}, fmt.Errorf("ascend: dimension %d out of range [0,%d)", s.Dim, h)
+		}
+		if s.Op == nil {
+			return Result{}, fmt.Errorf("ascend: nil op in schedule")
+		}
+	}
+
+	// data[y] = value currently held by logical node y. addr[y] = the
+	// logical address whose value node y holds (tracked explicitly so the
+	// code is self-checking; it always equals RotRight^rho applied to y).
+	data := make([]int64, n)
+	copy(data, vals)
+	addr := make([]int, n)
+	for i := range addr {
+		addr[i] = i
+	}
+	nextD := make([]int64, n)
+	nextA := make([]int, n)
+	rho := 0
+	cycles := 0
+
+	shuffleOnce := func() error {
+		for y := 0; y < n; y++ {
+			z := num.RotLeft(y, 2, h)
+			if z != y {
+				if err := hst.link(y, z); err != nil {
+					return err
+				}
+			}
+			nextD[z] = data[y]
+			nextA[z] = addr[y]
+		}
+		data, nextD = nextD, data
+		addr, nextA = nextA, addr
+		rho = (rho + 1) % h
+		cycles++
+		return nil
+	}
+
+	for si, s := range steps {
+		want := (h - s.Dim) % h
+		for rho != want {
+			if err := shuffleOnce(); err != nil {
+				return Result{}, fmt.Errorf("step %d (dim %d) shuffle: %w", si, s.Dim, err)
+			}
+		}
+		// Exchange phase at this rotation: node pairs (y, y^1) hold
+		// addresses differing in bit s.Dim.
+		for y := 0; y < n; y += 2 {
+			if err := hst.link(y, y^1); err != nil {
+				return Result{}, fmt.Errorf("step %d (dim %d) exchange: %w", si, s.Dim, err)
+			}
+			aEven, aOdd := addr[y], addr[y^1]
+			if aEven^aOdd != 1<<s.Dim {
+				return Result{}, fmt.Errorf("ascend: internal error: addresses %d,%d at rho=%d do not differ in dim %d",
+					aEven, aOdd, rho, s.Dim)
+			}
+			if aEven&(1<<s.Dim) == 0 {
+				data[y], data[y^1] = s.Op(aEven, aOdd, data[y], data[y^1])
+			} else {
+				data[y^1], data[y] = s.Op(aOdd, aEven, data[y^1], data[y])
+			}
+		}
+		cycles++
+	}
+	// Rotate data home.
+	for rho != 0 {
+		if err := shuffleOnce(); err != nil {
+			return Result{}, fmt.Errorf("final unshuffle: %w", err)
+		}
+	}
+	out := make([]int64, n)
+	for y := 0; y < n; y++ {
+		out[addr[y]] = data[y]
+	}
+	return Result{Values: out, Cycles: cycles}, nil
+}
+
+// BitonicSortSteps returns the bitonic sorting network of Batcher as a
+// schedule: h stages, stage s merging bitonic runs of length 2^(s+1) by
+// compare-exchanging dimensions s, s-1, ..., 0. The comparator
+// direction depends on bit s+1 of the address (ascending blocks
+// alternate with descending ones), yielding a fully sorted array after
+// the last stage. Total steps: h(h+1)/2.
+func BitonicSortSteps(h int) []Step {
+	var steps []Step
+	for s := 0; s < h; s++ {
+		for d := s; d >= 0; d-- {
+			stage := s
+			steps = append(steps, Step{
+				Dim: d,
+				Op: func(aLow, aHigh int, low, high int64) (int64, int64) {
+					// Ascending iff bit (stage+1) of the address block is 0;
+					// the final stage (stage = h-1) is entirely ascending.
+					asc := aLow&(1<<(stage+1)) == 0
+					if (low > high) == asc {
+						return high, low
+					}
+					return low, high
+				},
+			})
+		}
+	}
+	return steps
+}
+
+// SumSteps returns the plain Ascend global-combine schedule, dimension
+// 0 through h-1, all applying op.
+func SumSteps(h int, op Op) []Step {
+	steps := make([]Step, h)
+	for d := 0; d < h; d++ {
+		steps[d] = Step{Dim: d, Op: func(_, _ int, a, b int64) (int64, int64) { return op(a, b) }}
+	}
+	return steps
+}

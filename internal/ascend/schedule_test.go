@@ -1,0 +1,180 @@
+package ascend
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ftnet/internal/ft"
+	"ftnet/internal/num"
+	"ftnet/internal/shuffle"
+)
+
+func TestRunScheduleSumMatchesRunSE(t *testing.T) {
+	for h := 2; h <= 6; h++ {
+		n := 1 << h
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		res, err := RunSchedule(h, NewHealthy(se), seq(n), SumSteps(h, Sum))
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		want := int64(n) * int64(n+1) / 2
+		for x, v := range res.Values {
+			if v != want {
+				t.Fatalf("h=%d node %d: %d != %d", h, x, v, want)
+			}
+		}
+	}
+}
+
+func TestBitonicSortOnHealthySE(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for h := 2; h <= 7; h++ {
+		n := 1 << h
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1000))
+		}
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		res, err := RunSchedule(h, NewHealthy(se), vals, BitonicSortSteps(h))
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		if !sort.SliceIsSorted(res.Values, func(i, j int) bool { return res.Values[i] < res.Values[j] }) {
+			t.Fatalf("h=%d: not sorted: %v", h, res.Values)
+		}
+		// Same multiset.
+		a := append([]int64(nil), vals...)
+		b := append([]int64(nil), res.Values...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("h=%d: values not preserved", h)
+			}
+		}
+	}
+}
+
+func TestBitonicCostIsLogSquared(t *testing.T) {
+	// h(h+1)/2 compare steps; shuffles bounded by steps + 2h wrap-arounds
+	// per stage. Total cycles must be O(h^2) — specifically under 3h^2.
+	for h := 3; h <= 8; h++ {
+		n := 1 << h
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		res, err := RunSchedule(h, NewHealthy(se), seq(n), BitonicSortSteps(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles > 3*h*h {
+			t.Errorf("h=%d: bitonic cycles %d > 3h^2 = %d", h, res.Cycles, 3*h*h)
+		}
+	}
+}
+
+func TestBitonicSortOnReconfiguredHost(t *testing.T) {
+	// The paper's payoff at the algorithm level: full bitonic sort runs
+	// unchanged on the FT host after k faults.
+	rng := rand.New(rand.NewSource(12))
+	for _, k := range []int{1, 3} {
+		h := 5
+		n := 1 << h
+		p := ft.SEParams{H: h, K: k}
+		host, psi, err := ft.NewSEViaDB(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := num.RandomSubset(rng, p.NHost(), k)
+		loc, err := ft.SEMapViaDB(p, psi, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := make([]bool, p.NHost())
+		for _, f := range faults {
+			dead[f] = true
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(500))
+		}
+		res, err := RunSchedule(h, &Host{G: host, Loc: loc, Dead: dead}, vals, BitonicSortSteps(h))
+		if err != nil {
+			t.Fatalf("k=%d faults=%v: %v", k, faults, err)
+		}
+		if !sort.SliceIsSorted(res.Values, func(i, j int) bool { return res.Values[i] < res.Values[j] }) {
+			t.Fatalf("k=%d: not sorted", k)
+		}
+		// Cycle count must match the healthy machine exactly (dilation 1).
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		ref, err := RunSchedule(h, NewHealthy(se), vals, BitonicSortSteps(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != ref.Cycles {
+			t.Errorf("k=%d: reconfigured cycles %d != healthy %d", k, res.Cycles, ref.Cycles)
+		}
+	}
+}
+
+func TestBitonicFailsOnUnprotectedFaultedMachine(t *testing.T) {
+	h := 4
+	se := shuffle.MustNew(shuffle.Params{H: h})
+	hst := NewHealthy(se)
+	hst.Dead[9] = true
+	if _, err := RunSchedule(h, hst, seq(1<<h), BitonicSortSteps(h)); err == nil {
+		t.Fatal("faulted unprotected machine completed bitonic sort")
+	}
+}
+
+func TestRunScheduleDescendOrderIsCheap(t *testing.T) {
+	// Descend-order schedules (dims h-1..0) should pay ~1 shuffle per
+	// step after initial alignment.
+	h := 6
+	se := shuffle.MustNew(shuffle.Params{H: h})
+	var steps []Step
+	for d := h - 1; d >= 0; d-- {
+		steps = append(steps, Step{Dim: d, Op: func(_, _ int, a, b int64) (int64, int64) { return a, b }})
+	}
+	res, err := RunSchedule(h, NewHealthy(se), seq(1<<h), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alignment to dim h-1 costs 1 shuffle, then 1 shuffle + 1 exchange
+	// per subsequent step, plus the rotate-home: total well under 4h.
+	if res.Cycles > 4*h {
+		t.Errorf("descend schedule cycles %d > 4h = %d", res.Cycles, 4*h)
+	}
+}
+
+func TestRunScheduleValidation(t *testing.T) {
+	se := shuffle.MustNew(shuffle.Params{H: 3})
+	hst := NewHealthy(se)
+	if _, err := RunSchedule(0, hst, nil, nil); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := RunSchedule(3, hst, seq(4), nil); err == nil {
+		t.Error("wrong value count accepted")
+	}
+	if _, err := RunSchedule(3, hst, seq(8), []Step{{Dim: 3, Op: nil}}); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if _, err := RunSchedule(3, hst, seq(8), []Step{{Dim: 0, Op: nil}}); err == nil {
+		t.Error("nil op accepted")
+	}
+}
+
+func TestRunScheduleEmptyIsIdentity(t *testing.T) {
+	se := shuffle.MustNew(shuffle.Params{H: 3})
+	res, err := RunSchedule(3, NewHealthy(se), seq(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Values {
+		if v != int64(i+1) {
+			t.Fatalf("identity violated: %v", res.Values)
+		}
+	}
+	if res.Cycles != 0 {
+		t.Errorf("empty schedule cycles = %d", res.Cycles)
+	}
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+func TestParams(t *testing.T) {
+	p := Params{M: 2, H: 3, K: 1}
+	if p.HostBase() != 4 || p.NHost() != 64 || p.NTarget() != 8 {
+		t.Errorf("sizes: base=%d host=%d target=%d", p.HostBase(), p.NHost(), p.NTarget())
+	}
+	if p.CitedDegree() != 6 {
+		t.Errorf("cited degree %d, want 4k+2=6", p.CitedDegree())
+	}
+	if p.HostDegree() != 8 {
+		t.Errorf("host degree %d", p.HostDegree())
+	}
+	if p.String() != "SP^1_{2,3}" {
+		t.Errorf("String = %q", p.String())
+	}
+	for _, bad := range []Params{{1, 3, 1}, {2, 0, 1}, {2, 3, -1}, {2, 40, 7}} {
+		if bad.Validate() == nil {
+			t.Errorf("%+v should be invalid", bad)
+		}
+	}
+}
+
+func TestNodeExplosionVersusFT(t *testing.T) {
+	// The headline comparison: baseline host size is N*(k+1)^h while the
+	// paper's construction needs N+k.
+	for _, c := range []struct{ m, h, k int }{{2, 3, 1}, {2, 4, 2}, {3, 3, 1}} {
+		sp := Params{M: c.m, H: c.h, K: c.k}
+		our := ft.Params{M: c.m, H: c.h, K: c.k}
+		if sp.NHost() <= our.NHost() {
+			t.Errorf("%v: baseline %d nodes should dwarf ours %d", sp, sp.NHost(), our.NHost())
+		}
+		want := sp.NTarget() * num.MustIPow(c.k+1, c.h)
+		if sp.NHost() != want {
+			t.Errorf("%v: NHost=%d, want N(k+1)^h=%d", sp, sp.NHost(), want)
+		}
+	}
+}
+
+func TestCopyNodesAreDisjointCopies(t *testing.T) {
+	p := Params{M: 2, H: 3, K: 2}
+	host := MustNew(p)
+	target := debruijn.MustNew(debruijn.Params{M: 2, H: 3})
+	seen := map[int]bool{}
+	for i := 0; i <= p.K; i++ {
+		nodes, err := CopyNodes(p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != p.NTarget() {
+			t.Fatalf("copy %d has %d nodes", i, len(nodes))
+		}
+		for _, v := range nodes {
+			if seen[v] {
+				t.Fatalf("copies overlap at host node %d", v)
+			}
+			seen[v] = true
+		}
+		// The copy must carry the target as a subgraph.
+		if err := graph.CheckEmbedding(target, host, nodes); err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+	}
+}
+
+func TestCopyNodesRange(t *testing.T) {
+	p := Params{M: 2, H: 3, K: 1}
+	if _, err := CopyNodes(p, -1); err == nil {
+		t.Error("negative copy accepted")
+	}
+	if _, err := CopyNodes(p, 2); err == nil {
+		t.Error("copy > k accepted")
+	}
+}
+
+func TestReconfigureSurvivesKFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := Params{M: 2, H: 3, K: 2}
+	host := MustNew(p)
+	target := debruijn.MustNew(debruijn.Params{M: 2, H: 3})
+	for trial := 0; trial < 50; trial++ {
+		faults := num.RandomSubset(rng, p.NHost(), p.K)
+		phi, err := Reconfigure(p, faults)
+		if err != nil {
+			t.Fatalf("faults %v: %v", faults, err)
+		}
+		if err := graph.CheckEmbedding(target, host, phi); err != nil {
+			t.Fatalf("faults %v: %v", faults, err)
+		}
+		bad := map[int]bool{}
+		for _, f := range faults {
+			bad[f] = true
+		}
+		for _, img := range phi {
+			if bad[img] {
+				t.Fatalf("faults %v: mapped onto faulty node %d", faults, img)
+			}
+		}
+	}
+}
+
+func TestReconfigureAdversarialPerCopyFaults(t *testing.T) {
+	// Hit k of the k+1 copies with one fault each; reconfigure must find
+	// the survivor.
+	p := Params{M: 2, H: 3, K: 2}
+	var faults []int
+	for i := 0; i < p.K; i++ {
+		nodes, _ := CopyNodes(p, i)
+		faults = append(faults, nodes[3])
+	}
+	phi, err := Reconfigure(p, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, _ := CopyNodes(p, p.K)
+	for x := range phi {
+		if phi[x] != survivor[x] {
+			t.Fatalf("expected survivor copy %d, got phi=%v", p.K, phi[:4])
+		}
+	}
+}
+
+func TestReconfigureFailsWhenAllCopiesHit(t *testing.T) {
+	p := Params{M: 2, H: 3, K: 1}
+	var faults []int
+	for i := 0; i <= p.K; i++ {
+		nodes, _ := CopyNodes(p, i)
+		faults = append(faults, nodes[0])
+	}
+	if _, err := Reconfigure(p, faults); err == nil {
+		t.Fatal("reconfigure should fail when every copy is hit")
+	}
+}
+
+func TestReconfigureRejectsBadFaults(t *testing.T) {
+	p := Params{M: 2, H: 3, K: 1}
+	if _, err := Reconfigure(p, []int{-1}); err == nil {
+		t.Error("negative fault accepted")
+	}
+	if _, err := Reconfigure(p, []int{p.NHost()}); err == nil {
+		t.Error("out-of-range fault accepted")
+	}
+}
+
+func TestHostDegreeMeasured(t *testing.T) {
+	p := Params{M: 2, H: 3, K: 1}
+	host := MustNew(p)
+	if host.MaxDegree() > p.HostDegree() {
+		t.Errorf("measured %d > declared %d", host.MaxDegree(), p.HostDegree())
+	}
+	// The whole point of the paper: baseline degree is comparable but its
+	// node count explodes; our degree is a bit larger, node count minimal.
+	our := ft.Params{M: 2, H: 3, K: 1}
+	if host.N() < 8*ft.MustNew(our).N()/2 {
+		t.Errorf("baseline %d nodes vs ours %d — expected explosion", host.N(), ft.MustNew(our).N())
+	}
+}

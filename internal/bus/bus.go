@@ -1,0 +1,185 @@
+// Package bus implements Section V of the paper: replacing each node's
+// out-block of point-to-point links with a single bus to cut the degree
+// of the fault-tolerant architecture almost in half.
+//
+// In B^k_{2,h}, node i is connected to the block of 2k+2 consecutive
+// nodes beginning at (2i - k) mod (2^h + k). The bus architecture gives
+// node i one bus that reaches exactly that block; a node's bus-degree is
+// the number of buses it touches — its own plus the buses of the nodes
+// whose block contains it — which is at most 2k+3.
+//
+// Buses are used restrictively (node i only ever talks on its own bus,
+// to a member of its block), so a faulty bus is handled by declaring its
+// OWNER faulty, and the ordinary node-fault machinery takes over.
+//
+// The implementation generalizes to base m (block size (m-1)(2k+1)+1,
+// bus-degree at most (m-1)(2k+1)+2); the paper presents base 2 only for
+// simplicity.
+package bus
+
+import (
+	"fmt"
+
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+)
+
+// Arch is a bus-based fault-tolerant de Bruijn architecture.
+type Arch struct {
+	P ft.Params
+	// members[i] is the block of nodes reachable on node i's bus
+	// (excluding i itself unless the block wraps onto it).
+	members [][]int
+	// busesAt[v] lists the bus owners whose block contains v, NOT
+	// counting v's own bus.
+	busesAt [][]int
+}
+
+// New builds the bus architecture for B^k_{m,h}.
+func New(p ft.Params) (*Arch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := p.NHost()
+	a := &Arch{
+		P:       p,
+		members: make([][]int, s),
+		busesAt: make([][]int, s),
+	}
+	for i := 0; i < s; i++ {
+		a.members[i] = ft.OutBlock(i, p)
+		for _, v := range a.members[i] {
+			a.busesAt[v] = append(a.busesAt[v], i)
+		}
+	}
+	return a, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p ft.Params) *Arch {
+	a, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// NumBuses returns the number of buses (one per node).
+func (a *Arch) NumBuses() int { return len(a.members) }
+
+// Members returns the nodes reachable on bus i (the out-block of node
+// i). The slice must not be modified.
+func (a *Arch) Members(i int) []int { return a.members[i] }
+
+// BusesAt returns the owners of the buses that node v can be reached on
+// (v's own bus not included). The slice must not be modified.
+func (a *Arch) BusesAt(v int) []int { return a.busesAt[v] }
+
+// BusDegree returns the number of buses incident to node v: its own bus
+// plus every bus whose block contains v. Duplicates (v inside its own
+// block, possible on tiny wrapped instances) are not double counted.
+func (a *Arch) BusDegree(v int) int {
+	d := 1 // own bus
+	for _, owner := range a.busesAt[v] {
+		if owner != v {
+			d++
+		}
+	}
+	return d
+}
+
+// MaxBusDegree returns the architecture's bus degree.
+func (a *Arch) MaxBusDegree() int {
+	max := 0
+	for v := range a.members {
+		if d := a.BusDegree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DegreeBound returns the paper's bus-degree bound: 2k+3 for base 2,
+// generalized to blockSize+1 = (m-1)(2k+1)+2 for base m.
+func (a *Arch) DegreeBound() int { return a.P.BlockSize() + 1 }
+
+// ConnectivityGraph returns the point-to-point graph realized by the
+// buses: an edge (i, v) for every v on bus i. By construction this is
+// exactly the fault-tolerant graph B^k_{m,h} (buses lose no
+// connectivity; they only serialize transfers).
+func (a *Arch) ConnectivityGraph() *graph.Graph {
+	b := graph.NewBuilder(len(a.members))
+	for i, block := range a.members {
+		for _, v := range block {
+			b.AddEdge(i, v) // self-loops dropped
+		}
+	}
+	return b.Build()
+}
+
+// FaultSet combines node faults and bus faults into the node fault set
+// used for reconfiguration, per Section V: a faulty bus makes its owner
+// faulty (the owner is the only node that transmits on it).
+func (a *Arch) FaultSet(nodeFaults, busFaults []int) ([]int, error) {
+	for _, b := range busFaults {
+		if b < 0 || b >= a.NumBuses() {
+			return nil, fmt.Errorf("bus: bus id %d out of range [0,%d)", b, a.NumBuses())
+		}
+	}
+	merged := make(map[int]bool, len(nodeFaults)+len(busFaults))
+	for _, v := range nodeFaults {
+		if v < 0 || v >= a.P.NHost() {
+			return nil, fmt.Errorf("bus: node %d out of range [0,%d)", v, a.P.NHost())
+		}
+		merged[v] = true
+	}
+	for _, b := range busFaults {
+		merged[b] = true // owner of bus b is node b
+	}
+	out := make([]int, 0, len(merged))
+	for v := range merged {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out, nil
+}
+
+// Reconfigure builds the reconfiguration map after node and bus faults.
+// The total number of distinct implied node faults must be within the
+// spare budget k.
+func (a *Arch) Reconfigure(nodeFaults, busFaults []int) (*ft.Mapping, error) {
+	faults, err := a.FaultSet(nodeFaults, busFaults)
+	if err != nil {
+		return nil, err
+	}
+	return ft.NewMapping(a.P.NTarget(), a.P.NHost(), faults)
+}
+
+// EdgeBus returns the bus that carries the reconfigured image of the
+// target edge y = X(x, m, r, m^h): the bus owned by phi(x), which by
+// Theorems 1/2 reaches phi(y). It validates the claim before returning.
+func (a *Arch) EdgeBus(mp *ft.Mapping, x, y, r int) (int, error) {
+	if _, err := ft.EdgeWitness(a.P, mp, x, y, r); err != nil {
+		return 0, err
+	}
+	owner := mp.Phi(x)
+	target := mp.Phi(y)
+	for _, v := range a.members[owner] {
+		if v == target {
+			return owner, nil
+		}
+	}
+	return 0, fmt.Errorf("bus: phi(y)=%d not on bus of phi(x)=%d", target, owner)
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

@@ -1,0 +1,66 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftnet/internal/ft"
+)
+
+func TestBusDegreeEqualsIncidenceCount(t *testing.T) {
+	// Property: BusDegree(v) == 1 + |BusesAt(v) \ {v}| for random params.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ft.Params{M: rng.Intn(3) + 2, H: 3, K: rng.Intn(4)}
+		a, err := New(p)
+		if err != nil {
+			return false
+		}
+		v := rng.Intn(p.NHost())
+		others := 0
+		for _, owner := range a.BusesAt(v) {
+			if owner != v {
+				others++
+			}
+		}
+		return a.BusDegree(v) == 1+others
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEveryNodeOwnsExactlyOneBus(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ft.Params{M: 2, H: rng.Intn(3) + 3, K: rng.Intn(5)}
+		a, err := New(p)
+		if err != nil {
+			return false
+		}
+		return a.NumBuses() == p.NHost()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockMembershipSymmetry(t *testing.T) {
+	// Property: v lists owner o in BusesAt(v) iff v is in Members(o).
+	p := ft.Params{M: 3, H: 3, K: 2}
+	a := MustNew(p)
+	for v := 0; v < p.NHost(); v++ {
+		for _, o := range a.BusesAt(v) {
+			found := false
+			for _, u := range a.Members(o) {
+				if u == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("BusesAt(%d) lists %d but Members(%d) misses %d", v, o, o, v)
+			}
+		}
+	}
+}

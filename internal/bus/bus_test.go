@@ -1,0 +1,216 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+func TestBusDegreeBound2k3(t *testing.T) {
+	// Section V: base-2 bus architecture has bus-degree at most 2k+3.
+	for h := 3; h <= 8; h++ {
+		for k := 0; k <= 6; k++ {
+			a := MustNew(ft.Params{M: 2, H: h, K: k})
+			if d := a.MaxBusDegree(); d > 2*k+3 {
+				t.Errorf("h=%d k=%d: bus degree %d > 2k+3 = %d", h, k, d, 2*k+3)
+			}
+			if a.DegreeBound() != 2*k+3 {
+				t.Errorf("h=%d k=%d: DegreeBound = %d", h, k, a.DegreeBound())
+			}
+		}
+	}
+}
+
+func TestBusDegreeBoundBaseM(t *testing.T) {
+	for _, m := range []int{3, 4} {
+		for k := 0; k <= 3; k++ {
+			p := ft.Params{M: m, H: 3, K: k}
+			a := MustNew(p)
+			if d := a.MaxBusDegree(); d > a.DegreeBound() {
+				t.Errorf("m=%d k=%d: bus degree %d > bound %d", m, k, d, a.DegreeBound())
+			}
+		}
+	}
+}
+
+func TestConnectivityEqualsFTGraph(t *testing.T) {
+	// The buses realize exactly the point-to-point fault-tolerant graph.
+	for _, p := range []ft.Params{
+		{M: 2, H: 3, K: 1}, {M: 2, H: 4, K: 2}, {M: 3, H: 3, K: 1}, {M: 2, H: 5, K: 3},
+	} {
+		a := MustNew(p)
+		if !a.ConnectivityGraph().Equal(ft.MustNew(p)) {
+			t.Errorf("%v: bus connectivity != B^k_{m,h}", p)
+		}
+	}
+}
+
+func TestMembersAreOutBlocks(t *testing.T) {
+	p := ft.Params{M: 2, H: 3, K: 1}
+	a := MustNew(p)
+	if a.NumBuses() != p.NHost() {
+		t.Fatalf("buses = %d", a.NumBuses())
+	}
+	for i := 0; i < a.NumBuses(); i++ {
+		want := ft.OutBlock(i, p)
+		got := a.Members(i)
+		if len(got) != len(want) {
+			t.Fatalf("bus %d: %v want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("bus %d: %v want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestBusesAtConsistent(t *testing.T) {
+	p := ft.Params{M: 2, H: 4, K: 2}
+	a := MustNew(p)
+	for v := 0; v < p.NHost(); v++ {
+		for _, owner := range a.BusesAt(v) {
+			found := false
+			for _, u := range a.Members(owner) {
+				if u == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("node %d listed on bus %d but not a member", v, owner)
+			}
+		}
+	}
+}
+
+func TestFig4B123BusExample(t *testing.T) {
+	// Fig. 4: B^1_{2,3} with buses — 9 nodes, bus of node i covers the
+	// 4 consecutive nodes from (2i-1) mod 9.
+	p := ft.Params{M: 2, H: 3, K: 1}
+	a := MustNew(p)
+	if a.NumBuses() != 9 {
+		t.Fatalf("buses = %d", a.NumBuses())
+	}
+	for i := 0; i < 9; i++ {
+		m := a.Members(i)
+		if len(m) != 4 {
+			t.Fatalf("bus %d size %d", i, len(m))
+		}
+		start := num.Mod(2*i-1, 9)
+		for j, v := range m {
+			if v != num.Mod(start+j, 9) {
+				t.Errorf("bus %d = %v, want block from %d", i, m, start)
+				break
+			}
+		}
+	}
+	if a.MaxBusDegree() > 5 {
+		t.Errorf("bus degree %d > 2k+3 = 5", a.MaxBusDegree())
+	}
+}
+
+func TestFaultSetMergesBusAndNodeFaults(t *testing.T) {
+	a := MustNew(ft.Params{M: 2, H: 3, K: 2})
+	fs, err := a.FaultSet([]int{4}, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs[0] != 4 || fs[1] != 7 {
+		t.Errorf("FaultSet = %v", fs)
+	}
+	// Duplicate node+bus fault collapses.
+	fs, err = a.FaultSet([]int{4}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Errorf("FaultSet = %v", fs)
+	}
+	if _, err := a.FaultSet(nil, []int{99}); err == nil {
+		t.Error("bad bus id accepted")
+	}
+	if _, err := a.FaultSet([]int{-1}, nil); err == nil {
+		t.Error("bad node id accepted")
+	}
+}
+
+func TestReconfigureWithBusFault(t *testing.T) {
+	// Fig. 5: reconfiguration after one fault in the bus architecture.
+	p := ft.Params{M: 2, H: 3, K: 1}
+	a := MustNew(p)
+	target := debruijn.MustNew(p.Target())
+	host := ft.MustNew(p)
+	// A single bus fault (bus 3) means node 3 is treated as faulty.
+	mp, err := a.Reconfigure(nil, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mp.IsFaulty(3) {
+		t.Error("bus owner not marked faulty")
+	}
+	if err := graph.CheckEmbedding(target, host, mp.PhiSlice()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconfigureBudgetExceeded(t *testing.T) {
+	a := MustNew(ft.Params{M: 2, H: 3, K: 1})
+	if _, err := a.Reconfigure([]int{1}, []int{5}); err == nil {
+		t.Error("two implied faults with k=1 should fail")
+	}
+	// But node fault + same-owner bus fault is only one implied fault.
+	if _, err := a.Reconfigure([]int{5}, []int{5}); err != nil {
+		t.Errorf("coincident faults should be fine: %v", err)
+	}
+}
+
+func TestEdgeBusCoversAllTargetEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, p := range []ft.Params{
+		{M: 2, H: 3, K: 1}, {M: 2, H: 4, K: 2}, {M: 3, H: 3, K: 1},
+	} {
+		a := MustNew(p)
+		for trial := 0; trial < 10; trial++ {
+			faults := num.RandomSubset(rng, p.NHost(), p.K)
+			mp, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := p.NTarget()
+			for x := 0; x < n; x++ {
+				for r := 0; r < p.M; r++ {
+					y := num.X(x, p.M, r, n)
+					if y == x {
+						continue
+					}
+					owner, err := a.EdgeBus(mp, x, y, r)
+					if err != nil {
+						t.Fatalf("%v edge (%d,%d): %v", p, x, y, err)
+					}
+					if owner != mp.Phi(x) {
+						t.Fatalf("edge (%d,%d): bus %d, want phi(x)=%d", x, y, owner, mp.Phi(x))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeBusRejectsNonEdge(t *testing.T) {
+	p := ft.Params{M: 2, H: 3, K: 1}
+	a := MustNew(p)
+	mp, _ := ft.NewMapping(p.NTarget(), p.NHost(), nil)
+	if _, err := a.EdgeBus(mp, 0, 5, 0); err == nil {
+		t.Error("non-edge accepted")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if _, err := New(ft.Params{M: 1, H: 3, K: 0}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

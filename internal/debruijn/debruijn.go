@@ -1,0 +1,139 @@
+// Package debruijn constructs base-m de Bruijn graphs B_{m,h}, the
+// target topologies of the paper's fault-tolerant constructions.
+//
+// Two equivalent definitions are provided and cross-checked in tests:
+//
+//   - the digit definition: node [x_{h-1},...,x_0]_m connects to
+//     [x_{h-2},...,x_0,r]_m and [r,x_{h-1},...,x_1]_m for all digits r;
+//   - the arithmetic definition the paper builds on: (x,y) is an edge
+//     iff there is r in {0..m-1} with y = X(x,m,r,m^h) or
+//     x = X(y,m,r,m^h), where X(z,m,r,s) = (zm+r) mod s.
+//
+// Per the paper's convention, self-loops (e.g. node 0 and node m^h - 1)
+// are dropped, so those nodes have smaller degree; the graph degree is
+// at most 2m.
+package debruijn
+
+import (
+	"fmt"
+
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// Params identifies a de Bruijn graph B_{m,h}.
+type Params struct {
+	M int // base (alphabet size), >= 2
+	H int // number of digits, >= 1
+}
+
+// Validate reports whether the parameters identify a constructible graph.
+func (p Params) Validate() error {
+	if p.M < 2 {
+		return fmt.Errorf("debruijn: base m=%d must be >= 2", p.M)
+	}
+	if p.H < 1 {
+		return fmt.Errorf("debruijn: digits h=%d must be >= 1", p.H)
+	}
+	if _, err := num.IPow(p.M, p.H); err != nil {
+		return fmt.Errorf("debruijn: graph too large: %v", err)
+	}
+	return nil
+}
+
+// N returns the node count m^h.
+func (p Params) N() int { return num.MustIPow(p.M, p.H) }
+
+// String returns the paper's notation for the graph.
+func (p Params) String() string { return fmt.Sprintf("B_{%d,%d}", p.M, p.H) }
+
+// New builds B_{m,h} using the arithmetic (X function) definition.
+func New(p Params) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	b := graph.NewBuilder(n)
+	for x := 0; x < n; x++ {
+		for r := 0; r < p.M; r++ {
+			b.AddEdge(x, num.X(x, p.M, r, n)) // self-loops dropped by builder
+		}
+	}
+	return b.Build(), nil
+}
+
+// MustNew is New that panics on error; for use with compile-time-safe
+// parameters.
+func MustNew(p Params) *graph.Graph {
+	g, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NewDigitDefinition builds B_{m,h} from the digit-shift definition.
+// It exists to validate the equivalence the paper asserts ("It is easily
+// verified that this definition ... is equivalent"); library users
+// should call New.
+func NewDigitDefinition(p Params) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	b := graph.NewBuilder(n)
+	for x := 0; x < n; x++ {
+		d := num.MustToDigits(x, p.M, p.H)
+		for r := 0; r < p.M; r++ {
+			b.AddEdge(x, d.ShiftLeftIn(r).Value())
+			b.AddEdge(x, d.ShiftRightIn(r).Value())
+		}
+	}
+	return b.Build(), nil
+}
+
+// ApplyLabels sets each node's display label to its h-digit base-m
+// representation, matching the paper's figures.
+func ApplyLabels(g *graph.Graph, p Params) {
+	for x := 0; x < g.N(); x++ {
+		d := num.MustToDigits(x, p.M, p.H)
+		s := ""
+		for _, v := range d.D {
+			if p.M <= 10 {
+				s += fmt.Sprintf("%d", v)
+			} else {
+				s += fmt.Sprintf("%d.", v)
+			}
+		}
+		g.SetLabel(x, s)
+	}
+}
+
+// OutNeighbors returns the "successor" endpoints X(x,m,r,m^h) for
+// r = 0..m-1, excluding x itself. These are the nodes reached by
+// shifting in a new low digit — the direction used by routing.
+func OutNeighbors(x int, p Params) []int {
+	n := p.N()
+	out := make([]int, 0, p.M)
+	for r := 0; r < p.M; r++ {
+		y := num.X(x, p.M, r, n)
+		if y != x {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// InNeighbors returns the "predecessor" endpoints: nodes y with
+// x = X(y,m,r,m^h) for some r, excluding x itself.
+func InNeighbors(x int, p Params) []int {
+	d := num.MustToDigits(x, p.M, p.H)
+	out := make([]int, 0, p.M)
+	for r := 0; r < p.M; r++ {
+		y := d.ShiftRightIn(r).Value()
+		if y != x {
+			out = append(out, y)
+		}
+	}
+	return out
+}

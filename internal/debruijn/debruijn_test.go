@@ -1,0 +1,175 @@
+package debruijn
+
+import (
+	"testing"
+
+	"ftnet/internal/num"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{M: 2, H: 4}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Params{M: 1, H: 4}).Validate(); err == nil {
+		t.Error("m=1 should be invalid")
+	}
+	if err := (Params{M: 2, H: 0}).Validate(); err == nil {
+		t.Error("h=0 should be invalid")
+	}
+	if err := (Params{M: 2, H: 80}).Validate(); err == nil {
+		t.Error("2^80 should overflow")
+	}
+}
+
+func TestDefinitionsAgree(t *testing.T) {
+	// The paper asserts the digit definition and the X-function
+	// definition are equivalent; verify across a parameter sweep.
+	for _, p := range []Params{
+		{2, 1}, {2, 3}, {2, 4}, {2, 6}, {3, 3}, {3, 4}, {4, 3}, {5, 2}, {7, 2},
+	} {
+		a, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewDigitDefinition(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%v: definitions disagree (X: %v, digit: %v)", p, a, b)
+		}
+	}
+}
+
+func TestB24MatchesFigure1(t *testing.T) {
+	// Fig. 1 of the paper shows B_{2,4}: 16 nodes, degree <= 4.
+	// Known adjacencies from the binary definition: node 5=0101 connects
+	// to 1010 (10), 1011 (11), 0010 (2), 1010... let's verify a few edges
+	// that follow directly from the shift rule.
+	g := MustNew(Params{2, 4})
+	if g.N() != 16 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if g.MaxDegree() > 4 {
+		t.Errorf("max degree %d > 4", g.MaxDegree())
+	}
+	wantEdges := [][2]int{
+		{0, 1},   // 0000 -> 0001
+		{5, 10},  // 0101 -> 1010 (shift left in 0)
+		{5, 11},  // 0101 -> 1011
+		{5, 2},   // 0010 -> 0101 (shift left in 1)
+		{15, 14}, // 1111 -> 1110
+		{8, 1},   // 1000 -> 0001
+		{8, 4},   // 0100 -> 1000
+	}
+	for _, e := range wantEdges {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("edge (%d,%d) missing from B_{2,4}", e[0], e[1])
+		}
+	}
+	// 0000 and 1111 have self-loops that must be dropped: their degree is
+	// at most 3 (0 connects to 1 and 8; 1 appears twice... enumerate).
+	if g.HasEdge(0, 0) {
+		t.Error("self-loop on 0")
+	}
+}
+
+func TestDegreeBound(t *testing.T) {
+	for _, p := range []Params{{2, 3}, {2, 5}, {2, 8}, {3, 3}, {3, 4}, {4, 3}, {5, 3}} {
+		g := MustNew(p)
+		if g.MaxDegree() > 2*p.M {
+			t.Errorf("%v: max degree %d > 2m = %d", p, g.MaxDegree(), 2*p.M)
+		}
+		if g.N() != p.N() {
+			t.Errorf("%v: n = %d, want %d", p, g.N(), p.N())
+		}
+	}
+}
+
+func TestConnectedness(t *testing.T) {
+	for _, p := range []Params{{2, 3}, {2, 6}, {3, 3}, {4, 2}, {5, 3}} {
+		g := MustNew(p)
+		if !g.IsConnected() {
+			t.Errorf("%v should be connected", p)
+		}
+	}
+}
+
+func TestDiameterIsH(t *testing.T) {
+	// The de Bruijn graph has diameter exactly h (undirected can be less,
+	// but never more: any target reachable in h shifts).
+	for _, p := range []Params{{2, 3}, {2, 5}, {3, 3}, {4, 2}} {
+		g := MustNew(p)
+		if d := g.Diameter(); d > p.H || d < 1 {
+			t.Errorf("%v: diameter %d out of (0, %d]", p, d, p.H)
+		}
+	}
+}
+
+func TestOutInNeighbors(t *testing.T) {
+	p := Params{2, 4}
+	g := MustNew(p)
+	for x := 0; x < g.N(); x++ {
+		for _, y := range OutNeighbors(x, p) {
+			if !g.HasEdge(x, y) {
+				t.Errorf("out-neighbor (%d,%d) not an edge", x, y)
+			}
+		}
+		for _, y := range InNeighbors(x, p) {
+			if !g.HasEdge(x, y) {
+				t.Errorf("in-neighbor (%d,%d) not an edge", x, y)
+			}
+		}
+	}
+	// In/out are mutually consistent: y in Out(x) iff x in In(y).
+	for x := 0; x < g.N(); x++ {
+		for _, y := range OutNeighbors(x, p) {
+			found := false
+			for _, z := range InNeighbors(y, p) {
+				if z == x {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("asymmetry: %d in Out(%d) but %d not in In(%d)", y, x, x, y)
+			}
+		}
+	}
+}
+
+func TestOutNeighborsMatchShift(t *testing.T) {
+	p := Params{3, 3}
+	for x := 0; x < p.N(); x++ {
+		d := num.MustToDigits(x, p.M, p.H)
+		want := map[int]bool{}
+		for r := 0; r < p.M; r++ {
+			v := d.ShiftLeftIn(r).Value()
+			if v != x {
+				want[v] = true
+			}
+		}
+		for _, y := range OutNeighbors(x, p) {
+			if !want[y] {
+				t.Errorf("OutNeighbors(%d) contains unexpected %d", x, y)
+			}
+		}
+	}
+}
+
+func TestApplyLabels(t *testing.T) {
+	p := Params{2, 3}
+	g := MustNew(p)
+	ApplyLabels(g, p)
+	if g.Label(5) != "101" {
+		t.Errorf("label(5) = %q, want 101", g.Label(5))
+	}
+	if g.Label(0) != "000" {
+		t.Errorf("label(0) = %q, want 000", g.Label(0))
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if s := (Params{2, 4}).String(); s != "B_{2,4}" {
+		t.Errorf("String = %q", s)
+	}
+}

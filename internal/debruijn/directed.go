@@ -1,0 +1,172 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"ftnet/internal/num"
+)
+
+// The de Bruijn graph is naturally a DIRECTED graph (x -> xm+r mod m^h);
+// the paper works with its undirected shadow. This file implements the
+// directed structure, which carries the two classical facts the
+// generators are cross-checked against:
+//
+//   - B_{m,h+1} is the line digraph of B_{m,h};
+//   - B_{m,h} is Eulerian, and an Euler circuit of B_{m,h} spells a
+//     de Bruijn sequence of order h+1.
+
+// Digraph is a compact directed multigraph with arcs ordered by source;
+// de Bruijn digraphs have exactly m out-arcs per node (including
+// self-loops, which ARE meaningful here).
+type Digraph struct {
+	n   int
+	out [][]int
+}
+
+// NewDirected builds the directed de Bruijn graph: arc x -> X(x,m,r,m^h)
+// for every digit r, INCLUDING self-loops (0 -> 0 and m^h-1 -> m^h-1).
+func NewDirected(p Params) (*Digraph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	d := &Digraph{n: n, out: make([][]int, n)}
+	for x := 0; x < n; x++ {
+		d.out[x] = make([]int, p.M)
+		for r := 0; r < p.M; r++ {
+			d.out[x][r] = num.X(x, p.M, r, n)
+		}
+	}
+	return d, nil
+}
+
+// MustNewDirected is NewDirected that panics on error.
+func MustNewDirected(p Params) *Digraph {
+	d, err := NewDirected(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// N returns the node count.
+func (d *Digraph) N() int { return d.n }
+
+// Out returns the out-neighbors of x in digit order (arc r leads to
+// Out(x)[r]). The slice must not be modified.
+func (d *Digraph) Out(x int) []int { return d.out[x] }
+
+// OutDegree returns the out-degree of x.
+func (d *Digraph) OutDegree(x int) int { return len(d.out[x]) }
+
+// InDegree returns the in-degree of x (counting multiplicity).
+func (d *Digraph) InDegree(x int) int {
+	count := 0
+	for u := 0; u < d.n; u++ {
+		for _, v := range d.out[u] {
+			if v == x {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// IsEulerian reports whether every node has equal in- and out-degree
+// and the graph is connected — true for every de Bruijn digraph.
+func (d *Digraph) IsEulerian() bool {
+	for x := 0; x < d.n; x++ {
+		if d.InDegree(x) != d.OutDegree(x) {
+			return false
+		}
+	}
+	// Connectivity via forward BFS from 0 (de Bruijn digraphs are
+	// strongly connected; for the general case this is an approximation
+	// adequate to our use).
+	seen := make([]bool, d.n)
+	seen[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range d.out[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// EulerCircuit returns an Euler circuit as the sequence of visited nodes
+// (first node repeated at the end), using Hierholzer's algorithm. The
+// circuit has n*m arcs.
+func (d *Digraph) EulerCircuit() ([]int, error) {
+	if !d.IsEulerian() {
+		return nil, fmt.Errorf("debruijn: digraph is not Eulerian")
+	}
+	next := make([]int, d.n) // next unused arc index per node
+	total := 0
+	for x := 0; x < d.n; x++ {
+		total += len(d.out[x])
+	}
+	// Hierholzer with an explicit stack.
+	stack := []int{0}
+	circuit := make([]int, 0, total+1)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if next[v] < len(d.out[v]) {
+			stack = append(stack, d.out[v][next[v]])
+			next[v]++
+		} else {
+			circuit = append(circuit, v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(circuit) != total+1 {
+		return nil, fmt.Errorf("debruijn: digraph not strongly arc-connected (circuit %d of %d arcs)",
+			len(circuit)-1, total)
+	}
+	// Hierholzer emits the circuit reversed; reverse in place.
+	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
+		circuit[i], circuit[j] = circuit[j], circuit[i]
+	}
+	return circuit, nil
+}
+
+// SequenceFromEuler derives a de Bruijn sequence of order h+1 from an
+// Euler circuit of B_{m,h}: each arc x -> y contributes the digit
+// y mod m (the digit shifted in).
+func SequenceFromEuler(p Params, circuit []int) []int {
+	seq := make([]int, 0, len(circuit)-1)
+	for i := 0; i+1 < len(circuit); i++ {
+		seq = append(seq, circuit[i+1]%p.M)
+	}
+	return seq
+}
+
+// IsLineDigraphStep verifies the line-digraph law on a concrete arc: the
+// arcs of B_{m,h} correspond 1-1 to the nodes of B_{m,h+1} via
+// arc (x -> y) |-> node x*m + (y mod m), and arc adjacency in B_{m,h}
+// (head of one = tail of next) maps to arcs of B_{m,h+1}.
+func IsLineDigraphStep(p Params, x, r1, r2 int) error {
+	n := p.N()
+	y := num.X(x, p.M, r1, n)
+	z := num.X(y, p.M, r2, n)
+	// Arc ids as nodes of B_{m,h+1}.
+	arc1 := x*p.M + (y % p.M)
+	arc2 := y*p.M + (z % p.M)
+	big := Params{M: p.M, H: p.H + 1}
+	want := num.X(arc1, p.M, z%p.M, big.N())
+	if want != arc2 {
+		return fmt.Errorf("debruijn: line digraph law fails at x=%d r1=%d r2=%d: %d != %d",
+			x, r1, r2, want, arc2)
+	}
+	return nil
+}

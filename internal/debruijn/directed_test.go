@@ -1,0 +1,139 @@
+package debruijn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectedStructure(t *testing.T) {
+	for _, p := range []Params{{2, 3}, {2, 5}, {3, 3}, {4, 2}} {
+		d := MustNewDirected(p)
+		if d.N() != p.N() {
+			t.Fatalf("%v: n=%d", p, d.N())
+		}
+		for x := 0; x < d.N(); x++ {
+			if d.OutDegree(x) != p.M {
+				t.Errorf("%v: outdeg(%d)=%d, want m", p, x, d.OutDegree(x))
+			}
+			if d.InDegree(x) != p.M {
+				t.Errorf("%v: indeg(%d)=%d, want m", p, x, d.InDegree(x))
+			}
+		}
+	}
+}
+
+func TestDirectedSelfLoops(t *testing.T) {
+	// Directed de Bruijn keeps its self-loops: 0 -> 0 and n-1 -> n-1.
+	d := MustNewDirected(Params{2, 4})
+	if d.Out(0)[0] != 0 {
+		t.Error("0 -> 0 self-loop missing")
+	}
+	if d.Out(15)[1] != 15 {
+		t.Error("15 -> 15 self-loop missing")
+	}
+}
+
+func TestIsEulerian(t *testing.T) {
+	for _, p := range []Params{{2, 3}, {2, 6}, {3, 3}, {5, 2}} {
+		if !MustNewDirected(p).IsEulerian() {
+			t.Errorf("%v should be Eulerian", p)
+		}
+	}
+}
+
+func TestEulerCircuitIsValidAndComplete(t *testing.T) {
+	for _, p := range []Params{{2, 3}, {2, 5}, {3, 3}, {4, 2}} {
+		d := MustNewDirected(p)
+		circuit, err := d.EulerCircuit()
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		wantArcs := p.N() * p.M
+		if len(circuit) != wantArcs+1 {
+			t.Fatalf("%v: circuit length %d, want %d", p, len(circuit), wantArcs+1)
+		}
+		if circuit[0] != circuit[len(circuit)-1] {
+			t.Fatalf("%v: not a circuit", p)
+		}
+		// Every arc used exactly once.
+		used := map[[3]int]int{} // (u, v, multiplicity-slot) -> count
+		for i := 0; i+1 < len(circuit); i++ {
+			u, v := circuit[i], circuit[i+1]
+			// Count available parallel arcs u -> v.
+			avail := 0
+			for _, w := range d.Out(u) {
+				if w == v {
+					avail++
+				}
+			}
+			if avail == 0 {
+				t.Fatalf("%v: circuit uses non-arc %d->%d", p, u, v)
+			}
+			used[[3]int{u, v, 0}]++
+			if used[[3]int{u, v, 0}] > avail {
+				t.Fatalf("%v: arc %d->%d overused", p, u, v)
+			}
+		}
+	}
+}
+
+func TestEulerCircuitSpellsDeBruijnSequence(t *testing.T) {
+	// An Euler circuit of B_{m,h} yields a de Bruijn sequence of order
+	// h+1: every (h+1)-window appears exactly once.
+	for _, p := range []Params{{2, 3}, {2, 4}, {3, 2}} {
+		d := MustNewDirected(p)
+		circuit, err := d.EulerCircuit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := SequenceFromEuler(p, circuit)
+		order := p.H + 1
+		n := p.N() * p.M // m^(h+1)
+		if len(seq) != n {
+			t.Fatalf("%v: sequence length %d, want %d", p, len(seq), n)
+		}
+		seen := make([]bool, n)
+		for i := range seq {
+			w := WindowValue(seq, i, p.M, order)
+			if seen[w] {
+				t.Fatalf("%v: window %d repeated in Euler-derived sequence", p, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestLineDigraphLaw(t *testing.T) {
+	// L(B_{m,h}) = B_{m,h+1}, checked arc-by-arc over random triples.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{M: rng.Intn(3) + 2, H: rng.Intn(3) + 2}
+		x := rng.Intn(p.N())
+		r1 := rng.Intn(p.M)
+		r2 := rng.Intn(p.M)
+		return IsLineDigraphStep(p, x, r1, r2) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineDigraphLawExhaustiveSmall(t *testing.T) {
+	p := Params{M: 2, H: 3}
+	for x := 0; x < p.N(); x++ {
+		for r1 := 0; r1 < p.M; r1++ {
+			for r2 := 0; r2 < p.M; r2++ {
+				if err := IsLineDigraphStep(p, x, r1, r2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestDirectedInvalidParams(t *testing.T) {
+	if _, err := NewDirected(Params{1, 3}); err == nil {
+		t.Error("m=1 accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package debruijn
+
+import (
+	"fmt"
+)
+
+// Sequence returns a de Bruijn sequence of order h over the alphabet
+// {0..m-1}: a cyclic string of length m^h in which every h-digit word
+// appears exactly once as a window. It uses the
+// Fredricksen–Kessler–Maiorana construction (concatenation of Lyndon
+// words whose length divides h), which needs no graph search.
+//
+// The existence of such sequences is the classical reason de Bruijn
+// graphs are Hamiltonian/Eulerian, and the test suite uses Sequence to
+// cross-validate the graph generators: consecutive windows of the
+// sequence must be adjacent nodes in B_{m,h}.
+func Sequence(m, h int) ([]int, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("debruijn.Sequence: base m=%d must be >= 2", m)
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("debruijn.Sequence: order h=%d must be >= 1", h)
+	}
+	var seq []int
+	a := make([]int, h+1)
+	var db func(t, p int)
+	db = func(t, p int) {
+		if t > h {
+			if h%p == 0 {
+				seq = append(seq, a[1:p+1]...)
+			}
+			return
+		}
+		a[t] = a[t-p]
+		db(t+1, p)
+		for j := a[t-p] + 1; j < m; j++ {
+			a[t] = j
+			db(t+1, t)
+		}
+	}
+	db(1, 1)
+	return seq, nil
+}
+
+// WindowValue returns the integer value of the h-window of seq starting
+// at position i (cyclically), interpreting digits in base m.
+func WindowValue(seq []int, i, m, h int) int {
+	v := 0
+	for j := 0; j < h; j++ {
+		v = v*m + seq[(i+j)%len(seq)]
+	}
+	return v
+}

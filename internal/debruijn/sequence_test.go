@@ -1,0 +1,75 @@
+package debruijn
+
+import (
+	"testing"
+)
+
+func TestSequenceCoversAllWindows(t *testing.T) {
+	for _, c := range []struct{ m, h int }{
+		{2, 1}, {2, 3}, {2, 5}, {2, 8}, {3, 3}, {3, 4}, {4, 3}, {5, 2},
+	} {
+		seq, err := Sequence(c.m, c.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1
+		for i := 0; i < c.h; i++ {
+			n *= c.m
+		}
+		if len(seq) != n {
+			t.Fatalf("(m=%d,h=%d): len = %d, want %d", c.m, c.h, len(seq), n)
+		}
+		seen := make([]bool, n)
+		for i := range seq {
+			w := WindowValue(seq, i, c.m, c.h)
+			if seen[w] {
+				t.Fatalf("(m=%d,h=%d): window %d repeated", c.m, c.h, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestSequenceWindowsWalkTheGraph(t *testing.T) {
+	// Consecutive windows of a de Bruijn sequence differ by one shift, so
+	// they must be adjacent nodes of B_{m,h} (or equal across the
+	// self-loop at a constant window — impossible within one cycle since
+	// windows are distinct).
+	for _, p := range []Params{{2, 4}, {3, 3}} {
+		g := MustNew(p)
+		seq, err := Sequence(p.M, p.H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			u := WindowValue(seq, i, p.M, p.H)
+			v := WindowValue(seq, i+1, p.M, p.H)
+			if u != v && !g.HasEdge(u, v) {
+				t.Fatalf("%v: consecutive windows %d,%d not adjacent", p, u, v)
+			}
+		}
+	}
+}
+
+func TestSequenceErrors(t *testing.T) {
+	if _, err := Sequence(1, 3); err == nil {
+		t.Error("m=1 should error")
+	}
+	if _, err := Sequence(2, 0); err == nil {
+		t.Error("h=0 should error")
+	}
+}
+
+func TestSequenceBinaryKnown(t *testing.T) {
+	// FKM for m=2, h=3 gives 00010111 (lexicographically least).
+	seq, err := Sequence(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 1, 0, 1, 1, 1}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+}

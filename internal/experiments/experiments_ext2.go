@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ftnet/internal/ascend"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+	"ftnet/internal/reconfig"
+	"ftnet/internal/shuffle"
+)
+
+// extendedMore returns the distributed-protocol and migration ablations.
+func extendedMore() []Experiment {
+	return []Experiment{
+		{"S4", "Distributed reconfiguration: fault dissemination rounds", S4},
+		{"A2", "Ablation: migration cost of the rank mapping under sequential faults", A2},
+		{"A3", "Ablation: witness usage — which host edges the remapping exercises", A3},
+		{"S5", "Bitonic sort (Ascend/Descend class) on healthy vs reconfigured machines", S5},
+	}
+}
+
+// S4 measures the distributed reconfiguration protocol: how many
+// synchronous flooding rounds healthy nodes need to learn the fault set
+// before each can compute its assignment locally. The answer tracks the
+// host diameter — reconfiguration latency is logarithmic in machine
+// size, one of the practical virtues of the rank-based mapping.
+func S4(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "h\tk\tnodes\thost diameter\tflood rounds (max over trials)")
+	rng := stableRng()
+	for h := 3; h <= 8; h++ {
+		for _, k := range []int{1, 3, 6} {
+			p := ft.Params{M: 2, H: h, K: k}
+			host := ft.MustNew(p)
+			diam := host.Diameter()
+			maxRounds := 0
+			for trial := 0; trial < 10; trial++ {
+				faults := num.RandomSubset(rng, p.NHost(), k)
+				out, err := reconfig.Run(host, p.NTarget(), faults)
+				if err != nil {
+					return fmt.Errorf("h=%d k=%d faults=%v: %w", h, k, faults, err)
+				}
+				if out.Rounds > maxRounds {
+					maxRounds = out.Rounds
+				}
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\n", h, k, p.NHost(), diam, maxRounds)
+		}
+	}
+	return tw.Flush()
+}
+
+// A2 quantifies a property the paper does not discuss but any deployer
+// hits: when faults arrive one at a time, how many target nodes must
+// MOVE to a different host under the rank-based remapping? Every target
+// whose host lies above the new fault shifts by one slot, so the
+// expected cost is about half the machine — the price of the minimal
+// spare count. (A scheme with dedicated per-region spares would move
+// fewer nodes but need more of them; this table documents the trade.)
+func A2(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "h\tk\tfault#\tnew fault at\ttargets moved\tof")
+	rng := stableRng()
+	for _, h := range []int{4, 6, 8} {
+		k := 4
+		p := ft.Params{M: 2, H: h, K: k}
+		var faults []int
+		prev, err := ft.NewMapping(p.NTarget(), p.NHost(), nil)
+		if err != nil {
+			return err
+		}
+		for step := 1; step <= k; step++ {
+			// Draw a new fault not already present.
+			var nf int
+			for {
+				nf = rng.Intn(p.NHost())
+				if !contains(faults, nf) {
+					break
+				}
+			}
+			faults = append(faults, nf)
+			cur, moved, err := prev.WithFault(nf)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\n", h, k, step, nf, moved, p.NTarget())
+			prev = cur
+		}
+	}
+	return tw.Flush()
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// A3 prints the witness histogram: which values s of the host edge rule
+// the reconfiguration actually exercises. With no faults only
+// {0, 1, k, k+1} are used; adversarial block faults drive usage to both
+// extremes of [-k, k+1] — every host edge class is needed (the
+// constructive companion to A1's destructive ablation).
+func A3(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "h\tk\tfault model\twitness support (s values used)")
+	for _, c := range []struct{ h, k int }{{4, 2}, {4, 3}, {5, 3}} {
+		p := ft.Params{M: 2, H: c.h, K: c.k}
+
+		noFaults, err := ft.NewMapping(p.NTarget(), p.NHost(), nil)
+		if err != nil {
+			return err
+		}
+		hist, err := ft.WitnessHistogram(p, noFaults)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%d\tnone\t%s\n", c.h, c.k, supportString(hist))
+
+		// Union of supports over all consecutive-block fault sets.
+		union := map[int]int{}
+		for start := 0; start < p.NHost(); start++ {
+			faults := make([]int, c.k)
+			for i := range faults {
+				faults[i] = (start + i) % p.NHost()
+			}
+			mp, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+			if err != nil {
+				return err
+			}
+			h2, err := ft.WitnessHistogram(p, mp)
+			if err != nil {
+				return err
+			}
+			for s, n := range h2 {
+				union[s] += n
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%d\tall blocks\t%s  (rule range [%d..%d])\n",
+			c.h, c.k, supportString(union), p.RMin(), p.RMax())
+	}
+	return tw.Flush()
+}
+
+func supportString(hist map[int]int) string {
+	min, max := 1<<30, -(1 << 30)
+	for s := range hist {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	parts := ""
+	for s := min; s <= max; s++ {
+		if hist[s] > 0 {
+			if parts != "" {
+				parts += ","
+			}
+			parts += fmt.Sprintf("%d", s)
+		}
+	}
+	return "{" + parts + "}"
+}
+
+// S5 runs Batcher's bitonic sort — the flagship Ascend/Descend
+// algorithm — on the healthy shuffle-exchange machine and on the
+// fault-tolerant host after k faults, confirming identical cycle counts
+// (dilation-1 reconfiguration) and a failed run on the unprotected
+// faulted machine.
+func S5(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "h\tk\thealthy cycles\tunprotected+1 fault\treconfigured cycles\tsorted")
+	rng := stableRng()
+	for h := 4; h <= 7; h++ {
+		n := 1 << h
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(10000))
+		}
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		healthy, err := ascendRunBitonic(h, ascendHealthy(se), vals)
+		if err != nil {
+			return err
+		}
+
+		broken := ascendHealthy(se)
+		broken.Dead[n/2] = true
+		unprotected := "FAILS"
+		if _, err := ascendRunBitonic(h, broken, vals); err == nil {
+			unprotected = "unexpectedly ok"
+		}
+
+		k := 3
+		p := ft.SEParams{H: h, K: k}
+		host, psi, err := ft.NewSEViaDB(p)
+		if err != nil {
+			return err
+		}
+		faults := num.RandomSubset(rng, p.NHost(), k)
+		loc, err := ft.SEMapViaDB(p, psi, faults)
+		if err != nil {
+			return err
+		}
+		dead := make([]bool, p.NHost())
+		for _, f := range faults {
+			dead[f] = true
+		}
+		res, err := ascendRunBitonic(h, &ascend.Host{G: host, Loc: loc, Dead: dead}, vals)
+		if err != nil {
+			return fmt.Errorf("h=%d: %w", h, err)
+		}
+		sorted := true
+		for i := 1; i < n; i++ {
+			if res.Values[i-1] > res.Values[i] {
+				sorted = false
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%d\t%v\n", h, k, healthy.Cycles, unprotected, res.Cycles, sorted)
+	}
+	return tw.Flush()
+}
+
+func ascendHealthy(g *graph.Graph) *ascend.Host { return ascend.NewHealthy(g) }
+
+func ascendRunBitonic(h int, hst *ascend.Host, vals []int64) (ascend.Result, error) {
+	return ascend.RunSchedule(h, hst, vals, ascend.BitonicSortSteps(h))
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ftnet/internal/ascend"
+	"ftnet/internal/baseline"
+	"ftnet/internal/bus"
+	"ftnet/internal/ft"
+	"ftnet/internal/num"
+	"ftnet/internal/shuffle"
+	"ftnet/internal/sim"
+)
+
+func newBusArch(p ft.Params) (*bus.Arch, error) { return bus.New(p) }
+
+// T4 sweeps the bus architecture: measured bus degree vs 2k+3, the
+// point-to-point degree it replaces, and a bus-fault reconfiguration
+// check.
+func T4(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "h\tk\tnodes\tbus degree\tbound 2k+3\tp2p degree 4k+4\tbus-fault reconfig")
+	for h := 3; h <= 8; h++ {
+		for k := 0; k <= 6; k++ {
+			p := ft.Params{M: 2, H: h, K: k}
+			a, err := bus.New(p)
+			if err != nil {
+				return err
+			}
+			status := "n/a (k=0)"
+			if k >= 1 {
+				// Fail one bus; owner becomes faulty; embedding must survive.
+				mp, err := a.Reconfigure(nil, []int{h % p.NHost()})
+				if err != nil {
+					return fmt.Errorf("%v: %w", p, err)
+				}
+				if err := ft.DeltaMonotone(mp); err != nil {
+					return fmt.Errorf("%v: %w", p, err)
+				}
+				status = "ok"
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				h, k, p.NHost(), a.MaxBusDegree(), 2*k+3, 4*k+4, status)
+		}
+	}
+	return tw.Flush()
+}
+
+// T5 regenerates the Section I comparison: this paper's constructions
+// versus the Samatham-Pradhan bigger-de-Bruijn scheme, for base 2 and
+// base m.
+func T5(w io.Writer) error {
+	fmt.Fprintln(w, "base 2 (target B_{2,h}, N = 2^h):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "N\tk\tours: nodes\tours: degree\tS-P: nodes\tS-P: degree (cited)")
+	for h := 3; h <= 12; h++ {
+		for _, k := range []int{1, 2, 4, 6} {
+			our := ft.Params{M: 2, H: h, K: k}
+			sp := baseline.Params{M: 2, H: h, K: k}
+			spNodes := "overflow"
+			if sp.Validate() == nil {
+				spNodes = fmt.Sprintf("%d", sp.NHost())
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%s\t%d\n",
+				our.NTarget(), k, our.NHost(), 4*k+4, spNodes, 4*k+2)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nbase m (target B_{m,3}):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "m\tN\tk\tours: nodes\tours: degree 4(m-1)k+2m\tS-P: nodes N(k+1)^h\tS-P: degree 2mk+2")
+	for _, m := range []int{2, 3, 4, 5} {
+		for _, k := range []int{1, 2, 4} {
+			our := ft.Params{M: m, H: 3, K: k}
+			sp := baseline.Params{M: m, H: 3, K: k}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				m, our.NTarget(), k, our.NHost(), our.DegreeBound(), sp.NHost(), sp.CitedDegree())
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Executable spot-check: both schemes really survive k faults on a
+	// concrete instance, at their respective node costs.
+	ourP := ft.Params{M: 2, H: 3, K: 2}
+	spP := baseline.Params{M: 2, H: 3, K: 2}
+	rng := stableRng()
+	faultsOur := num.RandomSubset(rng, ourP.NHost(), ourP.K)
+	if _, err := ft.NewMapping(ourP.NTarget(), ourP.NHost(), faultsOur); err != nil {
+		return err
+	}
+	faultsSP := num.RandomSubset(rng, spP.NHost(), spP.K)
+	if _, err := baseline.Reconfigure(spP, faultsSP); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nspot check, N=8, k=2: ours reconfigures with %d nodes; Samatham-Pradhan needs %d nodes\n",
+		ourP.NHost(), spP.NHost())
+	return nil
+}
+
+// S1 quantifies the paper's motivation: an Ascend (global sum) workload
+// on (a) the healthy machine, (b) the unprotected machine with one dead
+// node, (c) the fault-tolerant machine reconfigured around k faults.
+func S1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "h\tk\thealthy cycles\tfaulted unprotected\treconfigured FT cycles")
+	rng := stableRng()
+	for h := 4; h <= 8; h++ {
+		n := 1 << h
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i + 1)
+		}
+		se := shuffle.MustNew(shuffle.Params{H: h})
+
+		healthy, err := ascend.RunSE(h, ascend.NewHealthy(se), vals, ascend.Sum)
+		if err != nil {
+			return err
+		}
+
+		// One dead node on the unprotected machine.
+		broken := ascend.NewHealthy(se)
+		broken.Dead[n/3] = true
+		var unprotected string
+		if _, err := ascend.RunSE(h, broken, vals, ascend.Sum); err != nil {
+			frac, ferr := ascend.SurvivingFraction(h, broken, vals, ascend.Sum)
+			if ferr != nil {
+				return ferr
+			}
+			unprotected = fmt.Sprintf("FAILS (%.0f%% of results salvageable)", 100*frac)
+		} else {
+			unprotected = "unexpectedly ok"
+		}
+
+		for _, k := range []int{1, 3} {
+			p := ft.SEParams{H: h, K: k}
+			host, psi, err := ft.NewSEViaDB(p)
+			if err != nil {
+				return err
+			}
+			faults := num.RandomSubset(rng, p.NHost(), k)
+			loc, err := ft.SEMapViaDB(p, psi, faults)
+			if err != nil {
+				return err
+			}
+			dead := make([]bool, p.NHost())
+			for _, f := range faults {
+				dead[f] = true
+			}
+			res, err := ascend.RunSE(h, &ascend.Host{G: host, Loc: loc, Dead: dead}, vals, ascend.Sum)
+			if err != nil {
+				return fmt.Errorf("h=%d k=%d: %w", h, k, err)
+			}
+			want := int64(n) * int64(n+1) / 2
+			for _, v := range res.Values {
+				if v != want {
+					return fmt.Errorf("h=%d k=%d: wrong sum %d", h, k, v)
+				}
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%d\n", h, k, healthy.Cycles, unprotected, res.Cycles)
+		}
+	}
+	return tw.Flush()
+}
+
+// S2 reproduces the Section V slowdown argument on the simulator: each
+// node bursts one value to two successors; with 2 injection ports the
+// bus machine takes ~2x the cycles, with 1 port the two are equal.
+func S2(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "h\tk\tp2p 2-port\tbus 2-port\tp2p 1-port\tbus 1-port")
+	for h := 3; h <= 6; h++ {
+		for _, k := range []int{0, 1, 2} {
+			p := ft.Params{M: 2, H: h, K: k}
+			arch, err := bus.New(p)
+			if err != nil {
+				return err
+			}
+			g := arch.ConnectivityGraph()
+			var hops [][2]int
+			for i := 0; i < g.N(); i++ {
+				seen := 0
+				for _, v := range arch.Members(i) {
+					if v != i && seen < 2 {
+						hops = append(hops, [2]int{i, v})
+						seen++
+					}
+				}
+			}
+			cycles := func(m *sim.Machine) (int, error) {
+				st, err := sim.Run(m, sim.NeighborBurst(hops), 1000)
+				if err != nil {
+					return 0, err
+				}
+				if st.Stalled || st.Delivered != len(hops) {
+					return 0, fmt.Errorf("h=%d k=%d: %v", h, k, st)
+				}
+				return st.Cycles, nil
+			}
+			p2p2, err := cycles(sim.NewPointToPoint(g, 2))
+			if err != nil {
+				return err
+			}
+			bus2, err := cycles(sim.NewBusMachine(arch, 2))
+			if err != nil {
+				return err
+			}
+			p2p1, err := cycles(sim.NewPointToPoint(g, 1))
+			if err != nil {
+				return err
+			}
+			bus1, err := cycles(sim.NewBusMachine(arch, 1))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\n", h, k, p2p2, bus2, p2p1, bus1)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("F1"); !ok {
+		t.Error("F1 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id found")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"F1", "F2", "F3", "F4", "F5", "T1", "T2", "T3", "T4", "T5", "S1", "S2"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+}
+
+func TestF1ShowsDeBruijnStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := F1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "16 nodes") {
+		t.Errorf("F1 output missing node count:\n%s", out)
+	}
+	if !strings.Contains(out, "0101") {
+		t.Errorf("F1 output missing binary labels:\n%s", out)
+	}
+}
+
+func TestF3VerifiesEmbedding(t *testing.T) {
+	var buf bytes.Buffer
+	if err := F3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAULTY") || !strings.Contains(out, "embedding verified") {
+		t.Errorf("F3 output incomplete:\n%s", out)
+	}
+}
+
+func TestT5ShowsExplosion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := T5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// N=8, k=1: ours 9 nodes, S-P 64 nodes must appear.
+	if !strings.Contains(out, "Samatham-Pradhan needs") {
+		t.Errorf("T5 missing spot check:\n%s", out)
+	}
+}
+
+func TestS2ShapeHolds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := S2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Parse the table rows: p2p2=1, bus2=2, and p2p1 == bus1 for every row.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	rows := 0
+	for _, ln := range lines[1:] {
+		var h, k, p2p2, bus2, p2p1, bus1 int
+		if n, _ := fmt.Sscan(ln, &h, &k, &p2p2, &bus2, &p2p1, &bus1); n == 6 {
+			rows++
+			if bus2 < 2*p2p2 {
+				t.Errorf("h=%d k=%d: bus 2-port %d not ~2x p2p %d", h, k, bus2, p2p2)
+			}
+			if p2p1 != bus1 {
+				t.Errorf("h=%d k=%d: 1-port mismatch p2p=%d bus=%d", h, k, p2p1, bus1)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Fatalf("no data rows parsed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The figure experiments are fully deterministic; golden files pin their
+// exact output so structural regressions (a changed edge rule, a changed
+// reconfiguration) are caught as text diffs. Regenerate with:
+//
+//	go run ./cmd/ftbench -exp F2 | tail -n +2 > internal/experiments/testdata/F2.golden
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range []string{"F2", "F3", "F4"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+					id, buf.String(), want)
+			}
+		})
+	}
+}

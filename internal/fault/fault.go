@@ -1,0 +1,161 @@
+// Package fault provides node-fault models for exercising the
+// fault-tolerant constructions: random faults, adversarial patterns
+// (consecutive blocks, spare-targeting, degree-targeting), and a
+// deterministic spread. Edge faults are handled by the paper's
+// reduction — treat one endpoint of the faulty edge as faulty — which
+// Edge2Node implements.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// Model generates fault sets of a given size over a host of n nodes.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Generate returns a sorted set of k distinct faulty nodes in [0,n).
+	Generate(rng *rand.Rand, n, k int) []int
+}
+
+// Random faults: uniform k-subsets.
+type Random struct{}
+
+func (Random) Name() string { return "random" }
+
+func (Random) Generate(rng *rand.Rand, n, k int) []int {
+	return num.RandomSubset(rng, n, k)
+}
+
+// Block faults: k consecutive nodes starting at a random position
+// (wrapping). Consecutive faults are adversarial for the constructions
+// because the reconfiguration displacement jumps by k across the block,
+// stressing the extreme r values of the edge rule.
+type Block struct{}
+
+func (Block) Name() string { return "block" }
+
+func (Block) Generate(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("fault.Block: k=%d > n=%d", k, n))
+	}
+	if k == 0 {
+		return nil
+	}
+	start := rng.Intn(n)
+	out := make([]int, k)
+	for i := range out {
+		out[i] = (start + i) % n
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Spares faults: kill the highest-numbered nodes (the natural spares).
+// This forces phi to the identity on most of the range and checks the
+// construction does not silently depend on spares surviving.
+type Spares struct{}
+
+func (Spares) Name() string { return "spares" }
+
+func (Spares) Generate(_ *rand.Rand, n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = n - k + i
+	}
+	return out
+}
+
+// Spread faults: k evenly spaced nodes. Every fault contributes a
+// separate displacement step, producing the maximum number of distinct
+// delta values.
+type Spread struct{}
+
+func (Spread) Name() string { return "spread" }
+
+func (Spread) Generate(_ *rand.Rand, n, k int) []int {
+	if k == 0 {
+		return nil
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i * n / k
+	}
+	// Guarantee distinctness even when n < 2k.
+	for i := 1; i < k; i++ {
+		if out[i] <= out[i-1] {
+			out[i] = out[i-1] + 1
+		}
+	}
+	if out[k-1] >= n {
+		panic(fmt.Sprintf("fault.Spread: cannot place %d distinct faults in [0,%d)", k, n))
+	}
+	return out
+}
+
+// MaxDegree faults: kill the k highest-degree nodes of the given host
+// graph (ties broken by id). The most damaging pattern for naive
+// topologies.
+type MaxDegree struct{ Host *graph.Graph }
+
+func (MaxDegree) Name() string { return "maxdegree" }
+
+func (m MaxDegree) Generate(_ *rand.Rand, n, k int) []int {
+	if m.Host == nil || m.Host.N() != n {
+		panic("fault.MaxDegree: host graph missing or wrong size")
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := m.Host.Degree(ids[a]), m.Host.Degree(ids[b])
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	out := make([]int, k)
+	copy(out, ids[:k])
+	sort.Ints(out)
+	return out
+}
+
+// All returns the standard model suite used by verification sweeps over
+// the host graph g.
+func All(g *graph.Graph) []Model {
+	return []Model{Random{}, Block{}, Spares{}, Spread{}, MaxDegree{Host: g}}
+}
+
+// Edge2Node converts a set of faulty undirected edges into a node fault
+// set using the paper's reduction: a node incident to a faulty edge is
+// treated as faulty. For each edge the lower-numbered endpoint is chosen
+// unless it is already faulty, in which case the edge is already
+// disabled. The returned set is sorted and merged with nodeFaults.
+func Edge2Node(edges []graph.Edge, nodeFaults []int) []int {
+	faulty := make(map[int]bool, len(nodeFaults)+len(edges))
+	for _, v := range nodeFaults {
+		faulty[v] = true
+	}
+	for _, e := range edges {
+		if faulty[e.U] || faulty[e.V] {
+			continue // edge already dead
+		}
+		lo := e.U
+		if e.V < lo {
+			lo = e.V
+		}
+		faulty[lo] = true
+	}
+	out := make([]int, 0, len(faulty))
+	for v := range faulty {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

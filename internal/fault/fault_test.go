@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftnet/internal/graph"
+)
+
+func checkFaultSet(t *testing.T, name string, s []int, n, k int) {
+	t.Helper()
+	if len(s) != k {
+		t.Fatalf("%s: size %d, want %d", name, len(s), k)
+	}
+	for i, v := range s {
+		if v < 0 || v >= n {
+			t.Fatalf("%s: fault %d out of range [0,%d)", name, v, n)
+		}
+		if i > 0 && s[i-1] >= v {
+			t.Fatalf("%s: not sorted/distinct: %v", name, s)
+		}
+	}
+}
+
+func testGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+		b.AddEdge(i, (i+3)%n)
+	}
+	return b.Build()
+}
+
+func TestAllModelsProduceValidSets(t *testing.T) {
+	g := testGraph(20)
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range All(g) {
+		for k := 0; k <= 6; k++ {
+			s := m.Generate(rng, 20, k)
+			checkFaultSet(t, m.Name(), s, 20, k)
+		}
+	}
+}
+
+func TestRandomUniform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 5
+		k := rng.Intn(n)
+		s := (Random{}).Generate(rng, n, k)
+		if len(s) != k {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i-1] >= s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockIsConsecutiveModuloN(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 17
+		k := 4
+		s := (Block{}).Generate(rng, n, k)
+		checkFaultSet(t, "block", s, n, k)
+		// The set must be a cyclic run: the complement gaps must form a
+		// single run of length n-k.
+		inSet := make([]bool, n)
+		for _, v := range s {
+			inSet[v] = true
+		}
+		transitions := 0
+		for i := 0; i < n; i++ {
+			if inSet[i] != inSet[(i+1)%n] {
+				transitions++
+			}
+		}
+		if transitions != 2 {
+			t.Fatalf("block faults not one cyclic run: %v", s)
+		}
+	}
+}
+
+func TestSpares(t *testing.T) {
+	s := (Spares{}).Generate(nil, 10, 3)
+	want := []int{7, 8, 9}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("spares = %v", s)
+		}
+	}
+	if len((Spares{}).Generate(nil, 10, 0)) != 0 {
+		t.Error("k=0 should be empty")
+	}
+}
+
+func TestSpreadDistinct(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{16, 4}, {17, 5}, {9, 8}, {20, 1}} {
+		s := (Spread{}).Generate(nil, c.n, c.k)
+		checkFaultSet(t, "spread", s, c.n, c.k)
+	}
+}
+
+func TestMaxDegreePicksHubs(t *testing.T) {
+	// Star graph: center 0 has max degree.
+	b := graph.NewBuilder(6)
+	for i := 1; i < 6; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	s := (MaxDegree{Host: g}).Generate(nil, 6, 1)
+	if len(s) != 1 || s[0] != 0 {
+		t.Errorf("maxdegree = %v, want [0]", s)
+	}
+}
+
+func TestMaxDegreePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on size mismatch")
+		}
+	}()
+	(MaxDegree{Host: testGraph(5)}).Generate(nil, 9, 1)
+}
+
+func TestEdge2Node(t *testing.T) {
+	edges := []graph.Edge{{U: 2, V: 5}, {U: 7, V: 3}}
+	s := Edge2Node(edges, []int{1})
+	// Lower endpoints 2 and 3 become faulty, plus existing 1.
+	want := []int{1, 2, 3}
+	if len(s) != len(want) {
+		t.Fatalf("Edge2Node = %v, want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Edge2Node = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestEdge2NodeSkipsAlreadyDeadEdges(t *testing.T) {
+	edges := []graph.Edge{{U: 2, V: 5}}
+	s := Edge2Node(edges, []int{5})
+	// Edge (2,5) is already dead because 5 is faulty; 2 stays healthy.
+	if len(s) != 1 || s[0] != 5 {
+		t.Errorf("Edge2Node = %v, want [5]", s)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	g := testGraph(8)
+	seen := map[string]bool{}
+	for _, m := range All(g) {
+		if m.Name() == "" || seen[m.Name()] {
+			t.Errorf("bad or duplicate model name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}

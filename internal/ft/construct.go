@@ -1,0 +1,68 @@
+package ft
+
+import (
+	"fmt"
+
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// New builds the fault-tolerant de Bruijn graph B^k_{m,h} of
+// Sections III-B and IV-A: nodes {0 .. m^h+k-1}, and (x,y) is an edge
+// iff there exists r in {(m-1)(-k) .. (m-1)(k+1)} with
+// y = X(x, m, r, m^h+k) or x = X(y, m, r, m^h+k).
+//
+// For k = 0 the construction degenerates to the target graph B_{m,h}
+// itself (B^0_{m,h} = B_{m,h}).
+func New(p Params) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := p.NHost()
+	b := graph.NewBuilder(s)
+	for x := 0; x < s; x++ {
+		for r := p.RMin(); r <= p.RMax(); r++ {
+			b.AddEdge(x, num.X(x, p.M, r, s)) // self-loops dropped
+		}
+	}
+	return b.Build(), nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p Params) *graph.Graph {
+	g, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// OutBlock returns the consecutive block of host nodes that node x
+// connects to in the "successor" direction:
+// { X(x,m,r,s) : r = RMin()..RMax() }, i.e. the block of
+// (m-1)(2k+1)+1 consecutive nodes beginning at (mx + RMin()) mod s.
+// For m=2 this is the paper's block of 2k+2 consecutive nodes beginning
+// with (2x - k) mod (2^h + k). The block is returned in increasing-r
+// order and may wrap around; it can include x itself (the self-loop the
+// point-to-point graph drops, but which is harmless on a bus).
+func OutBlock(x int, p Params) []int {
+	s := p.NHost()
+	out := make([]int, 0, p.RMax()-p.RMin()+1)
+	for r := p.RMin(); r <= p.RMax(); r++ {
+		out = append(out, num.X(x, p.M, r, s))
+	}
+	return out
+}
+
+// BlockSize returns the size of each node's out-block,
+// (m-1)(2k+1) + 1; for m=2: 2k+2.
+func (p Params) BlockSize() int { return p.RMax() - p.RMin() + 1 }
+
+// ApplyHostLabels labels host nodes 0..N-1 with their eventual target
+// identity ("spare" for the k extra nodes); purely cosmetic, used by the
+// figure generators.
+func ApplyHostLabels(g *graph.Graph, p Params) {
+	for x := 0; x < g.N(); x++ {
+		g.SetLabel(x, fmt.Sprintf("%d", x))
+	}
+}

@@ -1,0 +1,204 @@
+package ft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/num"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{2, 4, 2}).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Params{{1, 4, 2}, {2, 2, 1}, {2, 4, -1}, {2, 70, 0}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", p)
+		}
+	}
+}
+
+func TestParamsFormulas(t *testing.T) {
+	p := Params{M: 3, H: 3, K: 2}
+	if p.NTarget() != 27 || p.NHost() != 29 {
+		t.Errorf("sizes: %d, %d", p.NTarget(), p.NHost())
+	}
+	if p.RMin() != -4 || p.RMax() != 6 {
+		t.Errorf("r range: [%d, %d]", p.RMin(), p.RMax())
+	}
+	if p.DegreeBound() != 4*2*2+6 {
+		t.Errorf("degree bound %d", p.DegreeBound())
+	}
+	if p.BlockSize() != 11 {
+		t.Errorf("block size %d", p.BlockSize())
+	}
+	if p.String() != "B^2_{3,3}" {
+		t.Errorf("String = %q", p.String())
+	}
+	p2 := Params{M: 2, H: 4, K: 3}
+	if p2.RMin() != -3 || p2.RMax() != 4 || p2.DegreeBound() != 16 || p2.BlockSize() != 8 {
+		t.Errorf("base-2 formulas wrong: %d %d %d %d", p2.RMin(), p2.RMax(), p2.DegreeBound(), p2.BlockSize())
+	}
+}
+
+func TestK0IsTargetGraph(t *testing.T) {
+	// B^0_{m,h} = B_{m,h} (the paper notes the construction degenerates).
+	for _, p := range []Params{{2, 3, 0}, {2, 5, 0}, {3, 3, 0}, {4, 3, 0}} {
+		ft := MustNew(p)
+		db := debruijn.MustNew(p.Target())
+		if !ft.Equal(db) {
+			t.Errorf("%v != target %v", p, p.Target())
+		}
+	}
+}
+
+func TestTargetIsSubgraphOfHost(t *testing.T) {
+	// The paper notes B_{2,h} is a subgraph of B^k_{2,h} under the
+	// identity labeling; same for base m.
+	for _, p := range []Params{{2, 3, 1}, {2, 4, 3}, {2, 5, 2}, {3, 3, 2}, {4, 3, 1}, {5, 3, 2}} {
+		host := MustNew(p)
+		target := debruijn.MustNew(p.Target())
+		ok := true
+		target.EachEdge(func(u, v int) bool {
+			if !host.HasEdge(u, v) {
+				t.Errorf("%v: target edge (%d,%d) missing from host", p, u, v)
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return
+		}
+	}
+}
+
+func TestNodeCountAndDegreeBound(t *testing.T) {
+	// Corollaries 1 and 3: N+k nodes, degree at most 4(m-1)k + 2m.
+	for m := 2; m <= 5; m++ {
+		for h := 3; h <= 4; h++ {
+			for k := 0; k <= 4; k++ {
+				p := Params{M: m, H: h, K: k}
+				g := MustNew(p)
+				if g.N() != p.NHost() {
+					t.Errorf("%v: n=%d, want %d", p, g.N(), p.NHost())
+				}
+				if g.MaxDegree() > p.DegreeBound() {
+					t.Errorf("%v: degree %d exceeds bound %d", p, g.MaxDegree(), p.DegreeBound())
+				}
+			}
+		}
+	}
+	// Deeper base-2 sweep (Corollary 1: degree <= 4k+4).
+	for h := 3; h <= 8; h++ {
+		for k := 0; k <= 6; k++ {
+			p := Params{M: 2, H: h, K: k}
+			g := MustNew(p)
+			if g.MaxDegree() > 4*k+4 {
+				t.Errorf("%v: degree %d > 4k+4 = %d", p, g.MaxDegree(), 4*k+4)
+			}
+		}
+	}
+}
+
+func TestCorollary2Degree8(t *testing.T) {
+	// Corollary 2: B^1_{2,h} has 2^h + 1 nodes and degree at most 8.
+	for h := 3; h <= 9; h++ {
+		p := Params{M: 2, H: h, K: 1}
+		g := MustNew(p)
+		if g.N() != (1<<h)+1 {
+			t.Errorf("h=%d: n=%d", h, g.N())
+		}
+		if g.MaxDegree() > 8 {
+			t.Errorf("h=%d: degree %d > 8", h, g.MaxDegree())
+		}
+	}
+}
+
+func TestCorollary4Degree6mMinus4(t *testing.T) {
+	// Corollary 4: B^1_{m,h} has m^h + 1 nodes and degree at most 6m-4.
+	for m := 2; m <= 6; m++ {
+		p := Params{M: m, H: 3, K: 1}
+		g := MustNew(p)
+		if g.MaxDegree() > 6*m-4 {
+			t.Errorf("m=%d: degree %d > 6m-4 = %d", m, g.MaxDegree(), 6*m-4)
+		}
+	}
+}
+
+func TestFig2B124(t *testing.T) {
+	// Fig. 2: B^1_{2,4} has 17 nodes; every node x connects to the block
+	// of 4 consecutive nodes starting at (2x-1) mod 17.
+	p := Params{M: 2, H: 4, K: 1}
+	g := MustNew(p)
+	if g.N() != 17 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for x := 0; x < 17; x++ {
+		for r := -1; r <= 2; r++ {
+			y := num.X(x, 2, r, 17)
+			if y != x && !g.HasEdge(x, y) {
+				t.Errorf("edge (%d,%d) (r=%d) missing", x, y, r)
+			}
+		}
+	}
+	if g.MaxDegree() > 8 {
+		t.Errorf("degree %d > 8", g.MaxDegree())
+	}
+}
+
+func TestOutBlockConsecutive(t *testing.T) {
+	p := Params{M: 2, H: 4, K: 2}
+	s := p.NHost()
+	for x := 0; x < s; x++ {
+		block := OutBlock(x, p)
+		if len(block) != p.BlockSize() {
+			t.Fatalf("block size %d, want %d", len(block), p.BlockSize())
+		}
+		start := num.Mod(2*x-p.K, s)
+		for i, v := range block {
+			if v != num.Mod(start+i, s) {
+				t.Errorf("block of %d not consecutive: %v", x, block)
+				break
+			}
+		}
+	}
+}
+
+func TestOutBlockEdgesExist(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{M: rng.Intn(3) + 2, H: 3, K: rng.Intn(4)}
+		g := MustNew(p)
+		x := rng.Intn(p.NHost())
+		for _, y := range OutBlock(x, p) {
+			if y != x && !g.HasEdge(x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHostConnected(t *testing.T) {
+	for _, p := range []Params{{2, 3, 1}, {2, 4, 3}, {3, 3, 2}, {2, 6, 5}} {
+		if !MustNew(p).IsConnected() {
+			t.Errorf("%v should be connected", p)
+		}
+	}
+}
+
+func TestApplyHostLabels(t *testing.T) {
+	p := Params{M: 2, H: 3, K: 1}
+	g := MustNew(p)
+	ApplyHostLabels(g, p)
+	if g.Label(8) != "8" {
+		t.Errorf("label = %q", g.Label(8))
+	}
+}

@@ -1,0 +1,150 @@
+package ft
+
+import (
+	"fmt"
+	"sort"
+
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// The paper closes hoping its techniques "lead to the development of
+// practical fault-tolerant architectures". This file generalizes the
+// construction from de Bruijn graphs to ANY target whose edges follow a
+// linear rule
+//
+//	(x, y) in E  iff  y = X(x, m, r, N) for some r in R  (or symmetric),
+//
+// with multiplier m >= 1 and an arbitrary digit set R ⊆ [0, N). The
+// same rank-based reconfiguration works; only the host's s-range
+// changes:
+//
+//	m = 1 (rings, chordal rings, circulants):  s in [min R, max R + k]
+//	  — for m=1 an edge wraps at most once, and the displacement term
+//	  delta_y - delta_x lies in [0, k] when x < y (no wrap) and
+//	  [-k, 0] + k when x > y (one wrap), giving [r, r+k] in both cases.
+//	  With R = {1} this reproduces Hayes's classic fault-tolerant ring:
+//	  N + k nodes, each linked to its k+1 successors, degree 2k+2.
+//
+//	m >= 2, R = {0..m-1}: the paper's own range
+//	  [(m-1)(-k), (m-1)(k+1)] (Theorems 1 and 2).
+//
+//	otherwise: the conservative range [min R - mk, max R + (m+1)k],
+//	  from t in [0, m] and delta_y - m*delta_x in [-mk, k]. Specialized
+//	  analyses can tighten this; the tests verify tolerance exhaustively
+//	  for every rule exercised.
+type GeneralParams struct {
+	M int   // multiplier, >= 1
+	N int   // target node count, >= 2
+	R []int // digit set, each in [0, N)
+	K int   // fault budget, >= 0
+}
+
+// Validate checks the rule.
+func (p GeneralParams) Validate() error {
+	if p.M < 1 {
+		return fmt.Errorf("ft: multiplier m=%d must be >= 1", p.M)
+	}
+	if p.N < 2 {
+		return fmt.Errorf("ft: target size N=%d must be >= 2", p.N)
+	}
+	if p.K < 0 {
+		return fmt.Errorf("ft: fault budget k=%d must be >= 0", p.K)
+	}
+	if len(p.R) == 0 {
+		return fmt.Errorf("ft: digit set R must be nonempty")
+	}
+	for _, r := range p.R {
+		if r < 0 || r >= p.N {
+			return fmt.Errorf("ft: digit r=%d out of range [0,%d)", r, p.N)
+		}
+	}
+	return nil
+}
+
+// SRange returns the host edge-rule range [smin, smax] per the case
+// analysis above.
+func (p GeneralParams) SRange() (int, int) {
+	minR, maxR := p.R[0], p.R[0]
+	for _, r := range p.R {
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if p.M == 1 {
+		return minR, maxR + p.K
+	}
+	if isFullDigitSet(p.R, p.M) {
+		return (p.M - 1) * (-p.K), (p.M - 1) * (p.K + 1)
+	}
+	return minR - p.M*p.K, maxR + (p.M+1)*p.K
+}
+
+func isFullDigitSet(r []int, m int) bool {
+	if len(r) != m {
+		return false
+	}
+	s := append([]int(nil), r...)
+	sort.Ints(s)
+	for i, v := range s {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTarget builds the target graph of the rule.
+func NewTarget(p GeneralParams) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(p.N)
+	for x := 0; x < p.N; x++ {
+		for _, r := range p.R {
+			b.AddEdge(x, num.X(x, p.M, r, p.N))
+		}
+	}
+	return b.Build(), nil
+}
+
+// NewGeneral builds the fault-tolerant host for the rule: N + k nodes,
+// edge (x, y) iff y = X(x, m, s, N+k) for some s in the SRange (or
+// symmetric).
+func NewGeneral(p GeneralParams) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := p.N + p.K
+	smin, smax := p.SRange()
+	b := graph.NewBuilder(s)
+	for x := 0; x < s; x++ {
+		for r := smin; r <= smax; r++ {
+			b.AddEdge(x, num.X(x, p.M, r, s))
+		}
+	}
+	return b.Build(), nil
+}
+
+// Ring returns the parameters of Hayes's fault-tolerant ring on N
+// nodes tolerating k faults: host N+k nodes, degree 2k+2.
+func Ring(n, k int) GeneralParams { return GeneralParams{M: 1, N: n, R: []int{1}, K: k} }
+
+// ChordalRing returns a ring with an extra chord of stride c.
+func ChordalRing(n, c, k int) GeneralParams {
+	return GeneralParams{M: 1, N: n, R: []int{1, c}, K: k}
+}
+
+// GeneralMapper returns a verify-compatible mapper for the rule.
+func GeneralMapper(p GeneralParams) func(faults []int) ([]int, error) {
+	return func(faults []int) ([]int, error) {
+		m, err := NewMapping(p.N, p.N+p.K, faults)
+		if err != nil {
+			return nil, err
+		}
+		return m.PhiSlice(), nil
+	}
+}

@@ -1,0 +1,178 @@
+package ft
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+func exhaustiveGeneralCheck(t *testing.T, p GeneralParams) {
+	t.Helper()
+	target, err := NewTarget(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := NewGeneral(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nHost := p.N + p.K
+	faults := make([]int, p.K)
+	num.Combinations(nHost, p.K, func(subset []int) bool {
+		copy(faults, subset)
+		m, err := NewMapping(p.N, nHost, faults)
+		if err != nil {
+			t.Fatalf("%+v faults=%v: %v", p, faults, err)
+		}
+		if err := graph.CheckEmbedding(target, host, m.PhiSlice()); err != nil {
+			t.Fatalf("%+v faults=%v: %v", p, faults, err)
+		}
+		return true
+	})
+}
+
+func TestGeneralRingIsHayesConstruction(t *testing.T) {
+	// Hayes's classic: FT ring C_N with k spares has each node linked to
+	// its k+1 cyclic successors, degree 2k+2 — and tolerates any k
+	// faults. Verify structure and tolerance exhaustively.
+	for _, c := range []struct{ n, k int }{{8, 1}, {8, 2}, {10, 3}, {12, 2}} {
+		p := Ring(c.n, c.k)
+		host, err := NewGeneral(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if host.N() != c.n+c.k {
+			t.Fatalf("ring host size %d", host.N())
+		}
+		if host.MaxDegree() > 2*c.k+2 {
+			t.Errorf("n=%d k=%d: FT ring degree %d > 2k+2 = %d", c.n, c.k, host.MaxDegree(), 2*c.k+2)
+		}
+		// Structure: node x links to x+1 .. x+k+1 (mod n+k).
+		s := c.n + c.k
+		for x := 0; x < s; x++ {
+			for d := 1; d <= c.k+1; d++ {
+				y := (x + d) % s
+				if y != x && !host.HasEdge(x, y) {
+					t.Fatalf("FT ring missing edge (%d,%d)", x, y)
+				}
+			}
+		}
+		exhaustiveGeneralCheck(t, p)
+	}
+}
+
+func TestGeneralChordalRing(t *testing.T) {
+	for _, c := range []struct{ n, chord, k int }{{10, 3, 1}, {12, 5, 2}} {
+		p := ChordalRing(c.n, c.chord, c.k)
+		exhaustiveGeneralCheck(t, p)
+	}
+}
+
+func TestGeneralSubsumesDeBruijn(t *testing.T) {
+	// With the full digit set the general construction must equal the
+	// paper's B^k_{m,h} exactly.
+	for _, c := range []struct{ m, h, k int }{{2, 3, 2}, {2, 4, 1}, {3, 3, 1}} {
+		dbp := Params{M: c.m, H: c.h, K: c.k}
+		gp := GeneralParams{M: c.m, N: dbp.NTarget(), R: fullDigits(c.m), K: c.k}
+		hostG, err := NewGeneral(gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hostG.Equal(MustNew(dbp)) {
+			t.Errorf("general(%+v) != %v", gp, dbp)
+		}
+		tgtG, err := NewTarget(gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tgtG.Equal(debruijn.MustNew(dbp.Target())) {
+			t.Errorf("general target != B_{%d,%d}", c.m, c.h)
+		}
+	}
+}
+
+func fullDigits(m int) []int {
+	r := make([]int, m)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+func TestGeneralPartialDigitSet(t *testing.T) {
+	// A de Bruijn-like rule with a sparse digit set (every node has out-
+	// edges only for r in {0, 2}), conservative s-range. Exhaustive.
+	p := GeneralParams{M: 3, N: 27, R: []int{0, 2}, K: 1}
+	exhaustiveGeneralCheck(t, p)
+}
+
+func TestGeneralRandomRules(t *testing.T) {
+	// Randomized rules, exhaustive fault enumeration per rule.
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 12; trial++ {
+		m := rng.Intn(3) + 1
+		n := rng.Intn(12) + 6
+		k := rng.Intn(3)
+		nr := rng.Intn(2) + 1
+		rset := map[int]bool{}
+		for len(rset) < nr {
+			rset[rng.Intn(n)] = true
+		}
+		var R []int
+		for r := range rset {
+			R = append(R, r)
+		}
+		p := GeneralParams{M: m, N: n, R: R, K: k}
+		exhaustiveGeneralCheck(t, p)
+	}
+}
+
+func TestGeneralValidate(t *testing.T) {
+	bad := []GeneralParams{
+		{M: 0, N: 8, R: []int{1}, K: 1},
+		{M: 1, N: 1, R: []int{0}, K: 1},
+		{M: 1, N: 8, R: nil, K: 1},
+		{M: 1, N: 8, R: []int{8}, K: 1},
+		{M: 1, N: 8, R: []int{1}, K: -1},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("%+v should be invalid", p)
+		}
+	}
+}
+
+func TestSRangeCases(t *testing.T) {
+	// m=1 ring: [1, 1+k].
+	if lo, hi := Ring(8, 3).SRange(); lo != 1 || hi != 4 {
+		t.Errorf("ring SRange = [%d,%d]", lo, hi)
+	}
+	// Full digit set: paper's range.
+	p := GeneralParams{M: 3, N: 27, R: []int{0, 1, 2}, K: 2}
+	if lo, hi := p.SRange(); lo != -4 || hi != 6 {
+		t.Errorf("full set SRange = [%d,%d]", lo, hi)
+	}
+	// Sparse set: conservative.
+	p2 := GeneralParams{M: 3, N: 27, R: []int{1}, K: 2}
+	lo, hi := p2.SRange()
+	if lo != 1-6 || hi != 1+8 {
+		t.Errorf("sparse SRange = [%d,%d]", lo, hi)
+	}
+}
+
+func TestGeneralDegreeRing(t *testing.T) {
+	// Degree table for FT rings: 2k+2 exactly (every node has k+1
+	// successors and k+1 predecessors).
+	for k := 0; k <= 5; k++ {
+		host, err := NewGeneral(Ring(16, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if host.MaxDegree() != 2*k+2 {
+			t.Errorf("k=%d: FT ring degree %d, want %d", k, host.MaxDegree(), 2*k+2)
+		}
+	}
+}

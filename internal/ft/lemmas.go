@@ -1,0 +1,101 @@
+package ft
+
+import (
+	"fmt"
+
+	"ftnet/internal/num"
+)
+
+// This file exposes the paper's technical lemmas as checkable functions.
+// They serve two purposes: the test suite exercises them as properties
+// over randomized inputs (machine-checking the paper's proofs on
+// concrete instances), and the tolerance verifier uses WrapCount to
+// recompute the edge witnesses of Theorems 1 and 2.
+
+// DeltaMonotone checks Lemma 1 on a concrete healthy set: for target
+// nodes a < b, the displacements delta_a = phi(a) - a and
+// delta_b = phi(b) - b satisfy delta_a <= delta_b. It returns an error
+// naming the first violation.
+func DeltaMonotone(m *Mapping) error {
+	prev := 0
+	for x := 0; x < m.NTarget; x++ {
+		d := m.Delta(x)
+		if d < 0 || d > m.NHost-m.NTarget {
+			return fmt.Errorf("ft: delta(%d) = %d outside [0, %d]", x, d, m.NHost-m.NTarget)
+		}
+		if x > 0 && d < prev {
+			return fmt.Errorf("ft: delta not monotone at %d: %d < %d", x, d, prev)
+		}
+		prev = d
+	}
+	return nil
+}
+
+// WrapCount returns the integer t with y = m*x + r - t*m^h for the
+// target edge y = X(x, m, r, m^h). Lemma 2 (base 2) and Lemma 3
+// (base m) bound t:
+//
+//	x < y  =>  t in {0, 1, ..., m-2}
+//	x > y  =>  t in {1, 2, ..., m-1}
+func WrapCount(x, y, r, m, h int) int {
+	n := num.MustIPow(m, h)
+	return (m*x + r - y) / n
+}
+
+// CheckWrapLemma validates Lemma 2/3 for a concrete target edge
+// y = X(x,m,r,m^h): it recomputes t and confirms the claimed range.
+func CheckWrapLemma(x, y, r, m, h int) error {
+	n := num.MustIPow(m, h)
+	if y != num.X(x, m, r, n) {
+		return fmt.Errorf("ft: (%d,%d) with r=%d is not a target edge", x, y, r)
+	}
+	if x == y {
+		return fmt.Errorf("ft: self-loop (%d,%d) is not an edge", x, y)
+	}
+	t := WrapCount(x, y, r, m, h)
+	if m*x+r-t*n != y {
+		return fmt.Errorf("ft: wrap count %d does not satisfy y = mx + r - t*m^h", t)
+	}
+	if x < y {
+		if t < 0 || t > m-2 {
+			return fmt.Errorf("ft: x<y but t=%d not in {0..%d}", t, m-2)
+		}
+	} else {
+		if t < 1 || t > m-1 {
+			return fmt.Errorf("ft: x>y but t=%d not in {1..%d}", t, m-1)
+		}
+	}
+	return nil
+}
+
+// EdgeWitness reproduces the constructive step of the proofs of
+// Theorems 1 and 2: for a target edge y = X(x, m, r, m^h) and a
+// reconfiguration map, it computes s = k*t + r + delta_y - m*delta_x
+// and verifies
+//
+//	phi(y) = X(phi(x), m, s, m^h + k)   with   s in [RMin(), RMax()].
+//
+// It returns s, or an error if the witness falls outside the edge rule —
+// which would falsify the theorem on this instance.
+func EdgeWitness(p Params, mp *Mapping, x, y, r int) (int, error) {
+	if err := CheckWrapLemma(x, y, r, p.M, p.H); err != nil {
+		return 0, err
+	}
+	t := WrapCount(x, y, r, p.M, p.H)
+	dx := mp.Delta(x)
+	dy := mp.Delta(y)
+	s := p.K*t + r + dy - m1(p.M, dx)
+	if s < p.RMin() || s > p.RMax() {
+		return 0, fmt.Errorf("ft: witness s=%d outside [%d,%d] for edge (%d,%d) r=%d", s, p.RMin(), p.RMax(), x, y, r)
+	}
+	host := p.NHost()
+	if got := num.X(mp.Phi(x), p.M, s, host); got != mp.Phi(y) {
+		return 0, fmt.Errorf("ft: X(phi(x)=%d, %d, s=%d, %d) = %d != phi(y)=%d",
+			mp.Phi(x), p.M, s, host, got, mp.Phi(y))
+	}
+	return s, nil
+}
+
+// m1 returns m*dx (named helper keeps the witness formula readable
+// against the paper: s = kt + r + delta_y - m*delta_x).
+func m1(m, dx int) int { return m * dx }

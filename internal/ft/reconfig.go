@@ -1,0 +1,94 @@
+package ft
+
+import (
+	"fmt"
+	"sort"
+
+	"ftnet/internal/num"
+)
+
+// Mapping is the reconfiguration of Section III-A: the monotone 1-to-1
+// assignment of target nodes to non-faulty host nodes. Target node x is
+// mapped to the (x+1)-st non-faulty host node, i.e. the unique healthy
+// node phi(x) with Rank(phi(x), healthy) = x.
+type Mapping struct {
+	NTarget int
+	NHost   int
+	Faults  []int // sorted, distinct
+	healthy []int // sorted complement of Faults in [0, NHost)
+}
+
+// NewMapping builds the reconfiguration map for the given fault set.
+// faults may be in any order; duplicates and out-of-range nodes are
+// rejected. The number of faults must not exceed NHost - NTarget (the
+// spare budget), or there would be too few healthy nodes left.
+func NewMapping(nTarget, nHost int, faults []int) (*Mapping, error) {
+	if nTarget < 0 || nHost < nTarget {
+		return nil, fmt.Errorf("ft: invalid sizes nTarget=%d nHost=%d", nTarget, nHost)
+	}
+	f := make([]int, len(faults))
+	copy(f, faults)
+	sort.Ints(f)
+	for i, v := range f {
+		if v < 0 || v >= nHost {
+			return nil, fmt.Errorf("ft: fault %d out of range [0,%d)", v, nHost)
+		}
+		if i > 0 && f[i-1] == v {
+			return nil, fmt.Errorf("ft: duplicate fault %d", v)
+		}
+	}
+	if len(f) > nHost-nTarget {
+		return nil, fmt.Errorf("ft: %d faults exceed spare budget %d", len(f), nHost-nTarget)
+	}
+	return &Mapping{
+		NTarget: nTarget,
+		NHost:   nHost,
+		Faults:  f,
+		healthy: num.Complement(f, nHost),
+	}, nil
+}
+
+// Phi returns the host node hosting target node x.
+func (m *Mapping) Phi(x int) int {
+	if x < 0 || x >= m.NTarget {
+		panic(fmt.Sprintf("ft: target node %d out of range [0,%d)", x, m.NTarget))
+	}
+	return m.healthy[x]
+}
+
+// PhiSlice returns the full embedding as a slice: PhiSlice()[x] = Phi(x).
+// The returned slice is a copy.
+func (m *Mapping) PhiSlice() []int {
+	out := make([]int, m.NTarget)
+	copy(out, m.healthy[:m.NTarget])
+	return out
+}
+
+// Delta returns phi(x) - x, the displacement of target node x. The
+// paper's proof shows 0 <= Delta(x) <= k and that Delta is monotone
+// non-decreasing (Lemma 1).
+func (m *Mapping) Delta(x int) int { return m.Phi(x) - x }
+
+// HostToTarget returns the inverse assignment: for each host node, the
+// target node it hosts, or -1 if it is faulty or an unused spare.
+func (m *Mapping) HostToTarget() []int {
+	inv := make([]int, m.NHost)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for x := 0; x < m.NTarget; x++ {
+		inv[m.healthy[x]] = x
+	}
+	return inv
+}
+
+// IsFaulty reports whether host node v is in the fault set.
+func (m *Mapping) IsFaulty(v int) bool { return num.ContainsSorted(m.Faults, v) }
+
+// Healthy returns the sorted list of non-faulty host nodes (including
+// unused spares beyond the first NTarget). The returned slice is a copy.
+func (m *Mapping) Healthy() []int {
+	out := make([]int, len(m.healthy))
+	copy(out, m.healthy)
+	return out
+}

@@ -1,0 +1,247 @@
+package ft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+func TestMappingNoFaultsIsIdentity(t *testing.T) {
+	m, err := NewMapping(16, 18, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 16; x++ {
+		if m.Phi(x) != x {
+			t.Errorf("Phi(%d) = %d, want identity", x, m.Phi(x))
+		}
+		if m.Delta(x) != 0 {
+			t.Errorf("Delta(%d) = %d", x, m.Delta(x))
+		}
+	}
+}
+
+func TestMappingSkipsFaults(t *testing.T) {
+	// Paper example: node 0 maps to the first non-faulty node.
+	m, err := NewMapping(16, 17, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phi(0) != 0 {
+		t.Errorf("Phi(0) = %d", m.Phi(0))
+	}
+	if m.Phi(1) != 2 {
+		t.Errorf("Phi(1) = %d, want 2 (skip fault at 1)", m.Phi(1))
+	}
+	if m.Phi(15) != 16 {
+		t.Errorf("Phi(15) = %d, want last node", m.Phi(15))
+	}
+	if !m.IsFaulty(1) || m.IsFaulty(2) {
+		t.Error("IsFaulty wrong")
+	}
+}
+
+func TestMappingErrors(t *testing.T) {
+	if _, err := NewMapping(16, 17, []int{1, 5}); err == nil {
+		t.Error("too many faults should error")
+	}
+	if _, err := NewMapping(16, 17, []int{17}); err == nil {
+		t.Error("out-of-range fault should error")
+	}
+	if _, err := NewMapping(16, 18, []int{3, 3}); err == nil {
+		t.Error("duplicate fault should error")
+	}
+	if _, err := NewMapping(16, 15, nil); err == nil {
+		t.Error("host smaller than target should error")
+	}
+	if _, err := NewMapping(-1, 5, nil); err == nil {
+		t.Error("negative target should error")
+	}
+}
+
+func TestMappingUnsortedFaultsAccepted(t *testing.T) {
+	m, err := NewMapping(8, 11, []int{9, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Faults[0] != 2 || m.Faults[1] != 5 || m.Faults[2] != 9 {
+		t.Errorf("faults not sorted: %v", m.Faults)
+	}
+}
+
+func TestMappingFewerThanKFaults(t *testing.T) {
+	// "given any set of k OR FEWER faults" — partial fault sets work.
+	m, err := NewMapping(16, 19, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DeltaMonotone(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHostToTarget(t *testing.T) {
+	m, _ := NewMapping(4, 6, []int{0, 3})
+	inv := m.HostToTarget()
+	// healthy = {1,2,4,5}; phi: 0->1, 1->2, 2->4, 3->5.
+	want := []int{-1, 0, 1, -1, 2, 3}
+	for i, v := range want {
+		if inv[i] != v {
+			t.Fatalf("HostToTarget = %v, want %v", inv, want)
+		}
+	}
+}
+
+func TestPhiSliceMatchesPhi(t *testing.T) {
+	m, _ := NewMapping(8, 10, []int{1, 7})
+	s := m.PhiSlice()
+	for x := 0; x < 8; x++ {
+		if s[x] != m.Phi(x) {
+			t.Errorf("PhiSlice[%d] = %d != Phi = %d", x, s[x], m.Phi(x))
+		}
+	}
+	// Mutating the returned slice must not affect the mapping.
+	s[0] = 99
+	if m.Phi(0) == 99 {
+		t.Error("PhiSlice aliases internal state")
+	}
+}
+
+func TestDeltaMonotoneProperty(t *testing.T) {
+	// Lemma 1 as a property over random fault sets.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTarget := rng.Intn(100) + 10
+		k := rng.Intn(10)
+		faults := num.RandomSubset(rng, nTarget+k, rng.Intn(k+1))
+		m, err := NewMapping(nTarget, nTarget+k, faults)
+		if err != nil {
+			return false
+		}
+		return DeltaMonotone(m) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhiIsStrictlyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTarget := rng.Intn(60) + 5
+		k := rng.Intn(8)
+		faults := num.RandomSubset(rng, nTarget+k, k)
+		m, err := NewMapping(nTarget, nTarget+k, faults)
+		if err != nil {
+			return false
+		}
+		for x := 1; x < nTarget; x++ {
+			if m.Phi(x) <= m.Phi(x-1) {
+				return false
+			}
+		}
+		for x := 0; x < nTarget; x++ {
+			if m.IsFaulty(m.Phi(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem1RandomFaults is the headline property: for random fault
+// sets of size k, the reconfiguration map embeds B_{2,h} into the
+// surviving part of B^k_{2,h}.
+func TestTheorem1RandomFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240612))
+	for h := 3; h <= 7; h++ {
+		for k := 0; k <= 5; k++ {
+			p := Params{M: 2, H: h, K: k}
+			host := MustNew(p)
+			target := debruijn.MustNew(p.Target())
+			for trial := 0; trial < 20; trial++ {
+				faults := num.RandomSubset(rng, p.NHost(), k)
+				m, err := NewMapping(p.NTarget(), p.NHost(), faults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := graph.CheckEmbedding(target, host, m.PhiSlice()); err != nil {
+					t.Fatalf("%v faults=%v: %v", p, faults, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem2RandomFaults: same for base m.
+func TestTheorem2RandomFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(612))
+	for _, m := range []int{3, 4, 5} {
+		for k := 0; k <= 4; k++ {
+			p := Params{M: m, H: 3, K: k}
+			host := MustNew(p)
+			target := debruijn.MustNew(p.Target())
+			for trial := 0; trial < 15; trial++ {
+				faults := num.RandomSubset(rng, p.NHost(), k)
+				mp, err := NewMapping(p.NTarget(), p.NHost(), faults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := graph.CheckEmbedding(target, host, mp.PhiSlice()); err != nil {
+					t.Fatalf("%v faults=%v: %v", p, faults, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem1Exhaustive checks EVERY fault set for small parameters —
+// the literal statement of (k, G)-tolerance.
+func TestTheorem1Exhaustive(t *testing.T) {
+	for _, c := range []Params{{2, 3, 1}, {2, 3, 2}, {2, 4, 1}, {3, 3, 1}} {
+		host := MustNew(c)
+		target := debruijn.MustNew(c.Target())
+		faults := make([]int, c.K)
+		count := num.Combinations(c.NHost(), c.K, func(subset []int) bool {
+			copy(faults, subset)
+			m, err := NewMapping(c.NTarget(), c.NHost(), faults)
+			if err != nil {
+				t.Fatalf("%v: %v", c, err)
+			}
+			if err := graph.CheckEmbedding(target, host, m.PhiSlice()); err != nil {
+				t.Fatalf("%v faults=%v: %v", c, faults, err)
+			}
+			return true
+		})
+		want, _ := num.Binomial(c.NHost(), c.K)
+		if count != want {
+			t.Errorf("%v: checked %d fault sets, want %d", c, count, want)
+		}
+	}
+}
+
+func TestHealthyIsCopy(t *testing.T) {
+	m, _ := NewMapping(4, 5, []int{2})
+	h := m.Healthy()
+	h[0] = 99
+	if m.Phi(0) == 99 {
+		t.Error("Healthy aliases internal state")
+	}
+}
+
+func TestPhiPanicsOutOfRange(t *testing.T) {
+	m, _ := NewMapping(4, 5, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Phi(4) did not panic")
+		}
+	}()
+	m.Phi(4)
+}

@@ -1,0 +1,114 @@
+package ft
+
+import (
+	"fmt"
+
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+	"ftnet/internal/shuffle"
+)
+
+// SEParams identifies a fault-tolerant shuffle-exchange network for
+// target SE_h tolerating k node faults.
+type SEParams struct {
+	H int // bits, >= 3
+	K int // fault budget, >= 0
+}
+
+// Validate checks the parameters.
+func (p SEParams) Validate() error {
+	return Params{M: 2, H: p.H, K: p.K}.Validate()
+}
+
+// DB returns the corresponding base-2 fault-tolerant de Bruijn
+// parameters (the host construction both variants build on).
+func (p SEParams) DB() Params { return Params{M: 2, H: p.H, K: p.K} }
+
+// NTarget returns 2^h.
+func (p SEParams) NTarget() int { return num.MustIPow(2, p.H) }
+
+// NHost returns 2^h + k.
+func (p SEParams) NHost() int { return p.NTarget() + p.K }
+
+// String returns a readable identifier.
+func (p SEParams) String() string { return fmt.Sprintf("FTSE^%d_%d", p.K, p.H) }
+
+// DegreeBoundViaDB is the paper's bound for the embedding-based variant:
+// the host is exactly B^k_{2,h}, so the degree is at most 4k+4.
+func (p SEParams) DegreeBoundViaDB() int { return 4*p.K + 4 }
+
+// DegreeBoundNatural bounds the natural-labeling variant implemented by
+// NewSENatural: the B^k_{2,h} edges (4k+4) plus the consecutive band of
+// width k+1 in each direction (2k+2), i.e. 6k+6 before overlap. The
+// paper states 6k+4 for its (not fully specified) natural construction;
+// tests measure the actual maximum, which lies between the two.
+func (p SEParams) DegreeBoundNatural() int { return 6*p.K + 6 }
+
+// NewSEViaDB returns the fault-tolerant shuffle-exchange network of
+// Section I / VI: the host graph is simply B^k_{2,h}, and the target
+// SE_h reaches it through a same-size embedding psi into B_{2,h}
+// composed with the de Bruijn reconfiguration map. The returned psi maps
+// SE node x to its de Bruijn identity; after k faults, SE node x lives
+// at host node phi(psi(x)).
+func NewSEViaDB(p SEParams) (host *graph.Graph, psi []int, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	host, err = New(p.DB())
+	if err != nil {
+		return nil, nil, err
+	}
+	psi, err = shuffle.EmbedIntoDeBruijn(p.H)
+	if err != nil {
+		return nil, nil, err
+	}
+	return host, psi, nil
+}
+
+// NewSENatural returns the fault-tolerant shuffle-exchange network under
+// the natural (identity) labeling: SE node x keeps its integer identity
+// and the reconfiguration map is applied to it directly.
+//
+// Required edges:
+//
+//   - Shuffle edges of SE_h are de Bruijn edges under the identity
+//     labeling, so the B^k_{2,h} edge rule covers their images
+//     (Theorem 1's proof applies verbatim).
+//   - Exchange edges join x and x+1 (x even) and never wrap; by
+//     Lemma 1 their images are a and a+d with d in {1 .. k+1}, so the
+//     host additionally carries every edge (a, a+d) with 1 <= d <= k+1.
+func NewSENatural(p SEParams) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dbHost, err := New(p.DB())
+	if err != nil {
+		return nil, err
+	}
+	s := p.NHost()
+	band := graph.NewBuilder(s)
+	for a := 0; a < s; a++ {
+		for d := 1; d <= p.K+1 && a+d < s; d++ {
+			band.AddEdge(a, a+d)
+		}
+	}
+	return graph.Union(dbHost, band.Build()), nil
+}
+
+// SEMapViaDB composes the SE->dB embedding with the de Bruijn
+// reconfiguration for a concrete fault set: the returned slice maps each
+// SE node to its healthy host node in B^k_{2,h}.
+func SEMapViaDB(p SEParams, psi []int, faults []int) ([]int, error) {
+	if len(psi) != p.NTarget() {
+		return nil, fmt.Errorf("ft: psi length %d != 2^h = %d", len(psi), p.NTarget())
+	}
+	mp, err := NewMapping(p.NTarget(), p.NHost(), faults)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, p.NTarget())
+	for x := range out {
+		out[x] = mp.Phi(psi[x])
+	}
+	return out, nil
+}

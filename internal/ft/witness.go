@@ -1,0 +1,72 @@
+package ft
+
+import (
+	"fmt"
+
+	"ftnet/internal/num"
+)
+
+// WitnessHistogram computes, for every directed target edge
+// y = X(x, m, r, m^h), the witness value s the reconfiguration actually
+// uses in the host edge rule, and returns the frequency of each s. The
+// support of the histogram shows which host edges earn their keep under
+// a concrete fault set; across adversarial fault sets the support
+// reaches both ends of [RMin, RMax] — the constructive side of the
+// tightness ablation (experiment A1 shows the destructive side).
+func WitnessHistogram(p Params, mp *Mapping) (map[int]int, error) {
+	if mp.NTarget != p.NTarget() || mp.NHost != p.NHost() {
+		return nil, fmt.Errorf("ft: mapping sized %d/%d does not match %v", mp.NTarget, mp.NHost, p)
+	}
+	hist := make(map[int]int)
+	n := p.NTarget()
+	for x := 0; x < n; x++ {
+		for r := 0; r < p.M; r++ {
+			y := num.X(x, p.M, r, n)
+			if y == x {
+				continue
+			}
+			s, err := EdgeWitness(p, mp, x, y, r)
+			if err != nil {
+				return nil, err
+			}
+			hist[s]++
+		}
+	}
+	return hist, nil
+}
+
+// WithFault returns a new mapping with one additional fault, plus the
+// number of target nodes whose host changed. It is the incremental form
+// of NewMapping for machines where faults arrive one at a time; the
+// rank structure means exactly the targets at or above the new fault's
+// healthy rank shift by one slot.
+func (m *Mapping) WithFault(f int) (*Mapping, int, error) {
+	if f < 0 || f >= m.NHost {
+		return nil, 0, fmt.Errorf("ft: fault %d out of range [0,%d)", f, m.NHost)
+	}
+	if m.IsFaulty(f) {
+		return nil, 0, fmt.Errorf("ft: node %d already faulty", f)
+	}
+	faults := append(append([]int(nil), m.Faults...), f)
+	nm, err := NewMapping(m.NTarget, m.NHost, faults)
+	if err != nil {
+		return nil, 0, err
+	}
+	moved := 0
+	for x := 0; x < m.NTarget; x++ {
+		if nm.Phi(x) != m.Phi(x) {
+			moved++
+		}
+	}
+	// Structural check: moved = NTarget - Rank(f, old healthy), clamped
+	// at 0 when f was an unused spare.
+	rank := num.Rank(f, m.healthy)
+	want := m.NTarget - rank
+	if want < 0 {
+		want = 0
+	}
+	if moved != want {
+		return nil, 0, fmt.Errorf("ft: internal error: moved %d != rank prediction %d", moved, want)
+	}
+	return nm, moved, nil
+}

@@ -1,0 +1,159 @@
+package ft
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/num"
+)
+
+func TestWitnessHistogramNoFaults(t *testing.T) {
+	// With no faults phi is the identity; witnesses are s = r + tk.
+	p := Params{M: 2, H: 4, K: 2}
+	mp, _ := NewMapping(p.NTarget(), p.NHost(), nil)
+	hist, err := WitnessHistogram(p, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r in {0,1}, t in {0,1}: s in {0, 1, k, k+1} = {0,1,2,3}.
+	for s := range hist {
+		if s != 0 && s != 1 && s != p.K && s != p.K+1 {
+			t.Errorf("unexpected witness %d with no faults", s)
+		}
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	// Directed non-loop target edges: 2*2^h - 2 self-loops.
+	if total != 2*p.NTarget()-2 {
+		t.Errorf("witness count %d, want %d", total, 2*p.NTarget()-2)
+	}
+}
+
+func TestWitnessHistogramWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		p := Params{M: rng.Intn(3) + 2, H: 3, K: rng.Intn(4) + 1}
+		faults := num.RandomSubset(rng, p.NHost(), p.K)
+		mp, err := NewMapping(p.NTarget(), p.NHost(), faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist, err := WitnessHistogram(p, mp)
+		if err != nil {
+			t.Fatalf("%v faults=%v: %v", p, faults, err)
+		}
+		for s := range hist {
+			if s < p.RMin() || s > p.RMax() {
+				t.Fatalf("%v: witness %d outside [%d,%d]", p, s, p.RMin(), p.RMax())
+			}
+		}
+	}
+}
+
+func TestWitnessExtremesAreReachable(t *testing.T) {
+	// Both ends of the r-range must actually occur for SOME fault set —
+	// the constructive companion to the A1 ablation. Consecutive-block
+	// fault sets are the natural adversary; scan all blocks.
+	p := Params{M: 2, H: 4, K: 3}
+	sawMin, sawMax := false, false
+	for start := 0; start < p.NHost(); start++ {
+		faults := make([]int, p.K)
+		for i := range faults {
+			faults[i] = (start + i) % p.NHost()
+		}
+		mp, err := NewMapping(p.NTarget(), p.NHost(), faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist, err := WitnessHistogram(p, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hist[p.RMin()] > 0 {
+			sawMin = true
+		}
+		if hist[p.RMax()] > 0 {
+			sawMax = true
+		}
+	}
+	if !sawMin {
+		t.Errorf("witness never reached RMin=%d across block fault sets", p.RMin())
+	}
+	if !sawMax {
+		t.Errorf("witness never reached RMax=%d across block fault sets", p.RMax())
+	}
+}
+
+func TestWitnessHistogramSizeMismatch(t *testing.T) {
+	p := Params{M: 2, H: 4, K: 2}
+	mp, _ := NewMapping(8, 10, nil)
+	if _, err := WitnessHistogram(p, mp); err == nil {
+		t.Error("mismatched mapping accepted")
+	}
+}
+
+func TestWithFaultIncremental(t *testing.T) {
+	p := Params{M: 2, H: 4, K: 3}
+	mp, err := NewMapping(p.NTarget(), p.NHost(), []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, moved, err := mp.WithFault(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nm.IsFaulty(10) || !nm.IsFaulty(5) {
+		t.Error("fault sets wrong after WithFault")
+	}
+	// Old healthy list: 0..4,6..18 -> rank of 10 is 9; moved = 16-9 = 7.
+	if moved != 7 {
+		t.Errorf("moved = %d, want 7", moved)
+	}
+	// Errors.
+	if _, _, err := nm.WithFault(10); err == nil {
+		t.Error("duplicate fault accepted")
+	}
+	if _, _, err := nm.WithFault(99); err == nil {
+		t.Error("out-of-range fault accepted")
+	}
+}
+
+func TestWithFaultSpareMovesNothing(t *testing.T) {
+	// Killing an unused spare (above every assigned slot) moves no one.
+	p := Params{M: 2, H: 3, K: 2}
+	mp, _ := NewMapping(p.NTarget(), p.NHost(), nil)
+	_, moved, err := mp.WithFault(p.NHost() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Errorf("killing top spare moved %d targets", moved)
+	}
+}
+
+func TestWithFaultSequenceMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := Params{M: 2, H: 5, K: 4}
+	faults := num.RandomSubset(rng, p.NHost(), p.K)
+	inc, err := NewMapping(p.NTarget(), p.NHost(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faults {
+		inc, _, err = inc.WithFault(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := NewMapping(p.NTarget(), p.NHost(), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < p.NTarget(); x++ {
+		if inc.Phi(x) != batch.Phi(x) {
+			t.Fatalf("incremental and batch mappings disagree at %d", x)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+// Connectivity analysis: how many node (or link) failures disconnect a
+// topology outright. This is the *passive* fault-tolerance measure
+// studied by Esfahanian and Hakimi for de Bruijn networks (the paper's
+// ref [8]) — the baseline against which the paper's spare-node approach
+// is an improvement: connectivity-based tolerance merely keeps the
+// network connected, while (k,G)-tolerance keeps the FULL topology.
+//
+// Both functions run unit-capacity max-flow (Edmonds–Karp) on small and
+// mid-size graphs; they are exact.
+
+// EdgeConnectivity returns the minimum number of edges whose removal
+// disconnects g, or n-1 for complete graphs' worth of redundancy;
+// 0 when g is already disconnected or has fewer than 2 nodes.
+func EdgeConnectivity(g *Graph) int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	// lambda = min over t != s of maxflow(s, t) with s fixed: every cut
+	// separates node 0 from some node.
+	best := -1
+	for t := 1; t < n; t++ {
+		f := maxflowEdges(g, 0, t)
+		if best == -1 || f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// VertexConnectivity returns the minimum number of nodes whose removal
+// disconnects g (or leaves a single node); n-1 for the complete graph.
+// Returns 0 for disconnected or trivial graphs.
+func VertexConnectivity(g *Graph) int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	// Complete graph: no vertex cut exists.
+	if g.M() == n*(n-1)/2 {
+		return n - 1
+	}
+	// kappa = min over non-adjacent pairs (s,t) of the max number of
+	// internally vertex-disjoint s-t paths. Fixing s as a minimum-degree
+	// node is NOT sufficient in general, so scan all non-adjacent pairs;
+	// the flow value is capped at min degree which keeps this fast for
+	// the sparse graphs in this repository.
+	best := n - 1
+	for s := 0; s < n; s++ {
+		if g.Degree(s) < best {
+			best = g.Degree(s) // deleting all neighbors isolates s
+		}
+		for t := s + 1; t < n; t++ {
+			if g.HasEdge(s, t) {
+				continue
+			}
+			f := maxflowVertexDisjoint(g, s, t, best)
+			if f < best {
+				best = f
+			}
+		}
+	}
+	return best
+}
+
+// maxflowEdges computes the max number of edge-disjoint s-t paths:
+// unit-capacity Edmonds-Karp where each undirected edge is a pair of
+// opposing unit arcs.
+func maxflowEdges(g *Graph, s, t int) int {
+	n := g.N()
+	// cap[u][idx] over adjacency: store residual as map on edge pairs.
+	type arc struct{ u, v int }
+	res := make(map[arc]int)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			res[arc{u, v}] = 1
+		}
+	}
+	flow := 0
+	parent := make([]int, n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if parent[v] == -1 && res[arc{u, v}] > 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return flow
+		}
+		for v := t; v != s; v = parent[v] {
+			u := parent[v]
+			res[arc{u, v}]--
+			res[arc{v, u}]++
+		}
+		flow++
+	}
+}
+
+// maxflowVertexDisjoint computes the max number of internally
+// vertex-disjoint s-t paths via node splitting: every node u other than
+// s and t becomes u_in -> u_out with capacity 1. The search stops early
+// once the flow reaches limit (a known upper bound), since only values
+// below limit matter to the caller.
+func maxflowVertexDisjoint(g *Graph, s, t, limit int) int {
+	n := g.N()
+	// Node ids: in(u) = 2u, out(u) = 2u+1.
+	in := func(u int) int { return 2 * u }
+	out := func(u int) int { return 2*u + 1 }
+	type arc struct{ u, v int }
+	res := make(map[arc]int)
+	for u := 0; u < n; u++ {
+		c := 1
+		if u == s || u == t {
+			c = n // source/sink are not capacity-limited
+		}
+		res[arc{in(u), out(u)}] = c
+		for _, v := range g.Neighbors(u) {
+			res[arc{out(u), in(v)}] = 1
+		}
+	}
+	src, dst := out(s), in(t)
+	flow := 0
+	parent := make([]int, 2*n)
+	nbrsOf := func(x int) []int {
+		u := x / 2
+		if x%2 == 0 { // in-node: forward to out, residual back to neighbors' outs
+			nb := []int{out(u)}
+			for _, v := range g.Neighbors(u) {
+				nb = append(nb, out(v))
+			}
+			return nb
+		}
+		// out-node: forward to neighbors' ins, residual back to own in
+		nb := []int{in(u)}
+		for _, v := range g.Neighbors(u) {
+			nb = append(nb, in(v))
+		}
+		return nb
+	}
+	for flow < limit {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue := []int{src}
+		for len(queue) > 0 && parent[dst] == -1 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range nbrsOf(x) {
+				if parent[y] == -1 && res[arc{x, y}] > 0 {
+					parent[y] = x
+					queue = append(queue, y)
+				}
+			}
+		}
+		if parent[dst] == -1 {
+			return flow
+		}
+		for y := dst; y != src; y = parent[y] {
+			x := parent[y]
+			res[arc{x, y}]--
+			res[arc{y, x}]++
+		}
+		flow++
+	}
+	return flow
+}

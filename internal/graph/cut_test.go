@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEdgeConnectivityKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"P5", path(5), 1},
+		{"C6", cycle(6), 2},
+		{"K5", complete(5), 4},
+		{"single", NewBuilder(1).Build(), 0},
+	}
+	for _, c := range cases {
+		if got := EdgeConnectivity(c.g); got != c.want {
+			t.Errorf("%s: lambda = %d, want %d", c.name, got, c.want)
+		}
+	}
+	// Disconnected.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	if EdgeConnectivity(b.Build()) != 0 {
+		t.Error("disconnected graph should have lambda 0")
+	}
+}
+
+func TestVertexConnectivityKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"P5", path(5), 1},
+		{"C6", cycle(6), 2},
+		{"K5", complete(5), 4},
+		{"K4", complete(4), 3},
+	}
+	for _, c := range cases {
+		if got := VertexConnectivity(c.g); got != c.want {
+			t.Errorf("%s: kappa = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConnectivityBridgeGraph(t *testing.T) {
+	// Two triangles joined by a single node (cut vertex): kappa=1.
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 4)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	if got := VertexConnectivity(g); got != 1 {
+		t.Errorf("cut-vertex graph kappa = %d, want 1", got)
+	}
+	if got := EdgeConnectivity(g); got != 1 {
+		t.Errorf("bridge graph lambda = %d, want 1", got)
+	}
+}
+
+func TestWhitneyInequalities(t *testing.T) {
+	// kappa <= lambda <= min degree, on random connected graphs.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(12) + 4
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(i, rng.Intn(i))
+		}
+		for e := 0; e < n; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		k := VertexConnectivity(g)
+		l := EdgeConnectivity(g)
+		if k > l || l > g.MinDegree() {
+			t.Fatalf("Whitney violated: kappa=%d lambda=%d mindeg=%d on %v", k, l, g.MinDegree(), g)
+		}
+		// Removing any kappa-1 nodes must leave the graph connected.
+		if k >= 2 {
+			for probe := 0; probe < 5; probe++ {
+				drop := make([]int, 0, k-1)
+				seen := map[int]bool{}
+				for len(drop) < k-1 {
+					v := rng.Intn(n)
+					if !seen[v] {
+						seen[v] = true
+						drop = append(drop, v)
+					}
+				}
+				sub, _, err := g.InducedByExclusion(drop)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sub.IsConnected() {
+					t.Fatalf("removing %v (< kappa=%d) disconnected the graph", drop, k)
+				}
+			}
+		}
+	}
+}
+
+func TestVertexConnectivityWitness(t *testing.T) {
+	// There must exist a set of exactly kappa nodes that disconnects C6:
+	// removing two opposite nodes splits the cycle.
+	g := cycle(6)
+	sub, _, err := g.InducedByExclusion([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.IsConnected() {
+		t.Error("removing opposite nodes of C6 should disconnect it")
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DOTOptions customizes WriteDOT output.
+type DOTOptions struct {
+	Name           string             // graph name; default "G"
+	HighlightNodes []int              // drawn filled
+	HighlightEdges []Edge             // drawn bold (order-insensitive match)
+	NodeLabels     func(u int) string // overrides Graph labels when non-nil
+}
+
+// WriteDOT renders the graph in Graphviz DOT format. This regenerates
+// the paper's figures (Fig. 1, 2, 4) as publishable drawings.
+func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	hlNode := make(map[int]bool, len(opts.HighlightNodes))
+	for _, u := range opts.HighlightNodes {
+		hlNode[u] = true
+	}
+	hlEdge := make(map[Edge]bool, len(opts.HighlightEdges))
+	for _, e := range opts.HighlightEdges {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		hlEdge[e] = true
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %s {\n", name)
+	for u := 0; u < g.n; u++ {
+		label := g.Label(u)
+		if opts.NodeLabels != nil {
+			label = opts.NodeLabels(u)
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if hlNode[u] {
+			attrs += ", style=filled, fillcolor=gray"
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", u, attrs)
+	}
+	var err error
+	g.EachEdge(func(u, v int) bool {
+		if hlEdge[Edge{u, v}] {
+			_, err = fmt.Fprintf(bw, "  n%d -- n%d [style=bold];\n", u, v)
+		} else {
+			_, err = fmt.Fprintf(bw, "  n%d -- n%d;\n", u, v)
+		}
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList writes the graph as a header line "n m" followed by one
+// "u v" line per edge (u < v). The format round-trips with ReadEdgeList.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.n, g.m); err != nil {
+		return err
+	}
+	var err error
+	g.EachEdge(func(u, v int) bool {
+		_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph.ReadEdgeList: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 {
+		return nil, fmt.Errorf("graph.ReadEdgeList: bad header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph.ReadEdgeList: bad node count: %v", err)
+	}
+	m, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph.ReadEdgeList: bad edge count: %v", err)
+	}
+	b := NewBuilder(n)
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph.ReadEdgeList: bad edge line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph.ReadEdgeList: bad edge line %q: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph.ReadEdgeList: bad edge line %q: %v", line, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph.ReadEdgeList: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		b.AddEdge(u, v)
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := b.Build()
+	if g.M() != m {
+		return nil, fmt.Errorf("graph.ReadEdgeList: header claims %d edges, got %d distinct", m, g.M())
+	}
+	return g, nil
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := cycle(3)
+	g.SetLabel(0, "zero")
+	var buf bytes.Buffer
+	err := g.WriteDOT(&buf, DOTOptions{
+		Name:           "C3",
+		HighlightNodes: []int{1},
+		HighlightEdges: []Edge{{2, 0}}, // reversed order must still match
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph C3 {",
+		`n0 [label="zero"]`,
+		"style=filled",
+		"n0 -- n1;",
+		"n0 -- n2 [style=bold];",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTCustomLabels(t *testing.T) {
+	g := path(2)
+	var buf bytes.Buffer
+	err := g.WriteDOT(&buf, DOTOptions{NodeLabels: func(u int) string { return "N" + string(rune('A'+u)) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `label="NA"`) {
+		t.Errorf("custom labels not applied:\n%s", buf.String())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(25) + 1
+		b := NewBuilder(n)
+		for e := 0; e < n*2; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"3\n",
+		"x y\n",
+		"3 1\n0 5\n",
+		"3 1\n0\n",
+		"3 2\n0 1\n", // header/edge count mismatch
+		"3 1\na b\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsComments(t *testing.T) {
+	in := "3 1\n# comment\n\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("edge missing")
+	}
+}

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBudget is returned by FindEmbedding when the search exceeded its
+// step budget without either finding an embedding or proving none
+// exists.
+var ErrBudget = errors.New("graph: embedding search budget exhausted")
+
+// ErrNoEmbedding is returned when the search space was exhausted and no
+// embedding exists.
+var ErrNoEmbedding = errors.New("graph: no embedding exists")
+
+// EmbedOptions tunes FindEmbedding.
+type EmbedOptions struct {
+	// Seed optionally fixes phi for some pattern nodes before the search
+	// begins: Seed[u] = host node, or -1 for unassigned. len(Seed) must
+	// be 0 or pattern.N().
+	Seed []int
+	// Budget bounds the number of search steps (candidate extensions).
+	// 0 means a generous default.
+	Budget int
+}
+
+// FindEmbedding searches for an embedding of pattern into host: a 1-to-1
+// map phi with every pattern edge landing on a host edge (ordinary
+// subgraph embedding, not induced). It returns the mapping, ErrNoEmbedding
+// when provably none exists, or ErrBudget when the step budget ran out.
+//
+// The search is a VF2-style backtracking with degree pruning and
+// connectivity-guided variable ordering. It is intended for the small
+// and mid-size instances that arise in this repository (shuffle-exchange
+// into de Bruijn for practical h, figure-size verification).
+func FindEmbedding(pattern, host *Graph, opts EmbedOptions) ([]int, error) {
+	if pattern.N() > host.N() {
+		return nil, ErrNoEmbedding
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = 50_000_000
+	}
+	s := &embedState{
+		pattern: pattern,
+		host:    host,
+		phi:     make([]int, pattern.N()),
+		used:    make([]bool, host.N()),
+		budget:  budget,
+	}
+	for i := range s.phi {
+		s.phi[i] = -1
+	}
+	if len(opts.Seed) > 0 {
+		if len(opts.Seed) != pattern.N() {
+			return nil, errors.New("graph: seed length must equal pattern size")
+		}
+		for u, img := range opts.Seed {
+			if img < 0 {
+				continue
+			}
+			if img >= host.N() || s.used[img] {
+				return nil, ErrNoEmbedding
+			}
+			s.phi[u] = img
+			s.used[img] = true
+		}
+		// Validate the seed is internally consistent.
+		for u, img := range s.phi {
+			if img < 0 {
+				continue
+			}
+			for _, v := range pattern.Neighbors(u) {
+				if s.phi[v] >= 0 && !host.HasEdge(img, s.phi[v]) {
+					return nil, ErrNoEmbedding
+				}
+			}
+		}
+	}
+	s.order = embedOrder(pattern, s.phi)
+	if s.search(0) {
+		return s.phi, nil
+	}
+	if s.budget <= 0 {
+		return nil, ErrBudget
+	}
+	return nil, ErrNoEmbedding
+}
+
+type embedState struct {
+	pattern, host *Graph
+	phi           []int
+	used          []bool
+	order         []int
+	budget        int
+}
+
+// embedOrder returns the unassigned pattern nodes in a
+// connectivity-first order: repeatedly pick the unplaced node with the
+// most already-placed neighbors, tie-broken by higher degree. This keeps
+// the frontier connected so candidate sets stay small.
+func embedOrder(pattern *Graph, phi []int) []int {
+	n := pattern.N()
+	placed := make([]bool, n)
+	for u, img := range phi {
+		if img >= 0 {
+			placed[u] = true
+		}
+	}
+	var order []int
+	for {
+		best, bestScore := -1, -1
+		for u := 0; u < n; u++ {
+			if placed[u] {
+				continue
+			}
+			score := 0
+			for _, v := range pattern.Neighbors(u) {
+				if placed[v] {
+					score += n // placed neighbors dominate
+				}
+			}
+			score += pattern.Degree(u)
+			if score > bestScore {
+				best, bestScore = u, score
+			}
+		}
+		if best == -1 {
+			return order
+		}
+		order = append(order, best)
+		placed[best] = true
+	}
+}
+
+func (s *embedState) search(depth int) bool {
+	if depth == len(s.order) {
+		return true
+	}
+	u := s.order[depth]
+	for _, cand := range s.candidates(u) {
+		if s.budget <= 0 {
+			return false
+		}
+		s.budget--
+		if !s.feasible(u, cand) {
+			continue
+		}
+		s.phi[u] = cand
+		s.used[cand] = true
+		if s.search(depth + 1) {
+			return true
+		}
+		s.phi[u] = -1
+		s.used[cand] = false
+	}
+	return false
+}
+
+// candidates returns plausible host nodes for pattern node u: if u has a
+// placed neighbor, only host neighbors of that neighbor's image need be
+// tried; otherwise every unused host node.
+func (s *embedState) candidates(u int) []int {
+	var anchor = -1
+	for _, v := range s.pattern.Neighbors(u) {
+		if s.phi[v] >= 0 {
+			anchor = s.phi[v]
+			break
+		}
+	}
+	if anchor >= 0 {
+		nbrs := s.host.Neighbors(anchor)
+		out := make([]int, 0, len(nbrs))
+		for _, c := range nbrs {
+			if !s.used[c] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	out := make([]int, 0, s.host.N())
+	for c := 0; c < s.host.N(); c++ {
+		if !s.used[c] {
+			out = append(out, c)
+		}
+	}
+	// Prefer higher-degree hosts for unanchored nodes: fail fast.
+	sort.Slice(out, func(i, j int) bool {
+		return s.host.Degree(out[i]) > s.host.Degree(out[j])
+	})
+	return out
+}
+
+func (s *embedState) feasible(u, cand int) bool {
+	if s.host.Degree(cand) < s.pattern.Degree(u) {
+		return false
+	}
+	for _, v := range s.pattern.Neighbors(u) {
+		if img := s.phi[v]; img >= 0 && !s.host.HasEdge(cand, img) {
+			return false
+		}
+	}
+	return true
+}
+
+// IdentityEmbedding returns [0,1,...,n-1], the identity map, useful when
+// pattern is a subgraph of host under the same labeling.
+func IdentityEmbedding(n int) []int {
+	phi := make([]int, n)
+	for i := range phi {
+		phi[i] = i
+	}
+	return phi
+}

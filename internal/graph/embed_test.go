@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestFindEmbeddingPathInCycle(t *testing.T) {
+	phi, err := FindEmbedding(path(5), cycle(8), EmbedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEmbedding(path(5), cycle(8), phi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindEmbeddingCycleInPathFails(t *testing.T) {
+	_, err := FindEmbedding(cycle(4), path(10), EmbedOptions{})
+	if !errors.Is(err, ErrNoEmbedding) {
+		t.Fatalf("err = %v, want ErrNoEmbedding", err)
+	}
+}
+
+func TestFindEmbeddingTooBigPattern(t *testing.T) {
+	_, err := FindEmbedding(path(5), path(4), EmbedOptions{})
+	if !errors.Is(err, ErrNoEmbedding) {
+		t.Fatalf("err = %v, want ErrNoEmbedding", err)
+	}
+}
+
+func TestFindEmbeddingIntoComplete(t *testing.T) {
+	// Anything embeds into a large enough complete graph.
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(8)
+	for e := 0; e < 14; e++ {
+		b.AddEdge(rng.Intn(8), rng.Intn(8))
+	}
+	p := b.Build()
+	phi, err := FindEmbedding(p, complete(8), EmbedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEmbedding(p, complete(8), phi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindEmbeddingRespectsSeed(t *testing.T) {
+	seed := []int{-1, -1, -1, -1, -1}
+	seed[0] = 3
+	phi, err := FindEmbedding(path(5), cycle(10), EmbedOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi[0] != 3 {
+		t.Errorf("seed not respected: phi[0]=%d", phi[0])
+	}
+	if err := CheckEmbedding(path(5), cycle(10), phi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindEmbeddingBadSeed(t *testing.T) {
+	// Seed mapping two adjacent pattern nodes to non-adjacent hosts.
+	seed := []int{0, 5, -1}
+	_, err := FindEmbedding(path(3), cycle(10), EmbedOptions{Seed: seed})
+	if !errors.Is(err, ErrNoEmbedding) {
+		t.Fatalf("inconsistent seed: err = %v", err)
+	}
+	// Seed with duplicate images.
+	_, err = FindEmbedding(path(3), cycle(10), EmbedOptions{Seed: []int{2, -1, 2}})
+	if !errors.Is(err, ErrNoEmbedding) {
+		t.Fatalf("duplicate seed: err = %v", err)
+	}
+	// Wrong-length seed.
+	if _, err := FindEmbedding(path(3), cycle(10), EmbedOptions{Seed: []int{0}}); err == nil {
+		t.Fatal("short seed should error")
+	}
+}
+
+func TestFindEmbeddingBudget(t *testing.T) {
+	// Petersen-like hard instance with a tiny budget must return ErrBudget
+	// or succeed; never hang. Use K7 into a sparse random graph (likely no
+	// embedding) with budget 10.
+	rng := rand.New(rand.NewSource(3))
+	b := NewBuilder(30)
+	for e := 0; e < 45; e++ {
+		b.AddEdge(rng.Intn(30), rng.Intn(30))
+	}
+	host := b.Build()
+	_, err := FindEmbedding(complete(7), host, EmbedOptions{Budget: 10})
+	if !errors.Is(err, ErrBudget) && !errors.Is(err, ErrNoEmbedding) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFindEmbeddingDisconnectedPattern(t *testing.T) {
+	// Two disjoint edges into C6.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	p := b.Build()
+	phi, err := FindEmbedding(p, cycle(6), EmbedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEmbedding(p, cycle(6), phi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityEmbedding(t *testing.T) {
+	phi := IdentityEmbedding(4)
+	if err := CheckEmbedding(path(4), cycle(4), phi); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package graph implements the sparse undirected graph substrate used by
+// every construction in this repository.
+//
+// Graphs are immutable once built (see Builder), store adjacency in a
+// compact CSR-style layout with sorted neighbor lists, and follow the
+// paper's conventions: simple graphs, no self-loops (constructions that
+// would naturally produce self-loops silently drop them, as the paper
+// instructs), no multi-edges.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph on nodes 0..N-1.
+// The zero value is an empty graph with no nodes.
+type Graph struct {
+	n      int
+	m      int   // number of undirected edges
+	offs   []int // CSR offsets, len n+1
+	adj    []int // concatenated sorted neighbor lists, len 2m
+	labels []string
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// Duplicate edges and self-loops are dropped.
+type Builder struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// NewBuilder returns a Builder for a graph on n nodes. It panics if
+// n < 0.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph.NewBuilder: negative node count %d", n))
+	}
+	return &Builder{n: n, adj: make([]map[int]struct{}, n)}
+}
+
+// AddEdge records the undirected edge (u, v). Self-loops are ignored
+// (per the paper's convention). AddEdge panics on out-of-range nodes.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph.AddEdge: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[int]struct{})
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[int]struct{})
+	}
+	b.adj[u][v] = struct{}{}
+	b.adj[v][u] = struct{}{}
+}
+
+// HasEdge reports whether (u,v) has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n || b.adj[u] == nil {
+		return false
+	}
+	_, ok := b.adj[u][v]
+	return ok
+}
+
+// Build freezes the accumulated edges into an immutable Graph.
+// The Builder may be reused afterwards (further AddEdge calls do not
+// affect already-built graphs).
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, offs: make([]int, b.n+1)}
+	total := 0
+	for u := 0; u < b.n; u++ {
+		total += len(b.adj[u])
+	}
+	g.adj = make([]int, total)
+	pos := 0
+	for u := 0; u < b.n; u++ {
+		g.offs[u] = pos
+		nbrs := g.adj[pos : pos : pos+len(b.adj[u])]
+		for v := range b.adj[u] {
+			nbrs = append(nbrs, v)
+		}
+		sort.Ints(nbrs)
+		pos += len(nbrs)
+	}
+	g.offs[b.n] = pos
+	g.m = total / 2
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return g.offs[u+1] - g.offs[u]
+}
+
+// MaxDegree returns the maximum node degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum node degree (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for u := 1; u < g.n; u++ {
+		if d := g.Degree(u); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// AvgDegree returns the average node degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(2*g.m) / float64(g.n)
+}
+
+// Neighbors returns the sorted neighbor list of u. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	return g.adj[g.offs[u]:g.offs[u+1]]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	nbrs := g.Neighbors(u)
+	i := sort.SearchInts(nbrs, v)
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct{ U, V int }
+
+// Edges returns all edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out = append(out, Edge{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// EachEdge calls fn for every edge with u < v; it stops early if fn
+// returns false.
+func (g *Graph) EachEdge(fn func(u, v int) bool) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v && !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// SetLabel attaches a display label to node u (used by DOT output).
+// Labels are the only mutable aspect of a Graph and do not affect
+// structure or equality.
+func (g *Graph) SetLabel(u int, label string) {
+	g.check(u)
+	if g.labels == nil {
+		g.labels = make([]string, g.n)
+	}
+	g.labels[u] = label
+}
+
+// Label returns the display label of u, or its decimal index when no
+// label was set.
+func (g *Graph) Label(u int) string {
+	g.check(u)
+	if g.labels != nil && g.labels[u] != "" {
+		return g.labels[u]
+	}
+	return fmt.Sprintf("%d", u)
+}
+
+// DegreeHistogram returns a map from degree value to the number of nodes
+// with that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for u := 0; u < g.n; u++ {
+		h[g.Degree(u)]++
+	}
+	return h
+}
+
+// Equal reports whether g and h have identical node counts and edge
+// sets (labels are ignored).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		a, b := g.Neighbors(u), h.Neighbors(u)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d maxdeg=%d}", g.n, g.m, g.MaxDegree())
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, g.n))
+	}
+}

@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderDedupAndSelfLoop(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 2) // self-loop: ignored per paper convention
+	g := b.Build()
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("self-loop contributed degree: %d", g.Degree(2))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge (0,1) missing")
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self-loop should not exist")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AddEdge did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(2, 4)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(2, 1)
+	g := b.Build()
+	nbrs := g.Neighbors(2)
+	want := []int{0, 1, 3, 4}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v", nbrs, want)
+		}
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := complete(5)
+	if g.MaxDegree() != 4 || g.MinDegree() != 4 {
+		t.Errorf("K5 degrees: max=%d min=%d", g.MaxDegree(), g.MinDegree())
+	}
+	if g.AvgDegree() != 4 {
+		t.Errorf("K5 avg degree = %f", g.AvgDegree())
+	}
+	if g.M() != 10 {
+		t.Errorf("K5 edges = %d", g.M())
+	}
+	h := g.DegreeHistogram()
+	if h[4] != 5 || len(h) != 1 {
+		t.Errorf("K5 degree histogram = %v", h)
+	}
+}
+
+func TestEdgesAndEachEdge(t *testing.T) {
+	g := cycle(4)
+	edges := g.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("C4 edges = %v", edges)
+	}
+	for _, e := range edges {
+		if e.U >= e.V {
+			t.Errorf("edge %v not normalized", e)
+		}
+	}
+	count := 0
+	g.EachEdge(func(u, v int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early stop failed: %d", count)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !cycle(5).Equal(cycle(5)) {
+		t.Error("identical cycles not equal")
+	}
+	if cycle(5).Equal(path(5)) {
+		t.Error("C5 equal to P5")
+	}
+	if cycle(5).Equal(cycle(6)) {
+		t.Error("C5 equal to C6")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := path(3)
+	if g.Label(1) != "1" {
+		t.Errorf("default label = %q", g.Label(1))
+	}
+	g.SetLabel(1, "x")
+	if g.Label(1) != "x" {
+		t.Errorf("label = %q", g.Label(1))
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := cycle(6)
+	sub, newToOld, err := g.Induced([]int{0, 1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes {0,1,2,5} of C6 keep edges 0-1, 1-2, 5-0 -> path 5-0-1-2.
+	if sub.N() != 4 || sub.M() != 3 {
+		t.Fatalf("induced = %v", sub)
+	}
+	if newToOld[0] != 0 || newToOld[3] != 5 {
+		t.Errorf("newToOld = %v", newToOld)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || !sub.HasEdge(0, 3) {
+		t.Error("induced edges wrong")
+	}
+}
+
+func TestInducedErrors(t *testing.T) {
+	g := cycle(4)
+	if _, _, err := g.Induced([]int{0, 0}); err == nil {
+		t.Error("duplicate nodes should error")
+	}
+	if _, _, err := g.Induced([]int{0, 9}); err == nil {
+		t.Error("out-of-range node should error")
+	}
+}
+
+func TestInducedByExclusion(t *testing.T) {
+	g := complete(5)
+	sub, newToOld, err := g.InducedByExclusion([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 || sub.M() != 6 {
+		t.Errorf("K5 minus a node: n=%d m=%d", sub.N(), sub.M())
+	}
+	for _, old := range newToOld {
+		if old == 2 {
+			t.Error("excluded node still present")
+		}
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := path(3) // 0-1-2
+	h, err := g.Relabel([]int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasEdge(2, 1) || !h.HasEdge(1, 0) || h.HasEdge(0, 2) {
+		t.Error("relabel wrong")
+	}
+	if _, err := g.Relabel([]int{0, 0, 1}); err == nil {
+		t.Error("non-permutation should error")
+	}
+	if _, err := g.Relabel([]int{0, 1}); err == nil {
+		t.Error("short permutation should error")
+	}
+}
+
+func TestUnionAndSubgraph(t *testing.T) {
+	u := Union(path(4), cycle(4))
+	if u.M() != 4 {
+		t.Errorf("union edges = %d, want 4", u.M())
+	}
+	if !path(4).IsSubgraphOf(cycle(4)) {
+		t.Error("P4 should be subgraph of C4")
+	}
+	if cycle(4).IsSubgraphOf(path(4)) {
+		t.Error("C4 is not a subgraph of P4")
+	}
+	if complete(5).IsSubgraphOf(complete(4)) {
+		t.Error("bigger graph cannot be subgraph")
+	}
+}
+
+func TestCheckEmbedding(t *testing.T) {
+	p := path(3)
+	c := cycle(5)
+	if err := CheckEmbedding(p, c, []int{0, 1, 2}); err != nil {
+		t.Errorf("valid embedding rejected: %v", err)
+	}
+	if err := CheckEmbedding(p, c, []int{0, 1, 1}); err == nil {
+		t.Error("non-injective accepted")
+	}
+	if err := CheckEmbedding(p, c, []int{0, 2, 4}); err == nil {
+		t.Error("non-edge mapping accepted")
+	}
+	if err := CheckEmbedding(p, c, []int{0, 1}); err == nil {
+		t.Error("short phi accepted")
+	}
+	if err := CheckEmbedding(p, c, []int{0, 1, 9}); err == nil {
+		t.Error("out-of-range phi accepted")
+	}
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		b := NewBuilder(n)
+		for e := 0; e < n*2; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		// Handshake lemma and neighbor symmetry.
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(u)
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Induced returns the subgraph of g induced by the node set w, together
+// with the mapping from new indices to the original node ids
+// (newToOld[i] is the original id of new node i). w may be in any order
+// and must not contain duplicates or out-of-range nodes.
+func (g *Graph) Induced(w []int) (*Graph, []int, error) {
+	newToOld := make([]int, len(w))
+	copy(newToOld, w)
+	sort.Ints(newToOld)
+	oldToNew := make(map[int]int, len(w))
+	for i, v := range newToOld {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph.Induced: node %d out of range [0,%d)", v, g.n)
+		}
+		if i > 0 && newToOld[i-1] == v {
+			return nil, nil, fmt.Errorf("graph.Induced: duplicate node %d", v)
+		}
+		oldToNew[v] = i
+	}
+	b := NewBuilder(len(w))
+	for i, old := range newToOld {
+		for _, nbr := range g.Neighbors(old) {
+			if j, ok := oldToNew[nbr]; ok && i < j {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), newToOld, nil
+}
+
+// InducedByExclusion returns the subgraph induced by all nodes except
+// the (sorted or unsorted) set excluded, along with the new-to-old map.
+func (g *Graph) InducedByExclusion(excluded []int) (*Graph, []int, error) {
+	drop := make(map[int]struct{}, len(excluded))
+	for _, v := range excluded {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph.InducedByExclusion: node %d out of range [0,%d)", v, g.n)
+		}
+		drop[v] = struct{}{}
+	}
+	keep := make([]int, 0, g.n-len(drop))
+	for v := 0; v < g.n; v++ {
+		if _, gone := drop[v]; !gone {
+			keep = append(keep, v)
+		}
+	}
+	return g.Induced(keep)
+}
+
+// Relabel returns a copy of g with node u renamed perm[u]. perm must be
+// a permutation of [0, N).
+func (g *Graph) Relabel(perm []int) (*Graph, error) {
+	if len(perm) != g.n {
+		return nil, fmt.Errorf("graph.Relabel: permutation length %d != n %d", len(perm), g.n)
+	}
+	seen := make([]bool, g.n)
+	for _, v := range perm {
+		if v < 0 || v >= g.n || seen[v] {
+			return nil, fmt.Errorf("graph.Relabel: not a permutation (value %d)", v)
+		}
+		seen[v] = true
+	}
+	b := NewBuilder(g.n)
+	g.EachEdge(func(u, v int) bool {
+		b.AddEdge(perm[u], perm[v])
+		return true
+	})
+	return b.Build(), nil
+}
+
+// Union returns the graph on max(g.N, h.N) nodes whose edge set is the
+// union of the two edge sets.
+func Union(g, h *Graph) *Graph {
+	n := g.n
+	if h.n > n {
+		n = h.n
+	}
+	b := NewBuilder(n)
+	g.EachEdge(func(u, v int) bool { b.AddEdge(u, v); return true })
+	h.EachEdge(func(u, v int) bool { b.AddEdge(u, v); return true })
+	return b.Build()
+}
+
+// IsSubgraphOf reports whether every edge of g is also an edge of h
+// (same node numbering; h must have at least as many nodes).
+func (g *Graph) IsSubgraphOf(h *Graph) bool {
+	if g.n > h.n {
+		return false
+	}
+	ok := true
+	g.EachEdge(func(u, v int) bool {
+		if !h.HasEdge(u, v) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// CheckEmbedding verifies that phi is an embedding of pattern into host
+// in the paper's sense: phi must be 1-to-1 and every pattern edge (u,v)
+// must map to a host edge (phi[u], phi[v]). It returns nil on success,
+// or an error naming the first violated requirement.
+func CheckEmbedding(pattern, host *Graph, phi []int) error {
+	if len(phi) != pattern.N() {
+		return fmt.Errorf("embedding: length %d != pattern size %d", len(phi), pattern.N())
+	}
+	seen := make(map[int]int, len(phi))
+	for u, img := range phi {
+		if img < 0 || img >= host.N() {
+			return fmt.Errorf("embedding: phi[%d]=%d out of host range [0,%d)", u, img, host.N())
+		}
+		if prev, dup := seen[img]; dup {
+			return fmt.Errorf("embedding: phi not injective: phi[%d]=phi[%d]=%d", prev, u, img)
+		}
+		seen[img] = u
+	}
+	var bad error
+	pattern.EachEdge(func(u, v int) bool {
+		if !host.HasEdge(phi[u], phi[v]) {
+			bad = fmt.Errorf("embedding: pattern edge (%d,%d) maps to non-edge (%d,%d)", u, v, phi[u], phi[v])
+			return false
+		}
+		return true
+	})
+	return bad
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := path(5)
+	dist := g.BFS(0)
+	for i, d := range dist {
+		if d != i {
+			t.Errorf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	dist := g.BFS(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Errorf("unreachable nodes should be -1: %v", dist)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := cycle(6)
+	p := g.ShortestPath(0, 3)
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Errorf("path 0->3 in C6 = %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path uses non-edge: %v", p)
+		}
+	}
+	if got := g.ShortestPath(2, 2); len(got) != 1 || got[0] != 2 {
+		t.Errorf("self path = %v", got)
+	}
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	if b.Build().ShortestPath(0, 2) != nil {
+		t.Error("unreachable path should be nil")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 1 || len(comps[2]) != 2 {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !cycle(5).IsConnected() {
+		t.Error("C5 should be connected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := path(5).Diameter(); d != 4 {
+		t.Errorf("diam(P5) = %d, want 4", d)
+	}
+	if d := cycle(6).Diameter(); d != 3 {
+		t.Errorf("diam(C6) = %d, want 3", d)
+	}
+	if d := complete(4).Diameter(); d != 1 {
+		t.Errorf("diam(K4) = %d, want 1", d)
+	}
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	if d := b.Build().Diameter(); d != -1 {
+		t.Errorf("diam(disconnected) = %d, want -1", d)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := path(5)
+	if e := g.Eccentricity(0); e != 4 {
+		t.Errorf("ecc(P5,0) = %d", e)
+	}
+	if e := g.Eccentricity(2); e != 2 {
+		t.Errorf("ecc(P5,2) = %d", e)
+	}
+}
+
+func TestBFSTriangleInequality(t *testing.T) {
+	// Property: on a random connected graph, dist(a,c) <= dist(a,b)+dist(b,c).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 3
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(i, rng.Intn(i)) // random tree: connected
+		}
+		for e := 0; e < n; e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		a, bb, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		da, db := g.BFS(a), g.BFS(bb)
+		return da[c] <= da[bb]+db[c]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortestPathLengthMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 3
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(i, rng.Intn(i))
+		}
+		g := b.Build()
+		s, d := rng.Intn(n), rng.Intn(n)
+		p := g.ShortestPath(s, d)
+		return len(p)-1 == g.BFS(s)[d]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/shuffle"
+)
+
+func TestHypercubeStructure(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		g := MustNew(d)
+		if g.N() != 1<<d {
+			t.Fatalf("d=%d: n=%d", d, g.N())
+		}
+		if g.MaxDegree() != d || g.MinDegree() != d {
+			t.Errorf("d=%d: degree range [%d,%d], want exactly %d", d, g.MinDegree(), g.MaxDegree(), d)
+		}
+		if g.M() != d*(1<<d)/2 {
+			t.Errorf("d=%d: edges %d, want %d", d, g.M(), d*(1<<d)/2)
+		}
+		if !g.IsConnected() {
+			t.Errorf("d=%d: disconnected", d)
+		}
+		if diam := g.Diameter(); diam != d {
+			t.Errorf("d=%d: diameter %d, want %d", d, diam, d)
+		}
+	}
+}
+
+func TestHypercubeDegreeGrowsButDeBruijnStaysConstant(t *testing.T) {
+	// The paper's motivating comparison, as a checkable fact.
+	for h := 3; h <= 9; h++ {
+		q := MustNew(h)
+		db := debruijn.MustNew(debruijn.Params{M: 2, H: h})
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		if q.MaxDegree() != h {
+			t.Errorf("hypercube degree should be %d", h)
+		}
+		if db.MaxDegree() > 4 {
+			t.Errorf("de Bruijn degree %d > 4", db.MaxDegree())
+		}
+		if se.MaxDegree() > 3 {
+			t.Errorf("shuffle-exchange degree %d > 3", se.MaxDegree())
+		}
+	}
+}
+
+func TestCCCStructure(t *testing.T) {
+	for d := 3; d <= 7; d++ {
+		g := MustNewCCC(d)
+		if g.N() != d*(1<<d) {
+			t.Fatalf("d=%d: n=%d, want %d", d, g.N(), d*(1<<d))
+		}
+		if g.MaxDegree() != 3 {
+			t.Errorf("d=%d: CCC degree %d, want 3", d, g.MaxDegree())
+		}
+		if !g.IsConnected() {
+			t.Errorf("d=%d: CCC disconnected", d)
+		}
+	}
+}
+
+func TestCCCIndexRoundTrip(t *testing.T) {
+	f := func(w uint8, i uint8, dd uint8) bool {
+		d := int(dd%6) + 1
+		n := CCCNode{W: int(w) % (1 << d), I: int(i) % d}
+		return CCCNodeOf(CCCIndex(n, d), d) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCCEdgesAreLegalMoves(t *testing.T) {
+	d := 4
+	g := MustNewCCC(d)
+	g.EachEdge(func(u, v int) bool {
+		a, b := CCCNodeOf(u, d), CCCNodeOf(v, d)
+		sameCycle := a.W == b.W && (a.I-b.I+d)%d == 1 || a.W == b.W && (b.I-a.I+d)%d == 1
+		cubeEdge := a.I == b.I && a.W^b.W == 1<<a.I
+		if !sameCycle && !cubeEdge {
+			t.Errorf("illegal CCC edge (%v,%v)", a, b)
+		}
+		return true
+	})
+}
+
+func TestAscendCostOrdering(t *testing.T) {
+	for h := 3; h <= 10; h++ {
+		c := AscendCost(h)
+		if c.Hypercube != h || c.DeBruijn != h {
+			t.Errorf("h=%d: hypercube/dB cost wrong: %+v", h, c)
+		}
+		if c.ShuffleExchange != 2*h || c.CCC != 3*h {
+			t.Errorf("h=%d: SE/CCC cost wrong: %+v", h, c)
+		}
+		// The intro's claim: constant-factor slowdown only.
+		if c.CCC > 3*c.Hypercube {
+			t.Errorf("h=%d: slowdown not constant-factor", h)
+		}
+	}
+}
+
+func TestRunAscendSum(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		n := 1 << d
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i + 1)
+		}
+		out, rounds, err := RunAscendSum(d, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != d {
+			t.Errorf("d=%d: rounds=%d", d, rounds)
+		}
+		want := int64(n) * int64(n+1) / 2
+		for x, v := range out {
+			if v != want {
+				t.Fatalf("d=%d node %d: %d != %d", d, x, v, want)
+			}
+		}
+	}
+}
+
+func TestRunAscendSumErrors(t *testing.T) {
+	if _, _, err := RunAscendSum(3, make([]int64, 4)); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := New(80); err == nil {
+		t.Error("overflow accepted")
+	}
+	if _, err := NewCCC(0); err == nil {
+		t.Error("CCC d=0 accepted")
+	}
+	if _, err := NewCCC(80); err == nil {
+		t.Error("CCC overflow accepted")
+	}
+}

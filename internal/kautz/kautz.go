@@ -1,0 +1,118 @@
+// Package kautz implements Kautz networks K(m,h) — the de Bruijn
+// graph's close relative, named alongside it in the paper's ref [1]
+// ("de Bruijn and Kautz networks: a competitor for the hypercube?").
+//
+// K(m,h) has nodes the h-digit strings over an alphabet of m+1 symbols
+// in which consecutive digits differ; edges are digit shifts, exactly as
+// in de Bruijn graphs. It therefore has (m+1)·m^(h-1) nodes, degree at
+// most 2m, no self-loops at all, and is an induced-by-label subgraph of
+// the base-(m+1) de Bruijn graph — which is how the paper's
+// fault-tolerant machinery can shelter it: B^k_{m+1,h} is
+// (k, B_{m+1,h})-tolerant and hence (k, K(m,h))-tolerant through the
+// same embedding (at the cost of the larger host; a minimal-spare
+// FT-Kautz is an open problem the paper's framework poses).
+package kautz
+
+import (
+	"fmt"
+
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// Params identifies a Kautz network K(m,h).
+type Params struct {
+	M int // out-degree / alphabet size minus one, >= 2
+	H int // digits, >= 2
+}
+
+// Validate checks constructibility.
+func (p Params) Validate() error {
+	if p.M < 2 {
+		return fmt.Errorf("kautz: m=%d must be >= 2", p.M)
+	}
+	if p.H < 2 {
+		return fmt.Errorf("kautz: h=%d must be >= 2", p.H)
+	}
+	if _, err := num.IPow(p.M+1, p.H); err != nil {
+		return fmt.Errorf("kautz: too large: %v", err)
+	}
+	return nil
+}
+
+// N returns the node count (m+1) * m^(h-1).
+func (p Params) N() int {
+	return (p.M + 1) * num.MustIPow(p.M, p.H-1)
+}
+
+// String returns conventional notation.
+func (p Params) String() string { return fmt.Sprintf("K(%d,%d)", p.M, p.H) }
+
+// Nodes returns the base-(m+1) values of all Kautz strings, sorted.
+// These are the labels under which K(m,h) sits inside B_{m+1,h}.
+func Nodes(p Params) []int {
+	alphabet := p.M + 1
+	limit := num.MustIPow(alphabet, p.H)
+	out := make([]int, 0, p.N())
+	for v := 0; v < limit; v++ {
+		if isKautz(v, alphabet, p.H) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func isKautz(v, alphabet, h int) bool {
+	prev := -1
+	for i := 0; i < h; i++ {
+		d := v % alphabet
+		if d == prev {
+			return false
+		}
+		prev = d
+		v /= alphabet
+	}
+	return true
+}
+
+// New builds K(m,h) with nodes renumbered 0..N-1 (in label order). It
+// also returns the labels slice: labels[i] is node i's base-(m+1) value
+// inside B_{m+1,h}.
+func New(p Params) (*graph.Graph, []int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	labels := Nodes(p)
+	index := make(map[int]int, len(labels))
+	for i, v := range labels {
+		index[v] = i
+	}
+	alphabet := p.M + 1
+	limit := num.MustIPow(alphabet, p.H)
+	b := graph.NewBuilder(len(labels))
+	for i, v := range labels {
+		for r := 0; r < alphabet; r++ {
+			// Shifting in a digit equal to the current last digit leaves
+			// the Kautz set; all other shifts stay inside it.
+			if r == v%alphabet {
+				continue
+			}
+			w := num.X(v, alphabet, r, limit)
+			j, ok := index[w]
+			if !ok {
+				return nil, nil, fmt.Errorf("kautz: internal error: shift of %d left the node set", v)
+			}
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build(), labels, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p Params) (*graph.Graph, []int) {
+	g, labels, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return g, labels
+}

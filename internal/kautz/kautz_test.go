@@ -1,0 +1,116 @@
+package kautz
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+func TestNodeCount(t *testing.T) {
+	for _, p := range []Params{{2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {4, 3}} {
+		g, labels := MustNew(p)
+		want := p.N()
+		if g.N() != want || len(labels) != want {
+			t.Errorf("%v: n = %d, want (m+1)m^(h-1) = %d", p, g.N(), want)
+		}
+	}
+}
+
+func TestDegreeAndNoSelfLoopPartners(t *testing.T) {
+	for _, p := range []Params{{2, 3}, {3, 3}, {2, 5}} {
+		g, _ := MustNew(p)
+		if g.MaxDegree() > 2*p.M {
+			t.Errorf("%v: degree %d > 2m = %d", p, g.MaxDegree(), 2*p.M)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%v: disconnected", p)
+		}
+	}
+}
+
+func TestDiameterAtMostH(t *testing.T) {
+	for _, p := range []Params{{2, 3}, {3, 2}, {2, 4}} {
+		g, _ := MustNew(p)
+		if d := g.Diameter(); d > p.H || d < 1 {
+			t.Errorf("%v: diameter %d", p, d)
+		}
+	}
+}
+
+func TestKautzStringsValid(t *testing.T) {
+	p := Params{2, 4}
+	for _, v := range Nodes(p) {
+		d := num.MustToDigits(v, p.M+1, p.H)
+		for i := 0; i+1 < len(d.D); i++ {
+			if d.D[i] == d.D[i+1] {
+				t.Fatalf("label %v has repeated consecutive digits", d)
+			}
+		}
+	}
+}
+
+func TestKautzIsSubgraphOfDeBruijn(t *testing.T) {
+	// Under its base-(m+1) labels, K(m,h) is a subgraph of B_{m+1,h} —
+	// the relationship that lets B^k_{m+1,h} shelter it.
+	for _, p := range []Params{{2, 3}, {3, 2}, {2, 4}} {
+		g, labels := MustNew(p)
+		db := debruijn.MustNew(debruijn.Params{M: p.M + 1, H: p.H})
+		if err := graph.CheckEmbedding(g, db, labels); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestFTDeBruijnShelterKautz(t *testing.T) {
+	// B^k_{m+1,h} tolerates k faults for the Kautz target too: compose
+	// the label embedding with the reconfiguration map.
+	rng := rand.New(rand.NewSource(4))
+	p := Params{2, 3}
+	kg, labels := MustNew(p)
+	ftp := ft.Params{M: p.M + 1, H: p.H, K: 2}
+	host := ft.MustNew(ftp)
+	for trial := 0; trial < 30; trial++ {
+		faults := num.RandomSubset(rng, ftp.NHost(), ftp.K)
+		mp, err := ft.NewMapping(ftp.NTarget(), ftp.NHost(), faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi := make([]int, kg.N())
+		for i, lbl := range labels {
+			phi[i] = mp.Phi(lbl)
+		}
+		if err := graph.CheckEmbedding(kg, host, phi); err != nil {
+			t.Fatalf("faults %v: %v", faults, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, p := range []Params{{1, 3}, {2, 1}, {2, 60}} {
+		if p.Validate() == nil {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+	if (Params{2, 3}).String() != "K(2,3)" {
+		t.Error("String wrong")
+	}
+}
+
+func TestK23Known(t *testing.T) {
+	// K(2,3): 12 nodes, degree at most 4, diameter 3, 2m-regular except
+	// where shift-in/out coincide (none for Kautz: it IS 2m-regular
+	// undirected up to coincidences). Check edge count: directed arcs
+	// n*m = 24, all distinct and no self-loops; undirected count >= 12.
+	p := Params{2, 3}
+	g, _ := MustNew(p)
+	if g.N() != 12 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if g.M() < 12 || g.M() > 24 {
+		t.Errorf("edges = %d", g.M())
+	}
+}

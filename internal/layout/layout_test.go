@@ -1,0 +1,97 @@
+package layout
+
+import (
+	"testing"
+
+	"ftnet/internal/bus"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+)
+
+func TestPointToPointLinear(t *testing.T) {
+	// Path 0-1-2-3: 3 wires of length 1.
+	b := graph.NewBuilder(4)
+	for i := 0; i+1 < 4; i++ {
+		b.AddEdge(i, i+1)
+	}
+	w := PointToPoint(b.Build(), false)
+	if w.Wires != 3 || w.TotalLength != 3 || w.MaxLength != 1 {
+		t.Errorf("wiring = %+v", w)
+	}
+}
+
+func TestPointToPointRingPlacement(t *testing.T) {
+	// Cycle 0-1-2-3-0 on a ring: wrap edge (0,3) has cyclic length 1.
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(i, (i+1)%4)
+	}
+	g := b.Build()
+	lin := PointToPoint(g, false)
+	ring := PointToPoint(g, true)
+	if lin.MaxLength != 3 {
+		t.Errorf("linear max = %d, want 3", lin.MaxLength)
+	}
+	if ring.MaxLength != 1 || ring.TotalLength != 4 {
+		t.Errorf("ring wiring = %+v", ring)
+	}
+}
+
+func TestBusSpanLinear(t *testing.T) {
+	if got := busSpan(2, []int{5, 6, 7}, 10, false); got != 5 {
+		t.Errorf("span = %d, want 5 (2..7)", got)
+	}
+	if got := busSpan(0, []int{0}, 10, false); got != 0 {
+		t.Errorf("degenerate span = %d", got)
+	}
+}
+
+func TestBusSpanCyclic(t *testing.T) {
+	// Owner 9, members {0,1}: on a 10-ring the covering arc 9-0-1 has
+	// length 2.
+	if got := busSpan(9, []int{0, 1}, 10, true); got != 2 {
+		t.Errorf("cyclic span = %d, want 2", got)
+	}
+	// Spread points: {0, 5} on a 10-ring: arc length 5.
+	if got := busSpan(0, []int{5}, 10, true); got != 5 {
+		t.Errorf("cyclic span = %d, want 5", got)
+	}
+}
+
+func TestBusImplementationHasFewerWires(t *testing.T) {
+	// The headline: one bus per node versus ~(2k+2) wires per node.
+	for _, p := range []ft.Params{
+		{M: 2, H: 4, K: 1}, {M: 2, H: 5, K: 2}, {M: 2, H: 6, K: 4},
+	} {
+		a := bus.MustNew(p)
+		g := a.ConnectivityGraph()
+		wp := PointToPoint(g, true)
+		wb := Buses(a, true)
+		if wb.Wires >= wp.Wires {
+			t.Errorf("%v: buses %d wires >= p2p %d", p, wb.Wires, wp.Wires)
+		}
+		if wb.Wires != p.NHost() {
+			t.Errorf("%v: %d buses, want one per node", p, wb.Wires)
+		}
+		// Each bus spans at least its block: max length grows with k but
+		// stays O(n) sane.
+		if wb.MaxLength <= 0 || wb.MaxLength >= p.NHost() {
+			t.Errorf("%v: bus max length %d", p, wb.MaxLength)
+		}
+	}
+}
+
+func TestBusesConsistency(t *testing.T) {
+	p := ft.Params{M: 2, H: 3, K: 1}
+	a := bus.MustNew(p)
+	w := Buses(a, false)
+	if w.Wires != 9 {
+		t.Errorf("wires = %d", w.Wires)
+	}
+	if w.TotalLength <= 0 || w.MaxLength <= 0 {
+		t.Errorf("wiring = %+v", w)
+	}
+	if w.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,107 @@
+package num
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Binomial returns C(n, k), or an error on overflow or invalid input.
+func Binomial(n, k int) (int, error) {
+	if n < 0 || k < 0 {
+		return 0, fmt.Errorf("num.Binomial: negative argument C(%d,%d)", n, k)
+	}
+	if k > n {
+		return 0, nil
+	}
+	if k > n-k {
+		k = n - k
+	}
+	result := 1
+	for i := 1; i <= k; i++ {
+		// Multiply before dividing; the running product C(n-k+i, i) is
+		// always integral after dividing by i.
+		r, ok := mulCheck(result, n-k+i)
+		if !ok {
+			return 0, fmt.Errorf("num.Binomial: C(%d,%d) overflows int", n, k+n-2*k)
+		}
+		result = r / i
+	}
+	return result, nil
+}
+
+// Combinations invokes fn once for every k-element subset of [0, n), in
+// lexicographic order. The slice passed to fn is reused between calls;
+// fn must copy it if it needs to retain it. If fn returns false the
+// enumeration stops early. Combinations returns the number of subsets
+// visited.
+func Combinations(n, k int, fn func(subset []int) bool) int {
+	if k < 0 || n < 0 || k > n {
+		return 0
+	}
+	visited := 0
+	if k == 0 {
+		visited++
+		fn(nil)
+		return visited
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		visited++
+		if !fn(idx) {
+			return visited
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return visited
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// RandomSubset returns a sorted random k-element subset of [0, n) drawn
+// uniformly, using rng. It panics if k > n or either is negative.
+func RandomSubset(rng *rand.Rand, n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic(fmt.Sprintf("num.RandomSubset: invalid (n=%d, k=%d)", n, k))
+	}
+	// Floyd's algorithm: O(k) expected insertions, exact uniformity.
+	chosen := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			chosen[j] = struct{}{}
+		} else {
+			chosen[t] = struct{}{}
+		}
+	}
+	out := make([]int, 0, k)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	// Insertion sort: subsets here are small (k nodes); avoids pulling in
+	// sort for a hot path used millions of times in randomized verification.
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

@@ -1,0 +1,155 @@
+package num
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialKnown(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{20, 10, 184756}, {5, 6, 0},
+	}
+	for _, c := range cases {
+		got, err := Binomial(c.n, c.k)
+		if err != nil || got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d,%v; want %d", c.n, c.k, got, err, c.want)
+		}
+	}
+	if _, err := Binomial(-1, 0); err == nil {
+		t.Error("negative n should error")
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 1; n < 25; n++ {
+		for k := 1; k < n; k++ {
+			a, _ := Binomial(n-1, k-1)
+			b, _ := Binomial(n-1, k)
+			c, _ := Binomial(n, k)
+			if a+b != c {
+				t.Fatalf("Pascal violated at C(%d,%d)", n, k)
+			}
+		}
+	}
+}
+
+func TestCombinationsCountsMatchBinomial(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			count := 0
+			Combinations(n, k, func(s []int) bool {
+				count++
+				if len(s) != k {
+					t.Fatalf("subset of wrong size %d, want %d", len(s), k)
+				}
+				for i := 0; i < len(s)-1; i++ {
+					if s[i] >= s[i+1] {
+						t.Fatalf("subset not strictly increasing: %v", s)
+					}
+				}
+				return true
+			})
+			want, _ := Binomial(n, k)
+			if count != want {
+				t.Errorf("Combinations(%d,%d) visited %d, want %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestCombinationsLexOrder(t *testing.T) {
+	var prev []int
+	Combinations(5, 3, func(s []int) bool {
+		if prev != nil && !lexLess(prev, s) {
+			t.Fatalf("not lex order: %v then %v", prev, s)
+		}
+		prev = append(prev[:0], s...)
+		return true
+	})
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	visited := Combinations(10, 3, func(s []int) bool { return false })
+	if visited != 1 {
+		t.Errorf("early stop visited %d, want 1", visited)
+	}
+}
+
+func TestCombinationsDistinct(t *testing.T) {
+	seen := map[[3]int]bool{}
+	Combinations(7, 3, func(s []int) bool {
+		var key [3]int
+		copy(key[:], s)
+		if seen[key] {
+			t.Fatalf("duplicate subset %v", s)
+		}
+		seen[key] = true
+		return true
+	})
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestRandomSubsetProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		k := rng.Intn(n + 1)
+		s := RandomSubset(rng, n, k)
+		if len(s) != k {
+			return false
+		}
+		for i, v := range s {
+			if v < 0 || v >= n {
+				return false
+			}
+			if i > 0 && s[i-1] >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSubsetUniformish(t *testing.T) {
+	// Each element of [0,6) should appear in a 3-subset with probability
+	// 1/2. With 6000 trials the count should be near 3000.
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, 6)
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		for _, v := range RandomSubset(rng, 6, 3) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		if c < 2700 || c > 3300 {
+			t.Errorf("element %d appeared %d times, expected ~3000", v, c)
+		}
+	}
+}
+
+func TestRandomSubsetFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomSubset(rng, 5, 5)
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("full subset = %v", s)
+		}
+	}
+	if len(RandomSubset(rng, 5, 0)) != 0 {
+		t.Error("empty subset should be empty")
+	}
+}

@@ -1,0 +1,155 @@
+package num
+
+import "fmt"
+
+// Digits holds the h-digit base-m representation of a number, most
+// significant digit first, matching the paper's notation
+// [x_{h-1}, x_{h-2}, ..., x_0]_m.
+type Digits struct {
+	Base int
+	D    []int // D[0] is x_{h-1} (most significant)
+}
+
+// ToDigits converts x into its h-digit base-m representation. It returns
+// an error when x is out of range [0, m^h) or the parameters are invalid.
+func ToDigits(x, m, h int) (Digits, error) {
+	if m < 2 {
+		return Digits{}, fmt.Errorf("num.ToDigits: base m=%d must be >= 2", m)
+	}
+	if h < 1 {
+		return Digits{}, fmt.Errorf("num.ToDigits: width h=%d must be >= 1", h)
+	}
+	limit, err := IPow(m, h)
+	if err != nil {
+		return Digits{}, err
+	}
+	if x < 0 || x >= limit {
+		return Digits{}, fmt.Errorf("num.ToDigits: x=%d out of range [0, %d)", x, limit)
+	}
+	d := make([]int, h)
+	for i := h - 1; i >= 0; i-- {
+		d[i] = x % m
+		x /= m
+	}
+	return Digits{Base: m, D: d}, nil
+}
+
+// MustToDigits is ToDigits that panics on error.
+func MustToDigits(x, m, h int) Digits {
+	d, err := ToDigits(x, m, h)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Value converts the digit vector back to its integer value.
+func (d Digits) Value() int {
+	v := 0
+	for _, digit := range d.D {
+		v = v*d.Base + digit
+	}
+	return v
+}
+
+// Width returns the number of digits h.
+func (d Digits) Width() int { return len(d.D) }
+
+// ShiftLeftIn returns the digit vector shifted left by one position with
+// r inserted as the new least significant digit:
+// [x_{h-1},...,x_0] -> [x_{h-2},...,x_0,r]. This is the de Bruijn
+// "successor" edge.
+func (d Digits) ShiftLeftIn(r int) Digits {
+	h := len(d.D)
+	out := make([]int, h)
+	copy(out, d.D[1:])
+	out[h-1] = r
+	return Digits{Base: d.Base, D: out}
+}
+
+// ShiftRightIn returns the digit vector shifted right by one position
+// with r inserted as the new most significant digit:
+// [x_{h-1},...,x_0] -> [r,x_{h-1},...,x_1]. This is the de Bruijn
+// "predecessor" edge.
+func (d Digits) ShiftRightIn(r int) Digits {
+	h := len(d.D)
+	out := make([]int, h)
+	copy(out[1:], d.D[:h-1])
+	out[0] = r
+	return Digits{Base: d.Base, D: out}
+}
+
+// RotateLeft returns the cyclic left rotation
+// [x_{h-1},...,x_0] -> [x_{h-2},...,x_0,x_{h-1}], the perfect shuffle.
+func (d Digits) RotateLeft() Digits {
+	return d.ShiftLeftIn(d.D[0])
+}
+
+// RotateRight returns the cyclic right rotation, the inverse shuffle.
+func (d Digits) RotateRight() Digits {
+	return d.ShiftRightIn(d.D[len(d.D)-1])
+}
+
+// Exchange returns the vector with the least significant digit replaced
+// by r. With base 2 and r = 1 - x_0 this is the shuffle-exchange
+// "exchange" edge.
+func (d Digits) Exchange(r int) Digits {
+	out := make([]int, len(d.D))
+	copy(out, d.D)
+	out[len(out)-1] = r
+	return Digits{Base: d.Base, D: out}
+}
+
+// String renders the vector in the paper's bracket notation.
+func (d Digits) String() string {
+	s := "["
+	for i, v := range d.D {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s + fmt.Sprintf("]_%d", d.Base)
+}
+
+// RotLeft is the integer form of the perfect shuffle on h-digit base-m
+// numbers: the cyclic left digit rotation of x.
+func RotLeft(x, m, h int) int {
+	pow := MustIPow(m, h-1)
+	msd := x / pow
+	return (x-msd*pow)*m + msd
+}
+
+// RotRight is the integer form of the inverse shuffle: the cyclic right
+// digit rotation of x.
+func RotRight(x, m, h int) int {
+	pow := MustIPow(m, h-1)
+	lsd := x % m
+	return x/m + lsd*pow
+}
+
+// NecklacePeriod returns the smallest p >= 1 such that rotating x left p
+// times (base m, width h) returns x. p always divides h.
+func NecklacePeriod(x, m, h int) int {
+	y := x
+	for p := 1; ; p++ {
+		y = RotLeft(y, m, h)
+		if y == x {
+			return p
+		}
+	}
+}
+
+// NecklaceMin returns the smallest integer reachable from x by rotation,
+// the canonical representative of x's necklace.
+func NecklaceMin(x, m, h int) int {
+	min := x
+	y := x
+	for i := 1; i < h; i++ {
+		y = RotLeft(y, m, h)
+		if y < min {
+			min = y
+		}
+	}
+	return min
+}

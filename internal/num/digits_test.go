@@ -1,0 +1,180 @@
+package num
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToDigitsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(8) + 2
+		h := rng.Intn(6) + 1
+		limit := MustIPow(m, h)
+		x := rng.Intn(limit)
+		d := MustToDigits(x, m, h)
+		return d.Value() == x && d.Width() == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToDigitsErrors(t *testing.T) {
+	if _, err := ToDigits(-1, 2, 3); err == nil {
+		t.Error("negative x should error")
+	}
+	if _, err := ToDigits(8, 2, 3); err == nil {
+		t.Error("x = m^h should error")
+	}
+	if _, err := ToDigits(0, 1, 3); err == nil {
+		t.Error("base 1 should error")
+	}
+	if _, err := ToDigits(0, 2, 0); err == nil {
+		t.Error("width 0 should error")
+	}
+}
+
+func TestDigitsKnownValues(t *testing.T) {
+	d := MustToDigits(13, 2, 4) // 13 = 1101
+	want := []int{1, 1, 0, 1}
+	for i, v := range want {
+		if d.D[i] != v {
+			t.Fatalf("digits of 13 = %v, want %v", d.D, want)
+		}
+	}
+	if d.String() != "[1,1,0,1]_2" {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestShiftLeftInMatchesX(t *testing.T) {
+	// The paper's alternate edge definition: shifting left and inserting r
+	// is exactly X(x, m, r, m^h) — for non-wrapping values. In general
+	// ShiftLeftIn drops the most significant digit, which is exactly the
+	// mod operation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 2
+		h := rng.Intn(4) + 2
+		limit := MustIPow(m, h)
+		x := rng.Intn(limit)
+		r := rng.Intn(m)
+		d := MustToDigits(x, m, h)
+		return d.ShiftLeftIn(r).Value() == X(x, m, r, limit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftRightInInvertsShiftLeftIn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 2
+		h := rng.Intn(4) + 2
+		x := rng.Intn(MustIPow(m, h))
+		r := rng.Intn(m)
+		d := MustToDigits(x, m, h)
+		msd := d.D[0]
+		// Shift left inserting r, then shift right inserting the dropped
+		// digit restores the original.
+		back := d.ShiftLeftIn(r).ShiftRightIn(msd)
+		return back.Value() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateIsShiftWithCarriedDigit(t *testing.T) {
+	d := MustToDigits(0b1011, 2, 4)
+	if got := d.RotateLeft().Value(); got != 0b0111 {
+		t.Errorf("RotateLeft(1011) = %04b, want 0111", got)
+	}
+	if got := d.RotateRight().Value(); got != 0b1101 {
+		t.Errorf("RotateRight(1011) = %04b, want 1101", got)
+	}
+}
+
+func TestRotLeftIntMatchesDigits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 2
+		h := rng.Intn(4) + 2
+		x := rng.Intn(MustIPow(m, h))
+		d := MustToDigits(x, m, h)
+		return RotLeft(x, m, h) == d.RotateLeft().Value() &&
+			RotRight(x, m, h) == d.RotateRight().Value()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 2
+		h := rng.Intn(5) + 1
+		x := rng.Intn(MustIPow(m, h))
+		return RotRight(RotLeft(x, m, h), m, h) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	d := MustToDigits(6, 2, 3) // 110
+	if got := d.Exchange(1).Value(); got != 7 {
+		t.Errorf("Exchange(110,1) = %d, want 7", got)
+	}
+	if got := d.Exchange(0).Value(); got != 6 {
+		t.Errorf("Exchange(110,0) = %d, want 6", got)
+	}
+}
+
+func TestNecklacePeriodDividesWidth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(4) + 2
+		h := rng.Intn(5) + 1
+		x := rng.Intn(MustIPow(m, h))
+		p := NecklacePeriod(x, m, h)
+		return p >= 1 && p <= h && h%p == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNecklaceKnown(t *testing.T) {
+	// 0101 has period 2; 0000 period 1; 0011 period 4.
+	if p := NecklacePeriod(0b0101, 2, 4); p != 2 {
+		t.Errorf("period(0101) = %d, want 2", p)
+	}
+	if p := NecklacePeriod(0, 2, 4); p != 1 {
+		t.Errorf("period(0000) = %d, want 1", p)
+	}
+	if p := NecklacePeriod(0b0011, 2, 4); p != 4 {
+		t.Errorf("period(0011) = %d, want 4", p)
+	}
+	if v := NecklaceMin(0b1010, 2, 4); v != 0b0101 {
+		t.Errorf("NecklaceMin(1010) = %04b, want 0101", v)
+	}
+}
+
+func TestNecklaceMinIsRotationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(4) + 2
+		h := rng.Intn(5) + 1
+		x := rng.Intn(MustIPow(m, h))
+		return NecklaceMin(RotLeft(x, m, h), m, h) == NecklaceMin(x, m, h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

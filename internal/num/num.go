@@ -1,0 +1,227 @@
+// Package num provides the integer arithmetic that underlies the
+// fault-tolerant de Bruijn constructions: the X function from the paper,
+// modular arithmetic with negative residues, rank computations over sorted
+// sets, and digit-vector manipulation of base-m numbers.
+//
+// Everything here operates on int. The constructions in this repository
+// never exceed a few million nodes, so int (64-bit on all supported
+// platforms) is ample; functions that could overflow (IPow, Binomial)
+// detect and report it.
+package num
+
+import (
+	"fmt"
+	"sort"
+)
+
+// X is the function X(z, m, r, s) = (z*m + r) mod s used throughout the
+// paper to define de Bruijn edges and their fault-tolerant extensions.
+// r may be negative (the fault-tolerant edge rules use r down to
+// -(m-1)k); the result is always the canonical residue in [0, s).
+// X panics if s <= 0.
+func X(z, m, r, s int) int {
+	if s <= 0 {
+		panic(fmt.Sprintf("num.X: modulus s=%d must be positive", s))
+	}
+	return Mod(z*m+r, s)
+}
+
+// Mod returns a mod s with the result normalized into [0, s).
+// Go's % operator keeps the sign of the dividend; Mod does not.
+// Mod panics if s <= 0.
+func Mod(a, s int) int {
+	if s <= 0 {
+		panic(fmt.Sprintf("num.Mod: modulus s=%d must be positive", s))
+	}
+	v := a % s
+	if v < 0 {
+		v += s
+	}
+	return v
+}
+
+// GCD returns the greatest common divisor of a and b (always >= 0).
+func GCD(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ExtGCD returns g = gcd(a, b) along with x, y such that a*x + b*y = g.
+func ExtGCD(a, b int) (g, x, y int) {
+	if b == 0 {
+		if a < 0 {
+			return -a, -1, 0
+		}
+		return a, 1, 0
+	}
+	g, x1, y1 := ExtGCD(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+// ModInv returns the multiplicative inverse of a modulo s and true, or
+// 0 and false when gcd(a, s) != 1 (no inverse exists).
+func ModInv(a, s int) (int, bool) {
+	if s <= 0 {
+		panic(fmt.Sprintf("num.ModInv: modulus s=%d must be positive", s))
+	}
+	g, x, _ := ExtGCD(Mod(a, s), s)
+	if g != 1 {
+		return 0, false
+	}
+	return Mod(x, s), true
+}
+
+// IPow returns base**exp for exp >= 0, or an error on overflow or a
+// negative exponent. It is used to size de Bruijn graphs (m^h nodes),
+// where silent wraparound would corrupt every downstream structure.
+func IPow(base, exp int) (int, error) {
+	if exp < 0 {
+		return 0, fmt.Errorf("num.IPow: negative exponent %d", exp)
+	}
+	result := 1
+	b := base
+	e := exp
+	for e > 0 {
+		if e&1 == 1 {
+			if r, ok := mulCheck(result, b); ok {
+				result = r
+			} else {
+				return 0, fmt.Errorf("num.IPow: %d^%d overflows int", base, exp)
+			}
+		}
+		e >>= 1
+		if e > 0 {
+			if r, ok := mulCheck(b, b); ok {
+				b = r
+			} else {
+				return 0, fmt.Errorf("num.IPow: %d^%d overflows int", base, exp)
+			}
+		}
+	}
+	return result, nil
+}
+
+// MustIPow is IPow for callers with compile-time-safe arguments; it
+// panics on overflow.
+func MustIPow(base, exp int) int {
+	v, err := IPow(base, exp)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func mulCheck(a, b int) (int, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	r := a * b
+	if r/b != a {
+		return 0, false
+	}
+	return r, true
+}
+
+// Rank returns the number of elements of the sorted slice s that are
+// strictly smaller than x, i.e. Rank(x, S) from the paper. x need not be
+// a member of s.
+func Rank(x int, s []int) int {
+	return sort.SearchInts(s, x)
+}
+
+// ContainsSorted reports whether x occurs in the sorted slice s.
+func ContainsSorted(s []int, x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+// InsertSorted inserts x into the sorted slice s, keeping it sorted, and
+// returns the extended slice. Duplicates are allowed.
+func InsertSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// Complement returns the sorted elements of [0, n) that are not in the
+// sorted slice s. Elements of s outside [0, n) are ignored.
+func Complement(s []int, n int) []int {
+	out := make([]int, 0, n-len(s))
+	j := 0
+	for v := 0; v < n; v++ {
+		for j < len(s) && s[j] < v {
+			j++
+		}
+		if j < len(s) && s[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1.
+func Log2Ceil(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("num.Log2Ceil: n=%d must be >= 1", n))
+	}
+	bits := 0
+	v := n - 1
+	for v > 0 {
+		bits++
+		v >>= 1
+	}
+	return bits
+}
+
+// LogCeil returns the least integer c with base^c >= n, for base >= 2,
+// n >= 1.
+func LogCeil(base, n int) int {
+	if base < 2 {
+		panic(fmt.Sprintf("num.LogCeil: base=%d must be >= 2", base))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("num.LogCeil: n=%d must be >= 1", n))
+	}
+	c := 0
+	p := 1
+	for p < n {
+		p *= base
+		c++
+	}
+	return c
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Abs returns the absolute value of a.
+func Abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

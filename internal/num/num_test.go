@@ -1,0 +1,229 @@
+package num
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXMatchesDefinition(t *testing.T) {
+	cases := []struct {
+		z, m, r, s, want int
+	}{
+		{0, 2, 0, 16, 0},
+		{5, 2, 1, 16, 11},
+		{15, 2, 1, 16, 15},
+		{15, 2, 0, 16, 14},
+		{3, 2, -2, 17, 4},
+		{0, 2, -1, 17, 16},
+		{7, 3, 2, 27, 23},
+		{8, 3, -6, 28, 18},
+	}
+	for _, c := range cases {
+		if got := X(c.z, c.m, c.r, c.s); got != c.want {
+			t.Errorf("X(%d,%d,%d,%d) = %d, want %d", c.z, c.m, c.r, c.s, got, c.want)
+		}
+	}
+}
+
+func TestXAlwaysCanonical(t *testing.T) {
+	f := func(z int16, m uint8, r int16, s uint16) bool {
+		mm := int(m%8) + 2
+		ss := int(s%1000) + 1
+		v := X(int(z), mm, int(r), ss)
+		return v >= 0 && v < ss
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXPanicsOnBadModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("X with s=0 did not panic")
+		}
+	}()
+	X(1, 2, 0, 0)
+}
+
+func TestMod(t *testing.T) {
+	if Mod(-1, 5) != 4 {
+		t.Errorf("Mod(-1,5) = %d, want 4", Mod(-1, 5))
+	}
+	if Mod(-5, 5) != 0 {
+		t.Errorf("Mod(-5,5) = %d, want 0", Mod(-5, 5))
+	}
+	if Mod(7, 5) != 2 {
+		t.Errorf("Mod(7,5) = %d, want 2", Mod(7, 5))
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 18, 6}, {0, 5, 5}, {5, 0, 5}, {-12, 18, 6}, {17, 13, 1}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtGCDIdentity(t *testing.T) {
+	f := func(a, b int16) bool {
+		g, x, y := ExtGCD(int(a), int(b))
+		return int(a)*x+int(b)*y == g && g == GCD(int(a), int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModInv(t *testing.T) {
+	inv, ok := ModInv(2, 17)
+	if !ok || Mod(2*inv, 17) != 1 {
+		t.Errorf("ModInv(2,17) = %d,%v; want inverse", inv, ok)
+	}
+	if _, ok := ModInv(2, 16); ok {
+		t.Error("ModInv(2,16) should not exist")
+	}
+	// Property: whenever an inverse is reported it really inverts.
+	f := func(a int16, s uint16) bool {
+		ss := int(s%997) + 2
+		inv, ok := ModInv(int(a), ss)
+		if !ok {
+			return GCD(Mod(int(a), ss), ss) != 1
+		}
+		return Mod(Mod(int(a), ss)*inv, ss) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPow(t *testing.T) {
+	cases := []struct{ b, e, want int }{
+		{2, 0, 1}, {2, 10, 1024}, {3, 4, 81}, {10, 6, 1000000}, {1, 100, 1},
+	}
+	for _, c := range cases {
+		got, err := IPow(c.b, c.e)
+		if err != nil || got != c.want {
+			t.Errorf("IPow(%d,%d) = %d,%v; want %d", c.b, c.e, got, err, c.want)
+		}
+	}
+	if _, err := IPow(2, 100); err == nil {
+		t.Error("IPow(2,100) should overflow")
+	}
+	if _, err := IPow(2, -1); err == nil {
+		t.Error("IPow(2,-1) should error")
+	}
+}
+
+func TestRank(t *testing.T) {
+	s := []int{2, 4, 7, 9}
+	cases := []struct{ x, want int }{
+		{0, 0}, {2, 0}, {3, 1}, {4, 1}, {8, 3}, {9, 3}, {100, 4},
+	}
+	for _, c := range cases {
+		if got := Rank(c.x, s); got != c.want {
+			t.Errorf("Rank(%d, %v) = %d, want %d", c.x, s, got, c.want)
+		}
+	}
+	// Paper's sanity conditions: Rank(min(S),S)=0, Rank(max(S),S)=|S|-1.
+	if Rank(2, s) != 0 || Rank(9, s) != len(s)-1 {
+		t.Error("rank endpoints do not match paper definition")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	got := Complement([]int{1, 3}, 5)
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Complement = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Complement = %v, want %v", got, want)
+		}
+	}
+	if len(Complement(nil, 3)) != 3 {
+		t.Error("Complement(nil,3) should be all of [0,3)")
+	}
+	if len(Complement([]int{0, 1, 2}, 3)) != 0 {
+		t.Error("Complement of everything should be empty")
+	}
+}
+
+func TestComplementRankInverse(t *testing.T) {
+	// Property: the element of Complement(F, n) at index i has rank i —
+	// this is exactly the reconfiguration map of the paper.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 10
+		k := rng.Intn(n / 2)
+		faults := RandomSubset(rng, n, k)
+		healthy := Complement(faults, n)
+		for i, v := range healthy {
+			if Rank(v, healthy) != i {
+				return false
+			}
+		}
+		return len(healthy) == n-k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct{ n, want int }{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLogCeil(t *testing.T) {
+	cases := []struct{ base, n, want int }{
+		{2, 8, 3}, {2, 9, 4}, {3, 27, 3}, {3, 28, 4}, {10, 1, 0}, {5, 5, 1},
+	}
+	for _, c := range cases {
+		if got := LogCeil(c.base, c.n); got != c.want {
+			t.Errorf("LogCeil(%d,%d) = %d, want %d", c.base, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if Abs(-4) != 4 || Abs(4) != 4 || Abs(0) != 0 {
+		t.Error("Abs broken")
+	}
+}
+
+func TestInsertSortedAndContains(t *testing.T) {
+	s := []int{}
+	for _, v := range []int{5, 1, 3, 2, 4} {
+		s = InsertSorted(s, v)
+	}
+	for i := 0; i < len(s)-1; i++ {
+		if s[i] > s[i+1] {
+			t.Fatalf("not sorted: %v", s)
+		}
+	}
+	for v := 1; v <= 5; v++ {
+		if !ContainsSorted(s, v) {
+			t.Errorf("ContainsSorted missing %d", v)
+		}
+	}
+	if ContainsSorted(s, 0) || ContainsSorted(s, 6) {
+		t.Error("ContainsSorted false positive")
+	}
+}

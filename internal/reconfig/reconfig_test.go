@@ -1,0 +1,156 @@
+package reconfig
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+func TestFloodNoFaults(t *testing.T) {
+	p := ft.Params{M: 2, H: 4, K: 2}
+	host := ft.MustNew(p)
+	fl, err := Flood(host, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Rounds != 0 {
+		t.Errorf("rounds = %d, want 0 with no faults", fl.Rounds)
+	}
+}
+
+func TestFloodReachesEveryone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for h := 3; h <= 6; h++ {
+		for k := 1; k <= 4; k++ {
+			p := ft.Params{M: 2, H: h, K: k}
+			host := ft.MustNew(p)
+			faults := num.RandomSubset(rng, p.NHost(), k)
+			fl, err := Flood(host, faults)
+			if err != nil {
+				t.Fatalf("h=%d k=%d faults=%v: %v", h, k, faults, err)
+			}
+			dead := map[int]bool{}
+			for _, f := range faults {
+				dead[f] = true
+			}
+			for v := 0; v < p.NHost(); v++ {
+				if !dead[v] && !fl.Informed[v] {
+					t.Fatalf("h=%d k=%d: node %d uninformed", h, k, v)
+				}
+			}
+			// Dissemination should take at most the host diameter + 1.
+			if d := host.Diameter(); fl.Rounds > d+1 {
+				t.Errorf("h=%d k=%d: %d rounds > diameter+1 = %d", h, k, fl.Rounds, d+1)
+			}
+		}
+	}
+}
+
+func TestFloodDisconnectedFails(t *testing.T) {
+	// A path with faults at 1 and 3 isolates node 0 from fault 3's
+	// detectors: node 0 can never learn the full fault set.
+	b := graph.NewBuilder(5)
+	for i := 0; i+1 < 5; i++ {
+		b.AddEdge(i, i+1)
+	}
+	if _, err := Flood(b.Build(), []int{1, 3}); err == nil {
+		t.Fatal("unlearnable fault set should fail")
+	}
+}
+
+func TestFloodSplitButLearnableSucceeds(t *testing.T) {
+	// A single interior fault splits the path, but BOTH sides detect it
+	// directly, so knowledge still completes (the machine is partitioned,
+	// which the FT hosts' richer connectivity prevents — see the
+	// connectivity experiment M2).
+	b := graph.NewBuilder(5)
+	for i := 0; i+1 < 5; i++ {
+		b.AddEdge(i, i+1)
+	}
+	fl, err := Flood(b.Build(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, informed := range fl.Informed {
+		if v != 2 && !informed {
+			t.Errorf("node %d uninformed", v)
+		}
+	}
+}
+
+func TestFloodBadFault(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	if _, err := Flood(b.Build(), []int{7}); err == nil {
+		t.Error("out-of-range fault accepted")
+	}
+}
+
+func TestLocalAssignMatchesRank(t *testing.T) {
+	faults := []int{2, 5}
+	// healthy: 0,1,3,4,6,7,8 -> targets 0,1,2,3,4,5,spare(with nTarget=6)
+	cases := []struct{ self, want int }{
+		{0, 0}, {1, 1}, {3, 2}, {4, 3}, {6, 4}, {7, 5}, {8, -1},
+	}
+	for _, c := range cases {
+		got, err := LocalAssign(6, 9, c.self, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("LocalAssign(self=%d) = %d, want %d", c.self, got, c.want)
+		}
+	}
+	if _, err := LocalAssign(6, 9, 2, faults); err == nil {
+		t.Error("faulty self accepted")
+	}
+	if _, err := LocalAssign(6, 9, 9, faults); err == nil {
+		t.Error("out-of-range self accepted")
+	}
+}
+
+func TestRunMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		h := rng.Intn(4) + 3
+		k := rng.Intn(5)
+		p := ft.Params{M: 2, H: h, K: k}
+		host := ft.MustNew(p)
+		faults := num.RandomSubset(rng, p.NHost(), k)
+		out, err := Run(host, p.NTarget(), faults)
+		if err != nil {
+			t.Fatalf("h=%d k=%d faults=%v: %v", h, k, faults, err)
+		}
+		// The Run contract already cross-checks; verify shape here.
+		if len(out.HostToTarget) != p.NHost() {
+			t.Fatal("bad assignment length")
+		}
+		seen := map[int]bool{}
+		for _, tgt := range out.HostToTarget {
+			if tgt >= 0 {
+				if seen[tgt] {
+					t.Fatalf("target %d hosted twice", tgt)
+				}
+				seen[tgt] = true
+			}
+		}
+		if len(seen) != p.NTarget() {
+			t.Fatalf("hosted %d targets, want %d", len(seen), p.NTarget())
+		}
+	}
+}
+
+func TestRunBaseM(t *testing.T) {
+	p := ft.Params{M: 3, H: 3, K: 2}
+	host := ft.MustNew(p)
+	out, err := Run(host, p.NTarget(), []int{4, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds < 1 {
+		t.Errorf("rounds = %d, expected at least 1 with faults present", out.Rounds)
+	}
+}

@@ -1,0 +1,117 @@
+package route
+
+import (
+	"fmt"
+
+	"ftnet/internal/graph"
+)
+
+// Fault-avoiding routing: the alternative to the paper's spare-node
+// approach, in the spirit of Esfahanian–Hakimi (the paper's ref [8]).
+// Instead of reconfiguring onto spares, the unprotected machine keeps
+// running and routes AROUND faulty nodes. The price is dilation: paths
+// get longer, and some pairs may disconnect entirely once the fault
+// count reaches the graph's connectivity. The experiment suite contrasts
+// this with the paper's dilation-1 reconfiguration.
+
+// AvoidStats summarizes fault-avoiding routing over all healthy pairs.
+type AvoidStats struct {
+	Pairs        int     // healthy ordered pairs examined
+	Disconnected int     // pairs with no fault-free path
+	MaxDilation  float64 // max ratio (faulty path length / fault-free length)
+	AvgDilation  float64 // mean ratio over still-connected pairs
+}
+
+// AvoidingPath returns a minimum-hop path from u to v that avoids the
+// faulty nodes, or nil when none exists. u and v must be healthy.
+func AvoidingPath(g *graph.Graph, u, v int, faulty []bool) ([]int, error) {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return nil, fmt.Errorf("route: nodes (%d,%d) out of range [0,%d)", u, v, g.N())
+	}
+	if len(faulty) != g.N() {
+		return nil, fmt.Errorf("route: faulty mask length %d != %d", len(faulty), g.N())
+	}
+	if faulty[u] || faulty[v] {
+		return nil, fmt.Errorf("route: endpoint is faulty")
+	}
+	if u == v {
+		return []int{u}, nil
+	}
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.Neighbors(x) {
+			if parent[y] == -1 && !faulty[y] {
+				parent[y] = x
+				if y == v {
+					rev := []int{v}
+					for at := v; at != u; at = parent[at] {
+						rev = append(rev, parent[at])
+					}
+					out := make([]int, len(rev))
+					for i, w := range rev {
+						out[len(rev)-1-i] = w
+					}
+					return out, nil
+				}
+				queue = append(queue, y)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// MeasureAvoidance computes dilation statistics for all-pairs routing
+// around the given fault set on g.
+func MeasureAvoidance(g *graph.Graph, faults []int) (AvoidStats, error) {
+	n := g.N()
+	faulty := make([]bool, n)
+	for _, f := range faults {
+		if f < 0 || f >= n {
+			return AvoidStats{}, fmt.Errorf("route: fault %d out of range [0,%d)", f, n)
+		}
+		faulty[f] = true
+	}
+	var st AvoidStats
+	var dilationSum float64
+	connected := 0
+	for u := 0; u < n; u++ {
+		if faulty[u] {
+			continue
+		}
+		base := g.BFS(u)
+		for v := 0; v < n; v++ {
+			if v == u || faulty[v] {
+				continue
+			}
+			st.Pairs++
+			p, err := AvoidingPath(g, u, v, faulty)
+			if err != nil {
+				return AvoidStats{}, err
+			}
+			if p == nil {
+				st.Disconnected++
+				continue
+			}
+			if base[v] <= 0 {
+				continue // unreachable even fault-free (shouldn't happen on our graphs)
+			}
+			d := float64(len(p)-1) / float64(base[v])
+			dilationSum += d
+			connected++
+			if d > st.MaxDilation {
+				st.MaxDilation = d
+			}
+		}
+	}
+	if connected > 0 {
+		st.AvgDilation = dilationSum / float64(connected)
+	}
+	return st, nil
+}

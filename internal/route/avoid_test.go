@@ -1,0 +1,128 @@
+package route
+
+import (
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/graph"
+)
+
+func TestAvoidingPathBasic(t *testing.T) {
+	// C6 with node 1 faulty: 0 -> 2 must go the long way round.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%6)
+	}
+	g := b.Build()
+	faulty := make([]bool, 6)
+	faulty[1] = true
+	p, err := AvoidingPath(g, 0, 2, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 { // 0-5-4-3-2
+		t.Fatalf("path = %v", p)
+	}
+	for _, v := range p {
+		if faulty[v] {
+			t.Fatalf("path %v uses faulty node", p)
+		}
+	}
+	if err := Validate(p, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvoidingPathDisconnected(t *testing.T) {
+	// Path graph with interior fault: no route.
+	b := graph.NewBuilder(5)
+	for i := 0; i+1 < 5; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	faulty := make([]bool, 5)
+	faulty[2] = true
+	p, err := AvoidingPath(g, 0, 4, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatalf("expected nil path, got %v", p)
+	}
+}
+
+func TestAvoidingPathErrors(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	faulty := make([]bool, 3)
+	faulty[0] = true
+	if _, err := AvoidingPath(g, 0, 1, faulty); err == nil {
+		t.Error("faulty endpoint accepted")
+	}
+	if _, err := AvoidingPath(g, 0, 9, make([]bool, 3)); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := AvoidingPath(g, 0, 1, make([]bool, 2)); err == nil {
+		t.Error("short mask accepted")
+	}
+	p, err := AvoidingPath(g, 1, 1, make([]bool, 3))
+	if err != nil || len(p) != 1 {
+		t.Errorf("self path = %v, %v", p, err)
+	}
+}
+
+func TestMeasureAvoidanceHealthy(t *testing.T) {
+	g := debruijn.MustNew(debruijn.Params{M: 2, H: 4})
+	st, err := MeasureAvoidance(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Disconnected != 0 {
+		t.Errorf("healthy graph disconnected pairs: %d", st.Disconnected)
+	}
+	if st.MaxDilation != 1 || st.AvgDilation != 1 {
+		t.Errorf("healthy dilation max=%f avg=%f, want 1", st.MaxDilation, st.AvgDilation)
+	}
+	if st.Pairs != 16*15 {
+		t.Errorf("pairs = %d", st.Pairs)
+	}
+}
+
+func TestMeasureAvoidanceWithFaultDilates(t *testing.T) {
+	g := debruijn.MustNew(debruijn.Params{M: 2, H: 4})
+	// Fault a well-connected interior node.
+	st, err := MeasureAvoidance(g, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxDilation < 1 {
+		t.Errorf("max dilation %f", st.MaxDilation)
+	}
+	// B_{2,h} has connectivity 2; one fault cannot disconnect it unless
+	// it isolates a degree-2 node's both neighbors — a single fault never
+	// disconnects a 2-connected graph.
+	if st.Disconnected != 0 {
+		t.Errorf("one fault disconnected %d pairs in a 2-connected graph", st.Disconnected)
+	}
+}
+
+func TestMeasureAvoidanceDisconnection(t *testing.T) {
+	// Two faults CAN disconnect B_{2,h} (kappa = 2): cut off node 0 by
+	// killing its two neighbors 1 and 2^(h-1).
+	g := debruijn.MustNew(debruijn.Params{M: 2, H: 4})
+	st, err := MeasureAvoidance(g, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Disconnected == 0 {
+		t.Error("killing both neighbors of node 0 should disconnect pairs")
+	}
+}
+
+func TestMeasureAvoidanceBadFault(t *testing.T) {
+	g := debruijn.MustNew(debruijn.Params{M: 2, H: 3})
+	if _, err := MeasureAvoidance(g, []int{99}); err == nil {
+		t.Error("bad fault accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Package route implements the routing algorithms the target topologies
+// were designed for: digit-shifting routes on de Bruijn graphs (with
+// overlap shortening), shuffle-exchange routes built from shuffle and
+// exchange steps, and the lifting of any target route onto a
+// reconfigured fault-tolerant host.
+package route
+
+import (
+	"fmt"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// DeBruijnPath returns the canonical h-hop route from u to v in B_{m,h}:
+// shift in the digits of v most-significant first. Consecutive nodes are
+// de Bruijn neighbors; repeated nodes (self-loop steps) are collapsed.
+func DeBruijnPath(u, v int, p debruijn.Params) ([]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return nil, fmt.Errorf("route: nodes (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	d := num.MustToDigits(v, p.M, p.H)
+	path := []int{u}
+	cur := u
+	for _, digit := range d.D {
+		next := num.X(cur, p.M, digit, n)
+		if next != cur {
+			path = append(path, next)
+			cur = next
+		}
+	}
+	if cur != v {
+		return nil, fmt.Errorf("route: internal error, route ended at %d not %d", cur, v)
+	}
+	return path, nil
+}
+
+// Overlap returns the length of the longest suffix of u's digit string
+// that equals a prefix of v's digit string (at most h). Routing only
+// needs to shift in the remaining h - Overlap digits.
+func Overlap(u, v int, p debruijn.Params) int {
+	du := num.MustToDigits(u, p.M, p.H)
+	dv := num.MustToDigits(v, p.M, p.H)
+	for o := p.H; o > 0; o-- {
+		match := true
+		for i := 0; i < o; i++ {
+			// suffix of u of length o: du.D[h-o+i]; prefix of v: dv.D[i]
+			if du.D[p.H-o+i] != dv.D[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return o
+		}
+	}
+	return 0
+}
+
+// ShortPath returns the overlap-shortened forward route from u to v:
+// h - Overlap(u,v) shifts. It is the shortest forward (successor-only)
+// route in the de Bruijn digraph.
+func ShortPath(u, v int, p debruijn.Params) ([]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return nil, fmt.Errorf("route: nodes (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	o := Overlap(u, v, p)
+	dv := num.MustToDigits(v, p.M, p.H)
+	path := []int{u}
+	cur := u
+	for i := o; i < p.H; i++ {
+		next := num.X(cur, p.M, dv.D[i], n)
+		if next != cur {
+			path = append(path, next)
+			cur = next
+		}
+	}
+	if cur != v {
+		return nil, fmt.Errorf("route: short path ended at %d not %d", cur, v)
+	}
+	return path, nil
+}
+
+// SEStep is one move in a shuffle-exchange route.
+type SEStep struct {
+	Exchange bool // true: exchange edge (x -> x^1); false: shuffle (x -> rot left)
+}
+
+// SEPath routes from u to v on SE_h by emulating the de Bruijn shift
+// route: h rounds of (shuffle, optional exchange). Each round rotates
+// the address left and, if the incoming low bit differs from the wanted
+// digit of v, fixes it over the exchange edge. The returned node
+// sequence has consecutive SE_h neighbors; length at most 2h+1 nodes.
+func SEPath(u, v, h int) ([]int, []SEStep, error) {
+	if h < 1 {
+		return nil, nil, fmt.Errorf("route: h=%d must be >= 1", h)
+	}
+	n := num.MustIPow(2, h)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return nil, nil, fmt.Errorf("route: nodes (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	path := []int{u}
+	var steps []SEStep
+	cur := u
+	for i := h - 1; i >= 0; i-- {
+		// Shuffle: rotate left (no-op on 00..0 / 11..1 where rot is a
+		// self-loop; the address is unchanged there anyway).
+		next := num.RotLeft(cur, 2, h)
+		if next != cur {
+			path = append(path, next)
+			steps = append(steps, SEStep{Exchange: false})
+			cur = next
+		}
+		want := (v >> i) & 1
+		if cur&1 != want {
+			next = cur ^ 1
+			path = append(path, next)
+			steps = append(steps, SEStep{Exchange: true})
+			cur = next
+		}
+	}
+	if cur != v {
+		return nil, nil, fmt.Errorf("route: SE path ended at %d not %d", cur, v)
+	}
+	return path, steps, nil
+}
+
+// Lift maps a target-graph path through an embedding phi (for example a
+// reconfiguration map): hop i becomes phi[path[i]]. With a valid
+// embedding the lifted path is a path of the host graph with the SAME
+// length — the paper's construction has dilation 1, so routing suffers
+// no slowdown after reconfiguration.
+func Lift(path []int, phi []int) ([]int, error) {
+	out := make([]int, len(path))
+	for i, x := range path {
+		if x < 0 || x >= len(phi) {
+			return nil, fmt.Errorf("route: path node %d outside embedding domain [0,%d)", x, len(phi))
+		}
+		out[i] = phi[x]
+	}
+	return out, nil
+}
+
+// Validate checks that consecutive path nodes are adjacent in g (and
+// that the path is nonempty). It reports the first violation.
+func Validate(path []int, g *graph.Graph) error {
+	if len(path) == 0 {
+		return fmt.Errorf("route: empty path")
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			return fmt.Errorf("route: hop %d: (%d,%d) is not an edge", i, path[i], path[i+1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+	"ftnet/internal/shuffle"
+)
+
+func TestDeBruijnPathAllPairs(t *testing.T) {
+	for _, p := range []debruijn.Params{{M: 2, H: 4}, {M: 3, H: 3}} {
+		g := debruijn.MustNew(p)
+		n := p.N()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				path, err := DeBruijnPath(u, v, p)
+				if err != nil {
+					t.Fatalf("%v (%d,%d): %v", p, u, v, err)
+				}
+				if path[0] != u || path[len(path)-1] != v {
+					t.Fatalf("path endpoints wrong: %v", path)
+				}
+				if len(path) > p.H+1 {
+					t.Fatalf("path longer than h hops: %v", path)
+				}
+				if err := Validate(path, g); err != nil {
+					t.Fatalf("%v (%d,%d): %v", p, u, v, err)
+				}
+			}
+		}
+	}
+}
+
+func TestShortPathNeverLongerThanFull(t *testing.T) {
+	p := debruijn.Params{M: 2, H: 5}
+	g := debruijn.MustNew(p)
+	for u := 0; u < p.N(); u++ {
+		for v := 0; v < p.N(); v++ {
+			full, _ := DeBruijnPath(u, v, p)
+			short, err := ShortPath(u, v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(short) > len(full) {
+				t.Fatalf("(%d,%d): short %d > full %d", u, v, len(short), len(full))
+			}
+			if err := Validate(short, g); err != nil {
+				t.Fatal(err)
+			}
+			if short[0] != u || short[len(short)-1] != v {
+				t.Fatalf("short path endpoints wrong: %v", short)
+			}
+		}
+	}
+}
+
+func TestOverlapKnown(t *testing.T) {
+	p := debruijn.Params{M: 2, H: 4}
+	// u = 0b0011, v = 0b1101: suffix "11" of u == prefix "11" of v.
+	if o := Overlap(0b0011, 0b1101, p); o != 2 {
+		t.Errorf("overlap = %d, want 2", o)
+	}
+	if o := Overlap(5, 5, p); o != 4 {
+		t.Errorf("self overlap = %d, want 4", o)
+	}
+	if o := Overlap(0b0000, 0b1111, p); o != 0 {
+		t.Errorf("overlap = %d, want 0", o)
+	}
+}
+
+func TestOverlapPathLength(t *testing.T) {
+	// Path length (in edges, counting collapsed self-loops as 0) is at
+	// most h - overlap.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := debruijn.Params{M: rng.Intn(3) + 2, H: rng.Intn(3) + 3}
+		u := rng.Intn(p.N())
+		v := rng.Intn(p.N())
+		short, err := ShortPath(u, v, p)
+		if err != nil {
+			return false
+		}
+		return len(short)-1 <= p.H-Overlap(u, v, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSEPathAllPairs(t *testing.T) {
+	for h := 2; h <= 5; h++ {
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		n := 1 << h
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				path, steps, err := SEPath(u, v, h)
+				if err != nil {
+					t.Fatalf("h=%d (%d,%d): %v", h, u, v, err)
+				}
+				if path[0] != u || path[len(path)-1] != v {
+					t.Fatalf("endpoints wrong: %v", path)
+				}
+				if len(path) > 2*h+1 {
+					t.Fatalf("path too long: %v", path)
+				}
+				if len(steps) != len(path)-1 {
+					t.Fatalf("steps/path mismatch: %d vs %d", len(steps), len(path))
+				}
+				if err := Validate(path, se); err != nil {
+					t.Fatalf("h=%d (%d,%d): %v", h, u, v, err)
+				}
+				// Step classification must match the edge used.
+				for i, s := range steps {
+					a, b := path[i], path[i+1]
+					if s.Exchange && !shuffle.IsExchangeEdge(a, b) {
+						t.Fatalf("step %d claims exchange, edge (%d,%d)", i, a, b)
+					}
+					if !s.Exchange && !shuffle.IsShuffleEdge(a, b, h) {
+						t.Fatalf("step %d claims shuffle, edge (%d,%d)", i, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLiftPreservesLengthAndValidity(t *testing.T) {
+	// Dilation-1: a reconfigured host carries target routes unchanged.
+	rng := rand.New(rand.NewSource(77))
+	p := ft.Params{M: 2, H: 5, K: 3}
+	host := ft.MustNew(p)
+	dbp := p.Target()
+	for trial := 0; trial < 30; trial++ {
+		faults := num.RandomSubset(rng, p.NHost(), p.K)
+		mp, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi := mp.PhiSlice()
+		u, v := rng.Intn(p.NTarget()), rng.Intn(p.NTarget())
+		path, err := ShortPath(u, v, dbp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lifted, err := Lift(path, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lifted) != len(path) {
+			t.Fatal("lift changed length")
+		}
+		if err := Validate(lifted, host); err != nil {
+			t.Fatalf("faults %v route %d->%d: %v", faults, u, v, err)
+		}
+	}
+}
+
+func TestLiftErrors(t *testing.T) {
+	if _, err := Lift([]int{0, 9}, []int{5, 6}); err == nil {
+		t.Error("out-of-domain node accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if err := Validate(nil, g); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := Validate([]int{0, 2}, g); err == nil {
+		t.Error("non-edge hop accepted")
+	}
+	if err := Validate([]int{0, 1}, g); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+	if err := Validate([]int{2}, g); err != nil {
+		t.Errorf("single-node path rejected: %v", err)
+	}
+}
+
+func TestPathParamErrors(t *testing.T) {
+	p := debruijn.Params{M: 2, H: 3}
+	if _, err := DeBruijnPath(-1, 0, p); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := ShortPath(0, 8, p); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, _, err := SEPath(0, 0, 0); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, _, err := SEPath(0, 99, 3); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}

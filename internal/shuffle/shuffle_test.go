@@ -1,0 +1,162 @@
+package shuffle
+
+import (
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/num"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{H: 3}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Params{H: 0}).Validate(); err == nil {
+		t.Error("h=0 should be invalid")
+	}
+	if err := (Params{H: 80}).Validate(); err == nil {
+		t.Error("2^80 should overflow")
+	}
+}
+
+func TestSE3Structure(t *testing.T) {
+	g := MustNew(Params{H: 3})
+	if g.N() != 8 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Exchange edges.
+	for _, e := range [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("exchange edge %v missing", e)
+		}
+	}
+	// Shuffle edges: necklace (1,2,4) and (3,6,5).
+	for _, e := range [][2]int{{1, 2}, {2, 4}, {4, 1}, {3, 6}, {6, 5}, {5, 3}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("shuffle edge %v missing", e)
+		}
+	}
+	if g.M() != 10 {
+		t.Errorf("SE_3 edges = %d, want 10", g.M())
+	}
+	if g.MaxDegree() > 3 {
+		t.Errorf("SE_3 degree = %d > 3", g.MaxDegree())
+	}
+}
+
+func TestDegreeAtMost3(t *testing.T) {
+	for h := 1; h <= 9; h++ {
+		g := MustNew(Params{H: h})
+		if g.MaxDegree() > 3 {
+			t.Errorf("SE_%d max degree = %d > 3", h, g.MaxDegree())
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	for h := 2; h <= 8; h++ {
+		if !MustNew(Params{H: h}).IsConnected() {
+			t.Errorf("SE_%d should be connected", h)
+		}
+	}
+}
+
+func TestEdgeClassification(t *testing.T) {
+	h := 4
+	g := MustNew(Params{H: h})
+	g.EachEdge(func(u, v int) bool {
+		if !IsExchangeEdge(u, v) && !IsShuffleEdge(u, v, h) {
+			t.Errorf("edge (%d,%d) is neither exchange nor shuffle", u, v)
+		}
+		return true
+	})
+	if !IsExchangeEdge(6, 7) || IsExchangeEdge(5, 7) {
+		t.Error("IsExchangeEdge wrong")
+	}
+	if !IsShuffleEdge(1, 2, 3) || IsShuffleEdge(0, 3, 3) {
+		t.Error("IsShuffleEdge wrong")
+	}
+}
+
+func TestShuffleEdgesAreDeBruijnEdges(t *testing.T) {
+	// Under the identity labeling every shuffle edge is a de Bruijn edge
+	// (rotation = shift with the dropped bit reinserted); exchange edges
+	// generally are not — this is why the natural labeling costs degree
+	// 6k+4 and motivates the Feldmann–Unger relabeling.
+	for h := 2; h <= 7; h++ {
+		db := debruijn.MustNew(debruijn.Params{M: 2, H: h})
+		se := MustNew(Params{H: h})
+		someExchangeOutside := false
+		se.EachEdge(func(u, v int) bool {
+			if IsShuffleEdge(u, v, h) && !db.HasEdge(u, v) {
+				t.Errorf("h=%d: shuffle edge (%d,%d) not in B_{2,%d}", h, u, v, h)
+			}
+			if IsExchangeEdge(u, v) && !db.HasEdge(u, v) {
+				someExchangeOutside = true
+			}
+			return true
+		})
+		if h >= 3 && !someExchangeOutside {
+			t.Errorf("h=%d: all exchange edges inside dB — unexpected", h)
+		}
+	}
+}
+
+func TestNecklaces(t *testing.T) {
+	nks := Necklaces(3)
+	// 3-bit necklaces: {0}, {1,2,4}, {3,6,5}, {7}.
+	if len(nks) != 4 {
+		t.Fatalf("necklaces = %v", nks)
+	}
+	total := 0
+	for _, nk := range nks {
+		total += len(nk.Nodes)
+		if nk.Nodes[0] != nk.Rep {
+			t.Errorf("necklace does not start at rep: %v", nk)
+		}
+		for i, x := range nk.Nodes {
+			if num.NecklaceMin(x, 2, 3) != nk.Rep {
+				t.Errorf("node %d in wrong necklace %d", x, nk.Rep)
+			}
+			next := nk.Nodes[(i+1)%len(nk.Nodes)]
+			if len(nk.Nodes) > 1 && num.RotLeft(x, 2, 3) != next {
+				t.Errorf("necklace not in rotation order: %v", nk)
+			}
+		}
+	}
+	if total != 8 {
+		t.Errorf("necklaces cover %d nodes, want 8", total)
+	}
+}
+
+func TestNecklacesPartition(t *testing.T) {
+	for h := 1; h <= 8; h++ {
+		seen := map[int]bool{}
+		for _, nk := range Necklaces(h) {
+			for _, x := range nk.Nodes {
+				if seen[x] {
+					t.Fatalf("h=%d: node %d in two necklaces", h, x)
+				}
+				seen[x] = true
+			}
+		}
+		if len(seen) != 1<<h {
+			t.Errorf("h=%d: covered %d of %d nodes", h, len(seen), 1<<h)
+		}
+	}
+}
+
+func TestApplyLabels(t *testing.T) {
+	p := Params{H: 3}
+	g := MustNew(p)
+	ApplyLabels(g, p)
+	if g.Label(6) != "110" {
+		t.Errorf("label(6) = %q", g.Label(6))
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if (Params{H: 5}).String() != "SE_5" {
+		t.Error("String wrong")
+	}
+}

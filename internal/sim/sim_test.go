@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/bus"
+	"ftnet/internal/debruijn"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+)
+
+func line(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestRunSingleMessage(t *testing.T) {
+	m := NewPointToPoint(line(4), 1)
+	msgs := []*Message{{ID: 0, Route: []int{0, 1, 2, 3}}}
+	st, err := Run(m, msgs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 || st.Cycles != 3 || st.TotalHops != 3 || st.Stalled {
+		t.Errorf("stats = %v", st)
+	}
+	if !msgs[0].Delivered() || msgs[0].DeliveredAt != 3 {
+		t.Errorf("message state wrong: %+v", msgs[0])
+	}
+}
+
+func TestRunZeroHop(t *testing.T) {
+	m := NewPointToPoint(line(2), 1)
+	msgs := []*Message{{ID: 0, Route: []int{1}}}
+	st, err := Run(m, msgs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 || st.Cycles != 0 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	// Two messages over the same directed link need two cycles.
+	m := NewPointToPoint(line(2), 2)
+	msgs := []*Message{
+		{ID: 0, Route: []int{0, 1}},
+		{ID: 1, Route: []int{0, 1}},
+	}
+	st, err := Run(m, msgs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 2 || st.Delivered != 2 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestPortLimitSerializes(t *testing.T) {
+	// One port, two different links from node 0: two cycles.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	msgs := []*Message{
+		{ID: 0, Route: []int{0, 1}},
+		{ID: 1, Route: []int{0, 2}},
+	}
+	m := NewPointToPoint(g, 1)
+	st, err := Run(m, msgs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 2 {
+		t.Errorf("1-port cycles = %d, want 2", st.Cycles)
+	}
+	// With two ports both go out in one cycle.
+	msgs2 := []*Message{
+		{ID: 0, Route: []int{0, 1}},
+		{ID: 1, Route: []int{0, 2}},
+	}
+	m2 := NewPointToPoint(g, 2)
+	st2, err := Run(m2, msgs2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cycles != 1 {
+		t.Errorf("2-port cycles = %d, want 1", st2.Cycles)
+	}
+}
+
+func TestDeadNodeDropsTraffic(t *testing.T) {
+	m := NewPointToPoint(line(4), 1)
+	m.Kill(2)
+	msgs := []*Message{{ID: 0, Route: []int{0, 1, 2, 3}}}
+	st, err := Run(m, msgs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 1 || st.Delivered != 0 {
+		t.Errorf("stats = %v", st)
+	}
+	if !msgs[0].Dropped() {
+		t.Error("message not marked dropped")
+	}
+}
+
+func TestDeadSourceDropsImmediately(t *testing.T) {
+	m := NewPointToPoint(line(3), 1)
+	m.Kill(0)
+	msgs := []*Message{{ID: 0, Route: []int{0, 1}}}
+	st, err := Run(m, msgs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 1 || st.Cycles != 0 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestRunValidatesRoutes(t *testing.T) {
+	m := NewPointToPoint(line(3), 1)
+	if _, err := Run(m, []*Message{{ID: 0, Route: []int{0, 2}}}, 10); err == nil {
+		t.Error("non-link route accepted")
+	}
+	if _, err := Run(m, []*Message{{ID: 0, Route: nil}}, 10); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := Run(&Machine{G: line(2), Dead: make([]bool, 2), Ports: 0}, nil, 10); err == nil {
+		t.Error("ports=0 accepted")
+	}
+	if _, err := Run(&Machine{G: line(2), Dead: make([]bool, 2), Ports: 1, Mode: BusMode}, nil, 10); err == nil {
+		t.Error("BusMode without BusFor accepted")
+	}
+	if _, err := Run(&Machine{G: line(2), Dead: nil, Ports: 1}, nil, 10); err == nil {
+		t.Error("bad Dead length accepted")
+	}
+}
+
+func TestMaxCyclesStalls(t *testing.T) {
+	m := NewPointToPoint(line(5), 1)
+	msgs := []*Message{{ID: 0, Route: []int{0, 1, 2, 3, 4}}}
+	st, err := Run(m, msgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stalled || st.Delivered != 0 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestPermutationTrafficOnDeBruijn(t *testing.T) {
+	p := debruijn.Params{M: 2, H: 5}
+	g := debruijn.MustNew(p)
+	msgs, err := Permutation(g.N(), func(x int) int { return (x + 7) % g.N() }, BFSRouter(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewPointToPoint(g, 2)
+	st, err := Run(m, msgs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != g.N() || st.Stalled {
+		t.Errorf("stats = %v", st)
+	}
+	if st.Cycles < p.H/2 {
+		t.Errorf("suspiciously fast: %v", st)
+	}
+}
+
+func TestRandomPairs(t *testing.T) {
+	g := debruijn.MustNew(debruijn.Params{M: 2, H: 4})
+	rng := rand.New(rand.NewSource(4))
+	msgs, err := RandomPairs(rng, g.N(), 40, BFSRouter(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 40 {
+		t.Fatalf("msgs = %d", len(msgs))
+	}
+	st, err := Run(NewPointToPoint(g, 2), msgs, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 40 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestBusSerializationFactorTwo(t *testing.T) {
+	// Section V: with 2 injection ports, the bus machine is ~2x slower
+	// on the all-successors burst; with 1 port there is no slowdown.
+	p := ft.Params{M: 2, H: 4, K: 1}
+	arch := bus.MustNew(p)
+	g := arch.ConnectivityGraph()
+
+	// Every node sends one value to each of 2 de Bruijn-successor
+	// neighbors on its own bus (pick the first two distinct members).
+	var hops [][2]int
+	for i := 0; i < g.N(); i++ {
+		seen := 0
+		for _, v := range arch.Members(i) {
+			if v != i && seen < 2 {
+				hops = append(hops, [2]int{i, v})
+				seen++
+			}
+		}
+	}
+
+	p2p := NewPointToPoint(g, 2)
+	stP, err := Run(p2p, NeighborBurst(hops), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busM := NewBusMachine(arch, 2)
+	stB, err := Run(busM, NeighborBurst(hops), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stP.Cycles != 1 {
+		t.Errorf("p2p 2-port burst cycles = %d, want 1", stP.Cycles)
+	}
+	if stB.Cycles != 2 {
+		t.Errorf("bus 2-port burst cycles = %d, want 2", stB.Cycles)
+	}
+
+	// One port: both machines need 2 cycles — buses cost nothing.
+	stP1, err := Run(NewPointToPoint(g, 1), NeighborBurst(hops), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busM1 := NewBusMachine(arch, 1)
+	stB1, err := Run(busM1, NeighborBurst(hops), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stP1.Cycles != stB1.Cycles {
+		t.Errorf("1-port: p2p %d cycles vs bus %d — expected equal", stP1.Cycles, stB1.Cycles)
+	}
+}
+
+func TestBusMachineRoutesArbitraryTraffic(t *testing.T) {
+	p := ft.Params{M: 2, H: 3, K: 1}
+	arch := bus.MustNew(p)
+	m := NewBusMachine(arch, 1)
+	msgs, err := Permutation(m.G.N(), func(x int) int { return (x + 3) % m.G.N() }, BFSRouter(m.G))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(m, msgs, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != m.G.N() || st.Stalled {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Cycles: 3, Delivered: 2}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftnet/internal/bus"
+	"ftnet/internal/graph"
+)
+
+// Router produces a route (node sequence, source first) between two
+// nodes of the simulated machine.
+type Router func(u, v int) ([]int, error)
+
+// BFSRouter returns a Router that uses shortest paths in g. It is the
+// baseline router for arbitrary graphs.
+func BFSRouter(g *graph.Graph) Router {
+	return func(u, v int) ([]int, error) {
+		p := g.ShortestPath(u, v)
+		if p == nil {
+			return nil, fmt.Errorf("sim: no path %d -> %d", u, v)
+		}
+		return p, nil
+	}
+}
+
+// Permutation builds one message per source node x with destination
+// dest(x), routed by router. Messages with dest(x) == x get zero-hop
+// routes.
+func Permutation(n int, dest func(int) int, router Router) ([]*Message, error) {
+	msgs := make([]*Message, 0, n)
+	for x := 0; x < n; x++ {
+		r, err := router(x, dest(x))
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, &Message{ID: x, Route: r})
+	}
+	return msgs, nil
+}
+
+// RandomPairs builds count messages between uniformly random distinct
+// node pairs.
+func RandomPairs(rng *rand.Rand, n, count int, router Router) ([]*Message, error) {
+	msgs := make([]*Message, 0, count)
+	for i := 0; i < count; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		for v == u && n > 1 {
+			v = rng.Intn(n)
+		}
+		r, err := router(u, v)
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, &Message{ID: i, Route: r})
+	}
+	return msgs, nil
+}
+
+// NeighborBurst builds, for every listed directed hop (u,v), a one-hop
+// message u -> v. This is the Section V workload: every node sends one
+// value to each of its de Bruijn successors in the same cycle burst.
+func NeighborBurst(hops [][2]int) []*Message {
+	msgs := make([]*Message, len(hops))
+	for i, hp := range hops {
+		msgs[i] = &Message{ID: i, Route: []int{hp[0], hp[1]}}
+	}
+	return msgs
+}
+
+// NewBusMachine builds a Machine over the bus architecture: the graph is
+// the bus connectivity graph and every directed hop is carried by the
+// sender's own bus when the receiver is on it, otherwise by the
+// receiver's bus (the restrictive usage of Section V — one of the two
+// endpoints always owns the bus).
+func NewBusMachine(a *bus.Arch, ports int) *Machine {
+	g := a.ConnectivityGraph()
+	onBus := func(owner, v int) bool {
+		for _, u := range a.Members(owner) {
+			if u == v {
+				return true
+			}
+		}
+		return false
+	}
+	return &Machine{
+		G:     g,
+		Dead:  make([]bool, g.N()),
+		Ports: ports,
+		Mode:  BusMode,
+		BusFor: func(u, v int) (int, error) {
+			if onBus(u, v) {
+				return u, nil
+			}
+			if onBus(v, u) {
+				return v, nil
+			}
+			return 0, fmt.Errorf("sim: no bus covers hop (%d,%d)", u, v)
+		},
+	}
+}

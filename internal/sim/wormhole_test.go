@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+
+	"ftnet/internal/debruijn"
+)
+
+func TestWormholeSingleMessageLatency(t *testing.T) {
+	// P hops, L flits, no contention: P + L - 1 cycles.
+	m := NewPointToPoint(line(5), 1)
+	msgs := []*Message{{ID: 0, Route: []int{0, 1, 2, 3, 4}}}
+	st, err := RunWormhole(m, msgs, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msgs[0].Delivered() {
+		t.Fatal("not delivered")
+	}
+	want := 4 + 4 - 1
+	if st.Cycles != want {
+		t.Errorf("cycles = %d, want P+L-1 = %d", st.Cycles, want)
+	}
+}
+
+func TestWormholeOneFlitMatchesStoreAndForwardShape(t *testing.T) {
+	// L=1: latency = P.
+	m := NewPointToPoint(line(6), 1)
+	msgs := []*Message{{ID: 0, Route: []int{0, 1, 2, 3, 4, 5}}}
+	st, err := RunWormhole(m, msgs, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 5 {
+		t.Errorf("cycles = %d, want 5", st.Cycles)
+	}
+}
+
+func TestWormholeContentionSerializes(t *testing.T) {
+	// Two 3-flit messages sharing one link: second waits for the first
+	// worm's tail.
+	m := NewPointToPoint(line(2), 2)
+	msgs := []*Message{
+		{ID: 0, Route: []int{0, 1}},
+		{ID: 1, Route: []int{0, 1}},
+	}
+	st, err := RunWormhole(m, msgs, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// First: cycles 0..2 on the link, drains at 3 (delivered at cycle 3);
+	// second starts at 3, drains by 6.
+	if st.Cycles < 6 {
+		t.Errorf("cycles = %d, expected >= 6 with serialization", st.Cycles)
+	}
+}
+
+func TestWormholeDeadNode(t *testing.T) {
+	m := NewPointToPoint(line(4), 1)
+	m.Kill(2)
+	msgs := []*Message{{ID: 0, Route: []int{0, 1, 2, 3}}}
+	st, err := RunWormhole(m, msgs, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 1 || st.Delivered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWormholeValidation(t *testing.T) {
+	m := NewPointToPoint(line(3), 1)
+	if _, err := RunWormhole(m, []*Message{{ID: 0, Route: []int{0, 2}}}, 2, 10); err == nil {
+		t.Error("non-link route accepted")
+	}
+	if _, err := RunWormhole(m, nil, 0, 10); err == nil {
+		t.Error("flits=0 accepted")
+	}
+	bm := &Machine{G: line(3), Dead: make([]bool, 3), Ports: 1, Mode: BusMode}
+	if _, err := RunWormhole(bm, nil, 1, 10); err == nil {
+		t.Error("bus mode accepted")
+	}
+}
+
+func TestWormholePermutationOnDeBruijn(t *testing.T) {
+	g := debruijn.MustNew(debruijn.Params{M: 2, H: 5})
+	msgs, err := Permutation(g.N(), func(x int) int { return (x + 11) % g.N() }, BFSRouter(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewPointToPoint(g, 2)
+	st, err := RunWormhole(m, msgs, 4, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stalled || st.Delivered != g.N() {
+		t.Errorf("stats = %+v", st)
+	}
+	// Wormhole with L flits must be slower than single-flit but not
+	// absurdly so.
+	st1, err := RunWormhole(NewPointToPoint(g, 2), mustPerm(t, g), 1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= st1.Cycles {
+		t.Errorf("4-flit cycles %d <= 1-flit cycles %d", st.Cycles, st1.Cycles)
+	}
+}
+
+func mustPerm(t *testing.T, g interface {
+	N() int
+	ShortestPath(int, int) []int
+}) []*Message {
+	t.Helper()
+	n := g.N()
+	msgs := make([]*Message, 0, n)
+	for x := 0; x < n; x++ {
+		p := g.ShortestPath(x, (x+11)%n)
+		if p == nil {
+			t.Fatal("no path")
+		}
+		msgs = append(msgs, &Message{ID: x, Route: p})
+	}
+	return msgs
+}
+
+func TestWormholeZeroHop(t *testing.T) {
+	m := NewPointToPoint(line(2), 1)
+	msgs := []*Message{{ID: 0, Route: []int{1}}}
+	st, err := RunWormhole(m, msgs, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

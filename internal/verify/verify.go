@@ -1,0 +1,155 @@
+// Package verify checks (k, G)-tolerance claims: that a host graph,
+// under a reconfiguration rule, contains the target graph for every
+// (or for sampled) fault sets.
+//
+// The exhaustive verifier enumerates all C(n, k) fault sets and fans the
+// work out across CPUs; the randomized verifier samples fault sets from
+// configurable adversarial models. Both return a Report with counts and
+// the first failure found (verification continues long enough to count
+// failures but callers normally treat any failure as fatal).
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftnet/internal/fault"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+)
+
+// Mapper produces the embedding for a concrete fault set: phi[x] is the
+// host node assigned to target node x. Mapper must be safe for
+// concurrent use.
+type Mapper func(faults []int) ([]int, error)
+
+// Report summarizes a verification run.
+type Report struct {
+	Checked int64 // fault sets examined
+	Failed  int64 // fault sets for which embedding failed
+	First   error // first failure, annotated with its fault set
+}
+
+// Ok reports whether no failures were found.
+func (r Report) Ok() bool { return r.Failed == 0 }
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	if r.Ok() {
+		return fmt.Sprintf("ok: %d fault sets verified", r.Checked)
+	}
+	return fmt.Sprintf("FAIL: %d of %d fault sets failed (first: %v)", r.Failed, r.Checked, r.First)
+}
+
+// CheckOnce verifies a single fault set.
+func CheckOnce(target, host *graph.Graph, faults []int, mapper Mapper) error {
+	phi, err := mapper(faults)
+	if err != nil {
+		return fmt.Errorf("faults %v: %w", faults, err)
+	}
+	// The mapper must avoid the faulty nodes entirely.
+	bad := make(map[int]bool, len(faults))
+	for _, f := range faults {
+		bad[f] = true
+	}
+	for x, img := range phi {
+		if bad[img] {
+			return fmt.Errorf("faults %v: target %d mapped to faulty host %d", faults, x, img)
+		}
+	}
+	if err := graph.CheckEmbedding(target, host, phi); err != nil {
+		return fmt.Errorf("faults %v: %w", faults, err)
+	}
+	return nil
+}
+
+// Exhaustive verifies every k-subset of host nodes as a fault set,
+// using all CPUs. For k = 0 it checks the single empty fault set.
+func Exhaustive(target, host *graph.Graph, k int, mapper Mapper) Report {
+	n := host.N()
+	if k == 0 {
+		r := Report{Checked: 1}
+		if err := CheckOnce(target, host, nil, mapper); err != nil {
+			r.Failed = 1
+			r.First = err
+		}
+		return r
+	}
+
+	var checked, failed atomic.Int64
+	var mu sync.Mutex
+	var first error
+
+	record := func(err error) {
+		failed.Add(1)
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+
+	// Partition the enumeration by the smallest fault f0; workers pull
+	// f0 values from a channel and enumerate the remaining k-1 faults
+	// above f0.
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			faults := make([]int, k)
+			for f0 := range work {
+				faults[0] = f0
+				rest := n - f0 - 1
+				num.Combinations(rest, k-1, func(subset []int) bool {
+					for i, v := range subset {
+						faults[i+1] = f0 + 1 + v
+					}
+					checked.Add(1)
+					if err := CheckOnce(target, host, faults, mapper); err != nil {
+						record(err)
+					}
+					return true
+				})
+			}
+		}()
+	}
+	for f0 := 0; f0 <= n-k; f0++ {
+		work <- f0
+	}
+	close(work)
+	wg.Wait()
+
+	return Report{Checked: checked.Load(), Failed: failed.Load(), First: first}
+}
+
+// Randomized verifies `trials` fault sets per model, drawn from the
+// given fault models (default: the standard suite over the host).
+func Randomized(target, host *graph.Graph, k int, mapper Mapper, trials int, seed int64, models []fault.Model) Report {
+	if models == nil {
+		models = fault.All(host)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var rep Report
+	for _, m := range models {
+		for i := 0; i < trials; i++ {
+			faults := m.Generate(rng, host.N(), k)
+			rep.Checked++
+			if err := CheckOnce(target, host, faults, mapper); err != nil {
+				rep.Failed++
+				if rep.First == nil {
+					rep.First = fmt.Errorf("model %s: %w", m.Name(), err)
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,182 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/fault"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+	"ftnet/internal/shuffle"
+)
+
+func dbMapper(p ft.Params) Mapper {
+	return func(faults []int) ([]int, error) {
+		m, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+		if err != nil {
+			return nil, err
+		}
+		return m.PhiSlice(), nil
+	}
+}
+
+func TestExhaustiveBase2(t *testing.T) {
+	for _, p := range []ft.Params{{M: 2, H: 3, K: 1}, {M: 2, H: 3, K: 2}, {M: 2, H: 4, K: 2}} {
+		target := debruijn.MustNew(p.Target())
+		host := ft.MustNew(p)
+		rep := Exhaustive(target, host, p.K, dbMapper(p))
+		if !rep.Ok() {
+			t.Fatalf("%v: %v", p, rep)
+		}
+		want, _ := num.Binomial(p.NHost(), p.K)
+		if rep.Checked != int64(want) {
+			t.Errorf("%v: checked %d, want %d", p, rep.Checked, want)
+		}
+	}
+}
+
+func TestExhaustiveBaseM(t *testing.T) {
+	p := ft.Params{M: 3, H: 3, K: 2}
+	target := debruijn.MustNew(p.Target())
+	host := ft.MustNew(p)
+	rep := Exhaustive(target, host, p.K, dbMapper(p))
+	if !rep.Ok() {
+		t.Fatalf("%v", rep)
+	}
+}
+
+func TestExhaustiveK0(t *testing.T) {
+	p := ft.Params{M: 2, H: 3, K: 0}
+	target := debruijn.MustNew(p.Target())
+	host := ft.MustNew(p)
+	rep := Exhaustive(target, host, 0, dbMapper(p))
+	if !rep.Ok() || rep.Checked != 1 {
+		t.Fatalf("%v", rep)
+	}
+}
+
+func TestExhaustiveDetectsBrokenHost(t *testing.T) {
+	// A host that is just the target with spares but NO extra edges is
+	// not fault-tolerant; the verifier must find counterexamples.
+	p := ft.Params{M: 2, H: 3, K: 1}
+	target := debruijn.MustNew(p.Target())
+	b := graph.NewBuilder(p.NHost())
+	target.EachEdge(func(u, v int) bool { b.AddEdge(u, v); return true })
+	weakHost := b.Build()
+	rep := Exhaustive(target, weakHost, 1, func(faults []int) ([]int, error) {
+		m, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+		if err != nil {
+			return nil, err
+		}
+		return m.PhiSlice(), nil
+	})
+	if rep.Ok() {
+		t.Fatal("weak host passed exhaustive verification")
+	}
+	if rep.First == nil || rep.Failed == 0 {
+		t.Fatalf("failure not recorded: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+func TestCheckOnceRejectsMappingToFaultyNode(t *testing.T) {
+	p := ft.Params{M: 2, H: 3, K: 1}
+	target := debruijn.MustNew(p.Target())
+	host := ft.MustNew(p)
+	// Mapper that ignores faults: identity.
+	identity := func(faults []int) ([]int, error) {
+		return graph.IdentityEmbedding(p.NTarget()), nil
+	}
+	if err := CheckOnce(target, host, []int{3}, identity); err == nil {
+		t.Fatal("mapping onto faulty node accepted")
+	}
+}
+
+func TestRandomizedAllModels(t *testing.T) {
+	p := ft.Params{M: 2, H: 6, K: 4}
+	target := debruijn.MustNew(p.Target())
+	host := ft.MustNew(p)
+	rep := Randomized(target, host, p.K, dbMapper(p), 25, 42, nil)
+	if !rep.Ok() {
+		t.Fatalf("%v", rep)
+	}
+	wantChecked := int64(25 * len(fault.All(host)))
+	if rep.Checked != wantChecked {
+		t.Errorf("checked %d, want %d", rep.Checked, wantChecked)
+	}
+	if !strings.Contains(rep.String(), "ok") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+func TestRandomizedShuffleExchangeViaDB(t *testing.T) {
+	p := ft.SEParams{H: 5, K: 3}
+	host, psi, err := ft.NewSEViaDB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := shuffle.MustNew(shuffle.Params{H: p.H})
+	mapper := func(faults []int) ([]int, error) {
+		return ft.SEMapViaDB(p, psi, faults)
+	}
+	rep := Randomized(se, host, p.K, mapper, 20, 7, nil)
+	if !rep.Ok() {
+		t.Fatalf("%v", rep)
+	}
+}
+
+func TestRandomizedShuffleExchangeNatural(t *testing.T) {
+	p := ft.SEParams{H: 5, K: 3}
+	host, err := ft.NewSENatural(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := shuffle.MustNew(shuffle.Params{H: p.H})
+	mapper := func(faults []int) ([]int, error) {
+		m, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+		if err != nil {
+			return nil, err
+		}
+		return m.PhiSlice(), nil
+	}
+	rep := Randomized(se, host, p.K, mapper, 20, 11, nil)
+	if !rep.Ok() {
+		t.Fatalf("%v", rep)
+	}
+}
+
+func TestExhaustiveSEBothVariants(t *testing.T) {
+	// Full 2-fault enumeration for SE_3, both constructions.
+	pse := ft.SEParams{H: 3, K: 2}
+	se := shuffle.MustNew(shuffle.Params{H: 3})
+
+	hostV, psi, err := ft.NewSEViaDB(pse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repV := Exhaustive(se, hostV, pse.K, func(faults []int) ([]int, error) {
+		return ft.SEMapViaDB(pse, psi, faults)
+	})
+	if !repV.Ok() {
+		t.Fatalf("via-dB: %v", repV)
+	}
+
+	hostN, err := ft.NewSENatural(pse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repN := Exhaustive(se, hostN, pse.K, func(faults []int) ([]int, error) {
+		m, err := ft.NewMapping(pse.NTarget(), pse.NHost(), faults)
+		if err != nil {
+			return nil, err
+		}
+		return m.PhiSlice(), nil
+	})
+	if !repN.Ok() {
+		t.Fatalf("natural: %v", repN)
+	}
+}

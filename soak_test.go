@@ -1,0 +1,155 @@
+package ftnet
+
+// Large randomized soak tests: wide parameter sweeps with adversarial
+// fault models, skipped under -short. These complement the per-package
+// unit tests with scale.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftnet/internal/debruijn"
+	"ftnet/internal/fault"
+	"ftnet/internal/ft"
+	"ftnet/internal/graph"
+	"ftnet/internal/num"
+	"ftnet/internal/shuffle"
+	"ftnet/internal/verify"
+)
+
+func TestSoakBase2LargeMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	rng := rand.New(rand.NewSource(20260612))
+	for _, h := range []int{9, 10, 11} {
+		for _, k := range []int{1, 4, 8} {
+			p := ft.Params{M: 2, H: h, K: k}
+			host := ft.MustNew(p)
+			target := debruijn.MustNew(p.Target())
+			if host.MaxDegree() > p.DegreeBound() {
+				t.Fatalf("%v: degree %d > %d", p, host.MaxDegree(), p.DegreeBound())
+			}
+			mapper := func(f []int) ([]int, error) {
+				m, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
+				if err != nil {
+					return nil, err
+				}
+				return m.PhiSlice(), nil
+			}
+			rep := verify.Randomized(target, host, k, mapper, 10, rng.Int63(), nil)
+			if !rep.Ok() {
+				t.Fatalf("%v: %v", p, rep.First)
+			}
+		}
+	}
+}
+
+func TestSoakBaseMWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{3, 4, 5, 6, 7} {
+		for _, k := range []int{1, 3, 5} {
+			p := ft.Params{M: m, H: 3, K: k}
+			host := ft.MustNew(p)
+			target := debruijn.MustNew(p.Target())
+			mapper := func(f []int) ([]int, error) {
+				mp, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
+				if err != nil {
+					return nil, err
+				}
+				return mp.PhiSlice(), nil
+			}
+			rep := verify.Randomized(target, host, k, mapper, 10, rng.Int63(), nil)
+			if !rep.Ok() {
+				t.Fatalf("%v: %v", p, rep.First)
+			}
+		}
+	}
+}
+
+func TestSoakShuffleExchangeLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, h := range []int{8, 9, 10} {
+		k := 5
+		p := ft.SEParams{H: h, K: k}
+		host, psi, err := ft.NewSEViaDB(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se := shuffle.MustNew(shuffle.Params{H: h})
+		for _, model := range fault.All(host) {
+			for trial := 0; trial < 5; trial++ {
+				faults := model.Generate(rng, p.NHost(), k)
+				phi, err := ft.SEMapViaDB(p, psi, faults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := graph.CheckEmbedding(se, host, phi); err != nil {
+					t.Fatalf("h=%d model=%s faults=%v: %v", h, model.Name(), faults, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSoakWitnessesEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	// Every directed target edge of a large machine has a valid witness
+	// under a worst-case block fault pattern.
+	p := ft.Params{M: 2, H: 10, K: 6}
+	faults := make([]int, p.K)
+	for i := range faults {
+		faults[i] = 511 + i // consecutive block in the middle
+	}
+	mp, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.NTarget()
+	for x := 0; x < n; x++ {
+		for r := 0; r < 2; r++ {
+			y := num.X(x, 2, r, n)
+			if y == x {
+				continue
+			}
+			if _, err := ft.EdgeWitness(p, mp, x, y, r); err != nil {
+				t.Fatalf("edge (%d,%d): %v", x, y, err)
+			}
+		}
+	}
+}
+
+func TestSoakExhaustiveMidSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	// A couple of instances just past the unit-test sizes, enumerated
+	// completely (hundreds of thousands of fault sets, parallel).
+	for _, c := range []ft.Params{{M: 2, H: 4, K: 4}, {M: 2, H: 5, K: 3}} {
+		host := ft.MustNew(c)
+		target := debruijn.MustNew(c.Target())
+		mapper := func(f []int) ([]int, error) {
+			m, err := ft.NewMapping(c.NTarget(), c.NHost(), f)
+			if err != nil {
+				return nil, err
+			}
+			return m.PhiSlice(), nil
+		}
+		rep := verify.Exhaustive(target, host, c.K, mapper)
+		if !rep.Ok() {
+			t.Fatalf("%v: %v", c, rep.First)
+		}
+		want, _ := num.Binomial(c.NHost(), c.K)
+		if rep.Checked != int64(want) {
+			t.Fatalf("%v: checked %d of %d", c, rep.Checked, want)
+		}
+	}
+}
