@@ -9,11 +9,13 @@ package ftnet
 import (
 	"io"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"ftnet/internal/ascend"
 	"ftnet/internal/debruijn"
 	"ftnet/internal/experiments"
+	"ftnet/internal/fleet"
 	"ftnet/internal/ft"
 	"ftnet/internal/graph"
 	"ftnet/internal/num"
@@ -85,6 +87,75 @@ func BenchmarkReconfigure64k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ft.NewMapping(p.NTarget(), p.NHost(), faultSets[i%len(faultSets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks: the fleet's mapping cache against one-shot
+// recomputation on the same recurring fault patterns. The cached path
+// is the ftnetd Lookup fast path once a fleet keeps revisiting a
+// working set of fault sets.
+
+func recurringFaultSets(p ft.Params, n int) [][]int {
+	rng := rand.New(rand.NewSource(1))
+	sets := make([][]int, n)
+	for i := range sets {
+		sets[i] = num.RandomSubset(rng, p.NHost(), p.K)
+		sort.Ints(sets[i])
+	}
+	return sets
+}
+
+func BenchmarkReconfigureUncached(b *testing.B) {
+	p := ft.Params{M: 2, H: 16, K: 8}
+	sets := recurringFaultSets(p, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ft.NewMapping(p.NTarget(), p.NHost(), sets[i%len(sets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconfigureCached(b *testing.B) {
+	p := ft.Params{M: 2, H: 16, K: 8}
+	sets := recurringFaultSets(p, 64)
+	c := fleet.NewCache(128)
+	for _, f := range sets { // warm: every set computed once
+		if _, err := c.Get(p.NTarget(), p.NHost(), f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(p.NTarget(), p.NHost(), sets[i%len(sets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetLookup measures the full service path: Manager ->
+// instance -> current mapping, the operation ftnetd performs per
+// phi query.
+func BenchmarkFleetLookup(b *testing.B) {
+	m := fleet.NewManager(fleet.Options{})
+	spec := fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 12, K: 6}
+	if _, err := m.Create("bench", spec); err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range []int{5, 99, 1024} {
+		if _, err := m.Event("bench", fleet.Event{Kind: fleet.EventFault, Node: f}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := 1 << 12
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Lookup("bench", i%n); err != nil {
 			b.Fatal(err)
 		}
 	}

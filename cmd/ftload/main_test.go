@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ftnet/internal/fleet"
+)
+
+// TestRunAgainstInProcessDaemon points the load generator at an
+// in-process ftnetd handler and checks the whole loop: create fleet,
+// mixed traffic, merged report.
+func TestRunAgainstInProcessDaemon(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{})
+	ts := httptest.NewServer(fleet.NewHTTPHandler(mgr))
+	defer ts.Close()
+
+	cfg := config{
+		addr:      ts.URL,
+		instances: 3,
+		spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2},
+		workers:   4,
+		requests:  600,
+		eventFrac: 0.3,
+		seed:      7,
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"throughput", "latency", "p99", "errors       0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+
+	// The daemon must have seen the traffic the report claims.
+	st := mgr.Stats()
+	if st.Instances != 3 {
+		t.Errorf("instances = %d, want 3", st.Instances)
+	}
+	if st.Lookups == 0 || st.Events == 0 {
+		t.Errorf("daemon saw no traffic: %+v", st)
+	}
+	if got := int(st.Lookups + st.Events + st.Rejected); got != cfg.requests {
+		t.Errorf("ops seen by daemon = %d, want %d", got, cfg.requests)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(config{instances: 0, workers: 1, requests: 1}, &bytes.Buffer{}); err == nil {
+		t.Error("zero instances accepted")
+	}
+	bad := config{
+		addr: "http://127.0.0.1:0", instances: 1, workers: 1, requests: 1,
+		spec: fleet.Spec{Kind: "torus", H: 4, K: 1},
+	}
+	if err := run(bad, &bytes.Buffer{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestTargetHostSizes(t *testing.T) {
+	n, h := targetHostSizes(fleet.Spec{Kind: fleet.KindDeBruijn, M: 3, H: 4, K: 2})
+	if n != 81 || h != 83 {
+		t.Errorf("debruijn m=3 h=4: %d/%d, want 81/83", n, h)
+	}
+	n, h = targetHostSizes(fleet.Spec{Kind: fleet.KindShuffle, H: 5, K: 1})
+	if n != 32 || h != 33 {
+		t.Errorf("shuffle h=5: %d/%d, want 32/33", n, h)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{{50, 5}, {90, 9}, {100, 10}, {0, 1}}
+	for _, c := range cases {
+		if got := percentile(lat, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+}

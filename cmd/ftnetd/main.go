@@ -1,0 +1,75 @@
+// Command ftnetd is the online reconfiguration daemon: it owns a fleet
+// of fault-tolerant networks and serves the Manager API over HTTP/JSON.
+//
+// Usage:
+//
+//	ftnetd -addr :8080 -cache 4096
+//
+// API (see internal/fleet/api.go for the full route table):
+//
+//	POST   /v1/instances              {"id":"prod","spec":{"kind":"debruijn","m":2,"h":4,"k":2}}
+//	POST   /v1/instances/{id}/events  {"kind":"fault","node":3}  (or "repair")
+//	GET    /v1/instances/{id}/phi?x=3 where does target node 3 run now?
+//	GET    /v1/stats, /healthz, /metrics
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/instances -d '{"id":"prod","spec":{"kind":"debruijn","m":2,"h":4,"k":2}}'
+//	curl -s localhost:8080/v1/instances/prod/events -d '{"kind":"fault","node":3}'
+//	curl -s localhost:8080/v1/instances/prod/phi?x=3
+//	curl -s localhost:8080/v1/instances/prod/events -d '{"kind":"repair","node":3}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftnet/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", fleet.DefaultCacheSize, "mapping cache capacity")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(fleet.NewManager(fleet.Options{CacheSize: *cacheSize})),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("ftnetd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	log.Printf("ftnetd: serving the reconfiguration API on %s", *addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+// newServer builds the daemon's handler; split from main so the
+// end-to-end test serves the exact handler the binary runs.
+func newServer(mgr *fleet.Manager) http.Handler {
+	return fleet.NewHTTPHandler(mgr)
+}

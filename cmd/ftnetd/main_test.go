@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/ft"
+)
+
+func newTestDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(fleet.NewManager(fleet.Options{})))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func do(t *testing.T, method, url string, body any, wantCode int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d (body %s)", method, url, resp.StatusCode, wantCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, raw, err)
+		}
+	}
+}
+
+// TestDaemonEndToEnd exercises the full create -> fault -> lookup ->
+// repair cycle over HTTP and cross-checks every answer against the
+// library's one-shot reconfiguration.
+func TestDaemonEndToEnd(t *testing.T) {
+	ts := newTestDaemon(t)
+	base := ts.URL
+
+	// Create a B^2_{2,4} instance.
+	var info fleet.InstanceInfo
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "prod", "spec": fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2}},
+		http.StatusCreated, &info)
+	if info.NHost != 18 || info.SparesFree != 2 {
+		t.Fatalf("unexpected instance info %+v", info)
+	}
+
+	// Fault nodes 3 and 11.
+	var res fleet.EventResult
+	for i, n := range []int{3, 11} {
+		do(t, "POST", base+"/v1/instances/prod/events",
+			fleet.Event{Kind: fleet.EventFault, Node: n}, http.StatusOK, &res)
+		if res.NumFaults != i+1 {
+			t.Fatalf("event %d: %+v", i, res)
+		}
+	}
+
+	// Every lookup must match ft.NewMapping.
+	want, err := ft.NewMapping(16, 18, []int{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 16; x++ {
+		var pr struct{ X, Phi int }
+		do(t, "GET", fmt.Sprintf("%s/v1/instances/prod/phi?x=%d", base, x), nil, http.StatusOK, &pr)
+		if pr.Phi != want.Phi(x) {
+			t.Fatalf("phi(%d) = %d, want %d", x, pr.Phi, want.Phi(x))
+		}
+	}
+
+	// The full slice agrees too.
+	var full struct{ Phi []int }
+	do(t, "GET", base+"/v1/instances/prod/phi", nil, http.StatusOK, &full)
+	for x, phi := range full.Phi {
+		if phi != want.Phi(x) {
+			t.Fatalf("slice phi(%d) = %d, want %d", x, phi, want.Phi(x))
+		}
+	}
+
+	// Repair node 3: back to the single-fault mapping.
+	do(t, "POST", base+"/v1/instances/prod/events",
+		fleet.Event{Kind: fleet.EventRepair, Node: 3}, http.StatusOK, &res)
+	if res.NumFaults != 1 {
+		t.Fatalf("after repair: %+v", res)
+	}
+	want, _ = ft.NewMapping(16, 18, []int{11})
+	var pr struct{ X, Phi int }
+	do(t, "GET", base+"/v1/instances/prod/phi?x=11", nil, http.StatusOK, &pr)
+	if pr.Phi != want.Phi(11) {
+		t.Fatalf("after repair phi(11) = %d, want %d", pr.Phi, want.Phi(11))
+	}
+
+	// Instance snapshot and listing.
+	do(t, "GET", base+"/v1/instances/prod", nil, http.StatusOK, &info)
+	if info.Epoch != 3 || len(info.Faults) != 1 || info.Faults[0] != 11 {
+		t.Fatalf("snapshot %+v", info)
+	}
+	var list struct{ Instances []string }
+	do(t, "GET", base+"/v1/instances", nil, http.StatusOK, &list)
+	if len(list.Instances) != 1 || list.Instances[0] != "prod" {
+		t.Fatalf("list %+v", list)
+	}
+
+	// Stats and health.
+	var st fleet.Stats
+	do(t, "GET", base+"/v1/stats", nil, http.StatusOK, &st)
+	if st.Instances != 1 || st.Events != 3 || st.Lookups == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	do(t, "GET", base+"/healthz", nil, http.StatusOK, nil)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"ftnet_instances 1", "ftnet_events_total 3", "ftnet_lookups_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Delete.
+	do(t, "DELETE", base+"/v1/instances/prod", nil, http.StatusNoContent, nil)
+	do(t, "GET", base+"/v1/instances/prod", nil, http.StatusNotFound, nil)
+}
+
+// TestDaemonShufflePhiSlice pins that the bulk phi endpoint agrees
+// with single lookups for shuffle instances (the slice must be indexed
+// by SE target node, composing psi).
+func TestDaemonShufflePhiSlice(t *testing.T) {
+	ts := newTestDaemon(t)
+	base := ts.URL
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "se", "spec": fleet.Spec{Kind: fleet.KindShuffle, H: 4, K: 2}},
+		http.StatusCreated, nil)
+	do(t, "POST", base+"/v1/instances/se/events",
+		fleet.Event{Kind: fleet.EventFault, Node: 2}, http.StatusOK, nil)
+
+	var full struct{ Phi []int }
+	do(t, "GET", base+"/v1/instances/se/phi", nil, http.StatusOK, &full)
+	if len(full.Phi) != 16 {
+		t.Fatalf("slice length %d, want 16", len(full.Phi))
+	}
+	for x, want := range full.Phi {
+		var pr struct{ X, Phi int }
+		do(t, "GET", fmt.Sprintf("%s/v1/instances/se/phi?x=%d", base, x), nil, http.StatusOK, &pr)
+		if pr.Phi != want {
+			t.Fatalf("phi?x=%d = %d but slice[%d] = %d", x, pr.Phi, x, want)
+		}
+	}
+}
+
+func TestDaemonErrorPaths(t *testing.T) {
+	ts := newTestDaemon(t)
+	base := ts.URL
+
+	// Malformed body / bad spec.
+	req, _ := http.NewRequest("POST", base+"/v1/instances", strings.NewReader("{"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed create = %d, want 400", resp.StatusCode)
+	}
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "x", "spec": fleet.Spec{Kind: "torus", H: 4}},
+		http.StatusBadRequest, nil)
+
+	// Unknown instance everywhere.
+	do(t, "GET", base+"/v1/instances/ghost", nil, http.StatusNotFound, nil)
+	do(t, "GET", base+"/v1/instances/ghost/phi?x=0", nil, http.StatusNotFound, nil)
+	do(t, "POST", base+"/v1/instances/ghost/events",
+		fleet.Event{Kind: fleet.EventFault, Node: 0}, http.StatusNotFound, nil)
+	do(t, "DELETE", base+"/v1/instances/ghost", nil, http.StatusNotFound, nil)
+
+	// Budget exhaustion is a conflict, duplicate create too.
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "x", "spec": fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 1}},
+		http.StatusCreated, nil)
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "x", "spec": fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 1}},
+		http.StatusConflict, nil)
+	do(t, "POST", base+"/v1/instances/x/events",
+		fleet.Event{Kind: fleet.EventFault, Node: 0}, http.StatusOK, nil)
+	do(t, "POST", base+"/v1/instances/x/events",
+		fleet.Event{Kind: fleet.EventFault, Node: 1}, http.StatusConflict, nil)
+
+	// Bad lookup arguments.
+	do(t, "GET", base+"/v1/instances/x/phi?x=abc", nil, http.StatusBadRequest, nil)
+	do(t, "GET", base+"/v1/instances/x/phi?x=99", nil, http.StatusBadRequest, nil)
+}

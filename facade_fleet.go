@@ -1,0 +1,38 @@
+package ftnet
+
+import "ftnet/internal/fleet"
+
+// This file exposes the online reconfiguration service: a Manager owns
+// live network instances, absorbs streams of fault/repair events, and
+// answers "where does target node x run now?" at memory speed through
+// a shared, single-flight LRU mapping cache. cmd/ftnetd serves this
+// API over HTTP/JSON; cmd/ftload generates traffic against it.
+
+// Fleet-facing types, re-exported from internal/fleet.
+type (
+	// FleetManager is the sharded registry owning many live instances.
+	FleetManager = fleet.Manager
+	// FleetOptions configures NewFleetManager.
+	FleetOptions = fleet.Options
+	// FleetSpec describes the topology of one instance.
+	FleetSpec = fleet.Spec
+	// FleetEvent is one fault or repair notification.
+	FleetEvent = fleet.Event
+	// FleetInstance is one live network's state machine.
+	FleetInstance = fleet.Instance
+	// FleetStats is the fleet-wide counter snapshot.
+	FleetStats = fleet.Stats
+)
+
+// Topology kinds and event kinds for FleetSpec / FleetEvent.
+const (
+	FleetDeBruijn = fleet.KindDeBruijn
+	FleetShuffle  = fleet.KindShuffle
+	FleetFault    = fleet.EventFault
+	FleetRepair   = fleet.EventRepair
+)
+
+// NewFleetManager returns an empty online-reconfiguration manager.
+func NewFleetManager(opts FleetOptions) *FleetManager {
+	return fleet.NewManager(opts)
+}

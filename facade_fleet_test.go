@@ -1,0 +1,45 @@
+package ftnet
+
+import "testing"
+
+// TestFleetFacade walks the create -> fault -> lookup -> repair cycle
+// through the public facade and cross-checks against the one-shot
+// Reconfigure API.
+func TestFleetFacade(t *testing.T) {
+	mgr := NewFleetManager(FleetOptions{})
+	spec := FleetSpec{Kind: FleetDeBruijn, M: 2, H: 4, K: 2}
+	if _, err := mgr.Create("prod", spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []int{3, 11} {
+		if _, err := mgr.Event("prod", FleetEvent{Kind: FleetFault, Node: f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	net, err := NewDeBruijn2(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := net.Reconfigure([]int{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 16; x++ {
+		phi, err := mgr.Lookup("prod", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phi != want.Phi(x) {
+			t.Fatalf("Lookup(prod, %d) = %d, want %d", x, phi, want.Phi(x))
+		}
+	}
+
+	if _, err := mgr.Event("prod", FleetEvent{Kind: FleetRepair, Node: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.Stats()
+	if st.Instances != 1 || st.Events != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -2,16 +2,21 @@ package experiments
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
+// -update regenerates the golden files from the current experiment
+// output instead of comparing against them:
+//
+//	go test ./internal/experiments -run TestGoldenFigures -update
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from current output")
+
 // The figure experiments are fully deterministic; golden files pin their
 // exact output so structural regressions (a changed edge rule, a changed
-// reconfiguration) are caught as text diffs. Regenerate with:
-//
-//	go run ./cmd/ftbench -exp F2 | tail -n +2 > internal/experiments/testdata/F2.golden
+// reconfiguration) are caught as text diffs.
 func TestGoldenFigures(t *testing.T) {
 	for _, id := range []string{"F2", "F3", "F4"} {
 		id := id
@@ -24,12 +29,23 @@ func TestGoldenFigures(t *testing.T) {
 			if err := e.Run(&buf); err != nil {
 				t.Fatal(err)
 			}
-			want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
 			if err != nil {
-				t.Fatal(err)
+				t.Fatalf("%v (run with -update to regenerate)", err)
 			}
 			if !bytes.Equal(buf.Bytes(), want) {
-				t.Errorf("%s output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+				t.Errorf("%s output drifted from golden file (run with -update to accept).\n--- got ---\n%s\n--- want ---\n%s",
 					id, buf.String(), want)
 			}
 		})

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// This file is the HTTP/JSON surface of the Manager API, served by
+// cmd/ftnetd and driven by cmd/ftload. It lives next to the Manager so
+// both commands (and their tests) share one implementation.
+//
+// Routes:
+//
+//	POST   /v1/instances              {"id":...,"spec":{...}}
+//	GET    /v1/instances              list instance ids
+//	GET    /v1/instances/{id}         instance snapshot
+//	DELETE /v1/instances/{id}         drop an instance
+//	POST   /v1/instances/{id}/events  {"kind":"fault"|"repair","node":n}
+//	GET    /v1/instances/{id}/phi?x=n single lookup (omit x for the slice)
+//	GET    /v1/stats                  fleet-wide counters
+//	GET    /healthz                   liveness probe
+//	GET    /metrics                   Prometheus text exposition
+
+// NewHTTPHandler returns the HTTP/JSON API over the given manager.
+func NewHTTPHandler(mgr *Manager) http.Handler {
+	s := &apiServer{mgr: mgr}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/instances", s.createInstance)
+	mux.HandleFunc("GET /v1/instances", s.listInstances)
+	mux.HandleFunc("GET /v1/instances/{id}", s.getInstance)
+	mux.HandleFunc("DELETE /v1/instances/{id}", s.deleteInstance)
+	mux.HandleFunc("POST /v1/instances/{id}/events", s.postEvent)
+	mux.HandleFunc("GET /v1/instances/{id}/phi", s.getPhi)
+	mux.HandleFunc("GET /v1/stats", s.getStats)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+type apiServer struct {
+	mgr *Manager
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// errCode maps a manager error to a status by its category: unknown
+// instances are 404, state conflicts (duplicates, double faults,
+// exhausted budget) are 409, the rest are 400.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, errCode(err), apiError{Error: err.Error()})
+}
+
+// CreateRequest is the body of POST /v1/instances.
+type CreateRequest struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+}
+
+func (s *apiServer) createInstance(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	in, err := s.mgr.Create(req.ID, req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, in.Info())
+}
+
+func (s *apiServer) listInstances(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"instances": s.mgr.List()})
+}
+
+func (s *apiServer) getInstance(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, in.Info())
+}
+
+func (s *apiServer) deleteInstance(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.Delete(r.PathValue("id")) {
+		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *apiServer) postEvent(w http.ResponseWriter, r *http.Request) {
+	var ev Event
+	if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	res, err := s.mgr.Event(r.PathValue("id"), ev)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// PhiResponse is the body of GET /v1/instances/{id}/phi?x=n.
+type PhiResponse struct {
+	X   int `json:"x"`
+	Phi int `json:"phi"`
+}
+
+func (s *apiServer) getPhi(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if xs := r.URL.Query().Get("x"); xs != "" {
+		x, err := strconv.Atoi(xs)
+		if err != nil {
+			writeError(w, fmt.Errorf("bad x %q: %v", xs, err))
+			return
+		}
+		phi, err := s.mgr.Lookup(id, x)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, PhiResponse{X: x, Phi: phi})
+		return
+	}
+	in, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"phi": in.PhiSlice()})
+}
+
+func (s *apiServer) getStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Stats())
+}
+
+func (s *apiServer) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metrics writes the fleet counters in the Prometheus text exposition
+// format, hand-rolled to keep the module dependency-free.
+func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE ftnet_instances gauge\nftnet_instances %d\n", st.Instances)
+	fmt.Fprintf(w, "# TYPE ftnet_events_total counter\nftnet_events_total %d\n", st.Events)
+	fmt.Fprintf(w, "# TYPE ftnet_events_rejected_total counter\nftnet_events_rejected_total %d\n", st.Rejected)
+	fmt.Fprintf(w, "# TYPE ftnet_lookups_total counter\nftnet_lookups_total %d\n", st.Lookups)
+	fmt.Fprintf(w, "# TYPE ftnet_cache_size gauge\nftnet_cache_size %d\n", st.Cache.Size)
+	fmt.Fprintf(w, "# TYPE ftnet_cache_hits_total counter\nftnet_cache_hits_total %d\n", st.Cache.Hits)
+	fmt.Fprintf(w, "# TYPE ftnet_cache_misses_total counter\nftnet_cache_misses_total %d\n", st.Cache.Misses)
+	fmt.Fprintf(w, "# TYPE ftnet_cache_evictions_total counter\nftnet_cache_evictions_total %d\n", st.Cache.Evictions)
+}

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"sync"
+
+	"ftnet/internal/ft"
+)
+
+// Cache memoizes reconfiguration maps keyed by the canonical (sorted)
+// fault set, so a fleet of instances that keeps seeing the same fault
+// patterns resolves lookups without recomputing ft.NewMapping.
+//
+// It is safe for concurrent use. Eviction is LRU; computation is
+// single-flight: concurrent requests for the same missing key block on
+// one computation instead of racing their own.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element whose Value is *cacheEntry
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	done chan struct{} // closed once m/err are set
+	m    *ft.Mapping
+	err  error
+}
+
+// DefaultCacheSize is the capacity used when a Manager is created
+// without an explicit one. With k faults out of n+k hosts the keyspace
+// is astronomical, but real fleets revisit a small working set of
+// patterns (the same racks fail, the same repairs roll out).
+const DefaultCacheSize = 4096
+
+// NewCache returns an empty cache holding at most capacity mappings
+// (capacity <= 0 selects DefaultCacheSize).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// cacheKey canonicalizes a mapping request; faults must already be
+// sorted (Get canonicalizes before calling).
+func cacheKey(nTarget, nHost int, sortedFaults []int) string {
+	// 3+k small ints; preallocate roughly 8 bytes each.
+	b := make([]byte, 0, 8*(3+len(sortedFaults)))
+	b = strconv.AppendInt(b, int64(nTarget), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(nHost), 10)
+	b = append(b, ':')
+	for i, f := range sortedFaults {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(f), 10)
+	}
+	return string(b)
+}
+
+// Get returns the reconfiguration map for the given fault set,
+// computing and caching it on a miss. An unsorted set is canonicalized
+// on a copy first, so equal sets always share one cache entry; invalid
+// sets (ft.NewMapping rejects them) return the error and are not
+// cached.
+func (c *Cache) Get(nTarget, nHost int, sortedFaults []int) (*ft.Mapping, error) {
+	if !sort.IntsAreSorted(sortedFaults) {
+		cp := make([]int, len(sortedFaults))
+		copy(cp, sortedFaults)
+		sort.Ints(cp)
+		sortedFaults = cp
+	}
+	key := cacheKey(nTarget, nHost, sortedFaults)
+
+	c.mu.Lock()
+	if elem, ok := c.items[key]; ok {
+		c.ll.MoveToFront(elem)
+		c.hits++
+		e := elem.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-e.done // instant unless another goroutine is mid-compute
+		return e.m, e.err
+	}
+	c.misses++
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	elem := c.ll.PushFront(e)
+	c.items[key] = elem
+	c.evictLocked()
+	c.mu.Unlock()
+
+	// Compute outside the lock; waiters block on e.done, not on c.mu.
+	// NewMapping copies its argument, so the caller keeps ownership of
+	// sortedFaults.
+	e.m, e.err = ft.NewMapping(nTarget, nHost, sortedFaults)
+	close(e.done)
+
+	if e.err != nil {
+		// Do not let invalid fault sets occupy cache slots.
+		c.mu.Lock()
+		if cur, ok := c.items[key]; ok && cur.Value.(*cacheEntry) == e {
+			c.ll.Remove(cur)
+			delete(c.items, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.m, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache fits its capacity. In-flight entries are skipped so a waiter
+// never sees its entry vanish mid-compute.
+func (c *Cache) evictLocked() {
+	for elem := c.ll.Back(); elem != nil && c.ll.Len() > c.cap; {
+		prev := elem.Prev()
+		e := elem.Value.(*cacheEntry)
+		select {
+		case <-e.done:
+			c.ll.Remove(elem)
+			delete(c.items, e.key)
+			c.evictions++
+		default: // still computing; leave it
+		}
+		elem = prev
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+
+	"ftnet/internal/ft"
+)
+
+func TestCacheMatchesNewMapping(t *testing.T) {
+	c := NewCache(8)
+	p := ft.Params{M: 2, H: 4, K: 3}
+	sets := [][]int{nil, {0}, {3, 7}, {1, 9, 16}}
+	for _, faults := range sets {
+		got, err := c.Get(p.NTarget(), p.NHost(), faults)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", faults, err)
+		}
+		want, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < p.NTarget(); x++ {
+			if got.Phi(x) != want.Phi(x) {
+				t.Fatalf("faults %v: Phi(%d) = %d, want %d", faults, x, got.Phi(x), want.Phi(x))
+			}
+		}
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get(16, 18, []int{2, 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 4/1", st.Hits, st.Misses)
+	}
+	if st.Size != 1 {
+		t.Fatalf("size = %d, want 1", st.Size)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	a, b, d := []int{0}, []int{1}, []int{2}
+	mustGet := func(f []int) {
+		t.Helper()
+		if _, err := c.Get(16, 18, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(a)
+	mustGet(b)
+	mustGet(a) // refresh a: b is now LRU
+	mustGet(d) // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("evictions/size = %d/%d, want 1/2", st.Evictions, st.Size)
+	}
+	mustGet(a) // still cached
+	if got := c.Stats().Hits; got != 2 {
+		t.Fatalf("hits = %d, want 2 (a twice)", got)
+	}
+	mustGet(b) // was evicted: a fresh miss
+	if got := c.Stats().Misses; got != 4 {
+		t.Fatalf("misses = %d, want 4 (a, b, d, b again)", got)
+	}
+}
+
+func TestCacheCanonicalizesUnsortedFaults(t *testing.T) {
+	c := NewCache(8)
+	if _, err := c.Get(16, 18, []int{5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Get(16, 18, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Size != 1 {
+		t.Fatalf("unsorted set got its own entry: %+v", st)
+	}
+	want, _ := ft.NewMapping(16, 18, []int{2, 5})
+	if m.Phi(2) != want.Phi(2) {
+		t.Fatalf("Phi(2) = %d, want %d", m.Phi(2), want.Phi(2))
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(8)
+	bad := []int{99} // out of range for nHost=18
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(16, 18, bad); err == nil {
+			t.Fatal("invalid fault set accepted")
+		}
+	}
+	st := c.Stats()
+	if st.Size != 0 {
+		t.Fatalf("error entry retained: size = %d", st.Size)
+	}
+	if st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (errors must not be served from cache)", st.Misses)
+	}
+}
+
+// TestCacheSingleFlight hammers one cold key from many goroutines; the
+// single-flight path must compute the mapping exactly once.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(8)
+	const workers = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			m, err := c.Get(1<<12, 1<<12+6, []int{10, 20, 30})
+			if err != nil || m == nil {
+				t.Errorf("Get: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (single-flight)", st.Misses)
+	}
+	if st.Hits != workers-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, workers-1)
+	}
+}

@@ -1,0 +1,111 @@
+// Package fleet is the online reconfiguration service: it owns live
+// fault-tolerant network instances, absorbs streams of fault/repair
+// events, and answers "where does target node x run now?" at memory
+// speed.
+//
+// The paper (Bruck, Cypher, Ho 1992) guarantees that after ANY <= k
+// node faults the host still contains the target with dilation 1; this
+// package turns that one-shot guarantee into a long-running service:
+//
+//   - Instance: a state machine around one fault-tolerant network. It
+//     validates Fault/Repair events against the spare budget k and
+//     maintains the current reconfiguration map incrementally (the
+//     sorted fault set changes by one element per event; the monotone
+//     rank mapping of Section III-A is recomputed through the shared
+//     cache, so repeated fault patterns cost one map lookup).
+//   - Cache: a concurrency-safe mapping cache keyed by the canonical
+//     (sorted) fault set, with LRU eviction and single-flight
+//     computation so a stampede of instances hitting the same fault
+//     pattern computes ft.NewMapping exactly once.
+//   - Manager: a sharded registry owning many instances behind one API
+//     (Create, Event, Lookup, Stats), safe under `go test -race`.
+//
+// cmd/ftnetd serves this API over HTTP/JSON; cmd/ftload drives it.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"ftnet/internal/ft"
+)
+
+// Error categories, matchable with errors.Is. ErrNotFound marks
+// requests naming an unknown instance; ErrConflict marks requests the
+// current state rejects (duplicate id, double fault, exhausted budget).
+// Everything else the package returns is plain invalid input.
+var (
+	ErrNotFound = errors.New("fleet: not found")
+	ErrConflict = errors.New("fleet: conflict")
+)
+
+// fleetError carries a human message plus an errors.Is-matchable
+// category, so transports map rejections to codes without string
+// sniffing.
+type fleetError struct {
+	category error // ErrNotFound, ErrConflict, or nil
+	msg      string
+}
+
+func (e *fleetError) Error() string { return e.msg }
+
+func (e *fleetError) Unwrap() error { return e.category }
+
+func errorf(category error, format string, args ...any) error {
+	return &fleetError{category: category, msg: fmt.Sprintf(format, args...)}
+}
+
+// Kind selects the target topology of an instance.
+type Kind string
+
+// The supported topologies: the paper's two headline constructions.
+const (
+	KindDeBruijn Kind = "debruijn" // target B_{m,h}, host B^k_{m,h}
+	KindShuffle  Kind = "shuffle"  // target SE_h, host B^k_{2,h} via psi
+)
+
+// Spec describes the fault-tolerant network an instance runs.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	M    int  `json:"m,omitempty"` // base (de Bruijn only; shuffle is base 2)
+	H    int  `json:"h"`           // digits / bits
+	K    int  `json:"k"`           // fault budget
+}
+
+// Validate checks the spec against the paper's preconditions.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindDeBruijn:
+		return ft.Params{M: s.M, H: s.H, K: s.K}.Validate()
+	case KindShuffle:
+		if s.M != 0 && s.M != 2 {
+			return fmt.Errorf("fleet: shuffle-exchange is base 2, got m=%d", s.M)
+		}
+		return ft.SEParams{H: s.H, K: s.K}.Validate()
+	default:
+		return fmt.Errorf("fleet: unknown kind %q (want %q or %q)",
+			s.Kind, KindDeBruijn, KindShuffle)
+	}
+}
+
+// EventKind is the type of a reconfiguration event.
+type EventKind string
+
+// The two event kinds an instance consumes.
+const (
+	EventFault  EventKind = "fault"  // host node stops working
+	EventRepair EventKind = "repair" // host node returns to service
+)
+
+// Event is one fault or repair notification for a host node.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	Node int       `json:"node"` // host node id
+}
+
+// EventResult reports the instance state after an applied event.
+type EventResult struct {
+	Epoch     uint64 `json:"epoch"`      // total events applied so far
+	NumFaults int    `json:"num_faults"` // current fault count
+	Budget    int    `json:"budget"`     // the instance's k
+}

@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ftnet/internal/ft"
+	"ftnet/internal/shuffle"
+)
+
+// Instance is the live state machine for one fault-tolerant network.
+// It consumes Fault/Repair events, validates them against the spare
+// budget k, and keeps the current reconfiguration map ready so that
+// Lookup is a read-lock plus an array index.
+//
+// The fault set is maintained incrementally — one O(k) sorted insert or
+// delete per event — and the full mapping is obtained through the
+// shared Cache, so instances that see the same fault pattern share one
+// ft.NewMapping computation.
+type Instance struct {
+	id      string
+	spec    Spec
+	nTarget int
+	nHost   int
+	psi     []int // SE->dB embedding for KindShuffle, nil otherwise
+
+	cache *Cache
+
+	mu     sync.RWMutex
+	faults []int       // sorted, distinct, len <= spec.K
+	cur    *ft.Mapping // mapping for the current fault set (never nil)
+	epoch  uint64      // events applied
+
+	rejected atomic.Uint64 // events refused (budget, double fault, ...)
+	lookups  atomic.Uint64
+}
+
+// newInstance builds the instance in its zero-fault state. The cache
+// must be non-nil; it is shared across the manager's instances.
+func newInstance(id string, spec Spec, cache *Cache) (*Instance, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Instance{id: id, spec: spec, cache: cache}
+	switch spec.Kind {
+	case KindDeBruijn:
+		p := ft.Params{M: spec.M, H: spec.H, K: spec.K}
+		in.nTarget, in.nHost = p.NTarget(), p.NHost()
+	case KindShuffle:
+		p := ft.SEParams{H: spec.H, K: spec.K}
+		in.nTarget, in.nHost = p.NTarget(), p.NHost()
+		psi, err := shuffle.EmbedIntoDeBruijn(spec.H)
+		if err != nil {
+			return nil, err
+		}
+		in.psi = psi
+	}
+	m, err := cache.Get(in.nTarget, in.nHost, nil)
+	if err != nil {
+		return nil, err
+	}
+	in.cur = m
+	return in, nil
+}
+
+// ID returns the instance identifier.
+func (in *Instance) ID() string { return in.id }
+
+// Spec returns the topology spec the instance was created with.
+func (in *Instance) Spec() Spec { return in.spec }
+
+// Apply consumes one fault or repair event. Invalid events — unknown
+// kind, node out of range, faulting an already-faulty node, exceeding
+// the budget k, repairing a healthy node — are rejected with an error
+// and leave the state untouched.
+func (in *Instance) Apply(ev Event) (EventResult, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+
+	if ev.Node < 0 || ev.Node >= in.nHost {
+		return in.reject(nil, "node %d out of range [0,%d)", ev.Node, in.nHost)
+	}
+	i := sort.SearchInts(in.faults, ev.Node)
+	present := i < len(in.faults) && in.faults[i] == ev.Node
+
+	switch ev.Kind {
+	case EventFault:
+		if present {
+			return in.reject(ErrConflict, "node %d is already faulty", ev.Node)
+		}
+		if len(in.faults) >= in.spec.K {
+			return in.reject(ErrConflict, "fault budget k=%d exhausted (faults %v)", in.spec.K, in.faults)
+		}
+		in.faults = append(in.faults, 0)
+		copy(in.faults[i+1:], in.faults[i:])
+		in.faults[i] = ev.Node
+	case EventRepair:
+		if !present {
+			return in.reject(ErrConflict, "node %d is not faulty", ev.Node)
+		}
+		in.faults = append(in.faults[:i], in.faults[i+1:]...)
+	default:
+		return in.reject(nil, "unknown event kind %q", ev.Kind)
+	}
+
+	m, err := in.cache.Get(in.nTarget, in.nHost, in.faults)
+	if err != nil {
+		// Unreachable for a validated event; restore the previous set.
+		in.faults = append(in.faults[:0], in.cur.Faults...)
+		return EventResult{}, err
+	}
+	in.cur = m
+	in.epoch++
+	return EventResult{Epoch: in.epoch, NumFaults: len(in.faults), Budget: in.spec.K}, nil
+}
+
+func (in *Instance) reject(category error, format string, args ...any) (EventResult, error) {
+	in.rejected.Add(1)
+	return EventResult{}, errorf(category, "fleet: instance %s: "+format,
+		append([]any{in.id}, args...)...)
+}
+
+// Lookup answers "where does target node x run now?": the healthy host
+// node currently hosting x. It is safe to call concurrently with Apply.
+func (in *Instance) Lookup(x int) (int, error) {
+	if x < 0 || x >= in.nTarget {
+		return 0, fmt.Errorf("fleet: instance %s: target node %d out of range [0,%d)",
+			in.id, x, in.nTarget)
+	}
+	in.lookups.Add(1)
+	if in.psi != nil {
+		x = in.psi[x]
+	}
+	in.mu.RLock()
+	phi := in.cur.Phi(x)
+	in.mu.RUnlock()
+	return phi, nil
+}
+
+// Mapping returns the current reconfiguration map over host identities.
+// Mappings are immutable, so the result stays valid (for its epoch)
+// after later events. Note that for KindShuffle the map is indexed by
+// de Bruijn identity; use PhiSlice or Lookup for target-indexed
+// answers.
+func (in *Instance) Mapping() *ft.Mapping {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.cur
+}
+
+// PhiSlice returns the full current embedding indexed by target node:
+// PhiSlice()[x] is where target node x runs now. For KindShuffle this
+// composes the SE->dB embedding psi, agreeing with Lookup.
+func (in *Instance) PhiSlice() []int {
+	m := in.Mapping()
+	if in.psi == nil {
+		return m.PhiSlice()
+	}
+	out := make([]int, in.nTarget)
+	for x := range out {
+		out[x] = m.Phi(in.psi[x])
+	}
+	return out
+}
+
+// InstanceInfo is a point-in-time snapshot of an instance.
+type InstanceInfo struct {
+	ID         string `json:"id"`
+	Spec       Spec   `json:"spec"`
+	NTarget    int    `json:"n_target"`
+	NHost      int    `json:"n_host"`
+	Epoch      uint64 `json:"epoch"`
+	Faults     []int  `json:"faults"`
+	SparesFree int    `json:"spares_free"`
+	Rejected   uint64 `json:"rejected_events"`
+	Lookups    uint64 `json:"lookups"`
+}
+
+// Info returns a consistent snapshot of the instance state.
+func (in *Instance) Info() InstanceInfo {
+	in.mu.RLock()
+	faults := make([]int, len(in.faults))
+	copy(faults, in.faults)
+	epoch := in.epoch
+	in.mu.RUnlock()
+	return InstanceInfo{
+		ID:         in.id,
+		Spec:       in.spec,
+		NTarget:    in.nTarget,
+		NHost:      in.nHost,
+		Epoch:      epoch,
+		Faults:     faults,
+		SparesFree: in.spec.K - len(faults),
+		Rejected:   in.rejected.Load(),
+		Lookups:    in.lookups.Load(),
+	}
+}

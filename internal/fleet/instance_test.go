@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"ftnet/internal/ft"
+)
+
+func newTestInstance(t *testing.T, spec Spec) *Instance {
+	t.Helper()
+	in, err := newInstance("test", spec, NewCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}
+	in := newTestInstance(t, spec)
+
+	// Zero faults: identity placement.
+	for _, x := range []int{0, 7, 15} {
+		if phi, err := in.Lookup(x); err != nil || phi != x {
+			t.Fatalf("healthy Lookup(%d) = %d, %v; want identity", x, phi, err)
+		}
+	}
+
+	res, err := in.Apply(Event{Kind: EventFault, Node: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.NumFaults != 1 || res.Budget != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	// The rank mapping shifts everything at or above the fault up by one.
+	if phi, _ := in.Lookup(2); phi != 2 {
+		t.Errorf("Lookup(2) = %d, want 2", phi)
+	}
+	if phi, _ := in.Lookup(3); phi != 4 {
+		t.Errorf("Lookup(3) = %d, want 4", phi)
+	}
+
+	if _, err := in.Apply(Event{Kind: EventFault, Node: 11}); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check the full map against a one-shot recompute.
+	want, err := ft.NewMapping(16, 18, []int{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 16; x++ {
+		phi, err := in.Lookup(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phi != want.Phi(x) {
+			t.Fatalf("after 2 faults: Lookup(%d) = %d, want %d", x, phi, want.Phi(x))
+		}
+	}
+
+	// Repair brings the map back.
+	if _, err := in.Apply(Event{Kind: EventRepair, Node: 3}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ = ft.NewMapping(16, 18, []int{11})
+	for x := 0; x < 16; x++ {
+		if phi, _ := in.Lookup(x); phi != want.Phi(x) {
+			t.Fatalf("after repair: Lookup(%d) = %d, want %d", x, phi, want.Phi(x))
+		}
+	}
+
+	info := in.Info()
+	if info.Epoch != 3 || len(info.Faults) != 1 || info.Faults[0] != 11 || info.SparesFree != 1 {
+		t.Fatalf("unexpected info %+v", info)
+	}
+}
+
+func TestInstanceRejectsInvalidEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		prep []Event
+		ev   Event
+		want string
+	}{
+		{"out of range", nil, Event{EventFault, 17}, "out of range"},
+		{"negative", nil, Event{EventFault, -1}, "out of range"},
+		{"unknown kind", nil, Event{"explode", 3}, "unknown event kind"},
+		{"repair healthy", nil, Event{EventRepair, 5}, "not faulty"},
+		{"double fault", []Event{{EventFault, 5}}, Event{EventFault, 5}, "already faulty"},
+		{"over budget", []Event{{EventFault, 5}}, Event{EventFault, 6}, "budget"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := newTestInstance(t, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 1})
+			for _, ev := range c.prep {
+				if _, err := in.Apply(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := in.Info()
+			_, err := in.Apply(c.ev)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want containing %q", err, c.want)
+			}
+			after := in.Info()
+			if after.Epoch != before.Epoch || len(after.Faults) != len(before.Faults) {
+				t.Fatalf("rejected event mutated state: %+v -> %+v", before, after)
+			}
+			if after.Rejected != before.Rejected+1 {
+				t.Fatalf("rejected counter = %d, want %d", after.Rejected, before.Rejected+1)
+			}
+		})
+	}
+}
+
+func TestInstanceShuffleMatchesSEMapViaDB(t *testing.T) {
+	const h, k = 4, 3
+	in := newTestInstance(t, Spec{Kind: KindShuffle, H: h, K: k})
+	faults := []int{1, 8, 17}
+	for _, f := range faults {
+		if _, err := in.Apply(Event{Kind: EventFault, Node: f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := ft.SEParams{H: h, K: k}
+	_, psi, err := ft.NewSEViaDB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ft.SEMapViaDB(p, psi, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < p.NTarget(); x++ {
+		phi, err := in.Lookup(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phi != want[x] {
+			t.Fatalf("SE Lookup(%d) = %d, want %d", x, phi, want[x])
+		}
+	}
+}
+
+// TestInstancePhiSliceAgreesWithLookup pins the target-indexed
+// contract: PhiSlice()[x] == Lookup(x) for both kinds — in particular
+// for shuffle, where the slice must compose the psi embedding.
+func TestInstancePhiSliceAgreesWithLookup(t *testing.T) {
+	specs := []Spec{
+		{Kind: KindDeBruijn, M: 2, H: 4, K: 2},
+		{Kind: KindShuffle, H: 4, K: 2},
+	}
+	for _, spec := range specs {
+		in := newTestInstance(t, spec)
+		for _, f := range []int{1, 9} {
+			if _, err := in.Apply(Event{Kind: EventFault, Node: f}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		slice := in.PhiSlice()
+		for x := range slice {
+			phi, err := in.Lookup(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slice[x] != phi {
+				t.Fatalf("%s: PhiSlice()[%d] = %d but Lookup(%d) = %d",
+					spec.Kind, x, slice[x], x, phi)
+			}
+		}
+	}
+}
+
+func TestInstanceLookupOutOfRange(t *testing.T) {
+	in := newTestInstance(t, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 1})
+	if _, err := in.Lookup(16); err == nil {
+		t.Error("Lookup(16) on 16-node target accepted")
+	}
+	if _, err := in.Lookup(-1); err == nil {
+		t.Error("Lookup(-1) accepted")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{Kind: KindDeBruijn, M: 2, H: 4, K: 2},
+		{Kind: KindDeBruijn, M: 3, H: 3, K: 0},
+		{Kind: KindShuffle, H: 5, K: 4},
+		{Kind: KindShuffle, M: 2, H: 3, K: 1},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+	bad := []Spec{
+		{Kind: "torus", M: 2, H: 4, K: 1},
+		{Kind: KindDeBruijn, M: 1, H: 4, K: 1},
+		{Kind: KindDeBruijn, M: 2, H: 2, K: 1},
+		{Kind: KindDeBruijn, M: 2, H: 4, K: -1},
+		{Kind: KindShuffle, M: 3, H: 4, K: 1},
+		{Kind: KindShuffle, H: 2, K: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+}

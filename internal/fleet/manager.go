@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the number of independently-locked instance maps. A
+// power of two well above typical core counts keeps registry contention
+// negligible next to per-instance work.
+const numShards = 16
+
+// Options configures a Manager.
+type Options struct {
+	// CacheSize caps the shared mapping cache (<= 0 selects
+	// DefaultCacheSize).
+	CacheSize int
+}
+
+// Manager is the sharded registry that owns a fleet of instances behind
+// one API. All methods are safe for concurrent use.
+type Manager struct {
+	shards [numShards]shard
+	seed   maphash.Seed
+	cache  *Cache
+
+	events   atomic.Uint64 // applied events, fleet-wide
+	rejected atomic.Uint64 // rejected events, fleet-wide
+	lookups  atomic.Uint64 // lookups, fleet-wide
+}
+
+type shard struct {
+	mu        sync.RWMutex
+	instances map[string]*Instance
+}
+
+// NewManager returns an empty manager with its shared mapping cache.
+func NewManager(opts Options) *Manager {
+	m := &Manager{
+		seed:  maphash.MakeSeed(),
+		cache: NewCache(opts.CacheSize),
+	}
+	for i := range m.shards {
+		m.shards[i].instances = make(map[string]*Instance)
+	}
+	return m
+}
+
+func (m *Manager) shardFor(id string) *shard {
+	return &m.shards[maphash.String(m.seed, id)%numShards]
+}
+
+// Create registers a new instance under id. The id must be non-empty
+// and unused; the spec must satisfy the paper's preconditions.
+func (m *Manager) Create(id string, spec Spec) (*Instance, error) {
+	if id == "" {
+		return nil, fmt.Errorf("fleet: empty instance id")
+	}
+	in, err := newInstance(id, spec, m.cache)
+	if err != nil {
+		return nil, err
+	}
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.instances[id]; dup {
+		return nil, errorf(ErrConflict, "fleet: instance %q already exists", id)
+	}
+	s.instances[id] = in
+	return in, nil
+}
+
+// Get returns the instance with the given id.
+func (m *Manager) Get(id string) (*Instance, bool) {
+	s := m.shardFor(id)
+	s.mu.RLock()
+	in, ok := s.instances[id]
+	s.mu.RUnlock()
+	return in, ok
+}
+
+// Delete removes the instance with the given id, reporting whether it
+// existed.
+func (m *Manager) Delete(id string) bool {
+	s := m.shardFor(id)
+	s.mu.Lock()
+	_, ok := s.instances[id]
+	delete(s.instances, id)
+	s.mu.Unlock()
+	return ok
+}
+
+// Event routes one fault/repair event to the named instance.
+func (m *Manager) Event(id string, ev Event) (EventResult, error) {
+	in, ok := m.Get(id)
+	if !ok {
+		return EventResult{}, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	res, err := in.Apply(ev)
+	if err != nil {
+		m.rejected.Add(1)
+		return res, err
+	}
+	m.events.Add(1)
+	return res, nil
+}
+
+// Lookup answers where target node x of the named instance runs now.
+func (m *Manager) Lookup(id string, x int) (int, error) {
+	in, ok := m.Get(id)
+	if !ok {
+		return 0, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	phi, err := in.Lookup(x)
+	if err != nil {
+		return 0, err
+	}
+	m.lookups.Add(1)
+	return phi, nil
+}
+
+// List returns the sorted ids of all registered instances.
+func (m *Manager) List() []string {
+	var ids []string
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for id := range s.instances {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats is a fleet-wide counter snapshot.
+type Stats struct {
+	Instances int        `json:"instances"`
+	Events    uint64     `json:"events"`
+	Rejected  uint64     `json:"rejected"`
+	Lookups   uint64     `json:"lookups"`
+	Cache     CacheStats `json:"cache"`
+}
+
+// Stats returns a snapshot of the manager's counters and its cache.
+func (m *Manager) Stats() Stats {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.instances)
+		s.mu.RUnlock()
+	}
+	return Stats{
+		Instances: n,
+		Events:    m.events.Load(),
+		Rejected:  m.rejected.Load(),
+		Lookups:   m.lookups.Load(),
+		Cache:     m.cache.Stats(),
+	}
+}
+
+// Cache exposes the shared mapping cache (read-mostly; used by the
+// facade and benchmarks).
+func (m *Manager) Cache() *Cache { return m.cache }

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ftnet/internal/ft"
+)
+
+func TestManagerRegistry(t *testing.T) {
+	m := NewManager(Options{})
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}
+
+	if _, err := m.Create("", spec); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := m.Create("a", Spec{Kind: "nope"}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err := m.Create("a", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("a", spec); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if _, ok := m.Get("a"); !ok {
+		t.Error("Get(a) missed")
+	}
+	if _, ok := m.Get("b"); ok {
+		t.Error("Get(b) hit")
+	}
+	if _, err := m.Create("b", Spec{Kind: KindShuffle, H: 4, K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ids := m.List(); len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("List = %v", ids)
+	}
+	if !m.Delete("b") || m.Delete("b") {
+		t.Error("Delete semantics wrong")
+	}
+	if st := m.Stats(); st.Instances != 1 {
+		t.Errorf("Instances = %d, want 1", st.Instances)
+	}
+}
+
+func TestManagerEventAndLookup(t *testing.T) {
+	m := NewManager(Options{})
+	if _, err := m.Event("ghost", Event{EventFault, 0}); err == nil {
+		t.Error("event on missing instance accepted")
+	}
+	if _, err := m.Lookup("ghost", 0); err == nil {
+		t.Error("lookup on missing instance accepted")
+	}
+	if _, err := m.Create("net", Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Event("net", Event{EventFault, 3}); err != nil {
+		t.Fatal(err)
+	}
+	phi, err := m.Lookup("net", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != 4 {
+		t.Errorf("Lookup(net, 3) = %d, want 4", phi)
+	}
+	if _, err := m.Event("net", Event{EventRepair, 4}); err == nil {
+		t.Error("repair of healthy node accepted")
+	}
+	st := m.Stats()
+	if st.Events != 1 || st.Rejected != 1 || st.Lookups != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestManagerStress hits one shared Manager from many goroutines mixing
+// creates, fault/repair events, lookups and stats. Run under -race this
+// is the subsystem's concurrency proof. Every lookup answer is checked
+// against the paper's invariant 0 <= phi(x) - x <= k (Lemma 1), which
+// must hold at every epoch regardless of interleaving.
+func TestManagerStress(t *testing.T) {
+	const (
+		workers   = 8
+		instances = 4
+		opsPerG   = 400
+		k         = 6
+	)
+	m := NewManager(Options{CacheSize: 64})
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 6, K: k}
+	ids := make([]string, instances)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("net-%d", i)
+		if _, err := m.Create(ids[i], spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nTarget := ft.Params{M: 2, H: 6, K: k}.NTarget()
+	nHost := nTarget + k
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < opsPerG; op++ {
+				id := ids[rng.Intn(len(ids))]
+				switch rng.Intn(10) {
+				case 0, 1, 2: // post a fault (may be rejected: budget/dup)
+					m.Event(id, Event{EventFault, rng.Intn(nHost)})
+				case 3, 4: // post a repair (may be rejected: healthy)
+					m.Event(id, Event{EventRepair, rng.Intn(nHost)})
+				case 5:
+					m.Stats()
+					if in, ok := m.Get(id); ok {
+						in.Info()
+					}
+				default:
+					x := rng.Intn(nTarget)
+					phi, err := m.Lookup(id, x)
+					if err != nil {
+						t.Errorf("Lookup(%s, %d): %v", id, x, err)
+						return
+					}
+					if d := phi - x; d < 0 || d > k {
+						t.Errorf("Lookup(%s, %d) = %d: displacement %d outside [0,%d]",
+							id, x, phi, d, k)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Instances != instances {
+		t.Errorf("Instances = %d, want %d", st.Instances, instances)
+	}
+	if st.Events == 0 || st.Lookups == 0 {
+		t.Errorf("stress applied no work: %+v", st)
+	}
+	// Final state of every instance must equal a one-shot recompute.
+	for _, id := range ids {
+		in, _ := m.Get(id)
+		info := in.Info()
+		want, err := ft.NewMapping(nTarget, nHost, info.Faults)
+		if err != nil {
+			t.Fatalf("%s: invalid final fault set %v: %v", id, info.Faults, err)
+		}
+		for x := 0; x < nTarget; x++ {
+			phi, err := in.Lookup(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if phi != want.Phi(x) {
+				t.Fatalf("%s: final Lookup(%d) = %d, want %d", id, x, phi, want.Phi(x))
+			}
+		}
+	}
+}
