@@ -161,6 +161,37 @@ func BenchmarkFleetLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetEventBatch measures the write path ftnetd performs per
+// events:batch POST: one atomic snapshot transition applying a
+// four-event burst through the shared cache.
+func BenchmarkFleetEventBatch(b *testing.B) {
+	m := fleet.NewManager(fleet.Options{})
+	spec := fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 12, K: 6}
+	if _, err := m.Create("bench", spec); err != nil {
+		b.Fatal(err)
+	}
+	fault := []fleet.Event{{Kind: fleet.EventFault, Node: 0}, {Kind: fleet.EventFault, Node: 1},
+		{Kind: fleet.EventFault, Node: 2}, {Kind: fleet.EventFault, Node: 3}}
+	repair := []fleet.Event{{Kind: fleet.EventRepair, Node: 0}, {Kind: fleet.EventRepair, Node: 1},
+		{Kind: fleet.EventRepair, Node: 2}, {Kind: fleet.EventRepair, Node: 3}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := fault
+		if i%2 == 1 {
+			batch = repair
+		}
+		if _, err := m.EventBatch("bench", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkL1_ServiceThroughput reruns the tracked service-throughput
+// experiment (read-heavy and burst-heavy ftload scenarios against an
+// in-process daemon).
+func BenchmarkL1_ServiceThroughput(b *testing.B) { benchExperiment(b, "L1") }
+
 // Micro-benchmarks: full embedding check after reconfiguration.
 
 func BenchmarkEmbeddingCheckH10(b *testing.B) {

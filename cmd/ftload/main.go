@@ -1,7 +1,9 @@
 // Command ftload is a load generator for ftnetd: it creates a fleet of
-// instances, drives them with a configurable mix of fault/repair events
-// and phi lookups from concurrent workers, and reports throughput and
-// latency percentiles.
+// instances, drives them with a configurable mix of fault/repair
+// events and phi lookups from concurrent workers, and reports
+// throughput and latency percentiles. The traffic loop lives in
+// internal/loadgen, shared with the tracked service-throughput
+// experiment (internal/experiments L1).
 //
 // Usage:
 //
@@ -10,54 +12,51 @@
 //
 // With -eventfrac 0.1, ~10% of operations are reconfiguration events
 // (fault or repair, 50/50) and ~90% are lookups — the read-heavy shape
-// a fleet of mostly-healthy machines produces. Rejected events (budget
-// exhausted, repairing a healthy node) are counted separately: they are
-// the daemon correctly enforcing the paper's k-fault precondition, not
-// failures.
+// a fleet of mostly-healthy machines produces. With -batch n > 1 each
+// reconfiguration operation posts n events as one atomic burst through
+// events:batch. -scenario selects a named preset instead:
+//
+//	ftload -scenario read-heavy    # ~1% events, the lock-free lookup path
+//	ftload -scenario burst-heavy   # 30% events in atomic 4-event bursts
+//
+// Rejected events (budget exhausted, repairing a healthy node, a burst
+// with one invalid event) are counted separately: they are the daemon
+// correctly enforcing the paper's k-fault precondition, not failures.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
-	"net/http"
 	"os"
-	"sort"
-	"sync"
 	"time"
 
 	"ftnet/internal/fleet"
-	"ftnet/internal/ft"
+	"ftnet/internal/loadgen"
 )
 
 type config struct {
-	addr      string
-	instances int
-	spec      fleet.Spec
-	workers   int
-	requests  int
-	eventFrac float64
-	seed      int64
+	loadgen.Config
+	scenario string // named scenario; overrides eventfrac/batch when set
 }
 
 func main() {
 	var cfg config
 	var kind string
-	flag.StringVar(&cfg.addr, "addr", "http://localhost:8080", "base URL of the ftnetd daemon")
-	flag.IntVar(&cfg.instances, "instances", 4, "number of instances to create and drive")
+	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "base URL of the ftnetd daemon")
+	flag.IntVar(&cfg.Instances, "instances", 4, "number of instances to create and drive")
 	flag.StringVar(&kind, "kind", "debruijn", `topology kind: "debruijn" or "shuffle"`)
-	flag.IntVar(&cfg.spec.M, "m", 2, "de Bruijn base")
-	flag.IntVar(&cfg.spec.H, "digits", 6, "digits/bits h (2^h or m^h target nodes)")
-	flag.IntVar(&cfg.spec.K, "k", 4, "fault budget per instance")
-	flag.IntVar(&cfg.workers, "workers", 8, "concurrent workers")
-	flag.IntVar(&cfg.requests, "requests", 20000, "total operations to issue")
-	flag.Float64Var(&cfg.eventFrac, "eventfrac", 0.1, "fraction of ops that are fault/repair events")
-	flag.Int64Var(&cfg.seed, "seed", 1, "rng seed")
+	flag.IntVar(&cfg.Spec.M, "m", 2, "de Bruijn base")
+	flag.IntVar(&cfg.Spec.H, "digits", 6, "digits/bits h (2^h or m^h target nodes)")
+	flag.IntVar(&cfg.Spec.K, "k", 4, "fault budget per instance")
+	flag.IntVar(&cfg.Workers, "workers", 8, "concurrent workers")
+	flag.IntVar(&cfg.Requests, "requests", 20000, "total operations to issue")
+	flag.Float64Var(&cfg.Scenario.EventFrac, "eventfrac", 0.1, "fraction of ops that are fault/repair events")
+	flag.IntVar(&cfg.Scenario.Batch, "batch", 1, "events per reconfiguration op (> 1 uses atomic events:batch bursts)")
+	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy" or "burst-heavy" (overrides -eventfrac/-batch)`)
+	flag.Int64Var(&cfg.Seed, "seed", 1, "rng seed")
 	flag.Parse()
-	cfg.spec.Kind = fleet.Kind(kind)
+	cfg.Spec.Kind = fleet.Kind(kind)
 
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "ftload: %v\n", err)
@@ -65,176 +64,38 @@ func main() {
 	}
 }
 
-// opStats accumulates one worker's measurements; workers keep their own
-// and the reporter merges, so the hot loop takes no locks.
-type opStats struct {
-	lookups   int
-	events    int
-	rejected  int
-	errors    int
-	latencies []time.Duration // every successful operation
-}
-
 func run(cfg config, out io.Writer) error {
-	if cfg.instances < 1 || cfg.workers < 1 || cfg.requests < 1 {
-		return fmt.Errorf("instances, workers and requests must be positive")
+	if cfg.scenario != "" {
+		sc, ok := loadgen.ByName(cfg.scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q", cfg.scenario)
+		}
+		cfg.Scenario = sc
+	} else {
+		cfg.Scenario.Name = "custom"
 	}
-	if err := cfg.spec.Validate(); err != nil {
+	res, err := loadgen.Run(cfg.Config)
+	if err != nil {
 		return err
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
-
-	// Preflight: the daemon must be alive.
-	resp, err := client.Get(cfg.addr + "/healthz")
-	if err != nil {
-		return fmt.Errorf("daemon unreachable: %v", err)
-	}
-	resp.Body.Close()
-
-	// Create the fleet (tolerating instances left over from a prior run).
-	ids := make([]string, cfg.instances)
-	for i := range ids {
-		ids[i] = fmt.Sprintf("load-%d", i)
-		body, _ := json.Marshal(fleet.CreateRequest{ID: ids[i], Spec: cfg.spec})
-		resp, err := client.Post(cfg.addr+"/v1/instances", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return fmt.Errorf("create %s: %v", ids[i], err)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
-			return fmt.Errorf("create %s: status %d", ids[i], resp.StatusCode)
-		}
-	}
-
-	nTarget, nHost := targetHostSizes(cfg.spec)
-	perWorker := make([]opStats, cfg.workers)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < cfg.workers; w++ {
-		// Spread the request budget over workers; the first few absorb
-		// the remainder.
-		n := cfg.requests / cfg.workers
-		if w < cfg.requests%cfg.workers {
-			n++
-		}
-		wg.Add(1)
-		go func(w, n int) {
-			defer wg.Done()
-			st := &perWorker[w]
-			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
-			for i := 0; i < n; i++ {
-				id := ids[rng.Intn(len(ids))]
-				if rng.Float64() < cfg.eventFrac {
-					driveEvent(client, cfg.addr, id, rng, nHost, st)
-				} else {
-					driveLookup(client, cfg.addr, id, rng.Intn(nTarget), st)
-				}
-			}
-		}(w, n)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	total := opStats{}
-	for i := range perWorker {
-		st := &perWorker[i]
-		total.lookups += st.lookups
-		total.events += st.events
-		total.rejected += st.rejected
-		total.errors += st.errors
-		total.latencies = append(total.latencies, st.latencies...)
-	}
-	report(out, cfg, total, elapsed)
-	if total.errors > 0 {
-		return fmt.Errorf("%d operations failed", total.errors)
+	report(out, cfg, res)
+	if res.Errors > 0 {
+		return fmt.Errorf("%d operations failed", res.Errors)
 	}
 	return nil
 }
 
-func targetHostSizes(spec fleet.Spec) (nTarget, nHost int) {
-	if spec.Kind == fleet.KindShuffle {
-		p := ft.SEParams{H: spec.H, K: spec.K}
-		return p.NTarget(), p.NHost()
-	}
-	p := ft.Params{M: spec.M, H: spec.H, K: spec.K}
-	return p.NTarget(), p.NHost()
-}
-
-func driveEvent(client *http.Client, addr, id string, rng *rand.Rand, nHost int, st *opStats) {
-	ev := fleet.Event{Kind: fleet.EventFault, Node: rng.Intn(nHost)}
-	if rng.Intn(2) == 0 {
-		ev.Kind = fleet.EventRepair
-	}
-	body, _ := json.Marshal(ev)
-	t0 := time.Now()
-	resp, err := client.Post(addr+"/v1/instances/"+id+"/events", "application/json", bytes.NewReader(body))
-	if err != nil {
-		st.errors++
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	switch {
-	case resp.StatusCode == http.StatusOK:
-		st.events++
-		st.latencies = append(st.latencies, time.Since(t0))
-	case resp.StatusCode == http.StatusConflict || resp.StatusCode == http.StatusBadRequest:
-		// The daemon enforcing the budget / state machine: expected.
-		st.rejected++
-		st.latencies = append(st.latencies, time.Since(t0))
-	default:
-		st.errors++
-	}
-}
-
-func driveLookup(client *http.Client, addr, id string, x int, st *opStats) {
-	t0 := time.Now()
-	resp, err := client.Get(fmt.Sprintf("%s/v1/instances/%s/phi?x=%d", addr, id, x))
-	if err != nil {
-		st.errors++
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		st.errors++
-		return
-	}
-	st.lookups++
-	st.latencies = append(st.latencies, time.Since(t0))
-}
-
-// percentile returns the p-th percentile (0 <= p <= 100) of sorted
-// latencies using nearest-rank.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
-}
-
-func report(out io.Writer, cfg config, total opStats, elapsed time.Duration) {
-	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
-	done := len(total.latencies)
-	fmt.Fprintf(out, "ftload: %d ops in %v against %s\n", done, elapsed.Round(time.Millisecond), cfg.addr)
-	fmt.Fprintf(out, "  fleet        %d x %s instances (kind=%s h=%d k=%d), %d workers, eventfrac %.2f\n",
-		cfg.instances, cfg.spec.Kind, cfg.spec.Kind, cfg.spec.H, cfg.spec.K, cfg.workers, cfg.eventFrac)
-	fmt.Fprintf(out, "  lookups      %d\n", total.lookups)
-	fmt.Fprintf(out, "  events       %d applied, %d rejected (budget/state enforcement)\n",
-		total.events, total.rejected)
-	fmt.Fprintf(out, "  errors       %d\n", total.errors)
-	if elapsed > 0 {
-		fmt.Fprintf(out, "  throughput   %.0f ops/s\n", float64(done)/elapsed.Seconds())
-	}
+func report(out io.Writer, cfg config, res loadgen.Result) {
+	fmt.Fprintf(out, "ftload: %d ops in %v against %s (scenario %s)\n",
+		res.Ops(), res.Elapsed.Round(time.Millisecond), cfg.Addr, cfg.Scenario.Name)
+	fmt.Fprintf(out, "  fleet        %d x %s instances (h=%d k=%d), %d workers, eventfrac %.2f, batch %d\n",
+		cfg.Instances, cfg.Spec.Kind, cfg.Spec.H, cfg.Spec.K, cfg.Workers,
+		cfg.Scenario.EventFrac, cfg.Scenario.Batch)
+	fmt.Fprintf(out, "  lookups      %d\n", res.Lookups)
+	fmt.Fprintf(out, "  events       %d applied in %d transitions, %d rejected (budget/state enforcement)\n",
+		res.Events, res.Batches, res.Rejected)
+	fmt.Fprintf(out, "  errors       %d\n", res.Errors)
+	fmt.Fprintf(out, "  throughput   %.0f ops/s\n", res.Throughput())
 	fmt.Fprintf(out, "  latency      p50 %v  p90 %v  p99 %v  max %v\n",
-		percentile(total.latencies, 50), percentile(total.latencies, 90),
-		percentile(total.latencies, 99), percentile(total.latencies, 100))
+		res.Percentile(50), res.Percentile(90), res.Percentile(99), res.Percentile(100))
 }

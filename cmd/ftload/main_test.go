@@ -5,9 +5,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
-	"time"
 
 	"ftnet/internal/fleet"
+	"ftnet/internal/loadgen"
 )
 
 // TestRunAgainstInProcessDaemon points the load generator at an
@@ -18,21 +18,21 @@ func TestRunAgainstInProcessDaemon(t *testing.T) {
 	ts := httptest.NewServer(fleet.NewHTTPHandler(mgr))
 	defer ts.Close()
 
-	cfg := config{
-		addr:      ts.URL,
-		instances: 3,
-		spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2},
-		workers:   4,
-		requests:  600,
-		eventFrac: 0.3,
-		seed:      7,
-	}
+	cfg := config{Config: loadgen.Config{
+		Addr:      ts.URL,
+		Instances: 3,
+		Spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2},
+		Workers:   4,
+		Requests:  600,
+		Scenario:  loadgen.Scenario{EventFrac: 0.3, Batch: 1},
+		Seed:      7,
+	}}
 	var out bytes.Buffer
 	if err := run(cfg, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	got := out.String()
-	for _, want := range []string{"throughput", "latency", "p99", "errors       0"} {
+	for _, want := range []string{"throughput", "latency", "p99", "errors       0", "scenario custom"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("report missing %q:\n%s", want, got)
 		}
@@ -46,47 +46,72 @@ func TestRunAgainstInProcessDaemon(t *testing.T) {
 	if st.Lookups == 0 || st.Events == 0 {
 		t.Errorf("daemon saw no traffic: %+v", st)
 	}
-	if got := int(st.Lookups + st.Events + st.Rejected); got != cfg.requests {
-		t.Errorf("ops seen by daemon = %d, want %d", got, cfg.requests)
+	if got := int(st.Lookups + st.Events + st.Rejected); got != cfg.Requests {
+		t.Errorf("ops seen by daemon = %d, want %d", got, cfg.Requests)
+	}
+}
+
+// TestRunNamedScenario drives the burst-heavy preset: reconfiguration
+// ops become atomic events:batch bursts, and every accepted burst
+// advances its instance's epoch exactly once.
+func TestRunNamedScenario(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{})
+	ts := httptest.NewServer(fleet.NewHTTPHandler(mgr))
+	defer ts.Close()
+
+	cfg := config{
+		Config: loadgen.Config{
+			Addr:      ts.URL,
+			Instances: 2,
+			Spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 4},
+			Workers:   4,
+			Requests:  400,
+			Seed:      11,
+		},
+		scenario: "burst-heavy",
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "scenario burst-heavy") {
+		t.Errorf("report missing scenario name:\n%s", out.String())
+	}
+	st := mgr.Stats()
+	if st.Batches == 0 {
+		t.Fatalf("no bursts applied: %+v", st)
+	}
+	if st.Events < st.Batches*uint64(loadgen.BurstHeavy.Batch) {
+		t.Errorf("events %d < batches %d x %d: bursts not applied whole",
+			st.Events, st.Batches, loadgen.BurstHeavy.Batch)
+	}
+	// Epochs count transitions: the sum over instances must equal the
+	// accepted batch count.
+	var epochs uint64
+	for _, id := range mgr.List() {
+		in, _ := mgr.Get(id)
+		epochs += in.Info().Epoch
+	}
+	if epochs != st.Batches {
+		t.Errorf("epoch sum %d != accepted batches %d", epochs, st.Batches)
+	}
+
+	if err := run(config{Config: cfg.Config, scenario: "tsunami"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown scenario accepted")
 	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run(config{instances: 0, workers: 1, requests: 1}, &bytes.Buffer{}); err == nil {
+	if err := run(config{Config: loadgen.Config{Instances: 0, Workers: 1, Requests: 1,
+		Scenario: loadgen.Mixed}}, &bytes.Buffer{}); err == nil {
 		t.Error("zero instances accepted")
 	}
-	bad := config{
-		addr: "http://127.0.0.1:0", instances: 1, workers: 1, requests: 1,
-		spec: fleet.Spec{Kind: "torus", H: 4, K: 1},
-	}
+	bad := config{Config: loadgen.Config{
+		Addr: "http://127.0.0.1:0", Instances: 1, Workers: 1, Requests: 1,
+		Spec:     fleet.Spec{Kind: "torus", H: 4, K: 1},
+		Scenario: loadgen.Mixed,
+	}}
 	if err := run(bad, &bytes.Buffer{}); err == nil {
 		t.Error("bad spec accepted")
-	}
-}
-
-func TestTargetHostSizes(t *testing.T) {
-	n, h := targetHostSizes(fleet.Spec{Kind: fleet.KindDeBruijn, M: 3, H: 4, K: 2})
-	if n != 81 || h != 83 {
-		t.Errorf("debruijn m=3 h=4: %d/%d, want 81/83", n, h)
-	}
-	n, h = targetHostSizes(fleet.Spec{Kind: fleet.KindShuffle, H: 5, K: 1})
-	if n != 32 || h != 33 {
-		t.Errorf("shuffle h=5: %d/%d, want 32/33", n, h)
-	}
-}
-
-func TestPercentile(t *testing.T) {
-	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	cases := []struct {
-		p    float64
-		want time.Duration
-	}{{50, 5}, {90, 9}, {100, 10}, {0, 1}}
-	for _, c := range cases {
-		if got := percentile(lat, c.p); got != c.want {
-			t.Errorf("percentile(%v) = %v, want %v", c.p, got, c.want)
-		}
-	}
-	if got := percentile(nil, 99); got != 0 {
-		t.Errorf("percentile(nil) = %v, want 0", got)
 	}
 }

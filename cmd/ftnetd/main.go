@@ -9,6 +9,7 @@
 //
 //	POST   /v1/instances              {"id":"prod","spec":{"kind":"debruijn","m":2,"h":4,"k":2}}
 //	POST   /v1/instances/{id}/events  {"kind":"fault","node":3}  (or "repair")
+//	POST   /v1/instances/{id}/events:batch  a whole fault burst, applied atomically
 //	GET    /v1/instances/{id}/phi?x=3 where does target node 3 run now?
 //	GET    /v1/stats, /healthz, /metrics
 //
@@ -17,7 +18,8 @@
 //	curl -s localhost:8080/v1/instances -d '{"id":"prod","spec":{"kind":"debruijn","m":2,"h":4,"k":2}}'
 //	curl -s localhost:8080/v1/instances/prod/events -d '{"kind":"fault","node":3}'
 //	curl -s localhost:8080/v1/instances/prod/phi?x=3
-//	curl -s localhost:8080/v1/instances/prod/events -d '{"kind":"repair","node":3}'
+//	curl -s localhost:8080/v1/instances/prod/events:batch \
+//	     -d '{"events":[{"kind":"repair","node":3},{"kind":"fault","node":7}]}'
 package main
 
 import (

@@ -174,6 +174,91 @@ func TestDaemonShufflePhiSlice(t *testing.T) {
 	}
 }
 
+// TestDaemonEventBatch drives the events:batch endpoint end to end:
+// an atomic burst advances the epoch exactly once, a partially-invalid
+// burst changes nothing, and /v1/stats reports the rejection causes
+// and the per-shard cache breakdown.
+func TestDaemonEventBatch(t *testing.T) {
+	ts := newTestDaemon(t)
+	base := ts.URL
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "prod", "spec": fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 3}},
+		http.StatusCreated, nil)
+
+	// A three-fault burst: one transition, epoch 1.
+	var res fleet.EventResult
+	do(t, "POST", base+"/v1/instances/prod/events:batch",
+		fleet.BatchRequest{Events: []fleet.Event{
+			{Kind: fleet.EventFault, Node: 3},
+			{Kind: fleet.EventFault, Node: 11},
+			{Kind: fleet.EventFault, Node: 7},
+		}}, http.StatusOK, &res)
+	if res.Epoch != 1 || res.NumFaults != 3 || res.Applied != 3 {
+		t.Fatalf("burst result %+v", res)
+	}
+	want, err := ft.NewMapping(16, 19, []int{3, 7, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct{ X, Phi int }
+	do(t, "GET", base+"/v1/instances/prod/phi?x=5", nil, http.StatusOK, &pr)
+	if pr.Phi != want.Phi(5) {
+		t.Fatalf("phi(5) = %d, want %d", pr.Phi, want.Phi(5))
+	}
+
+	// A burst that would exceed the budget rejects whole: 409, no change.
+	do(t, "POST", base+"/v1/instances/prod/events:batch",
+		fleet.BatchRequest{Events: []fleet.Event{
+			{Kind: fleet.EventRepair, Node: 3},
+			{Kind: fleet.EventFault, Node: 0},
+			{Kind: fleet.EventFault, Node: 1},
+			{Kind: fleet.EventFault, Node: 2},
+		}}, http.StatusConflict, nil)
+	var info fleet.InstanceInfo
+	do(t, "GET", base+"/v1/instances/prod", nil, http.StatusOK, &info)
+	if info.Epoch != 1 || len(info.Faults) != 3 {
+		t.Fatalf("rejected burst changed state: %+v", info)
+	}
+
+	// Empty and malformed batches are 400.
+	do(t, "POST", base+"/v1/instances/prod/events:batch",
+		fleet.BatchRequest{}, http.StatusBadRequest, nil)
+	// Unknown instance is 404.
+	do(t, "POST", base+"/v1/instances/ghost/events:batch",
+		fleet.BatchRequest{Events: []fleet.Event{{Kind: fleet.EventFault, Node: 0}}},
+		http.StatusNotFound, nil)
+
+	// Stats carry the batch counter, the rejection causes, and the
+	// per-shard cache breakdown.
+	var st fleet.Stats
+	do(t, "GET", base+"/v1/stats", nil, http.StatusOK, &st)
+	if st.Batches != 1 || st.Events != 3 {
+		t.Errorf("batches/events = %d/%d, want 1/3", st.Batches, st.Events)
+	}
+	if st.RejectedBy.Budget != 1 || st.Rejected != 1 {
+		t.Errorf("rejected = %d by %+v, want budget 1", st.Rejected, st.RejectedBy)
+	}
+	if len(st.Cache.Shards) == 0 {
+		t.Errorf("stats missing per-shard cache breakdown: %+v", st.Cache)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"ftnet_event_batches_total 1",
+		`ftnet_events_rejected_by_cause_total{cause="budget"} 1`,
+		`ftnet_cache_shard_size{shard="0"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
 func TestDaemonErrorPaths(t *testing.T) {
 	ts := newTestDaemon(t)
 	base := ts.URL

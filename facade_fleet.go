@@ -1,12 +1,16 @@
 package ftnet
 
-import "ftnet/internal/fleet"
+import (
+	"ftnet/internal/fleet"
+	"ftnet/internal/ft"
+)
 
 // This file exposes the online reconfiguration service: a Manager owns
-// live network instances, absorbs streams of fault/repair events, and
-// answers "where does target node x run now?" at memory speed through
-// a shared, single-flight LRU mapping cache. cmd/ftnetd serves this
-// API over HTTP/JSON; cmd/ftload generates traffic against it.
+// live network instances, absorbs streams of fault/repair events
+// (singly or as atomic bursts), and answers "where does target node x
+// run now?" lock-free from an immutable epoch snapshot, backed by a
+// shared, sharded, single-flight LRU mapping cache. cmd/ftnetd serves
+// this API over HTTP/JSON; cmd/ftload generates traffic against it.
 
 // Fleet-facing types, re-exported from internal/fleet.
 type (
@@ -22,6 +26,11 @@ type (
 	FleetInstance = fleet.Instance
 	// FleetStats is the fleet-wide counter snapshot.
 	FleetStats = fleet.Stats
+	// FleetSnapshot is the immutable per-epoch state (fault set +
+	// mapping + epoch) an instance publishes; FleetInstance.Snapshot
+	// returns the current one, and it stays valid for its epoch after
+	// later events.
+	FleetSnapshot = ft.Snapshot
 )
 
 // Topology kinds and event kinds for FleetSpec / FleetEvent.

@@ -43,3 +43,44 @@ func TestFleetFacade(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestFleetFacadeBatchAndSnapshot drives an atomic burst through the
+// facade and pins the snapshot contract: one epoch per transition, and
+// a held FleetSnapshot keeps answering for its epoch.
+func TestFleetFacadeBatchAndSnapshot(t *testing.T) {
+	mgr := NewFleetManager(FleetOptions{})
+	if _, err := mgr.Create("prod", FleetSpec{Kind: FleetDeBruijn, M: 2, H: 4, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mgr.EventBatch("prod", []FleetEvent{
+		{Kind: FleetFault, Node: 3},
+		{Kind: FleetFault, Node: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.NumFaults != 2 || res.Applied != 2 {
+		t.Fatalf("batch result %+v", res)
+	}
+	in, _ := mgr.Get("prod")
+	var held *FleetSnapshot = in.Snapshot()
+	if _, err := mgr.Event("prod", FleetEvent{Kind: FleetFault, Node: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if held.Epoch() != 1 || held.NumFaults() != 2 {
+		t.Fatalf("held snapshot changed: epoch %d faults %v", held.Epoch(), held.Faults())
+	}
+	net, err := NewDeBruijn2(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := net.Reconfigure([]int{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 16; x++ {
+		if held.Phi(x) != want.Phi(x) {
+			t.Fatalf("held snapshot Phi(%d) = %d, want %d", x, held.Phi(x), want.Phi(x))
+		}
+	}
+}

@@ -51,11 +51,12 @@ func All() []Experiment {
 
 // AllExtended returns the paper experiments plus the extended set
 // (intro motivation, connectivity comparison, distributed protocol,
-// ablations).
+// ablations, the online-service throughput scenarios).
 func AllExtended() []Experiment {
 	out := append(All(), extended()...)
 	out = append(out, extendedMore()...)
-	return append(out, extendedFinal()...)
+	out = append(out, extendedFinal()...)
+	return append(out, extendedFleet()...)
 }
 
 // ByID returns the experiment with the given id (paper or extended set).

@@ -19,10 +19,16 @@ import (
 //	GET    /v1/instances/{id}         instance snapshot
 //	DELETE /v1/instances/{id}         drop an instance
 //	POST   /v1/instances/{id}/events  {"kind":"fault"|"repair","node":n}
+//	POST   /v1/instances/{id}/events:batch  {"events":[{"kind":...,"node":...},...]}
 //	GET    /v1/instances/{id}/phi?x=n single lookup (omit x for the slice)
-//	GET    /v1/stats                  fleet-wide counters
+//	GET    /v1/stats                  fleet-wide counters (incl. per-shard cache stats)
 //	GET    /healthz                   liveness probe
 //	GET    /metrics                   Prometheus text exposition
+//
+// events:batch applies a whole fault burst as one atomic transition:
+// either every event in the batch applies and the epoch advances by
+// exactly one, or the first invalid event rejects the entire batch and
+// the instance is unchanged.
 
 // NewHTTPHandler returns the HTTP/JSON API over the given manager.
 func NewHTTPHandler(mgr *Manager) http.Handler {
@@ -33,6 +39,7 @@ func NewHTTPHandler(mgr *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/instances/{id}", s.getInstance)
 	mux.HandleFunc("DELETE /v1/instances/{id}", s.deleteInstance)
 	mux.HandleFunc("POST /v1/instances/{id}/events", s.postEvent)
+	mux.HandleFunc("POST /v1/instances/{id}/events:batch", s.postEventBatch)
 	mux.HandleFunc("GET /v1/instances/{id}/phi", s.getPhi)
 	mux.HandleFunc("GET /v1/stats", s.getStats)
 	mux.HandleFunc("GET /healthz", s.healthz)
@@ -127,6 +134,29 @@ func (s *apiServer) postEvent(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// BatchRequest is the body of POST /v1/instances/{id}/events:batch.
+type BatchRequest struct {
+	Events []Event `json:"events"`
+}
+
+func (s *apiServer) postEventBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, fmt.Errorf("empty event batch"))
+		return
+	}
+	res, err := s.mgr.EventBatch(r.PathValue("id"), req.Events)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 // PhiResponse is the body of GET /v1/instances/{id}/phi?x=n.
 type PhiResponse struct {
 	X   int `json:"x"`
@@ -172,10 +202,29 @@ func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "# TYPE ftnet_instances gauge\nftnet_instances %d\n", st.Instances)
 	fmt.Fprintf(w, "# TYPE ftnet_events_total counter\nftnet_events_total %d\n", st.Events)
+	fmt.Fprintf(w, "# TYPE ftnet_event_batches_total counter\nftnet_event_batches_total %d\n", st.Batches)
 	fmt.Fprintf(w, "# TYPE ftnet_events_rejected_total counter\nftnet_events_rejected_total %d\n", st.Rejected)
+	fmt.Fprintf(w, "# TYPE ftnet_events_rejected_by_cause_total counter\n")
+	fmt.Fprintf(w, "ftnet_events_rejected_by_cause_total{cause=\"budget\"} %d\n", st.RejectedBy.Budget)
+	fmt.Fprintf(w, "ftnet_events_rejected_by_cause_total{cause=\"conflict\"} %d\n", st.RejectedBy.Conflict)
+	fmt.Fprintf(w, "ftnet_events_rejected_by_cause_total{cause=\"invalid\"} %d\n", st.RejectedBy.Invalid)
 	fmt.Fprintf(w, "# TYPE ftnet_lookups_total counter\nftnet_lookups_total %d\n", st.Lookups)
 	fmt.Fprintf(w, "# TYPE ftnet_cache_size gauge\nftnet_cache_size %d\n", st.Cache.Size)
 	fmt.Fprintf(w, "# TYPE ftnet_cache_hits_total counter\nftnet_cache_hits_total %d\n", st.Cache.Hits)
 	fmt.Fprintf(w, "# TYPE ftnet_cache_misses_total counter\nftnet_cache_misses_total %d\n", st.Cache.Misses)
 	fmt.Fprintf(w, "# TYPE ftnet_cache_evictions_total counter\nftnet_cache_evictions_total %d\n", st.Cache.Evictions)
+	// Each metric family's samples must be contiguous under its # TYPE
+	// line, per the text exposition format.
+	fmt.Fprintf(w, "# TYPE ftnet_cache_shard_size gauge\n")
+	for i, sh := range st.Cache.Shards {
+		fmt.Fprintf(w, "ftnet_cache_shard_size{shard=\"%d\"} %d\n", i, sh.Size)
+	}
+	fmt.Fprintf(w, "# TYPE ftnet_cache_shard_hits_total counter\n")
+	for i, sh := range st.Cache.Shards {
+		fmt.Fprintf(w, "ftnet_cache_shard_hits_total{shard=\"%d\"} %d\n", i, sh.Hits)
+	}
+	fmt.Fprintf(w, "# TYPE ftnet_cache_shard_misses_total counter\n")
+	for i, sh := range st.Cache.Shards {
+		fmt.Fprintf(w, "ftnet_cache_shard_misses_total{shard=\"%d\"} %d\n", i, sh.Misses)
+	}
 }

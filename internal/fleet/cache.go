@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"container/list"
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"sync"
@@ -13,10 +14,18 @@ import (
 // fault set, so a fleet of instances that keeps seeing the same fault
 // patterns resolves lookups without recomputing ft.NewMapping.
 //
-// It is safe for concurrent use. Eviction is LRU; computation is
-// single-flight: concurrent requests for the same missing key block on
-// one computation instead of racing their own.
+// It is sharded: the key hash picks one of N independently-locked
+// shards, each with its own LRU list, so concurrent probes for
+// different fault patterns do not serialize on a single mutex — the
+// contention point a global LRU becomes under high instance counts.
+// Within a shard, eviction is LRU and computation is single-flight:
+// concurrent requests for the same missing key block on one
+// computation instead of racing their own.
 type Cache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List               // front = most recently used
@@ -34,23 +43,44 @@ type cacheEntry struct {
 	err  error
 }
 
-// DefaultCacheSize is the capacity used when a Manager is created
-// without an explicit one. With k faults out of n+k hosts the keyspace
-// is astronomical, but real fleets revisit a small working set of
-// patterns (the same racks fail, the same repairs roll out).
+// DefaultCacheSize is the total capacity used when a Manager is
+// created without an explicit one. With k faults out of n+k hosts the
+// keyspace is astronomical, but real fleets revisit a small working
+// set of patterns (the same racks fail, the same repairs roll out).
 const DefaultCacheSize = 4096
 
-// NewCache returns an empty cache holding at most capacity mappings
-// (capacity <= 0 selects DefaultCacheSize).
+// DefaultCacheShards is the shard count used when none is given: a
+// power of two comfortably above typical core counts.
+const DefaultCacheShards = 16
+
+// NewCache returns an empty sharded cache holding roughly capacity
+// mappings in total (capacity <= 0 selects DefaultCacheSize), spread
+// over DefaultCacheShards shards.
 func NewCache(capacity int) *Cache {
+	return NewCacheShards(capacity, DefaultCacheShards)
+}
+
+// NewCacheShards returns an empty cache with an explicit shard count
+// (shards <= 0 selects DefaultCacheShards; 1 gives the exact
+// single-LRU semantics). The capacity is split evenly across shards,
+// rounding up so every shard holds at least one entry.
+func NewCacheShards(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	return &Cache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+	if shards <= 0 {
+		shards = DefaultCacheShards
 	}
+	perShard := (capacity + shards - 1) / shards
+	c := &Cache{shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap:   perShard,
+			ll:    list.New(),
+			items: make(map[string]*list.Element, perShard),
+		}
+	}
+	return c
 }
 
 // cacheKey canonicalizes a mapping request; faults must already be
@@ -71,6 +101,16 @@ func cacheKey(nTarget, nHost int, sortedFaults []int) string {
 	return string(b)
 }
 
+// shardFor hashes the canonical key to its shard.
+func (c *Cache) shardFor(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
 // Get returns the reconfiguration map for the given fault set,
 // computing and caching it on a miss. An unsorted set is canonicalized
 // on a copy first, so equal sets always share one cache entry; invalid
@@ -84,24 +124,25 @@ func (c *Cache) Get(nTarget, nHost int, sortedFaults []int) (*ft.Mapping, error)
 		sortedFaults = cp
 	}
 	key := cacheKey(nTarget, nHost, sortedFaults)
+	s := c.shardFor(key)
 
-	c.mu.Lock()
-	if elem, ok := c.items[key]; ok {
-		c.ll.MoveToFront(elem)
-		c.hits++
+	s.mu.Lock()
+	if elem, ok := s.items[key]; ok {
+		s.ll.MoveToFront(elem)
+		s.hits++
 		e := elem.Value.(*cacheEntry)
-		c.mu.Unlock()
+		s.mu.Unlock()
 		<-e.done // instant unless another goroutine is mid-compute
 		return e.m, e.err
 	}
-	c.misses++
+	s.misses++
 	e := &cacheEntry{key: key, done: make(chan struct{})}
-	elem := c.ll.PushFront(e)
-	c.items[key] = elem
-	c.evictLocked()
-	c.mu.Unlock()
+	elem := s.ll.PushFront(e)
+	s.items[key] = elem
+	s.evictLocked()
+	s.mu.Unlock()
 
-	// Compute outside the lock; waiters block on e.done, not on c.mu.
+	// Compute outside the lock; waiters block on e.done, not on s.mu.
 	// NewMapping copies its argument, so the caller keeps ownership of
 	// sortedFaults.
 	e.m, e.err = ft.NewMapping(nTarget, nHost, sortedFaults)
@@ -109,52 +150,75 @@ func (c *Cache) Get(nTarget, nHost int, sortedFaults []int) (*ft.Mapping, error)
 
 	if e.err != nil {
 		// Do not let invalid fault sets occupy cache slots.
-		c.mu.Lock()
-		if cur, ok := c.items[key]; ok && cur.Value.(*cacheEntry) == e {
-			c.ll.Remove(cur)
-			delete(c.items, key)
+		s.mu.Lock()
+		if cur, ok := s.items[key]; ok && cur.Value.(*cacheEntry) == e {
+			s.ll.Remove(cur)
+			delete(s.items, key)
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 	}
 	return e.m, e.err
 }
 
 // evictLocked drops least-recently-used completed entries until the
-// cache fits its capacity. In-flight entries are skipped so a waiter
+// shard fits its capacity. In-flight entries are skipped so a waiter
 // never sees its entry vanish mid-compute.
-func (c *Cache) evictLocked() {
-	for elem := c.ll.Back(); elem != nil && c.ll.Len() > c.cap; {
+func (s *cacheShard) evictLocked() {
+	for elem := s.ll.Back(); elem != nil && s.ll.Len() > s.cap; {
 		prev := elem.Prev()
 		e := elem.Value.(*cacheEntry)
 		select {
 		case <-e.done:
-			c.ll.Remove(elem)
-			delete(c.items, e.key)
-			c.evictions++
+			s.ll.Remove(elem)
+			delete(s.items, e.key)
+			s.evictions++
 		default: // still computing; leave it
 		}
 		elem = prev
 	}
 }
 
-// CacheStats is a point-in-time snapshot of cache effectiveness.
-type CacheStats struct {
+// CacheShardStats is one shard's slice of the cache counters.
+type CacheShardStats struct {
 	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 }
 
-// Stats returns a snapshot of the cache counters.
+// CacheStats is a point-in-time snapshot of cache effectiveness:
+// fleet-wide aggregates plus the per-shard breakdown (a hot shard is
+// the signature of a skewed fault-pattern working set).
+type CacheStats struct {
+	Size      int               `json:"size"`
+	Capacity  int               `json:"capacity"`
+	Hits      uint64            `json:"hits"`
+	Misses    uint64            `json:"misses"`
+	Evictions uint64            `json:"evictions"`
+	Shards    []CacheShardStats `json:"shards,omitempty"`
+}
+
+// Stats returns a snapshot of the cache counters, aggregated and per
+// shard. Shards are locked one at a time, so the aggregate is only
+// approximately instantaneous under concurrent load.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Size:      c.ll.Len(),
-		Capacity:  c.cap,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+	st := CacheStats{Shards: make([]CacheShardStats, len(c.shards))}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		sh := CacheShardStats{
+			Size:      s.ll.Len(),
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Evictions: s.evictions,
+		}
+		st.Capacity += s.cap
+		s.mu.Unlock()
+		st.Shards[i] = sh
+		st.Size += sh.Size
+		st.Hits += sh.Hits
+		st.Misses += sh.Misses
+		st.Evictions += sh.Evictions
 	}
+	return st
 }

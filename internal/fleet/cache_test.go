@@ -45,7 +45,8 @@ func TestCacheHitsAndMisses(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(2)
+	// One shard: the classic LRU semantics are exact.
+	c := NewCacheShards(2, 1)
 	a, b, d := []int{0}, []int{1}, []int{2}
 	mustGet := func(f []int) {
 		t.Helper()
@@ -104,6 +105,81 @@ func TestCacheErrorNotCached(t *testing.T) {
 	}
 	if st.Misses != 3 {
 		t.Fatalf("misses = %d, want 3 (errors must not be served from cache)", st.Misses)
+	}
+}
+
+// TestCacheShardStatsAggregate spreads distinct fault sets over the
+// shards and checks that the per-shard stats sum to the aggregate.
+func TestCacheShardStatsAggregate(t *testing.T) {
+	c := NewCacheShards(64, 8)
+	for i := 0; i < 20; i++ {
+		if _, err := c.Get(16, 18, []int{i % 18}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(16, 18, []int{i % 18}); err != nil { // guaranteed hit
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if len(st.Shards) != 8 {
+		t.Fatalf("shard stats count = %d, want 8", len(st.Shards))
+	}
+	var size int
+	var hits, misses, evictions uint64
+	for _, sh := range st.Shards {
+		size += sh.Size
+		hits += sh.Hits
+		misses += sh.Misses
+		evictions += sh.Evictions
+	}
+	if size != st.Size || hits != st.Hits || misses != st.Misses || evictions != st.Evictions {
+		t.Fatalf("per-shard stats do not sum to aggregate: %+v", st)
+	}
+	if st.Misses != 18 || st.Hits != 22 {
+		t.Fatalf("hits/misses = %d/%d, want 22/18", st.Hits, st.Misses)
+	}
+	if st.Capacity < 64 {
+		t.Fatalf("capacity = %d, want >= requested 64", st.Capacity)
+	}
+}
+
+// TestCacheShardedConcurrent hammers a sharded cache from many
+// goroutines over a working set; under -race this is the sharding
+// correctness proof, and every answer is cross-checked.
+func TestCacheShardedConcurrent(t *testing.T) {
+	c := NewCacheShards(32, 4)
+	sets := [][]int{nil, {0}, {1}, {2, 5}, {3, 7}, {1, 9, 16}}
+	want := make([]*ft.Mapping, len(sets))
+	for i, f := range sets {
+		m, err := ft.NewMapping(16, 20, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j := (i + w) % len(sets)
+				m, err := c.Get(16, 20, sets[j])
+				if err != nil {
+					t.Errorf("Get(%v): %v", sets[j], err)
+					return
+				}
+				if m.Phi(7) != want[j].Phi(7) {
+					t.Errorf("faults %v: Phi(7) = %d, want %d", sets[j], m.Phi(7), want[j].Phi(7))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != uint64(len(sets)) {
+		t.Fatalf("misses = %d, want %d (one per distinct set)", st.Misses, len(sets))
 	}
 }
 

@@ -7,18 +7,23 @@
 // node faults the host still contains the target with dilation 1; this
 // package turns that one-shot guarantee into a long-running service:
 //
-//   - Instance: a state machine around one fault-tolerant network. It
-//     validates Fault/Repair events against the spare budget k and
-//     maintains the current reconfiguration map incrementally (the
-//     sorted fault set changes by one element per event; the monotone
-//     rank mapping of Section III-A is recomputed through the shared
-//     cache, so repeated fault patterns cost one map lookup).
-//   - Cache: a concurrency-safe mapping cache keyed by the canonical
-//     (sorted) fault set, with LRU eviction and single-flight
-//     computation so a stampede of instances hitting the same fault
-//     pattern computes ft.NewMapping exactly once.
+//   - Instance: a state machine around one fault-tolerant network. Its
+//     entire read-path state is one immutable ft.Snapshot (fault set +
+//     mapping + epoch) behind an atomic pointer, so Lookup is
+//     lock-free — a pointer load plus an array index — and never
+//     blocks event application. Writers validate Fault/Repair events
+//     (singly or as atomic all-or-nothing bursts) against the spare
+//     budget k and derive the next snapshot copy-on-write; the
+//     monotone rank mapping of Section III-A comes from the shared
+//     cache, so repeated fault patterns cost one map lookup.
+//   - Cache: a sharded mapping cache keyed by the canonical (sorted)
+//     fault set — the key hash picks an independently-locked shard
+//     with its own LRU list and stats — with single-flight computation
+//     so a stampede of instances hitting the same fault pattern
+//     computes ft.NewMapping exactly once.
 //   - Manager: a sharded registry owning many instances behind one API
-//     (Create, Event, Lookup, Stats), safe under `go test -race`.
+//     (Create, Event, EventBatch, Lookup, Stats), safe under
+//     `go test -race`.
 //
 // cmd/ftnetd serves this API over HTTP/JSON; cmd/ftload drives it.
 package fleet
@@ -37,6 +42,11 @@ import (
 var (
 	ErrNotFound = errors.New("fleet: not found")
 	ErrConflict = errors.New("fleet: conflict")
+
+	// ErrBudget is the ErrConflict subcategory for events rejected
+	// because they would exceed the spare budget k; stats report it
+	// separately from duplicate-fault/repair-healthy conflicts.
+	ErrBudget error = &fleetError{category: ErrConflict, msg: "fleet: fault budget exhausted"}
 )
 
 // fleetError carries a human message plus an errors.Is-matchable
@@ -103,9 +113,25 @@ type Event struct {
 	Node int       `json:"node"` // host node id
 }
 
-// EventResult reports the instance state after an applied event.
+// EventResult reports the instance state after an applied event or
+// batch. The epoch counts atomic transitions: a batch of any size
+// advances it by exactly one.
 type EventResult struct {
-	Epoch     uint64 `json:"epoch"`      // total events applied so far
+	Epoch     uint64 `json:"epoch"`      // atomic transitions applied so far
 	NumFaults int    `json:"num_faults"` // current fault count
 	Budget    int    `json:"budget"`     // the instance's k
+	Applied   int    `json:"applied"`    // events in the transition (1 for single events)
 }
+
+// RejectedStats breaks rejected events down by cause: budget-exceeded
+// (the daemon enforcing the paper's k-fault precondition), state
+// conflicts (double fault, repair of a healthy node), and invalid
+// input (unknown node or event kind, empty batch).
+type RejectedStats struct {
+	Budget   uint64 `json:"budget"`
+	Conflict uint64 `json:"conflict"`
+	Invalid  uint64 `json:"invalid"`
+}
+
+// Total returns the sum over all causes.
+func (r RejectedStats) Total() uint64 { return r.Budget + r.Conflict + r.Invalid }

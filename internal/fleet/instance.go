@@ -1,8 +1,8 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -12,13 +12,17 @@ import (
 
 // Instance is the live state machine for one fault-tolerant network.
 // It consumes Fault/Repair events, validates them against the spare
-// budget k, and keeps the current reconfiguration map ready so that
-// Lookup is a read-lock plus an array index.
+// budget k, and publishes the resulting state as an immutable
+// ft.Snapshot behind an atomic pointer, so the read path never blocks
+// the write path (and vice versa): Lookup is a pointer load plus an
+// array index — no mutex, no read lock.
 //
-// The fault set is maintained incrementally — one O(k) sorted insert or
-// delete per event — and the full mapping is obtained through the
-// shared Cache, so instances that see the same fault pattern share one
-// ft.NewMapping computation.
+// Writers serialize on a small mutex, derive the next snapshot
+// copy-on-write (one O(k) sorted insert or delete per event), and
+// fetch the full mapping through the shared sharded Cache, so
+// instances that see the same fault pattern share one ft.NewMapping
+// computation. A whole batch of events is validated and applied as one
+// atomic transition: all-or-nothing, epoch +1.
 type Instance struct {
 	id      string
 	spec    Spec
@@ -28,13 +32,35 @@ type Instance struct {
 
 	cache *Cache
 
-	mu     sync.RWMutex
-	faults []int       // sorted, distinct, len <= spec.K
-	cur    *ft.Mapping // mapping for the current fault set (never nil)
-	epoch  uint64      // events applied
+	snap    atomic.Pointer[ft.Snapshot] // current state; never nil
+	writeMu sync.Mutex                  // serializes event application only
 
-	rejected atomic.Uint64 // events refused (budget, double fault, ...)
-	lookups  atomic.Uint64
+	rejectedBudget   atomic.Uint64 // events refused: budget exhausted
+	rejectedConflict atomic.Uint64 // events refused: double fault / repair healthy
+	rejectedInvalid  atomic.Uint64 // events refused: unknown node or kind
+	lookups          stripedCounter
+}
+
+// stripedCounter spreads a hot counter over cache-line-padded stripes
+// so parallel Lookup callers do not serialize on one cache line; the
+// stripe is picked from the lookup argument, which varies across
+// callers. Load sums the stripes (approximate under concurrency, like
+// any stats counter).
+type stripedCounter struct {
+	stripes [8]struct {
+		n atomic.Uint64
+		_ [56]byte // pad to a 64-byte cache line
+	}
+}
+
+func (c *stripedCounter) Add(key int) { c.stripes[key&7].n.Add(1) }
+
+func (c *stripedCounter) Load() uint64 {
+	var sum uint64
+	for i := range c.stripes {
+		sum += c.stripes[i].n.Load()
+	}
+	return sum
 }
 
 // newInstance builds the instance in its zero-fault state. The cache
@@ -57,11 +83,11 @@ func newInstance(id string, spec Spec, cache *Cache) (*Instance, error) {
 		}
 		in.psi = psi
 	}
-	m, err := cache.Get(in.nTarget, in.nHost, nil)
+	s, err := ft.NewSnapshot(in.nTarget, in.nHost, spec.K, cache.Get)
 	if err != nil {
 		return nil, err
 	}
-	in.cur = m
+	in.snap.Store(s)
 	return in, nil
 }
 
@@ -76,67 +102,78 @@ func (in *Instance) Spec() Spec { return in.spec }
 // the budget k, repairing a healthy node — are rejected with an error
 // and leave the state untouched.
 func (in *Instance) Apply(ev Event) (EventResult, error) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-
-	if ev.Node < 0 || ev.Node >= in.nHost {
-		return in.reject(nil, "node %d out of range [0,%d)", ev.Node, in.nHost)
-	}
-	i := sort.SearchInts(in.faults, ev.Node)
-	present := i < len(in.faults) && in.faults[i] == ev.Node
-
-	switch ev.Kind {
-	case EventFault:
-		if present {
-			return in.reject(ErrConflict, "node %d is already faulty", ev.Node)
-		}
-		if len(in.faults) >= in.spec.K {
-			return in.reject(ErrConflict, "fault budget k=%d exhausted (faults %v)", in.spec.K, in.faults)
-		}
-		in.faults = append(in.faults, 0)
-		copy(in.faults[i+1:], in.faults[i:])
-		in.faults[i] = ev.Node
-	case EventRepair:
-		if !present {
-			return in.reject(ErrConflict, "node %d is not faulty", ev.Node)
-		}
-		in.faults = append(in.faults[:i], in.faults[i+1:]...)
-	default:
-		return in.reject(nil, "unknown event kind %q", ev.Kind)
-	}
-
-	m, err := in.cache.Get(in.nTarget, in.nHost, in.faults)
-	if err != nil {
-		// Unreachable for a validated event; restore the previous set.
-		in.faults = append(in.faults[:0], in.cur.Faults...)
-		return EventResult{}, err
-	}
-	in.cur = m
-	in.epoch++
-	return EventResult{Epoch: in.epoch, NumFaults: len(in.faults), Budget: in.spec.K}, nil
+	return in.ApplyBatch([]Event{ev})
 }
 
-func (in *Instance) reject(category error, format string, args ...any) (EventResult, error) {
-	in.rejected.Add(1)
+// ApplyBatch consumes a whole fault burst as one atomic transition:
+// the batch is validated in order against the evolving fault set, and
+// either every event applies and the epoch advances by exactly one, or
+// the first invalid event rejects the entire batch and the published
+// snapshot is unchanged. Readers concurrently observe either the old
+// epoch or the new one, never a partial burst.
+func (in *Instance) ApplyBatch(events []Event) (EventResult, error) {
+	if len(events) == 0 {
+		return in.reject(&in.rejectedInvalid, nil, "empty event batch")
+	}
+	batch := make([]ft.Change, len(events))
+	for i, ev := range events {
+		switch ev.Kind {
+		case EventFault:
+			batch[i] = ft.Change{Node: ev.Node}
+		case EventRepair:
+			batch[i] = ft.Change{Node: ev.Node, Repair: true}
+		default:
+			return in.reject(&in.rejectedInvalid, nil, "unknown event kind %q", ev.Kind)
+		}
+	}
+
+	in.writeMu.Lock()
+	defer in.writeMu.Unlock()
+	next, err := in.snap.Load().Apply(batch, in.cache.Get)
+	if err != nil {
+		switch {
+		case errors.Is(err, ft.ErrBudget):
+			return in.reject(&in.rejectedBudget, ErrBudget, "%v", err)
+		case errors.Is(err, ft.ErrConflict):
+			return in.reject(&in.rejectedConflict, ErrConflict, "%v", err)
+		default:
+			return in.reject(&in.rejectedInvalid, nil, "%v", err)
+		}
+	}
+	in.snap.Store(next)
+	return EventResult{
+		Epoch:     next.Epoch(),
+		NumFaults: next.NumFaults(),
+		Budget:    in.spec.K,
+		Applied:   len(events),
+	}, nil
+}
+
+func (in *Instance) reject(counter *atomic.Uint64, category error, format string, args ...any) (EventResult, error) {
+	counter.Add(1)
 	return EventResult{}, errorf(category, "fleet: instance %s: "+format,
 		append([]any{in.id}, args...)...)
 }
 
+// Snapshot returns the currently published state. Snapshots are
+// immutable, so the result stays valid (for its epoch) after later
+// events; it is the unit a persistence journal would record.
+func (in *Instance) Snapshot() *ft.Snapshot { return in.snap.Load() }
+
 // Lookup answers "where does target node x run now?": the healthy host
-// node currently hosting x. It is safe to call concurrently with Apply.
+// node currently hosting x. It is safe to call concurrently with
+// ApplyBatch and performs no mutex acquisition — one atomic pointer
+// load, then an array index into the immutable snapshot.
 func (in *Instance) Lookup(x int) (int, error) {
 	if x < 0 || x >= in.nTarget {
 		return 0, fmt.Errorf("fleet: instance %s: target node %d out of range [0,%d)",
 			in.id, x, in.nTarget)
 	}
-	in.lookups.Add(1)
+	in.lookups.Add(x)
 	if in.psi != nil {
 		x = in.psi[x]
 	}
-	in.mu.RLock()
-	phi := in.cur.Phi(x)
-	in.mu.RUnlock()
-	return phi, nil
+	return in.snap.Load().Phi(x), nil
 }
 
 // Mapping returns the current reconfiguration map over host identities.
@@ -144,11 +181,7 @@ func (in *Instance) Lookup(x int) (int, error) {
 // after later events. Note that for KindShuffle the map is indexed by
 // de Bruijn identity; use PhiSlice or Lookup for target-indexed
 // answers.
-func (in *Instance) Mapping() *ft.Mapping {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	return in.cur
-}
+func (in *Instance) Mapping() *ft.Mapping { return in.snap.Load().Mapping() }
 
 // PhiSlice returns the full current embedding indexed by target node:
 // PhiSlice()[x] is where target node x runs now. For KindShuffle this
@@ -167,33 +200,38 @@ func (in *Instance) PhiSlice() []int {
 
 // InstanceInfo is a point-in-time snapshot of an instance.
 type InstanceInfo struct {
-	ID         string `json:"id"`
-	Spec       Spec   `json:"spec"`
-	NTarget    int    `json:"n_target"`
-	NHost      int    `json:"n_host"`
-	Epoch      uint64 `json:"epoch"`
-	Faults     []int  `json:"faults"`
-	SparesFree int    `json:"spares_free"`
-	Rejected   uint64 `json:"rejected_events"`
-	Lookups    uint64 `json:"lookups"`
+	ID         string        `json:"id"`
+	Spec       Spec          `json:"spec"`
+	NTarget    int           `json:"n_target"`
+	NHost      int           `json:"n_host"`
+	Epoch      uint64        `json:"epoch"`
+	Faults     []int         `json:"faults"`
+	SparesFree int           `json:"spares_free"`
+	Rejected   uint64        `json:"rejected_events"`
+	RejectedBy RejectedStats `json:"rejected_by_cause"`
+	Lookups    uint64        `json:"lookups"`
 }
 
-// Info returns a consistent snapshot of the instance state.
+// Info returns a consistent snapshot of the instance state. The
+// epoch/fault fields come from one immutable snapshot; the counters
+// are read separately and may trail a concurrent writer slightly.
 func (in *Instance) Info() InstanceInfo {
-	in.mu.RLock()
-	faults := make([]int, len(in.faults))
-	copy(faults, in.faults)
-	epoch := in.epoch
-	in.mu.RUnlock()
+	s := in.snap.Load()
+	rej := RejectedStats{
+		Budget:   in.rejectedBudget.Load(),
+		Conflict: in.rejectedConflict.Load(),
+		Invalid:  in.rejectedInvalid.Load(),
+	}
 	return InstanceInfo{
 		ID:         in.id,
 		Spec:       in.spec,
 		NTarget:    in.nTarget,
 		NHost:      in.nHost,
-		Epoch:      epoch,
-		Faults:     faults,
-		SparesFree: in.spec.K - len(faults),
-		Rejected:   in.rejected.Load(),
+		Epoch:      s.Epoch(),
+		Faults:     s.Faults(),
+		SparesFree: s.SparesFree(),
+		Rejected:   rej.Total(),
+		RejectedBy: rej,
 		Lookups:    in.lookups.Load(),
 	}
 }

@@ -115,6 +115,114 @@ func TestInstanceRejectsInvalidEvents(t *testing.T) {
 	}
 }
 
+// TestInstanceApplyBatchAtomic pins the burst contract: a valid batch
+// applies whole with the epoch advancing exactly once; a batch with
+// any invalid event applies nothing.
+func TestInstanceApplyBatchAtomic(t *testing.T) {
+	in := newTestInstance(t, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 3})
+	res, err := in.ApplyBatch([]Event{
+		{Kind: EventFault, Node: 3},
+		{Kind: EventFault, Node: 11},
+		{Kind: EventFault, Node: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.NumFaults != 3 || res.Applied != 3 {
+		t.Fatalf("burst result %+v, want epoch 1, 3 faults, 3 applied", res)
+	}
+	want, err := ft.NewMapping(16, 19, []int{3, 7, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 16; x++ {
+		if phi, _ := in.Lookup(x); phi != want.Phi(x) {
+			t.Fatalf("after burst: Lookup(%d) = %d, want %d", x, phi, want.Phi(x))
+		}
+	}
+
+	// A burst whose last event is invalid must leave the state at the
+	// pre-burst epoch with the pre-burst faults: all-or-nothing.
+	before := in.Info()
+	_, err = in.ApplyBatch([]Event{
+		{Kind: EventRepair, Node: 3},
+		{Kind: EventRepair, Node: 5}, // 5 is healthy: invalid
+	})
+	if err == nil {
+		t.Fatal("partially-invalid burst accepted")
+	}
+	after := in.Info()
+	if after.Epoch != before.Epoch || len(after.Faults) != len(before.Faults) {
+		t.Fatalf("rejected burst mutated state: %+v -> %+v", before, after)
+	}
+	if phi, _ := in.Lookup(3); phi != want.Phi(3) {
+		t.Fatalf("rejected burst changed Lookup(3) = %d, want %d", phi, want.Phi(3))
+	}
+
+	// Repair burst drains the faults in one transition.
+	res, err = in.ApplyBatch([]Event{
+		{Kind: EventRepair, Node: 3},
+		{Kind: EventRepair, Node: 7},
+		{Kind: EventRepair, Node: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 2 || res.NumFaults != 0 {
+		t.Fatalf("drain result %+v, want epoch 2, 0 faults", res)
+	}
+}
+
+// TestInstanceRejectedByCause pins the rejected-event accounting split:
+// budget-exceeded, state conflicts, and invalid input count separately.
+func TestInstanceRejectedByCause(t *testing.T) {
+	in := newTestInstance(t, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 1})
+	if _, err := in.Apply(Event{Kind: EventFault, Node: 5}); err != nil {
+		t.Fatal(err)
+	}
+	reject := func(ev Event) {
+		t.Helper()
+		if _, err := in.Apply(ev); err == nil {
+			t.Fatalf("event %+v accepted", ev)
+		}
+	}
+	reject(Event{Kind: EventFault, Node: 6})      // budget (k=1 exhausted)
+	reject(Event{Kind: EventFault, Node: 5})      // conflict: already faulty
+	reject(Event{Kind: EventRepair, Node: 6})     // conflict: not faulty
+	reject(Event{Kind: EventFault, Node: 99})     // invalid: out of range
+	reject(Event{Kind: "explode", Node: 0})       // invalid: unknown kind
+	if _, err := in.ApplyBatch(nil); err == nil { // invalid: empty batch
+		t.Fatal("empty batch accepted")
+	}
+	info := in.Info()
+	want := RejectedStats{Budget: 1, Conflict: 2, Invalid: 3}
+	if info.RejectedBy != want {
+		t.Fatalf("rejected by cause = %+v, want %+v", info.RejectedBy, want)
+	}
+	if info.Rejected != want.Total() {
+		t.Fatalf("rejected total = %d, want %d", info.Rejected, want.Total())
+	}
+}
+
+// TestInstanceSnapshotImmutable pins that a held snapshot keeps
+// answering for its epoch after later events.
+func TestInstanceSnapshotImmutable(t *testing.T) {
+	in := newTestInstance(t, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2})
+	if _, err := in.Apply(Event{Kind: EventFault, Node: 3}); err != nil {
+		t.Fatal(err)
+	}
+	held := in.Snapshot()
+	if _, err := in.Apply(Event{Kind: EventFault, Node: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if held.Epoch() != 1 || held.NumFaults() != 1 || held.Phi(3) != 4 {
+		t.Fatalf("held snapshot changed: epoch %d faults %v", held.Epoch(), held.Faults())
+	}
+	if cur := in.Snapshot(); cur.Epoch() != 2 || cur.NumFaults() != 2 {
+		t.Fatalf("current snapshot epoch %d faults %v", cur.Epoch(), cur.Faults())
+	}
+}
+
 func TestInstanceShuffleMatchesSEMapViaDB(t *testing.T) {
 	const h, k = 4, 3
 	in := newTestInstance(t, Spec{Kind: KindShuffle, H: h, K: k})

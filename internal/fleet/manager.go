@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"hash/maphash"
 	"sort"
@@ -18,6 +19,9 @@ type Options struct {
 	// CacheSize caps the shared mapping cache (<= 0 selects
 	// DefaultCacheSize).
 	CacheSize int
+	// CacheShards sets the mapping cache's shard count (<= 0 selects
+	// DefaultCacheShards).
+	CacheShards int
 }
 
 // Manager is the sharded registry that owns a fleet of instances behind
@@ -27,9 +31,13 @@ type Manager struct {
 	seed   maphash.Seed
 	cache  *Cache
 
-	events   atomic.Uint64 // applied events, fleet-wide
-	rejected atomic.Uint64 // rejected events, fleet-wide
-	lookups  atomic.Uint64 // lookups, fleet-wide
+	events  atomic.Uint64  // applied events, fleet-wide
+	batches atomic.Uint64  // applied atomic transitions (a single event counts one)
+	lookups stripedCounter // lookups, fleet-wide (striped: it sits on the read path)
+
+	rejectedBudget   atomic.Uint64 // rejections: budget exhausted
+	rejectedConflict atomic.Uint64 // rejections: double fault / repair healthy
+	rejectedInvalid  atomic.Uint64 // rejections: unknown node/kind, empty batch
 }
 
 type shard struct {
@@ -41,7 +49,7 @@ type shard struct {
 func NewManager(opts Options) *Manager {
 	m := &Manager{
 		seed:  maphash.MakeSeed(),
-		cache: NewCache(opts.CacheSize),
+		cache: NewCacheShards(opts.CacheSize, opts.CacheShards),
 	}
 	for i := range m.shards {
 		m.shards[i].instances = make(map[string]*Instance)
@@ -95,16 +103,31 @@ func (m *Manager) Delete(id string) bool {
 
 // Event routes one fault/repair event to the named instance.
 func (m *Manager) Event(id string, ev Event) (EventResult, error) {
+	return m.EventBatch(id, []Event{ev})
+}
+
+// EventBatch routes a whole fault burst to the named instance as one
+// atomic transition: either every event applies and the epoch advances
+// by exactly one, or none do.
+func (m *Manager) EventBatch(id string, events []Event) (EventResult, error) {
 	in, ok := m.Get(id)
 	if !ok {
 		return EventResult{}, errorf(ErrNotFound, "fleet: no instance %q", id)
 	}
-	res, err := in.Apply(ev)
+	res, err := in.ApplyBatch(events)
 	if err != nil {
-		m.rejected.Add(1)
+		switch {
+		case errors.Is(err, ErrBudget):
+			m.rejectedBudget.Add(1)
+		case errors.Is(err, ErrConflict):
+			m.rejectedConflict.Add(1)
+		default:
+			m.rejectedInvalid.Add(1)
+		}
 		return res, err
 	}
-	m.events.Add(1)
+	m.events.Add(uint64(len(events)))
+	m.batches.Add(1)
 	return res, nil
 }
 
@@ -118,7 +141,7 @@ func (m *Manager) Lookup(id string, x int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	m.lookups.Add(1)
+	m.lookups.Add(x)
 	return phi, nil
 }
 
@@ -137,13 +160,18 @@ func (m *Manager) List() []string {
 	return ids
 }
 
-// Stats is a fleet-wide counter snapshot.
+// Stats is a fleet-wide counter snapshot. Events counts individual
+// applied events; Batches counts atomic transitions (a single-event
+// POST is a batch of one). Rejected is the total over RejectedBy's
+// causes — rejections count per transition, not per event.
 type Stats struct {
-	Instances int        `json:"instances"`
-	Events    uint64     `json:"events"`
-	Rejected  uint64     `json:"rejected"`
-	Lookups   uint64     `json:"lookups"`
-	Cache     CacheStats `json:"cache"`
+	Instances  int           `json:"instances"`
+	Events     uint64        `json:"events"`
+	Batches    uint64        `json:"batches"`
+	Rejected   uint64        `json:"rejected"`
+	RejectedBy RejectedStats `json:"rejected_by_cause"`
+	Lookups    uint64        `json:"lookups"`
+	Cache      CacheStats    `json:"cache"`
 }
 
 // Stats returns a snapshot of the manager's counters and its cache.
@@ -155,12 +183,19 @@ func (m *Manager) Stats() Stats {
 		n += len(s.instances)
 		s.mu.RUnlock()
 	}
+	rej := RejectedStats{
+		Budget:   m.rejectedBudget.Load(),
+		Conflict: m.rejectedConflict.Load(),
+		Invalid:  m.rejectedInvalid.Load(),
+	}
 	return Stats{
-		Instances: n,
-		Events:    m.events.Load(),
-		Rejected:  m.rejected.Load(),
-		Lookups:   m.lookups.Load(),
-		Cache:     m.cache.Stats(),
+		Instances:  n,
+		Events:     m.events.Load(),
+		Batches:    m.batches.Load(),
+		Rejected:   rej.Total(),
+		RejectedBy: rej,
+		Lookups:    m.lookups.Load(),
+		Cache:      m.cache.Stats(),
 	}
 }
 

@@ -75,6 +75,45 @@ func TestManagerEventAndLookup(t *testing.T) {
 	}
 }
 
+// TestManagerEventBatch pins the manager-level burst accounting:
+// Events counts individual events, Batches counts transitions, and
+// rejections are broken down by cause.
+func TestManagerEventBatch(t *testing.T) {
+	m := NewManager(Options{})
+	if _, err := m.EventBatch("ghost", []Event{{EventFault, 0}}); err == nil {
+		t.Error("batch on missing instance accepted")
+	}
+	if _, err := m.Create("net", Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.EventBatch("net", []Event{{EventFault, 3}, {EventFault, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.NumFaults != 2 || res.Applied != 2 {
+		t.Fatalf("batch result %+v", res)
+	}
+	if _, err := m.EventBatch("net", []Event{{EventFault, 3}}); err == nil {
+		t.Error("double fault accepted")
+	}
+	if _, err := m.EventBatch("net", []Event{{EventRepair, 3}, {EventFault, 0}, {EventFault, 1}}); err == nil {
+		t.Error("over-budget batch accepted")
+	}
+	st := m.Stats()
+	if st.Events != 2 || st.Batches != 1 {
+		t.Errorf("events/batches = %d/%d, want 2/1", st.Events, st.Batches)
+	}
+	want := RejectedStats{Budget: 1, Conflict: 1}
+	if st.RejectedBy != want || st.Rejected != 2 {
+		t.Errorf("rejected = %d by %+v, want 2 by %+v", st.Rejected, st.RejectedBy, want)
+	}
+	// The rejected batches left the instance at epoch 1 with both faults.
+	in, _ := m.Get("net")
+	if info := in.Info(); info.Epoch != 1 || len(info.Faults) != 2 {
+		t.Errorf("instance state after rejected batches: %+v", info)
+	}
+}
+
 // TestManagerStress hits one shared Manager from many goroutines mixing
 // creates, fault/repair events, lookups and stats. Run under -race this
 // is the subsystem's concurrency proof. Every lookup answer is checked
@@ -112,6 +151,11 @@ func TestManagerStress(t *testing.T) {
 					m.Event(id, Event{EventFault, rng.Intn(nHost)})
 				case 3, 4: // post a repair (may be rejected: healthy)
 					m.Event(id, Event{EventRepair, rng.Intn(nHost)})
+				case 9: // post an atomic burst (may be rejected whole)
+					m.EventBatch(id, []Event{
+						{EventFault, rng.Intn(nHost)},
+						{EventFault, rng.Intn(nHost)},
+					})
 				case 5:
 					m.Stats()
 					if in, ok := m.Get(id); ok {

@@ -1,0 +1,143 @@
+package ft
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// The reconfiguration map of Section III-A is a pure function of the
+// fault set, so the whole read-path state of a live network can be a
+// single immutable value: Snapshot bundles the fault set, the mapping
+// it induces, and an epoch counting atomic transitions. Readers hold a
+// *Snapshot and index into it with no synchronization at all; writers
+// derive the next snapshot with Apply and publish the pointer.
+
+// Error categories for rejected changes, matchable with errors.Is.
+// ErrBudget marks batches that would exceed the spare budget;
+// ErrConflict marks faulting an already-faulty node or repairing a
+// healthy one. Out-of-range nodes are plain invalid input.
+var (
+	ErrBudget   = errors.New("ft: fault budget exhausted")
+	ErrConflict = errors.New("ft: conflicting change")
+)
+
+// Change is one element of a reconfiguration batch: a host node
+// failing (Repair == false) or returning to service (Repair == true).
+type Change struct {
+	Node   int
+	Repair bool
+}
+
+// Mapper produces the reconfiguration map for a sorted fault set.
+// NewSnapshot and Apply call it exactly once per successful
+// transition; passing nil selects NewMapping. The fleet layer passes
+// its shared cache's Get so that snapshots of equal fault sets share
+// one mapping computation.
+type Mapper func(nTarget, nHost int, sortedFaults []int) (*Mapping, error)
+
+// Snapshot is the immutable state of a fault-tolerant network at one
+// epoch. All methods are safe for unsynchronized concurrent use; the
+// value never changes after construction.
+type Snapshot struct {
+	nTarget int
+	nHost   int
+	budget  int // max faults (k); <= nHost - nTarget
+	epoch   uint64
+	mapping *Mapping
+}
+
+// NewSnapshot returns the epoch-0, zero-fault snapshot of a network
+// with the given sizes and fault budget.
+func NewSnapshot(nTarget, nHost, budget int, mapper Mapper) (*Snapshot, error) {
+	if mapper == nil {
+		mapper = NewMapping
+	}
+	if budget < 0 || budget > nHost-nTarget {
+		return nil, fmt.Errorf("ft: budget %d outside [0,%d]", budget, nHost-nTarget)
+	}
+	m, err := mapper(nTarget, nHost, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{nTarget: nTarget, nHost: nHost, budget: budget, mapping: m}, nil
+}
+
+// Apply derives the snapshot after a whole batch of changes. The batch
+// is validated atomically — all-or-nothing: each change is checked
+// against the evolving fault set (unknown node, double fault, repair
+// of a healthy node, budget overflow) and the first invalid change
+// rejects the entire batch, returning a nil snapshot and leaving the
+// receiver untouched. On success the epoch advances by exactly one,
+// however many changes the batch carried.
+func (s *Snapshot) Apply(batch []Change, mapper Mapper) (*Snapshot, error) {
+	if mapper == nil {
+		mapper = NewMapping
+	}
+	if len(batch) == 0 {
+		return nil, errors.New("ft: empty change batch")
+	}
+	faults := slices.Clone(s.mapping.Faults)
+	for _, ch := range batch {
+		if ch.Node < 0 || ch.Node >= s.nHost {
+			return nil, fmt.Errorf("ft: node %d out of range [0,%d)", ch.Node, s.nHost)
+		}
+		i := sort.SearchInts(faults, ch.Node)
+		present := i < len(faults) && faults[i] == ch.Node
+		switch {
+		case ch.Repair && !present:
+			return nil, fmt.Errorf("%w: node %d is not faulty", ErrConflict, ch.Node)
+		case ch.Repair:
+			faults = append(faults[:i], faults[i+1:]...)
+		case present:
+			return nil, fmt.Errorf("%w: node %d is already faulty", ErrConflict, ch.Node)
+		case len(faults) >= s.budget:
+			return nil, fmt.Errorf("%w: k=%d (faults %v, faulting %d)",
+				ErrBudget, s.budget, faults, ch.Node)
+		default:
+			faults = append(faults, 0)
+			copy(faults[i+1:], faults[i:])
+			faults[i] = ch.Node
+		}
+	}
+	m, err := mapper(s.nTarget, s.nHost, faults)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		nTarget: s.nTarget,
+		nHost:   s.nHost,
+		budget:  s.budget,
+		epoch:   s.epoch + 1,
+		mapping: m,
+	}, nil
+}
+
+// NTarget returns the number of target nodes.
+func (s *Snapshot) NTarget() int { return s.nTarget }
+
+// NHost returns the number of host nodes.
+func (s *Snapshot) NHost() int { return s.nHost }
+
+// Budget returns the fault budget k the snapshot enforces.
+func (s *Snapshot) Budget() int { return s.budget }
+
+// Epoch returns the number of atomic transitions since the zero-fault
+// snapshot. A batch of any size advances it by exactly one.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumFaults returns the current fault count.
+func (s *Snapshot) NumFaults() int { return len(s.mapping.Faults) }
+
+// SparesFree returns how many further faults the budget admits.
+func (s *Snapshot) SparesFree() int { return s.budget - len(s.mapping.Faults) }
+
+// Faults returns a copy of the sorted fault set.
+func (s *Snapshot) Faults() []int { return slices.Clone(s.mapping.Faults) }
+
+// Phi returns the host node hosting target node x at this epoch.
+func (s *Snapshot) Phi(x int) int { return s.mapping.Phi(x) }
+
+// Mapping returns the snapshot's reconfiguration map (immutable).
+func (s *Snapshot) Mapping() *Mapping { return s.mapping }

@@ -1,0 +1,125 @@
+package ft
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustSnapshot(t *testing.T, nTarget, nHost, budget int) *Snapshot {
+	t.Helper()
+	s, err := NewSnapshot(nTarget, nHost, budget, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSnapshotZeroFault(t *testing.T) {
+	s := mustSnapshot(t, 16, 18, 2)
+	if s.Epoch() != 0 || s.NumFaults() != 0 || s.SparesFree() != 2 {
+		t.Fatalf("zero snapshot: epoch %d faults %d spares %d", s.Epoch(), s.NumFaults(), s.SparesFree())
+	}
+	for x := 0; x < 16; x++ {
+		if s.Phi(x) != x {
+			t.Fatalf("healthy Phi(%d) = %d, want identity", x, s.Phi(x))
+		}
+	}
+	if _, err := NewSnapshot(16, 18, 3, nil); err == nil {
+		t.Error("budget above spare count accepted")
+	}
+	if _, err := NewSnapshot(16, 18, -1, nil); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestSnapshotApplyBatchMatchesOneShot(t *testing.T) {
+	s := mustSnapshot(t, 16, 20, 4)
+	next, err := s.Apply([]Change{{Node: 3}, {Node: 11}, {Node: 7}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch() != 1 {
+		t.Fatalf("batch advanced epoch to %d, want exactly 1", next.Epoch())
+	}
+	want, err := NewMapping(16, 20, []int{3, 7, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 16; x++ {
+		if next.Phi(x) != want.Phi(x) {
+			t.Fatalf("Phi(%d) = %d, want %d", x, next.Phi(x), want.Phi(x))
+		}
+	}
+	// The source snapshot is untouched.
+	if s.Epoch() != 0 || s.NumFaults() != 0 || s.Phi(3) != 3 {
+		t.Fatalf("Apply mutated its receiver: %+v", s)
+	}
+
+	// Repair inside a batch, including a node faulted by the same batch.
+	again, err := next.Apply([]Change{{Node: 3, Repair: true}, {Node: 0}, {Node: 0, Repair: true}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Epoch() != 2 || again.NumFaults() != 2 {
+		t.Fatalf("epoch %d faults %v", again.Epoch(), again.Faults())
+	}
+}
+
+func TestSnapshotApplyAllOrNothing(t *testing.T) {
+	s := mustSnapshot(t, 16, 18, 2)
+	cases := []struct {
+		name  string
+		batch []Change
+		cat   error // nil means plain invalid input
+	}{
+		{"empty", nil, nil},
+		{"out of range", []Change{{Node: 18}}, nil},
+		{"negative", []Change{{Node: -1}}, nil},
+		{"tail invalid", []Change{{Node: 1}, {Node: 99}}, nil},
+		{"double fault in batch", []Change{{Node: 5}, {Node: 5}}, ErrConflict},
+		{"repair healthy", []Change{{Node: 5, Repair: true}}, ErrConflict},
+		{"over budget", []Change{{Node: 1}, {Node: 2}, {Node: 3}}, ErrBudget},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			next, err := s.Apply(c.batch, nil)
+			if err == nil {
+				t.Fatalf("batch %v accepted (snapshot %v)", c.batch, next.Faults())
+			}
+			if next != nil {
+				t.Fatalf("rejected batch returned a snapshot %v", next.Faults())
+			}
+			if c.cat != nil && !errors.Is(err, c.cat) {
+				t.Fatalf("error %v not in category %v", err, c.cat)
+			}
+		})
+	}
+	// Budget rejections are not conflicts of the ErrConflict kind and
+	// vice versa, so callers can count the causes separately.
+	_, err := s.Apply([]Change{{Node: 1}, {Node: 2}, {Node: 3}}, nil)
+	if errors.Is(err, ErrConflict) {
+		t.Errorf("budget error %v matches ErrConflict", err)
+	}
+}
+
+func TestSnapshotApplyUsesMapper(t *testing.T) {
+	calls := 0
+	mapper := func(nTarget, nHost int, faults []int) (*Mapping, error) {
+		calls++
+		return NewMapping(nTarget, nHost, faults)
+	}
+	s, err := NewSnapshot(16, 18, 2, mapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply([]Change{{Node: 4}, {Node: 9}}, mapper); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("mapper called %d times, want 2 (once per transition)", calls)
+	}
+	// A rejected batch must not call the mapper at all.
+	if _, err := s.Apply([]Change{{Node: 99}}, mapper); err == nil || calls != 2 {
+		t.Fatalf("rejected batch reached the mapper (calls %d, err %v)", calls, err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package loadgen is the shared HTTP load driver for the ftnetd
+// reconfiguration daemon: it creates a fleet of instances, drives them
+// with a configurable mix of phi lookups and fault/repair events
+// (single or atomic bursts via events:batch) from concurrent workers,
+// and reports throughput and latency percentiles.
+//
+// cmd/ftload wraps it on the command line; internal/experiments runs
+// its named scenarios against an in-process daemon so service
+// throughput is tracked like a paper figure.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/ft"
+)
+
+// Scenario names a traffic shape: what fraction of operations are
+// reconfiguration events and how many events each reconfiguration op
+// carries (Batch 1 posts single events; Batch > 1 posts atomic bursts
+// through events:batch).
+type Scenario struct {
+	Name      string
+	EventFrac float64
+	Batch     int
+}
+
+// The named scenarios. ReadHeavy is the shape a fleet of
+// mostly-healthy machines produces — almost pure lookups, the path the
+// lock-free snapshot read serves. BurstHeavy models correlated
+// failures (a rack at a time): a third of operations are multi-event
+// bursts applied atomically. Mixed is the historical ftload default.
+var (
+	Mixed      = Scenario{Name: "mixed", EventFrac: 0.10, Batch: 1}
+	ReadHeavy  = Scenario{Name: "read-heavy", EventFrac: 0.01, Batch: 1}
+	BurstHeavy = Scenario{Name: "burst-heavy", EventFrac: 0.30, Batch: 4}
+)
+
+// Scenarios lists every named scenario.
+func Scenarios() []Scenario { return []Scenario{Mixed, ReadHeavy, BurstHeavy} }
+
+// ByName returns the named scenario.
+func ByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Config describes one load run.
+type Config struct {
+	Addr      string // base URL of the daemon
+	Instances int
+	Spec      fleet.Spec
+	Workers   int
+	Requests  int // total operations (an atomic burst counts as one)
+	Scenario  Scenario
+	Seed      int64
+	// IDPrefix prefixes the driven instance ids. It defaults to "load"
+	// plus the scenario name, so different scenarios against one daemon
+	// get their own instances: burst scenarios need rack-aligned fault
+	// state, and leftovers from another scenario's traffic would make
+	// whole-rack bursts permanently rejectable.
+	IDPrefix string
+}
+
+// Validate checks the run parameters.
+func (cfg Config) Validate() error {
+	if cfg.Instances < 1 || cfg.Workers < 1 || cfg.Requests < 1 {
+		return fmt.Errorf("loadgen: instances, workers and requests must be positive")
+	}
+	if cfg.Scenario.Batch < 1 {
+		return fmt.Errorf("loadgen: scenario batch must be >= 1")
+	}
+	if cfg.Scenario.EventFrac < 0 || cfg.Scenario.EventFrac > 1 {
+		return fmt.Errorf("loadgen: event fraction %v outside [0,1]", cfg.Scenario.EventFrac)
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return err
+	}
+	if _, nHost := TargetHostSizes(cfg.Spec); cfg.Scenario.Batch > nHost {
+		return fmt.Errorf("loadgen: burst size %d exceeds the %d host nodes", cfg.Scenario.Batch, nHost)
+	}
+	return nil
+}
+
+// Result is the merged measurement of one run. Latencies is sorted.
+type Result struct {
+	Lookups   int // successful phi queries
+	Events    int // individual events applied (bursts count each event)
+	Batches   int // accepted event transitions
+	Rejected  int // rejected transitions (budget/state enforcement)
+	Errors    int // transport or unexpected-status failures
+	Elapsed   time.Duration
+	Latencies []time.Duration // every successful operation, sorted
+}
+
+// Ops returns the number of completed operations (lookups plus event
+// transitions, accepted or rejected).
+func (r Result) Ops() int { return r.Lookups + r.Batches + r.Rejected }
+
+// Throughput returns completed operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops()) / r.Elapsed.Seconds()
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the
+// latency distribution using nearest-rank.
+func (r Result) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(r.Latencies))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(r.Latencies) {
+		rank = len(r.Latencies) - 1
+	}
+	return r.Latencies[rank]
+}
+
+// opStats accumulates one worker's measurements; workers keep their
+// own and Run merges, so the hot loop takes no locks.
+type opStats struct {
+	lookups   int
+	events    int
+	batches   int
+	rejected  int
+	errors    int
+	latencies []time.Duration
+}
+
+// Run executes the configured load against the daemon and merges the
+// per-worker measurements.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "load"
+		if cfg.Scenario.Name != "" {
+			cfg.IDPrefix += "-" + cfg.Scenario.Name
+		}
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Preflight: the daemon must be alive.
+	resp, err := client.Get(cfg.Addr + "/healthz")
+	if err != nil {
+		return Result{}, fmt.Errorf("loadgen: daemon unreachable: %v", err)
+	}
+	resp.Body.Close()
+
+	// Create the fleet (tolerating instances left over from a prior run).
+	ids := make([]string, cfg.Instances)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-%d", cfg.IDPrefix, i)
+		body, _ := json.Marshal(fleet.CreateRequest{ID: ids[i], Spec: cfg.Spec})
+		resp, err := client.Post(cfg.Addr+"/v1/instances", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return Result{}, fmt.Errorf("loadgen: create %s: %v", ids[i], err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			return Result{}, fmt.Errorf("loadgen: create %s: status %d", ids[i], resp.StatusCode)
+		}
+	}
+
+	nTarget, nHost := TargetHostSizes(cfg.Spec)
+	perWorker := make([]opStats, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		// Spread the request budget over workers; the first few absorb
+		// the remainder.
+		n := cfg.Requests / cfg.Workers
+		if w < cfg.Requests%cfg.Workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			st := &perWorker[w]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for i := 0; i < n; i++ {
+				id := ids[rng.Intn(len(ids))]
+				if rng.Float64() < cfg.Scenario.EventFrac {
+					driveEvents(client, cfg.Addr, id, rng, nHost, cfg.Scenario.Batch, st)
+				} else {
+					driveLookup(client, cfg.Addr, id, rng.Intn(nTarget), st)
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+
+	total := Result{Elapsed: time.Since(start)}
+	for i := range perWorker {
+		st := &perWorker[i]
+		total.Lookups += st.lookups
+		total.Events += st.events
+		total.Batches += st.batches
+		total.Rejected += st.rejected
+		total.Errors += st.errors
+		total.Latencies = append(total.Latencies, st.latencies...)
+	}
+	sort.Slice(total.Latencies, func(i, j int) bool { return total.Latencies[i] < total.Latencies[j] })
+	return total, nil
+}
+
+// TargetHostSizes returns the node counts the spec induces.
+func TargetHostSizes(spec fleet.Spec) (nTarget, nHost int) {
+	if spec.Kind == fleet.KindShuffle {
+		p := ft.SEParams{H: spec.H, K: spec.K}
+		return p.NTarget(), p.NHost()
+	}
+	p := ft.Params{M: spec.M, H: spec.H, K: spec.K}
+	return p.NTarget(), p.NHost()
+}
+
+// driveEvents issues one reconfiguration operation: a single event
+// POST for batch 1, an atomic events:batch burst otherwise. Single
+// events are fault or repair 50/50 on a random node. Bursts model
+// correlated failures: a whole "rack" of adjacent nodes (drawn from a
+// small working set, so fault patterns recur and hit the mapping
+// cache) fails together or is repaired together. Rejected operations
+// (budget exhausted, repairing a healthy node, a burst with one bad
+// event) are the daemon correctly enforcing the paper's k-fault
+// precondition, not failures.
+func driveEvents(client *http.Client, addr, id string, rng *rand.Rand, nHost, batch int, st *opStats) {
+	events := make([]fleet.Event, batch)
+	kind := fleet.EventFault
+	if rng.Intn(2) == 0 {
+		kind = fleet.EventRepair
+	}
+	if batch == 1 {
+		events[0] = fleet.Event{Kind: kind, Node: rng.Intn(nHost)}
+	} else {
+		racks := nHost / batch
+		if racks > 4 {
+			racks = 4 // small working set: rack failures recur
+		}
+		base := rng.Intn(racks) * batch
+		for i := range events {
+			events[i] = fleet.Event{Kind: kind, Node: base + i}
+		}
+	}
+	var url string
+	var body []byte
+	if batch == 1 {
+		url = addr + "/v1/instances/" + id + "/events"
+		body, _ = json.Marshal(events[0])
+	} else {
+		url = addr + "/v1/instances/" + id + "/events:batch"
+		body, _ = json.Marshal(fleet.BatchRequest{Events: events})
+	}
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.errors++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		st.batches++
+		st.events += batch
+		st.latencies = append(st.latencies, time.Since(t0))
+	case resp.StatusCode == http.StatusConflict || resp.StatusCode == http.StatusBadRequest:
+		// The daemon enforcing the budget / state machine: expected.
+		st.rejected++
+		st.latencies = append(st.latencies, time.Since(t0))
+	default:
+		st.errors++
+	}
+}
+
+func driveLookup(client *http.Client, addr, id string, x int, st *opStats) {
+	t0 := time.Now()
+	resp, err := client.Get(fmt.Sprintf("%s/v1/instances/%s/phi?x=%d", addr, id, x))
+	if err != nil {
+		st.errors++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.errors++
+		return
+	}
+	st.lookups++
+	st.latencies = append(st.latencies, time.Since(t0))
+}

@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ftnet/internal/fleet"
+)
+
+func TestScenarioByName(t *testing.T) {
+	for _, want := range []string{"mixed", "read-heavy", "burst-heavy"} {
+		sc, ok := ByName(want)
+		if !ok || sc.Name != want {
+			t.Errorf("ByName(%q) = %+v, %v", want, sc, ok)
+		}
+		if sc.Batch < 1 || sc.EventFrac < 0 || sc.EventFrac > 1 {
+			t.Errorf("scenario %q has invalid shape: %+v", want, sc)
+		}
+	}
+	if _, ok := ByName("tsunami"); ok {
+		t.Error("bogus scenario found")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Instances: 1, Workers: 1, Requests: 1, Scenario: Mixed,
+		Spec: fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 1}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Instances: 0, Workers: 1, Requests: 1, Scenario: Mixed},
+		{Instances: 1, Workers: 1, Requests: 1, Scenario: Scenario{Batch: 0},
+			Spec: good.Spec},
+		{Instances: 1, Workers: 1, Requests: 1, Scenario: Scenario{Batch: 1, EventFrac: 1.5},
+			Spec: good.Spec},
+		{Instances: 1, Workers: 1, Requests: 1, Scenario: Mixed,
+			Spec: fleet.Spec{Kind: "torus", H: 4}},
+		// Burst larger than the whole host graph: racks would be zero.
+		{Instances: 1, Workers: 1, Requests: 1, Scenario: Scenario{Batch: 20},
+			Spec: good.Spec},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTargetHostSizes(t *testing.T) {
+	n, h := TargetHostSizes(fleet.Spec{Kind: fleet.KindDeBruijn, M: 3, H: 4, K: 2})
+	if n != 81 || h != 83 {
+		t.Errorf("debruijn m=3 h=4: %d/%d, want 81/83", n, h)
+	}
+	n, h = TargetHostSizes(fleet.Spec{Kind: fleet.KindShuffle, H: 5, K: 1})
+	if n != 32 || h != 33 {
+		t.Errorf("shuffle h=5: %d/%d, want 32/33", n, h)
+	}
+}
+
+func TestResultPercentile(t *testing.T) {
+	res := Result{Latencies: []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{{50, 5}, {90, 9}, {100, 10}, {0, 1}}
+	for _, c := range cases {
+		if got := res.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := (Result{}).Percentile(99); got != 0 {
+		t.Errorf("Percentile on empty result = %v, want 0", got)
+	}
+}
+
+// TestRunScenarios drives every named scenario against an in-process
+// daemon and checks the accounting: no transport errors, every
+// operation measured, burst scenarios applying whole batches.
+func TestRunScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			mgr := fleet.NewManager(fleet.Options{})
+			ts := httptest.NewServer(fleet.NewHTTPHandler(mgr))
+			defer ts.Close()
+			res, err := Run(Config{
+				Addr:      ts.URL,
+				Instances: 2,
+				Spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 4},
+				Workers:   4,
+				Requests:  300,
+				Scenario:  sc,
+				Seed:      3,
+				IDPrefix:  "t-" + sc.Name,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d errors: %+v", res.Errors, res)
+			}
+			if got := res.Ops(); got != 300 {
+				t.Fatalf("ops = %d, want 300", got)
+			}
+			if len(res.Latencies) != 300 {
+				t.Fatalf("latencies = %d, want 300", len(res.Latencies))
+			}
+			if res.Events != res.Batches*sc.Batch {
+				t.Fatalf("events %d != batches %d x %d", res.Events, res.Batches, sc.Batch)
+			}
+			st := mgr.Stats()
+			if int(st.Lookups) != res.Lookups || int(st.Batches) != res.Batches {
+				t.Fatalf("daemon saw lookups/batches %d/%d, client measured %d/%d",
+					st.Lookups, st.Batches, res.Lookups, res.Batches)
+			}
+		})
+	}
+}
