@@ -220,12 +220,12 @@ func BenchmarkExhaustiveVerifyB23K2(b *testing.B) {
 	p := ft.Params{M: 2, H: 3, K: 2}
 	host := ft.MustNew(p)
 	target := debruijn.MustNew(p.Target())
-	mapper := func(f []int) ([]int, error) {
+	mapper := func(f, buf []int) ([]int, error) {
 		m, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -347,12 +347,12 @@ func BenchmarkRandomizedVerifyH8K6(b *testing.B) {
 	p := ft.Params{M: 2, H: 8, K: 6}
 	host := ft.MustNew(p)
 	target := debruijn.MustNew(p.Target())
-	mapper := func(f []int) ([]int, error) {
+	mapper := func(f, buf []int) ([]int, error) {
 		m, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

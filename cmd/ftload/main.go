@@ -18,6 +18,8 @@
 //
 //	ftload -scenario read-heavy    # ~1% events, the lock-free lookup path
 //	ftload -scenario burst-heavy   # 30% events in atomic 4-event bursts
+//	ftload -scenario write-storm   # dedicated writers hammer events:batch
+//	                               # while the other workers measure read p99
 //
 // Rejected events (budget exhausted, repairing a healthy node, a burst
 // with one invalid event) are counted separately: they are the daemon
@@ -53,7 +55,7 @@ func main() {
 	flag.IntVar(&cfg.Requests, "requests", 20000, "total operations to issue")
 	flag.Float64Var(&cfg.Scenario.EventFrac, "eventfrac", 0.1, "fraction of ops that are fault/repair events")
 	flag.IntVar(&cfg.Scenario.Batch, "batch", 1, "events per reconfiguration op (> 1 uses atomic events:batch bursts)")
-	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy" or "burst-heavy" (overrides -eventfrac/-batch)`)
+	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy" or "write-storm" (overrides -eventfrac/-batch)`)
 	flag.Int64Var(&cfg.Seed, "seed", 1, "rng seed")
 	flag.Parse()
 	cfg.Spec.Kind = fleet.Kind(kind)
@@ -98,4 +100,8 @@ func report(out io.Writer, cfg config, res loadgen.Result) {
 	fmt.Fprintf(out, "  throughput   %.0f ops/s\n", res.Throughput())
 	fmt.Fprintf(out, "  latency      p50 %v  p90 %v  p99 %v  max %v\n",
 		res.Percentile(50), res.Percentile(90), res.Percentile(99), res.Percentile(100))
+	if cfg.Scenario.Writers > 0 && len(res.LookupLatencies) > 0 {
+		fmt.Fprintf(out, "  read latency p50 %v  p99 %v  (lookups under %d-writer storm)\n",
+			res.LookupPercentile(50), res.LookupPercentile(99), cfg.Scenario.Writers)
+	}
 }

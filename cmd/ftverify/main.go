@@ -84,12 +84,12 @@ func setup(target string, m, h, k int) (*graph.Graph, *graph.Graph, verify.Mappe
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		mapper := func(faults []int) ([]int, error) {
+		mapper := func(faults, buf []int) ([]int, error) {
 			mp, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
 			if err != nil {
 				return nil, err
 			}
-			return mp.PhiSlice(), nil
+			return mp.AppendPhi(buf[:0]), nil
 		}
 		return tgt, host, mapper, nil
 	case "se":
@@ -102,7 +102,7 @@ func setup(target string, m, h, k int) (*graph.Graph, *graph.Graph, verify.Mappe
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		mapper := func(faults []int) ([]int, error) { return ft.SEMapViaDB(p, psi, faults) }
+		mapper := func(faults, _ []int) ([]int, error) { return ft.SEMapViaDB(p, psi, faults) }
 		return tgt, host, mapper, nil
 	case "se-natural":
 		p := ft.SEParams{H: h, K: k}
@@ -114,12 +114,12 @@ func setup(target string, m, h, k int) (*graph.Graph, *graph.Graph, verify.Mappe
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		mapper := func(faults []int) ([]int, error) {
+		mapper := func(faults, buf []int) ([]int, error) {
 			mp, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
 			if err != nil {
 				return nil, err
 			}
-			return mp.PhiSlice(), nil
+			return mp.AppendPhi(buf[:0]), nil
 		}
 		return tgt, host, mapper, nil
 	default:

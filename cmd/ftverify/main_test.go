@@ -27,7 +27,7 @@ func TestSetupTargets(t *testing.T) {
 		if tgt.N() != 16 || host.N() != 18 {
 			t.Errorf("%s: sizes %d/%d", target, tgt.N(), host.N())
 		}
-		phi, err := mapper([]int{0, 5})
+		phi, err := mapper([]int{0, 5}, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", target, err)
 		}

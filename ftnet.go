@@ -96,12 +96,12 @@ func (n *DeBruijnNet) VerifyRandomized(trials int, seed int64) error {
 }
 
 func (n *DeBruijnNet) mapper() verify.Mapper {
-	return func(faults []int) ([]int, error) {
+	return func(faults, buf []int) ([]int, error) {
 		m, err := ft.NewMapping(n.P.NTarget(), n.P.NHost(), faults)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	}
 }
 
@@ -154,7 +154,8 @@ func (n *ShuffleExchangeNet) Reconfigure(faults []int) ([]int, error) {
 // VerifyRandomized samples fault sets and checks the SE embedding
 // survives each of them.
 func (n *ShuffleExchangeNet) VerifyRandomized(trials int, seed int64) error {
-	rep := verify.Randomized(n.Target, n.Host, n.P.K, verify.Mapper(n.Reconfigure), trials, seed, nil)
+	mapper := func(faults, _ []int) ([]int, error) { return n.Reconfigure(faults) }
+	rep := verify.Randomized(n.Target, n.Host, n.P.K, mapper, trials, seed, nil)
 	if !rep.Ok() {
 		return rep.First
 	}

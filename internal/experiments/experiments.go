@@ -230,15 +230,15 @@ func T3(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			repV := verify.Randomized(se, hostV, k, func(f []int) ([]int, error) {
+			repV := verify.Randomized(se, hostV, k, func(f, _ []int) ([]int, error) {
 				return ft.SEMapViaDB(p, psi, f)
 			}, 40, 1, nil)
-			repN := verify.Randomized(se, hostN, k, func(f []int) ([]int, error) {
+			repN := verify.Randomized(se, hostN, k, func(f, buf []int) ([]int, error) {
 				m, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
 				if err != nil {
 					return nil, err
 				}
-				return m.PhiSlice(), nil
+				return m.AppendPhi(buf[:0]), nil
 			}, 40, 1, nil)
 			if !repV.Ok() {
 				return fmt.Errorf("%v via-dB: %v", p, repV.First)
@@ -257,12 +257,12 @@ func T3(w io.Writer) error {
 // verifyAuto picks exhaustive verification when C(n,k) is small enough,
 // randomized otherwise.
 func verifyAuto(target, host *graph.Graph, p ft.Params, budget int) (string, verify.Report) {
-	mapper := func(f []int) ([]int, error) {
+	mapper := func(f, buf []int) ([]int, error) {
 		m, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	}
 	if c, err := num.Binomial(p.NHost(), p.K); err == nil && c <= budget {
 		return "exhaustive", verify.Exhaustive(target, host, p.K, mapper)

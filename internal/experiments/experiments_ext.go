@@ -101,12 +101,12 @@ func A1(w io.Writer) error {
 	for _, c := range []struct{ h, k int }{{3, 1}, {3, 2}, {4, 1}, {4, 2}} {
 		p := ft.Params{M: 2, H: c.h, K: c.k}
 		target := debruijn.MustNew(p.Target())
-		mapper := func(f []int) ([]int, error) {
+		mapper := func(f, buf []int) ([]int, error) {
 			m, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
 			if err != nil {
 				return nil, err
 			}
-			return m.PhiSlice(), nil
+			return m.AppendPhi(buf[:0]), nil
 		}
 		for _, variant := range []struct {
 			name       string

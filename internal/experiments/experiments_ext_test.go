@@ -8,12 +8,12 @@ import (
 )
 
 func TestExtendedExperimentsRegistered(t *testing.T) {
-	for _, id := range []string{"M1", "M2", "M3", "A1", "A2", "A3", "A4", "S3", "S4", "S5", "S6", "T6", "L1"} {
+	for _, id := range []string{"M1", "M2", "M3", "A1", "A2", "A3", "A4", "S3", "S4", "S5", "S6", "T6", "L1", "L2"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("extended experiment %s not registered", id)
 		}
 	}
-	if len(AllExtended()) != len(All())+13 {
+	if len(AllExtended()) != len(All())+14 {
 		t.Errorf("AllExtended size %d", len(AllExtended()))
 	}
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -184,7 +185,24 @@ func (s *apiServer) getPhi(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"phi": in.PhiSlice()})
+	// The dense endpoint streams the embedding straight from the
+	// snapshot iterator: no O(n) slice materialization, no O(n) JSON
+	// value tree — a million-node instance answers from O(k) state plus
+	// the response buffer.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"phi":[`)
+	var scratch [20]byte
+	in.RangePhi(func(x, phi int) bool {
+		if x > 0 {
+			bw.WriteByte(',')
+		}
+		bw.Write(strconv.AppendInt(scratch[:0], int64(phi), 10))
+		return true
+	})
+	bw.WriteString("]}\n")
+	bw.Flush()
 }
 
 func (s *apiServer) getStats(w http.ResponseWriter, r *http.Request) {

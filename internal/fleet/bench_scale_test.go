@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Scale benchmarks for the compact rank-based mapping representation:
+// Apply (the write path: atomic burst -> next snapshot, through the
+// mapping cache) and Lookup (the read path: pointer load + rank
+// search) swept over host sizes 2^10 .. 2^20 — about 10^3 to 10^6
+// nodes. The acceptance criterion is in the allocs/op column: both
+// paths must be flat in nHost, which TestApplyAllocsIndependentOfN
+// (below) and the CI bench check (cmd/ftbenchjson -check) enforce.
+//
+//	go test ./internal/fleet -bench Scale -benchtime 100x -benchmem
+
+const scaleK = 16
+
+var scaleSizes = []int{10, 14, 17, 20} // h: nTarget = 2^h, nHost = 2^h + k
+
+func scaleInstance(b testing.TB, h int) *Instance {
+	b.Helper()
+	in, err := newInstance(fmt.Sprintf("scale-h%d", h),
+		Spec{Kind: KindDeBruijn, M: 2, H: h, K: scaleK}, NewCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// applyScalePair returns the steady-state transition pair: a 4-event
+// rack burst and its repair, the recurring pattern that exercises both
+// the snapshot derivation and the mapping cache hit path.
+func applyScalePair() (fault, repair []Event) {
+	for n := 0; n < 4; n++ {
+		fault = append(fault, Event{Kind: EventFault, Node: n})
+		repair = append(repair, Event{Kind: EventRepair, Node: n})
+	}
+	return fault, repair
+}
+
+func BenchmarkApplyScale(b *testing.B) {
+	for _, h := range scaleSizes {
+		b.Run(fmt.Sprintf("n=%d", 1<<h), func(b *testing.B) {
+			in := scaleInstance(b, h)
+			fault, repair := applyScalePair()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := fault
+				if i%2 == 1 {
+					batch = repair
+				}
+				if _, err := in.ApplyBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Leave the instance balanced so b.N parity cannot leak
+			// fault state into a rerun of the same sub-benchmark.
+			if in.Snapshot().NumFaults() > 0 {
+				if _, err := in.ApplyBatch(repair); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLookupScale(b *testing.B) {
+	for _, h := range scaleSizes {
+		b.Run(fmt.Sprintf("n=%d", 1<<h), func(b *testing.B) {
+			in := scaleInstance(b, h)
+			fault, _ := applyScalePair()
+			if _, err := in.ApplyBatch(fault); err != nil {
+				b.Fatal(err)
+			}
+			mask := 1<<h - 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if phi, err := in.Lookup(i & mask); err != nil || phi < 0 {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyAllocsIndependentOfN is the acceptance guard for the
+// compact representation: per-transition allocation counts must not
+// grow with the host size. It measures steady-state ApplyBatch
+// allocations at 2^10 and at 2^20 and fails if the million-node
+// instance allocates more than marginally above the thousand-node one
+// (the +1 headroom tolerates map/GC jitter, not an O(n) slice).
+func TestApplyAllocsIndependentOfN(t *testing.T) {
+	allocsAt := func(h int) float64 {
+		in := scaleInstance(t, h)
+		fault, repair := applyScalePair()
+		pair := func() {
+			if _, err := in.ApplyBatch(fault); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := in.ApplyBatch(repair); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pair() // warm the mapping cache: steady state, not first touch
+		return testing.AllocsPerRun(50, pair) / 2
+	}
+	small := allocsAt(10)
+	large := allocsAt(20)
+	t.Logf("ApplyBatch allocs/op: %.1f at n=2^10, %.1f at n=2^20", small, large)
+	if large > small+1 {
+		t.Errorf("Apply allocations scale with nHost: %.1f at 2^20 vs %.1f at 2^10", large, small)
+	}
+}
+
+// TestLookupAllocFree pins the read path at the largest swept size:
+// zero allocations per lookup on a million-node instance.
+func TestLookupAllocFree(t *testing.T) {
+	in := scaleInstance(t, 20)
+	fault, _ := applyScalePair()
+	if _, err := in.ApplyBatch(fault); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := in.Lookup(1<<20 - 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup allocates %.1f objects per call on a 2^20 instance, want 0", allocs)
+	}
+}

@@ -2,9 +2,8 @@ package fleet
 
 import (
 	"container/list"
-	"hash/fnv"
+	"encoding/binary"
 	"sort"
-	"strconv"
 	"sync"
 
 	"ftnet/internal/ft"
@@ -21,15 +20,24 @@ import (
 // Within a shard, eviction is LRU and computation is single-flight:
 // concurrent requests for the same missing key block on one
 // computation instead of racing their own.
+//
+// Keys are fixed-width binary: each of nTarget, nHost, and the k
+// sorted faults is one little-endian uint64 word — no strconv, no
+// separators. The shard is picked by an inline FNV-1a over the same
+// words (no hasher allocation), and the key bytes are built in a
+// per-shard scratch buffer under the shard lock, probed with the
+// map[string(bytes)] non-allocating form — a cache hit allocates
+// nothing at all; only a miss materializes the key string.
 type Cache struct {
 	shards []cacheShard
 }
 
 type cacheShard struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List               // front = most recently used
-	items map[string]*list.Element // key -> element whose Value is *cacheEntry
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List               // front = most recently used
+	items   map[string]*list.Element // key -> element whose Value is *cacheEntry
+	scratch []byte                   // key-building buffer, reused under mu
 
 	hits      uint64
 	misses    uint64
@@ -83,39 +91,52 @@ func NewCacheShards(capacity, shards int) *Cache {
 	return c
 }
 
-// cacheKey canonicalizes a mapping request; faults must already be
-// sorted (Get canonicalizes before calling).
-func cacheKey(nTarget, nHost int, sortedFaults []int) string {
-	// 3+k small ints; preallocate roughly 8 bytes each.
-	b := make([]byte, 0, 8*(3+len(sortedFaults)))
-	b = strconv.AppendInt(b, int64(nTarget), 10)
-	b = append(b, '/')
-	b = strconv.AppendInt(b, int64(nHost), 10)
-	b = append(b, ':')
-	for i, f := range sortedFaults {
-		if i > 0 {
-			b = append(b, ',')
-		}
-		b = strconv.AppendInt(b, int64(f), 10)
+// FNV-1a 64-bit constants, inlined so hashing a key allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashWord folds one 8-byte little-endian word into an FNV-1a state,
+// byte by byte, matching a hash over the appendKey encoding.
+func hashWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
 	}
-	return string(b)
+	return h
 }
 
-// shardFor hashes the canonical key to its shard.
-func (c *Cache) shardFor(key string) *cacheShard {
-	if len(c.shards) == 1 {
-		return &c.shards[0]
+// keyHash hashes the canonical request without building the key bytes;
+// faults must already be sorted.
+func keyHash(nTarget, nHost int, sortedFaults []int) uint64 {
+	h := hashWord(uint64(fnvOffset64), uint64(nTarget))
+	h = hashWord(h, uint64(nHost))
+	for _, f := range sortedFaults {
+		h = hashWord(h, uint64(f))
 	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+	return h
+}
+
+// appendKey builds the canonical fixed-width binary key: one
+// little-endian uint64 word per value. Word widths are fixed, so no
+// separators are needed for the encoding to be prefix-free within one
+// (nTarget, nHost) arity, and the leading sizes disambiguate the rest.
+func appendKey(b []byte, nTarget, nHost int, sortedFaults []int) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(nTarget))
+	b = binary.LittleEndian.AppendUint64(b, uint64(nHost))
+	for _, f := range sortedFaults {
+		b = binary.LittleEndian.AppendUint64(b, uint64(f))
+	}
+	return b
 }
 
 // Get returns the reconfiguration map for the given fault set,
 // computing and caching it on a miss. An unsorted set is canonicalized
 // on a copy first, so equal sets always share one cache entry; invalid
 // sets (ft.NewMapping rejects them) return the error and are not
-// cached.
+// cached. The hit path performs zero allocations.
 func (c *Cache) Get(nTarget, nHost int, sortedFaults []int) (*ft.Mapping, error) {
 	if !sort.IntsAreSorted(sortedFaults) {
 		cp := make([]int, len(sortedFaults))
@@ -123,11 +144,11 @@ func (c *Cache) Get(nTarget, nHost int, sortedFaults []int) (*ft.Mapping, error)
 		sort.Ints(cp)
 		sortedFaults = cp
 	}
-	key := cacheKey(nTarget, nHost, sortedFaults)
-	s := c.shardFor(key)
+	s := &c.shards[keyHash(nTarget, nHost, sortedFaults)%uint64(len(c.shards))]
 
 	s.mu.Lock()
-	if elem, ok := s.items[key]; ok {
+	s.scratch = appendKey(s.scratch[:0], nTarget, nHost, sortedFaults)
+	if elem, ok := s.items[string(s.scratch)]; ok { // non-allocating probe
 		s.ll.MoveToFront(elem)
 		s.hits++
 		e := elem.Value.(*cacheEntry)
@@ -136,6 +157,7 @@ func (c *Cache) Get(nTarget, nHost int, sortedFaults []int) (*ft.Mapping, error)
 		return e.m, e.err
 	}
 	s.misses++
+	key := string(s.scratch) // the one key allocation, miss path only
 	e := &cacheEntry{key: key, done: make(chan struct{})}
 	elem := s.ll.PushFront(e)
 	s.items[key] = elem

@@ -183,6 +183,52 @@ func TestCacheShardedConcurrent(t *testing.T) {
 	}
 }
 
+// TestCacheHitPathAllocFree pins the binary-key scheme's contract: a
+// cache hit builds its key in the shard's reused scratch buffer and
+// probes the map with the non-allocating string(bytes) form, so
+// serving a warmed fault pattern allocates nothing at all.
+func TestCacheHitPathAllocFree(t *testing.T) {
+	c := NewCache(8)
+	faults := []int{2, 5, 11}
+	if _, err := c.Get(16, 20, faults); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Get(16, 20, faults); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestCacheBinaryKeysDistinguishShapes guards the fixed-width key
+// encoding against aliasing: requests that concatenate to the same
+// digit stream but differ in shape (sizes vs fault values) must get
+// distinct entries.
+func TestCacheBinaryKeysDistinguishShapes(t *testing.T) {
+	c := NewCacheShards(8, 1)
+	a, err := c.Get(16, 18, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(16, 18, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Get(16, 17, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 3 || st.Size != 3 {
+		t.Fatalf("three distinct shapes shared entries: %+v", st)
+	}
+	if a.NHost != 18 || len(a.Faults) != 1 || len(b.Faults) != 2 || d.NHost != 17 {
+		t.Fatalf("aliased mappings: a=%+v b=%+v d=%+v", a, b, d)
+	}
+}
+
 // TestCacheSingleFlight hammers one cold key from many goroutines; the
 // single-flight path must compute the mapping exactly once.
 func TestCacheSingleFlight(t *testing.T) {

@@ -191,11 +191,33 @@ func (in *Instance) PhiSlice() []int {
 	if in.psi == nil {
 		return m.PhiSlice()
 	}
+	// Materialize the de Bruijn embedding once, then permute through
+	// psi: two O(n) passes instead of n rank searches.
+	dense := m.PhiSlice()
 	out := make([]int, in.nTarget)
 	for x := range out {
-		out[x] = m.Phi(in.psi[x])
+		out[x] = dense[in.psi[x]]
 	}
 	return out
+}
+
+// RangePhi calls fn(x, phi) for x = 0, 1, ... in target order against
+// one immutable snapshot, stopping early if fn returns false. Unlike
+// PhiSlice it materializes nothing — the iterator transports use to
+// stream a million-node embedding without building the dense slice.
+// For KindShuffle each element costs one O(log k) rank search through
+// psi; for KindDeBruijn the whole sweep is O(n + k).
+func (in *Instance) RangePhi(fn func(x, phi int) bool) {
+	m := in.Mapping()
+	if in.psi == nil {
+		m.RangePhi(fn)
+		return
+	}
+	for x := 0; x < in.nTarget; x++ {
+		if !fn(x, m.Phi(in.psi[x])) {
+			return
+		}
+	}
 }
 
 // InstanceInfo is a point-in-time snapshot of an instance.

@@ -138,13 +138,16 @@ func ChordalRing(n, c, k int) GeneralParams {
 	return GeneralParams{M: 1, N: n, R: []int{1, c}, K: k}
 }
 
-// GeneralMapper returns a verify-compatible mapper for the rule.
-func GeneralMapper(p GeneralParams) func(faults []int) ([]int, error) {
-	return func(faults []int) ([]int, error) {
+// GeneralMapper returns a verify-compatible mapper for the rule. The
+// second argument is the verifier's reusable dense buffer: the mapper
+// materializes into it so checking many fault sets does not allocate
+// one slice per set.
+func GeneralMapper(p GeneralParams) func(faults, buf []int) ([]int, error) {
+	return func(faults, buf []int) ([]int, error) {
 		m, err := NewMapping(p.N, p.N+p.K, faults)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	}
 }

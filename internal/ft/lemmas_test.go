@@ -152,14 +152,25 @@ func TestEdgeWitnessCaseRanges(t *testing.T) {
 }
 
 func TestDeltaMonotoneDetectsViolation(t *testing.T) {
-	// Construct an artificial mapping with a broken healthy list by
-	// direct struct manipulation to confirm the checker catches it.
-	m := &Mapping{NTarget: 3, NHost: 5, healthy: []int{2, 1, 4}}
+	// With the compact rank-based representation a non-monotone delta is
+	// impossible by construction — x + Search(x) is non-decreasing even
+	// for corrupt fault literals — so the checker's reachable failure
+	// mode is the range bound. An overfull fault set (every host node
+	// faulty, bypassing NewMapping's budget validation) pushes delta
+	// past NHost - NTarget.
+	m := &Mapping{NTarget: 2, NHost: 3, Faults: []int{0, 1, 2}}
 	if err := DeltaMonotone(m); err == nil {
-		t.Error("non-monotone deltas not detected")
-	}
-	m2 := &Mapping{NTarget: 2, NHost: 3, healthy: []int{0, 9}}
-	if err := DeltaMonotone(m2); err == nil {
 		t.Error("out-of-range delta not detected")
+	}
+	// And the guarantee itself: even an unsorted garbage literal yields
+	// monotone in-range deltas once the fault set is within budget.
+	g := &Mapping{NTarget: 3, NHost: 6, Faults: []int{5, 0, 1}}
+	prev := 0
+	for x := 0; x < g.NTarget; x++ {
+		if d := g.Delta(x); d < prev {
+			t.Errorf("delta(%d) = %d < delta(%d) = %d despite rank search", x, d, x-1, prev)
+		} else {
+			prev = d
+		}
 	}
 }

@@ -11,14 +11,23 @@ import (
 // assignment of target nodes to non-faulty host nodes. Target node x is
 // mapped to the (x+1)-st non-faulty host node, i.e. the unique healthy
 // node phi(x) with Rank(phi(x), healthy) = x.
+//
+// The representation is compact: only the sorted fault set is stored,
+// O(k) words however large the host is. Lemma 1 makes this enough —
+// the displacement Delta(x) = phi(x) - x is monotone and bounded by
+// the fault count, so phi(x) = x + j where j is the number of leading
+// faults f_j with f_j - j <= x, a single O(log k) binary search
+// (f_j - j is non-decreasing in j). Dense views (PhiSlice,
+// HostToTarget, Healthy) are materialized on demand by callers that
+// genuinely need O(n) output.
 type Mapping struct {
 	NTarget int
 	NHost   int
 	Faults  []int // sorted, distinct
-	healthy []int // sorted complement of Faults in [0, NHost)
 }
 
-// NewMapping builds the reconfiguration map for the given fault set.
+// NewMapping builds the reconfiguration map for the given fault set in
+// O(k log k) time and O(k) memory — independent of the host size.
 // faults may be in any order; duplicates and out-of-range nodes are
 // rejected. The number of faults must not exceed NHost - NTarget (the
 // spare budget), or there would be too few healthy nodes left.
@@ -40,34 +49,102 @@ func NewMapping(nTarget, nHost int, faults []int) (*Mapping, error) {
 	if len(f) > nHost-nTarget {
 		return nil, fmt.Errorf("ft: %d faults exceed spare budget %d", len(f), nHost-nTarget)
 	}
-	return &Mapping{
-		NTarget: nTarget,
-		NHost:   nHost,
-		Faults:  f,
-		healthy: num.Complement(f, nHost),
-	}, nil
+	return &Mapping{NTarget: nTarget, NHost: nHost, Faults: f}, nil
 }
 
-// Phi returns the host node hosting target node x.
+// healthyAt returns the (i+1)-st healthy host node, i.e. the unique
+// healthy v with Rank(v, healthy) = i, for 0 <= i < NumHealthy. It is
+// the rank search at the heart of the compact representation: the
+// displacement j is the number of faults f_j with f_j - j <= i, and
+// f_j - j is non-decreasing because faults are strictly increasing.
+func (m *Mapping) healthyAt(i int) int {
+	f := m.Faults
+	return i + sort.Search(len(f), func(j int) bool { return f[j]-j > i })
+}
+
+// Phi returns the host node hosting target node x, in O(log k).
 func (m *Mapping) Phi(x int) int {
 	if x < 0 || x >= m.NTarget {
 		panic(fmt.Sprintf("ft: target node %d out of range [0,%d)", x, m.NTarget))
 	}
-	return m.healthy[x]
-}
-
-// PhiSlice returns the full embedding as a slice: PhiSlice()[x] = Phi(x).
-// The returned slice is a copy.
-func (m *Mapping) PhiSlice() []int {
-	out := make([]int, m.NTarget)
-	copy(out, m.healthy[:m.NTarget])
-	return out
+	return m.healthyAt(x)
 }
 
 // Delta returns phi(x) - x, the displacement of target node x. The
 // paper's proof shows 0 <= Delta(x) <= k and that Delta is monotone
 // non-decreasing (Lemma 1).
 func (m *Mapping) Delta(x int) int { return m.Phi(x) - x }
+
+// NumHealthy returns the number of non-faulty host nodes.
+func (m *Mapping) NumHealthy() int { return m.NHost - len(m.Faults) }
+
+// HealthyAt returns the (i+1)-st healthy host node (including unused
+// spares beyond the first NTarget), in O(log k). It is the index-based
+// accessor behind Healthy() for callers that only need a few entries.
+func (m *Mapping) HealthyAt(i int) int {
+	if i < 0 || i >= m.NumHealthy() {
+		panic(fmt.Sprintf("ft: healthy index %d out of range [0,%d)", i, m.NumHealthy()))
+	}
+	return m.healthyAt(i)
+}
+
+// TargetAt returns the target node hosted by host node v, or -1 if v
+// is faulty or an unused spare — the single-node inverse of Phi, in
+// O(log k) (HostToTarget materializes the same answer densely).
+func (m *Mapping) TargetAt(v int) int {
+	if v < 0 || v >= m.NHost {
+		panic(fmt.Sprintf("ft: host node %d out of range [0,%d)", v, m.NHost))
+	}
+	i := sort.SearchInts(m.Faults, v)
+	if i < len(m.Faults) && m.Faults[i] == v {
+		return -1 // faulty
+	}
+	if t := v - i; t < m.NTarget {
+		return t
+	}
+	return -1 // unused spare
+}
+
+// RangePhi calls fn(x, phi(x)) for x = 0, 1, ... NTarget-1 in order,
+// stopping early if fn returns false. It walks the fault set once, so a
+// full sweep costs O(NTarget + k) with no allocation — the iterator
+// form of PhiSlice for callers that only read.
+func (m *Mapping) RangePhi(fn func(x, phi int) bool) {
+	j := 0
+	for x, v := 0, 0; x < m.NTarget; v++ {
+		for j < len(m.Faults) && m.Faults[j] == v {
+			j++
+			v++
+		}
+		if !fn(x, v) {
+			return
+		}
+		x++
+	}
+}
+
+// AppendPhi appends phi(0) ... phi(NTarget-1) to dst and returns the
+// extended slice — the buffer-reusing form of PhiSlice: pass dst[:0]
+// of a retained buffer to materialize repeatedly without allocating.
+func (m *Mapping) AppendPhi(dst []int) []int {
+	if cap(dst)-len(dst) < m.NTarget {
+		grown := make([]int, len(dst), len(dst)+m.NTarget)
+		copy(grown, dst)
+		dst = grown
+	}
+	m.RangePhi(func(_, phi int) bool {
+		dst = append(dst, phi)
+		return true
+	})
+	return dst
+}
+
+// PhiSlice returns the full embedding as a slice: PhiSlice()[x] = Phi(x).
+// The slice is freshly materialized in O(NTarget + k); it never aliases
+// the mapping's internal state.
+func (m *Mapping) PhiSlice() []int {
+	return m.AppendPhi(make([]int, 0, m.NTarget))
+}
 
 // HostToTarget returns the inverse assignment: for each host node, the
 // target node it hosts, or -1 if it is faulty or an unused spare.
@@ -76,9 +153,10 @@ func (m *Mapping) HostToTarget() []int {
 	for i := range inv {
 		inv[i] = -1
 	}
-	for x := 0; x < m.NTarget; x++ {
-		inv[m.healthy[x]] = x
-	}
+	m.RangePhi(func(x, phi int) bool {
+		inv[phi] = x
+		return true
+	})
 	return inv
 }
 
@@ -86,9 +164,8 @@ func (m *Mapping) HostToTarget() []int {
 func (m *Mapping) IsFaulty(v int) bool { return num.ContainsSorted(m.Faults, v) }
 
 // Healthy returns the sorted list of non-faulty host nodes (including
-// unused spares beyond the first NTarget). The returned slice is a copy.
+// unused spares beyond the first NTarget), materialized in O(NHost).
+// Callers that only iterate should prefer HealthyAt or RangePhi.
 func (m *Mapping) Healthy() []int {
-	out := make([]int, len(m.healthy))
-	copy(out, m.healthy)
-	return out
+	return num.Complement(m.Faults, m.NHost)
 }

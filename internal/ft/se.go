@@ -106,9 +106,12 @@ func SEMapViaDB(p SEParams, psi []int, faults []int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Materialize the de Bruijn embedding once (O(n + k)), then permute
+	// through psi — cheaper than n O(log k) rank searches.
+	dense := mp.PhiSlice()
 	out := make([]int, p.NTarget())
 	for x := range out {
-		out[x] = mp.Phi(psi[x])
+		out[x] = dense[psi[x]]
 	}
 	return out, nil
 }

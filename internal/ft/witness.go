@@ -59,8 +59,9 @@ func (m *Mapping) WithFault(f int) (*Mapping, int, error) {
 		}
 	}
 	// Structural check: moved = NTarget - Rank(f, old healthy), clamped
-	// at 0 when f was an unused spare.
-	rank := num.Rank(f, m.healthy)
+	// at 0 when f was an unused spare. The rank of a healthy node among
+	// the healthy set is itself minus the faults below it.
+	rank := f - num.Rank(f, m.Faults)
 	want := m.NTarget - rank
 	if want < 0 {
 		want = 0

@@ -27,26 +27,35 @@ import (
 // Scenario names a traffic shape: what fraction of operations are
 // reconfiguration events and how many events each reconfiguration op
 // carries (Batch 1 posts single events; Batch > 1 posts atomic bursts
-// through events:batch).
+// through events:batch). Writers > 0 switches to role-split mode: that
+// many workers become dedicated writers issuing nothing but sustained
+// events:batch bursts, every remaining worker issues nothing but
+// lookups, and EventFrac is ignored — the shape that measures read
+// latency while the write path storms.
 type Scenario struct {
 	Name      string
 	EventFrac float64
 	Batch     int
+	Writers   int
 }
 
 // The named scenarios. ReadHeavy is the shape a fleet of
 // mostly-healthy machines produces — almost pure lookups, the path the
 // lock-free snapshot read serves. BurstHeavy models correlated
 // failures (a rack at a time): a third of operations are multi-event
-// bursts applied atomically. Mixed is the historical ftload default.
+// bursts applied atomically. WriteStorm pins dedicated writers on
+// back-to-back atomic bursts while the other workers measure lookup
+// latency — the p99-under-write-storm figure the lock-free read path
+// exists for. Mixed is the historical ftload default.
 var (
 	Mixed      = Scenario{Name: "mixed", EventFrac: 0.10, Batch: 1}
 	ReadHeavy  = Scenario{Name: "read-heavy", EventFrac: 0.01, Batch: 1}
 	BurstHeavy = Scenario{Name: "burst-heavy", EventFrac: 0.30, Batch: 4}
+	WriteStorm = Scenario{Name: "write-storm", EventFrac: 1, Batch: 4, Writers: 2}
 )
 
 // Scenarios lists every named scenario.
-func Scenarios() []Scenario { return []Scenario{Mixed, ReadHeavy, BurstHeavy} }
+func Scenarios() []Scenario { return []Scenario{Mixed, ReadHeavy, BurstHeavy, WriteStorm} }
 
 // ByName returns the named scenario.
 func ByName(name string) (Scenario, bool) {
@@ -86,6 +95,13 @@ func (cfg Config) Validate() error {
 	if cfg.Scenario.EventFrac < 0 || cfg.Scenario.EventFrac > 1 {
 		return fmt.Errorf("loadgen: event fraction %v outside [0,1]", cfg.Scenario.EventFrac)
 	}
+	if cfg.Scenario.Writers < 0 {
+		return fmt.Errorf("loadgen: writer count %d negative", cfg.Scenario.Writers)
+	}
+	if cfg.Scenario.Writers > 0 && cfg.Scenario.Writers >= cfg.Workers {
+		return fmt.Errorf("loadgen: %d dedicated writers leave no readers among %d workers",
+			cfg.Scenario.Writers, cfg.Workers)
+	}
 	if err := cfg.Spec.Validate(); err != nil {
 		return err
 	}
@@ -95,15 +111,18 @@ func (cfg Config) Validate() error {
 	return nil
 }
 
-// Result is the merged measurement of one run. Latencies is sorted.
+// Result is the merged measurement of one run. Both latency slices are
+// sorted; LookupLatencies is the read-side subset, the distribution a
+// write-storm run exists to measure.
 type Result struct {
-	Lookups   int // successful phi queries
-	Events    int // individual events applied (bursts count each event)
-	Batches   int // accepted event transitions
-	Rejected  int // rejected transitions (budget/state enforcement)
-	Errors    int // transport or unexpected-status failures
-	Elapsed   time.Duration
-	Latencies []time.Duration // every successful operation, sorted
+	Lookups         int // successful phi queries
+	Events          int // individual events applied (bursts count each event)
+	Batches         int // accepted event transitions
+	Rejected        int // rejected transitions (budget/state enforcement)
+	Errors          int // transport or unexpected-status failures
+	Elapsed         time.Duration
+	Latencies       []time.Duration // every successful operation, sorted
+	LookupLatencies []time.Duration // lookups only, sorted
 }
 
 // Ops returns the number of completed operations (lookups plus event
@@ -121,28 +140,42 @@ func (r Result) Throughput() float64 {
 // Percentile returns the p-th percentile (0 <= p <= 100) of the
 // latency distribution using nearest-rank.
 func (r Result) Percentile(p float64) time.Duration {
-	if len(r.Latencies) == 0 {
+	return percentile(r.Latencies, p)
+}
+
+// LookupPercentile returns the p-th percentile over lookups only: the
+// read-side latency while (in a write-storm run) the write path is
+// saturated.
+func (r Result) LookupPercentile(p float64) time.Duration {
+	return percentile(r.LookupLatencies, p)
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(p/100*float64(len(r.Latencies))+0.5) - 1
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	if rank >= len(r.Latencies) {
-		rank = len(r.Latencies) - 1
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
 	}
-	return r.Latencies[rank]
+	return sorted[rank]
 }
 
 // opStats accumulates one worker's measurements; workers keep their
-// own and Run merges, so the hot loop takes no locks.
+// own and Run merges, so the hot loop takes no locks. Lookup latencies
+// are kept apart from event latencies so the read-side distribution
+// survives the merge.
 type opStats struct {
-	lookups   int
-	events    int
-	batches   int
-	rejected  int
-	errors    int
-	latencies []time.Duration
+	lookups    int
+	events     int
+	batches    int
+	rejected   int
+	errors     int
+	eventLats  []time.Duration
+	lookupLats []time.Duration
 }
 
 // Run executes the configured load against the daemon and merges the
@@ -198,11 +231,17 @@ func Run(cfg Config) (Result, error) {
 			defer wg.Done()
 			st := &perWorker[w]
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			writer := w < cfg.Scenario.Writers // role-split mode: first workers are dedicated writers
 			for i := 0; i < n; i++ {
 				id := ids[rng.Intn(len(ids))]
-				if rng.Float64() < cfg.Scenario.EventFrac {
+				switch {
+				case writer:
 					driveEvents(client, cfg.Addr, id, rng, nHost, cfg.Scenario.Batch, st)
-				} else {
+				case cfg.Scenario.Writers > 0:
+					driveLookup(client, cfg.Addr, id, rng.Intn(nTarget), st)
+				case rng.Float64() < cfg.Scenario.EventFrac:
+					driveEvents(client, cfg.Addr, id, rng, nHost, cfg.Scenario.Batch, st)
+				default:
 					driveLookup(client, cfg.Addr, id, rng.Intn(nTarget), st)
 				}
 			}
@@ -218,9 +257,12 @@ func Run(cfg Config) (Result, error) {
 		total.Batches += st.batches
 		total.Rejected += st.rejected
 		total.Errors += st.errors
-		total.Latencies = append(total.Latencies, st.latencies...)
+		total.Latencies = append(total.Latencies, st.eventLats...)
+		total.Latencies = append(total.Latencies, st.lookupLats...)
+		total.LookupLatencies = append(total.LookupLatencies, st.lookupLats...)
 	}
 	sort.Slice(total.Latencies, func(i, j int) bool { return total.Latencies[i] < total.Latencies[j] })
+	sort.Slice(total.LookupLatencies, func(i, j int) bool { return total.LookupLatencies[i] < total.LookupLatencies[j] })
 	return total, nil
 }
 
@@ -282,11 +324,11 @@ func driveEvents(client *http.Client, addr, id string, rng *rand.Rand, nHost, ba
 	case resp.StatusCode == http.StatusOK:
 		st.batches++
 		st.events += batch
-		st.latencies = append(st.latencies, time.Since(t0))
+		st.eventLats = append(st.eventLats, time.Since(t0))
 	case resp.StatusCode == http.StatusConflict || resp.StatusCode == http.StatusBadRequest:
 		// The daemon enforcing the budget / state machine: expected.
 		st.rejected++
-		st.latencies = append(st.latencies, time.Since(t0))
+		st.eventLats = append(st.eventLats, time.Since(t0))
 	default:
 		st.errors++
 	}
@@ -306,5 +348,5 @@ func driveLookup(client *http.Client, addr, id string, x int, st *opStats) {
 		return
 	}
 	st.lookups++
-	st.latencies = append(st.latencies, time.Since(t0))
+	st.lookupLats = append(st.lookupLats, time.Since(t0))
 }

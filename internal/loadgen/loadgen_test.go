@@ -9,7 +9,7 @@ import (
 )
 
 func TestScenarioByName(t *testing.T) {
-	for _, want := range []string{"mixed", "read-heavy", "burst-heavy"} {
+	for _, want := range []string{"mixed", "read-heavy", "burst-heavy", "write-storm"} {
 		sc, ok := ByName(want)
 		if !ok || sc.Name != want {
 			t.Errorf("ByName(%q) = %+v, %v", want, sc, ok)
@@ -39,6 +39,12 @@ func TestConfigValidate(t *testing.T) {
 			Spec: fleet.Spec{Kind: "torus", H: 4}},
 		// Burst larger than the whole host graph: racks would be zero.
 		{Instances: 1, Workers: 1, Requests: 1, Scenario: Scenario{Batch: 20},
+			Spec: good.Spec},
+		// Negative writer count.
+		{Instances: 1, Workers: 2, Requests: 1, Scenario: Scenario{Batch: 1, Writers: -1},
+			Spec: good.Spec},
+		// Every worker a writer: nobody left to measure reads.
+		{Instances: 1, Workers: 2, Requests: 1, Scenario: Scenario{Batch: 1, Writers: 2},
 			Spec: good.Spec},
 	}
 	for i, cfg := range bad {
@@ -114,6 +120,52 @@ func TestRunScenarios(t *testing.T) {
 				t.Fatalf("daemon saw lookups/batches %d/%d, client measured %d/%d",
 					st.Lookups, st.Batches, res.Lookups, res.Batches)
 			}
+			if len(res.LookupLatencies) != res.Lookups {
+				t.Fatalf("lookup latencies = %d, lookups = %d", len(res.LookupLatencies), res.Lookups)
+			}
 		})
+	}
+}
+
+// TestRunWriteStormRoleSplit pins the role-split contract: with W
+// dedicated writers out of N workers, the write side is sustained
+// bursts (every event op is an atomic batch) and the read side is pure
+// lookups whose latencies are reported separately.
+func TestRunWriteStormRoleSplit(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{})
+	ts := httptest.NewServer(fleet.NewHTTPHandler(mgr))
+	defer ts.Close()
+	const requests = 400
+	res, err := Run(Config{
+		Addr:      ts.URL,
+		Instances: 2,
+		Spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 4},
+		Workers:   4,
+		Requests:  requests,
+		Scenario:  WriteStorm,
+		Seed:      11,
+		IDPrefix:  "t-storm-split",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	// 2 of 4 workers are writers, so about half the ops are event
+	// transitions (accepted or rejected) and the other half lookups.
+	writes := res.Batches + res.Rejected
+	if writes != requests/2 || res.Lookups != requests/2 {
+		t.Fatalf("role split: %d writes, %d lookups, want %d each", writes, res.Lookups, requests/2)
+	}
+	// Sustained bursts: every accepted transition carries a full batch.
+	if res.Events != res.Batches*WriteStorm.Batch {
+		t.Fatalf("events %d != batches %d x %d", res.Events, res.Batches, WriteStorm.Batch)
+	}
+	if len(res.LookupLatencies) != res.Lookups {
+		t.Fatalf("lookup latencies = %d, lookups = %d", len(res.LookupLatencies), res.Lookups)
+	}
+	if p99 := res.LookupPercentile(99); p99 <= 0 {
+		t.Fatalf("read p99 = %v under storm", p99)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -22,9 +23,13 @@ import (
 )
 
 // Mapper produces the embedding for a concrete fault set: phi[x] is the
-// host node assigned to target node x. Mapper must be safe for
-// concurrent use.
-type Mapper func(faults []int) ([]int, error)
+// host node assigned to target node x. buf is an optional scratch
+// slice: a mapper should materialize into buf[:0] (growing it as
+// needed) and return the result, so verification loops that check
+// millions of fault sets reuse one dense buffer per worker instead of
+// allocating per set — pass nil when reuse does not matter. Mapper
+// must be safe for concurrent use with distinct buffers.
+type Mapper func(faults, buf []int) ([]int, error)
 
 // Report summarizes a verification run.
 type Report struct {
@@ -46,17 +51,26 @@ func (r Report) String() string {
 
 // CheckOnce verifies a single fault set.
 func CheckOnce(target, host *graph.Graph, faults []int, mapper Mapper) error {
-	phi, err := mapper(faults)
+	phi, err := mapper(faults, nil)
 	if err != nil {
 		return fmt.Errorf("faults %v: %w", faults, err)
 	}
-	// The mapper must avoid the faulty nodes entirely.
-	bad := make(map[int]bool, len(faults))
-	for _, f := range faults {
-		bad[f] = true
+	return checkPhi(target, host, faults, phi)
+}
+
+// checkPhi validates a materialized embedding: no target lands on a
+// faulty host, and the image preserves every target edge. The faulty
+// check binary-searches the (sorted) fault set instead of building a
+// per-call map; enumerated fault sets arrive sorted, so the hot
+// verification loops pay no allocation here.
+func checkPhi(target, host *graph.Graph, faults, phi []int) error {
+	sorted := faults
+	if !sort.IntsAreSorted(sorted) {
+		sorted = append(make([]int, 0, len(faults)), faults...)
+		sort.Ints(sorted)
 	}
 	for x, img := range phi {
-		if bad[img] {
+		if num.ContainsSorted(sorted, img) {
 			return fmt.Errorf("faults %v: target %d mapped to faulty host %d", faults, x, img)
 		}
 	}
@@ -106,6 +120,7 @@ func Exhaustive(target, host *graph.Graph, k int, mapper Mapper) Report {
 		go func() {
 			defer wg.Done()
 			faults := make([]int, k)
+			var phiBuf []int // per-worker dense buffer, reused across fault sets
 			for f0 := range work {
 				faults[0] = f0
 				rest := n - f0 - 1
@@ -114,7 +129,13 @@ func Exhaustive(target, host *graph.Graph, k int, mapper Mapper) Report {
 						faults[i+1] = f0 + 1 + v
 					}
 					checked.Add(1)
-					if err := CheckOnce(target, host, faults, mapper); err != nil {
+					phi, err := mapper(faults, phiBuf)
+					if phi != nil {
+						phiBuf = phi // retain the grown buffer
+					}
+					if err != nil {
+						record(fmt.Errorf("faults %v: %w", faults, err))
+					} else if err := checkPhi(target, host, faults, phi); err != nil {
 						record(err)
 					}
 					return true
@@ -139,11 +160,21 @@ func Randomized(target, host *graph.Graph, k int, mapper Mapper, trials int, see
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var rep Report
+	var phiBuf []int // reused across trials
 	for _, m := range models {
 		for i := 0; i < trials; i++ {
 			faults := m.Generate(rng, host.N(), k)
 			rep.Checked++
-			if err := CheckOnce(target, host, faults, mapper); err != nil {
+			phi, err := mapper(faults, phiBuf)
+			if phi != nil {
+				phiBuf = phi
+			}
+			if err != nil {
+				err = fmt.Errorf("faults %v: %w", faults, err)
+			} else {
+				err = checkPhi(target, host, faults, phi)
+			}
+			if err != nil {
 				rep.Failed++
 				if rep.First == nil {
 					rep.First = fmt.Errorf("model %s: %w", m.Name(), err)

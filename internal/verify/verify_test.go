@@ -13,12 +13,12 @@ import (
 )
 
 func dbMapper(p ft.Params) Mapper {
-	return func(faults []int) ([]int, error) {
+	return func(faults, buf []int) ([]int, error) {
 		m, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	}
 }
 
@@ -65,12 +65,12 @@ func TestExhaustiveDetectsBrokenHost(t *testing.T) {
 	b := graph.NewBuilder(p.NHost())
 	target.EachEdge(func(u, v int) bool { b.AddEdge(u, v); return true })
 	weakHost := b.Build()
-	rep := Exhaustive(target, weakHost, 1, func(faults []int) ([]int, error) {
+	rep := Exhaustive(target, weakHost, 1, func(faults, buf []int) ([]int, error) {
 		m, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	})
 	if rep.Ok() {
 		t.Fatal("weak host passed exhaustive verification")
@@ -88,7 +88,7 @@ func TestCheckOnceRejectsMappingToFaultyNode(t *testing.T) {
 	target := debruijn.MustNew(p.Target())
 	host := ft.MustNew(p)
 	// Mapper that ignores faults: identity.
-	identity := func(faults []int) ([]int, error) {
+	identity := func(faults, _ []int) ([]int, error) {
 		return graph.IdentityEmbedding(p.NTarget()), nil
 	}
 	if err := CheckOnce(target, host, []int{3}, identity); err == nil {
@@ -120,7 +120,7 @@ func TestRandomizedShuffleExchangeViaDB(t *testing.T) {
 		t.Fatal(err)
 	}
 	se := shuffle.MustNew(shuffle.Params{H: p.H})
-	mapper := func(faults []int) ([]int, error) {
+	mapper := func(faults, _ []int) ([]int, error) {
 		return ft.SEMapViaDB(p, psi, faults)
 	}
 	rep := Randomized(se, host, p.K, mapper, 20, 7, nil)
@@ -136,12 +136,12 @@ func TestRandomizedShuffleExchangeNatural(t *testing.T) {
 		t.Fatal(err)
 	}
 	se := shuffle.MustNew(shuffle.Params{H: p.H})
-	mapper := func(faults []int) ([]int, error) {
+	mapper := func(faults, buf []int) ([]int, error) {
 		m, err := ft.NewMapping(p.NTarget(), p.NHost(), faults)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	}
 	rep := Randomized(se, host, p.K, mapper, 20, 11, nil)
 	if !rep.Ok() {
@@ -158,7 +158,7 @@ func TestExhaustiveSEBothVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repV := Exhaustive(se, hostV, pse.K, func(faults []int) ([]int, error) {
+	repV := Exhaustive(se, hostV, pse.K, func(faults, _ []int) ([]int, error) {
 		return ft.SEMapViaDB(pse, psi, faults)
 	})
 	if !repV.Ok() {
@@ -169,12 +169,12 @@ func TestExhaustiveSEBothVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repN := Exhaustive(se, hostN, pse.K, func(faults []int) ([]int, error) {
+	repN := Exhaustive(se, hostN, pse.K, func(faults, buf []int) ([]int, error) {
 		m, err := ft.NewMapping(pse.NTarget(), pse.NHost(), faults)
 		if err != nil {
 			return nil, err
 		}
-		return m.PhiSlice(), nil
+		return m.AppendPhi(buf[:0]), nil
 	})
 	if !repN.Ok() {
 		t.Fatalf("natural: %v", repN)

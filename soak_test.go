@@ -30,12 +30,12 @@ func TestSoakBase2LargeMachines(t *testing.T) {
 			if host.MaxDegree() > p.DegreeBound() {
 				t.Fatalf("%v: degree %d > %d", p, host.MaxDegree(), p.DegreeBound())
 			}
-			mapper := func(f []int) ([]int, error) {
+			mapper := func(f, buf []int) ([]int, error) {
 				m, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
 				if err != nil {
 					return nil, err
 				}
-				return m.PhiSlice(), nil
+				return m.AppendPhi(buf[:0]), nil
 			}
 			rep := verify.Randomized(target, host, k, mapper, 10, rng.Int63(), nil)
 			if !rep.Ok() {
@@ -55,12 +55,12 @@ func TestSoakBaseMWide(t *testing.T) {
 			p := ft.Params{M: m, H: 3, K: k}
 			host := ft.MustNew(p)
 			target := debruijn.MustNew(p.Target())
-			mapper := func(f []int) ([]int, error) {
+			mapper := func(f, buf []int) ([]int, error) {
 				mp, err := ft.NewMapping(p.NTarget(), p.NHost(), f)
 				if err != nil {
 					return nil, err
 				}
-				return mp.PhiSlice(), nil
+				return mp.AppendPhi(buf[:0]), nil
 			}
 			rep := verify.Randomized(target, host, k, mapper, 10, rng.Int63(), nil)
 			if !rep.Ok() {
@@ -136,12 +136,12 @@ func TestSoakExhaustiveMidSize(t *testing.T) {
 	for _, c := range []ft.Params{{M: 2, H: 4, K: 4}, {M: 2, H: 5, K: 3}} {
 		host := ft.MustNew(c)
 		target := debruijn.MustNew(c.Target())
-		mapper := func(f []int) ([]int, error) {
+		mapper := func(f, buf []int) ([]int, error) {
 			m, err := ft.NewMapping(c.NTarget(), c.NHost(), f)
 			if err != nil {
 				return nil, err
 			}
-			return m.PhiSlice(), nil
+			return m.AppendPhi(buf[:0]), nil
 		}
 		rep := verify.Exhaustive(target, host, c.K, mapper)
 		if !rep.Ok() {
