@@ -21,6 +21,15 @@
 //	ftload -scenario write-storm   # dedicated writers hammer events:batch
 //	                               # while the other workers measure read p99
 //
+// The restart scenario is the crash-recovery probe; ftload itself
+// spawns the daemon, SIGKILLs it mid write-storm, restarts it over the
+// same journal, and verifies every instance recovered to (at least)
+// its last acknowledged epoch with a bit-identical mapping:
+//
+//	ftload -scenario restart \
+//	    -exec "./ftnetd -addr 127.0.0.1:18080 -journal /tmp/ft.wal -fsync always" \
+//	    -addr http://127.0.0.1:18080
+//
 // Rejected events (budget exhausted, repairing a healthy node, a burst
 // with one invalid event) are counted separately: they are the daemon
 // correctly enforcing the paper's k-fault precondition, not failures.
@@ -30,7 +39,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/exec"
+	"sort"
+	"strings"
 	"time"
 
 	"ftnet/internal/fleet"
@@ -40,6 +53,7 @@ import (
 type config struct {
 	loadgen.Config
 	scenario string // named scenario; overrides eventfrac/batch when set
+	exec     string // daemon command line the restart scenario spawns and kills
 }
 
 func main() {
@@ -55,7 +69,8 @@ func main() {
 	flag.IntVar(&cfg.Requests, "requests", 20000, "total operations to issue")
 	flag.Float64Var(&cfg.Scenario.EventFrac, "eventfrac", 0.1, "fraction of ops that are fault/repair events")
 	flag.IntVar(&cfg.Scenario.Batch, "batch", 1, "events per reconfiguration op (> 1 uses atomic events:batch bursts)")
-	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy" or "write-storm" (overrides -eventfrac/-batch)`)
+	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy", "write-storm" or "restart" (overrides -eventfrac/-batch)`)
+	flag.StringVar(&cfg.exec, "exec", "", `daemon command line for -scenario restart (ftload spawns, SIGKILLs and restarts it)`)
 	flag.Int64Var(&cfg.Seed, "seed", 1, "rng seed")
 	flag.Parse()
 	cfg.Spec.Kind = fleet.Kind(kind)
@@ -67,6 +82,9 @@ func main() {
 }
 
 func run(cfg config, out io.Writer) error {
+	if cfg.scenario == "restart" {
+		return runRestart(cfg, out)
+	}
 	if cfg.scenario != "" {
 		sc, ok := loadgen.ByName(cfg.scenario)
 		if !ok {
@@ -85,6 +103,95 @@ func run(cfg config, out io.Writer) error {
 		return fmt.Errorf("%d operations failed", res.Errors)
 	}
 	return nil
+}
+
+// daemonProc owns the ftnetd child process of the restart scenario.
+type daemonProc struct {
+	argv []string
+	cmd  *exec.Cmd
+}
+
+func (d *daemonProc) start() error {
+	d.cmd = exec.Command(d.argv[0], d.argv[1:]...)
+	d.cmd.Stdout = os.Stderr
+	d.cmd.Stderr = os.Stderr
+	return d.cmd.Start()
+}
+
+// kill SIGKILLs the daemon — no shutdown handler, no final flush: the
+// only durability is what the journal's fsync policy already provided.
+func (d *daemonProc) kill() error {
+	if d.cmd == nil || d.cmd.Process == nil {
+		return fmt.Errorf("daemon not running")
+	}
+	if err := d.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	d.cmd.Wait() // reap; the error (killed) is expected
+	return nil
+}
+
+func runRestart(cfg config, out io.Writer) error {
+	if cfg.exec == "" {
+		return fmt.Errorf(`-scenario restart needs -exec "ftnetd ..." to own the daemon lifecycle`)
+	}
+	d := &daemonProc{argv: strings.Fields(cfg.exec)}
+	if len(d.argv) == 0 {
+		return fmt.Errorf("-exec is empty after splitting")
+	}
+	if err := d.start(); err != nil {
+		return fmt.Errorf("start daemon: %v", err)
+	}
+	defer d.kill()
+	if err := waitHealthy(cfg.Addr, 15*time.Second); err != nil {
+		return err
+	}
+
+	res, err := loadgen.RunRestart(loadgen.RestartConfig{
+		Config: cfg.Config,
+		Kill:   d.kill,
+		Start: func() (string, error) {
+			return cfg.Addr, d.start()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ftload: restart scenario against %s\n", cfg.Addr)
+	fmt.Fprintf(out, "  storm        %d transitions acked (%d rejected, %d errors after the kill) in %v\n",
+		res.Storm.Batches, res.Storm.Rejected, res.Storm.Errors, res.Storm.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  downtime     %v (SIGKILL to healthy)\n", res.Downtime.Round(time.Millisecond))
+	fmt.Fprintf(out, "  recovered    %d/%d instances verified\n", res.Verified, cfg.Instances)
+	for _, id := range sortedKeys(res.Acked) {
+		fmt.Fprintf(out, "    %-20s acked epoch %-6d recovered epoch %d\n", id, res.Acked[id], res.Recovered[id])
+	}
+	return nil
+}
+
+func waitHealthy(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not healthy on %s after %v", addr, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func report(out io.Writer, cfg config, res loadgen.Result) {

@@ -3,7 +3,18 @@
 //
 // Usage:
 //
-//	ftnetd -addr :8080 -cache 4096
+//	ftnetd -addr :8080 -cache 4096 -journal /var/lib/ftnet/epochs.wal -fsync always
+//
+// With -journal set, every accepted transition (instance create/delete,
+// fault/repair event, atomic batch) appends one O(k) CRC32C-framed
+// record — epoch plus the sorted fault set — to an append-only log, and
+// a restart replays it: every instance comes back at its exact pre-kill
+// epoch, fault set, and mapping (verified bit-identically against a
+// fresh recomputation), with any torn tail from a crash mid-append
+// detected, logged, and truncated. -fsync picks the durability point:
+// "always" (fsync before acknowledging, group-committed across
+// concurrent writers), "interval" (timer-driven), or "never" (OS
+// decides).
 //
 // API (see internal/fleet/api.go for the full route table):
 //
@@ -11,7 +22,7 @@
 //	POST   /v1/instances/{id}/events  {"kind":"fault","node":3}  (or "repair")
 //	POST   /v1/instances/{id}/events:batch  a whole fault burst, applied atomically
 //	GET    /v1/instances/{id}/phi?x=3 where does target node 3 run now?
-//	GET    /v1/stats, /healthz, /metrics
+//	GET    /v1/stats, /healthz, /metrics   (stats include journal/recovery counters)
 //
 // Example session:
 //
@@ -26,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -34,16 +46,26 @@ import (
 	"time"
 
 	"ftnet/internal/fleet"
+	"ftnet/internal/journal"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", fleet.DefaultCacheSize, "mapping cache capacity")
+	journalPath := flag.String("journal", "", "append-only epoch journal path (empty disables durability)")
+	fsyncMode := flag.String("fsync", "always", `journal fsync policy: "always", "interval" or "never"`)
+	fsyncEvery := flag.Duration("fsync-interval", journal.DefaultSyncInterval, `sync period for -fsync interval`)
 	flag.Parse()
+
+	mgr := fleet.NewManager(fleet.Options{CacheSize: *cacheSize})
+	jw, err := openJournal(mgr, *journalPath, *fsyncMode, *fsyncEvery, log.Printf)
+	if err != nil {
+		log.Fatalf("ftnetd: %v", err)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(fleet.NewManager(fleet.Options{CacheSize: *cacheSize})),
+		Handler:           newServer(mgr),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -68,6 +90,47 @@ func main() {
 	if err := <-done; err != nil {
 		log.Fatal(err)
 	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			log.Fatalf("ftnetd: close journal: %v", err)
+		}
+	}
+}
+
+// openJournal performs the durable boot sequence: replay the existing
+// log into the manager (verifying every epoch against a fresh mapping
+// recomputation), truncate any torn tail left by a crash mid-append,
+// and only then open the append writer and attach it — so new records
+// always continue the valid prefix. A replay that fails verification
+// is fatal: the daemon refuses to serve state it cannot prove correct.
+// Split from main (with an injectable logger) so the end-to-end test
+// boots exactly this sequence.
+func openJournal(mgr *fleet.Manager, path, fsyncMode string, interval time.Duration, logf func(string, ...any)) (*journal.Writer, error) {
+	if path == "" {
+		return nil, nil
+	}
+	policy, err := journal.ParseSyncPolicy(fsyncMode)
+	if err != nil {
+		return nil, err
+	}
+	st, err := mgr.RecoverFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal recovery from %s failed: %w", path, err)
+	}
+	if st.Torn {
+		logf("ftnetd: journal %s: torn tail dropped at byte %d (%s)", path, st.Offset, st.TornReason)
+	}
+	if st.Records > 0 {
+		logf("ftnetd: recovered %d journal records (%d instances, %d transitions, last epoch %d) in %.3fs from %s",
+			st.Records, st.Created-st.Deleted, st.Transitions, st.LastEpoch, st.Seconds, path)
+	}
+	jw, err := journal.Create(path, journal.Options{Sync: policy, Interval: interval})
+	if err != nil {
+		return nil, err
+	}
+	mgr.SetJournal(jw)
+	logf("ftnetd: journaling epochs to %s (fsync %s)", path, policy)
+	return jw, nil
 }
 
 // newServer builds the daemon's handler; split from main so the

@@ -7,11 +7,15 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ftnet/internal/fleet"
 	"ftnet/internal/ft"
+	"ftnet/internal/journal"
 )
 
 func newTestDaemon(t *testing.T) *httptest.Server {
@@ -256,6 +260,199 @@ func TestDaemonEventBatch(t *testing.T) {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// bootJournaled runs the daemon's exact journal boot sequence
+// (openJournal: recover, truncate torn tail, attach append writer) and
+// serves the real handler over it.
+func bootJournaled(t *testing.T, path string) (*fleet.Manager, *journal.Writer, *httptest.Server) {
+	t.Helper()
+	mgr := fleet.NewManager(fleet.Options{})
+	jw, err := openJournal(mgr, path, "always", journal.DefaultSyncInterval, t.Logf)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	ts := httptest.NewServer(newServer(mgr))
+	t.Cleanup(ts.Close)
+	return mgr, jw, ts
+}
+
+// TestDaemonJournalCrashRecovery is the acceptance check at daemon
+// granularity: drive a journaled daemon through creates, bursts,
+// repairs and a delete, "crash" it (the writer is abandoned, never
+// closed — with -fsync always everything acknowledged is already on
+// disk), boot a second daemon over the same journal, and require every
+// instance back at its exact pre-kill epoch, fault set, and Phi —
+// bit-identical against both the live pre-crash state and a fresh
+// ft.NewMapping recomputation. A third boot after scribbling garbage
+// on the tail must log, truncate, and preserve the same state.
+func TestDaemonJournalCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.wal")
+	mgr1, _, ts1 := bootJournaled(t, path)
+	base := ts1.URL
+
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "prod", "spec": fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 3}},
+		http.StatusCreated, nil)
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "se", "spec": fleet.Spec{Kind: fleet.KindShuffle, H: 4, K: 2}},
+		http.StatusCreated, nil)
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "scratch", "spec": fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 3, K: 1}},
+		http.StatusCreated, nil)
+
+	do(t, "POST", base+"/v1/instances/prod/events:batch",
+		fleet.BatchRequest{Events: []fleet.Event{
+			{Kind: fleet.EventFault, Node: 3},
+			{Kind: fleet.EventFault, Node: 11},
+			{Kind: fleet.EventFault, Node: 7},
+		}}, http.StatusOK, nil)
+	do(t, "POST", base+"/v1/instances/prod/events",
+		fleet.Event{Kind: fleet.EventRepair, Node: 7}, http.StatusOK, nil)
+	do(t, "POST", base+"/v1/instances/se/events",
+		fleet.Event{Kind: fleet.EventFault, Node: 2}, http.StatusOK, nil)
+	// A rejected burst must leave no trace in the journal.
+	do(t, "POST", base+"/v1/instances/se/events:batch",
+		fleet.BatchRequest{Events: []fleet.Event{
+			{Kind: fleet.EventFault, Node: 0},
+			{Kind: fleet.EventFault, Node: 1},
+			{Kind: fleet.EventFault, Node: 3},
+		}}, http.StatusConflict, nil)
+	do(t, "DELETE", base+"/v1/instances/scratch", nil, http.StatusNoContent, nil)
+
+	// SIGKILL equivalent: no Close, no flush beyond what -fsync always
+	// already guaranteed per acknowledged request.
+	ts1.Close()
+
+	mgr2, _, ts2 := bootJournaled(t, path)
+	checkSameFleet(t, mgr1, mgr2)
+	if _, ok := mgr2.Get("scratch"); ok {
+		t.Error("deleted instance resurrected by recovery")
+	}
+
+	// The recovered daemon keeps serving and journaling: one more event
+	// must land on the recovered epoch chain.
+	var res fleet.EventResult
+	do(t, "POST", ts2.URL+"/v1/instances/prod/events",
+		fleet.Event{Kind: fleet.EventFault, Node: 0}, http.StatusOK, &res)
+	if want := mustSnap(t, mgr1, "prod").Epoch() + 1; res.Epoch != want {
+		t.Errorf("post-recovery epoch %d, want %d", res.Epoch, want)
+	}
+
+	// Stats surface the journal and recovery counters.
+	var st fleet.Stats
+	do(t, "GET", ts2.URL+"/v1/stats", nil, http.StatusOK, &st)
+	if !st.Journal.Enabled || st.Journal.Records == 0 {
+		t.Errorf("journal stats %+v, want enabled with fresh records", st.Journal)
+	}
+	// 7 records survived the crash: 3 creates, 3 accepted transitions,
+	// 1 delete — the rejected burst appended nothing.
+	if st.Journal.Recovery == nil || st.Journal.Recovery.Records != 7 || st.Journal.Recovery.Torn {
+		t.Errorf("recovery stats %+v, want 7 clean records", st.Journal.Recovery)
+	}
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"ftnet_journal_enabled 1", "ftnet_journal_recovered_records 7", "ftnet_journal_last_epoch"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	ts2.Close()
+
+	// Crash No. 2, this time with a torn tail: garbage appended to the
+	// file (a record the "crash" cut mid-write). Boot three must drop
+	// exactly the garbage and keep every complete record.
+	sizeBefore := fileSize(t, path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x13, 0x37, 0xde, 0xad, 0xbe})
+	f.Close()
+
+	mgr3, _, _ := bootJournaled(t, path)
+	checkSameFleet(t, mgr2, mgr3)
+	if got := fileSize(t, path); got != sizeBefore {
+		t.Errorf("torn tail not truncated: file %d bytes, want %d", got, sizeBefore)
+	}
+	if rec := mgr3.Stats().Journal.Recovery; rec == nil || !rec.Torn || rec.Records != 8 {
+		t.Errorf("boot over torn tail reported %+v, want Torn with 8 records", rec)
+	}
+}
+
+// checkSameFleet asserts two managers hold bit-identical fleets:
+// same ids, and per instance the same epoch, fault set, and full phi
+// slice, with the mapping re-verified against ft.NewMapping.
+func checkSameFleet(t *testing.T, want, got *fleet.Manager) {
+	t.Helper()
+	wids, gids := want.List(), got.List()
+	if fmt.Sprint(wids) != fmt.Sprint(gids) {
+		t.Fatalf("instances %v, want %v", gids, wids)
+	}
+	for _, id := range wids {
+		ws := mustSnap(t, want, id)
+		gs := mustSnap(t, got, id)
+		if ws.Epoch() != gs.Epoch() {
+			t.Errorf("%s: epoch %d, want %d", id, gs.Epoch(), ws.Epoch())
+		}
+		wf, gf := ws.Faults(), gs.Faults()
+		if fmt.Sprint(wf) != fmt.Sprint(gf) {
+			t.Errorf("%s: faults %v, want %v", id, gf, wf)
+		}
+		fresh, err := ft.NewMapping(ws.NTarget(), ws.NHost(), wf)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for x := 0; x < ws.NTarget(); x++ {
+			if ws.Phi(x) != gs.Phi(x) || gs.Phi(x) != fresh.Phi(x) {
+				t.Fatalf("%s: phi(%d): live %d, recovered %d, recomputed %d",
+					id, x, ws.Phi(x), gs.Phi(x), fresh.Phi(x))
+			}
+		}
+	}
+}
+
+func mustSnap(t *testing.T, m *fleet.Manager, id string) *ft.Snapshot {
+	t.Helper()
+	in, ok := m.Get(id)
+	if !ok {
+		t.Fatalf("instance %s missing", id)
+	}
+	return in.Snapshot()
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestDaemonJournalFsyncFlagParsing pins the flag surface: bad -fsync
+// values fail the boot, good ones boot with the right policy.
+func TestDaemonJournalFsyncFlagParsing(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{})
+	if _, err := openJournal(mgr, filepath.Join(t.TempDir(), "j"), "sometimes", time.Second, t.Logf); err == nil {
+		t.Error("openJournal accepted -fsync sometimes")
+	}
+	for _, mode := range []string{"always", "interval", "never"} {
+		jw, err := openJournal(fleet.NewManager(fleet.Options{}), filepath.Join(t.TempDir(), "j"), mode, 10*time.Millisecond, t.Logf)
+		if err != nil {
+			t.Errorf("-fsync %s: %v", mode, err)
+			continue
+		}
+		jw.Close()
+	}
+	// No -journal: durability off, no writer.
+	if jw, err := openJournal(mgr, "", "always", time.Second, t.Logf); err != nil || jw != nil {
+		t.Errorf("empty -journal: writer %v, err %v; want nil, nil", jw, err)
 	}
 }
 

@@ -3,6 +3,7 @@ package ftnet
 import (
 	"ftnet/internal/fleet"
 	"ftnet/internal/ft"
+	"ftnet/internal/journal"
 )
 
 // This file exposes the online reconfiguration service: a Manager owns
@@ -31,6 +32,17 @@ type (
 	// returns the current one, and it stays valid for its epoch after
 	// later events.
 	FleetSnapshot = ft.Snapshot
+	// FleetJournal is the durable epoch journal: an append-only log of
+	// one O(k) CRC32C-framed record per accepted transition. Pass it in
+	// FleetOptions.Journal (or via FleetManager.SetJournal after
+	// recovery) and replay it with FleetManager.Recover/RecoverFile.
+	FleetJournal = journal.Writer
+	// FleetJournalOptions selects the journal's fsync policy and
+	// buffering.
+	FleetJournalOptions = journal.Options
+	// FleetRecoverStats reports a journal replay: records, transitions,
+	// torn-tail handling, and wall-clock recovery time.
+	FleetRecoverStats = fleet.RecoverStats
 )
 
 // Topology kinds and event kinds for FleetSpec / FleetEvent.
@@ -41,7 +53,22 @@ const (
 	FleetRepair   = fleet.EventRepair
 )
 
+// Journal fsync policies for FleetJournalOptions.Sync.
+const (
+	FleetSyncAlways   = journal.SyncAlways   // fsync before acknowledging (group-committed)
+	FleetSyncInterval = journal.SyncInterval // fsync on a timer
+	FleetSyncNever    = journal.SyncNever    // flush on Close only
+)
+
 // NewFleetManager returns an empty online-reconfiguration manager.
 func NewFleetManager(opts FleetOptions) *FleetManager {
 	return fleet.NewManager(opts)
+}
+
+// OpenFleetJournal opens (or creates) a durable epoch journal file in
+// append mode. Recover the previous log into the manager first
+// (FleetManager.RecoverFile also truncates any torn tail), then attach
+// the writer with FleetManager.SetJournal.
+func OpenFleetJournal(path string, opts FleetJournalOptions) (*FleetJournal, error) {
+	return journal.Create(path, opts)
 }

@@ -1,6 +1,9 @@
 package ftnet
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 // TestFleetFacade walks the create -> fault -> lookup -> repair cycle
 // through the public facade and cross-checks against the one-shot
@@ -81,6 +84,50 @@ func TestFleetFacadeBatchAndSnapshot(t *testing.T) {
 	for x := 0; x < 16; x++ {
 		if held.Phi(x) != want.Phi(x) {
 			t.Fatalf("held snapshot Phi(%d) = %d, want %d", x, held.Phi(x), want.Phi(x))
+		}
+	}
+}
+
+// TestFleetFacadeJournalRecovery drives a journaled fleet through the
+// facade, "crashes" it (no Close), and recovers a second manager from
+// the same file to the identical epoch and fault set.
+func TestFleetFacadeJournalRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.wal")
+	jw, err := OpenFleetJournal(path, FleetJournalOptions{Sync: FleetSyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewFleetManager(FleetOptions{Journal: jw})
+	if _, err := mgr.Create("prod", FleetSpec{Kind: FleetDeBruijn, M: 2, H: 4, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.EventBatch("prod", []FleetEvent{
+		{Kind: FleetFault, Node: 3},
+		{Kind: FleetFault, Node: 11},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2 := NewFleetManager(FleetOptions{})
+	st, err := mgr2.RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 || st.Transitions != 1 || st.Torn {
+		t.Fatalf("recover stats %+v, want 2 clean records", st)
+	}
+	in, ok := mgr2.Get("prod")
+	if !ok {
+		t.Fatal("prod not recovered")
+	}
+	s := in.Snapshot()
+	if s.Epoch() != 1 || s.NumFaults() != 2 {
+		t.Fatalf("recovered epoch %d faults %v", s.Epoch(), s.Faults())
+	}
+	live, _ := mgr.Get("prod")
+	for x := 0; x < s.NTarget(); x++ {
+		if s.Phi(x) != live.Snapshot().Phi(x) {
+			t.Fatalf("recovered Phi(%d) = %d, live says %d", x, s.Phi(x), live.Snapshot().Phi(x))
 		}
 	}
 }

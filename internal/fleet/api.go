@@ -64,13 +64,16 @@ type apiError struct {
 
 // errCode maps a manager error to a status by its category: unknown
 // instances are 404, state conflicts (duplicates, double faults,
-// exhausted budget) are 409, the rest are 400.
+// exhausted budget) are 409, journal failures (the transition was NOT
+// applied) are 503, the rest are 400.
 func errCode(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
@@ -114,7 +117,12 @@ func (s *apiServer) getInstance(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *apiServer) deleteInstance(w http.ResponseWriter, r *http.Request) {
-	if !s.mgr.Delete(r.PathValue("id")) {
+	ok, err := s.mgr.Delete(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !ok {
 		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", r.PathValue("id")))
 		return
 	}
@@ -213,6 +221,13 @@ func (s *apiServer) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // metrics writes the fleet counters in the Prometheus text exposition
 // format, hand-rolled to keep the module dependency-free.
 func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
@@ -231,6 +246,17 @@ func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE ftnet_cache_hits_total counter\nftnet_cache_hits_total %d\n", st.Cache.Hits)
 	fmt.Fprintf(w, "# TYPE ftnet_cache_misses_total counter\nftnet_cache_misses_total %d\n", st.Cache.Misses)
 	fmt.Fprintf(w, "# TYPE ftnet_cache_evictions_total counter\nftnet_cache_evictions_total %d\n", st.Cache.Evictions)
+	fmt.Fprintf(w, "# TYPE ftnet_journal_enabled gauge\nftnet_journal_enabled %d\n", boolGauge(st.Journal.Enabled))
+	fmt.Fprintf(w, "# TYPE ftnet_journal_records_total counter\nftnet_journal_records_total %d\n", st.Journal.Records)
+	fmt.Fprintf(w, "# TYPE ftnet_journal_bytes_total counter\nftnet_journal_bytes_total %d\n", st.Journal.Bytes)
+	fmt.Fprintf(w, "# TYPE ftnet_journal_syncs_total counter\nftnet_journal_syncs_total %d\n", st.Journal.Syncs)
+	fmt.Fprintf(w, "# TYPE ftnet_journal_last_epoch gauge\nftnet_journal_last_epoch %d\n", st.Journal.LastEpoch)
+	fmt.Fprintf(w, "# TYPE ftnet_journal_append_failed_total counter\nftnet_journal_append_failed_total %d\n", st.Journal.AppendFailed)
+	if rec := st.Journal.Recovery; rec != nil {
+		fmt.Fprintf(w, "# TYPE ftnet_journal_recovered_records gauge\nftnet_journal_recovered_records %d\n", rec.Records)
+		fmt.Fprintf(w, "# TYPE ftnet_journal_recovery_seconds gauge\nftnet_journal_recovery_seconds %g\n", rec.Seconds)
+		fmt.Fprintf(w, "# TYPE ftnet_journal_recovered_torn gauge\nftnet_journal_recovered_torn %d\n", boolGauge(rec.Torn))
+	}
 	// Each metric family's samples must be contiguous under its # TYPE
 	// line, per the text exposition format.
 	fmt.Fprintf(w, "# TYPE ftnet_cache_shard_size gauge\n")

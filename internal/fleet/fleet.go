@@ -43,6 +43,12 @@ var (
 	ErrNotFound = errors.New("fleet: not found")
 	ErrConflict = errors.New("fleet: conflict")
 
+	// ErrUnavailable marks transitions refused because the durability
+	// layer failed: the journal append did not complete, so the state
+	// change was not applied (the snapshot pointer is only published
+	// after the record is journaled). Transports map it to 503.
+	ErrUnavailable = errors.New("fleet: journal unavailable")
+
 	// ErrBudget is the ErrConflict subcategory for events rejected
 	// because they would exceed the spare budget k; stats report it
 	// separately from duplicate-fault/repair-healthy conflicts.

@@ -3,10 +3,12 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"ftnet/internal/ft"
+	"ftnet/internal/journal"
 	"ftnet/internal/shuffle"
 )
 
@@ -34,6 +36,8 @@ type Instance struct {
 
 	snap    atomic.Pointer[ft.Snapshot] // current state; never nil
 	writeMu sync.Mutex                  // serializes event application only
+	journal *journal.Writer             // nil = no durability; guarded by writeMu
+	deleted bool                        // set by Manager.Delete; guarded by writeMu
 
 	rejectedBudget   atomic.Uint64 // events refused: budget exhausted
 	rejectedConflict atomic.Uint64 // events refused: double fault / repair healthy
@@ -129,6 +133,13 @@ func (in *Instance) ApplyBatch(events []Event) (EventResult, error) {
 
 	in.writeMu.Lock()
 	defer in.writeMu.Unlock()
+	// A writer that raced Manager.Delete (it held this *Instance from
+	// before the removal) must not apply — and above all must not
+	// journal a transition record after the instance's delete record,
+	// which would poison recovery of a reused id.
+	if in.deleted {
+		return EventResult{}, errorf(ErrNotFound, "fleet: instance %s deleted", in.id)
+	}
 	next, err := in.snap.Load().Apply(batch, in.cache.Get)
 	if err != nil {
 		switch {
@@ -140,6 +151,23 @@ func (in *Instance) ApplyBatch(events []Event) (EventResult, error) {
 			return in.reject(&in.rejectedInvalid, nil, "%v", err)
 		}
 	}
+	// Journal-then-publish, still under the writer mutex: the record is
+	// durable (per the writer's fsync policy) before any reader can
+	// observe the new epoch, so an acknowledged transition is never lost
+	// and a recovered journal never trails an epoch a client saw.
+	if in.journal != nil {
+		rec := journal.Record{
+			Op:      journal.OpTransition,
+			ID:      in.id,
+			Epoch:   next.Epoch(),
+			Applied: len(events),
+			Faults:  next.Mapping().Faults,
+		}
+		if err := in.journal.Append(rec); err != nil {
+			return EventResult{}, errorf(ErrUnavailable,
+				"fleet: instance %s: journal append: %v", in.id, err)
+		}
+	}
 	in.snap.Store(next)
 	return EventResult{
 		Epoch:     next.Epoch(),
@@ -147,6 +175,37 @@ func (in *Instance) ApplyBatch(events []Event) (EventResult, error) {
 		Budget:    in.spec.K,
 		Applied:   len(events),
 	}, nil
+}
+
+// restore installs the journaled state of one transition record during
+// recovery: the epoch must be exactly the successor of the current one
+// (accepted transitions advance it by one, so a gap means a corrupt or
+// reordered log), and the mapping the fault set induces is verified
+// bit-identically against a freshly computed ft.NewMapping before the
+// snapshot is published — corrupted state is detected, never accepted.
+func (in *Instance) restore(epoch uint64, faults []int) error {
+	in.writeMu.Lock()
+	defer in.writeMu.Unlock()
+	cur := in.snap.Load()
+	if epoch != cur.Epoch()+1 {
+		return fmt.Errorf("fleet: instance %s: journal epoch %d follows epoch %d (gap or reorder)",
+			in.id, epoch, cur.Epoch())
+	}
+	next, err := ft.Restore(in.nTarget, in.nHost, in.spec.K, epoch, faults, in.cache.Get)
+	if err != nil {
+		return fmt.Errorf("fleet: instance %s: restore epoch %d: %w", in.id, epoch, err)
+	}
+	fresh, err := ft.NewMapping(in.nTarget, in.nHost, faults)
+	if err != nil {
+		return fmt.Errorf("fleet: instance %s: recompute epoch %d: %w", in.id, epoch, err)
+	}
+	got := next.Mapping()
+	if got.NTarget != fresh.NTarget || got.NHost != fresh.NHost || !slices.Equal(got.Faults, fresh.Faults) {
+		return fmt.Errorf("fleet: instance %s: recovered mapping at epoch %d diverges from recomputation",
+			in.id, epoch)
+	}
+	in.snap.Store(next)
+	return nil
 }
 
 func (in *Instance) reject(counter *atomic.Uint64, category error, format string, args ...any) (EventResult, error) {

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"ftnet/internal/journal"
 )
 
 // numShards is the number of independently-locked instance maps. A
@@ -22,6 +24,11 @@ type Options struct {
 	// CacheShards sets the mapping cache's shard count (<= 0 selects
 	// DefaultCacheShards).
 	CacheShards int
+	// Journal, when non-nil, makes every accepted transition durable:
+	// instance creates/deletes and applied event batches each append
+	// one O(k) record before the state change becomes visible.
+	// Manager.Recover replays such a log after a restart.
+	Journal *journal.Writer
 }
 
 // Manager is the sharded registry that owns a fleet of instances behind
@@ -38,6 +45,10 @@ type Manager struct {
 	rejectedBudget   atomic.Uint64 // rejections: budget exhausted
 	rejectedConflict atomic.Uint64 // rejections: double fault / repair healthy
 	rejectedInvalid  atomic.Uint64 // rejections: unknown node/kind, empty batch
+
+	journal       atomic.Pointer[journal.Writer] // nil = durability off
+	journalFailed atomic.Uint64                  // transitions refused: journal append error
+	recovered     atomic.Pointer[RecoverStats]   // last Recover result, for stats
 }
 
 type shard struct {
@@ -54,7 +65,29 @@ func NewManager(opts Options) *Manager {
 	for i := range m.shards {
 		m.shards[i].instances = make(map[string]*Instance)
 	}
+	if opts.Journal != nil {
+		m.SetJournal(opts.Journal)
+	}
 	return m
+}
+
+// SetJournal attaches (or replaces) the durability journal, wiring it
+// into every existing instance. ftnetd calls it after recovery — the
+// boot order is recover from the old log, truncate any torn tail, then
+// attach the append writer — so it must happen before traffic is
+// served; concurrent use with event application is not supported.
+func (m *Manager) SetJournal(w *journal.Writer) {
+	m.journal.Store(w)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for _, in := range s.instances {
+			in.writeMu.Lock()
+			in.journal = w
+			in.writeMu.Unlock()
+		}
+		s.mu.Unlock()
+	}
 }
 
 func (m *Manager) shardFor(id string) *shard {
@@ -62,7 +95,14 @@ func (m *Manager) shardFor(id string) *shard {
 }
 
 // Create registers a new instance under id. The id must be non-empty
-// and unused; the spec must satisfy the paper's preconditions.
+// and unused; the spec must satisfy the paper's preconditions. With a
+// journal attached, the create record is appended under the shard lock
+// before the instance becomes visible, so no transition record can
+// ever precede its instance's create record in the log. Holding the
+// shard lock across the (possibly fsynced) append briefly stalls that
+// shard's lookups; that is a deliberate trade — create/delete are rare
+// control-plane operations, and the hot transition path fsyncs only
+// under its own instance's writer mutex.
 func (m *Manager) Create(id string, spec Spec) (*Instance, error) {
 	if id == "" {
 		return nil, fmt.Errorf("fleet: empty instance id")
@@ -71,6 +111,36 @@ func (m *Manager) Create(id string, spec Spec) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	jw := m.journal.Load()
+	in.journal = jw // not yet visible to anyone else
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.instances[id]; dup {
+		return nil, errorf(ErrConflict, "fleet: instance %q already exists", id)
+	}
+	if jw != nil {
+		rec := journal.Record{Op: journal.OpCreate, ID: id, Spec: journalSpec(spec)}
+		if err := jw.Append(rec); err != nil {
+			m.journalFailed.Add(1)
+			return nil, errorf(ErrUnavailable, "fleet: journal create %s: %v", id, err)
+		}
+	}
+	s.instances[id] = in
+	return in, nil
+}
+
+// createRaw registers an instance without journaling — the recovery
+// path, replaying records that are already in the log.
+func (m *Manager) createRaw(id string, spec Spec) (*Instance, error) {
+	if id == "" {
+		return nil, fmt.Errorf("fleet: empty instance id")
+	}
+	in, err := newInstance(id, spec, m.cache)
+	if err != nil {
+		return nil, err
+	}
+	in.journal = m.journal.Load()
 	s := m.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -79,6 +149,11 @@ func (m *Manager) Create(id string, spec Spec) (*Instance, error) {
 	}
 	s.instances[id] = in
 	return in, nil
+}
+
+// journalSpec converts a fleet spec to its journal representation.
+func journalSpec(spec Spec) journal.Spec {
+	return journal.Spec{Kind: string(spec.Kind), M: spec.M, H: spec.H, K: spec.K}
 }
 
 // Get returns the instance with the given id.
@@ -91,14 +166,44 @@ func (m *Manager) Get(id string) (*Instance, bool) {
 }
 
 // Delete removes the instance with the given id, reporting whether it
-// existed.
-func (m *Manager) Delete(id string) bool {
+// existed. With a journal attached the delete record is appended
+// first; if that fails the instance stays registered, so memory never
+// gets ahead of the log. Before the append, the instance is
+// tombstoned under its writer mutex: any ApplyBatch that raced the
+// delete has either already finished (its record precedes the delete
+// record) or will see the tombstone and reject — so no transition
+// record can ever trail its instance's delete record, and a reused id
+// recovers cleanly.
+func (m *Manager) Delete(id string) (bool, error) {
 	s := m.shardFor(id)
 	s.mu.Lock()
-	_, ok := s.instances[id]
+	defer s.mu.Unlock()
+	in, ok := s.instances[id]
+	if !ok {
+		return false, nil
+	}
+	in.writeMu.Lock()
+	in.deleted = true
+	in.writeMu.Unlock()
+	if jw := m.journal.Load(); jw != nil {
+		if err := jw.Append(journal.Record{Op: journal.OpDelete, ID: id}); err != nil {
+			m.journalFailed.Add(1)
+			in.writeMu.Lock()
+			in.deleted = false // the delete did not happen
+			in.writeMu.Unlock()
+			return false, errorf(ErrUnavailable, "fleet: journal delete %s: %v", id, err)
+		}
+	}
+	delete(s.instances, id)
+	return true, nil
+}
+
+// deleteRaw removes an instance without journaling (recovery path).
+func (m *Manager) deleteRaw(id string) {
+	s := m.shardFor(id)
+	s.mu.Lock()
 	delete(s.instances, id)
 	s.mu.Unlock()
-	return ok
 }
 
 // Event routes one fault/repair event to the named instance.
@@ -117,6 +222,8 @@ func (m *Manager) EventBatch(id string, events []Event) (EventResult, error) {
 	res, err := in.ApplyBatch(events)
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrUnavailable):
+			m.journalFailed.Add(1)
 		case errors.Is(err, ErrBudget):
 			m.rejectedBudget.Add(1)
 		case errors.Is(err, ErrConflict):
@@ -172,6 +279,21 @@ type Stats struct {
 	RejectedBy RejectedStats `json:"rejected_by_cause"`
 	Lookups    uint64        `json:"lookups"`
 	Cache      CacheStats    `json:"cache"`
+	Journal    JournalStats  `json:"journal"`
+}
+
+// JournalStats reports the durability layer: the append-side counters
+// of the attached writer plus the result of the boot-time recovery (if
+// one ran). LastEpoch is the epoch of the most recently journaled
+// transition, fleet-wide.
+type JournalStats struct {
+	Enabled      bool          `json:"enabled"`
+	Records      uint64        `json:"records"`
+	Bytes        uint64        `json:"bytes"`
+	Syncs        uint64        `json:"syncs"`
+	LastEpoch    uint64        `json:"last_epoch"`
+	AppendFailed uint64        `json:"append_failed"`
+	Recovery     *RecoverStats `json:"recovery,omitempty"`
 }
 
 // Stats returns a snapshot of the manager's counters and its cache.
@@ -188,6 +310,15 @@ func (m *Manager) Stats() Stats {
 		Conflict: m.rejectedConflict.Load(),
 		Invalid:  m.rejectedInvalid.Load(),
 	}
+	js := JournalStats{AppendFailed: m.journalFailed.Load(), Recovery: m.recovered.Load()}
+	if jw := m.journal.Load(); jw != nil {
+		ws := jw.Stats()
+		js.Enabled = true
+		js.Records = ws.Records
+		js.Bytes = ws.Bytes
+		js.Syncs = ws.Syncs
+		js.LastEpoch = ws.LastEpoch
+	}
 	return Stats{
 		Instances:  n,
 		Events:     m.events.Load(),
@@ -196,6 +327,7 @@ func (m *Manager) Stats() Stats {
 		RejectedBy: rej,
 		Lookups:    m.lookups.Load(),
 		Cache:      m.cache.Stats(),
+		Journal:    js,
 	}
 }
 

@@ -37,8 +37,11 @@ func TestManagerRegistry(t *testing.T) {
 	if ids := m.List(); len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
 		t.Errorf("List = %v", ids)
 	}
-	if !m.Delete("b") || m.Delete("b") {
-		t.Error("Delete semantics wrong")
+	if ok, err := m.Delete("b"); !ok || err != nil {
+		t.Errorf("Delete(b) = %v, %v; want true, nil", ok, err)
+	}
+	if ok, err := m.Delete("b"); ok || err != nil {
+		t.Errorf("second Delete(b) = %v, %v; want false, nil", ok, err)
 	}
 	if st := m.Stats(); st.Instances != 1 {
 		t.Errorf("Instances = %d, want 1", st.Instances)

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"time"
+
+	"ftnet/internal/journal"
+)
+
+// RecoverStats summarizes one journal replay. Offset is the byte
+// length of the valid record prefix — when Torn is set, everything
+// past Offset was a torn or corrupt tail (the signature of a crash
+// mid-append) and was dropped; RecoverFile truncates the file there so
+// fresh appends continue from clean state. Orphaned counts transition
+// records that trail their instance's delete record with no re-create
+// in between. Current writers cannot produce such records (Delete
+// tombstones the instance under its writer mutex before appending the
+// delete record), so this is defense in depth for logs from older
+// writers or external tooling; replay skips them instead of failing.
+type RecoverStats struct {
+	Records     int     `json:"records"`     // complete records replayed
+	Created     int     `json:"created"`     // instances created
+	Deleted     int     `json:"deleted"`     // instances deleted
+	Transitions int     `json:"transitions"` // epoch transitions restored
+	Orphaned    int     `json:"orphaned"`    // transitions for deleted instances, skipped
+	LastEpoch   uint64  `json:"last_epoch"`  // highest epoch restored
+	Torn        bool    `json:"torn"`        // a torn/corrupt tail was dropped
+	TornReason  string  `json:"torn_reason,omitempty"`
+	Offset      int64   `json:"offset"`  // end of the valid prefix, in bytes
+	Seconds     float64 `json:"seconds"` // wall-clock recovery time
+}
+
+// Recover replays a journal into the manager, rebuilding every
+// instance to its exact pre-crash epoch, fault set, and mapping. Each
+// transition record is verified bit-identically against a freshly
+// computed ft.NewMapping before its snapshot is published — a log that
+// decodes but encodes an impossible state (epoch gap, budget overflow,
+// mapping divergence) fails recovery rather than being accepted.
+//
+// A torn tail (ErrTorn from the reader) is not an error: it is the
+// expected residue of a crash mid-append. Replay keeps every complete
+// record before the tear, reports it in the stats, and the caller
+// truncates (RecoverFile does so automatically).
+//
+// Recover never journals its own replayed operations; it is meant to
+// run on boot, before traffic — and before SetJournal attaches the
+// append writer to the recovered file.
+func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
+	start := time.Now()
+	var st RecoverStats
+	jr := journal.NewReader(r)
+	deleted := make(map[string]bool)
+	for {
+		rec, err := jr.Next()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, journal.ErrTorn) {
+			st.Torn = true
+			st.TornReason = err.Error()
+			break
+		}
+		if err != nil {
+			return st, fmt.Errorf("fleet: recover: %w", err)
+		}
+		st.Records++
+		switch rec.Op {
+		case journal.OpCreate:
+			spec := Spec{Kind: Kind(rec.Spec.Kind), M: rec.Spec.M, H: rec.Spec.H, K: rec.Spec.K}
+			if _, err := m.createRaw(rec.ID, spec); err != nil {
+				return st, fmt.Errorf("fleet: recover record %d: %w", st.Records, err)
+			}
+			delete(deleted, rec.ID) // ids may be reused after a delete
+			st.Created++
+		case journal.OpDelete:
+			m.deleteRaw(rec.ID)
+			deleted[rec.ID] = true
+			st.Deleted++
+		case journal.OpTransition:
+			in, ok := m.Get(rec.ID)
+			if !ok {
+				if deleted[rec.ID] {
+					st.Orphaned++
+					continue
+				}
+				return st, fmt.Errorf("fleet: recover record %d: transition for unknown instance %q",
+					st.Records, rec.ID)
+			}
+			if err := in.restore(rec.Epoch, rec.Faults); err != nil {
+				return st, fmt.Errorf("fleet: recover record %d: %w", st.Records, err)
+			}
+			st.Transitions++
+			if rec.Epoch > st.LastEpoch {
+				st.LastEpoch = rec.Epoch
+			}
+		default:
+			return st, fmt.Errorf("fleet: recover record %d: unknown op %v", st.Records, rec.Op)
+		}
+	}
+	st.Offset = jr.Offset()
+	st.Seconds = time.Since(start).Seconds()
+	m.recovered.Store(&st)
+	return st, nil
+}
+
+// RecoverFile replays the journal at path (a missing file is an empty
+// journal) and truncates any torn tail, so a subsequently attached
+// append writer (journal.Create) continues from the valid prefix
+// instead of writing after garbage. It returns the replay stats; on a
+// replay error the file is left untouched for post-mortem.
+func (m *Manager) RecoverFile(path string) (RecoverStats, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return RecoverStats{}, nil
+	}
+	if err != nil {
+		return RecoverStats{}, fmt.Errorf("fleet: recover: %w", err)
+	}
+	st, rerr := m.Recover(f)
+	cerr := f.Close()
+	if rerr != nil {
+		return st, rerr
+	}
+	if cerr != nil {
+		return st, fmt.Errorf("fleet: recover: %w", cerr)
+	}
+	if fi, err := os.Stat(path); err == nil && fi.Size() > st.Offset {
+		if err := os.Truncate(path, st.Offset); err != nil {
+			return st, fmt.Errorf("fleet: truncate torn tail: %w", err)
+		}
+	}
+	return st, nil
+}

@@ -64,6 +64,30 @@ func NewSnapshot(nTarget, nHost, budget int, mapper Mapper) (*Snapshot, error) {
 	return &Snapshot{nTarget: nTarget, nHost: nHost, budget: budget, mapping: m}, nil
 }
 
+// Restore reconstructs the snapshot of an arbitrary epoch directly
+// from its journaled state: the epoch counter and the sorted fault set
+// a transition record carries. It is the recovery-path dual of Apply —
+// because the paper's reconfiguration map is a pure function of the
+// fault set, the O(k) record is enough to rebuild the entire snapshot
+// bit-identically, and replaying a journal is one Restore per record
+// rather than one event-by-event re-derivation.
+func Restore(nTarget, nHost, budget int, epoch uint64, faults []int, mapper Mapper) (*Snapshot, error) {
+	if mapper == nil {
+		mapper = NewMapping
+	}
+	if budget < 0 || budget > nHost-nTarget {
+		return nil, fmt.Errorf("ft: budget %d outside [0,%d]", budget, nHost-nTarget)
+	}
+	if len(faults) > budget {
+		return nil, fmt.Errorf("%w: restoring %d faults over budget k=%d", ErrBudget, len(faults), budget)
+	}
+	m, err := mapper(nTarget, nHost, faults)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{nTarget: nTarget, nHost: nHost, budget: budget, epoch: epoch, mapping: m}, nil
+}
+
 // Apply derives the snapshot after a whole batch of changes. The batch
 // is validated atomically — all-or-nothing: each change is checked
 // against the evolving fault set (unknown node, double fault, repair

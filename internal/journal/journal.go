@@ -1,0 +1,362 @@
+// Package journal is the durable epoch journal of the reconfiguration
+// service: an append-only write-ahead log with one length-prefixed,
+// CRC32C-framed record per accepted transition. Because the paper's
+// reconfiguration map is a pure function of the fault set, a record is
+// O(k) — the epoch plus the sorted fault set — so journaling every
+// accepted transition stays cheap even at 10^6 hosts.
+//
+// Frame layout (little-endian):
+//
+//	[4-byte payload length][4-byte CRC32C of payload][payload]
+//
+// Writers append frames through a shared buffer with group commit:
+// concurrent appenders that request durability while an fsync is in
+// flight wait for the next one, so a storm of writers costs one fsync
+// per batch, not one per record. The fsync policy is explicit:
+// SyncAlways acknowledges nothing before the data is on disk,
+// SyncInterval syncs on a timer, SyncNever leaves flushing to the OS.
+//
+// Readers scan frames and treat any malformed suffix — a partial
+// header, an implausible length, a CRC mismatch, a non-canonical
+// payload — as a torn tail: every complete record before it is kept,
+// everything from the tear on is dropped (ErrTorn), and nothing
+// corrupted is ever surfaced as a record.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// castagnoli is the CRC32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the bytes before each payload: u32 length + u32 CRC32C.
+const frameHeaderSize = 8
+
+// SyncPolicy says when appended records must reach stable storage.
+type SyncPolicy int
+
+// The fsync policies.
+const (
+	// SyncAlways fsyncs before Append returns: an acknowledged
+	// transition survives a crash. Concurrent appenders share fsyncs
+	// via group commit.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer: a crash loses at most the last
+	// interval of acknowledged transitions.
+	SyncInterval
+	// SyncNever only flushes on Close: durability is the OS's problem.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the ftnetd -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf(`journal: unknown fsync policy %q (want "always", "interval" or "never")`, s)
+	}
+}
+
+// Options configures a Writer.
+type Options struct {
+	// Sync is the fsync policy (zero value: SyncAlways).
+	Sync SyncPolicy
+	// Interval is the SyncInterval period (<= 0 selects 50ms).
+	Interval time.Duration
+	// BufferSize is the write buffer in bytes (<= 0 selects 64 KiB).
+	BufferSize int
+}
+
+// DefaultSyncInterval is the SyncInterval period used when none is given.
+const DefaultSyncInterval = 50 * time.Millisecond
+
+// ErrClosed is returned by appends to a closed writer.
+var ErrClosed = errors.New("journal: writer closed")
+
+// syncer is what the underlying writer must implement for fsync to
+// mean anything; *os.File does. Buffers and test writers simply flush.
+type syncer interface{ Sync() error }
+
+// Stats is a point-in-time snapshot of a writer's counters.
+type Stats struct {
+	Records   uint64 `json:"records"`    // appended records
+	Bytes     uint64 `json:"bytes"`      // appended bytes (frames included)
+	Syncs     uint64 `json:"syncs"`      // completed fsync batches
+	LastEpoch uint64 `json:"last_epoch"` // epoch of the last appended transition
+}
+
+// Writer appends framed records to an underlying stream. All methods
+// are safe for concurrent use.
+type Writer struct {
+	opts Options
+
+	mu     sync.Mutex // guards bw, seq, werr, closed
+	w      io.Writer
+	bw     *bufio.Writer
+	f      syncer // non-nil when the stream can fsync
+	file   *os.File
+	seq    uint64 // records buffered so far
+	werr   error  // sticky write/flush/sync error
+	closed bool
+
+	// Group-commit state: appenders needing durability wait until
+	// syncedSeq covers their record; one of them runs the fsync for
+	// everyone buffered so far.
+	cmu       sync.Mutex
+	cond      *sync.Cond
+	syncing   bool
+	syncedSeq uint64
+
+	stop chan struct{} // interval-sync loop shutdown
+	wg   sync.WaitGroup
+
+	records   atomic.Uint64
+	bytes     atomic.Uint64
+	syncs     atomic.Uint64
+	lastEpoch atomic.Uint64
+}
+
+// NewWriter wraps an arbitrary stream (durability requires it to
+// implement Sync; otherwise fsync degrades to a buffer flush, which is
+// exactly right for in-memory journals in tests).
+func NewWriter(w io.Writer, opts Options) *Writer {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSyncInterval
+	}
+	if opts.BufferSize <= 0 {
+		opts.BufferSize = 64 << 10
+	}
+	jw := &Writer{opts: opts, w: w, bw: bufio.NewWriterSize(w, opts.BufferSize)}
+	jw.cond = sync.NewCond(&jw.cmu)
+	if s, ok := w.(syncer); ok {
+		jw.f = s
+	}
+	if opts.Sync == SyncInterval {
+		jw.stop = make(chan struct{})
+		jw.wg.Add(1)
+		go jw.syncLoop()
+	}
+	return jw
+}
+
+// Create opens (or creates) the journal file in append-only mode. The
+// caller is expected to have recovered and truncated any torn tail
+// first (Manager.RecoverFile does both), or fresh appends would land
+// after the garbage.
+func Create(path string, opts Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	w := NewWriter(f, opts)
+	w.file = f
+	return w, nil
+}
+
+func (w *Writer) syncLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.Sync()
+		}
+	}
+}
+
+// Append encodes rec, writes one frame, and — under SyncAlways —
+// returns only after the record is on stable storage. A non-nil return
+// means the record must not be considered durable; after a write error
+// the writer is poisoned and every later Append fails, so a journaled
+// instance cannot silently diverge from its log.
+func (w *Writer) Append(rec Record) error {
+	payload, err := AppendRecord(make([]byte, frameHeaderSize, frameHeaderSize+64), rec)
+	if err != nil {
+		return err
+	}
+	body := payload[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(payload[4:8], crc32.Checksum(body, castagnoli))
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if w.werr != nil {
+		err := w.werr
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.werr = err
+		w.mu.Unlock()
+		return err
+	}
+	w.seq++
+	seq := w.seq
+	w.mu.Unlock()
+
+	w.records.Add(1)
+	w.bytes.Add(uint64(len(payload)))
+	if rec.Op == OpTransition {
+		w.lastEpoch.Store(rec.Epoch)
+	}
+	if w.opts.Sync != SyncAlways {
+		return nil
+	}
+	return w.waitDurable(seq)
+}
+
+// waitDurable blocks until every record up to seq has been fsynced,
+// running the fsync itself if no one else is — the group-commit core:
+// all appenders buffered while one fsync runs are covered by the next
+// single fsync.
+func (w *Writer) waitDurable(seq uint64) error {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	for {
+		// Durability first: once a sync covered this record it succeeded,
+		// full stop — a later append poisoning the writer must not turn
+		// into a spurious failure for a record already on disk.
+		if w.syncedSeq >= seq {
+			return nil
+		}
+		// Not yet durable and the writer is poisoned: no future sync can
+		// cover us, so fail (also breaks every waiter out of the loop).
+		w.mu.Lock()
+		err := w.werr
+		w.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if !w.syncing {
+			w.syncing = true
+			w.cmu.Unlock()
+			upto, serr := w.flushAndSync()
+			w.cmu.Lock()
+			w.syncing = false
+			if serr == nil && upto > w.syncedSeq {
+				w.syncedSeq = upto
+			}
+			w.cond.Broadcast()
+			continue
+		}
+		// A sync is in flight; it may predate our record, in which case
+		// we loop and run the next one ourselves.
+		w.cond.Wait()
+	}
+}
+
+// flushAndSync flushes the buffer and fsyncs the file, reporting the
+// record sequence the sync covers.
+func (w *Writer) flushAndSync() (uint64, error) {
+	w.mu.Lock()
+	upto := w.seq
+	err := w.werr
+	if err == nil {
+		err = w.bw.Flush()
+		if err != nil {
+			w.werr = err
+		}
+	}
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			w.mu.Lock()
+			w.werr = err
+			w.mu.Unlock()
+			return 0, err
+		}
+	}
+	w.syncs.Add(1)
+	return upto, nil
+}
+
+// Flush pushes buffered frames to the underlying stream without
+// forcing them to stable storage.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.werr != nil {
+		return w.werr
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.werr = err
+		return err
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs regardless of policy.
+func (w *Writer) Sync() error {
+	_, err := w.flushAndSync()
+	return err
+}
+
+// Close flushes, fsyncs, stops the interval loop, and closes the file
+// if the writer opened it. Further appends return ErrClosed.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.stop != nil {
+		close(w.stop)
+		w.wg.Wait()
+	}
+	_, err := w.flushAndSync()
+	if w.file != nil {
+		if cerr := w.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Stats returns the writer's counters.
+func (w *Writer) Stats() Stats {
+	return Stats{
+		Records:   w.records.Load(),
+		Bytes:     w.bytes.Load(),
+		Syncs:     w.syncs.Load(),
+		LastEpoch: w.lastEpoch.Load(),
+	}
+}

@@ -1,0 +1,105 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrTorn marks the point where a journal stops being well-formed: a
+// partial frame header, an implausible length, a payload cut short, a
+// CRC mismatch, or a non-canonical record body. Everything before the
+// tear decoded cleanly and is trustworthy; everything from it on is
+// dropped. Recovery treats a torn tail as the expected signature of a
+// crash mid-append — logged, truncated, never accepted.
+var ErrTorn = errors.New("journal: torn or corrupt tail")
+
+// Reader scans framed records from a stream. It is strictly
+// prefix-preserving: Next returns records until the first malformed
+// byte, then an error wrapping ErrTorn (or io.EOF when the stream ends
+// exactly on a frame boundary), and Offset reports how many bytes of
+// complete, CRC-verified records were consumed — the truncation point
+// that makes the file clean again.
+type Reader struct {
+	br  *bufio.Reader
+	off int64 // end of the last complete record
+	err error // sticky terminal state
+}
+
+// NewReader wraps r for record scanning.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// Offset returns the byte offset just past the last complete record.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Next returns the next record. It returns io.EOF at a clean end of
+// stream and an error wrapping ErrTorn for any malformed tail; it
+// never returns a record that failed the CRC or canonical decode.
+func (r *Reader) Next() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	rec, err := r.next()
+	if err != nil {
+		r.err = err
+	}
+	return rec, err
+}
+
+func (r *Reader) next() (Record, error) {
+	var hdr [frameHeaderSize]byte
+	n, err := io.ReadFull(r.br, hdr[:])
+	if n == 0 && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("%w: %d-byte partial frame header at offset %d", ErrTorn, n, r.off)
+		}
+		return Record{}, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > MaxRecordSize {
+		return Record{}, fmt.Errorf("%w: implausible record length %d at offset %d", ErrTorn, length, r.off)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("%w: record at offset %d cut short of %d bytes", ErrTorn, r.off, length)
+		}
+		return Record{}, err
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return Record{}, fmt.Errorf("%w: CRC mismatch at offset %d (stored %08x, computed %08x)", ErrTorn, r.off, want, got)
+	}
+	rec, err := DecodeRecord(body)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrTorn, r.off, err)
+	}
+	r.off += int64(frameHeaderSize) + int64(length)
+	return rec, nil
+}
+
+// ReadAll scans every complete record from r. The returned offset is
+// the end of the valid prefix. err is nil on a clean end of stream and
+// wraps ErrTorn when a malformed tail was dropped; the records and
+// offset are valid either way.
+func ReadAll(r io.Reader) (recs []Record, offset int64, err error) {
+	jr := NewReader(r)
+	for {
+		rec, err := jr.Next()
+		if err == io.EOF {
+			return recs, jr.Offset(), nil
+		}
+		if err != nil {
+			return recs, jr.Offset(), err
+		}
+		recs = append(recs, rec)
+	}
+}

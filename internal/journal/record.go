@@ -1,0 +1,279 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Op is the kind of state transition a record describes.
+type Op byte
+
+// The record kinds. Every accepted Manager transition appends exactly
+// one record: instance creation, instance deletion, or an applied
+// fault/repair transition (a single event and an atomic batch are both
+// one OpTransition — the epoch advances by one either way).
+const (
+	OpCreate     Op = 1
+	OpDelete     Op = 2
+	OpTransition Op = 3
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpCreate:
+		return "create"
+	case OpDelete:
+		return "delete"
+	case OpTransition:
+		return "transition"
+	default:
+		return fmt.Sprintf("op(%d)", byte(op))
+	}
+}
+
+// Spec mirrors the fleet instance spec without importing the fleet
+// package (fleet imports journal, not the other way around). Kind is
+// an opaque string to the journal; the fleet layer validates it on
+// replay.
+type Spec struct {
+	Kind string
+	M    int
+	H    int
+	K    int
+}
+
+// Record is one journaled transition. ID names the instance; Spec is
+// set for OpCreate; Epoch, Applied and Faults are set for OpTransition
+// and carry the state *after* the transition — the epoch the accepted
+// batch produced, how many events it carried, and the resulting sorted
+// fault set (O(k) words, the whole reconfiguration state of the
+// paper's Section III-A map).
+type Record struct {
+	Op      Op
+	ID      string
+	Spec    Spec   // OpCreate only
+	Epoch   uint64 // OpTransition only; first transition is epoch 1
+	Applied int    // OpTransition only; events in the atomic batch
+	Faults  []int  // OpTransition only; sorted, distinct, non-negative
+}
+
+// recordVersion is the payload format version byte. Decoding rejects
+// anything else, so a future format change cannot be misparsed.
+const recordVersion = 1
+
+// MaxRecordSize bounds a single record's payload. A transition record
+// is ~10 bytes of header plus ~1-5 bytes per fault, so this admits
+// fault sets far beyond any real spare budget while keeping a corrupt
+// length prefix from asking the reader to allocate gigabytes.
+const MaxRecordSize = 16 << 20
+
+// AppendRecord appends the canonical payload encoding of rec to dst
+// and returns the extended slice. It is the inverse of DecodeRecord:
+// for every rec AppendRecord accepts, DecodeRecord(AppendRecord(nil,
+// rec)) returns an equal record, and for every payload DecodeRecord
+// accepts, AppendRecord reproduces it byte for byte (the encoding is
+// canonical: minimal uvarints, strictly ascending delta-coded faults).
+func AppendRecord(dst []byte, rec Record) ([]byte, error) {
+	if err := rec.validate(); err != nil {
+		return nil, err
+	}
+	dst = append(dst, recordVersion, byte(rec.Op))
+	dst = appendString(dst, rec.ID)
+	switch rec.Op {
+	case OpCreate:
+		dst = appendString(dst, rec.Spec.Kind)
+		dst = binary.AppendUvarint(dst, uint64(rec.Spec.M))
+		dst = binary.AppendUvarint(dst, uint64(rec.Spec.H))
+		dst = binary.AppendUvarint(dst, uint64(rec.Spec.K))
+	case OpDelete:
+	case OpTransition:
+		dst = binary.AppendUvarint(dst, rec.Epoch)
+		dst = binary.AppendUvarint(dst, uint64(rec.Applied))
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Faults)))
+		prev := 0
+		for i, f := range rec.Faults {
+			if i == 0 {
+				dst = binary.AppendUvarint(dst, uint64(f))
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(f-prev))
+			}
+			prev = f
+		}
+	}
+	return dst, nil
+}
+
+func (rec Record) validate() error {
+	if rec.ID == "" {
+		return fmt.Errorf("journal: empty instance id")
+	}
+	switch rec.Op {
+	case OpCreate:
+		if rec.Spec.M < 0 || rec.Spec.H < 0 || rec.Spec.K < 0 {
+			return fmt.Errorf("journal: negative spec field in %+v", rec.Spec)
+		}
+	case OpDelete:
+	case OpTransition:
+		if rec.Epoch == 0 {
+			return fmt.Errorf("journal: transition epoch 0 (epoch 0 is creation)")
+		}
+		if rec.Applied < 1 {
+			return fmt.Errorf("journal: transition applied %d < 1", rec.Applied)
+		}
+		for i, f := range rec.Faults {
+			if f < 0 {
+				return fmt.Errorf("journal: negative fault %d", f)
+			}
+			if i > 0 && f <= rec.Faults[i-1] {
+				return fmt.Errorf("journal: fault set not strictly ascending at %d", f)
+			}
+		}
+	default:
+		return fmt.Errorf("journal: unknown op %d", rec.Op)
+	}
+	return nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decoder is a strict cursor over a record payload. Every read is
+// bounds-checked and every uvarint must be minimally encoded, so the
+// accepted language is exactly the canonical encodings — the property
+// FuzzJournalDecode leans on.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("journal: truncated or overlong uvarint at offset %d", d.off)
+	}
+	// Reject non-minimal encodings (e.g. 0x80 0x00 for zero): the last
+	// byte of a minimal multi-byte uvarint is never zero.
+	if n > 1 && d.b[d.off+n-1] == 0 {
+		return 0, fmt.Errorf("journal: non-minimal uvarint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+// intVal reads a uvarint that must fit a non-negative int.
+func (d *decoder) intVal() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt {
+		return 0, fmt.Errorf("journal: value %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.intVal()
+	if err != nil {
+		return "", err
+	}
+	if n > len(d.b)-d.off {
+		return "", fmt.Errorf("journal: string length %d exceeds %d remaining bytes", n, len(d.b)-d.off)
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+// DecodeRecord parses one canonical record payload (the framed body,
+// without the length/CRC header). It never panics on arbitrary input;
+// any deviation from the canonical encoding — unknown version or op,
+// non-minimal uvarint, non-ascending fault set, trailing bytes — is an
+// error.
+func DecodeRecord(b []byte) (Record, error) {
+	d := &decoder{b: b}
+	if len(b) < 2 {
+		return Record{}, fmt.Errorf("journal: payload of %d bytes is shorter than the version+op header", len(b))
+	}
+	if b[0] != recordVersion {
+		return Record{}, fmt.Errorf("journal: unknown record version %d", b[0])
+	}
+	rec := Record{Op: Op(b[1])}
+	d.off = 2
+	var err error
+	if rec.ID, err = d.str(); err != nil {
+		return Record{}, err
+	}
+	if rec.ID == "" {
+		return Record{}, fmt.Errorf("journal: empty instance id")
+	}
+	switch rec.Op {
+	case OpCreate:
+		if rec.Spec.Kind, err = d.str(); err != nil {
+			return Record{}, err
+		}
+		if rec.Spec.M, err = d.intVal(); err != nil {
+			return Record{}, err
+		}
+		if rec.Spec.H, err = d.intVal(); err != nil {
+			return Record{}, err
+		}
+		if rec.Spec.K, err = d.intVal(); err != nil {
+			return Record{}, err
+		}
+	case OpDelete:
+	case OpTransition:
+		if rec.Epoch, err = d.uvarint(); err != nil {
+			return Record{}, err
+		}
+		if rec.Epoch == 0 {
+			return Record{}, fmt.Errorf("journal: transition epoch 0")
+		}
+		if rec.Applied, err = d.intVal(); err != nil {
+			return Record{}, err
+		}
+		if rec.Applied < 1 {
+			return Record{}, fmt.Errorf("journal: transition applied %d < 1", rec.Applied)
+		}
+		k, err := d.intVal()
+		if err != nil {
+			return Record{}, err
+		}
+		// Each fault costs at least one byte, so a count beyond the
+		// remaining payload is corrupt — checked before allocating.
+		if k > len(d.b)-d.off {
+			return Record{}, fmt.Errorf("journal: fault count %d exceeds %d remaining bytes", k, len(d.b)-d.off)
+		}
+		if k > 0 {
+			rec.Faults = make([]int, k)
+			prev := 0
+			for i := range rec.Faults {
+				v, err := d.intVal()
+				if err != nil {
+					return Record{}, err
+				}
+				if i == 0 {
+					rec.Faults[i] = v
+				} else {
+					if v == 0 {
+						return Record{}, fmt.Errorf("journal: zero fault delta (duplicate fault)")
+					}
+					if v > math.MaxInt-prev {
+						return Record{}, fmt.Errorf("journal: fault delta %d overflows", v)
+					}
+					rec.Faults[i] = prev + v
+				}
+				prev = rec.Faults[i]
+			}
+		}
+	default:
+		return Record{}, fmt.Errorf("journal: unknown op %d", b[1])
+	}
+	if d.off != len(b) {
+		return Record{}, fmt.Errorf("journal: %d trailing bytes after record", len(b)-d.off)
+	}
+	return rec, nil
+}

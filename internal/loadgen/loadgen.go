@@ -191,28 +191,9 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
-
-	// Preflight: the daemon must be alive.
-	resp, err := client.Get(cfg.Addr + "/healthz")
+	ids, err := createFleet(client, cfg)
 	if err != nil {
-		return Result{}, fmt.Errorf("loadgen: daemon unreachable: %v", err)
-	}
-	resp.Body.Close()
-
-	// Create the fleet (tolerating instances left over from a prior run).
-	ids := make([]string, cfg.Instances)
-	for i := range ids {
-		ids[i] = fmt.Sprintf("%s-%d", cfg.IDPrefix, i)
-		body, _ := json.Marshal(fleet.CreateRequest{ID: ids[i], Spec: cfg.Spec})
-		resp, err := client.Post(cfg.Addr+"/v1/instances", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return Result{}, fmt.Errorf("loadgen: create %s: %v", ids[i], err)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
-			return Result{}, fmt.Errorf("loadgen: create %s: status %d", ids[i], resp.StatusCode)
-		}
+		return Result{}, err
 	}
 
 	nTarget, nHost := TargetHostSizes(cfg.Spec)
@@ -249,21 +230,37 @@ func Run(cfg Config) (Result, error) {
 	}
 	wg.Wait()
 
-	total := Result{Elapsed: time.Since(start)}
-	for i := range perWorker {
-		st := &perWorker[i]
-		total.Lookups += st.lookups
-		total.Events += st.events
-		total.Batches += st.batches
-		total.Rejected += st.rejected
-		total.Errors += st.errors
-		total.Latencies = append(total.Latencies, st.eventLats...)
-		total.Latencies = append(total.Latencies, st.lookupLats...)
-		total.LookupLatencies = append(total.LookupLatencies, st.lookupLats...)
+	return mergeStats(perWorker, time.Since(start)), nil
+}
+
+func sortDurations(d []time.Duration) {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+}
+
+// createFleet health-checks the daemon and creates the run's instances
+// (tolerating ones left over from a prior run), returning their ids.
+func createFleet(client *http.Client, cfg Config) ([]string, error) {
+	resp, err := client.Get(cfg.Addr + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: daemon unreachable: %v", err)
 	}
-	sort.Slice(total.Latencies, func(i, j int) bool { return total.Latencies[i] < total.Latencies[j] })
-	sort.Slice(total.LookupLatencies, func(i, j int) bool { return total.LookupLatencies[i] < total.LookupLatencies[j] })
-	return total, nil
+	resp.Body.Close()
+
+	ids := make([]string, cfg.Instances)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-%d", cfg.IDPrefix, i)
+		body, _ := json.Marshal(fleet.CreateRequest{ID: ids[i], Spec: cfg.Spec})
+		resp, err := client.Post(cfg.Addr+"/v1/instances", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: create %s: %v", ids[i], err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			return nil, fmt.Errorf("loadgen: create %s: status %d", ids[i], resp.StatusCode)
+		}
+	}
+	return ids, nil
 }
 
 // TargetHostSizes returns the node counts the spec induces.

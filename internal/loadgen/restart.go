@@ -1,0 +1,310 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/ft"
+)
+
+// The restart scenario is the durability probe: storm a journaled
+// daemon with atomic fault bursts, kill it mid-storm (SIGKILL — no
+// shutdown grace, no final flush beyond the journal's fsync policy),
+// restart it, and verify that recovery brought every instance back to
+// at least the last epoch any client was acknowledged — and, where the
+// client can recompute it, to the exact mapping the paper's
+// reconfiguration induces for the recovered fault set.
+//
+// It is not a Scenario preset: it needs control over the daemon's
+// lifecycle, which an HTTP load shape cannot express. cmd/ftload wires
+// the hooks to a child process it SIGKILLs; the in-process test wires
+// them to an httptest server sharing a journal file.
+
+// RestartConfig drives one kill/recover run. Kill must terminate the
+// daemon abruptly; Start must boot a fresh daemon over the same
+// journal and return its base URL (usually cfg.Addr again — a test may
+// return a new one).
+type RestartConfig struct {
+	Config
+	Kill  func() error
+	Start func() (addr string, err error)
+	// KillAfterFrac is the fraction of the request budget to complete
+	// before the kill (default 0.5 — mid-storm).
+	KillAfterFrac float64
+	// HealthTimeout bounds the wait for the restarted daemon's /healthz
+	// (default 15s).
+	HealthTimeout time.Duration
+}
+
+// RestartResult reports one kill/recover run.
+type RestartResult struct {
+	Storm     Result            // the pre-kill storm measurement
+	Acked     map[string]uint64 // per-instance max epoch acknowledged before the kill
+	Recovered map[string]uint64 // per-instance epoch observed after recovery
+	Downtime  time.Duration     // kill to first healthy response
+	Verified  int               // instances that passed every recovery check
+}
+
+// RunRestart executes the restart scenario. It returns an error if the
+// daemon fails to come back, loses an acknowledged epoch, or serves a
+// mapping that disagrees with a fresh client-side recomputation.
+func RunRestart(cfg RestartConfig) (RestartResult, error) {
+	if cfg.Kill == nil || cfg.Start == nil {
+		return RestartResult{}, fmt.Errorf("loadgen: restart scenario needs Kill and Start hooks")
+	}
+	if cfg.Scenario.Batch < 1 {
+		cfg.Scenario.Batch = 4
+	}
+	cfg.Scenario.Name = "restart"
+	cfg.Scenario.EventFrac = 1
+	if cfg.KillAfterFrac <= 0 || cfg.KillAfterFrac >= 1 {
+		cfg.KillAfterFrac = 0.5
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = 15 * time.Second
+	}
+	if err := cfg.Config.Validate(); err != nil {
+		return RestartResult{}, err
+	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "load-restart"
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	ids, err := createFleet(client, cfg.Config)
+	if err != nil {
+		return RestartResult{}, err
+	}
+
+	// Storm: every worker posts atomic bursts and records the highest
+	// epoch the daemon acknowledged per instance. Any worker crossing
+	// the kill threshold pulls the trigger exactly once; after the kill,
+	// transport errors are the expected symptom and workers drain out.
+	acked := make(map[string]*atomic.Uint64, len(ids))
+	for _, id := range ids {
+		acked[id] = new(atomic.Uint64)
+	}
+	var (
+		ops       atomic.Int64
+		stopped   atomic.Bool
+		killOnce  sync.Once
+		killErr   error
+		killedAt  time.Time
+		threshold = int64(float64(cfg.Requests) * cfg.KillAfterFrac)
+	)
+	_, nHost := TargetHostSizes(cfg.Spec)
+	perWorker := make([]opStats, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		n := cfg.Requests / cfg.Workers
+		if w < cfg.Requests%cfg.Workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			st := &perWorker[w]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for i := 0; i < n && !stopped.Load(); i++ {
+				id := ids[rng.Intn(len(ids))]
+				driveBatchAcked(client, cfg.Addr, id, rng, nHost, cfg.Scenario.Batch, st, acked[id])
+				if ops.Add(1) >= threshold {
+					killOnce.Do(func() {
+						stopped.Store(true)
+						killedAt = time.Now()
+						killErr = cfg.Kill()
+					})
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+
+	res := RestartResult{
+		Acked:     make(map[string]uint64, len(ids)),
+		Recovered: make(map[string]uint64, len(ids)),
+	}
+	res.Storm = mergeStats(perWorker, time.Since(start))
+	for _, id := range ids {
+		res.Acked[id] = acked[id].Load()
+	}
+	if killErr != nil {
+		return res, fmt.Errorf("loadgen: kill hook: %v", killErr)
+	}
+	if killedAt.IsZero() {
+		return res, fmt.Errorf("loadgen: storm finished before the kill threshold (%d ops) was reached", threshold)
+	}
+
+	// Restart and wait for recovery to finish (the daemon only serves
+	// after its journal replay verifies).
+	addr, err := cfg.Start()
+	if err != nil {
+		return res, fmt.Errorf("loadgen: start hook: %v", err)
+	}
+	if addr == "" {
+		addr = cfg.Addr
+	}
+	deadline := time.Now().Add(cfg.HealthTimeout)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("loadgen: daemon not healthy %v after restart", cfg.HealthTimeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res.Downtime = time.Since(killedAt)
+
+	// Verify every instance against the durability contract.
+	for _, id := range ids {
+		if err := verifyRecovered(client, addr, id, cfg.Spec, res.Acked[id], &res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// verifyRecovered checks one instance after recovery: it must exist,
+// its epoch must cover every acknowledged transition, its fault set
+// must respect the budget, and (for de Bruijn instances, where the
+// client can recompute the map directly) the full phi slice must be
+// bit-identical to ft.NewMapping over the recovered fault set.
+func verifyRecovered(client *http.Client, addr, id string, spec fleet.Spec, acked uint64, res *RestartResult) error {
+	resp, err := client.Get(addr + "/v1/instances/" + id)
+	if err != nil {
+		return fmt.Errorf("loadgen: verify %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: verify %s: instance lost (status %d)", id, resp.StatusCode)
+	}
+	var info fleet.InstanceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return fmt.Errorf("loadgen: verify %s: %v", id, err)
+	}
+	res.Recovered[id] = info.Epoch
+	if info.Epoch < acked {
+		return fmt.Errorf("loadgen: %s recovered to epoch %d, below acknowledged epoch %d — durability violated",
+			id, info.Epoch, acked)
+	}
+	if len(info.Faults) > spec.K {
+		return fmt.Errorf("loadgen: %s recovered %d faults over budget k=%d", id, len(info.Faults), spec.K)
+	}
+	if spec.Kind == fleet.KindDeBruijn {
+		want, err := ft.NewMapping(info.NTarget, info.NHost, info.Faults)
+		if err != nil {
+			return fmt.Errorf("loadgen: %s recovered an invalid fault set %v: %v", id, info.Faults, err)
+		}
+		resp, err := client.Get(addr + "/v1/instances/" + id + "/phi")
+		if err != nil {
+			return fmt.Errorf("loadgen: verify %s: %v", id, err)
+		}
+		var full struct{ Phi []int }
+		err = json.NewDecoder(resp.Body).Decode(&full)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("loadgen: verify %s: %v", id, err)
+		}
+		if len(full.Phi) != info.NTarget {
+			return fmt.Errorf("loadgen: %s phi slice has %d entries, want %d", id, len(full.Phi), info.NTarget)
+		}
+		for x, phi := range full.Phi {
+			if phi != want.Phi(x) {
+				return fmt.Errorf("loadgen: %s phi(%d) = %d after recovery, recomputation says %d",
+					id, x, phi, want.Phi(x))
+			}
+		}
+	}
+	res.Verified++
+	return nil
+}
+
+// driveBatchAcked posts one atomic rack burst (the driveEvents shape)
+// and records the acknowledged epoch. Transport errors are expected
+// once the daemon is killed, so they are counted but not fatal.
+func driveBatchAcked(client *http.Client, addr, id string, rng *rand.Rand, nHost, batch int, st *opStats, acked *atomic.Uint64) {
+	events := make([]fleet.Event, batch)
+	kind := fleet.EventFault
+	if rng.Intn(2) == 0 {
+		kind = fleet.EventRepair
+	}
+	racks := nHost / batch
+	if racks > 4 {
+		racks = 4
+	}
+	if racks < 1 {
+		racks = 1
+	}
+	base := rng.Intn(racks) * batch
+	for i := range events {
+		events[i] = fleet.Event{Kind: kind, Node: base + i}
+	}
+	body, _ := json.Marshal(fleet.BatchRequest{Events: events})
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/v1/instances/"+id+"/events:batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.errors++
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var evr fleet.EventResult
+		if err := json.NewDecoder(resp.Body).Decode(&evr); err != nil {
+			st.errors++
+			return
+		}
+		// The ack watermark: any epoch the daemon confirmed must survive
+		// the kill. CAS-max keeps the highest under concurrency.
+		for {
+			cur := acked.Load()
+			if evr.Epoch <= cur || acked.CompareAndSwap(cur, evr.Epoch) {
+				break
+			}
+		}
+		st.batches++
+		st.events += batch
+		st.eventLats = append(st.eventLats, time.Since(t0))
+	case resp.StatusCode == http.StatusConflict || resp.StatusCode == http.StatusBadRequest:
+		io.Copy(io.Discard, resp.Body)
+		st.rejected++
+		st.eventLats = append(st.eventLats, time.Since(t0))
+	default:
+		io.Copy(io.Discard, resp.Body)
+		st.errors++
+	}
+}
+
+// mergeStats folds per-worker measurements into one Result (the tail
+// of Run, shared with the restart storm).
+func mergeStats(perWorker []opStats, elapsed time.Duration) Result {
+	total := Result{Elapsed: elapsed}
+	for i := range perWorker {
+		st := &perWorker[i]
+		total.Lookups += st.lookups
+		total.Events += st.events
+		total.Batches += st.batches
+		total.Rejected += st.rejected
+		total.Errors += st.errors
+		total.Latencies = append(total.Latencies, st.eventLats...)
+		total.Latencies = append(total.Latencies, st.lookupLats...)
+		total.LookupLatencies = append(total.LookupLatencies, st.lookupLats...)
+	}
+	sortDurations(total.Latencies)
+	sortDurations(total.LookupLatencies)
+	return total
+}
