@@ -1,0 +1,159 @@
+// Command ftbenchdiff compares two BENCH_fleet.json benchmark
+// artifacts (as written by cmd/ftbenchjson) and fails on regressions,
+// so CI can hold every run against a committed baseline.
+//
+// Usage:
+//
+//	go run ./cmd/ftbenchdiff -old .github/bench/BENCH_fleet.baseline.json -new BENCH_fleet.json
+//
+// Benchmarks are matched by full name. For every benchmark whose
+// family matches -families (comma-separated substrings; default the
+// hot-path "Apply,Lookup"), the new ns/op must not exceed the old by
+// more than -threshold percent, and allocs/op must not grow by more
+// than one object. Benchmarks present on only one side are reported
+// but not fatal (the suite is allowed to grow). Time thresholds are
+// inherently machine-sensitive: refresh the committed baseline
+// (ftbenchjson -out) when the benchmark suite or the CI hardware
+// changes, and lean on the alloc check — which is machine-independent
+// — as the hard line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Benchmark mirrors cmd/ftbenchjson's artifact entry (decoded from
+// JSON; the two commands stay decoupled).
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Family      string  `json:"family"`
+	N           int     `json:"n,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Artifact is the decoded benchmark file.
+type Artifact struct {
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline artifact (required)")
+	newPath := flag.String("new", "", "candidate artifact (required)")
+	threshold := flag.Float64("threshold", 25, "max ns/op regression in percent for guarded families")
+	families := flag.String("families", "Apply,Lookup", "comma-separated family substrings the threshold guards")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "ftbenchdiff: both -old and -new are required")
+		os.Exit(2)
+	}
+	oldArt, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newArt, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	report, failures := diff(oldArt, newArt, *threshold, splitFamilies(*families))
+	fmt.Print(report)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "ftbenchdiff: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("ftbenchdiff: no guarded regressions")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ftbenchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+func load(path string) (Artifact, error) {
+	var art Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return art, err
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		return art, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(art.Benchmarks) == 0 {
+		return art, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return art, nil
+}
+
+func splitFamilies(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func guarded(family string, families []string) bool {
+	for _, f := range families {
+		if strings.Contains(family, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// diff renders the comparison table and collects guarded regressions.
+func diff(oldArt, newArt Artifact, threshold float64, families []string) (string, []string) {
+	oldBy := make(map[string]Benchmark, len(oldArt.Benchmarks))
+	for _, b := range oldArt.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var sb strings.Builder
+	var failures []string
+	fmt.Fprintf(&sb, "%-36s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	seen := make(map[string]bool, len(newArt.Benchmarks))
+	for _, nb := range newArt.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-36s %14s %14.1f %9s %9.1f  (new)\n", nb.Name, "-", nb.NsPerOp, "-", nb.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		mark := ""
+		if guarded(nb.Family, families) {
+			if delta > threshold {
+				mark = "  REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: ns/op %.1f -> %.1f (%+.1f%% > %.0f%%)",
+					nb.Name, ob.NsPerOp, nb.NsPerOp, delta, threshold))
+			}
+			if nb.AllocsPerOp > ob.AllocsPerOp+1 {
+				mark = "  REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.1f -> %.1f",
+					nb.Name, ob.AllocsPerOp, nb.AllocsPerOp))
+			}
+		}
+		fmt.Fprintf(&sb, "%-36s %14.1f %14.1f %+8.1f%% %9.1f%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, nb.AllocsPerOp, mark)
+	}
+	for _, ob := range oldArt.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(&sb, "%-36s %14.1f %14s %9s %9s  (gone)\n", ob.Name, ob.NsPerOp, "-", "-", "-")
+		}
+	}
+	return sb.String(), failures
+}

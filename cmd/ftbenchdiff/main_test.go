@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func art(benchmarks ...Benchmark) Artifact { return Artifact{Benchmarks: benchmarks} }
+
+func bench(name string, ns, allocs float64) Benchmark {
+	family, _, _ := strings.Cut(name, "/")
+	return Benchmark{Name: name, Family: family, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	old := art(
+		bench("ApplyScale/n=1024", 300, 4),
+		bench("LookupScale/n=1024", 10, 0),
+		bench("CacheHit", 50, 0),
+	)
+	nw := art(
+		bench("ApplyScale/n=1024", 360, 4), // +20% < 25%
+		bench("LookupScale/n=1024", 9, 0),
+		bench("CacheHit", 500, 3), // unguarded family: reported, not fatal
+	)
+	report, failures := diff(old, nw, 25, []string{"Apply", "Lookup"})
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v\n%s", failures, report)
+	}
+	if !strings.Contains(report, "ApplyScale/n=1024") || !strings.Contains(report, "+20.0%") {
+		t.Errorf("report missing delta:\n%s", report)
+	}
+}
+
+func TestDiffFailsOnTimeRegression(t *testing.T) {
+	old := art(bench("ApplyScale/n=1024", 300, 4))
+	nw := art(bench("ApplyScale/n=1024", 400, 4)) // +33%
+	_, failures := diff(old, nw, 25, []string{"Apply", "Lookup"})
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("failures = %v, want one ns/op regression", failures)
+	}
+}
+
+func TestDiffFailsOnAllocRegression(t *testing.T) {
+	old := art(bench("LookupScale/n=4096", 10, 0))
+	nw := art(bench("LookupScale/n=4096", 10, 2)) // +2 allocs/op
+	_, failures := diff(old, nw, 25, []string{"Apply", "Lookup"})
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want one allocs/op regression", failures)
+	}
+}
+
+func TestDiffToleratesAddedAndRemoved(t *testing.T) {
+	old := art(bench("ApplyScale/n=1024", 300, 4), bench("Gone", 1, 0))
+	nw := art(bench("ApplyScale/n=1024", 300, 4), bench("ApplyScale/n=4096", 310, 4))
+	report, failures := diff(old, nw, 25, []string{"Apply"})
+	if len(failures) != 0 {
+		t.Fatalf("failures = %v", failures)
+	}
+	if !strings.Contains(report, "(new)") || !strings.Contains(report, "(gone)") {
+		t.Errorf("report does not mark added/removed benchmarks:\n%s", report)
+	}
+}

@@ -30,6 +30,14 @@
 //	    -exec "./ftnetd -addr 127.0.0.1:18080 -journal /tmp/ft.wal -fsync always" \
 //	    -addr http://127.0.0.1:18080
 //
+// With -follower <url> the run doubles as a replication probe: after
+// the load finishes, ftload requires the follower daemon (ftnetd
+// -follow) to converge with the leader — every driven instance at the
+// same epoch with a bit-identical phi slice:
+//
+//	ftload -scenario write-storm -addr http://leader:8080 \
+//	       -follower http://replica:8081
+//
 // Rejected events (budget exhausted, repairing a healthy node, a burst
 // with one invalid event) are counted separately: they are the daemon
 // correctly enforcing the paper's k-fault precondition, not failures.
@@ -54,6 +62,7 @@ type config struct {
 	loadgen.Config
 	scenario string // named scenario; overrides eventfrac/batch when set
 	exec     string // daemon command line the restart scenario spawns and kills
+	follower string // follower base URL to verify convergence against after the run
 }
 
 func main() {
@@ -71,6 +80,7 @@ func main() {
 	flag.IntVar(&cfg.Scenario.Batch, "batch", 1, "events per reconfiguration op (> 1 uses atomic events:batch bursts)")
 	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy", "write-storm" or "restart" (overrides -eventfrac/-batch)`)
 	flag.StringVar(&cfg.exec, "exec", "", `daemon command line for -scenario restart (ftload spawns, SIGKILLs and restarts it)`)
+	flag.StringVar(&cfg.follower, "follower", "", `follower base URL; after the run, require it to converge with -addr (same epochs, bit-identical phi)`)
 	flag.Int64Var(&cfg.Seed, "seed", 1, "rng seed")
 	flag.Parse()
 	cfg.Spec.Kind = fleet.Kind(kind)
@@ -101,6 +111,14 @@ func run(cfg config, out io.Writer) error {
 	report(out, cfg, res)
 	if res.Errors > 0 {
 		return fmt.Errorf("%d operations failed", res.Errors)
+	}
+	if cfg.follower != "" {
+		fv, err := loadgen.VerifyFollower(cfg.Addr, cfg.follower, cfg.Config.InstanceIDs(), 30*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  follower     %s converged: %d/%d instances bit-identical (caught up in %v)\n",
+			cfg.follower, fv.Instances, cfg.Instances, fv.Waited.Round(time.Millisecond))
 	}
 	return nil
 }

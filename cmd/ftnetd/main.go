@@ -6,9 +6,10 @@
 //	ftnetd -addr :8080 -cache 4096 -journal /var/lib/ftnet/epochs.wal -fsync always
 //
 // With -journal set, every accepted transition (instance create/delete,
-// fault/repair event, atomic batch) appends one O(k) CRC32C-framed
-// record — epoch plus the sorted fault set — to an append-only log, and
-// a restart replays it: every instance comes back at its exact pre-kill
+// fault/repair event, atomic batch) commits one O(k) CRC32C-framed
+// record — epoch plus the sorted fault set — through the ordered commit
+// pipeline before the state change becomes visible, and a restart
+// replays the log: every instance comes back at its exact pre-kill
 // epoch, fault set, and mapping (verified bit-identically against a
 // fresh recomputation), with any torn tail from a crash mid-append
 // detected, logged, and truncated. -fsync picks the durability point:
@@ -16,21 +17,34 @@
 // concurrent writers), "interval" (timer-driven), or "never" (OS
 // decides).
 //
+// The same commit stream feeds live consumers: GET /v1/watch streams
+// every transition as resumable NDJSON; -follow <leader-url> turns the
+// daemon into a read-only replica that tails a leader's watch stream,
+// verifies every record against a fresh recomputation, and serves
+// lock-free lookups with its own journal for restart; -compact-every
+// periodically checkpoints the fleet state and truncates the journal
+// prefix (also on demand via POST /v1/compact), bounding replay length
+// and disk. -cache-admission guards the mapping cache with a
+// doorkeeper so one-off fault patterns are not admitted until seen
+// twice.
+//
 // API (see internal/fleet/api.go for the full route table):
 //
 //	POST   /v1/instances              {"id":"prod","spec":{"kind":"debruijn","m":2,"h":4,"k":2}}
 //	POST   /v1/instances/{id}/events  {"kind":"fault","node":3}  (or "repair")
 //	POST   /v1/instances/{id}/events:batch  a whole fault burst, applied atomically
 //	GET    /v1/instances/{id}/phi?x=3 where does target node 3 run now?
-//	GET    /v1/stats, /healthz, /metrics   (stats include journal/recovery counters)
+//	GET    /v1/watch?from=1           the commit stream, as live NDJSON
+//	POST   /v1/compact                checkpoint + truncate the journal
+//	GET    /v1/stats, /healthz, /metrics   (stats include journal/commit/follower counters)
 //
-// Example session:
+// Example leader/follower session:
 //
+//	ftnetd -addr :8080 -journal /tmp/leader.wal &
+//	ftnetd -addr :8081 -journal /tmp/follower.wal -follow http://localhost:8080 &
 //	curl -s localhost:8080/v1/instances -d '{"id":"prod","spec":{"kind":"debruijn","m":2,"h":4,"k":2}}'
 //	curl -s localhost:8080/v1/instances/prod/events -d '{"kind":"fault","node":3}'
-//	curl -s localhost:8080/v1/instances/prod/phi?x=3
-//	curl -s localhost:8080/v1/instances/prod/events:batch \
-//	     -d '{"events":[{"kind":"repair","node":3},{"kind":"fault","node":7}]}'
+//	curl -s localhost:8081/v1/instances/prod/phi?x=3   # served by the replica
 package main
 
 import (
@@ -52,24 +66,46 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", fleet.DefaultCacheSize, "mapping cache capacity")
+	cacheAdmission := flag.Bool("cache-admission", true, "doorkeeper admission: cache a fault pattern only once it recurs")
 	journalPath := flag.String("journal", "", "append-only epoch journal path (empty disables durability)")
 	fsyncMode := flag.String("fsync", "always", `journal fsync policy: "always", "interval" or "never"`)
 	fsyncEvery := flag.Duration("fsync-interval", journal.DefaultSyncInterval, `sync period for -fsync interval`)
+	follow := flag.String("follow", "", "leader base URL; run as a read-only replica tailing its /v1/watch stream")
+	compactEvery := flag.Duration("compact-every", 0, "checkpoint-compact the journal on this period (0 disables)")
 	flag.Parse()
 
-	mgr := fleet.NewManager(fleet.Options{CacheSize: *cacheSize})
-	jw, err := openJournal(mgr, *journalPath, *fsyncMode, *fsyncEvery, log.Printf)
-	if err != nil {
+	mgr := fleet.NewManager(fleet.Options{CacheSize: *cacheSize, CacheAdmission: *cacheAdmission})
+	if _, err := openJournal(mgr, *journalPath, *fsyncMode, *fsyncEvery, log.Printf); err != nil {
 		log.Fatalf("ftnetd: %v", err)
+	}
+
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+
+	var follower *fleet.Follower
+	if *follow != "" {
+		f, err := fleet.NewFollower(mgr, *follow, fleet.FollowerOptions{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("ftnetd: %v", err)
+		}
+		follower = f
+		go follower.Run(ctx)
+		log.Printf("ftnetd: following %s (read-only replica)", *follow)
+	}
+	if *compactEvery > 0 {
+		go compactLoop(ctx, mgr, *compactEvery, log.Printf)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(mgr),
+		Handler:           newServerOpts(mgr, fleet.HandlerOptions{ReadOnly: *follow != "", Follower: follower}),
 		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+		// Request bodies and responses are bounded — except /v1/watch,
+		// which streams and lifts these per-connection deadlines itself
+		// via http.ResponseController.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
 	}
 
 	done := make(chan error, 1)
@@ -78,9 +114,11 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("ftnetd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		stop() // ends the follower and compaction loops; closes watch streams below
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		done <- srv.Shutdown(ctx)
+		mgr.Close() // ends watch streams so Shutdown's drain can finish
+		done <- srv.Shutdown(sctx)
 	}()
 
 	log.Printf("ftnetd: serving the reconfiguration API on %s", *addr)
@@ -90,9 +128,25 @@ func main() {
 	if err := <-done; err != nil {
 		log.Fatal(err)
 	}
-	if jw != nil {
-		if err := jw.Close(); err != nil {
-			log.Fatalf("ftnetd: close journal: %v", err)
+}
+
+// compactLoop periodically checkpoints the fleet and truncates the
+// journal prefix, bounding replay length; split from main for tests.
+func compactLoop(ctx context.Context, mgr *fleet.Manager, every time.Duration, logf func(string, ...any)) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st, err := mgr.Compact()
+			if err != nil {
+				logf("ftnetd: compaction failed: %v", err)
+				continue
+			}
+			logf("ftnetd: compacted journal to %d checkpoint records at seq %d in %.3fs",
+				st.Instances, st.Seq, st.Seconds)
 		}
 	}
 }
@@ -121,8 +175,8 @@ func openJournal(mgr *fleet.Manager, path, fsyncMode string, interval time.Durat
 		logf("ftnetd: journal %s: torn tail dropped at byte %d (%s)", path, st.Offset, st.TornReason)
 	}
 	if st.Records > 0 {
-		logf("ftnetd: recovered %d journal records (%d instances, %d transitions, last epoch %d) in %.3fs from %s",
-			st.Records, st.Created-st.Deleted, st.Transitions, st.LastEpoch, st.Seconds, path)
+		logf("ftnetd: recovered %d journal records (%d instances, %d transitions, %d checkpoints, last epoch %d, next seq %d) in %.3fs from %s",
+			st.Records, st.Created+st.Checkpoints-st.Deleted, st.Transitions, st.Checkpoints, st.LastEpoch, st.NextSeq, st.Seconds, path)
 	}
 	jw, err := journal.Create(path, journal.Options{Sync: policy, Interval: interval})
 	if err != nil {
@@ -137,4 +191,9 @@ func openJournal(mgr *fleet.Manager, path, fsyncMode string, interval time.Durat
 // end-to-end test serves the exact handler the binary runs.
 func newServer(mgr *fleet.Manager) http.Handler {
 	return fleet.NewHTTPHandler(mgr)
+}
+
+// newServerOpts is newServer with the follower/read-only options.
+func newServerOpts(mgr *fleet.Manager, opts fleet.HandlerOptions) http.Handler {
+	return fleet.NewHTTPHandlerOpts(mgr, opts)
 }

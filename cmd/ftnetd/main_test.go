@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -453,6 +454,107 @@ func TestDaemonJournalFsyncFlagParsing(t *testing.T) {
 	// No -journal: durability off, no writer.
 	if jw, err := openJournal(mgr, "", "always", time.Second, t.Logf); err != nil || jw != nil {
 		t.Errorf("empty -journal: writer %v, err %v; want nil, nil", jw, err)
+	}
+}
+
+// TestDaemonPhiGzip pins the dense endpoint's content negotiation:
+// with Accept-Encoding: gzip the stream is gzip-compressed (and much
+// smaller), without it plain JSON — and both decode to the same slice.
+func TestDaemonPhiGzip(t *testing.T) {
+	ts := newTestDaemon(t)
+	base := ts.URL
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "big", "spec": fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 10, K: 4}},
+		http.StatusCreated, nil)
+
+	var plain struct{ Phi []int }
+	do(t, "GET", base+"/v1/instances/big/phi", nil, http.StatusOK, &plain)
+	if len(plain.Phi) != 1024 {
+		t.Fatalf("plain slice has %d entries", len(plain.Phi))
+	}
+
+	req, _ := http.NewRequest("GET", base+"/v1/instances/big/phi", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	// A manual Accept-Encoding disables the transport's transparent
+	// decompression: we see the raw compressed body.
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip", got)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024 near-sequential integers compress drastically below their
+	// ~5KB JSON form.
+	if len(raw) >= 2048 {
+		t.Errorf("gzip body is %d bytes; compression seems off", len(raw))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gzipped struct{ Phi []int }
+	if err := json.NewDecoder(zr).Decode(&gzipped); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gzipped.Phi) != fmt.Sprint(plain.Phi) {
+		t.Error("gzip and plain phi slices differ")
+	}
+}
+
+// TestDaemonCompactEndpoint drives POST /v1/compact end to end over a
+// journaled daemon: the journal shrinks to checkpoint+suffix, a
+// restart replays the bounded log to identical state, and the commit
+// counters surface the compaction.
+func TestDaemonCompactEndpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.wal")
+	mgr1, _, ts1 := bootJournaled(t, path)
+	base := ts1.URL
+
+	do(t, "POST", base+"/v1/instances",
+		map[string]any{"id": "prod", "spec": fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 3}},
+		http.StatusCreated, nil)
+	for i, n := range []int{3, 11, 7, 3, 11} {
+		kind := fleet.EventFault
+		if i >= 3 {
+			kind = fleet.EventRepair
+		}
+		do(t, "POST", base+"/v1/instances/prod/events",
+			fleet.Event{Kind: kind, Node: n}, http.StatusOK, nil)
+	}
+
+	var cs fleet.CompactStats
+	do(t, "POST", base+"/v1/compact", nil, http.StatusOK, &cs)
+	if cs.Instances != 1 || cs.Seq != 6 {
+		t.Fatalf("compact stats %+v, want 1 instance at seq 6", cs)
+	}
+	// One event after the compaction: the suffix.
+	do(t, "POST", base+"/v1/instances/prod/events",
+		fleet.Event{Kind: fleet.EventFault, Node: 0}, http.StatusOK, nil)
+
+	var st struct {
+		Commit struct {
+			Compactions uint64 `json:"compactions"`
+			LastSeq     uint64 `json:"last_seq"`
+			Base        uint64 `json:"base"`
+		} `json:"commit"`
+	}
+	do(t, "GET", base+"/v1/stats", nil, http.StatusOK, &st)
+	if st.Commit.Compactions != 1 || st.Commit.Base != 7 || st.Commit.LastSeq != 7 {
+		t.Errorf("commit stats after compaction: %+v", st.Commit)
+	}
+	ts1.Close()
+
+	mgr2, _, _ := bootJournaled(t, path)
+	checkSameFleet(t, mgr1, mgr2)
+	// Bounded replay: seq marker + 1 checkpoint + 1 suffix event.
+	if rec := mgr2.Stats().Journal.Recovery; rec == nil || rec.Records != 3 || rec.Checkpoints != 1 {
+		t.Errorf("recovery after compaction: %+v, want 3 records incl. 1 checkpoint", rec)
 	}
 }
 

@@ -1,6 +1,7 @@
 package ftnet
 
 import (
+	"ftnet/internal/commit"
 	"ftnet/internal/fleet"
 	"ftnet/internal/ft"
 	"ftnet/internal/journal"
@@ -10,7 +11,11 @@ import (
 // live network instances, absorbs streams of fault/repair events
 // (singly or as atomic bursts), and answers "where does target node x
 // run now?" lock-free from an immutable epoch snapshot, backed by a
-// shared, sharded, single-flight LRU mapping cache. cmd/ftnetd serves
+// shared, sharded, single-flight LRU mapping cache. Every accepted
+// transition flows through one ordered commit pipeline — journal
+// append, durability wait, snapshot publish, subscriber fan-out — so
+// the WAL, the live watch stream, follower replication, and checkpoint
+// compaction all observe the same gap-free sequence. cmd/ftnetd serves
 // this API over HTTP/JSON; cmd/ftload generates traffic against it.
 
 // Fleet-facing types, re-exported from internal/fleet.
@@ -43,6 +48,28 @@ type (
 	// FleetRecoverStats reports a journal replay: records, transitions,
 	// torn-tail handling, and wall-clock recovery time.
 	FleetRecoverStats = fleet.RecoverStats
+	// FleetCommitEntry is one committed transition: the canonical
+	// journal record plus its fleet-wide, gap-free sequence number.
+	// FleetManager.Subscribe streams them (catch-up, then live tail).
+	FleetCommitEntry = commit.Entry
+	// FleetCommitSub is a bounded subscription to the commit stream;
+	// read entries from C and check Err when it closes.
+	FleetCommitSub = commit.Sub
+	// FleetCompactStats reports one checkpoint compaction
+	// (FleetManager.Compact): the journal is atomically rewritten as
+	// [seq marker, one checkpoint record per instance], bounding replay.
+	FleetCompactStats = fleet.CompactStats
+	// FleetFollower tails another daemon's /v1/watch stream and turns
+	// the local manager into a verified replica (every forwarded record
+	// is checked bit-identically against a fresh recomputation).
+	FleetFollower = fleet.Follower
+	// FleetFollowerOptions tunes the replication loop.
+	FleetFollowerOptions = fleet.FollowerOptions
+	// FleetFollowerStats is the replication loop's counter snapshot.
+	FleetFollowerStats = fleet.FollowerStats
+	// FleetWatchEntry is the NDJSON wire form of a commit entry on the
+	// GET /v1/watch stream.
+	FleetWatchEntry = fleet.WatchEntry
 )
 
 // Topology kinds and event kinds for FleetSpec / FleetEvent.
@@ -71,4 +98,12 @@ func NewFleetManager(opts FleetOptions) *FleetManager {
 // the writer with FleetManager.SetJournal.
 func OpenFleetJournal(path string, opts FleetJournalOptions) (*FleetJournal, error) {
 	return journal.Create(path, opts)
+}
+
+// NewFleetFollower wires a replication loop from a leader daemon's
+// base URL into mgr; drive it with its Run method. The manager should
+// be served read-only (its state comes from the leader's commit
+// stream).
+func NewFleetFollower(mgr *FleetManager, leaderURL string, opts FleetFollowerOptions) (*FleetFollower, error) {
+	return fleet.NewFollower(mgr, leaderURL, opts)
 }

@@ -88,6 +88,45 @@ func TestFleetFacadeBatchAndSnapshot(t *testing.T) {
 	}
 }
 
+// TestFleetFacadeCommitStream pins the facade's view of the commit
+// pipeline: Subscribe streams every accepted transition as
+// FleetCommitEntry values with gap-free sequence numbers, and Compact
+// bounds the stream a fresh subscriber replays.
+func TestFleetFacadeCommitStream(t *testing.T) {
+	mgr := NewFleetManager(FleetOptions{})
+	defer mgr.Close()
+	sub, err := mgr.Subscribe(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create("prod", FleetSpec{Kind: FleetDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.EventBatch("prod", []FleetEvent{{Kind: FleetFault, Node: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	var entries []FleetCommitEntry
+	for len(entries) < 2 {
+		e, ok := <-sub.C
+		if !ok {
+			t.Fatalf("stream closed early: %v", sub.Err())
+		}
+		entries = append(entries, e)
+	}
+	if entries[0].Seq != 1 || entries[1].Seq != 2 || entries[1].Rec.Epoch != 1 {
+		t.Fatalf("commit entries %+v", entries)
+	}
+	sub.Close()
+
+	cs, err := mgr.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Instances != 1 || cs.Seq != 2 {
+		t.Fatalf("compact stats %+v", cs)
+	}
+}
+
 // TestFleetFacadeJournalRecovery drives a journaled fleet through the
 // facade, "crashes" it (no Close), and recovers a second manager from
 // the same file to the identical epoch and fault set.

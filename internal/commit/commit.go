@@ -1,0 +1,482 @@
+// Package commit is the single ordered transition pipeline of the
+// reconfiguration service. Every accepted state change — instance
+// create, delete, fault/repair transition — becomes one Entry: the
+// canonical journal record plus a fleet-wide sequence number. An entry
+// flows through exactly one ordered stage:
+//
+//	append to the WAL -> wait durable -> publish -> fan out
+//
+// so the journal on disk, the snapshot pointer readers see, and every
+// subscriber's stream all observe the same transitions in the same
+// gap-free order. The design is the paper's Section V move of
+// replacing per-consumer point-to-point wiring with one shared bus:
+// the journal file, the live watch endpoint, follower replication and
+// checkpoint compaction are all just consumers of this one log.
+//
+// Concurrency shape: sequence numbers and WAL buffering happen under
+// one small mutex, but the durability wait happens outside it, so
+// concurrent committers still share fsyncs via the journal writer's
+// group commit. Fan-out is then re-serialized: each committer marks
+// its entry ready and delivers the in-order ready prefix, so
+// subscribers never observe entry n+1 before entry n, and never
+// observe an entry that is not yet durable (per the fsync policy).
+//
+// Subscriptions are bounded and gap-free. Subscribe(fromSeq) first
+// catches up — from the in-memory tail, the installed checkpoint, or
+// the journal file on disk — then hands off to live delivery
+// atomically. A subscriber that stops draining its buffer is closed
+// with ErrSlowSubscriber rather than silently dropping entries; it can
+// resubscribe from its last seen sequence number. When compaction has
+// dropped the requested prefix the stream instead begins with the
+// current checkpoint (entries carrying the checkpoint's sequence
+// number), which a consumer must treat as a state reset.
+package commit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+
+	"ftnet/internal/journal"
+)
+
+// Entry is one committed transition: the canonical journal record plus
+// its fleet-wide sequence number. Ordinary entries have strictly
+// ascending sequence numbers with no gaps; checkpoint entries (from a
+// compaction) all carry the sequence number their state covers, so a
+// stream may open with several entries at one seq before resuming
+// strict +1 steps.
+type Entry struct {
+	Seq uint64
+	Rec journal.Record
+}
+
+// The subscription and commit error categories.
+var (
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("commit: log closed")
+	// ErrSlowSubscriber closes a live subscription whose buffer
+	// overflowed; the consumer resubscribes from its last sequence
+	// number and the catch-up path fills the gap.
+	ErrSlowSubscriber = errors.New("commit: subscriber fell behind its buffer")
+	// ErrFutureSeq rejects subscriptions starting past the log end.
+	ErrFutureSeq = errors.New("commit: subscription starts past the log end")
+)
+
+// DefaultHistory is the in-memory tail buffer (entries) kept for
+// subscriber catch-up when none is configured. Entries are O(k), so
+// this is small; anything older is served from the journal file.
+const DefaultHistory = 4096
+
+// Config configures a Log.
+type Config struct {
+	// Writer, when non-nil, makes every committed entry durable before
+	// it is published or fanned out. File-backed writers (journal.Create)
+	// additionally enable catch-up from disk and on-disk compaction.
+	Writer *journal.Writer
+	// History caps the in-memory catch-up tail (<= 0 selects
+	// DefaultHistory).
+	History int
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	Base         uint64 `json:"base"`                    // first seq in the current journal file
+	LastSeq      uint64 `json:"last_seq"`                // highest assigned seq
+	Subscribers  int    `json:"subscribers"`             // live subscriptions
+	Compactions  uint64 `json:"compactions"`             // Install calls that succeeded
+	Overflows    uint64 `json:"overflows"`               // subscriptions closed as too slow
+	Checkpoint   int    `json:"checkpoint"`              // records in the installed checkpoint
+	CheckpointAt uint64 `json:"checkpoint_at,omitempty"` // seq the checkpoint covers
+}
+
+type pendingEntry struct {
+	e     Entry
+	ready bool
+}
+
+// Log is the ordered commit pipeline. All methods are safe for
+// concurrent use except SetPosition and SetWriter, which are boot-time
+// wiring (before the first Commit).
+type Log struct {
+	history int
+
+	mu      sync.Mutex
+	w       *journal.Writer
+	path    string           // non-empty when w is file-backed
+	wopts   journal.Options  // to reopen the file after a compaction swap
+	base    uint64           // seq of the first ordinary record in the current file
+	lastSeq uint64           // highest assigned seq
+	flushed uint64           // highest seq delivered to history + subscribers
+	pending []pendingEntry   // assigned, not yet flushed; ascending seq
+	hist    []Entry          // flushed tail, [histBase, flushed]
+	cp      []journal.Record // last installed checkpoint (state as of cpSeq)
+	cpSeq   uint64
+	subs    map[*Sub]struct{}
+	failed  error // sticky commit-path failure (journal poisoned)
+	closed  bool
+
+	compactions uint64
+	overflows   uint64
+
+	done chan struct{} // closed by Close; unblocks catch-up pumps
+
+	// testHookBeforeSwap, when set, runs after the checkpoint temp file
+	// is written but before the atomic rename — the crash-injection
+	// point for "old file must win" tests. A non-nil error aborts the
+	// install as a crash would.
+	testHookBeforeSwap func() error
+}
+
+// NewLog returns an empty pipeline at sequence position (base 1, last
+// 0). Attach recovery state with SetPosition and a durable writer with
+// SetWriter (or Config.Writer) before committing.
+func NewLog(cfg Config) *Log {
+	l := &Log{
+		history: cfg.History,
+		base:    1,
+		subs:    make(map[*Sub]struct{}),
+		done:    make(chan struct{}),
+	}
+	if l.history <= 0 {
+		l.history = DefaultHistory
+	}
+	if cfg.Writer != nil {
+		l.SetWriter(cfg.Writer)
+	}
+	return l
+}
+
+// SetWriter attaches (or replaces) the durability writer. Boot-time
+// wiring: recover the old log first, then attach the append writer —
+// concurrent use with Commit is not supported.
+func (l *Log) SetWriter(w *journal.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w = w
+	l.path = ""
+	if w != nil {
+		l.path = w.Path()
+		l.wopts = w.Opts()
+	}
+}
+
+// SetPosition installs the sequence position a journal replay
+// recovered: base is the first ordinary record's seq in the file,
+// last the seq of its final record. Boot-time wiring, like SetWriter.
+func (l *Log) SetPosition(base, last uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if base == 0 {
+		base = 1
+	}
+	l.base = base
+	l.lastSeq = last
+	l.flushed = last
+}
+
+// Writer returns the attached journal writer (nil when the log is
+// memory-only) — the stats surface reads its counters.
+func (l *Log) Writer() *journal.Writer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w
+}
+
+// LastSeq returns the highest assigned sequence number.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// NextSeq returns the sequence number the next committed entry will
+// carry.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq + 1
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Base:         l.base,
+		LastSeq:      l.lastSeq,
+		Subscribers:  len(l.subs),
+		Compactions:  l.compactions,
+		Overflows:    l.overflows,
+		Checkpoint:   len(l.cp),
+		CheckpointAt: l.cpSeq,
+	}
+}
+
+// histBaseLocked returns the seq of hist[0]; callers hold l.mu and
+// must only use it when hist is non-empty (otherwise it returns
+// flushed+1, the "nothing buffered" sentinel that still compares
+// correctly).
+func (l *Log) histBaseLocked() uint64 {
+	return l.flushed - uint64(len(l.hist)) + 1
+}
+
+// Commit runs one transition through the pipeline: assign the next
+// sequence number and buffer the WAL frame (under the ordering lock),
+// wait until the record is durable per the fsync policy (outside it,
+// sharing group commits with concurrent committers), call publish —
+// the caller's snapshot-pointer store — and finally fan the entry out
+// to subscribers, in sequence order. A non-nil error means the
+// transition must not be acknowledged: nothing was published or fanned
+// out, and the pipeline is poisoned exactly like the journal writer.
+func (l *Log) Commit(rec journal.Record, publish func()) (uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return 0, err
+	}
+	var wseq uint64
+	if l.w != nil {
+		var err error
+		if wseq, err = l.w.AppendAsync(rec); err != nil {
+			l.failed = err
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	l.lastSeq++
+	seq := l.lastSeq
+	l.pending = append(l.pending, pendingEntry{e: Entry{Seq: seq, Rec: rec}})
+	w := l.w
+	l.mu.Unlock()
+
+	if w != nil {
+		if err := w.WaitDurable(wseq); err != nil {
+			// Not durable, not acknowledged. Durability is
+			// prefix-ordered, so failures strike a contiguous pending
+			// tail: removing our own entry cannot strand a later ready
+			// one behind it.
+			l.mu.Lock()
+			l.failed = err
+			for i := len(l.pending) - 1; i >= 0; i-- {
+				if l.pending[i].e.Seq == seq {
+					l.pending = slices.Delete(l.pending, i, i+1)
+					break
+				}
+			}
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	if publish != nil {
+		publish()
+	}
+
+	l.mu.Lock()
+	for i := range l.pending {
+		if l.pending[i].e.Seq == seq {
+			l.pending[i].ready = true
+			break
+		}
+	}
+	l.flushReadyLocked()
+	l.mu.Unlock()
+	return seq, nil
+}
+
+// flushReadyLocked moves the in-order ready prefix of pending into the
+// history tail and delivers it to live subscribers. Caller holds l.mu.
+func (l *Log) flushReadyLocked() {
+	for len(l.pending) > 0 && l.pending[0].ready && l.pending[0].e.Seq == l.flushed+1 {
+		e := l.pending[0].e
+		l.pending = l.pending[1:]
+		l.flushed = e.Seq
+		l.hist = append(l.hist, e)
+		// Trim in chunks so the copy amortizes to O(1) per commit.
+		if len(l.hist) > l.history+l.history/2 {
+			l.hist = append([]Entry(nil), l.hist[len(l.hist)-l.history:]...)
+		}
+		for s := range l.subs {
+			s.pushLocked(e)
+		}
+	}
+}
+
+// Close shuts the pipeline down: further commits fail with ErrClosed
+// and every subscription channel is closed. The attached journal
+// writer is closed too (flushing and fsyncing its tail).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.done)
+	for s := range l.subs {
+		s.closeLocked(ErrClosed)
+	}
+	w := l.w
+	l.mu.Unlock()
+	if w != nil {
+		return w.Close()
+	}
+	return nil
+}
+
+// Install atomically replaces the log's on-disk prefix with a
+// checkpoint: cps must capture the complete fleet state as of sequence
+// number seq. The journal file is rewritten as [seq-base marker,
+// checkpoint records], swapped into place with an atomic rename (a
+// crash before the rename leaves the old file untouched — old file
+// wins), and the append writer reopened over it; subsequent commits
+// continue at seq+1. The checkpoint is also retained in memory so
+// fresh subscribers can catch up without touching the file.
+//
+// The caller must guarantee no commit is in flight (the fleet layer
+// holds its commit gate exclusively) and, for a leader compaction,
+// seq == LastSeq(). A follower installing a checkpoint it received may
+// pass any seq; live subscribers then see the next entries jump to
+// seq+1, the documented reset signal.
+func (l *Log) Install(seq uint64, cps []journal.Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.pending) > 0 {
+		return fmt.Errorf("commit: install with %d entries in flight", len(l.pending))
+	}
+	if l.w != nil && l.path != "" {
+		if err := l.installFileLocked(seq, cps); err != nil {
+			return err
+		}
+	}
+	l.cp = slices.Clone(cps)
+	l.cpSeq = seq
+	l.base = seq + 1
+	l.lastSeq = seq
+	l.flushed = seq
+	// Drop the pre-checkpoint history: catch-up below seq now serves
+	// the checkpoint (strictly bounded, the point of compacting) and a
+	// subscriber resuming inside the dropped range resynchronizes from
+	// it — the same reset it would see after a restart.
+	l.hist = nil
+	l.compactions++
+	return nil
+}
+
+// installFileLocked writes the checkpoint to a temp file, fsyncs it,
+// renames it over the journal, and swaps the append writer.
+func (l *Log) installFileLocked(seq uint64, cps []journal.Record) error {
+	tmp := l.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("commit: checkpoint temp: %w", err)
+	}
+	// SyncNever: one explicit fsync below covers the whole checkpoint.
+	tw := journal.NewWriter(f, journal.Options{Sync: journal.SyncNever})
+	werr := tw.Append(journal.Record{Op: journal.OpSeqBase, ID: journal.SeqBaseID, Seq: seq + 1})
+	for _, rec := range cps {
+		if werr != nil {
+			break
+		}
+		werr = tw.Append(rec)
+	}
+	if werr == nil {
+		werr = tw.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("commit: write checkpoint: %w", werr)
+	}
+	if l.testHookBeforeSwap != nil {
+		if err := l.testHookBeforeSwap(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("commit: swap checkpoint: %w", err)
+	}
+	syncDir(l.path)
+	// The old writer's file is now unlinked; close it and append to the
+	// fresh checkpoint from here on.
+	l.w.Close()
+	nw, err := journal.Create(l.path, l.wopts)
+	if err != nil {
+		l.failed = fmt.Errorf("commit: reopen journal after compaction: %w", err)
+		return l.failed
+	}
+	l.w = nw
+	return nil
+}
+
+// syncDir fsyncs the directory containing path so the rename itself is
+// durable; best effort (some filesystems refuse directory fsyncs).
+func syncDir(path string) {
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// scanFile reads complete records from the journal file at path,
+// calling emit for each entry whose seq is in [from, limit], and
+// returns the seq the scan reached (the next unseen seq). Sequence
+// numbers are positional — OpSeqBase records reset the counter,
+// checkpoint records carry the seq before the base, every other record
+// consumes one — mirroring how the records were committed. A torn tail
+// ends the scan cleanly: under a live writer it is just the flush
+// frontier, and entries past limit are not yet flushed anyway.
+func scanFile(path string, from, limit uint64, emit func(Entry) bool) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return from, err
+	}
+	defer f.Close()
+	jr := journal.NewReader(f)
+	next := uint64(1)
+	for {
+		rec, err := jr.Next()
+		if err == io.EOF || errors.Is(err, journal.ErrTorn) {
+			return next, nil
+		}
+		if err != nil {
+			return next, err
+		}
+		switch rec.Op {
+		case journal.OpSeqBase:
+			next = rec.Seq
+		case journal.OpCheckpoint:
+			seq := next - 1
+			if seq >= from && seq <= limit {
+				if !emit(Entry{Seq: seq, Rec: rec}) {
+					return next, nil
+				}
+			}
+		default:
+			if next > limit {
+				return next, nil
+			}
+			if next >= from {
+				if !emit(Entry{Seq: next, Rec: rec}) {
+					return next + 1, nil
+				}
+			}
+			next++
+		}
+	}
+}

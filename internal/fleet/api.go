@@ -2,11 +2,14 @@ package fleet
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // This file is the HTTP/JSON surface of the Manager API, served by
@@ -21,7 +24,10 @@ import (
 //	DELETE /v1/instances/{id}         drop an instance
 //	POST   /v1/instances/{id}/events  {"kind":"fault"|"repair","node":n}
 //	POST   /v1/instances/{id}/events:batch  {"events":[{"kind":...,"node":...},...]}
-//	GET    /v1/instances/{id}/phi?x=n single lookup (omit x for the slice)
+//	GET    /v1/instances/{id}/phi?x=n single lookup (omit x for the slice;
+//	                                  the slice gzips when Accept-Encoding allows)
+//	GET    /v1/watch?from=n           NDJSON commit stream: catch-up, then live tail
+//	POST   /v1/compact                checkpoint state, truncate the journal prefix
 //	GET    /v1/stats                  fleet-wide counters (incl. per-shard cache stats)
 //	GET    /healthz                   liveness probe
 //	GET    /metrics                   Prometheus text exposition
@@ -31,17 +37,36 @@ import (
 // exactly one, or the first invalid event rejects the entire batch and
 // the instance is unchanged.
 
+// HandlerOptions tunes NewHTTPHandlerOpts.
+type HandlerOptions struct {
+	// ReadOnly rejects every state-mutating route (create, delete,
+	// events) with 403 — the follower posture: its state comes from the
+	// leader's commit stream, not from clients. Watch, lookups, stats
+	// and compaction (of its own local journal) stay available.
+	ReadOnly bool
+	// Follower, when non-nil, adds the replication loop's counters to
+	// /v1/stats and /metrics.
+	Follower *Follower
+}
+
 // NewHTTPHandler returns the HTTP/JSON API over the given manager.
 func NewHTTPHandler(mgr *Manager) http.Handler {
-	s := &apiServer{mgr: mgr}
+	return NewHTTPHandlerOpts(mgr, HandlerOptions{})
+}
+
+// NewHTTPHandlerOpts returns the HTTP/JSON API with explicit options.
+func NewHTTPHandlerOpts(mgr *Manager, opts HandlerOptions) http.Handler {
+	s := &apiServer{mgr: mgr, opts: opts}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/instances", s.createInstance)
+	mux.HandleFunc("POST /v1/instances", s.mutating(s.createInstance))
 	mux.HandleFunc("GET /v1/instances", s.listInstances)
 	mux.HandleFunc("GET /v1/instances/{id}", s.getInstance)
-	mux.HandleFunc("DELETE /v1/instances/{id}", s.deleteInstance)
-	mux.HandleFunc("POST /v1/instances/{id}/events", s.postEvent)
-	mux.HandleFunc("POST /v1/instances/{id}/events:batch", s.postEventBatch)
+	mux.HandleFunc("DELETE /v1/instances/{id}", s.mutating(s.deleteInstance))
+	mux.HandleFunc("POST /v1/instances/{id}/events", s.mutating(s.postEvent))
+	mux.HandleFunc("POST /v1/instances/{id}/events:batch", s.mutating(s.postEventBatch))
 	mux.HandleFunc("GET /v1/instances/{id}/phi", s.getPhi)
+	mux.HandleFunc("GET /v1/watch", s.watch)
+	mux.HandleFunc("POST /v1/compact", s.compact)
 	mux.HandleFunc("GET /v1/stats", s.getStats)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
@@ -49,7 +74,20 @@ func NewHTTPHandler(mgr *Manager) http.Handler {
 }
 
 type apiServer struct {
-	mgr *Manager
+	mgr  *Manager
+	opts HandlerOptions
+}
+
+// mutating guards a state-changing route against the read-only
+// (follower) posture.
+func (s *apiServer) mutating(h http.HandlerFunc) http.HandlerFunc {
+	if !s.opts.ReadOnly {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusForbidden,
+			apiError{Error: "read-only follower: state mutations come from the leader's commit stream"})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -196,10 +234,20 @@ func (s *apiServer) getPhi(w http.ResponseWriter, r *http.Request) {
 	// The dense endpoint streams the embedding straight from the
 	// snapshot iterator: no O(n) slice materialization, no O(n) JSON
 	// value tree — a million-node instance answers from O(k) state plus
-	// the response buffer.
+	// the response buffer. When the client advertises gzip the stream
+	// is compressed on the fly (same zero-buffer shape, the encoder in
+	// the middle): a million near-sequential integers squeeze well.
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Vary", "Accept-Encoding")
+	var out io.Writer = w
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		defer gz.Close()
+		out = gz
+	}
 	w.WriteHeader(http.StatusOK)
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriter(out)
 	bw.WriteString(`{"phi":[`)
 	var scratch [20]byte
 	in.RangePhi(func(x, phi int) bool {
@@ -213,8 +261,40 @@ func (s *apiServer) getPhi(w http.ResponseWriter, r *http.Request) {
 	bw.Flush()
 }
 
+// acceptsGzip reports whether the request allows a gzip response body:
+// an Accept-Encoding gzip entry whose quality value is not zero
+// ("gzip;q=0" is an explicit refusal per RFC 9110).
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(enc), ";")
+		if strings.TrimSpace(coding) != "gzip" {
+			continue
+		}
+		q := strings.TrimSpace(params)
+		if v, ok := strings.CutPrefix(q, "q="); ok {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && f == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// StatsResponse is the /v1/stats body: the manager's counters plus,
+// in follower mode, the replication loop's.
+type StatsResponse struct {
+	Stats
+	Follower *FollowerStats `json:"follower,omitempty"`
+}
+
 func (s *apiServer) getStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.Stats())
+	resp := StatsResponse{Stats: s.mgr.Stats()}
+	if s.opts.Follower != nil {
+		fs := s.opts.Follower.Stats()
+		resp.Follower = &fs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *apiServer) healthz(w http.ResponseWriter, r *http.Request) {
@@ -256,6 +336,20 @@ func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE ftnet_journal_recovered_records gauge\nftnet_journal_recovered_records %d\n", rec.Records)
 		fmt.Fprintf(w, "# TYPE ftnet_journal_recovery_seconds gauge\nftnet_journal_recovery_seconds %g\n", rec.Seconds)
 		fmt.Fprintf(w, "# TYPE ftnet_journal_recovered_torn gauge\nftnet_journal_recovered_torn %d\n", boolGauge(rec.Torn))
+	}
+	fmt.Fprintf(w, "# TYPE ftnet_commit_last_seq gauge\nftnet_commit_last_seq %d\n", st.Commit.LastSeq)
+	fmt.Fprintf(w, "# TYPE ftnet_commit_base_seq gauge\nftnet_commit_base_seq %d\n", st.Commit.Base)
+	fmt.Fprintf(w, "# TYPE ftnet_watch_subscribers gauge\nftnet_watch_subscribers %d\n", st.Commit.Subscribers)
+	fmt.Fprintf(w, "# TYPE ftnet_watch_overflows_total counter\nftnet_watch_overflows_total %d\n", st.Commit.Overflows)
+	fmt.Fprintf(w, "# TYPE ftnet_compactions_total counter\nftnet_compactions_total %d\n", st.Commit.Compactions)
+	fmt.Fprintf(w, "# TYPE ftnet_cache_admission_rejected_total counter\nftnet_cache_admission_rejected_total %d\n", st.Cache.AdmissionRejected)
+	if f := s.opts.Follower; f != nil {
+		fs := f.Stats()
+		fmt.Fprintf(w, "# TYPE ftnet_follower_connected gauge\nftnet_follower_connected %d\n", boolGauge(fs.Connected))
+		fmt.Fprintf(w, "# TYPE ftnet_follower_entries_total counter\nftnet_follower_entries_total %d\n", fs.Entries)
+		fmt.Fprintf(w, "# TYPE ftnet_follower_reconnects_total counter\nftnet_follower_reconnects_total %d\n", fs.Reconnects)
+		fmt.Fprintf(w, "# TYPE ftnet_follower_resyncs_total counter\nftnet_follower_resyncs_total %d\n", fs.Resyncs)
+		fmt.Fprintf(w, "# TYPE ftnet_follower_last_seq gauge\nftnet_follower_last_seq %d\n", fs.LastSeq)
 	}
 	// Each metric family's samples must be contiguous under its # TYPE
 	// line, per the text exposition format.

@@ -22,7 +22,7 @@ var scaleSizes = []int{10, 14, 17, 20} // h: nTarget = 2^h, nHost = 2^h + k
 func scaleInstance(b testing.TB, h int) *Instance {
 	b.Helper()
 	in, err := newInstance(fmt.Sprintf("scale-h%d", h),
-		Spec{Kind: KindDeBruijn, M: 2, H: h, K: scaleK}, NewCache(0))
+		Spec{Kind: KindDeBruijn, M: 2, H: h, K: scaleK}, NewCache(0), newPipeline())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -67,7 +67,7 @@ func BenchmarkLookupMutexParallel(b *testing.B) {
 // atomic pointer load plus an array index, nothing shared but the
 // lookup counter.
 func BenchmarkLookupSnapshotParallel(b *testing.B) {
-	in, err := newInstance("bench", Spec{Kind: KindDeBruijn, M: 2, H: benchH, K: benchK}, NewCache(0))
+	in, err := newInstance("bench", Spec{Kind: KindDeBruijn, M: 2, H: benchH, K: benchK}, NewCache(0), newPipeline())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func BenchmarkLookupSnapshotParallel(b *testing.B) {
 // continuously applies fault/repair transitions: the snapshot path
 // must not degrade, because readers never wait on the writer.
 func BenchmarkLookupSnapshotWithWriter(b *testing.B) {
-	in, err := newInstance("bench", Spec{Kind: KindDeBruijn, M: 2, H: benchH, K: benchK}, NewCache(0))
+	in, err := newInstance("bench", Spec{Kind: KindDeBruijn, M: 2, H: benchH, K: benchK}, NewCache(0), newPipeline())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func BenchmarkCacheGetSharded(b *testing.B) { benchCacheGet(b, 16) }
 // applying a 4-event burst (computing or re-fetching the mapping
 // through the cache).
 func BenchmarkApplyBatch(b *testing.B) {
-	in, err := newInstance("bench", Spec{Kind: KindDeBruijn, M: 2, H: benchH, K: benchK}, NewCache(0))
+	in, err := newInstance("bench", Spec{Kind: KindDeBruijn, M: 2, H: benchH, K: benchK}, NewCache(0), newPipeline())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -39,9 +39,51 @@ type cacheShard struct {
 	items   map[string]*list.Element // key -> element whose Value is *cacheEntry
 	scratch []byte                   // key-building buffer, reused under mu
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	// Admission doorkeeper: a tiny counting filter over key hashes. A
+	// missing pattern is only admitted to the LRU once the filter has
+	// seen it before, so a storm of one-off fault patterns computes
+	// its mappings without washing the recurring working set out of
+	// the cache. Counters age by halving every doorAgePeriod misses.
+	admit   bool
+	door    [doorSlots]uint8
+	doorOps uint32
+
+	hits              uint64
+	misses            uint64
+	evictions         uint64
+	admissionRejected uint64
+}
+
+// doorSlots is the doorkeeper's counter array size per shard (a power
+// of two; two probes per key). doorAgePeriod is how many misses pass
+// between halvings, bounding how long a one-off pattern stays "seen".
+const (
+	doorSlots     = 512
+	doorAgePeriod = 4096
+)
+
+// admitted reports whether the key hash has been seen before, and
+// records this sighting. Caller holds the shard lock.
+func (s *cacheShard) admitted(h uint64) bool {
+	if !s.admit {
+		return true
+	}
+	i1 := h & (doorSlots - 1)
+	i2 := (h >> 32) & (doorSlots - 1)
+	seen := s.door[i1] > 0 && s.door[i2] > 0
+	if s.door[i1] < 255 {
+		s.door[i1]++
+	}
+	if s.door[i2] < 255 {
+		s.door[i2]++
+	}
+	if s.doorOps++; s.doorOps >= doorAgePeriod {
+		s.doorOps = 0
+		for i := range s.door {
+			s.door[i] /= 2
+		}
+	}
+	return seen
 }
 
 type cacheEntry struct {
@@ -73,17 +115,35 @@ func NewCache(capacity int) *Cache {
 // single-LRU semantics). The capacity is split evenly across shards,
 // rounding up so every shard holds at least one entry.
 func NewCacheShards(capacity, shards int) *Cache {
-	if capacity <= 0 {
-		capacity = DefaultCacheSize
+	return NewCacheConfig(CacheConfig{Capacity: capacity, Shards: shards})
+}
+
+// CacheConfig configures NewCacheConfig.
+type CacheConfig struct {
+	Capacity int // total mappings held (<= 0 selects DefaultCacheSize)
+	Shards   int // shard count (<= 0 selects DefaultCacheShards)
+	// Admission turns the per-shard doorkeeper on: a fault pattern is
+	// admitted to the LRU only once it has been seen before, so
+	// one-off patterns are computed but not cached. First sightings
+	// skip the single-flight dedup too (there is no entry to rally
+	// around) — the trade the hit-rate protection buys.
+	Admission bool
+}
+
+// NewCacheConfig returns an empty cache with the given configuration.
+func NewCacheConfig(cfg CacheConfig) *Cache {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCacheSize
 	}
-	if shards <= 0 {
-		shards = DefaultCacheShards
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultCacheShards
 	}
-	perShard := (capacity + shards - 1) / shards
-	c := &Cache{shards: make([]cacheShard, shards)}
+	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	c := &Cache{shards: make([]cacheShard, cfg.Shards)}
 	for i := range c.shards {
 		c.shards[i] = cacheShard{
 			cap:   perShard,
+			admit: cfg.Admission,
 			ll:    list.New(),
 			items: make(map[string]*list.Element, perShard),
 		}
@@ -144,7 +204,8 @@ func (c *Cache) Get(nTarget, nHost int, sortedFaults []int) (*ft.Mapping, error)
 		sort.Ints(cp)
 		sortedFaults = cp
 	}
-	s := &c.shards[keyHash(nTarget, nHost, sortedFaults)%uint64(len(c.shards))]
+	h := keyHash(nTarget, nHost, sortedFaults)
+	s := &c.shards[h%uint64(len(c.shards))]
 
 	s.mu.Lock()
 	s.scratch = appendKey(s.scratch[:0], nTarget, nHost, sortedFaults)
@@ -157,6 +218,14 @@ func (c *Cache) Get(nTarget, nHost int, sortedFaults []int) (*ft.Mapping, error)
 		return e.m, e.err
 	}
 	s.misses++
+	if !s.admitted(h) {
+		// First sighting: compute without occupying an LRU slot. If the
+		// pattern recurs, the doorkeeper has seen it and the next miss
+		// caches it.
+		s.admissionRejected++
+		s.mu.Unlock()
+		return ft.NewMapping(nTarget, nHost, sortedFaults)
+	}
 	key := string(s.scratch) // the one key allocation, miss path only
 	e := &cacheEntry{key: key, done: make(chan struct{})}
 	elem := s.ll.PushFront(e)
@@ -201,23 +270,27 @@ func (s *cacheShard) evictLocked() {
 }
 
 // CacheShardStats is one shard's slice of the cache counters.
+// AdmissionRejected counts misses the doorkeeper served without
+// caching (first sightings of a pattern).
 type CacheShardStats struct {
-	Size      int    `json:"size"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
+	Size              int    `json:"size"`
+	Hits              uint64 `json:"hits"`
+	Misses            uint64 `json:"misses"`
+	Evictions         uint64 `json:"evictions"`
+	AdmissionRejected uint64 `json:"admission_rejected,omitempty"`
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness:
 // fleet-wide aggregates plus the per-shard breakdown (a hot shard is
 // the signature of a skewed fault-pattern working set).
 type CacheStats struct {
-	Size      int               `json:"size"`
-	Capacity  int               `json:"capacity"`
-	Hits      uint64            `json:"hits"`
-	Misses    uint64            `json:"misses"`
-	Evictions uint64            `json:"evictions"`
-	Shards    []CacheShardStats `json:"shards,omitempty"`
+	Size              int               `json:"size"`
+	Capacity          int               `json:"capacity"`
+	Hits              uint64            `json:"hits"`
+	Misses            uint64            `json:"misses"`
+	Evictions         uint64            `json:"evictions"`
+	AdmissionRejected uint64            `json:"admission_rejected,omitempty"`
+	Shards            []CacheShardStats `json:"shards,omitempty"`
 }
 
 // Stats returns a snapshot of the cache counters, aggregated and per
@@ -229,10 +302,11 @@ func (c *Cache) Stats() CacheStats {
 		s := &c.shards[i]
 		s.mu.Lock()
 		sh := CacheShardStats{
-			Size:      s.ll.Len(),
-			Hits:      s.hits,
-			Misses:    s.misses,
-			Evictions: s.evictions,
+			Size:              s.ll.Len(),
+			Hits:              s.hits,
+			Misses:            s.misses,
+			Evictions:         s.evictions,
+			AdmissionRejected: s.admissionRejected,
 		}
 		st.Capacity += s.cap
 		s.mu.Unlock()
@@ -241,6 +315,7 @@ func (c *Cache) Stats() CacheStats {
 		st.Hits += sh.Hits
 		st.Misses += sh.Misses
 		st.Evictions += sh.Evictions
+		st.AdmissionRejected += sh.AdmissionRejected
 	}
 	return st
 }

@@ -229,6 +229,61 @@ func TestCacheBinaryKeysDistinguishShapes(t *testing.T) {
 	}
 }
 
+// TestCacheAdmissionDoorkeeper pins the doorkeeper contract: a fault
+// pattern's first sighting is computed but NOT admitted to the LRU
+// (and counted as admission-rejected); its second miss admits it; from
+// then on it hits. One-off patterns therefore never occupy a slot.
+func TestCacheAdmissionDoorkeeper(t *testing.T) {
+	c := NewCacheConfig(CacheConfig{Capacity: 8, Shards: 1, Admission: true})
+	want, err := ft.NewMapping(16, 18, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First sighting: correct answer, nothing cached.
+	m, err := c.Get(16, 18, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phi(7) != want.Phi(7) {
+		t.Fatalf("unadmitted compute Phi(7) = %d, want %d", m.Phi(7), want.Phi(7))
+	}
+	st := c.Stats()
+	if st.Size != 0 || st.AdmissionRejected != 1 || st.Misses != 1 {
+		t.Fatalf("after first sight: %+v, want size 0, rejected 1", st)
+	}
+	if st.Shards[0].AdmissionRejected != 1 {
+		t.Fatalf("per-shard admission stats missing: %+v", st.Shards[0])
+	}
+
+	// Second sighting: the doorkeeper has seen it — admitted and cached.
+	if _, err := c.Get(16, 18, []int{2, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Size != 1 || st.Misses != 2 || st.AdmissionRejected != 1 {
+		t.Fatalf("after second sight: %+v, want size 1", st)
+	}
+
+	// Third: a plain hit.
+	if _, err := c.Get(16, 18, []int{2, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("after third sight: %+v, want 1 hit", st)
+	}
+
+	// A stream of one-off patterns computes correctly and stays out of
+	// the LRU entirely.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Get(16, 18, []int{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Size != 1 {
+		t.Fatalf("one-off patterns washed the cache: %+v", st)
+	}
+}
+
 // TestCacheSingleFlight hammers one cold key from many goroutines; the
 // single-flight path must compute the mapping exactly once.
 func TestCacheSingleFlight(t *testing.T) {

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"ftnet/internal/journal"
+)
+
+// Follower tails a leader's GET /v1/watch commit stream and turns the
+// local Manager into a verified replica: every forwarded record is
+// checked (transitions bit-identically against a fresh ft.NewMapping —
+// the cheap receiver-side verification of a forwarded record stream)
+// and re-committed through the local pipeline, so the follower has its
+// own journal for restart, serves the same lock-free lookups, and even
+// exposes its own watch stream for chaining.
+//
+// The loop is resumable and self-healing: it always subscribes from
+// its own NextSeq, so a torn stream just reconnects and continues; a
+// sequence jump or a checkpoint entry (the leader compacted past us,
+// or we joined fresh) triggers a full resynchronization from the
+// forwarded checkpoint; heartbeats bound how long a dead connection
+// can go unnoticed.
+type Follower struct {
+	mgr    *Manager
+	leader string
+	opts   FollowerOptions
+
+	connected  atomic.Bool
+	entries    atomic.Uint64
+	heartbeats atomic.Uint64
+	reconnects atomic.Uint64
+	resyncs    atomic.Uint64
+	lastErr    atomic.Pointer[string]
+}
+
+// FollowerOptions tunes a Follower.
+type FollowerOptions struct {
+	// Client issues the watch requests. It must not set a global
+	// timeout (the watch response never ends); the default client adds
+	// only a dial/header timeout.
+	Client *http.Client
+	// Heartbeat is the interval requested from the leader (default 5s).
+	Heartbeat time.Duration
+	// StallTimeout disconnects a stream with no entries or heartbeats
+	// for this long (default 4x Heartbeat).
+	StallTimeout time.Duration
+	// Backoff is the pause between reconnect attempts (default 500ms).
+	Backoff time.Duration
+	// Logf, when non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// FollowerStats is a point-in-time snapshot of the replication loop.
+type FollowerStats struct {
+	Leader     string `json:"leader"`
+	Connected  bool   `json:"connected"`
+	Entries    uint64 `json:"entries"`    // stream entries received
+	Heartbeats uint64 `json:"heartbeats"` // heartbeat lines received
+	Reconnects uint64 `json:"reconnects"` // streams (re)opened
+	Resyncs    uint64 `json:"resyncs"`    // checkpoint resynchronizations
+	LastSeq    uint64 `json:"last_seq"`   // local commit position
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// NewFollower wires a replication loop from leader (a base URL like
+// http://host:8080) into mgr. Start it with Run.
+func NewFollower(mgr *Manager, leader string, opts FollowerOptions) (*Follower, error) {
+	u, err := url.Parse(leader)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("fleet: follower leader URL %q: not an absolute http(s) URL", leader)
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Transport: &http.Transport{ResponseHeaderTimeout: 15 * time.Second}}
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = defaultWatchHeartbeat
+	}
+	if opts.StallTimeout <= 0 {
+		opts.StallTimeout = 4 * opts.Heartbeat
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 500 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Follower{mgr: mgr, leader: leader, opts: opts}, nil
+}
+
+// Stats returns the replication loop's counters.
+func (f *Follower) Stats() FollowerStats {
+	st := FollowerStats{
+		Leader:     f.leader,
+		Connected:  f.connected.Load(),
+		Entries:    f.entries.Load(),
+		Heartbeats: f.heartbeats.Load(),
+		Reconnects: f.reconnects.Load(),
+		Resyncs:    f.resyncs.Load(),
+		LastSeq:    f.mgr.CommitLog().LastSeq(),
+	}
+	if p := f.lastErr.Load(); p != nil {
+		st.LastError = *p
+	}
+	return st
+}
+
+// Run drives the replication loop until ctx is canceled. Every stream
+// error is recorded, backed off, and retried; Run only returns the
+// context's error.
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		err := f.stream(ctx)
+		f.connected.Store(false)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			msg := err.Error()
+			f.lastErr.Store(&msg)
+			f.opts.Logf("follower: stream from %s: %v (reconnecting)", f.leader, err)
+		}
+		select {
+		case <-time.After(f.opts.Backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// errResync asks the outer loop to reconnect from scratch (from=0):
+// the leader's stream jumped past our position, so only its checkpoint
+// can restore us.
+var errResync = errors.New("fleet: follower needs a checkpoint resync")
+
+// stream opens one watch connection at the local resume position and
+// applies entries until it breaks.
+func (f *Follower) stream(ctx context.Context) error {
+	from := f.mgr.NextSeq()
+	err := f.streamFrom(ctx, from)
+	if errors.Is(err, errResync) && from > 0 {
+		f.resyncs.Add(1)
+		f.opts.Logf("follower: resynchronizing from %s (local seq %d is beyond the leader's compacted log)",
+			f.leader, from-1)
+		return f.streamFrom(ctx, 0)
+	}
+	return err
+}
+
+func (f *Follower) streamFrom(ctx context.Context, from uint64) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	u := fmt.Sprintf("%s/v1/watch?from=%d&heartbeat=%s", f.leader, from, f.opts.Heartbeat)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusRequestedRangeNotSatisfiable {
+		// The leader's log ends before our position: it restarted with
+		// less history than we replicated. Resync from its checkpoint.
+		return errResync
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: follower: leader returned status %d", resp.StatusCode)
+	}
+	f.reconnects.Add(1)
+	f.connected.Store(true)
+	f.opts.Logf("follower: streaming from %s (from seq %d)", f.leader, from)
+
+	// The stall watchdog: any line (entry or heartbeat) rearms it; a
+	// silent connection is cut and the outer loop reconnects-resumes.
+	stall := time.AfterFunc(f.opts.StallTimeout, cancel)
+	defer stall.Stop()
+
+	// Checkpoint staging: "checkpoint" entries arrive as a group, all
+	// carrying the seq they cover; the reset is applied when the group
+	// ends (the first ordinary entry, or a heartbeat).
+	var staged []journal.Record
+	var stagedSeq uint64
+	applyStaged := func() error {
+		if staged == nil {
+			return nil
+		}
+		if err := f.mgr.ResetFromCheckpoint(stagedSeq, staged); err != nil {
+			return err
+		}
+		f.opts.Logf("follower: installed checkpoint of %d instances at seq %d", len(staged), stagedSeq)
+		staged = nil
+		return nil
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		stall.Reset(f.opts.StallTimeout)
+		var we WatchEntry
+		if err := json.Unmarshal(sc.Bytes(), &we); err != nil {
+			return fmt.Errorf("fleet: follower: bad watch line %q: %v", sc.Text(), err)
+		}
+		if we.Heartbeat {
+			f.heartbeats.Add(1)
+			if err := applyStaged(); err != nil {
+				return err
+			}
+			continue
+		}
+		e, err := we.Entry()
+		if err != nil {
+			return err
+		}
+		if e.Rec.Op == journal.OpCheckpoint {
+			if staged == nil || e.Seq != stagedSeq {
+				staged, stagedSeq = []journal.Record{}, e.Seq
+			}
+			staged = append(staged, e.Rec)
+			f.entries.Add(1)
+			continue
+		}
+		if err := applyStaged(); err != nil {
+			return err
+		}
+		if err := f.mgr.ReplicateEntry(e); err != nil {
+			if errors.Is(err, ErrSeqGap) {
+				return fmt.Errorf("%w: %v", errResync, err)
+			}
+			return err
+		}
+		f.entries.Add(1)
+	}
+	if err := applyStaged(); err != nil {
+		return err
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("fleet: follower: leader closed the stream")
+}

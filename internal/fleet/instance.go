@@ -7,10 +7,28 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ftnet/internal/commit"
 	"ftnet/internal/ft"
 	"ftnet/internal/journal"
 	"ftnet/internal/shuffle"
 )
+
+// pipeline is the manager-wide commit machinery every instance shares:
+// the ordered commit log (journal + snapshot publish + subscriber
+// fan-out) and the compaction gate. Writers hold the gate shared for
+// the duration of one commit; Compact holds it exclusive, so a
+// checkpoint always captures a drained, fully-flushed fleet. Lock
+// order: gate, then shard/writer mutexes, then the log's own lock.
+type pipeline struct {
+	gate sync.RWMutex
+	log  *commit.Log
+}
+
+// newPipeline returns a memory-only pipeline (tests and non-durable
+// managers); NewManager attaches a journal writer via the log.
+func newPipeline() *pipeline {
+	return &pipeline{log: commit.NewLog(commit.Config{})}
+}
 
 // Instance is the live state machine for one fault-tolerant network.
 // It consumes Fault/Repair events, validates them against the spare
@@ -24,7 +42,10 @@ import (
 // fetch the full mapping through the shared sharded Cache, so
 // instances that see the same fault pattern share one ft.NewMapping
 // computation. A whole batch of events is validated and applied as one
-// atomic transition: all-or-nothing, epoch +1.
+// atomic transition: all-or-nothing, epoch +1, committed through the
+// manager's shared commit pipeline — which journals the record, waits
+// for durability, publishes the snapshot pointer, and fans the entry
+// out to watch/replication subscribers, in that order.
 type Instance struct {
 	id      string
 	spec    Spec
@@ -33,10 +54,10 @@ type Instance struct {
 	psi     []int // SE->dB embedding for KindShuffle, nil otherwise
 
 	cache *Cache
+	pipe  *pipeline // shared commit pipeline; never nil
 
 	snap    atomic.Pointer[ft.Snapshot] // current state; never nil
 	writeMu sync.Mutex                  // serializes event application only
-	journal *journal.Writer             // nil = no durability; guarded by writeMu
 	deleted bool                        // set by Manager.Delete; guarded by writeMu
 
 	rejectedBudget   atomic.Uint64 // events refused: budget exhausted
@@ -68,12 +89,13 @@ func (c *stripedCounter) Load() uint64 {
 }
 
 // newInstance builds the instance in its zero-fault state. The cache
-// must be non-nil; it is shared across the manager's instances.
-func newInstance(id string, spec Spec, cache *Cache) (*Instance, error) {
+// and pipeline must be non-nil; both are shared across the manager's
+// instances.
+func newInstance(id string, spec Spec, cache *Cache, pipe *pipeline) (*Instance, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	in := &Instance{id: id, spec: spec, cache: cache}
+	in := &Instance{id: id, spec: spec, cache: cache, pipe: pipe}
 	switch spec.Kind {
 	case KindDeBruijn:
 		p := ft.Params{M: spec.M, H: spec.H, K: spec.K}
@@ -131,11 +153,13 @@ func (in *Instance) ApplyBatch(events []Event) (EventResult, error) {
 		}
 	}
 
+	in.pipe.gate.RLock()
+	defer in.pipe.gate.RUnlock()
 	in.writeMu.Lock()
 	defer in.writeMu.Unlock()
 	// A writer that raced Manager.Delete (it held this *Instance from
 	// before the removal) must not apply — and above all must not
-	// journal a transition record after the instance's delete record,
+	// commit a transition record after the instance's delete record,
 	// which would poison recovery of a reused id.
 	if in.deleted {
 		return EventResult{}, errorf(ErrNotFound, "fleet: instance %s deleted", in.id)
@@ -151,24 +175,24 @@ func (in *Instance) ApplyBatch(events []Event) (EventResult, error) {
 			return in.reject(&in.rejectedInvalid, nil, "%v", err)
 		}
 	}
-	// Journal-then-publish, still under the writer mutex: the record is
-	// durable (per the writer's fsync policy) before any reader can
-	// observe the new epoch, so an acknowledged transition is never lost
-	// and a recovered journal never trails an epoch a client saw.
-	if in.journal != nil {
-		rec := journal.Record{
-			Op:      journal.OpTransition,
-			ID:      in.id,
-			Epoch:   next.Epoch(),
-			Applied: len(events),
-			Faults:  next.Mapping().Faults,
-		}
-		if err := in.journal.Append(rec); err != nil {
-			return EventResult{}, errorf(ErrUnavailable,
-				"fleet: instance %s: journal append: %v", in.id, err)
-		}
+	// One ordered commit, still under the writer mutex: the pipeline
+	// journals the record, waits until it is durable (per the writer's
+	// fsync policy), publishes the snapshot pointer, and only then fans
+	// the entry out to subscribers — so an acknowledged transition is
+	// never lost, a recovered journal never trails an epoch a client
+	// saw, and no watcher or follower observes an epoch before readers
+	// can.
+	rec := journal.Record{
+		Op:      journal.OpTransition,
+		ID:      in.id,
+		Epoch:   next.Epoch(),
+		Applied: len(events),
+		Faults:  next.Mapping().Faults,
 	}
-	in.snap.Store(next)
+	if _, err := in.pipe.log.Commit(rec, func() { in.snap.Store(next) }); err != nil {
+		return EventResult{}, errorf(ErrUnavailable,
+			"fleet: instance %s: commit: %v", in.id, err)
+	}
 	return EventResult{
 		Epoch:     next.Epoch(),
 		NumFaults: next.NumFaults(),
@@ -177,12 +201,35 @@ func (in *Instance) ApplyBatch(events []Event) (EventResult, error) {
 	}, nil
 }
 
+// restoredSnapshot rebuilds the snapshot a journaled (epoch, faults)
+// state encodes and verifies it bit-identically against a freshly
+// computed ft.NewMapping — the cheap receiver-side check Patra &
+// Rangan style record forwarding relies on: corrupted or forged state
+// is detected, never accepted. The caller holds writeMu and decides
+// whether to publish.
+func (in *Instance) restoredSnapshot(epoch uint64, faults []int) (*ft.Snapshot, error) {
+	next, err := ft.Restore(in.nTarget, in.nHost, in.spec.K, epoch, faults, in.cache.Get)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: instance %s: restore epoch %d: %w", in.id, epoch, err)
+	}
+	fresh, err := ft.NewMapping(in.nTarget, in.nHost, faults)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: instance %s: recompute epoch %d: %w", in.id, epoch, err)
+	}
+	got := next.Mapping()
+	if got.NTarget != fresh.NTarget || got.NHost != fresh.NHost || !slices.Equal(got.Faults, fresh.Faults) {
+		return nil, fmt.Errorf("fleet: instance %s: recovered mapping at epoch %d diverges from recomputation",
+			in.id, epoch)
+	}
+	return next, nil
+}
+
 // restore installs the journaled state of one transition record during
 // recovery: the epoch must be exactly the successor of the current one
 // (accepted transitions advance it by one, so a gap means a corrupt or
-// reordered log), and the mapping the fault set induces is verified
-// bit-identically against a freshly computed ft.NewMapping before the
-// snapshot is published — corrupted state is detected, never accepted.
+// reordered log), and the mapping is verified via restoredSnapshot
+// before the snapshot is published. Recovery-path only — it does not
+// re-commit the record.
 func (in *Instance) restore(epoch uint64, faults []int) error {
 	in.writeMu.Lock()
 	defer in.writeMu.Unlock()
@@ -191,20 +238,55 @@ func (in *Instance) restore(epoch uint64, faults []int) error {
 		return fmt.Errorf("fleet: instance %s: journal epoch %d follows epoch %d (gap or reorder)",
 			in.id, epoch, cur.Epoch())
 	}
-	next, err := ft.Restore(in.nTarget, in.nHost, in.spec.K, epoch, faults, in.cache.Get)
+	next, err := in.restoredSnapshot(epoch, faults)
 	if err != nil {
-		return fmt.Errorf("fleet: instance %s: restore epoch %d: %w", in.id, epoch, err)
-	}
-	fresh, err := ft.NewMapping(in.nTarget, in.nHost, faults)
-	if err != nil {
-		return fmt.Errorf("fleet: instance %s: recompute epoch %d: %w", in.id, epoch, err)
-	}
-	got := next.Mapping()
-	if got.NTarget != fresh.NTarget || got.NHost != fresh.NHost || !slices.Equal(got.Faults, fresh.Faults) {
-		return fmt.Errorf("fleet: instance %s: recovered mapping at epoch %d diverges from recomputation",
-			in.id, epoch)
+		return err
 	}
 	in.snap.Store(next)
+	return nil
+}
+
+// restoreCheckpoint installs a checkpoint record's state: unlike
+// restore it accepts any epoch (a checkpoint captures an instance
+// mid-history, after the preceding records were compacted away), with
+// the same bit-identical mapping verification.
+func (in *Instance) restoreCheckpoint(epoch uint64, faults []int) error {
+	in.writeMu.Lock()
+	defer in.writeMu.Unlock()
+	next, err := in.restoredSnapshot(epoch, faults)
+	if err != nil {
+		return err
+	}
+	in.snap.Store(next)
+	return nil
+}
+
+// replicate applies one forwarded transition record on a follower: the
+// strict epoch chain is enforced, the mapping is verified against a
+// fresh recomputation, and the record is committed through the
+// follower's own pipeline — journaled locally for restart, published,
+// and fanned out to the follower's own subscribers (so watch streams
+// chain).
+func (in *Instance) replicate(rec journal.Record) error {
+	in.pipe.gate.RLock()
+	defer in.pipe.gate.RUnlock()
+	in.writeMu.Lock()
+	defer in.writeMu.Unlock()
+	if in.deleted {
+		return errorf(ErrNotFound, "fleet: instance %s deleted", in.id)
+	}
+	cur := in.snap.Load()
+	if rec.Epoch != cur.Epoch()+1 {
+		return fmt.Errorf("fleet: instance %s: replicated epoch %d follows epoch %d (gap or reorder)",
+			in.id, rec.Epoch, cur.Epoch())
+	}
+	next, err := in.restoredSnapshot(rec.Epoch, rec.Faults)
+	if err != nil {
+		return err
+	}
+	if _, err := in.pipe.log.Commit(rec, func() { in.snap.Store(next) }); err != nil {
+		return errorf(ErrUnavailable, "fleet: instance %s: commit: %v", in.id, err)
+	}
 	return nil
 }
 

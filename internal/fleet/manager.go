@@ -7,7 +7,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ftnet/internal/commit"
 	"ftnet/internal/journal"
 )
 
@@ -29,6 +31,13 @@ type Options struct {
 	// one O(k) record before the state change becomes visible.
 	// Manager.Recover replays such a log after a restart.
 	Journal *journal.Writer
+	// CacheAdmission enables the mapping cache's doorkeeper: a fault
+	// pattern is only admitted to the LRU once it has been seen before,
+	// so one-off patterns cannot wash the working set out.
+	CacheAdmission bool
+	// CommitHistory caps the commit log's in-memory catch-up tail
+	// (<= 0 selects commit.DefaultHistory).
+	CommitHistory int
 }
 
 // Manager is the sharded registry that owns a fleet of instances behind
@@ -37,6 +46,7 @@ type Manager struct {
 	shards [numShards]shard
 	seed   maphash.Seed
 	cache  *Cache
+	pipe   *pipeline // the shared commit pipeline; never nil
 
 	events  atomic.Uint64  // applied events, fleet-wide
 	batches atomic.Uint64  // applied atomic transitions (a single event counts one)
@@ -46,9 +56,9 @@ type Manager struct {
 	rejectedConflict atomic.Uint64 // rejections: double fault / repair healthy
 	rejectedInvalid  atomic.Uint64 // rejections: unknown node/kind, empty batch
 
-	journal       atomic.Pointer[journal.Writer] // nil = durability off
-	journalFailed atomic.Uint64                  // transitions refused: journal append error
-	recovered     atomic.Pointer[RecoverStats]   // last Recover result, for stats
+	journalFailed atomic.Uint64                // transitions refused: journal/commit error
+	recovered     atomic.Pointer[RecoverStats] // last Recover result, for stats
+	compactions   atomic.Uint64                // successful Compact calls
 }
 
 type shard struct {
@@ -56,11 +66,17 @@ type shard struct {
 	instances map[string]*Instance
 }
 
-// NewManager returns an empty manager with its shared mapping cache.
+// NewManager returns an empty manager with its shared mapping cache
+// and commit pipeline.
 func NewManager(opts Options) *Manager {
 	m := &Manager{
-		seed:  maphash.MakeSeed(),
-		cache: NewCacheShards(opts.CacheSize, opts.CacheShards),
+		seed: maphash.MakeSeed(),
+		cache: NewCacheConfig(CacheConfig{
+			Capacity:  opts.CacheSize,
+			Shards:    opts.CacheShards,
+			Admission: opts.CacheAdmission,
+		}),
+		pipe: &pipeline{log: commit.NewLog(commit.Config{History: opts.CommitHistory})},
 	}
 	for i := range m.shards {
 		m.shards[i].instances = make(map[string]*Instance)
@@ -71,35 +87,48 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
-// SetJournal attaches (or replaces) the durability journal, wiring it
-// into every existing instance. ftnetd calls it after recovery — the
-// boot order is recover from the old log, truncate any torn tail, then
-// attach the append writer — so it must happen before traffic is
-// served; concurrent use with event application is not supported.
+// SetJournal attaches (or replaces) the durability journal by wiring
+// it into the commit pipeline every instance already commits through.
+// ftnetd calls it after recovery — the boot order is recover from the
+// old log, truncate any torn tail, then attach the append writer — so
+// it must happen before traffic is served; concurrent use with event
+// application is not supported.
 func (m *Manager) SetJournal(w *journal.Writer) {
-	m.journal.Store(w)
-	for i := range m.shards {
-		s := &m.shards[i]
-		s.mu.Lock()
-		for _, in := range s.instances {
-			in.writeMu.Lock()
-			in.journal = w
-			in.writeMu.Unlock()
-		}
-		s.mu.Unlock()
-	}
+	m.pipe.log.SetWriter(w)
 }
+
+// CommitLog exposes the manager's commit pipeline: the ordered,
+// gap-free stream of every accepted transition. Subscribe to it for
+// watch/replication; cmd/ftnetd closes it (via Close) on shutdown.
+func (m *Manager) CommitLog() *commit.Log { return m.pipe.log }
+
+// Subscribe opens a bounded, gap-free subscription to the commit
+// stream starting at fromSeq (catch-up from journal/checkpoint, then
+// live tail) — the primitive under GET /v1/watch and follower
+// replication.
+func (m *Manager) Subscribe(fromSeq uint64, buf int) (*commit.Sub, error) {
+	return m.pipe.log.Subscribe(fromSeq, buf)
+}
+
+// NextSeq returns the commit sequence number the next accepted
+// transition will carry.
+func (m *Manager) NextSeq() uint64 { return m.pipe.log.NextSeq() }
+
+// Close shuts the commit pipeline down: the journal is flushed,
+// fsynced and closed, and every watch/replication subscriber's stream
+// ends. Further transitions are refused.
+func (m *Manager) Close() error { return m.pipe.log.Close() }
 
 func (m *Manager) shardFor(id string) *shard {
 	return &m.shards[maphash.String(m.seed, id)%numShards]
 }
 
 // Create registers a new instance under id. The id must be non-empty
-// and unused; the spec must satisfy the paper's preconditions. With a
-// journal attached, the create record is appended under the shard lock
-// before the instance becomes visible, so no transition record can
-// ever precede its instance's create record in the log. Holding the
-// shard lock across the (possibly fsynced) append briefly stalls that
+// and unused; the spec must satisfy the paper's preconditions. The
+// create record is committed under the shard lock before the instance
+// becomes visible, so no transition record can ever precede its
+// instance's create record in the commit stream. Holding the shard
+// lock across the (possibly fsynced) commit briefly stalls that
 // shard's lookups; that is a deliberate trade — create/delete are rare
 // control-plane operations, and the hot transition path fsyncs only
 // under its own instance's writer mutex.
@@ -107,40 +136,36 @@ func (m *Manager) Create(id string, spec Spec) (*Instance, error) {
 	if id == "" {
 		return nil, fmt.Errorf("fleet: empty instance id")
 	}
-	in, err := newInstance(id, spec, m.cache)
+	in, err := newInstance(id, spec, m.cache, m.pipe)
 	if err != nil {
 		return nil, err
 	}
-	jw := m.journal.Load()
-	in.journal = jw // not yet visible to anyone else
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
 	s := m.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.instances[id]; dup {
 		return nil, errorf(ErrConflict, "fleet: instance %q already exists", id)
 	}
-	if jw != nil {
-		rec := journal.Record{Op: journal.OpCreate, ID: id, Spec: journalSpec(spec)}
-		if err := jw.Append(rec); err != nil {
-			m.journalFailed.Add(1)
-			return nil, errorf(ErrUnavailable, "fleet: journal create %s: %v", id, err)
-		}
+	rec := journal.Record{Op: journal.OpCreate, ID: id, Spec: journalSpec(spec)}
+	if _, err := m.pipe.log.Commit(rec, func() { s.instances[id] = in }); err != nil {
+		m.journalFailed.Add(1)
+		return nil, errorf(ErrUnavailable, "fleet: commit create %s: %v", id, err)
 	}
-	s.instances[id] = in
 	return in, nil
 }
 
-// createRaw registers an instance without journaling — the recovery
+// createRaw registers an instance without committing — the recovery
 // path, replaying records that are already in the log.
 func (m *Manager) createRaw(id string, spec Spec) (*Instance, error) {
 	if id == "" {
 		return nil, fmt.Errorf("fleet: empty instance id")
 	}
-	in, err := newInstance(id, spec, m.cache)
+	in, err := newInstance(id, spec, m.cache, m.pipe)
 	if err != nil {
 		return nil, err
 	}
-	in.journal = m.journal.Load()
 	s := m.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -166,15 +191,16 @@ func (m *Manager) Get(id string) (*Instance, bool) {
 }
 
 // Delete removes the instance with the given id, reporting whether it
-// existed. With a journal attached the delete record is appended
-// first; if that fails the instance stays registered, so memory never
-// gets ahead of the log. Before the append, the instance is
-// tombstoned under its writer mutex: any ApplyBatch that raced the
-// delete has either already finished (its record precedes the delete
-// record) or will see the tombstone and reject — so no transition
-// record can ever trail its instance's delete record, and a reused id
-// recovers cleanly.
+// existed. The delete record is committed first; if that fails the
+// instance stays registered, so memory never gets ahead of the log.
+// Before the commit, the instance is tombstoned under its writer
+// mutex: any ApplyBatch that raced the delete has either already
+// finished (its record precedes the delete record) or will see the
+// tombstone and reject — so no transition record can ever trail its
+// instance's delete record, and a reused id recovers cleanly.
 func (m *Manager) Delete(id string) (bool, error) {
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
 	s := m.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -185,16 +211,14 @@ func (m *Manager) Delete(id string) (bool, error) {
 	in.writeMu.Lock()
 	in.deleted = true
 	in.writeMu.Unlock()
-	if jw := m.journal.Load(); jw != nil {
-		if err := jw.Append(journal.Record{Op: journal.OpDelete, ID: id}); err != nil {
-			m.journalFailed.Add(1)
-			in.writeMu.Lock()
-			in.deleted = false // the delete did not happen
-			in.writeMu.Unlock()
-			return false, errorf(ErrUnavailable, "fleet: journal delete %s: %v", id, err)
-		}
+	rec := journal.Record{Op: journal.OpDelete, ID: id}
+	if _, err := m.pipe.log.Commit(rec, func() { delete(s.instances, id) }); err != nil {
+		m.journalFailed.Add(1)
+		in.writeMu.Lock()
+		in.deleted = false // the delete did not happen
+		in.writeMu.Unlock()
+		return false, errorf(ErrUnavailable, "fleet: commit delete %s: %v", id, err)
 	}
-	delete(s.instances, id)
 	return true, nil
 }
 
@@ -280,6 +304,7 @@ type Stats struct {
 	Lookups    uint64        `json:"lookups"`
 	Cache      CacheStats    `json:"cache"`
 	Journal    JournalStats  `json:"journal"`
+	Commit     commit.Stats  `json:"commit"`
 }
 
 // JournalStats reports the durability layer: the append-side counters
@@ -311,7 +336,7 @@ func (m *Manager) Stats() Stats {
 		Invalid:  m.rejectedInvalid.Load(),
 	}
 	js := JournalStats{AppendFailed: m.journalFailed.Load(), Recovery: m.recovered.Load()}
-	if jw := m.journal.Load(); jw != nil {
+	if jw := m.pipe.log.Writer(); jw != nil {
 		ws := jw.Stats()
 		js.Enabled = true
 		js.Records = ws.Records
@@ -328,9 +353,178 @@ func (m *Manager) Stats() Stats {
 		Lookups:    m.lookups.Load(),
 		Cache:      m.cache.Stats(),
 		Journal:    js,
+		Commit:     m.pipe.log.Stats(),
 	}
 }
 
 // Cache exposes the shared mapping cache (read-mostly; used by the
 // facade and benchmarks).
 func (m *Manager) Cache() *Cache { return m.cache }
+
+// CompactStats reports one checkpoint compaction.
+type CompactStats struct {
+	Instances int     `json:"instances"` // checkpoint records written
+	Seq       uint64  `json:"seq"`       // commit seq the checkpoint covers
+	Seconds   float64 `json:"seconds"`   // wall-clock time (commits were gated)
+}
+
+// Compact bounds the journal's replay length: it captures the current
+// state of every instance as one checkpoint record (the paper's
+// reconfiguration state is a pure function of the fault set, so O(k)
+// per instance is the whole truth), atomically swaps the journal file
+// for [seq marker, checkpoints], and lets the suffix accrue after it.
+// A restart — of this daemon or a freshly-joining follower — then
+// replays checkpoint + suffix instead of the entire history. Commits
+// are gated for the duration (a few records per instance), so the
+// checkpoint is a consistent cut at one sequence number; lock-free
+// lookups are unaffected. A crash mid-compaction leaves the old file
+// in place: the swap is a single atomic rename.
+func (m *Manager) Compact() (CompactStats, error) {
+	start := time.Now()
+	m.pipe.gate.Lock()
+	defer m.pipe.gate.Unlock()
+	// Gate held exclusively: no commit is in flight, every accepted
+	// transition is flushed, and the shard maps cannot change under us.
+	var cps []journal.Record
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for id, in := range s.instances {
+			snap := in.snap.Load()
+			cps = append(cps, journal.Record{
+				Op:     journal.OpCheckpoint,
+				ID:     id,
+				Spec:   journalSpec(in.spec),
+				Epoch:  snap.Epoch(),
+				Faults: snap.Faults(),
+			})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].ID < cps[j].ID })
+	seq := m.pipe.log.LastSeq()
+	if err := m.pipe.log.Install(seq, cps); err != nil {
+		return CompactStats{}, err
+	}
+	m.compactions.Add(1)
+	return CompactStats{Instances: len(cps), Seq: seq, Seconds: time.Since(start).Seconds()}, nil
+}
+
+// ErrSeqGap is returned by ReplicateEntry when the forwarded entry's
+// sequence number is ahead of the follower's next expected one — the
+// leader compacted past this follower (or lost history), and the
+// follower must resynchronize from a checkpoint.
+var ErrSeqGap = errors.New("fleet: replicated entry ahead of expected sequence")
+
+// ReplicateEntry applies one forwarded commit entry on a follower, in
+// order: the entry's seq must be exactly the follower's next expected
+// one (an entry behind it is a reconnect duplicate, skipped silently;
+// one ahead is ErrSeqGap). Each record re-commits through the
+// follower's own pipeline — journaled locally for restart, verified
+// bit-identically against a fresh ft.NewMapping for transitions — so a
+// follower is a full replica whose own watch stream chains.
+func (m *Manager) ReplicateEntry(e commit.Entry) error {
+	expected := m.pipe.log.NextSeq()
+	if e.Seq < expected {
+		return nil // duplicate from a resumed stream
+	}
+	if e.Seq > expected {
+		return fmt.Errorf("%w: got seq %d, expected %d", ErrSeqGap, e.Seq, expected)
+	}
+	switch e.Rec.Op {
+	case journal.OpCreate:
+		spec := Spec{Kind: Kind(e.Rec.Spec.Kind), M: e.Rec.Spec.M, H: e.Rec.Spec.H, K: e.Rec.Spec.K}
+		return m.replicateCreate(e.Rec.ID, spec)
+	case journal.OpDelete:
+		return m.replicateDelete(e.Rec.ID)
+	case journal.OpTransition:
+		in, ok := m.Get(e.Rec.ID)
+		if !ok {
+			return errorf(ErrNotFound, "fleet: replicated transition for unknown instance %q", e.Rec.ID)
+		}
+		return in.replicate(e.Rec)
+	default:
+		return fmt.Errorf("fleet: cannot replicate %v record", e.Rec.Op)
+	}
+}
+
+// replicateCreate mirrors Create for a forwarded record: same commit
+// ordering, but a duplicate id resets the existing instance (the
+// leader's stream is authoritative).
+func (m *Manager) replicateCreate(id string, spec Spec) error {
+	if id == "" {
+		return fmt.Errorf("fleet: empty instance id")
+	}
+	in, err := newInstance(id, spec, m.cache, m.pipe)
+	if err != nil {
+		return err
+	}
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := journal.Record{Op: journal.OpCreate, ID: id, Spec: journalSpec(spec)}
+	if _, err := m.pipe.log.Commit(rec, func() { s.instances[id] = in }); err != nil {
+		return errorf(ErrUnavailable, "fleet: commit replicated create %s: %v", id, err)
+	}
+	return nil
+}
+
+// replicateDelete mirrors Delete for a forwarded record (a missing id
+// is tolerated: the commit keeps the streams aligned either way).
+func (m *Manager) replicateDelete(id string) error {
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if in, ok := s.instances[id]; ok {
+		in.writeMu.Lock()
+		in.deleted = true
+		in.writeMu.Unlock()
+	}
+	rec := journal.Record{Op: journal.OpDelete, ID: id}
+	if _, err := m.pipe.log.Commit(rec, func() { delete(s.instances, id) }); err != nil {
+		return errorf(ErrUnavailable, "fleet: commit replicated delete %s: %v", id, err)
+	}
+	return nil
+}
+
+// ResetFromCheckpoint wipes the follower's fleet and installs the
+// forwarded checkpoint: every instance in cps is rebuilt (with the
+// bit-identical mapping verification) and the local commit log is
+// rebased to seq via Install, truncating the local journal to
+// [seq marker, checkpoint] — exactly what the leader's compacted file
+// looks like. Instances absent from cps are dropped: the checkpoint is
+// the complete leader state.
+func (m *Manager) ResetFromCheckpoint(seq uint64, cps []journal.Record) error {
+	m.pipe.gate.Lock()
+	defer m.pipe.gate.Unlock()
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id, in := range s.instances {
+			in.writeMu.Lock()
+			in.deleted = true
+			in.writeMu.Unlock()
+			delete(s.instances, id)
+		}
+		s.mu.Unlock()
+	}
+	for _, rec := range cps {
+		if rec.Op != journal.OpCheckpoint {
+			return fmt.Errorf("fleet: reset with a %v record in the checkpoint", rec.Op)
+		}
+		spec := Spec{Kind: Kind(rec.Spec.Kind), M: rec.Spec.M, H: rec.Spec.H, K: rec.Spec.K}
+		in, err := m.createRaw(rec.ID, spec)
+		if err != nil {
+			return fmt.Errorf("fleet: reset checkpoint %s: %w", rec.ID, err)
+		}
+		if err := in.restoreCheckpoint(rec.Epoch, rec.Faults); err != nil {
+			m.deleteRaw(rec.ID)
+			return err
+		}
+	}
+	return m.pipe.log.Install(seq, cps)
+}

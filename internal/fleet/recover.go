@@ -26,8 +26,11 @@ type RecoverStats struct {
 	Created     int     `json:"created"`     // instances created
 	Deleted     int     `json:"deleted"`     // instances deleted
 	Transitions int     `json:"transitions"` // epoch transitions restored
+	Checkpoints int     `json:"checkpoints"` // compaction checkpoints restored
 	Orphaned    int     `json:"orphaned"`    // transitions for deleted instances, skipped
 	LastEpoch   uint64  `json:"last_epoch"`  // highest epoch restored
+	BaseSeq     uint64  `json:"base_seq"`    // commit seq of the file's first ordinary record
+	NextSeq     uint64  `json:"next_seq"`    // commit seq the next transition will carry
 	Torn        bool    `json:"torn"`        // a torn/corrupt tail was dropped
 	TornReason  string  `json:"torn_reason,omitempty"`
 	Offset      int64   `json:"offset"`  // end of the valid prefix, in bytes
@@ -51,7 +54,7 @@ type RecoverStats struct {
 // append writer to the recovered file.
 func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 	start := time.Now()
-	var st RecoverStats
+	st := RecoverStats{BaseSeq: 1, NextSeq: 1}
 	jr := journal.NewReader(r)
 	deleted := make(map[string]bool)
 	for {
@@ -69,6 +72,29 @@ func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 		}
 		st.Records++
 		switch rec.Op {
+		case journal.OpSeqBase:
+			// Metadata, not a transition: a compacted file leads with the
+			// commit seq of its first post-checkpoint record, so sequence
+			// numbers survive the checkpoint-and-truncate swap.
+			st.BaseSeq = rec.Seq
+			st.NextSeq = rec.Seq
+		case journal.OpCheckpoint:
+			// One instance's complete state at the compaction cut; does
+			// not consume a commit seq (it summarizes the dropped prefix).
+			spec := Spec{Kind: Kind(rec.Spec.Kind), M: rec.Spec.M, H: rec.Spec.H, K: rec.Spec.K}
+			m.deleteRaw(rec.ID) // the checkpoint is authoritative
+			in, err := m.createRaw(rec.ID, spec)
+			if err != nil {
+				return st, fmt.Errorf("fleet: recover record %d: %w", st.Records, err)
+			}
+			if err := in.restoreCheckpoint(rec.Epoch, rec.Faults); err != nil {
+				return st, fmt.Errorf("fleet: recover record %d: %w", st.Records, err)
+			}
+			delete(deleted, rec.ID)
+			st.Checkpoints++
+			if rec.Epoch > st.LastEpoch {
+				st.LastEpoch = rec.Epoch
+			}
 		case journal.OpCreate:
 			spec := Spec{Kind: Kind(rec.Spec.Kind), M: rec.Spec.M, H: rec.Spec.H, K: rec.Spec.K}
 			if _, err := m.createRaw(rec.ID, spec); err != nil {
@@ -76,11 +102,14 @@ func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 			}
 			delete(deleted, rec.ID) // ids may be reused after a delete
 			st.Created++
+			st.NextSeq++
 		case journal.OpDelete:
 			m.deleteRaw(rec.ID)
 			deleted[rec.ID] = true
 			st.Deleted++
+			st.NextSeq++
 		case journal.OpTransition:
+			st.NextSeq++
 			in, ok := m.Get(rec.ID)
 			if !ok {
 				if deleted[rec.ID] {
@@ -103,6 +132,9 @@ func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 	}
 	st.Offset = jr.Offset()
 	st.Seconds = time.Since(start).Seconds()
+	// Seed the commit pipeline where the log left off, so watch and
+	// replication sequence numbers continue across the restart.
+	m.pipe.log.SetPosition(st.BaseSeq, st.NextSeq-1)
 	m.recovered.Store(&st)
 	return st, nil
 }
@@ -113,6 +145,10 @@ func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 // instead of writing after garbage. It returns the replay stats; on a
 // replay error the file is left untouched for post-mortem.
 func (m *Manager) RecoverFile(path string) (RecoverStats, error) {
+	// A stale checkpoint temp file is the residue of a crash
+	// mid-compaction: the rename never happened, so the old journal
+	// wins and the half-written checkpoint is dropped.
+	os.Remove(path + ".compact")
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return RecoverStats{}, nil

@@ -29,6 +29,10 @@ func FuzzJournalDecode(f *testing.F) {
 		{Op: OpTransition, ID: "i-0", Epoch: 42, Applied: 4, Faults: []int{0, 1, 2, 3}},
 		{Op: OpTransition, ID: "big", Epoch: 1 << 40, Applied: 7, Faults: []int{5, 1000, 1 << 20}},
 		{Op: OpTransition, ID: "empty", Epoch: 9, Applied: 2, Faults: nil},
+		{Op: OpSeqBase, ID: SeqBaseID, Seq: 1},
+		{Op: OpSeqBase, ID: SeqBaseID, Seq: 1 << 33},
+		{Op: OpCheckpoint, ID: "prod", Spec: Spec{Kind: "debruijn", M: 2, H: 4, K: 3}, Epoch: 17, Faults: []int{1, 5}},
+		{Op: OpCheckpoint, ID: "fresh", Spec: Spec{Kind: "shuffle", H: 6, K: 2}, Epoch: 0, Faults: nil},
 	} {
 		payload, err := AppendRecord(nil, rec)
 		if err != nil {

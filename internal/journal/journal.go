@@ -201,9 +201,23 @@ func (w *Writer) syncLoop() {
 // the writer is poisoned and every later Append fails, so a journaled
 // instance cannot silently diverge from its log.
 func (w *Writer) Append(rec Record) error {
-	payload, err := AppendRecord(make([]byte, frameHeaderSize, frameHeaderSize+64), rec)
+	seq, err := w.AppendAsync(rec)
 	if err != nil {
 		return err
+	}
+	return w.WaitDurable(seq)
+}
+
+// AppendAsync encodes rec and buffers its frame, returning the
+// writer-local record number (1-based) without waiting for durability.
+// It exists for the commit pipeline, which buffers under its ordering
+// lock and then waits for durability outside it — so concurrent
+// committers still share fsyncs via group commit. Pair every
+// successful AppendAsync with a WaitDurable before acknowledging.
+func (w *Writer) AppendAsync(rec Record) (uint64, error) {
+	payload, err := AppendRecord(make([]byte, frameHeaderSize, frameHeaderSize+64), rec)
+	if err != nil {
+		return 0, err
 	}
 	body := payload[frameHeaderSize:]
 	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(body)))
@@ -212,17 +226,17 @@ func (w *Writer) Append(rec Record) error {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if w.werr != nil {
 		err := w.werr
 		w.mu.Unlock()
-		return err
+		return 0, err
 	}
 	if _, err := w.bw.Write(payload); err != nil {
 		w.werr = err
 		w.mu.Unlock()
-		return err
+		return 0, err
 	}
 	w.seq++
 	seq := w.seq
@@ -233,11 +247,33 @@ func (w *Writer) Append(rec Record) error {
 	if rec.Op == OpTransition {
 		w.lastEpoch.Store(rec.Epoch)
 	}
+	return seq, nil
+}
+
+// WaitDurable blocks until the record AppendAsync numbered seq is
+// durable per the writer's fsync policy: under SyncAlways it waits for
+// (or runs) the covering group-commit fsync; under SyncInterval and
+// SyncNever durability is deferred, so it returns immediately.
+func (w *Writer) WaitDurable(seq uint64) error {
 	if w.opts.Sync != SyncAlways {
 		return nil
 	}
 	return w.waitDurable(seq)
 }
+
+// Path returns the journal file path when the writer was opened with
+// Create, and "" for writers over arbitrary streams.
+func (w *Writer) Path() string {
+	if w.file != nil {
+		return w.file.Name()
+	}
+	return ""
+}
+
+// Opts returns the options the writer was built with (with defaults
+// filled in) — what Create needs to reopen the same journal after a
+// compaction swap.
+func (w *Writer) Opts() Options { return w.opts }
 
 // waitDurable blocks until every record up to seq has been fsynced,
 // running the fsync itself if no one else is — the group-commit core:

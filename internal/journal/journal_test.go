@@ -28,6 +28,16 @@ func sampleRecords() []Record {
 	}
 }
 
+// compactionRecords is the head of a compacted log: the seq-base
+// marker and full-state checkpoints (any epoch, including 0).
+func compactionRecords() []Record {
+	return []Record{
+		{Op: OpSeqBase, ID: SeqBaseID, Seq: 42},
+		{Op: OpCheckpoint, ID: "prod", Spec: Spec{Kind: "debruijn", M: 2, H: 4, K: 3}, Epoch: 17, Faults: []int{3, 11}},
+		{Op: OpCheckpoint, ID: "fresh", Spec: Spec{Kind: "shuffle", H: 4, K: 2}, Epoch: 0, Faults: nil},
+	}
+}
+
 // encodeLog frames the records through a Writer into a buffer.
 func encodeLog(t *testing.T, recs []Record) []byte {
 	t.Helper()
@@ -45,7 +55,7 @@ func encodeLog(t *testing.T, recs []Record) []byte {
 }
 
 func TestRecordRoundTrip(t *testing.T) {
-	for _, rec := range sampleRecords() {
+	for _, rec := range append(sampleRecords(), compactionRecords()...) {
 		payload, err := AppendRecord(nil, rec)
 		if err != nil {
 			t.Fatalf("encode %+v: %v", rec, err)
@@ -76,6 +86,9 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		{Op: OpTransition, ID: "x", Epoch: 1, Applied: 1, Faults: []int{5, 2}},
 		{Op: OpTransition, ID: "x", Epoch: 1, Applied: 1, Faults: []int{-1}},
 		{Op: OpCreate, ID: "x", Spec: Spec{M: -1}},
+		{Op: OpSeqBase, ID: SeqBaseID, Seq: 0},
+		{Op: OpCheckpoint, ID: "x", Spec: Spec{H: -1}},
+		{Op: OpCheckpoint, ID: "x", Faults: []int{9, 2}},
 	}
 	for _, rec := range bad {
 		if _, err := AppendRecord(nil, rec); err == nil {

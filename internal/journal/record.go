@@ -12,11 +12,20 @@ type Op byte
 // The record kinds. Every accepted Manager transition appends exactly
 // one record: instance creation, instance deletion, or an applied
 // fault/repair transition (a single event and an atomic batch are both
-// one OpTransition — the epoch advances by one either way).
+// one OpTransition — the epoch advances by one either way). Two more
+// kinds exist for compaction: OpSeqBase is the metadata record a
+// compacted log starts with (it pins the commit sequence number of the
+// next ordinary record, so positional sequence numbering survives the
+// checkpoint-and-truncate swap), and OpCheckpoint captures one
+// instance's entire state — spec, epoch, fault set — in a single
+// record, which is all the paper's pure-function-of-the-fault-set
+// reconfiguration needs to rebuild it bit-identically.
 const (
 	OpCreate     Op = 1
 	OpDelete     Op = 2
 	OpTransition Op = 3
+	OpSeqBase    Op = 4
+	OpCheckpoint Op = 5
 )
 
 func (op Op) String() string {
@@ -27,6 +36,10 @@ func (op Op) String() string {
 		return "delete"
 	case OpTransition:
 		return "transition"
+	case OpSeqBase:
+		return "seqbase"
+	case OpCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("op(%d)", byte(op))
 	}
@@ -49,14 +62,24 @@ type Spec struct {
 // batch produced, how many events it carried, and the resulting sorted
 // fault set (O(k) words, the whole reconfiguration state of the
 // paper's Section III-A map).
+//
+// OpCheckpoint sets Spec, Epoch and Faults together (Applied is
+// unused): the instance's complete state in one record, any epoch —
+// including 0 for a never-transitioned instance. OpSeqBase sets only
+// Seq; its ID is SeqBaseID by convention.
 type Record struct {
 	Op      Op
 	ID      string
-	Spec    Spec   // OpCreate only
-	Epoch   uint64 // OpTransition only; first transition is epoch 1
+	Spec    Spec   // OpCreate and OpCheckpoint
+	Epoch   uint64 // OpTransition (first transition is epoch 1) and OpCheckpoint
 	Applied int    // OpTransition only; events in the atomic batch
-	Faults  []int  // OpTransition only; sorted, distinct, non-negative
+	Faults  []int  // OpTransition and OpCheckpoint; sorted, distinct, non-negative
+	Seq     uint64 // OpSeqBase only; commit seq of the next ordinary record
 }
+
+// SeqBaseID is the conventional instance-id slot of OpSeqBase records
+// (the codec requires a non-empty ID for every record).
+const SeqBaseID = "log"
 
 // recordVersion is the payload format version byte. Decoding rejects
 // anything else, so a future format change cannot be misparsed.
@@ -82,26 +105,41 @@ func AppendRecord(dst []byte, rec Record) ([]byte, error) {
 	dst = appendString(dst, rec.ID)
 	switch rec.Op {
 	case OpCreate:
-		dst = appendString(dst, rec.Spec.Kind)
-		dst = binary.AppendUvarint(dst, uint64(rec.Spec.M))
-		dst = binary.AppendUvarint(dst, uint64(rec.Spec.H))
-		dst = binary.AppendUvarint(dst, uint64(rec.Spec.K))
+		dst = appendSpec(dst, rec.Spec)
 	case OpDelete:
 	case OpTransition:
 		dst = binary.AppendUvarint(dst, rec.Epoch)
 		dst = binary.AppendUvarint(dst, uint64(rec.Applied))
-		dst = binary.AppendUvarint(dst, uint64(len(rec.Faults)))
-		prev := 0
-		for i, f := range rec.Faults {
-			if i == 0 {
-				dst = binary.AppendUvarint(dst, uint64(f))
-			} else {
-				dst = binary.AppendUvarint(dst, uint64(f-prev))
-			}
-			prev = f
-		}
+		dst = appendFaults(dst, rec.Faults)
+	case OpSeqBase:
+		dst = binary.AppendUvarint(dst, rec.Seq)
+	case OpCheckpoint:
+		dst = appendSpec(dst, rec.Spec)
+		dst = binary.AppendUvarint(dst, rec.Epoch)
+		dst = appendFaults(dst, rec.Faults)
 	}
 	return dst, nil
+}
+
+func appendSpec(dst []byte, spec Spec) []byte {
+	dst = appendString(dst, spec.Kind)
+	dst = binary.AppendUvarint(dst, uint64(spec.M))
+	dst = binary.AppendUvarint(dst, uint64(spec.H))
+	return binary.AppendUvarint(dst, uint64(spec.K))
+}
+
+func appendFaults(dst []byte, faults []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(faults)))
+	prev := 0
+	for i, f := range faults {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(f))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(f-prev))
+		}
+		prev = f
+	}
+	return dst
 }
 
 func (rec Record) validate() error {
@@ -121,16 +159,30 @@ func (rec Record) validate() error {
 		if rec.Applied < 1 {
 			return fmt.Errorf("journal: transition applied %d < 1", rec.Applied)
 		}
-		for i, f := range rec.Faults {
-			if f < 0 {
-				return fmt.Errorf("journal: negative fault %d", f)
-			}
-			if i > 0 && f <= rec.Faults[i-1] {
-				return fmt.Errorf("journal: fault set not strictly ascending at %d", f)
-			}
+		return validateFaults(rec.Faults)
+	case OpSeqBase:
+		if rec.Seq == 0 {
+			return fmt.Errorf("journal: seq base 0 (commit sequence numbers start at 1)")
 		}
+	case OpCheckpoint:
+		if rec.Spec.M < 0 || rec.Spec.H < 0 || rec.Spec.K < 0 {
+			return fmt.Errorf("journal: negative spec field in %+v", rec.Spec)
+		}
+		return validateFaults(rec.Faults)
 	default:
 		return fmt.Errorf("journal: unknown op %d", rec.Op)
+	}
+	return nil
+}
+
+func validateFaults(faults []int) error {
+	for i, f := range faults {
+		if f < 0 {
+			return fmt.Errorf("journal: negative fault %d", f)
+		}
+		if i > 0 && f <= faults[i-1] {
+			return fmt.Errorf("journal: fault set not strictly ascending at %d", f)
+		}
 	}
 	return nil
 }
@@ -175,6 +227,62 @@ func (d *decoder) intVal() (int, error) {
 	return int(v), nil
 }
 
+// spec reads the four-field topology spec (kind, m, h, k).
+func (d *decoder) spec() (Spec, error) {
+	var spec Spec
+	var err error
+	if spec.Kind, err = d.str(); err != nil {
+		return Spec{}, err
+	}
+	if spec.M, err = d.intVal(); err != nil {
+		return Spec{}, err
+	}
+	if spec.H, err = d.intVal(); err != nil {
+		return Spec{}, err
+	}
+	if spec.K, err = d.intVal(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// faults reads a delta-coded strictly-ascending fault set.
+func (d *decoder) faults() ([]int, error) {
+	k, err := d.intVal()
+	if err != nil {
+		return nil, err
+	}
+	// Each fault costs at least one byte, so a count beyond the
+	// remaining payload is corrupt — checked before allocating.
+	if k > len(d.b)-d.off {
+		return nil, fmt.Errorf("journal: fault count %d exceeds %d remaining bytes", k, len(d.b)-d.off)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	faults := make([]int, k)
+	prev := 0
+	for i := range faults {
+		v, err := d.intVal()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			faults[i] = v
+		} else {
+			if v == 0 {
+				return nil, fmt.Errorf("journal: zero fault delta (duplicate fault)")
+			}
+			if v > math.MaxInt-prev {
+				return nil, fmt.Errorf("journal: fault delta %d overflows", v)
+			}
+			faults[i] = prev + v
+		}
+		prev = faults[i]
+	}
+	return faults, nil
+}
+
 func (d *decoder) str() (string, error) {
 	n, err := d.intVal()
 	if err != nil {
@@ -212,16 +320,7 @@ func DecodeRecord(b []byte) (Record, error) {
 	}
 	switch rec.Op {
 	case OpCreate:
-		if rec.Spec.Kind, err = d.str(); err != nil {
-			return Record{}, err
-		}
-		if rec.Spec.M, err = d.intVal(); err != nil {
-			return Record{}, err
-		}
-		if rec.Spec.H, err = d.intVal(); err != nil {
-			return Record{}, err
-		}
-		if rec.Spec.K, err = d.intVal(); err != nil {
+		if rec.Spec, err = d.spec(); err != nil {
 			return Record{}, err
 		}
 	case OpDelete:
@@ -238,36 +337,25 @@ func DecodeRecord(b []byte) (Record, error) {
 		if rec.Applied < 1 {
 			return Record{}, fmt.Errorf("journal: transition applied %d < 1", rec.Applied)
 		}
-		k, err := d.intVal()
-		if err != nil {
+		if rec.Faults, err = d.faults(); err != nil {
 			return Record{}, err
 		}
-		// Each fault costs at least one byte, so a count beyond the
-		// remaining payload is corrupt — checked before allocating.
-		if k > len(d.b)-d.off {
-			return Record{}, fmt.Errorf("journal: fault count %d exceeds %d remaining bytes", k, len(d.b)-d.off)
+	case OpSeqBase:
+		if rec.Seq, err = d.uvarint(); err != nil {
+			return Record{}, err
 		}
-		if k > 0 {
-			rec.Faults = make([]int, k)
-			prev := 0
-			for i := range rec.Faults {
-				v, err := d.intVal()
-				if err != nil {
-					return Record{}, err
-				}
-				if i == 0 {
-					rec.Faults[i] = v
-				} else {
-					if v == 0 {
-						return Record{}, fmt.Errorf("journal: zero fault delta (duplicate fault)")
-					}
-					if v > math.MaxInt-prev {
-						return Record{}, fmt.Errorf("journal: fault delta %d overflows", v)
-					}
-					rec.Faults[i] = prev + v
-				}
-				prev = rec.Faults[i]
-			}
+		if rec.Seq == 0 {
+			return Record{}, fmt.Errorf("journal: seq base 0")
+		}
+	case OpCheckpoint:
+		if rec.Spec, err = d.spec(); err != nil {
+			return Record{}, err
+		}
+		if rec.Epoch, err = d.uvarint(); err != nil {
+			return Record{}, err
+		}
+		if rec.Faults, err = d.faults(); err != nil {
+			return Record{}, err
 		}
 	default:
 		return Record{}, fmt.Errorf("journal: unknown op %d", b[1])

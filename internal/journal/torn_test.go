@@ -123,9 +123,9 @@ func TestMidLogBitFlips(t *testing.T) {
 // TestTornGarbage feeds raw garbage and pathological frames: never a
 // panic, never a record.
 func TestTornGarbage(t *testing.T) {
-	huge := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}  // implausible 2 GiB length
-	short := []byte{0x40, 0, 0, 0, 0, 0, 0, 0}          // plausible length, body missing
-	zero := []byte{0, 0, 0, 0, 0, 0, 0, 0}              // zero-length record
+	huge := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0} // implausible 2 GiB length
+	short := []byte{0x40, 0, 0, 0, 0, 0, 0, 0}         // plausible length, body missing
+	zero := []byte{0, 0, 0, 0, 0, 0, 0, 0}             // zero-length record
 	for _, b := range [][]byte{{1}, {1, 2, 3}, huge, short, zero, bytes.Repeat([]byte{0xAA}, 100)} {
 		got, off, err := ReadAll(bytes.NewReader(b))
 		if len(got) != 0 || off != 0 || !errors.Is(err, ErrTorn) {

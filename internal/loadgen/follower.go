@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ftnet/internal/fleet"
+)
+
+// The replication probe: after a load run against a leader, verify
+// that a follower daemon converged — for every driven instance, the
+// follower reaches at least the leader's epoch and serves a phi slice
+// bit-identical to the leader's (both also re-checked against the
+// paper's contract by the instance endpoints themselves). ftload wires
+// it to -follower; the CI replication job runs a write storm against
+// the leader and then holds the follower to this check.
+
+// FollowerVerify reports one convergence check.
+type FollowerVerify struct {
+	Instances int           // instances compared
+	Waited    time.Duration // time until the follower caught up
+}
+
+// VerifyFollower polls followerAddr until every instance in ids has
+// caught up with leaderAddr (same or later epoch), then compares fault
+// sets and full phi slices bit for bit. The leader must be quiescent
+// (the load run has finished); timeout bounds the catch-up wait.
+func VerifyFollower(leaderAddr, followerAddr string, ids []string, timeout time.Duration) (FollowerVerify, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	deadline := start.Add(timeout)
+	var res FollowerVerify
+	for _, id := range ids {
+		leader, err := fetchInstance(client, leaderAddr, id)
+		if err != nil {
+			return res, fmt.Errorf("loadgen: leader %s: %w", id, err)
+		}
+		// Wait for the follower to reach the leader's epoch.
+		var follower fleet.InstanceInfo
+		for {
+			follower, err = fetchInstance(client, followerAddr, id)
+			if err == nil && follower.Epoch >= leader.Epoch {
+				break
+			}
+			if time.Now().After(deadline) {
+				if err != nil {
+					return res, fmt.Errorf("loadgen: follower %s: %w", id, err)
+				}
+				return res, fmt.Errorf("loadgen: follower %s stuck at epoch %d, leader at %d",
+					id, follower.Epoch, leader.Epoch)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if follower.Epoch != leader.Epoch {
+			return res, fmt.Errorf("loadgen: follower %s at epoch %d, ahead of leader's %d",
+				id, follower.Epoch, leader.Epoch)
+		}
+		if fmt.Sprint(follower.Faults) != fmt.Sprint(leader.Faults) {
+			return res, fmt.Errorf("loadgen: %s fault sets diverge: leader %v, follower %v",
+				id, leader.Faults, follower.Faults)
+		}
+		lphi, err := fetchPhi(client, leaderAddr, id)
+		if err != nil {
+			return res, fmt.Errorf("loadgen: leader %s phi: %w", id, err)
+		}
+		fphi, err := fetchPhi(client, followerAddr, id)
+		if err != nil {
+			return res, fmt.Errorf("loadgen: follower %s phi: %w", id, err)
+		}
+		if len(lphi) != len(fphi) {
+			return res, fmt.Errorf("loadgen: %s phi lengths diverge: %d vs %d", id, len(lphi), len(fphi))
+		}
+		for x := range lphi {
+			if lphi[x] != fphi[x] {
+				return res, fmt.Errorf("loadgen: %s phi(%d): leader %d, follower %d — replica diverged",
+					id, x, lphi[x], fphi[x])
+			}
+		}
+		res.Instances++
+	}
+	res.Waited = time.Since(start)
+	return res, nil
+}
+
+func fetchInstance(client *http.Client, addr, id string) (fleet.InstanceInfo, error) {
+	var info fleet.InstanceInfo
+	resp, err := client.Get(addr + "/v1/instances/" + id)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+func fetchPhi(client *http.Client, addr, id string) ([]int, error) {
+	resp, err := client.Get(addr + "/v1/instances/" + id + "/phi")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct{ Phi []int }
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Phi, nil
+}

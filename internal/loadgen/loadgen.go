@@ -178,6 +178,24 @@ type opStats struct {
 	lookupLats []time.Duration
 }
 
+// InstanceIDs returns the ids a Run with this config creates and
+// drives (applying the default IDPrefix rule), so follow-up probes —
+// e.g. VerifyFollower — can name the same instances.
+func (cfg Config) InstanceIDs() []string {
+	prefix := cfg.IDPrefix
+	if prefix == "" {
+		prefix = "load"
+		if cfg.Scenario.Name != "" {
+			prefix += "-" + cfg.Scenario.Name
+		}
+	}
+	ids := make([]string, cfg.Instances)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-%d", prefix, i)
+	}
+	return ids
+}
+
 // Run executes the configured load against the daemon and merges the
 // per-worker measurements.
 func Run(cfg Config) (Result, error) {
