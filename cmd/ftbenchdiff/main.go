@@ -1,19 +1,30 @@
-// Command ftbenchdiff compares two BENCH_fleet.json benchmark
-// artifacts (as written by cmd/ftbenchjson) and fails on regressions,
-// so CI can hold every run against a committed baseline.
+// Command ftbenchdiff compares two benchmark artifacts and fails on
+// regressions, so CI can hold every run against a committed baseline.
+// It understands two artifact shapes: the BENCH_fleet.json micro-bench
+// files written by cmd/ftbenchjson (ns/op + allocs/op per benchmark),
+// and the BENCH_service.json SLO files written by ftload -obs-json
+// (latency-valued entries with an explicit unit, e.g. a request p99 in
+// nanoseconds).
 //
 // Usage:
 //
 //	go run ./cmd/ftbenchdiff -old .github/bench/BENCH_fleet.baseline.json -new BENCH_fleet.json
+//	go run ./cmd/ftbenchdiff -old .github/bench/BENCH_service.baseline.json -new BENCH_service.json \
+//	    -families request_p99,fsync_p99 -threshold 300 -floor 2ms
 //
 // Benchmarks are matched by full name. For every benchmark whose
 // family matches -families (comma-separated substrings; default the
-// hot-path "Apply,Lookup"), the new ns/op must not exceed the old by
-// more than -threshold percent, and allocs/op must not grow by more
-// than one object. Benchmarks present on only one side are reported
-// but not fatal (the suite is allowed to grow). Time thresholds are
-// inherently machine-sensitive: refresh the committed baseline
-// (ftbenchjson -out) when the benchmark suite or the CI hardware
+// hot-path "Apply,Lookup"), the new value (ns/op, or Value for
+// unit-carrying entries) must not exceed the old by more than
+// -threshold percent, and allocs/op must not grow by more than one
+// object. -floor skips the percentage check when both sides are below
+// an absolute duration — sub-millisecond service quantiles are mostly
+// scheduler noise, and a 3x regression from 50µs to 150µs is not the
+// signal the SLO gate exists for. Benchmarks present on only one side
+// are reported but not fatal (the suite is allowed to grow; a service
+// family like compaction_pause_max only exists when a compaction ran).
+// Time thresholds are inherently machine-sensitive: refresh the
+// committed baseline when the benchmark suite or the CI hardware
 // changes, and lean on the alloc check — which is machine-independent
 // — as the hard line.
 package main
@@ -24,10 +35,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 )
 
 // Benchmark mirrors cmd/ftbenchjson's artifact entry (decoded from
-// JSON; the two commands stay decoupled).
+// JSON; the two commands stay decoupled) plus the latency-valued
+// fields of loadgen's ServiceBenchmark: when Unit is non-empty, Value
+// (in Unit, always ns today) is the compared quantity instead of
+// ns/op, and the alloc check does not apply.
 type Benchmark struct {
 	Name        string  `json:"name"`
 	Family      string  `json:"family"`
@@ -35,6 +50,17 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	Value       float64 `json:"value,omitempty"`
+	Unit        string  `json:"unit,omitempty"`
+}
+
+// metric returns the compared quantity: Value for unit-carrying
+// (service SLO) entries, ns/op for micro-bench entries.
+func (b Benchmark) metric() float64 {
+	if b.Unit != "" {
+		return b.Value
+	}
+	return b.NsPerOp
 }
 
 // Artifact is the decoded benchmark file.
@@ -47,8 +73,9 @@ type Artifact struct {
 func main() {
 	oldPath := flag.String("old", "", "baseline artifact (required)")
 	newPath := flag.String("new", "", "candidate artifact (required)")
-	threshold := flag.Float64("threshold", 25, "max ns/op regression in percent for guarded families")
+	threshold := flag.Float64("threshold", 25, "max regression in percent for guarded families")
 	families := flag.String("families", "Apply,Lookup", "comma-separated family substrings the threshold guards")
+	floor := flag.Duration("floor", 0, "skip the percentage check when both old and new values are below this duration (absorbs scheduler noise in service latency artifacts)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "ftbenchdiff: both -old and -new are required")
@@ -62,7 +89,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	report, failures := diff(oldArt, newArt, *threshold, splitFamilies(*families))
+	report, failures := diff(oldArt, newArt, *threshold, *floor, splitFamilies(*families))
 	fmt.Print(report)
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "ftbenchdiff: %d regression(s):\n", len(failures))
@@ -114,45 +141,53 @@ func guarded(family string, families []string) bool {
 }
 
 // diff renders the comparison table and collects guarded regressions.
-func diff(oldArt, newArt Artifact, threshold float64, families []string) (string, []string) {
+func diff(oldArt, newArt Artifact, threshold float64, floor time.Duration, families []string) (string, []string) {
 	oldBy := make(map[string]Benchmark, len(oldArt.Benchmarks))
 	for _, b := range oldArt.Benchmarks {
 		oldBy[b.Name] = b
 	}
 	var sb strings.Builder
 	var failures []string
-	fmt.Fprintf(&sb, "%-36s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	fmt.Fprintf(&sb, "%-36s %14s %14s %9s %9s\n", "benchmark", "old ns", "new ns", "delta", "allocs")
 	seen := make(map[string]bool, len(newArt.Benchmarks))
 	for _, nb := range newArt.Benchmarks {
 		seen[nb.Name] = true
 		ob, ok := oldBy[nb.Name]
 		if !ok {
-			fmt.Fprintf(&sb, "%-36s %14s %14.1f %9s %9.1f  (new)\n", nb.Name, "-", nb.NsPerOp, "-", nb.AllocsPerOp)
+			fmt.Fprintf(&sb, "%-36s %14s %14.1f %9s %9.1f  (new)\n", nb.Name, "-", nb.metric(), "-", nb.AllocsPerOp)
 			continue
 		}
+		oldV, newV := ob.metric(), nb.metric()
 		delta := 0.0
-		if ob.NsPerOp > 0 {
-			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		if oldV > 0 {
+			delta = (newV - oldV) / oldV * 100
 		}
 		mark := ""
 		if guarded(nb.Family, families) {
-			if delta > threshold {
+			// A zero baseline has no meaningful percentage; and below the
+			// floor both sides are noise, not a latency regression.
+			compare := oldV > 0 && !(floor > 0 && oldV < float64(floor) && newV < float64(floor))
+			if compare && delta > threshold {
 				mark = "  REGRESSION"
-				failures = append(failures, fmt.Sprintf("%s: ns/op %.1f -> %.1f (%+.1f%% > %.0f%%)",
-					nb.Name, ob.NsPerOp, nb.NsPerOp, delta, threshold))
+				unit := nb.Unit
+				if unit == "" {
+					unit = "ns/op"
+				}
+				failures = append(failures, fmt.Sprintf("%s: %s %.1f -> %.1f (%+.1f%% > %.0f%%)",
+					nb.Name, unit, oldV, newV, delta, threshold))
 			}
-			if nb.AllocsPerOp > ob.AllocsPerOp+1 {
+			if nb.Unit == "" && nb.AllocsPerOp > ob.AllocsPerOp+1 {
 				mark = "  REGRESSION"
 				failures = append(failures, fmt.Sprintf("%s: allocs/op %.1f -> %.1f",
 					nb.Name, ob.AllocsPerOp, nb.AllocsPerOp))
 			}
 		}
 		fmt.Fprintf(&sb, "%-36s %14.1f %14.1f %+8.1f%% %9.1f%s\n",
-			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, nb.AllocsPerOp, mark)
+			nb.Name, oldV, newV, delta, nb.AllocsPerOp, mark)
 	}
 	for _, ob := range oldArt.Benchmarks {
 		if !seen[ob.Name] {
-			fmt.Fprintf(&sb, "%-36s %14.1f %14s %9s %9s  (gone)\n", ob.Name, ob.NsPerOp, "-", "-", "-")
+			fmt.Fprintf(&sb, "%-36s %14.1f %14s %9s %9s  (gone)\n", ob.Name, ob.metric(), "-", "-", "-")
 		}
 	}
 	return sb.String(), failures

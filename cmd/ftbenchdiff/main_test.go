@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func art(benchmarks ...Benchmark) Artifact { return Artifact{Benchmarks: benchmarks} }
@@ -23,7 +24,7 @@ func TestDiffPassesWithinThreshold(t *testing.T) {
 		bench("LookupScale/n=1024", 9, 0),
 		bench("CacheHit", 500, 3), // unguarded family: reported, not fatal
 	)
-	report, failures := diff(old, nw, 25, []string{"Apply", "Lookup"})
+	report, failures := diff(old, nw, 25, 0, []string{"Apply", "Lookup"})
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v\n%s", failures, report)
 	}
@@ -35,7 +36,7 @@ func TestDiffPassesWithinThreshold(t *testing.T) {
 func TestDiffFailsOnTimeRegression(t *testing.T) {
 	old := art(bench("ApplyScale/n=1024", 300, 4))
 	nw := art(bench("ApplyScale/n=1024", 400, 4)) // +33%
-	_, failures := diff(old, nw, 25, []string{"Apply", "Lookup"})
+	_, failures := diff(old, nw, 25, 0, []string{"Apply", "Lookup"})
 	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op") {
 		t.Fatalf("failures = %v, want one ns/op regression", failures)
 	}
@@ -44,7 +45,7 @@ func TestDiffFailsOnTimeRegression(t *testing.T) {
 func TestDiffFailsOnAllocRegression(t *testing.T) {
 	old := art(bench("LookupScale/n=4096", 10, 0))
 	nw := art(bench("LookupScale/n=4096", 10, 2)) // +2 allocs/op
-	_, failures := diff(old, nw, 25, []string{"Apply", "Lookup"})
+	_, failures := diff(old, nw, 25, 0, []string{"Apply", "Lookup"})
 	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
 		t.Fatalf("failures = %v, want one allocs/op regression", failures)
 	}
@@ -53,11 +54,64 @@ func TestDiffFailsOnAllocRegression(t *testing.T) {
 func TestDiffToleratesAddedAndRemoved(t *testing.T) {
 	old := art(bench("ApplyScale/n=1024", 300, 4), bench("Gone", 1, 0))
 	nw := art(bench("ApplyScale/n=1024", 300, 4), bench("ApplyScale/n=4096", 310, 4))
-	report, failures := diff(old, nw, 25, []string{"Apply"})
+	report, failures := diff(old, nw, 25, 0, []string{"Apply"})
 	if len(failures) != 0 {
 		t.Fatalf("failures = %v", failures)
 	}
 	if !strings.Contains(report, "(new)") || !strings.Contains(report, "(gone)") {
 		t.Errorf("report does not mark added/removed benchmarks:\n%s", report)
+	}
+}
+
+func sbench(name, family string, value float64) Benchmark {
+	return Benchmark{Name: name, Family: family, Value: value, Unit: "ns"}
+}
+
+// TestDiffServiceArtifactValues pins the unit-carrying path: entries
+// with a unit compare on Value, and allocs never apply to them.
+func TestDiffServiceArtifactValues(t *testing.T) {
+	old := art(
+		sbench("request_p99/phi", "request_p99", 2e6),
+		sbench("commit_fsync_wait_p99", "fsync_p99", 5e6),
+	)
+	nw := art(
+		sbench("request_p99/phi", "request_p99", 2.2e6),    // +10%
+		sbench("commit_fsync_wait_p99", "fsync_p99", 25e6), // 5x: regression
+	)
+	_, failures := diff(old, nw, 300, 0, []string{"request_p99", "fsync_p99"})
+	if len(failures) != 1 || !strings.Contains(failures[0], "commit_fsync_wait_p99") {
+		t.Fatalf("failures = %v, want exactly the fsync regression", failures)
+	}
+	if !strings.Contains(failures[0], "ns ") {
+		t.Errorf("failure message does not name the unit: %v", failures[0])
+	}
+}
+
+// TestDiffFloorAbsorbsNoise pins -floor: a huge relative regression
+// below the absolute floor is noise, not a failure — but the same
+// ratio above the floor still fails.
+func TestDiffFloorAbsorbsNoise(t *testing.T) {
+	old := art(sbench("request_p99/stats", "request_p99", 50e3)) // 50µs
+	nw := art(sbench("request_p99/stats", "request_p99", 400e3)) // 400µs: 8x, both < 2ms
+	_, failures := diff(old, nw, 300, 2*time.Millisecond, []string{"request_p99"})
+	if len(failures) != 0 {
+		t.Fatalf("sub-floor noise failed the gate: %v", failures)
+	}
+	nw = art(sbench("request_p99/stats", "request_p99", 400e6)) // 400ms: way past the floor
+	_, failures = diff(old, nw, 300, 2*time.Millisecond, []string{"request_p99"})
+	if len(failures) != 1 {
+		t.Fatalf("above-floor regression passed: %v", failures)
+	}
+}
+
+// TestDiffZeroBaselineSkipped pins that a zero old value (the family
+// existed but recorded nothing, e.g. no compaction ran when the
+// baseline was cut) never produces a division-flavored failure.
+func TestDiffZeroBaselineSkipped(t *testing.T) {
+	old := art(sbench("compaction_pause_max", "compaction_pause_max", 0))
+	nw := art(sbench("compaction_pause_max", "compaction_pause_max", 3e6))
+	_, failures := diff(old, nw, 300, 0, []string{"compaction_pause_max"})
+	if len(failures) != 0 {
+		t.Fatalf("zero baseline produced failures: %v", failures)
 	}
 }

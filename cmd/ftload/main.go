@@ -38,12 +38,22 @@
 //	ftload -scenario write-storm -addr http://leader:8080 \
 //	       -follower http://replica:8081
 //
+// With -obs-json <path> the run also scrapes the daemon's server-side
+// histograms (/v1/stats obs section) afterwards and writes the
+// BENCH_service.json SLO artifact — request p99 by route, fsync p99,
+// replication lag p99 (when -follower is set), compaction pause max —
+// which CI diffs against a committed baseline with ftbenchdiff:
+//
+//	ftload -scenario write-storm -addr http://leader:8080 \
+//	       -follower http://replica:8081 -obs-json BENCH_service.json
+//
 // Rejected events (budget exhausted, repairing a healthy node, a burst
 // with one invalid event) are counted separately: they are the daemon
 // correctly enforcing the paper's k-fault precondition, not failures.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +66,7 @@ import (
 
 	"ftnet/internal/fleet"
 	"ftnet/internal/loadgen"
+	"ftnet/internal/obs"
 )
 
 type config struct {
@@ -63,6 +74,7 @@ type config struct {
 	scenario string // named scenario; overrides eventfrac/batch when set
 	exec     string // daemon command line the restart scenario spawns and kills
 	follower string // follower base URL to verify convergence against after the run
+	obsJSON  string // path to write the BENCH_service.json SLO artifact to
 }
 
 func main() {
@@ -81,6 +93,7 @@ func main() {
 	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy", "write-storm" or "restart" (overrides -eventfrac/-batch)`)
 	flag.StringVar(&cfg.exec, "exec", "", `daemon command line for -scenario restart (ftload spawns, SIGKILLs and restarts it)`)
 	flag.StringVar(&cfg.follower, "follower", "", `follower base URL; after the run, require it to converge with -addr (same epochs, bit-identical phi)`)
+	flag.StringVar(&cfg.obsJSON, "obs-json", "", `write a BENCH_service.json SLO artifact here: request p99 by route, fsync p99, replication lag p99 (needs -follower), compaction pause max — scraped from /v1/stats after the run`)
 	flag.Int64Var(&cfg.Seed, "seed", 1, "rng seed")
 	flag.Parse()
 	cfg.Spec.Kind = fleet.Kind(kind)
@@ -104,6 +117,7 @@ func run(cfg config, out io.Writer) error {
 	} else {
 		cfg.Scenario.Name = "custom"
 	}
+	cfg.ScrapeObs = cfg.obsJSON != ""
 	res, err := loadgen.Run(cfg.Config)
 	if err != nil {
 		return err
@@ -119,6 +133,41 @@ func run(cfg config, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "  follower     %s converged: %d/%d instances bit-identical (caught up in %v)\n",
 			cfg.follower, fv.Instances, cfg.Instances, fv.Waited.Round(time.Millisecond))
+	}
+	if cfg.obsJSON != "" {
+		if err := writeObsArtifact(cfg, res, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeObsArtifact distills the scraped server-side histograms (leader
+// always, follower when -follower is set) into the BENCH_service.json
+// SLO artifact CI diffs against its committed baseline.
+func writeObsArtifact(cfg config, res loadgen.Result, out io.Writer) error {
+	var followerObs *obs.Export
+	if cfg.follower != "" {
+		e, err := loadgen.FetchObs(cfg.follower)
+		if err != nil {
+			return err
+		}
+		followerObs = e
+	}
+	art := loadgen.BuildServiceArtifact(cfg.Scenario.Name, res.Service, followerObs)
+	if len(art.Benchmarks) == 0 {
+		return fmt.Errorf("obs artifact is empty: the daemon exported no service histograms")
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.obsJSON, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  obs          %d service SLO values -> %s\n", len(art.Benchmarks), cfg.obsJSON)
+	for _, b := range art.Benchmarks {
+		fmt.Fprintf(out, "    %-28s %v\n", b.Name, time.Duration(b.Value).Round(time.Microsecond))
 	}
 	return nil
 }

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -113,5 +116,59 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	}}
 	if err := run(bad, &bytes.Buffer{}); err == nil {
 		t.Error("bad spec accepted")
+	}
+}
+
+// TestRunObsJSONArtifact runs write-storm with -obs-json and checks
+// the emitted BENCH_service.json: valid schema, the gated families
+// present, every value a positive nanosecond quantity.
+func TestRunObsJSONArtifact(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{})
+	ts := httptest.NewServer(fleet.NewHTTPHandler(mgr))
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "BENCH_service.json")
+	cfg := config{
+		Config: loadgen.Config{
+			Addr:      ts.URL,
+			Instances: 2,
+			Spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 4},
+			Workers:   4,
+			Requests:  300,
+			Seed:      13,
+		},
+		scenario: "write-storm",
+		obsJSON:  path,
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "service SLO values") {
+		t.Errorf("report missing the obs artifact line:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art loadgen.ServiceArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v\n%s", err, data)
+	}
+	if art.Kind != "service" || art.Scenario != "write-storm" {
+		t.Fatalf("artifact header: kind=%q scenario=%q", art.Kind, art.Scenario)
+	}
+	families := map[string]bool{}
+	for _, b := range art.Benchmarks {
+		families[b.Family] = true
+		if b.Unit != "ns" || b.Value <= 0 {
+			t.Errorf("benchmark %s: value %v %s", b.Name, b.Value, b.Unit)
+		}
+	}
+	for _, want := range []string{"request_p99", "fsync_p99"} {
+		if !families[want] {
+			t.Errorf("artifact missing family %q; has %v", want, families)
+		}
 	}
 }

@@ -26,7 +26,8 @@
 // prefix (also on demand via POST /v1/compact), bounding replay length
 // and disk. -cache-admission guards the mapping cache with a
 // doorkeeper so one-off fault patterns are not admitted until seen
-// twice.
+// twice. -pprof-addr serves net/http/pprof on a second, separate
+// listener (keep it loopback-only); the API mux never exposes it.
 //
 // API (see internal/fleet/api.go for the full route table):
 //
@@ -54,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -72,11 +74,21 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", journal.DefaultSyncInterval, `sync period for -fsync interval`)
 	follow := flag.String("follow", "", "leader base URL; run as a read-only replica tailing its /v1/watch stream")
 	compactEvery := flag.Duration("compact-every", 0, "checkpoint-compact the journal on this period (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
 	flag.Parse()
 
 	mgr := fleet.NewManager(fleet.Options{CacheSize: *cacheSize, CacheAdmission: *cacheAdmission})
 	if _, err := openJournal(mgr, *journalPath, *fsyncMode, *fsyncEvery, log.Printf); err != nil {
 		log.Fatalf("ftnetd: %v", err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("ftnetd: serving pprof on %s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux()); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ftnetd: pprof server: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := context.WithCancel(context.Background())
@@ -185,6 +197,21 @@ func openJournal(mgr *fleet.Manager, path, fsyncMode string, interval time.Durat
 	mgr.SetJournal(jw)
 	logf("ftnetd: journaling epochs to %s (fsync %s)", path, policy)
 	return jw, nil
+}
+
+// pprofMux builds the -pprof-addr handler on its own mux: registering
+// the net/http/pprof handlers explicitly (instead of blank-importing
+// the package) keeps them off http.DefaultServeMux and entirely off
+// the API listener, so profiling exposure is opt-in and on a separate
+// — typically loopback-only — address.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // newServer builds the daemon's handler; split from main so the

@@ -599,3 +599,40 @@ func TestDaemonErrorPaths(t *testing.T) {
 	do(t, "GET", base+"/v1/instances/x/phi?x=abc", nil, http.StatusBadRequest, nil)
 	do(t, "GET", base+"/v1/instances/x/phi?x=99", nil, http.StatusBadRequest, nil)
 }
+
+// TestPprofMux pins the -pprof-addr contract: the profiling handlers
+// live on their own mux (index and the named profiles answer 200 with
+// recognizable content), and the API handler serves none of them — so
+// enabling profiling never widens the API surface.
+func TestPprofMux(t *testing.T) {
+	pp := httptest.NewServer(pprofMux())
+	defer pp.Close()
+	for path, want := range map[string]string{
+		"/debug/pprof/":          "Types of profiles available",
+		"/debug/pprof/cmdline":   "ftnetd",
+		"/debug/pprof/goroutine": "goroutine",
+	} {
+		resp, err := http.Get(pp.URL + path + "?debug=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		if path != "/debug/pprof/cmdline" && !strings.Contains(string(raw), want) {
+			t.Errorf("GET %s: body %q does not mention %q", path, raw, want)
+		}
+	}
+
+	api := newTestDaemon(t)
+	resp, err := http.Get(api.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("API mux serves /debug/pprof/ with %d, want 404", resp.StatusCode)
+	}
+}

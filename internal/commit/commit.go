@@ -40,8 +40,10 @@ import (
 	"path/filepath"
 	"slices"
 	"sync"
+	"time"
 
 	"ftnet/internal/journal"
+	"ftnet/internal/obs"
 )
 
 // Entry is one committed transition: the canonical journal record plus
@@ -50,9 +52,16 @@ import (
 // compaction) all carry the sequence number their state covers, so a
 // stream may open with several entries at one seq before resuming
 // strict +1 steps.
+//
+// At is the leader's commit wall-clock (unix nanoseconds), stamped
+// when the sequence number is assigned. It rides the watch stream so
+// followers can measure entry age, but it is NOT part of the canonical
+// journal record: entries replayed from disk (catch-up, recovery)
+// carry At == 0, and consumers must treat 0 as "age unknown".
 type Entry struct {
 	Seq uint64
 	Rec journal.Record
+	At  int64
 }
 
 // The subscription and commit error categories.
@@ -81,6 +90,11 @@ type Config struct {
 	// History caps the in-memory catch-up tail (<= 0 selects
 	// DefaultHistory).
 	History int
+	// Obs, when non-nil, receives the pipeline's stage-timing
+	// histograms (append, fsync wait, publish, fan-out). A nil registry
+	// still records into private histograms, so instrumentation has no
+	// branches on the hot path.
+	Obs *obs.Registry
 }
 
 // Stats is a point-in-time snapshot of the log's counters.
@@ -123,6 +137,16 @@ type Log struct {
 	compactions uint64
 	overflows   uint64
 
+	// Stage histograms, resolved once at construction — hot-path
+	// recording is branch-free atomic adds. The four stages partition
+	// one Commit call: sequencing + WAL buffering under the lock,
+	// the group-commit durability wait, the caller's snapshot publish,
+	// and the ready-prefix fan-out to subscribers.
+	appendHist *obs.Histogram
+	fsyncHist  *obs.Histogram
+	pubHist    *obs.Histogram
+	fanoutHist *obs.Histogram
+
 	done chan struct{} // closed by Close; unblocks catch-up pumps
 
 	// testHookBeforeSwap, when set, runs after the checkpoint temp file
@@ -145,6 +169,18 @@ func NewLog(cfg Config) *Log {
 	if l.history <= 0 {
 		l.history = DefaultHistory
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	l.appendHist = reg.Histogram("ftnet_commit_append_seconds",
+		"Time to assign a sequence number and buffer the WAL frame (under the ordering lock).")
+	l.fsyncHist = reg.Histogram("ftnet_commit_fsync_wait_seconds",
+		"Time a commit waits for its record to become durable (group-commit fsync stalls).")
+	l.pubHist = reg.Histogram("ftnet_commit_publish_seconds",
+		"Time in the caller's publish callback (snapshot pointer store).")
+	l.fanoutHist = reg.Histogram("ftnet_commit_fanout_seconds",
+		"Time delivering the in-order ready prefix to live subscribers.")
 	if cfg.Writer != nil {
 		l.SetWriter(cfg.Writer)
 	}
@@ -234,6 +270,7 @@ func (l *Log) histBaseLocked() uint64 {
 // transition must not be acknowledged: nothing was published or fanned
 // out, and the pipeline is poisoned exactly like the journal writer.
 func (l *Log) Commit(rec journal.Record, publish func()) (uint64, error) {
+	start := time.Now()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -255,9 +292,11 @@ func (l *Log) Commit(rec journal.Record, publish func()) (uint64, error) {
 	}
 	l.lastSeq++
 	seq := l.lastSeq
-	l.pending = append(l.pending, pendingEntry{e: Entry{Seq: seq, Rec: rec}})
+	l.pending = append(l.pending, pendingEntry{e: Entry{Seq: seq, Rec: rec, At: start.UnixNano()}})
 	w := l.w
 	l.mu.Unlock()
+	appended := time.Now()
+	l.appendHist.Observe(appended.Sub(start))
 
 	if w != nil {
 		if err := w.WaitDurable(wseq); err != nil {
@@ -277,9 +316,13 @@ func (l *Log) Commit(rec journal.Record, publish func()) (uint64, error) {
 			return 0, err
 		}
 	}
+	durable := time.Now()
+	l.fsyncHist.Observe(durable.Sub(appended))
 	if publish != nil {
 		publish()
 	}
+	published := time.Now()
+	l.pubHist.Observe(published.Sub(durable))
 
 	l.mu.Lock()
 	for i := range l.pending {
@@ -290,6 +333,7 @@ func (l *Log) Commit(rec journal.Record, publish func()) (uint64, error) {
 	}
 	l.flushReadyLocked()
 	l.mu.Unlock()
+	l.fanoutHist.Observe(time.Since(published))
 	return seq, nil
 }
 

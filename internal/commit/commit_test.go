@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ftnet/internal/journal"
+	"ftnet/internal/obs"
 )
 
 func trec(id string, epoch uint64, faults ...int) journal.Record {
@@ -444,4 +445,81 @@ func (f *failAfter) Write(p []byte) (int, error) {
 	}
 	f.n--
 	return len(p), nil
+}
+
+// TestStageHistogramsRecordPerCommit pins the observability contract:
+// each successful commit records exactly one sample in each of the four
+// stage histograms, and each entry carries the leader's commit
+// timestamp.
+func TestStageHistogramsRecordPerCommit(t *testing.T) {
+	reg := obs.New()
+	path := filepath.Join(t.TempDir(), "commit.wal")
+	w, err := journal.Create(path, journal.Options{Sync: journal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLog(Config{Writer: w, Obs: reg})
+	defer l.Close()
+
+	before := time.Now().UnixNano()
+	const commits = 25
+	published := 0
+	for i := 0; i < commits; i++ {
+		if _, err := l.Commit(trec(fmt.Sprintf("i%d", i), 1, i), func() { published++ }); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if published != commits {
+		t.Fatalf("publish ran %d times, want %d", published, commits)
+	}
+
+	e := reg.Export()
+	for _, name := range []string{
+		"ftnet_commit_append_seconds",
+		"ftnet_commit_fsync_wait_seconds",
+		"ftnet_commit_publish_seconds",
+		"ftnet_commit_fanout_seconds",
+	} {
+		h, ok := e.Find(name, "")
+		if !ok {
+			t.Fatalf("histogram %s not exported", name)
+		}
+		if h.Count != commits {
+			t.Errorf("%s recorded %d samples, want %d", name, h.Count, commits)
+		}
+	}
+
+	// Every committed entry is stamped with a plausible wall-clock.
+	sub, err := l.Subscribe(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for _, en := range collect(t, sub, commits) {
+		if en.At < before || en.At > time.Now().UnixNano() {
+			t.Fatalf("entry %d has implausible commit timestamp %d", en.Seq, en.At)
+		}
+	}
+}
+
+// TestCatchUpEntriesHaveNoTimestamp pins the At==0 contract for entries
+// replayed from the journal file: age is unknown, not zero.
+func TestCatchUpEntriesHaveNoTimestamp(t *testing.T) {
+	l, path := fileLog(t, journal.Options{Sync: journal.SyncAlways})
+	for i := 0; i < 3; i++ {
+		mustCommit(t, l, trec(fmt.Sprintf("i%d", i), 1, i))
+	}
+	got := 0
+	if _, err := scanFile(path, 1, 3, func(e Entry) bool {
+		if e.At != 0 {
+			t.Errorf("catch-up entry %d carries At=%d, want 0", e.Seq, e.At)
+		}
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("scanned %d entries, want 3", got)
+	}
 }

@@ -10,6 +10,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
+
+	"ftnet/internal/obs"
 )
 
 // This file is the HTTP/JSON surface of the Manager API, served by
@@ -36,6 +39,23 @@ import (
 // either every event in the batch applies and the epoch advances by
 // exactly one, or the first invalid event rejects the entire batch and
 // the instance is unchanged.
+//
+// Besides the fleet counters, /metrics exposes the service-level
+// histogram families (Prometheus cumulative buckets, seconds):
+//
+//	ftnet_http_request_seconds{route=...}   per-route request latency
+//	ftnet_http_inflight                     requests being served now
+//	ftnet_commit_append_seconds             seq assign + WAL buffer stage
+//	ftnet_commit_fsync_wait_seconds         group-commit durability wait
+//	ftnet_commit_publish_seconds            snapshot publish stage
+//	ftnet_commit_fanout_seconds             subscriber fan-out stage
+//	ftnet_compaction_pause_seconds          commits-gated compaction pause
+//	ftnet_replication_lag_seqs              follower: seqs behind leader
+//	ftnet_replication_entry_age_seconds     follower: leader-commit-to-apply age
+//
+// /v1/watch is excluded from the request-latency histogram (its
+// duration is the connection lifetime, not a latency) but counts
+// toward ftnet_http_inflight while the stream is open.
 
 // HandlerOptions tunes NewHTTPHandlerOpts.
 type HandlerOptions struct {
@@ -57,25 +77,53 @@ func NewHTTPHandler(mgr *Manager) http.Handler {
 // NewHTTPHandlerOpts returns the HTTP/JSON API with explicit options.
 func NewHTTPHandlerOpts(mgr *Manager, opts HandlerOptions) http.Handler {
 	s := &apiServer{mgr: mgr, opts: opts}
+	reg := mgr.Metrics()
+	reqHist := reg.HistogramVec("ftnet_http_request_seconds",
+		"HTTP request latency by route.", "route")
+	s.inflight = reg.Gauge("ftnet_http_inflight",
+		"HTTP requests currently being served (open watch streams included).")
+	// timed resolves the route's histogram once, at wiring time — the
+	// per-request cost is two gauge adds and one histogram observe, all
+	// allocation-free atomics.
+	timed := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		hist := reqHist.With(route)
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			s.inflight.Add(1)
+			h(w, r)
+			s.inflight.Add(-1)
+			hist.Observe(time.Since(start))
+		}
+	}
+	// inflightOnly tracks occupancy without a latency sample — the watch
+	// stream's "latency" would be its connection lifetime.
+	inflightOnly := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			s.inflight.Add(1)
+			h(w, r)
+			s.inflight.Add(-1)
+		}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/instances", s.mutating(s.createInstance))
-	mux.HandleFunc("GET /v1/instances", s.listInstances)
-	mux.HandleFunc("GET /v1/instances/{id}", s.getInstance)
-	mux.HandleFunc("DELETE /v1/instances/{id}", s.mutating(s.deleteInstance))
-	mux.HandleFunc("POST /v1/instances/{id}/events", s.mutating(s.postEvent))
-	mux.HandleFunc("POST /v1/instances/{id}/events:batch", s.mutating(s.postEventBatch))
-	mux.HandleFunc("GET /v1/instances/{id}/phi", s.getPhi)
-	mux.HandleFunc("GET /v1/watch", s.watch)
-	mux.HandleFunc("POST /v1/compact", s.compact)
-	mux.HandleFunc("GET /v1/stats", s.getStats)
-	mux.HandleFunc("GET /healthz", s.healthz)
-	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("POST /v1/instances", timed("create", s.mutating(s.createInstance)))
+	mux.HandleFunc("GET /v1/instances", timed("list", s.listInstances))
+	mux.HandleFunc("GET /v1/instances/{id}", timed("get", s.getInstance))
+	mux.HandleFunc("DELETE /v1/instances/{id}", timed("delete", s.mutating(s.deleteInstance)))
+	mux.HandleFunc("POST /v1/instances/{id}/events", timed("events", s.mutating(s.postEvent)))
+	mux.HandleFunc("POST /v1/instances/{id}/events:batch", timed("events_batch", s.mutating(s.postEventBatch)))
+	mux.HandleFunc("GET /v1/instances/{id}/phi", timed("phi", s.getPhi))
+	mux.HandleFunc("GET /v1/watch", inflightOnly(s.watch))
+	mux.HandleFunc("POST /v1/compact", timed("compact", s.compact))
+	mux.HandleFunc("GET /v1/stats", timed("stats", s.getStats))
+	mux.HandleFunc("GET /healthz", timed("healthz", s.healthz))
+	mux.HandleFunc("GET /metrics", timed("metrics", s.metrics))
 	return mux
 }
 
 type apiServer struct {
-	mgr  *Manager
-	opts HandlerOptions
+	mgr      *Manager
+	opts     HandlerOptions
+	inflight *obs.Gauge
 }
 
 // mutating guards a state-changing route against the read-only
@@ -282,10 +330,13 @@ func acceptsGzip(r *http.Request) bool {
 }
 
 // StatsResponse is the /v1/stats body: the manager's counters plus,
-// in follower mode, the replication loop's.
+// in follower mode, the replication loop's, plus the service-metrics
+// registry (request/stage/lag histograms with their quantiles) — the
+// section loadgen scrapes into BENCH_service.json.
 type StatsResponse struct {
 	Stats
 	Follower *FollowerStats `json:"follower,omitempty"`
+	Obs      *obs.Export    `json:"obs,omitempty"`
 }
 
 func (s *apiServer) getStats(w http.ResponseWriter, r *http.Request) {
@@ -294,6 +345,8 @@ func (s *apiServer) getStats(w http.ResponseWriter, r *http.Request) {
 		fs := s.opts.Follower.Stats()
 		resp.Follower = &fs
 	}
+	e := s.mgr.Metrics().Export()
+	resp.Obs = &e
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -365,4 +418,8 @@ func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
 	for i, sh := range st.Cache.Shards {
 		fmt.Fprintf(w, "ftnet_cache_shard_misses_total{shard=\"%d\"} %d\n", i, sh.Misses)
 	}
+	// The service-level registry: request-latency, commit-stage,
+	// replication-lag and compaction-pause families, histograms as
+	// cumulative le buckets.
+	s.mgr.Metrics().WritePrometheus(w)
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ftnet/internal/journal"
+	"ftnet/internal/obs"
 )
 
 // Follower tails a leader's GET /v1/watch commit stream and turns the
@@ -38,7 +39,16 @@ type Follower struct {
 	heartbeats atomic.Uint64
 	reconnects atomic.Uint64
 	resyncs    atomic.Uint64
+	leaderSeq  atomic.Uint64 // highest seq the leader has shown us (entries + heartbeats)
 	lastErr    atomic.Pointer[string]
+
+	// Replication observability, registered into the manager's metrics
+	// registry: how far behind the leader's stream we are (sequence
+	// numbers) and how stale each applied entry was (leader commit
+	// wall-clock to local apply; needs roughly-synchronized clocks, and
+	// is skipped for entries with no timestamp, e.g. journal catch-up).
+	lagGauge *obs.Gauge
+	ageHist  *obs.Histogram
 }
 
 // FollowerOptions tunes a Follower.
@@ -67,6 +77,8 @@ type FollowerStats struct {
 	Reconnects uint64 `json:"reconnects"` // streams (re)opened
 	Resyncs    uint64 `json:"resyncs"`    // checkpoint resynchronizations
 	LastSeq    uint64 `json:"last_seq"`   // local commit position
+	LeaderSeq  uint64 `json:"leader_seq"` // highest seq the leader has shown us
+	LagSeqs    int64  `json:"lag_seqs"`   // leader_seq - last_seq at the last stream event
 	LastError  string `json:"last_error,omitempty"`
 }
 
@@ -92,7 +104,30 @@ func NewFollower(mgr *Manager, leader string, opts FollowerOptions) (*Follower, 
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	return &Follower{mgr: mgr, leader: leader, opts: opts}, nil
+	reg := mgr.Metrics()
+	return &Follower{
+		mgr: mgr, leader: leader, opts: opts,
+		lagGauge: reg.Gauge("ftnet_replication_lag_seqs",
+			"Sequence numbers the local replica trails the leader's stream by."),
+		ageHist: reg.Histogram("ftnet_replication_entry_age_seconds",
+			"Age of each applied entry: leader commit wall-clock to local apply."),
+	}, nil
+}
+
+// observeStream records the replication-lag metrics after one stream
+// event: seq is the leader position the event revealed, and ts (when
+// non-zero) the leader's commit wall-clock for an entry just applied.
+func (f *Follower) observeStream(seq uint64, ts int64) {
+	for {
+		cur := f.leaderSeq.Load()
+		if seq <= cur || f.leaderSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	f.lagGauge.Set(int64(f.leaderSeq.Load()) - int64(f.mgr.CommitLog().LastSeq()))
+	if ts > 0 {
+		f.ageHist.Observe(time.Duration(time.Now().UnixNano() - ts))
+	}
 }
 
 // Stats returns the replication loop's counters.
@@ -105,7 +140,9 @@ func (f *Follower) Stats() FollowerStats {
 		Reconnects: f.reconnects.Load(),
 		Resyncs:    f.resyncs.Load(),
 		LastSeq:    f.mgr.CommitLog().LastSeq(),
+		LeaderSeq:  f.leaderSeq.Load(),
 	}
+	st.LagSeqs = f.lagGauge.Value()
 	if p := f.lastErr.Load(); p != nil {
 		st.LastError = *p
 	}
@@ -214,6 +251,9 @@ func (f *Follower) streamFrom(ctx context.Context, from uint64) error {
 			if err := applyStaged(); err != nil {
 				return err
 			}
+			// An idle heartbeat still reveals the leader's position: a
+			// lag that persists across heartbeats is real, not in-flight.
+			f.observeStream(we.Seq, 0)
 			continue
 		}
 		e, err := we.Entry()
@@ -238,6 +278,7 @@ func (f *Follower) streamFrom(ctx context.Context, from uint64) error {
 			return err
 		}
 		f.entries.Add(1)
+		f.observeStream(e.Seq, e.At)
 	}
 	if err := applyStaged(); err != nil {
 		return err

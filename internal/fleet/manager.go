@@ -11,6 +11,7 @@ import (
 
 	"ftnet/internal/commit"
 	"ftnet/internal/journal"
+	"ftnet/internal/obs"
 )
 
 // numShards is the number of independently-locked instance maps. A
@@ -38,6 +39,11 @@ type Options struct {
 	// CommitHistory caps the commit log's in-memory catch-up tail
 	// (<= 0 selects commit.DefaultHistory).
 	CommitHistory int
+	// Metrics, when non-nil, is the registry the manager's service
+	// metrics (commit stage timings, compaction pauses, and whatever
+	// the embedding layer adds) land in. Nil creates a private one, so
+	// tests and benchmarks need no wiring.
+	Metrics *obs.Registry
 }
 
 // Manager is the sharded registry that owns a fleet of instances behind
@@ -59,6 +65,9 @@ type Manager struct {
 	journalFailed atomic.Uint64                // transitions refused: journal/commit error
 	recovered     atomic.Pointer[RecoverStats] // last Recover result, for stats
 	compactions   atomic.Uint64                // successful Compact calls
+
+	obs       *obs.Registry  // service metrics registry; never nil
+	pauseHist *obs.Histogram // compaction pause (commits gated) duration
 }
 
 type shard struct {
@@ -69,6 +78,10 @@ type shard struct {
 // NewManager returns an empty manager with its shared mapping cache
 // and commit pipeline.
 func NewManager(opts Options) *Manager {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	m := &Manager{
 		seed: maphash.MakeSeed(),
 		cache: NewCacheConfig(CacheConfig{
@@ -76,7 +89,10 @@ func NewManager(opts Options) *Manager {
 			Shards:    opts.CacheShards,
 			Admission: opts.CacheAdmission,
 		}),
-		pipe: &pipeline{log: commit.NewLog(commit.Config{History: opts.CommitHistory})},
+		pipe: &pipeline{log: commit.NewLog(commit.Config{History: opts.CommitHistory, Obs: reg})},
+		obs:  reg,
+		pauseHist: reg.Histogram("ftnet_compaction_pause_seconds",
+			"Wall-clock time commits were gated during one checkpoint compaction."),
 	}
 	for i := range m.shards {
 		m.shards[i].instances = make(map[string]*Instance)
@@ -361,6 +377,13 @@ func (m *Manager) Stats() Stats {
 // facade and benchmarks).
 func (m *Manager) Cache() *Cache { return m.cache }
 
+// Metrics exposes the manager's service-metrics registry — the commit
+// pipeline's stage histograms and compaction pauses live here, and the
+// HTTP/follower layers register their request-latency and
+// replication-lag families into the same registry so /metrics and
+// /v1/stats see one coherent set.
+func (m *Manager) Metrics() *obs.Registry { return m.obs }
+
 // CompactStats reports one checkpoint compaction.
 type CompactStats struct {
 	Instances int     `json:"instances"` // checkpoint records written
@@ -407,7 +430,9 @@ func (m *Manager) Compact() (CompactStats, error) {
 		return CompactStats{}, err
 	}
 	m.compactions.Add(1)
-	return CompactStats{Instances: len(cps), Seq: seq, Seconds: time.Since(start).Seconds()}, nil
+	pause := time.Since(start)
+	m.pauseHist.Observe(pause)
+	return CompactStats{Instances: len(cps), Seq: seq, Seconds: pause.Seconds()}, nil
 }
 
 // ErrSeqGap is returned by ReplicateEntry when the forwarded entry's

@@ -35,6 +35,11 @@ type WatchEntry struct {
 	Applied   int    `json:"applied,omitempty"` // transition
 	Faults    []int  `json:"faults,omitempty"`  // transition / checkpoint
 	Heartbeat bool   `json:"heartbeat,omitempty"`
+	// Ts is the leader's commit wall-clock in unix nanoseconds, when
+	// known (live entries only — catch-up from the journal has no
+	// timestamp and omits the field). Followers subtract it from their
+	// own clock to estimate replication entry age.
+	Ts int64 `json:"ts,omitempty"`
 }
 
 // watchEntryFrom converts a commit entry to its wire form.
@@ -46,6 +51,7 @@ func watchEntryFrom(e commit.Entry) WatchEntry {
 		Epoch:   e.Rec.Epoch,
 		Applied: e.Rec.Applied,
 		Faults:  e.Rec.Faults,
+		Ts:      e.At,
 	}
 	if e.Rec.Op == journal.OpCreate || e.Rec.Op == journal.OpCheckpoint {
 		spec := Spec{Kind: Kind(e.Rec.Spec.Kind), M: e.Rec.Spec.M, H: e.Rec.Spec.H, K: e.Rec.Spec.K}
@@ -72,7 +78,7 @@ func (we WatchEntry) Entry() (commit.Entry, error) {
 	if we.Spec != nil {
 		rec.Spec = journal.Spec{Kind: string(we.Spec.Kind), M: we.Spec.M, H: we.Spec.H, K: we.Spec.K}
 	}
-	return commit.Entry{Seq: we.Seq, Rec: rec}, nil
+	return commit.Entry{Seq: we.Seq, Rec: rec, At: we.Ts}, nil
 }
 
 // Watch stream tuning: the default and the accepted bounds of the

@@ -22,6 +22,7 @@ import (
 
 	"ftnet/internal/fleet"
 	"ftnet/internal/ft"
+	"ftnet/internal/obs"
 )
 
 // Scenario names a traffic shape: what fraction of operations are
@@ -82,6 +83,11 @@ type Config struct {
 	// state, and leftovers from another scenario's traffic would make
 	// whole-rack bursts permanently rejectable.
 	IDPrefix string
+	// ScrapeObs fills Result.Service with the daemon's /v1/stats obs
+	// section after the run — the server-side histograms (request
+	// latency by route, commit stages, compaction pauses) the
+	// BENCH_service.json artifact is built from.
+	ScrapeObs bool
 }
 
 // Validate checks the run parameters.
@@ -123,6 +129,10 @@ type Result struct {
 	Elapsed         time.Duration
 	Latencies       []time.Duration // every successful operation, sorted
 	LookupLatencies []time.Duration // lookups only, sorted
+	// Service is the daemon's server-side metrics snapshot (request,
+	// commit-stage, lag and pause histograms), scraped after the run
+	// when Config.ScrapeObs is set; nil otherwise.
+	Service *obs.Export
 }
 
 // Ops returns the number of completed operations (lookups plus event
@@ -248,7 +258,15 @@ func Run(cfg Config) (Result, error) {
 	}
 	wg.Wait()
 
-	return mergeStats(perWorker, time.Since(start)), nil
+	res := mergeStats(perWorker, time.Since(start))
+	if cfg.ScrapeObs {
+		e, err := FetchObs(cfg.Addr)
+		if err != nil {
+			return res, err
+		}
+		res.Service = e
+	}
+	return res, nil
 }
 
 func sortDurations(d []time.Duration) {

@@ -81,6 +81,33 @@ func TestResultPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases covers the degenerate inputs: empty samples,
+// a single sample (every p returns it), and the p=0 / p=100 extremes
+// (the min and max, never out of range).
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil, 50) = %v, want 0", got)
+	}
+	single := []time.Duration{42}
+	for _, p := range []float64{0, 0.1, 50, 99, 99.9, 100} {
+		if got := percentile(single, p); got != 42 {
+			t.Errorf("single sample percentile(%v) = %v, want 42", p, got)
+		}
+	}
+	many := []time.Duration{5, 10, 15, 20}
+	if got := percentile(many, 0); got != 5 {
+		t.Errorf("p0 = %v, want the minimum 5", got)
+	}
+	if got := percentile(many, 100); got != 20 {
+		t.Errorf("p100 = %v, want the maximum 20", got)
+	}
+	// Lookup-side wrappers share the same core.
+	res := Result{LookupLatencies: []time.Duration{7}}
+	if got := res.LookupPercentile(99); got != 7 {
+		t.Errorf("LookupPercentile(99) on one sample = %v, want 7", got)
+	}
+}
+
 // TestRunScenarios drives every named scenario against an in-process
 // daemon and checks the accounting: no transport errors, every
 // operation measured, burst scenarios applying whole batches.

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/obs"
+)
+
+// This file is the CI-facing half of the observability layer: after a
+// run, the daemon's /v1/stats obs section (request-latency, commit
+// stage, replication-lag and compaction-pause histograms) is scraped
+// and distilled into a BENCH_service.json artifact that ftbenchdiff
+// gates against a committed baseline, the same way the Apply/Lookup
+// micro-bench artifact is gated.
+
+// ServiceBenchmark is one latency-valued entry of the service
+// artifact. Value is in Unit (always "ns" here) — ftbenchdiff compares
+// Value directly when Unit is set, instead of the ns_per_op column of
+// the micro-bench artifacts.
+type ServiceBenchmark struct {
+	Name   string  `json:"name"`
+	Family string  `json:"family"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+}
+
+// ServiceArtifact is the BENCH_service.json schema.
+type ServiceArtifact struct {
+	Kind       string             `json:"kind"` // "service"
+	Scenario   string             `json:"scenario"`
+	Benchmarks []ServiceBenchmark `json:"benchmarks"`
+}
+
+// FetchObs scrapes addr's /v1/stats and returns its obs section (nil
+// when the daemon predates it).
+func FetchObs(addr string) (*obs.Export, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(addr + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s/v1/stats: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s/v1/stats: status %d", addr, resp.StatusCode)
+	}
+	var st fleet.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s/v1/stats: %v", addr, err)
+	}
+	return st.Obs, nil
+}
+
+// BuildServiceArtifact distills the leader's (and optionally a
+// follower's) obs exports into the families the SLO gate watches:
+//
+//	request_p99              per-route request latency p99 (leader)
+//	fsync_p99                commit durability-wait p99 (leader)
+//	replication_lag_p99      applied-entry age p99 (follower)
+//	compaction_pause_max     worst commits-gated pause (leader)
+//
+// Families with no samples are omitted rather than emitted as zero, so
+// a baseline diff never treats "didn't happen" as "infinitely fast".
+func BuildServiceArtifact(scenario string, leader, follower *obs.Export) ServiceArtifact {
+	art := ServiceArtifact{Kind: "service", Scenario: scenario}
+	add := func(name, family string, v float64) {
+		art.Benchmarks = append(art.Benchmarks, ServiceBenchmark{
+			Name: name, Family: family, Value: v, Unit: "ns",
+		})
+	}
+	if leader != nil {
+		for _, h := range leader.Histograms {
+			if h.Name != "ftnet_http_request_seconds" || h.Count == 0 {
+				continue
+			}
+			route := strings.TrimPrefix(h.Label, "route=")
+			add("request_p99/"+route, "request_p99", h.P99NS)
+		}
+		if h, ok := leader.Find("ftnet_commit_fsync_wait_seconds", ""); ok && h.Count > 0 {
+			add("commit_fsync_wait_p99", "fsync_p99", h.P99NS)
+		}
+		if h, ok := leader.Find("ftnet_compaction_pause_seconds", ""); ok && h.Count > 0 {
+			add("compaction_pause_max", "compaction_pause_max", h.MaxNS)
+		}
+	}
+	if follower != nil {
+		if h, ok := follower.Find("ftnet_replication_entry_age_seconds", ""); ok && h.Count > 0 {
+			add("replication_entry_age_p99", "replication_lag_p99", h.P99NS)
+		}
+	}
+	return art
+}

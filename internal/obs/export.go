@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file is the read side of the registry: the Prometheus text
+// exposition (histograms as cumulative buckets, the format a scraper
+// expects) and the structured JSON export embedded in /v1/stats and
+// scraped by loadgen into BENCH_service.json artifacts.
+
+// Export is the JSON form of a registry snapshot. Durations are
+// float64 nanoseconds: integral for everything a histogram can hold,
+// and directly comparable to the ns/op numbers the bench artifacts
+// already gate on.
+type Export struct {
+	Counters   []CounterStat `json:"counters,omitempty"`
+	Gauges     []GaugeStat   `json:"gauges,omitempty"`
+	Histograms []HistStat    `json:"histograms,omitempty"`
+}
+
+// CounterStat is one exported counter.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"` // "key=value" when the family is labeled
+	Value uint64 `json:"value"`
+}
+
+// GaugeStat is one exported gauge.
+type GaugeStat struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// HistStat is one exported histogram: the count plus the quantiles the
+// SLO artifacts gate on.
+type HistStat struct {
+	Name   string  `json:"name"`
+	Label  string  `json:"label,omitempty"`
+	Count  uint64  `json:"count"`
+	SumNS  float64 `json:"sum_ns"`
+	P50NS  float64 `json:"p50_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	P999NS float64 `json:"p999_ns"`
+	MaxNS  float64 `json:"max_ns"`
+}
+
+// Find returns the first histogram stat matching name (and label, when
+// non-empty) — the lookup loadgen artifact building leans on.
+func (e *Export) Find(name, label string) (HistStat, bool) {
+	if e == nil {
+		return HistStat{}, false
+	}
+	for _, h := range e.Histograms {
+		if h.Name == name && (label == "" || h.Label == label) {
+			return h, true
+		}
+	}
+	return HistStat{}, false
+}
+
+// FindGauge returns the named gauge's value.
+func (e *Export) FindGauge(name string) (int64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	for _, g := range e.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// sortedFamilies returns the families in name order, snapshotting the
+// order slice under the lock so export can walk without holding it.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.sorted {
+		r.names = r.names[:0]
+		for name := range r.families {
+			r.names = append(r.names, name)
+		}
+		sort.Strings(r.names)
+		r.sorted = true
+	}
+	out := make([]*family, len(r.names))
+	for i, name := range r.names {
+		out[i] = r.families[name]
+	}
+	return out
+}
+
+// children returns one family's (labelValue, metric-key) pairs in
+// registration order, copied under the registry lock.
+func (r *Registry) children(f *family) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+// Export returns the JSON snapshot of every registered metric.
+func (r *Registry) Export() Export {
+	var e Export
+	for _, f := range r.sortedFamilies() {
+		for _, label := range r.children(f) {
+			qual := ""
+			if f.labelKey != "" && label != "" {
+				qual = f.labelKey + "=" + label
+			}
+			switch f.kind {
+			case kindCounter:
+				e.Counters = append(e.Counters, CounterStat{Name: f.name, Label: qual, Value: f.counters[label].Value()})
+			case kindGauge:
+				e.Gauges = append(e.Gauges, GaugeStat{Name: f.name, Label: qual, Value: f.gauges[label].Value()})
+			case kindHistogram:
+				s := f.histograms[label].Snapshot()
+				e.Histograms = append(e.Histograms, HistStat{
+					Name:   f.name,
+					Label:  qual,
+					Count:  s.Count,
+					SumNS:  float64(s.Sum),
+					P50NS:  float64(s.Quantile(50)),
+					P99NS:  float64(s.Quantile(99)),
+					P999NS: float64(s.Quantile(99.9)),
+					MaxNS:  float64(s.Max),
+				})
+			}
+		}
+	}
+	return e
+}
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Histograms are emitted as
+// cumulative le buckets in seconds — only up to the highest non-empty
+// bucket, plus the mandatory +Inf — with _sum and _count samples, so a
+// scraper reconstructs quantiles server-side.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.sortedFamilies() {
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
+			for _, label := range r.children(f) {
+				fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(f.labelKey, label, ""), f.counters[label].Value())
+			}
+		case kindGauge:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", f.name, f.help, f.name)
+			for _, label := range r.children(f) {
+				fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(f.labelKey, label, ""), f.gauges[label].Value())
+			}
+		case kindHistogram:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name)
+			for _, label := range r.children(f) {
+				s := f.histograms[label].Snapshot()
+				top := -1
+				for i, c := range s.Buckets {
+					if c > 0 {
+						top = i
+					}
+				}
+				var cum uint64
+				for i := 0; i <= top; i++ {
+					cum += s.Buckets[i]
+					le := strconv.FormatFloat(float64(upperNS(i))/1e9, 'g', -1, 64)
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(f.labelKey, label, le), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(f.labelKey, label, "+Inf"), cum)
+				fmt.Fprintf(w, "%s_sum%s %g\n", f.name, promLabels(f.labelKey, label, ""), float64(s.Sum)/1e9)
+				// _count must equal the +Inf bucket; sum the buckets rather
+				// than reading Count, which may lead them under concurrency.
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(f.labelKey, label, ""), cum)
+			}
+		}
+	}
+}
+
+// promLabels renders the {key="value",le="..."} label block, or "" when
+// there is nothing to say.
+func promLabels(key, value, le string) string {
+	switch {
+	case key != "" && value != "" && le != "":
+		return `{` + key + `="` + value + `",le="` + le + `"}`
+	case key != "" && value != "":
+		return `{` + key + `="` + value + `"}`
+	case le != "":
+		return `{le="` + le + `"}`
+	default:
+		return ""
+	}
+}
