@@ -23,6 +23,10 @@
 // signal the SLO gate exists for. Benchmarks present on only one side
 // are reported but not fatal (the suite is allowed to grow; a service
 // family like compaction_pause_max only exists when a compaction ran).
+// Entries whose unit ends in "/s" (e.g. lookups_per_sec from the RPC
+// plane) are higher-is-better: the gate fires when the new rate falls
+// short of the baseline by more than -threshold percent, improvements
+// never fail, and -floor (a duration) does not apply to them.
 // Time thresholds are inherently machine-sensitive: refresh the
 // committed baseline when the benchmark suite or the CI hardware
 // changes, and lean on the alloc check — which is machine-independent
@@ -162,12 +166,25 @@ func diff(oldArt, newArt Artifact, threshold float64, floor time.Duration, famil
 		if oldV > 0 {
 			delta = (newV - oldV) / oldV * 100
 		}
+		// Rate-valued entries (unit "ops/s" etc.) are higher-is-better:
+		// the regression is a throughput DROP, measured as how far new
+		// falls short of old. Everything else is a latency/duration where
+		// growth is the regression.
+		higherBetter := strings.HasSuffix(nb.Unit, "/s")
+		regress := delta
+		if higherBetter && newV > 0 {
+			regress = (oldV - newV) / newV * 100
+		}
 		mark := ""
 		if guarded(nb.Family, families) {
-			// A zero baseline has no meaningful percentage; and below the
-			// floor both sides are noise, not a latency regression.
-			compare := oldV > 0 && !(floor > 0 && oldV < float64(floor) && newV < float64(floor))
-			if compare && delta > threshold {
+			// A zero baseline has no meaningful percentage; the duration
+			// floor only applies to duration-valued entries — below it both
+			// sides are scheduler noise, not a latency regression.
+			compare := oldV > 0 && !(floor > 0 && !higherBetter && oldV < float64(floor) && newV < float64(floor))
+			if higherBetter && newV == 0 && oldV > 0 {
+				regress = threshold + 1 // throughput collapsed to zero
+			}
+			if compare && regress > threshold {
 				mark = "  REGRESSION"
 				unit := nb.Unit
 				if unit == "" {

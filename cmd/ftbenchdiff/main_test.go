@@ -104,6 +104,34 @@ func TestDiffFloorAbsorbsNoise(t *testing.T) {
 	}
 }
 
+func rbench(name, family string, value float64) Benchmark {
+	return Benchmark{Name: name, Family: family, Value: value, Unit: "ops/s"}
+}
+
+// TestDiffRateIsHigherBetter pins the direction-aware path for
+// "/s"-unit entries: a throughput drop fails, a throughput gain (a
+// large positive delta) never does, and the duration floor is ignored.
+func TestDiffRateIsHigherBetter(t *testing.T) {
+	old := art(rbench("lookups_per_sec", "lookups_per_sec", 1e6))
+	nw := art(rbench("lookups_per_sec", "lookups_per_sec", 5e6)) // 5x faster
+	_, failures := diff(old, nw, 25, 0, []string{"lookups_per_sec"})
+	if len(failures) != 0 {
+		t.Fatalf("throughput improvement failed the gate: %v", failures)
+	}
+
+	nw = art(rbench("lookups_per_sec", "lookups_per_sec", 0.5e6)) // halved
+	_, failures = diff(old, nw, 25, 25*time.Millisecond, []string{"lookups_per_sec"})
+	if len(failures) != 1 || !strings.Contains(failures[0], "ops/s") {
+		t.Fatalf("failures = %v, want one ops/s throughput regression", failures)
+	}
+
+	nw = art(rbench("lookups_per_sec", "lookups_per_sec", 0)) // collapsed
+	_, failures = diff(old, nw, 25, 0, []string{"lookups_per_sec"})
+	if len(failures) != 1 {
+		t.Fatalf("zero new rate passed the gate: %v", failures)
+	}
+}
+
 // TestDiffZeroBaselineSkipped pins that a zero old value (the family
 // existed but recorded nothing, e.g. no compaction ran when the
 // baseline was cut) never produces a division-flavored failure.

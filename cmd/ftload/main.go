@@ -47,6 +47,16 @@
 //	ftload -scenario write-storm -addr http://leader:8080 \
 //	       -follower http://replica:8081 -obs-json BENCH_service.json
 //
+// With -rpc the hot path (lookups and event batches) runs over the
+// binary RPC plane (internal/wire) instead of HTTP+JSON: persistent
+// pipelined connections to the daemon's -rpc-addr listener, lookups
+// vectorized into LookupBatch frames of -rpc-lookup-batch. Fleet
+// creation and verification stay on the JSON plane. RPC runs add
+// lookup_rpc_p99 and lookups_per_sec to the -obs-json artifact:
+//
+//	ftload -rpc -rpc-addr 127.0.0.1:9090 -scenario mixed \
+//	       -addr http://127.0.0.1:8080
+//
 // Rejected events (budget exhausted, repairing a healthy node, a burst
 // with one invalid event) are counted separately: they are the daemon
 // correctly enforcing the paper's k-fault precondition, not failures.
@@ -75,6 +85,7 @@ type config struct {
 	exec     string // daemon command line the restart scenario spawns and kills
 	follower string // follower base URL to verify convergence against after the run
 	obsJSON  string // path to write the BENCH_service.json SLO artifact to
+	rpc      bool   // drive the hot path over the binary RPC plane
 }
 
 func main() {
@@ -94,9 +105,17 @@ func main() {
 	flag.StringVar(&cfg.exec, "exec", "", `daemon command line for -scenario restart (ftload spawns, SIGKILLs and restarts it)`)
 	flag.StringVar(&cfg.follower, "follower", "", `follower base URL; after the run, require it to converge with -addr (same epochs, bit-identical phi)`)
 	flag.StringVar(&cfg.obsJSON, "obs-json", "", `write a BENCH_service.json SLO artifact here: request p99 by route, fsync p99, replication lag p99 (needs -follower), compaction pause max — scraped from /v1/stats after the run`)
+	var rpcAddr string
+	flag.BoolVar(&cfg.rpc, "rpc", false, "drive lookups and event batches over the binary RPC plane (internal/wire) instead of HTTP+JSON")
+	flag.StringVar(&rpcAddr, "rpc-addr", "127.0.0.1:9090", "host:port of the daemon's -rpc-addr listener (used with -rpc)")
+	flag.IntVar(&cfg.RPCLookupBatch, "rpc-lookup-batch", loadgen.DefaultRPCLookupBatch, "lookups vectorized per LookupBatch frame on the RPC plane (1 = scalar Lookup)")
+	flag.IntVar(&cfg.RPCConns, "rpc-conns", 0, "pipelined connections per RPC client (0 = wire default)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "rng seed")
 	flag.Parse()
 	cfg.Spec.Kind = fleet.Kind(kind)
+	if cfg.rpc {
+		cfg.RPCAddr = rpcAddr
+	}
 
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "ftload: %v\n", err)
@@ -123,8 +142,9 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 	report(out, cfg, res)
-	if res.Errors > 0 {
-		return fmt.Errorf("%d operations failed", res.Errors)
+	if res.Transport > 0 || res.Errors > 0 {
+		return fmt.Errorf("%d transport errors, %d operations failed with unexpected status",
+			res.Transport, res.Errors)
 	}
 	if cfg.follower != "" {
 		fv, err := loadgen.VerifyFollower(cfg.Addr, cfg.follower, cfg.Config.InstanceIDs(), 30*time.Second)
@@ -154,7 +174,7 @@ func writeObsArtifact(cfg config, res loadgen.Result, out io.Writer) error {
 		}
 		followerObs = e
 	}
-	art := loadgen.BuildServiceArtifact(cfg.Scenario.Name, res.Service, followerObs)
+	art := loadgen.BuildServiceArtifact(cfg.Scenario.Name, &res, res.Service, followerObs)
 	if len(art.Benchmarks) == 0 {
 		return fmt.Errorf("obs artifact is empty: the daemon exported no service histograms")
 	}
@@ -167,7 +187,11 @@ func writeObsArtifact(cfg config, res loadgen.Result, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "  obs          %d service SLO values -> %s\n", len(art.Benchmarks), cfg.obsJSON)
 	for _, b := range art.Benchmarks {
-		fmt.Fprintf(out, "    %-28s %v\n", b.Name, time.Duration(b.Value).Round(time.Microsecond))
+		if b.Unit == "ns" {
+			fmt.Fprintf(out, "    %-28s %v\n", b.Name, time.Duration(b.Value).Round(time.Microsecond))
+		} else {
+			fmt.Fprintf(out, "    %-28s %.0f %s\n", b.Name, b.Value, b.Unit)
+		}
 	}
 	return nil
 }
@@ -225,8 +249,8 @@ func runRestart(cfg config, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "ftload: restart scenario against %s\n", cfg.Addr)
-	fmt.Fprintf(out, "  storm        %d transitions acked (%d rejected, %d errors after the kill) in %v\n",
-		res.Storm.Batches, res.Storm.Rejected, res.Storm.Errors, res.Storm.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  storm        %d transitions acked (%d rejected, %d transport + %d other errors after the kill) in %v\n",
+		res.Storm.Batches, res.Storm.Rejected, res.Storm.Transport, res.Storm.Errors, res.Storm.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "  downtime     %v (SIGKILL to healthy)\n", res.Downtime.Round(time.Millisecond))
 	fmt.Fprintf(out, "  recovered    %d/%d instances verified\n", res.Verified, cfg.Instances)
 	for _, id := range sortedKeys(res.Acked) {
@@ -270,8 +294,12 @@ func report(out io.Writer, cfg config, res loadgen.Result) {
 	fmt.Fprintf(out, "  lookups      %d\n", res.Lookups)
 	fmt.Fprintf(out, "  events       %d applied in %d transitions, %d rejected (budget/state enforcement)\n",
 		res.Events, res.Batches, res.Rejected)
-	fmt.Fprintf(out, "  errors       %d\n", res.Errors)
+	fmt.Fprintf(out, "  errors       %d transport, %d unexpected-status\n", res.Transport, res.Errors)
 	fmt.Fprintf(out, "  throughput   %.0f ops/s\n", res.Throughput())
+	if res.RPC && res.Lookups > 0 {
+		fmt.Fprintf(out, "  rpc lookups  %.0f lookups/s (LookupBatch of %d over %s)\n",
+			res.LookupThroughput(), cfg.RPCLookupBatch, cfg.RPCAddr)
+	}
 	fmt.Fprintf(out, "  latency      p50 %v  p90 %v  p99 %v  max %v\n",
 		res.Percentile(50), res.Percentile(90), res.Percentile(99), res.Percentile(100))
 	if cfg.Scenario.Writers > 0 && len(res.LookupLatencies) > 0 {

@@ -28,6 +28,11 @@
 // doorkeeper so one-off fault patterns are not admitted until seen
 // twice. -pprof-addr serves net/http/pprof on a second, separate
 // listener (keep it loopback-only); the API mux never exposes it.
+// -rpc-addr additionally serves the hot path (Lookup, LookupBatch,
+// ApplyBatch) over the length-prefixed binary RPC plane
+// (internal/wire) on a persistent-connection TCP listener — same
+// manager, same journal, same metrics registry; on a -follow replica
+// the RPC plane is read-only like the HTTP plane.
 //
 // API (see internal/fleet/api.go for the full route table):
 //
@@ -54,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -63,6 +69,7 @@ import (
 
 	"ftnet/internal/fleet"
 	"ftnet/internal/journal"
+	"ftnet/internal/wire"
 )
 
 func main() {
@@ -75,6 +82,7 @@ func main() {
 	follow := flag.String("follow", "", "leader base URL; run as a read-only replica tailing its /v1/watch stream")
 	compactEvery := flag.Duration("compact-every", 0, "checkpoint-compact the journal on this period (0 disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
+	rpcAddr := flag.String("rpc-addr", "", "binary RPC plane listen address for the hot path (empty disables)")
 	flag.Parse()
 
 	mgr := fleet.NewManager(fleet.Options{CacheSize: *cacheSize, CacheAdmission: *cacheAdmission})
@@ -108,6 +116,24 @@ func main() {
 		go compactLoop(ctx, mgr, *compactEvery, log.Printf)
 	}
 
+	var rpcSrv *wire.Server
+	if *rpcAddr != "" {
+		ln, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			log.Fatalf("ftnetd: rpc listen: %v", err)
+		}
+		rpcSrv = wire.NewServer(mgr, wire.ServerOptions{
+			ReadOnly: *follow != "",
+			Metrics:  mgr.Metrics(),
+		})
+		go func() {
+			if err := rpcSrv.Serve(ln); err != nil {
+				log.Printf("ftnetd: rpc server: %v", err)
+			}
+		}()
+		log.Printf("ftnetd: serving the binary RPC plane on %s", *rpcAddr)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServerOpts(mgr, fleet.HandlerOptions{ReadOnly: *follow != "", Follower: follower}),
@@ -129,6 +155,9 @@ func main() {
 		stop() // ends the follower and compaction loops; closes watch streams below
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if rpcSrv != nil {
+			rpcSrv.Close()
+		}
 		mgr.Close() // ends watch streams so Shutdown's drain can finish
 		done <- srv.Shutdown(sctx)
 	}()

@@ -260,7 +260,8 @@ type PhiResponse struct {
 
 func (s *apiServer) getPhi(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if xs := r.URL.Query().Get("x"); xs != "" {
+	q := r.URL.Query()
+	if xs := q.Get("x"); xs != "" {
 		x, err := strconv.Atoi(xs)
 		if err != nil {
 			writeError(w, fmt.Errorf("bad x %q: %v", xs, err))
@@ -279,12 +280,41 @@ func (s *apiServer) getPhi(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", id))
 		return
 	}
+	// ?from=&count= selects a window of the dense embedding — the
+	// JSON-plane twin of the wire plane's LookupBatch. from defaults to
+	// 0, count to the rest of the instance; count is clamped to the end,
+	// so paginating in fixed steps never errors on the last page.
+	from, count, windowed := 0, in.NTarget(), false
+	if fs := q.Get("from"); fs != "" {
+		v, err := strconv.Atoi(fs)
+		if err != nil || v < 0 {
+			writeError(w, fmt.Errorf("bad from %q", fs))
+			return
+		}
+		from, windowed = v, true
+	}
+	if cs := q.Get("count"); cs != "" {
+		v, err := strconv.Atoi(cs)
+		if err != nil || v < 0 {
+			writeError(w, fmt.Errorf("bad count %q", cs))
+			return
+		}
+		count, windowed = v, true
+	}
+	if from > in.NTarget() {
+		writeError(w, fmt.Errorf("from %d beyond %d target nodes", from, in.NTarget()))
+		return
+	}
+	if count > in.NTarget()-from {
+		count = in.NTarget() - from
+	}
 	// The dense endpoint streams the embedding straight from the
 	// snapshot iterator: no O(n) slice materialization, no O(n) JSON
 	// value tree — a million-node instance answers from O(k) state plus
-	// the response buffer. When the client advertises gzip the stream
-	// is compressed on the fly (same zero-buffer shape, the encoder in
-	// the middle): a million near-sequential integers squeeze well.
+	// the response buffer, and a window answers from the window alone.
+	// When the client advertises gzip the stream is compressed on the
+	// fly (same zero-buffer shape, the encoder in the middle): a
+	// million near-sequential integers squeeze well.
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Vary", "Accept-Encoding")
 	var out io.Writer = w
@@ -296,15 +326,28 @@ func (s *apiServer) getPhi(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	bw := bufio.NewWriter(out)
-	bw.WriteString(`{"phi":[`)
 	var scratch [20]byte
-	in.RangePhi(func(x, phi int) bool {
-		if x > 0 {
+	if windowed {
+		bw.WriteString(`{"from":`)
+		bw.Write(strconv.AppendInt(scratch[:0], int64(from), 10))
+		bw.WriteString(`,"count":`)
+		bw.Write(strconv.AppendInt(scratch[:0], int64(count), 10))
+		bw.WriteString(`,"phi":[`)
+	} else {
+		bw.WriteString(`{"phi":[`)
+	}
+	emit := func(x, phi int) bool {
+		if x > from {
 			bw.WriteByte(',')
 		}
 		bw.Write(strconv.AppendInt(scratch[:0], int64(phi), 10))
 		return true
-	})
+	}
+	if windowed {
+		in.RangePhiWindow(from, count, emit)
+	} else {
+		in.RangePhi(emit)
+	}
 	bw.WriteString("]}\n")
 	bw.Flush()
 }

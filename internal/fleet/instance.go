@@ -80,6 +80,10 @@ type stripedCounter struct {
 
 func (c *stripedCounter) Add(key int) { c.stripes[key&7].n.Add(1) }
 
+// AddN counts a whole batch with one atomic (the vectorized lookup
+// path).
+func (c *stripedCounter) AddN(key, n int) { c.stripes[key&7].n.Add(uint64(n)) }
+
 func (c *stripedCounter) Load() uint64 {
 	var sum uint64
 	for i := range c.stripes {
@@ -317,6 +321,56 @@ func (in *Instance) Lookup(x int) (int, error) {
 	return in.snap.Load().Phi(x), nil
 }
 
+// LookupEpoch is Lookup plus the epoch of the snapshot that answered —
+// one atomic pointer load covers both, so the pair is consistent.
+func (in *Instance) LookupEpoch(x int) (int, uint64, error) {
+	if x < 0 || x >= in.nTarget {
+		return 0, 0, fmt.Errorf("fleet: instance %s: target node %d out of range [0,%d)",
+			in.id, x, in.nTarget)
+	}
+	in.lookups.Add(x)
+	if in.psi != nil {
+		x = in.psi[x]
+	}
+	s := in.snap.Load()
+	return s.Phi(x), s.Epoch(), nil
+}
+
+// LookupBatch resolves a whole vector of targets against one snapshot:
+// phis[i] answers xs[i], and the returned epoch covers the entire
+// batch (a concurrent writer's new epoch is seen by all entries or
+// none). phis must have len(xs); any out-of-range target rejects the
+// batch before any entry is written.
+func (in *Instance) LookupBatch(xs, phis []int) (uint64, error) {
+	if len(phis) != len(xs) {
+		return 0, fmt.Errorf("fleet: instance %s: phis has len %d, want %d", in.id, len(phis), len(xs))
+	}
+	for _, x := range xs {
+		if x < 0 || x >= in.nTarget {
+			return 0, fmt.Errorf("fleet: instance %s: target node %d out of range [0,%d)",
+				in.id, x, in.nTarget)
+		}
+	}
+	if len(xs) > 0 {
+		in.lookups.AddN(xs[0], len(xs))
+	}
+	s := in.snap.Load()
+	if in.psi != nil {
+		for i, x := range xs {
+			phis[i] = s.Phi(in.psi[x])
+		}
+	} else {
+		for i, x := range xs {
+			phis[i] = s.Phi(x)
+		}
+	}
+	return s.Epoch(), nil
+}
+
+// NTarget returns the number of target nodes (the valid lookup domain
+// [0, NTarget)).
+func (in *Instance) NTarget() int { return in.nTarget }
+
 // Mapping returns the current reconfiguration map over host identities.
 // Mappings are immutable, so the result stays valid (for its epoch)
 // after later events. Note that for KindShuffle the map is indexed by
@@ -356,6 +410,26 @@ func (in *Instance) RangePhi(fn func(x, phi int) bool) {
 	}
 	for x := 0; x < in.nTarget; x++ {
 		if !fn(x, m.Phi(in.psi[x])) {
+			return
+		}
+	}
+}
+
+// RangePhiWindow calls fn(x, phi) for x = from, from+1, ...,
+// from+count-1 against one immutable snapshot, stopping early if fn
+// returns false — the iterator behind the paginated dense endpoint.
+// The caller validates the window against NTarget. Unlike RangePhi's
+// full sweep, a window answers each element by rank search (O(log k)),
+// so a narrow page of a million-node instance costs the page, not the
+// instance.
+func (in *Instance) RangePhiWindow(from, count int, fn func(x, phi int) bool) {
+	m := in.Mapping()
+	for x := from; x < from+count; x++ {
+		hx := x
+		if in.psi != nil {
+			hx = in.psi[x]
+		}
+		if !fn(x, m.Phi(hx)) {
 			return
 		}
 	}

@@ -206,6 +206,18 @@ func (m *Manager) Get(id string) (*Instance, bool) {
 	return in, ok
 }
 
+// GetBytes is Get for an id held as a byte slice — the binary wire
+// plane's path, which decodes ids as payload subslices. It performs no
+// allocation: maphash.Bytes matches maphash.String, and the map index
+// conversion does not escape.
+func (m *Manager) GetBytes(id []byte) (*Instance, bool) {
+	s := &m.shards[maphash.Bytes(m.seed, id)%numShards]
+	s.mu.RLock()
+	in, ok := s.instances[string(id)]
+	s.mu.RUnlock()
+	return in, ok
+}
+
 // Delete removes the instance with the given id, reporting whether it
 // existed. The delete record is committed first; if that fails the
 // instance stays registered, so memory never gets ahead of the log.
@@ -259,6 +271,23 @@ func (m *Manager) EventBatch(id string, events []Event) (EventResult, error) {
 	if !ok {
 		return EventResult{}, errorf(ErrNotFound, "fleet: no instance %q", id)
 	}
+	return m.applyBatch(in, events)
+}
+
+// EventBatchBytes is EventBatch for an id held as bytes (the wire
+// plane's path).
+func (m *Manager) EventBatchBytes(id []byte, events []Event) (EventResult, error) {
+	in, ok := m.GetBytes(id)
+	if !ok {
+		return EventResult{}, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	return m.applyBatch(in, events)
+}
+
+// applyBatch applies a burst to a resolved instance and maintains the
+// fleet-wide accept/reject counters — the shared tail of EventBatch
+// and EventBatchBytes.
+func (m *Manager) applyBatch(in *Instance, events []Event) (EventResult, error) {
 	res, err := in.ApplyBatch(events)
 	if err != nil {
 		switch {
@@ -290,6 +319,40 @@ func (m *Manager) Lookup(id string, x int) (int, error) {
 	}
 	m.lookups.Add(x)
 	return phi, nil
+}
+
+// LookupEpochBytes is the wire plane's Lookup: the id arrives as a
+// payload subslice, and the answer carries the epoch of the snapshot
+// that produced it. Allocation-free on the happy path.
+func (m *Manager) LookupEpochBytes(id []byte, x int) (int, uint64, error) {
+	in, ok := m.GetBytes(id)
+	if !ok {
+		return 0, 0, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	phi, epoch, err := in.LookupEpoch(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	m.lookups.Add(x)
+	return phi, epoch, nil
+}
+
+// LookupBatchBytes resolves a whole vector of targets against one
+// snapshot of the named instance, filling phis (len(xs)) and returning
+// that snapshot's epoch. Allocation-free on the happy path.
+func (m *Manager) LookupBatchBytes(id []byte, xs, phis []int) (uint64, error) {
+	in, ok := m.GetBytes(id)
+	if !ok {
+		return 0, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	epoch, err := in.LookupBatch(xs, phis)
+	if err != nil {
+		return 0, err
+	}
+	if len(xs) > 0 {
+		m.lookups.AddN(xs[0], len(xs))
+	}
+	return epoch, nil
 }
 
 // List returns the sorted ids of all registered instances.

@@ -12,6 +12,7 @@ package loadgen
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"ftnet/internal/fleet"
 	"ftnet/internal/ft"
 	"ftnet/internal/obs"
+	"ftnet/internal/wire"
 )
 
 // Scenario names a traffic shape: what fraction of operations are
@@ -88,7 +90,26 @@ type Config struct {
 	// latency by route, commit stages, compaction pauses) the
 	// BENCH_service.json artifact is built from.
 	ScrapeObs bool
+	// RPCAddr switches the data plane: when non-empty, lookups and
+	// event bursts travel the binary RPC plane at this TCP address
+	// (host:port). The control plane — instance creation, health
+	// checks, verification, stats scraping — stays on the JSON API at
+	// Addr.
+	RPCAddr string
+	// RPCLookupBatch vectorizes RPC reads: each lookup op issues one
+	// LookupBatch frame carrying this many targets (<= 1 issues single
+	// Lookup frames; 0 selects DefaultRPCLookupBatch). Every resolved
+	// target counts as one lookup.
+	RPCLookupBatch int
+	// RPCConns sets the wire client's connection pool size (0 selects
+	// a small pool so the run exercises pipelining, not a
+	// connection-per-worker).
+	RPCConns int
 }
+
+// DefaultRPCLookupBatch is the vector width of RPC-plane lookups when
+// Config.RPCLookupBatch is unset.
+const DefaultRPCLookupBatch = 16
 
 // Validate checks the run parameters.
 func (cfg Config) Validate() error {
@@ -121,12 +142,14 @@ func (cfg Config) Validate() error {
 // sorted; LookupLatencies is the read-side subset, the distribution a
 // write-storm run exists to measure.
 type Result struct {
-	Lookups         int // successful phi queries
-	Events          int // individual events applied (bursts count each event)
-	Batches         int // accepted event transitions
-	Rejected        int // rejected transitions (budget/state enforcement)
-	Errors          int // transport or unexpected-status failures
-	Elapsed         time.Duration
+	Lookups   int // successful phi queries
+	Events    int // individual events applied (bursts count each event)
+	Batches   int // accepted event transitions
+	Rejected  int // rejected transitions (budget/state enforcement)
+	Errors    int // unexpected application failures (bad status, not connection trouble)
+	Transport int // connection-level failures: dial, reset, timeout
+	RPC       bool // the run drove the binary RPC plane
+	Elapsed   time.Duration
 	Latencies       []time.Duration // every successful operation, sorted
 	LookupLatencies []time.Duration // lookups only, sorted
 	// Service is the daemon's server-side metrics snapshot (request,
@@ -145,6 +168,16 @@ func (r Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.Ops()) / r.Elapsed.Seconds()
+}
+
+// LookupThroughput returns resolved lookups per second — on the RPC
+// plane a vectorized op resolves many, so this is the figure the
+// lookups_per_sec SLO family records.
+func (r Result) LookupThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Lookups) / r.Elapsed.Seconds()
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of the
@@ -184,6 +217,7 @@ type opStats struct {
 	batches    int
 	rejected   int
 	errors     int
+	transport  int
 	eventLats  []time.Duration
 	lookupLats []time.Duration
 }
@@ -224,6 +258,23 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// The RPC plane shares one pooled wire client across all workers:
+	// a few persistent connections carrying everyone's pipelined
+	// requests is the shape the plane is built for, not a connection
+	// per worker.
+	var rc *wire.Client
+	if cfg.RPCAddr != "" {
+		rc, err = wire.Dial(cfg.RPCAddr, wire.Options{Conns: cfg.RPCConns})
+		if err != nil {
+			return Result{}, fmt.Errorf("loadgen: rpc plane unreachable: %v", err)
+		}
+		defer rc.Close()
+	}
+	lookupBatch := cfg.RPCLookupBatch
+	if lookupBatch == 0 {
+		lookupBatch = DefaultRPCLookupBatch
+	}
+
 	nTarget, nHost := TargetHostSizes(cfg.Spec)
 	perWorker := make([]opStats, cfg.Workers)
 	var wg sync.WaitGroup
@@ -240,16 +291,18 @@ func Run(cfg Config) (Result, error) {
 			defer wg.Done()
 			st := &perWorker[w]
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			var scratch rpcScratch
 			writer := w < cfg.Scenario.Writers // role-split mode: first workers are dedicated writers
 			for i := 0; i < n; i++ {
 				id := ids[rng.Intn(len(ids))]
+				events := writer || (cfg.Scenario.Writers == 0 && rng.Float64() < cfg.Scenario.EventFrac)
 				switch {
-				case writer:
+				case events && rc != nil:
+					driveEventsRPC(rc, id, rng, nHost, cfg.Scenario.Batch, st)
+				case events:
 					driveEvents(client, cfg.Addr, id, rng, nHost, cfg.Scenario.Batch, st)
-				case cfg.Scenario.Writers > 0:
-					driveLookup(client, cfg.Addr, id, rng.Intn(nTarget), st)
-				case rng.Float64() < cfg.Scenario.EventFrac:
-					driveEvents(client, cfg.Addr, id, rng, nHost, cfg.Scenario.Batch, st)
+				case rc != nil:
+					driveLookupRPC(rc, id, rng, nTarget, lookupBatch, &scratch, st)
 				default:
 					driveLookup(client, cfg.Addr, id, rng.Intn(nTarget), st)
 				}
@@ -259,6 +312,7 @@ func Run(cfg Config) (Result, error) {
 	wg.Wait()
 
 	res := mergeStats(perWorker, time.Since(start))
+	res.RPC = rc != nil
 	if cfg.ScrapeObs {
 		e, err := FetchObs(cfg.Addr)
 		if err != nil {
@@ -319,23 +373,7 @@ func TargetHostSizes(spec fleet.Spec) (nTarget, nHost int) {
 // event) are the daemon correctly enforcing the paper's k-fault
 // precondition, not failures.
 func driveEvents(client *http.Client, addr, id string, rng *rand.Rand, nHost, batch int, st *opStats) {
-	events := make([]fleet.Event, batch)
-	kind := fleet.EventFault
-	if rng.Intn(2) == 0 {
-		kind = fleet.EventRepair
-	}
-	if batch == 1 {
-		events[0] = fleet.Event{Kind: kind, Node: rng.Intn(nHost)}
-	} else {
-		racks := nHost / batch
-		if racks > 4 {
-			racks = 4 // small working set: rack failures recur
-		}
-		base := rng.Intn(racks) * batch
-		for i := range events {
-			events[i] = fleet.Event{Kind: kind, Node: base + i}
-		}
-	}
+	events := makeEvents(rng, nHost, batch)
 	var url string
 	var body []byte
 	if batch == 1 {
@@ -348,7 +386,7 @@ func driveEvents(client *http.Client, addr, id string, rng *rand.Rand, nHost, ba
 	t0 := time.Now()
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		st.errors++
+		st.transport++
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
@@ -371,7 +409,7 @@ func driveLookup(client *http.Client, addr, id string, x int, st *opStats) {
 	t0 := time.Now()
 	resp, err := client.Get(fmt.Sprintf("%s/v1/instances/%s/phi?x=%d", addr, id, x))
 	if err != nil {
-		st.errors++
+		st.transport++
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
@@ -382,4 +420,113 @@ func driveLookup(client *http.Client, addr, id string, x int, st *opStats) {
 	}
 	st.lookups++
 	st.lookupLats = append(st.lookupLats, time.Since(t0))
+}
+
+// makeEvents builds one reconfiguration op's events — the traffic
+// shape shared by both planes: a random single event for batch 1, a
+// whole "rack" of adjacent nodes for bursts, drawn from a small
+// working set so fault patterns recur and hit the mapping cache.
+func makeEvents(rng *rand.Rand, nHost, batch int) []fleet.Event {
+	events := make([]fleet.Event, batch)
+	kind := fleet.EventFault
+	if rng.Intn(2) == 0 {
+		kind = fleet.EventRepair
+	}
+	if batch == 1 {
+		events[0] = fleet.Event{Kind: kind, Node: rng.Intn(nHost)}
+		return events
+	}
+	racks := nHost / batch
+	if racks > 4 {
+		racks = 4 // small working set: rack failures recur
+	}
+	base := rng.Intn(racks) * batch
+	for i := range events {
+		events[i] = fleet.Event{Kind: kind, Node: base + i}
+	}
+	return events
+}
+
+// rpcScratch is a worker's reusable lookup vectors, so the RPC read
+// loop allocates nothing per op.
+type rpcScratch struct {
+	xs   []int
+	phis []int
+}
+
+func (s *rpcScratch) size(n int) {
+	if cap(s.xs) < n {
+		s.xs = make([]int, n)
+		s.phis = make([]int, n)
+	}
+	s.xs, s.phis = s.xs[:n], s.phis[:n]
+}
+
+// driveEventsRPC is driveEvents over the wire plane: one ApplyBatch
+// frame per op, classified exactly like the HTTP status mapping —
+// conflict/budget/invalid are the daemon enforcing the paper's k-fault
+// precondition, transport failures are counted apart.
+func driveEventsRPC(rc *wire.Client, id string, rng *rand.Rand, nHost, batch int, st *opStats) {
+	events := makeEvents(rng, nHost, batch)
+	t0 := time.Now()
+	_, err := rc.ApplyBatch(id, events)
+	switch {
+	case err == nil:
+		st.batches++
+		st.events += batch
+		st.eventLats = append(st.eventLats, time.Since(t0))
+	case wire.IsTransport(err):
+		st.transport++
+	case rejectedByStateMachine(err):
+		st.rejected++
+		st.eventLats = append(st.eventLats, time.Since(t0))
+	default:
+		st.errors++
+	}
+}
+
+// rejectedByStateMachine mirrors the HTTP plane's 409/400 bucket:
+// budget, conflict, and invalid-input rejections are expected
+// enforcement, not failures.
+func rejectedByStateMachine(err error) bool {
+	if errors.Is(err, fleet.ErrConflict) { // covers ErrBudget, which wraps it
+		return true
+	}
+	var werr *wire.Error
+	return errors.As(err, &werr) && werr.Status == wire.StatusInvalid
+}
+
+// driveLookupRPC issues one vectorized read: a LookupBatch frame of
+// `batch` random targets against one instance (one latency sample,
+// `batch` lookups), or a single Lookup frame when batch <= 1.
+func driveLookupRPC(rc *wire.Client, id string, rng *rand.Rand, nTarget, batch int, scratch *rpcScratch, st *opStats) {
+	if batch <= 1 {
+		t0 := time.Now()
+		if _, _, err := rc.Lookup(id, rng.Intn(nTarget)); err != nil {
+			countRPCFailure(err, st)
+			return
+		}
+		st.lookups++
+		st.lookupLats = append(st.lookupLats, time.Since(t0))
+		return
+	}
+	scratch.size(batch)
+	for i := range scratch.xs {
+		scratch.xs[i] = rng.Intn(nTarget)
+	}
+	t0 := time.Now()
+	if _, err := rc.LookupBatch(id, scratch.xs, scratch.phis); err != nil {
+		countRPCFailure(err, st)
+		return
+	}
+	st.lookups += batch
+	st.lookupLats = append(st.lookupLats, time.Since(t0))
+}
+
+func countRPCFailure(err error, st *opStats) {
+	if wire.IsTransport(err) {
+		st.transport++
+	} else {
+		st.errors++
+	}
 }

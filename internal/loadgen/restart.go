@@ -13,6 +13,7 @@ import (
 
 	"ftnet/internal/fleet"
 	"ftnet/internal/ft"
+	"ftnet/internal/wire"
 )
 
 // The restart scenario is the durability probe: storm a journaled
@@ -82,6 +83,18 @@ func RunRestart(cfg RestartConfig) (RestartResult, error) {
 	if err != nil {
 		return RestartResult{}, err
 	}
+	// With RPCAddr set the storm travels the binary RPC plane; the
+	// ack-watermark contract is identical (ApplyBatch returns the
+	// committed epoch), and the kill manifests as transport errors on
+	// the wire client instead of failed POSTs.
+	var rc *wire.Client
+	if cfg.RPCAddr != "" {
+		rc, err = wire.Dial(cfg.RPCAddr, wire.Options{Conns: cfg.RPCConns})
+		if err != nil {
+			return RestartResult{}, fmt.Errorf("loadgen: rpc plane unreachable: %v", err)
+		}
+		defer rc.Close()
+	}
 
 	// Storm: every worker posts atomic bursts and records the highest
 	// epoch the daemon acknowledged per instance. Any worker crossing
@@ -115,7 +128,11 @@ func RunRestart(cfg RestartConfig) (RestartResult, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			for i := 0; i < n && !stopped.Load(); i++ {
 				id := ids[rng.Intn(len(ids))]
-				driveBatchAcked(client, cfg.Addr, id, rng, nHost, cfg.Scenario.Batch, st, acked[id])
+				if rc != nil {
+					driveBatchAckedRPC(rc, id, rng, nHost, cfg.Scenario.Batch, st, acked[id])
+				} else {
+					driveBatchAcked(client, cfg.Addr, id, rng, nHost, cfg.Scenario.Batch, st, acked[id])
+				}
 				if ops.Add(1) >= threshold {
 					killOnce.Do(func() {
 						stopped.Store(true)
@@ -237,27 +254,12 @@ func verifyRecovered(client *http.Client, addr, id string, spec fleet.Spec, acke
 // and records the acknowledged epoch. Transport errors are expected
 // once the daemon is killed, so they are counted but not fatal.
 func driveBatchAcked(client *http.Client, addr, id string, rng *rand.Rand, nHost, batch int, st *opStats, acked *atomic.Uint64) {
-	events := make([]fleet.Event, batch)
-	kind := fleet.EventFault
-	if rng.Intn(2) == 0 {
-		kind = fleet.EventRepair
-	}
-	racks := nHost / batch
-	if racks > 4 {
-		racks = 4
-	}
-	if racks < 1 {
-		racks = 1
-	}
-	base := rng.Intn(racks) * batch
-	for i := range events {
-		events[i] = fleet.Event{Kind: kind, Node: base + i}
-	}
+	events := makeEvents(rng, nHost, batch)
 	body, _ := json.Marshal(fleet.BatchRequest{Events: events})
 	t0 := time.Now()
 	resp, err := client.Post(addr+"/v1/instances/"+id+"/events:batch", "application/json", bytes.NewReader(body))
 	if err != nil {
-		st.errors++
+		st.transport++
 		return
 	}
 	defer resp.Body.Close()
@@ -268,14 +270,7 @@ func driveBatchAcked(client *http.Client, addr, id string, rng *rand.Rand, nHost
 			st.errors++
 			return
 		}
-		// The ack watermark: any epoch the daemon confirmed must survive
-		// the kill. CAS-max keeps the highest under concurrency.
-		for {
-			cur := acked.Load()
-			if evr.Epoch <= cur || acked.CompareAndSwap(cur, evr.Epoch) {
-				break
-			}
-		}
+		ackMax(acked, evr.Epoch)
 		st.batches++
 		st.events += batch
 		st.eventLats = append(st.eventLats, time.Since(t0))
@@ -286,6 +281,42 @@ func driveBatchAcked(client *http.Client, addr, id string, rng *rand.Rand, nHost
 	default:
 		io.Copy(io.Discard, resp.Body)
 		st.errors++
+	}
+}
+
+// driveBatchAckedRPC is driveBatchAcked over the wire plane. An
+// ApplyBatch that dies in transport is NOT acked and NOT replayed (the
+// client guarantees the latter), which is exactly the durability
+// contract the verification phase checks: only confirmed epochs must
+// survive.
+func driveBatchAckedRPC(rc *wire.Client, id string, rng *rand.Rand, nHost, batch int, st *opStats, acked *atomic.Uint64) {
+	events := makeEvents(rng, nHost, batch)
+	t0 := time.Now()
+	res, err := rc.ApplyBatch(id, events)
+	switch {
+	case err == nil:
+		ackMax(acked, res.Epoch)
+		st.batches++
+		st.events += batch
+		st.eventLats = append(st.eventLats, time.Since(t0))
+	case wire.IsTransport(err):
+		st.transport++
+	case rejectedByStateMachine(err):
+		st.rejected++
+		st.eventLats = append(st.eventLats, time.Since(t0))
+	default:
+		st.errors++
+	}
+}
+
+// ackMax CAS-maxes the ack watermark: any epoch the daemon confirmed
+// must survive the kill.
+func ackMax(acked *atomic.Uint64, epoch uint64) {
+	for {
+		cur := acked.Load()
+		if epoch <= cur || acked.CompareAndSwap(cur, epoch) {
+			return
+		}
 	}
 }
 
@@ -300,6 +331,7 @@ func mergeStats(perWorker []opStats, elapsed time.Duration) Result {
 		total.Batches += st.batches
 		total.Rejected += st.rejected
 		total.Errors += st.errors
+		total.Transport += st.transport
 		total.Latencies = append(total.Latencies, st.eventLats...)
 		total.Latencies = append(total.Latencies, st.lookupLats...)
 		total.LookupLatencies = append(total.LookupLatencies, st.lookupLats...)

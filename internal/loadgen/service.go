@@ -55,21 +55,27 @@ func FetchObs(addr string) (*obs.Export, error) {
 	return st.Obs, nil
 }
 
-// BuildServiceArtifact distills the leader's (and optionally a
-// follower's) obs exports into the families the SLO gate watches:
+// BuildServiceArtifact distills one run — the client-side Result plus
+// the leader's (and optionally a follower's) obs exports — into the
+// families the SLO gate watches:
 //
 //	request_p99              per-route request latency p99 (leader)
 //	fsync_p99                commit durability-wait p99 (leader)
 //	replication_lag_p99      applied-entry age p99 (follower)
 //	compaction_pause_max     worst commits-gated pause (leader)
+//	lookup_rpc_p99           client-observed RPC lookup op p99 (RPC runs)
+//	rpc_op_p99               server-side RPC handling p99 by op (RPC runs)
+//	lookups_per_sec          resolved lookups per second (RPC runs; ops/s,
+//	                         higher is better — ftbenchdiff flags drops)
 //
 // Families with no samples are omitted rather than emitted as zero, so
 // a baseline diff never treats "didn't happen" as "infinitely fast".
-func BuildServiceArtifact(scenario string, leader, follower *obs.Export) ServiceArtifact {
+// res may be nil (a scrape-only artifact).
+func BuildServiceArtifact(scenario string, res *Result, leader, follower *obs.Export) ServiceArtifact {
 	art := ServiceArtifact{Kind: "service", Scenario: scenario}
-	add := func(name, family string, v float64) {
+	add := func(name, family string, v float64, unit string) {
 		art.Benchmarks = append(art.Benchmarks, ServiceBenchmark{
-			Name: name, Family: family, Value: v, Unit: "ns",
+			Name: name, Family: family, Value: v, Unit: unit,
 		})
 	}
 	if leader != nil {
@@ -78,18 +84,33 @@ func BuildServiceArtifact(scenario string, leader, follower *obs.Export) Service
 				continue
 			}
 			route := strings.TrimPrefix(h.Label, "route=")
-			add("request_p99/"+route, "request_p99", h.P99NS)
+			add("request_p99/"+route, "request_p99", h.P99NS, "ns")
+		}
+		for _, h := range leader.Histograms {
+			if h.Name != "ftnet_rpc_op_seconds" || h.Count == 0 {
+				continue
+			}
+			op := strings.TrimPrefix(h.Label, "op=")
+			add("rpc_op_p99/"+op, "rpc_op_p99", h.P99NS, "ns")
 		}
 		if h, ok := leader.Find("ftnet_commit_fsync_wait_seconds", ""); ok && h.Count > 0 {
-			add("commit_fsync_wait_p99", "fsync_p99", h.P99NS)
+			add("commit_fsync_wait_p99", "fsync_p99", h.P99NS, "ns")
 		}
 		if h, ok := leader.Find("ftnet_compaction_pause_seconds", ""); ok && h.Count > 0 {
-			add("compaction_pause_max", "compaction_pause_max", h.MaxNS)
+			add("compaction_pause_max", "compaction_pause_max", h.MaxNS, "ns")
 		}
 	}
 	if follower != nil {
 		if h, ok := follower.Find("ftnet_replication_entry_age_seconds", ""); ok && h.Count > 0 {
-			add("replication_entry_age_p99", "replication_lag_p99", h.P99NS)
+			add("replication_entry_age_p99", "replication_lag_p99", h.P99NS, "ns")
+		}
+	}
+	if res != nil && res.RPC {
+		if len(res.LookupLatencies) > 0 {
+			add("lookup_rpc_p99", "lookup_rpc_p99", float64(res.LookupPercentile(99)), "ns")
+		}
+		if res.Lookups > 0 {
+			add("lookups_per_sec", "lookups_per_sec", res.LookupThroughput(), "ops/s")
 		}
 	}
 	return art

@@ -40,7 +40,7 @@ func TestScrapeObsAndBuildArtifact(t *testing.T) {
 		t.Error("commit stage histograms missing from the scrape")
 	}
 
-	art := BuildServiceArtifact("write-storm", res.Service, nil)
+	art := BuildServiceArtifact("write-storm", &res, res.Service, nil)
 	if art.Kind != "service" || art.Scenario != "write-storm" {
 		t.Fatalf("artifact header: %+v", art)
 	}
@@ -71,7 +71,7 @@ func TestScrapeObsAndBuildArtifact(t *testing.T) {
 	freg := obs.New()
 	freg.Histogram("ftnet_replication_entry_age_seconds", "age").Observe(1)
 	fexp := freg.Export()
-	art = BuildServiceArtifact("write-storm", res.Service, &fexp)
+	art = BuildServiceArtifact("write-storm", &res, res.Service, &fexp)
 	found := false
 	for _, b := range art.Benchmarks {
 		if b.Family == "replication_lag_p99" {

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"testing"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/obs"
+)
+
+// TestWireLookupServerAllocs guards the hot path's allocation budget
+// with observability enabled: a steady-state Lookup must cost the
+// server at most 2 allocs/op end to end through handle (decode,
+// manager lookup, metrics, response encode), and the manager's
+// bytes-keyed lookup itself must be allocation-free — the properties
+// the ~10x-over-JSON throughput claim rests on.
+func TestWireLookupServerAllocs(t *testing.T) {
+	mgr := fleet.NewManager(fleet.Options{})
+	spec := fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2}
+	if _, err := mgr.Create("prod", spec); err != nil {
+		t.Fatal(err)
+	}
+
+	id := []byte("prod")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, err := mgr.LookupEpochBytes(id, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Manager.LookupEpochBytes: %.1f allocs/op, want 0", allocs)
+	}
+
+	xs := []int{0, 1, 2, 3}
+	phis := make([]int, len(xs))
+	allocs = testing.AllocsPerRun(1000, func() {
+		if _, err := mgr.LookupBatchBytes(id, xs, phis); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Manager.LookupBatchBytes: %.1f allocs/op, want 0", allocs)
+	}
+
+	// The full server handle path, metrics registry attached, over a
+	// pre-framed request — exactly what serveConn does per frame minus
+	// the socket I/O.
+	srv := NewServer(mgr, ServerOptions{Metrics: obs.New()})
+	c := &srvConn{s: srv}
+	payload, err := AppendRequest(nil, Request{Type: MsgLookup, Seq: 1, ID: "prod", X: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		out, ok := c.handle(payload, c.out[:0])
+		if !ok {
+			t.Fatal("handle rejected a valid lookup")
+		}
+		c.out = out
+	})
+	if allocs > 2 {
+		t.Errorf("srvConn.handle(Lookup): %.1f allocs/op, want <= 2", allocs)
+	}
+
+	bpayload, err := AppendRequest(nil, Request{Type: MsgLookupBatch, Seq: 2, ID: "prod", Xs: xs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		out, ok := c.handle(bpayload, c.out[:0])
+		if !ok {
+			t.Fatal("handle rejected a valid lookup batch")
+		}
+		c.out = out
+	})
+	if allocs > 2 {
+		t.Errorf("srvConn.handle(LookupBatch): %.1f allocs/op, want <= 2", allocs)
+	}
+}

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/obs"
+)
+
+func benchServer(b *testing.B) (string, func()) {
+	b.Helper()
+	mgr := fleet.NewManager(fleet.Options{})
+	spec := fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 6, K: 4}
+	if _, err := mgr.Create("bench", spec); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(mgr, ServerOptions{Metrics: obs.New()})
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }
+}
+
+// BenchmarkWireLookup measures a single pipelined Lookup round trip
+// over real loopback TCP, many goroutines sharing the pooled client —
+// the RPC plane's end-to-end per-op figure the README compares against
+// the JSON plane.
+func BenchmarkWireLookup(b *testing.B) {
+	addr, stop := benchServer(b)
+	defer stop()
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	var x atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := c.Lookup("bench", int(x.Add(1)%64)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkWireLookupBatch measures the vectorized read path: one
+// frame each way resolves 16 targets, the shape loadgen's RPC driver
+// uses.
+func BenchmarkWireLookupBatch(b *testing.B) {
+	addr, stop := benchServer(b)
+	defer stop()
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		xs := make([]int, 16)
+		phis := make([]int, 16)
+		for i := range xs {
+			xs[i] = i * 3 % 64
+		}
+		for pb.Next() {
+			if _, err := c.LookupBatch("bench", xs, phis); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

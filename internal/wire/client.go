@@ -1,0 +1,498 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftnet/internal/fleet"
+)
+
+// Options tunes Dial.
+type Options struct {
+	// Conns is the connection pool size (default DefaultConns). Many
+	// callers sharing few connections is the intended shape: requests
+	// pipeline down each connection and complete out of order, so one
+	// connection sustains many in-flight callers.
+	Conns int
+	// Timeout bounds one round trip, send to matched response (default
+	// DefaultTimeout).
+	Timeout time.Duration
+	// DialTimeout bounds connection establishment (default Timeout).
+	DialTimeout time.Duration
+}
+
+// The option defaults.
+const (
+	DefaultConns   = 2
+	DefaultTimeout = 30 * time.Second
+)
+
+// Client speaks the binary RPC plane: a fixed pool of persistent
+// connections, each carrying many pipelined in-flight requests tagged
+// with sequence numbers and completed out of order by a reader
+// goroutine. Callers' encoded frames accumulate in a shared write
+// buffer and are flushed in groups (the journal's group-commit shape),
+// so concurrent callers share syscalls on the way out the same way the
+// server coalesces them on the way back.
+//
+// A connection that fails is failed as a whole — every pending call
+// gets a TransportError — and is re-dialed lazily on next use.
+// Idempotent reads (Lookup, LookupBatch) retry once on a fresh
+// connection; ApplyBatch is never resent after a transport failure,
+// because the burst may have been applied before the connection died.
+// All methods are safe for concurrent use.
+type Client struct {
+	addr string
+	opts Options
+	next atomic.Uint64
+	pool []*connSlot
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type connSlot struct {
+	mu sync.Mutex
+	cc *clientConn
+}
+
+// Dial connects to a wire server. The first connection is established
+// eagerly so a bad address fails here, not on the first call.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = DefaultConns
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = opts.Timeout
+	}
+	c := &Client{addr: addr, opts: opts, pool: make([]*connSlot, opts.Conns)}
+	for i := range c.pool {
+		c.pool[i] = &connSlot{}
+	}
+	cc, err := dialConn(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.pool[0].cc = cc
+	return c, nil
+}
+
+// Close hangs up every pooled connection; in-flight calls fail with a
+// TransportError.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	for _, s := range c.pool {
+		s.mu.Lock()
+		if s.cc != nil {
+			s.cc.fail(errors.New("client closed"))
+			s.cc = nil
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Lookup answers where target node x of instance id runs now, plus the
+// epoch of the snapshot that answered.
+func (c *Client) Lookup(id string, x int) (phi int, epoch uint64, err error) {
+	ca := getCall(MsgLookup)
+	defer putCall(ca)
+	err = c.roundTrip(Request{Type: MsgLookup, ID: id, X: x}, ca, true)
+	return ca.phi, ca.epoch, err
+}
+
+// LookupBatch resolves xs in one frame each way, writing the answers
+// into phis (which must have len(xs)) and returning the epoch of the
+// single snapshot that answered the whole batch.
+func (c *Client) LookupBatch(id string, xs, phis []int) (epoch uint64, err error) {
+	if len(phis) != len(xs) {
+		return 0, fmt.Errorf("wire: phis has len %d, want %d", len(phis), len(xs))
+	}
+	ca := getCall(MsgLookupBatch)
+	ca.phis = phis
+	defer putCall(ca)
+	err = c.roundTrip(Request{Type: MsgLookupBatch, ID: id, Xs: xs}, ca, true)
+	return ca.epoch, err
+}
+
+// ApplyBatch applies a whole fault burst as one atomic transition.
+// After a TransportError the burst's fate is unknown (it may have
+// committed just before the connection died) and it is NOT resent;
+// the caller decides whether re-applying is safe.
+func (c *Client) ApplyBatch(id string, events []fleet.Event) (fleet.EventResult, error) {
+	ca := getCall(MsgApplyBatch)
+	defer putCall(ca)
+	err := c.roundTrip(Request{Type: MsgApplyBatch, ID: id, Events: events}, ca, false)
+	return ca.result, err
+}
+
+// roundTrip sends req on a pooled connection and waits for its
+// response. Transport failures retry once on a fresh connection for
+// idempotent requests only; dial failures (nothing sent) retry for
+// everything.
+func (c *Client) roundTrip(req Request, ca *call, idempotent bool) error {
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		var cc *clientConn
+		if cc, err = c.conn(); err != nil {
+			continue // nothing was sent; a retry is safe for any request
+		}
+		if err = cc.do(req, ca); err == nil || !IsTransport(err) {
+			return err
+		}
+		if !idempotent {
+			return err
+		}
+	}
+	return err
+}
+
+// conn returns a live pooled connection, re-dialing its slot if the
+// previous one failed.
+func (c *Client) conn() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, transportErrf("client closed")
+	}
+	c.mu.Unlock()
+	s := c.pool[c.next.Add(1)%uint64(len(c.pool))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cc != nil {
+		s.cc.mu.Lock()
+		dead := s.cc.err != nil
+		s.cc.mu.Unlock()
+		if !dead {
+			return s.cc, nil
+		}
+		s.cc = nil
+	}
+	cc, err := dialConn(c.addr, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.cc = cc
+	return cc, nil
+}
+
+// call is one in-flight request's completion slot, pooled across
+// calls. done is buffered so the reader never blocks handing off a
+// result.
+type call struct {
+	done   chan error
+	t      MsgType
+	phi    int
+	epoch  uint64
+	phis   []int // LookupBatch: caller-provided destination
+	result fleet.EventResult
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan error, 1)} }}
+
+func getCall(t MsgType) *call {
+	ca := callPool.Get().(*call)
+	ca.t = t
+	return ca
+}
+
+func putCall(ca *call) {
+	// Drain a result that raced in after its caller gave up (timeout),
+	// so a reused call never sees a stale completion.
+	select {
+	case <-ca.done:
+	default:
+	}
+	ca.phis = nil
+	callPool.Put(ca)
+}
+
+// clientConn is one pooled connection: a writer side that group-flushes
+// the shared accumulation buffer, and a reader goroutine that matches
+// response frames to pending calls by sequence number.
+type clientConn struct {
+	nc      net.Conn
+	timeout time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond // waits for the in-progress flush to finish
+	wbuf     []byte     // frames accumulated since the last flush
+	spare    []byte     // the other half of the ping-pong buffer pair
+	flushing bool
+	seq      uint64
+	pending  map[uint64]*call
+	err      error // first failure; set once, fails all pending
+}
+
+func dialConn(addr string, opts Options) (*clientConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, &TransportError{Err: err}
+	}
+	cc := &clientConn{nc: nc, timeout: opts.Timeout, pending: make(map[uint64]*call)}
+	cc.cond = sync.NewCond(&cc.mu)
+	go cc.readLoop()
+	return cc, nil
+}
+
+// do encodes req into the shared buffer, registers ca under a fresh
+// sequence number, flushes, and waits for the reader (or a failure, or
+// the deadline) to complete ca.
+func (cc *clientConn) do(req Request, ca *call) error {
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return &TransportError{Err: err}
+	}
+	cc.seq++
+	req.Seq = cc.seq
+	mark := len(cc.wbuf)
+	cc.wbuf = appendFrameHeader(cc.wbuf)
+	buf, err := AppendRequest(cc.wbuf, req)
+	if err != nil {
+		cc.wbuf = cc.wbuf[:mark]
+		cc.mu.Unlock()
+		return err // invalid input, not a transport failure
+	}
+	sealFrame(buf, mark)
+	cc.wbuf = buf
+	cc.pending[req.Seq] = ca
+	seq := req.Seq
+	cc.mu.Unlock()
+	// A flush failure fails the whole connection, which delivers a
+	// TransportError to every pending call — including this one — so
+	// the wait below completes either way.
+	cc.flush()
+	return cc.wait(seq, ca)
+}
+
+// flush writes the accumulated frames in groups: one flusher at a time
+// swaps the buffer pair and writes outside the lock while later
+// callers' frames accumulate in the other buffer (the journal's
+// group-commit shape). Callers loop until their own frame — appended
+// before they got here — is on the wire or the connection has failed.
+func (cc *clientConn) flush() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for {
+		if cc.err != nil || len(cc.wbuf) == 0 {
+			return
+		}
+		if cc.flushing {
+			cc.cond.Wait()
+			continue
+		}
+		cc.flushing = true
+		buf := cc.wbuf
+		cc.wbuf = cc.spare[:0]
+		cc.mu.Unlock()
+		cc.nc.SetWriteDeadline(time.Now().Add(cc.timeout))
+		_, werr := cc.nc.Write(buf)
+		cc.mu.Lock()
+		cc.spare = buf[:0]
+		cc.flushing = false
+		cc.cond.Broadcast()
+		if werr != nil {
+			cc.failLocked(werr)
+			return
+		}
+	}
+}
+
+// wait blocks until the reader completes ca or the round-trip deadline
+// passes. On timeout the pending entry is withdrawn under the lock; if
+// the reader already claimed it, the raced-in completion is taken
+// instead, so the call slot is always quiescent when wait returns.
+func (cc *clientConn) wait(seq uint64, ca *call) error {
+	timer := time.NewTimer(cc.timeout)
+	defer timer.Stop()
+	select {
+	case err := <-ca.done:
+		return err
+	case <-timer.C:
+		cc.mu.Lock()
+		_, still := cc.pending[seq]
+		if still {
+			delete(cc.pending, seq)
+		}
+		cc.mu.Unlock()
+		if !still {
+			return <-ca.done
+		}
+		return transportErrf("no response to %v seq %d within %v", ca.t, seq, cc.timeout)
+	}
+}
+
+// readLoop is the connection's single reader: it decodes response
+// frames and completes the matching pending call, in whatever order
+// the server answered.
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.nc, readBufSize)
+	var hdr [frameHeaderSize]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			cc.fail(err)
+			return
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if size > MaxFrame {
+			cc.fail(fmt.Errorf("frame of %d bytes exceeds limit", size))
+			return
+		}
+		if cap(buf) < int(size) {
+			buf = make([]byte, size)
+		}
+		buf = buf[:size]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			cc.fail(err)
+			return
+		}
+		if crc32.Checksum(buf, castagnoli) != want {
+			cc.fail(errors.New("response frame CRC mismatch"))
+			return
+		}
+		if err := cc.dispatch(buf); err != nil {
+			cc.fail(err)
+			return
+		}
+	}
+}
+
+// dispatch decodes one response payload into its pending call. A
+// payload that does not decode, or answers with the wrong type, is
+// protocol corruption: the connection is failed (the caller returns
+// the error).
+func (cc *clientConn) dispatch(payload []byte) error {
+	if len(payload) < 3 {
+		return errors.New("short response payload")
+	}
+	if payload[0] != Version {
+		return fmt.Errorf("unknown response version %d", payload[0])
+	}
+	t := MsgType(payload[1])
+	d := &cursor{b: payload, off: 2}
+	seq, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	cc.mu.Lock()
+	ca := cc.pending[seq]
+	delete(cc.pending, seq)
+	cc.mu.Unlock()
+	if ca == nil {
+		return nil // the caller timed out and withdrew; drop the late answer
+	}
+	if t != ca.t {
+		err := fmt.Errorf("response type %v to a %v request", t, ca.t)
+		ca.done <- &TransportError{Err: err}
+		return err
+	}
+	if err := decodeInto(ca, d); err != nil {
+		ca.done <- &TransportError{Err: err}
+		return err
+	}
+	return nil
+}
+
+// decodeInto finishes decoding a response body into ca's result fields
+// and completes it. The cursor discipline matches DecodeResponse; the
+// split exists so LookupBatch answers land directly in the caller's
+// phis slice instead of an allocated one.
+func decodeInto(ca *call, d *cursor) error {
+	st, err := d.byteVal()
+	if err != nil {
+		return err
+	}
+	if Status(st) != StatusOK {
+		if !validStatus(Status(st)) {
+			return fmt.Errorf("unknown response status %d", st)
+		}
+		msg, err := d.str()
+		if err != nil || !d.done() {
+			return errors.New("malformed error response")
+		}
+		ca.done <- &Error{Status: Status(st), Msg: msg}
+		return nil
+	}
+	switch ca.t {
+	case MsgLookup:
+		if ca.phi, err = d.intVal(); err != nil {
+			return err
+		}
+		if ca.epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+	case MsgLookupBatch:
+		if ca.epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+		n, err := d.count()
+		if err != nil {
+			return err
+		}
+		if n != len(ca.phis) {
+			return fmt.Errorf("lookup batch answered %d of %d entries", n, len(ca.phis))
+		}
+		for i := range ca.phis {
+			if ca.phis[i], err = d.intVal(); err != nil {
+				return err
+			}
+		}
+	case MsgApplyBatch:
+		r := &ca.result
+		if r.Epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+		if r.NumFaults, err = d.intVal(); err != nil {
+			return err
+		}
+		if r.Budget, err = d.intVal(); err != nil {
+			return err
+		}
+		if r.Applied, err = d.intVal(); err != nil {
+			return err
+		}
+	}
+	if !d.done() {
+		return errors.New("trailing bytes after response body")
+	}
+	ca.done <- nil
+	return nil
+}
+
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	cc.failLocked(err)
+	cc.mu.Unlock()
+}
+
+// failLocked marks the connection dead exactly once, closes it (which
+// also stops the reader), and fails every pending call.
+func (cc *clientConn) failLocked(err error) {
+	if cc.err != nil {
+		return
+	}
+	cc.err = err
+	cc.nc.Close()
+	for seq, ca := range cc.pending {
+		delete(cc.pending, seq)
+		ca.done <- &TransportError{Err: err}
+	}
+	cc.cond.Broadcast()
+}

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"ftnet/internal/fleet"
+)
+
+// FuzzWireDecode pins the codec's two safety properties on arbitrary
+// bytes: neither decoder ever panics, and the accepted language is
+// exactly the canonical encodings — any payload a decoder accepts must
+// re-encode byte-for-byte, so there are no two wire forms of one
+// message (the journal codec's discipline, applied to the RPC plane).
+func FuzzWireDecode(f *testing.F) {
+	seed := [][]byte{
+		{}, {Version}, {Version, byte(MsgLookup)},
+		{0xff, 0xff, 0xff, 0xff},
+	}
+	reqs := []Request{
+		{Type: MsgLookup, Seq: 1, ID: "prod", X: 7},
+		{Type: MsgLookupBatch, Seq: 9, ID: "a", Xs: []int{0, 1, 2, 1 << 20}},
+		{Type: MsgLookupBatch, Seq: 0, ID: "empty"},
+		{Type: MsgApplyBatch, Seq: 1 << 40, ID: "x", Events: []fleet.Event{
+			{Kind: fleet.EventFault, Node: 3}, {Kind: fleet.EventRepair, Node: 0},
+		}},
+	}
+	for _, r := range reqs {
+		b, err := AppendRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seed = append(seed, b)
+	}
+	resps := []Response{
+		{Type: MsgLookup, Seq: 1, Phi: 5, Epoch: 3},
+		{Type: MsgLookup, Seq: 2, Status: StatusNotFound, Msg: "no such instance"},
+		{Type: MsgLookupBatch, Seq: 3, Epoch: 9, Phis: []int{4, 4, 0}},
+		{Type: MsgApplyBatch, Seq: 4, Result: fleet.EventResult{Epoch: 2, NumFaults: 1, Budget: 3, Applied: 2}},
+		{Type: MsgApplyBatch, Seq: 5, Status: StatusReadOnly, Msg: "read-only follower"},
+	}
+	for _, r := range resps {
+		b, err := AppendResponse(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seed = append(seed, b)
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if req, err := DecodeRequest(b); err == nil {
+			out, err := AppendRequest(nil, req)
+			if err != nil {
+				t.Fatalf("accepted request %+v does not re-encode: %v", req, err)
+			}
+			if !bytes.Equal(out, b) {
+				t.Fatalf("request round-trip mismatch:\n in  %x\n out %x", b, out)
+			}
+		}
+		if resp, err := DecodeResponse(b); err == nil {
+			out, err := AppendResponse(nil, resp)
+			if err != nil {
+				t.Fatalf("accepted response %+v does not re-encode: %v", resp, err)
+			}
+			if !bytes.Equal(out, b) {
+				t.Fatalf("response round-trip mismatch:\n in  %x\n out %x", b, out)
+			}
+		}
+	})
+}
+
+// TestWireCodecRoundTrip is the deterministic subset of the fuzz
+// property, so a plain `go test` run still pins encode/decode equality
+// for representative messages of every type.
+func TestWireCodecRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Type: MsgLookup, Seq: 42, ID: "prod-0", X: 0},
+		{Type: MsgLookupBatch, Seq: 7, ID: "i", Xs: []int{5, 5, 5}},
+		{Type: MsgApplyBatch, Seq: 1, ID: "k", Events: []fleet.Event{{Kind: fleet.EventFault, Node: 12}}},
+	}
+	for _, r := range reqs {
+		b, err := AppendRequest(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if got.Type != r.Type || got.Seq != r.Seq || got.ID != r.ID || got.X != r.X ||
+			len(got.Xs) != len(r.Xs) || len(got.Events) != len(r.Events) {
+			t.Fatalf("request round-trip: got %+v, want %+v", got, r)
+		}
+	}
+	resps := []Response{
+		{Type: MsgLookup, Seq: 3, Phi: 9, Epoch: 4},
+		{Type: MsgLookupBatch, Seq: 8, Status: StatusBudget, Msg: "fleet: fault budget exhausted"},
+		{Type: MsgApplyBatch, Seq: 2, Result: fleet.EventResult{Epoch: 6, NumFaults: 2, Budget: 1, Applied: 4}},
+	}
+	for _, r := range resps {
+		b, err := AppendResponse(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeResponse(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if got.Type != r.Type || got.Seq != r.Seq || got.Status != r.Status ||
+			got.Msg != r.Msg || got.Phi != r.Phi || got.Epoch != r.Epoch ||
+			got.Result != r.Result {
+			t.Fatalf("response round-trip: got %+v, want %+v", got, r)
+		}
+	}
+
+	// Canonical-form rejections: a non-minimal uvarint and trailing
+	// bytes must both fail, or two byte strings would mean one message.
+	good, _ := AppendRequest(nil, Request{Type: MsgLookup, Seq: 1, ID: "a", X: 0})
+	if _, err := DecodeRequest(append(good, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	nonMinimal := []byte{Version, byte(MsgLookup), 0x80, 0x00, 1, 'a', 0}
+	if _, err := DecodeRequest(nonMinimal); err == nil {
+		t.Fatal("non-minimal uvarint accepted")
+	}
+}

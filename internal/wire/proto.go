@@ -1,0 +1,512 @@
+// Package wire is the binary RPC plane of the reconfiguration service:
+// a length-prefixed, CRC-framed protocol over persistent TCP
+// connections for the operations millions of clients would actually
+// hammer — Lookup, LookupBatch and ApplyBatch — at a small fraction of
+// the HTTP/JSON plane's cost.
+//
+// Frame layout (identical to the journal's record framing):
+//
+//	[u32 payload len LE][u32 CRC32C(payload) LE][payload]
+//
+// Payloads reuse the journal codec's canonical discipline: a version
+// byte, strictly minimal uvarints, counts validated against the
+// remaining bytes before any allocation, and no trailing bytes — the
+// accepted language is exactly the canonical encodings, the property
+// FuzzWireDecode pins. Requests carry a client-chosen sequence number;
+// responses echo it, so a client can pipeline many requests down one
+// connection and complete them out of order. The server reads every
+// request already queued on a connection before writing, coalescing
+// the responses into one flush — the paper's log-round batching idea
+// (amortize fixed per-exchange cost over whole combined batches)
+// applied to request pipelining.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ftnet/internal/fleet"
+)
+
+// Version is the payload format version byte; decoding rejects
+// anything else.
+const Version = 1
+
+// frameHeaderSize is the length + CRC32C prefix of every frame.
+const frameHeaderSize = 8
+
+// MaxFrame bounds a single frame's payload, keeping a corrupt length
+// prefix from asking either side to allocate gigabytes. A LookupBatch
+// of a million entries is ~3 MB, comfortably inside.
+const MaxFrame = 16 << 20
+
+// castagnoli is the CRC32C table (the journal's checksum, hardware
+// accelerated on current CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MsgType identifies the operation a frame carries. Responses echo the
+// request's type.
+type MsgType byte
+
+// The operations of the RPC plane.
+const (
+	MsgLookup      MsgType = 1 // x -> (phi, epoch)
+	MsgLookupBatch MsgType = 2 // xs -> (phis, epoch), one frame each way
+	MsgApplyBatch  MsgType = 3 // fault/repair burst -> epoch
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgLookup:
+		return "lookup"
+	case MsgLookupBatch:
+		return "lookup_batch"
+	case MsgApplyBatch:
+		return "apply_batch"
+	default:
+		return fmt.Sprintf("msg(%d)", byte(t))
+	}
+}
+
+// Status is the typed result code of a response, mirroring the fleet
+// error categories (and the HTTP plane's status mapping).
+type Status byte
+
+// The response status codes. StatusBudget is checked before
+// StatusConflict on the encode side because fleet.ErrBudget wraps
+// fleet.ErrConflict.
+const (
+	StatusOK          Status = 0
+	StatusNotFound    Status = 1 // unknown instance (HTTP 404)
+	StatusConflict    Status = 2 // double fault / repair healthy (HTTP 409)
+	StatusBudget      Status = 3 // spare budget exhausted (HTTP 409 subcategory)
+	StatusUnavailable Status = 4 // journal/commit failure, nothing applied (HTTP 503)
+	StatusInvalid     Status = 5 // bad input: node out of range, empty batch (HTTP 400)
+	StatusReadOnly    Status = 6 // follower posture: mutations come from the leader (HTTP 403)
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not found"
+	case StatusConflict:
+		return "conflict"
+	case StatusBudget:
+		return "budget exhausted"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusInvalid:
+		return "invalid"
+	case StatusReadOnly:
+		return "read-only"
+	default:
+		return fmt.Sprintf("status(%d)", byte(s))
+	}
+}
+
+// Request is one decoded request payload. X is set for MsgLookup, Xs
+// for MsgLookupBatch, Events for MsgApplyBatch.
+type Request struct {
+	Type   MsgType
+	Seq    uint64
+	ID     string
+	X      int
+	Xs     []int
+	Events []fleet.Event
+}
+
+// Response is one decoded response payload. Status selects which
+// fields are meaningful: Msg accompanies every non-OK status; an OK
+// Lookup carries Phi+Epoch, an OK LookupBatch carries Phis+Epoch, an
+// OK ApplyBatch carries Result.
+type Response struct {
+	Type   MsgType
+	Seq    uint64
+	Status Status
+	Msg    string
+	Phi    int
+	Epoch  uint64
+	Phis   []int
+	Result fleet.EventResult
+}
+
+// AppendRequest appends the canonical payload encoding of req to dst.
+// It is the inverse of DecodeRequest: for every req it accepts,
+// DecodeRequest(AppendRequest(nil, req)) returns an equal request, and
+// for every payload DecodeRequest accepts, AppendRequest reproduces it
+// byte for byte.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
+	if req.ID == "" {
+		return nil, fmt.Errorf("wire: empty instance id")
+	}
+	dst = append(dst, Version, byte(req.Type))
+	dst = binary.AppendUvarint(dst, req.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(req.ID)))
+	dst = append(dst, req.ID...)
+	switch req.Type {
+	case MsgLookup:
+		if req.X < 0 {
+			return nil, fmt.Errorf("wire: negative lookup target %d", req.X)
+		}
+		dst = binary.AppendUvarint(dst, uint64(req.X))
+	case MsgLookupBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(req.Xs)))
+		for _, x := range req.Xs {
+			if x < 0 {
+				return nil, fmt.Errorf("wire: negative lookup target %d", x)
+			}
+			dst = binary.AppendUvarint(dst, uint64(x))
+		}
+	case MsgApplyBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(req.Events)))
+		for _, ev := range req.Events {
+			k, ok := eventKindByte(ev.Kind)
+			if !ok {
+				return nil, fmt.Errorf("wire: unknown event kind %q", ev.Kind)
+			}
+			if ev.Node < 0 {
+				return nil, fmt.Errorf("wire: negative event node %d", ev.Node)
+			}
+			dst = append(dst, k)
+			dst = binary.AppendUvarint(dst, uint64(ev.Node))
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", req.Type)
+	}
+	return dst, nil
+}
+
+// DecodeRequest parses one canonical request payload. It never panics
+// on arbitrary input; any deviation from the canonical encoding is an
+// error.
+func DecodeRequest(b []byte) (Request, error) {
+	d, t, seq, id, err := decodeHeader(b)
+	if err != nil {
+		return Request{}, err
+	}
+	req := Request{Type: t, Seq: seq, ID: string(id)}
+	switch t {
+	case MsgLookup:
+		if req.X, err = d.intVal(); err != nil {
+			return Request{}, err
+		}
+	case MsgLookupBatch:
+		n, err := d.count()
+		if err != nil {
+			return Request{}, err
+		}
+		if n > 0 {
+			req.Xs = make([]int, n)
+			for i := range req.Xs {
+				if req.Xs[i], err = d.intVal(); err != nil {
+					return Request{}, err
+				}
+			}
+		}
+	case MsgApplyBatch:
+		n, err := d.count()
+		if err != nil {
+			return Request{}, err
+		}
+		if n > 0 {
+			req.Events = make([]fleet.Event, n)
+			for i := range req.Events {
+				if req.Events[i], err = d.event(); err != nil {
+					return Request{}, err
+				}
+			}
+		}
+	default:
+		return Request{}, fmt.Errorf("wire: unknown message type %d", b[1])
+	}
+	if !d.done() {
+		return Request{}, fmt.Errorf("wire: %d trailing bytes after request", len(b)-d.off)
+	}
+	return req, nil
+}
+
+// AppendResponse appends the canonical payload encoding of resp to
+// dst; the DecodeResponse inverse holds the same way as for requests.
+// A non-OK response carries only the message; OK responses carry the
+// per-type body. Every numeric field must be representable as a
+// non-negative varint.
+func AppendResponse(dst []byte, resp Response) ([]byte, error) {
+	dst = append(dst, Version, byte(resp.Type))
+	dst = binary.AppendUvarint(dst, resp.Seq)
+	dst = append(dst, byte(resp.Status))
+	if resp.Status != StatusOK {
+		if !validStatus(resp.Status) {
+			return nil, fmt.Errorf("wire: unknown status %d", resp.Status)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Msg)))
+		return append(dst, resp.Msg...), nil
+	}
+	switch resp.Type {
+	case MsgLookup:
+		if resp.Phi < 0 {
+			return nil, fmt.Errorf("wire: negative phi %d", resp.Phi)
+		}
+		dst = binary.AppendUvarint(dst, uint64(resp.Phi))
+		dst = binary.AppendUvarint(dst, resp.Epoch)
+	case MsgLookupBatch:
+		dst = binary.AppendUvarint(dst, resp.Epoch)
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Phis)))
+		for _, phi := range resp.Phis {
+			if phi < 0 {
+				return nil, fmt.Errorf("wire: negative phi %d", phi)
+			}
+			dst = binary.AppendUvarint(dst, uint64(phi))
+		}
+	case MsgApplyBatch:
+		r := resp.Result
+		if r.NumFaults < 0 || r.Budget < 0 || r.Applied < 0 {
+			return nil, fmt.Errorf("wire: negative apply result field in %+v", r)
+		}
+		dst = binary.AppendUvarint(dst, r.Epoch)
+		dst = binary.AppendUvarint(dst, uint64(r.NumFaults))
+		dst = binary.AppendUvarint(dst, uint64(r.Budget))
+		dst = binary.AppendUvarint(dst, uint64(r.Applied))
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", resp.Type)
+	}
+	return dst, nil
+}
+
+// DecodeResponse parses one canonical response payload with the same
+// never-panics strictness as DecodeRequest.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) < 3 {
+		return Response{}, fmt.Errorf("wire: response payload of %d bytes is shorter than the header", len(b))
+	}
+	if b[0] != Version {
+		return Response{}, fmt.Errorf("wire: unknown version %d", b[0])
+	}
+	resp := Response{Type: MsgType(b[1])}
+	if resp.Type != MsgLookup && resp.Type != MsgLookupBatch && resp.Type != MsgApplyBatch {
+		return Response{}, fmt.Errorf("wire: unknown message type %d", b[1])
+	}
+	d := &cursor{b: b, off: 2}
+	var err error
+	if resp.Seq, err = d.uvarint(); err != nil {
+		return Response{}, err
+	}
+	st, err := d.byteVal()
+	if err != nil {
+		return Response{}, err
+	}
+	resp.Status = Status(st)
+	if resp.Status != StatusOK {
+		if !validStatus(resp.Status) {
+			return Response{}, fmt.Errorf("wire: unknown status %d", st)
+		}
+		if resp.Msg, err = d.str(); err != nil {
+			return Response{}, err
+		}
+	} else {
+		switch resp.Type {
+		case MsgLookup:
+			if resp.Phi, err = d.intVal(); err != nil {
+				return Response{}, err
+			}
+			if resp.Epoch, err = d.uvarint(); err != nil {
+				return Response{}, err
+			}
+		case MsgLookupBatch:
+			if resp.Epoch, err = d.uvarint(); err != nil {
+				return Response{}, err
+			}
+			n, err := d.count()
+			if err != nil {
+				return Response{}, err
+			}
+			if n > 0 {
+				resp.Phis = make([]int, n)
+				for i := range resp.Phis {
+					if resp.Phis[i], err = d.intVal(); err != nil {
+						return Response{}, err
+					}
+				}
+			}
+		case MsgApplyBatch:
+			r := &resp.Result
+			if r.Epoch, err = d.uvarint(); err != nil {
+				return Response{}, err
+			}
+			if r.NumFaults, err = d.intVal(); err != nil {
+				return Response{}, err
+			}
+			if r.Budget, err = d.intVal(); err != nil {
+				return Response{}, err
+			}
+			if r.Applied, err = d.intVal(); err != nil {
+				return Response{}, err
+			}
+		}
+	}
+	if !d.done() {
+		return Response{}, fmt.Errorf("wire: %d trailing bytes after response", len(b)-d.off)
+	}
+	return resp, nil
+}
+
+func validStatus(s Status) bool { return s <= StatusReadOnly }
+
+func eventKindByte(k fleet.EventKind) (byte, bool) {
+	switch k {
+	case fleet.EventFault:
+		return 0, true
+	case fleet.EventRepair:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// decodeHeader parses the shared request prefix (version, type, seq,
+// id) and returns a cursor positioned at the body. The id is a
+// subslice of b — the server's zero-copy path; DecodeRequest copies it
+// into a string.
+func decodeHeader(b []byte) (cursor, MsgType, uint64, []byte, error) {
+	if len(b) < 2 {
+		return cursor{}, 0, 0, nil, fmt.Errorf("wire: request payload of %d bytes is shorter than the header", len(b))
+	}
+	if b[0] != Version {
+		return cursor{}, 0, 0, nil, fmt.Errorf("wire: unknown version %d", b[0])
+	}
+	d := cursor{b: b, off: 2}
+	seq, err := d.uvarint()
+	if err != nil {
+		return cursor{}, 0, 0, nil, err
+	}
+	id, err := d.bytesVal()
+	if err != nil {
+		return cursor{}, 0, 0, nil, err
+	}
+	if len(id) == 0 {
+		return cursor{}, 0, 0, nil, fmt.Errorf("wire: empty instance id")
+	}
+	return d, MsgType(b[1]), seq, id, nil
+}
+
+// cursor is a strict decoder over a payload: every read is
+// bounds-checked and every uvarint must be minimally encoded, so the
+// accepted language is exactly the canonical encodings (the journal
+// decoder's discipline).
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (d *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated or overlong uvarint at offset %d", d.off)
+	}
+	// Reject non-minimal encodings (e.g. 0x80 0x00 for zero): the last
+	// byte of a minimal multi-byte uvarint is never zero.
+	if n > 1 && d.b[d.off+n-1] == 0 {
+		return 0, fmt.Errorf("wire: non-minimal uvarint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+// intVal reads a uvarint that must fit a non-negative int.
+func (d *cursor) intVal() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt {
+		return 0, fmt.Errorf("wire: value %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+// count reads an element count; each element costs at least one byte,
+// so a count beyond the remaining payload is corrupt — checked before
+// the caller allocates.
+func (d *cursor) count() (int, error) {
+	n, err := d.intVal()
+	if err != nil {
+		return 0, err
+	}
+	if n > len(d.b)-d.off {
+		return 0, fmt.Errorf("wire: count %d exceeds %d remaining bytes", n, len(d.b)-d.off)
+	}
+	return n, nil
+}
+
+func (d *cursor) byteVal() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, fmt.Errorf("wire: truncated payload at offset %d", d.off)
+	}
+	b := d.b[d.off]
+	d.off++
+	return b, nil
+}
+
+// bytesVal reads a length-prefixed byte string as a subslice (no
+// copy).
+func (d *cursor) bytesVal() ([]byte, error) {
+	n, err := d.intVal()
+	if err != nil {
+		return nil, err
+	}
+	if n > len(d.b)-d.off {
+		return nil, fmt.Errorf("wire: string length %d exceeds %d remaining bytes", n, len(d.b)-d.off)
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *cursor) str() (string, error) {
+	b, err := d.bytesVal()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// event reads one (kind, node) pair.
+func (d *cursor) event() (fleet.Event, error) {
+	k, err := d.byteVal()
+	if err != nil {
+		return fleet.Event{}, err
+	}
+	var kind fleet.EventKind
+	switch k {
+	case 0:
+		kind = fleet.EventFault
+	case 1:
+		kind = fleet.EventRepair
+	default:
+		return fleet.Event{}, fmt.Errorf("wire: unknown event kind byte %d", k)
+	}
+	node, err := d.intVal()
+	if err != nil {
+		return fleet.Event{}, err
+	}
+	return fleet.Event{Kind: kind, Node: node}, nil
+}
+
+func (d *cursor) done() bool { return d.off == len(d.b) }
+
+// appendFrameHeader reserves the 8-byte frame header; sealFrame fills
+// it in once the payload is appended after it.
+func appendFrameHeader(dst []byte) []byte {
+	return append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// sealFrame stamps the length and CRC32C of the payload that was
+// appended after the header reserved at mark.
+func sealFrame(buf []byte, mark int) {
+	payload := buf[mark+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[mark:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[mark+4:], crc32.Checksum(payload, castagnoli))
+}

@@ -1,0 +1,315 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/obs"
+)
+
+// readBufSize is the per-connection read buffer; it is also the
+// natural upper bound on how many queued requests one drain pass can
+// see without another syscall.
+const readBufSize = 64 << 10
+
+// maxCoalesce caps how many response bytes accumulate before the
+// server flushes even though more requests are queued, bounding both
+// memory and the latency of the first response in a batch.
+const maxCoalesce = 256 << 10
+
+// ServerOptions tunes NewServer.
+type ServerOptions struct {
+	// ReadOnly rejects ApplyBatch with StatusReadOnly — the follower
+	// posture, mirroring the HTTP plane's 403.
+	ReadOnly bool
+	// Metrics, when non-nil, is the registry the RPC plane's
+	// histograms, byte counters and connection gauge land in (pass the
+	// manager's so /metrics and /v1/stats cover both planes). Nil
+	// creates a private one.
+	Metrics *obs.Registry
+}
+
+// Server serves the binary RPC plane over a fleet manager. Each
+// accepted connection gets one goroutine that reads frames, handles
+// them against the manager, and coalesces all responses for the
+// requests drained in one read pass into a single write — the
+// log-round batching that makes a pipelining client pay ~one syscall
+// pair per batch instead of per request.
+type Server struct {
+	mgr      *fleet.Manager
+	readOnly bool
+
+	lookupHist *obs.Histogram
+	batchHist  *obs.Histogram
+	applyHist  *obs.Histogram
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	requests   *obs.Counter
+	flushes    *obs.Counter
+	connGauge  *obs.Gauge
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer builds a server over mgr. Call Serve with a listener to
+// start accepting.
+func NewServer(mgr *fleet.Manager, opts ServerOptions) *Server {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
+	opHist := reg.HistogramVec("ftnet_rpc_op_seconds",
+		"RPC-plane handling latency by operation.", "op")
+	return &Server{
+		mgr:        mgr,
+		readOnly:   opts.ReadOnly,
+		lookupHist: opHist.With("lookup"),
+		batchHist:  opHist.With("lookup_batch"),
+		applyHist:  opHist.With("apply_batch"),
+		bytesIn: reg.Counter("ftnet_rpc_bytes_in_total",
+			"Bytes received on the RPC plane, frame headers included."),
+		bytesOut: reg.Counter("ftnet_rpc_bytes_out_total",
+			"Bytes sent on the RPC plane, frame headers included."),
+		requests: reg.Counter("ftnet_rpc_requests_total",
+			"RPC requests handled."),
+		flushes: reg.Counter("ftnet_rpc_flushes_total",
+			"Coalesced response writes (requests/flushes is the achieved batching factor)."),
+		connGauge: reg.Gauge("ftnet_rpc_connections",
+			"RPC connections currently open."),
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close (or a listener error)
+// and serves each on its own goroutine. It returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("wire: server closed")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// Close stops the listeners and hangs up every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+		delete(s.lns, ln)
+	}
+	for nc := range s.conns {
+		nc.Close()
+		delete(s.conns, nc)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) forget(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}
+
+// srvConn is the per-connection state: the buffered reader, the
+// reusable frame and response buffers, and the decode scratch slices,
+// so a steady-state Lookup handles with zero allocations.
+type srvConn struct {
+	s      *Server
+	in     []byte
+	out    []byte
+	xs     []int
+	phis   []int
+	events []fleet.Event
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer nc.Close()
+	defer s.forget(nc)
+	s.connGauge.Add(1)
+	defer s.connGauge.Add(-1)
+	c := &srvConn{s: s}
+	br := bufio.NewReaderSize(nc, readBufSize)
+	var hdr [frameHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if size > MaxFrame {
+			return
+		}
+		if cap(c.in) < int(size) {
+			c.in = make([]byte, size)
+		}
+		c.in = c.in[:size]
+		if _, err := io.ReadFull(br, c.in); err != nil {
+			return
+		}
+		if crc32.Checksum(c.in, castagnoli) != want {
+			return
+		}
+		s.bytesIn.Add(frameHeaderSize + uint64(size))
+		var ok bool
+		if c.out, ok = c.handle(c.in, c.out); !ok {
+			// A malformed payload is a broken or hostile peer, not a bad
+			// argument: hang up rather than guess at a sequence number to
+			// answer on.
+			return
+		}
+		s.requests.Inc()
+		// The log-round drain: answer every request already queued on
+		// this connection before paying for a write, so a pipelining
+		// client's whole in-flight window shares one syscall pair.
+		if br.Buffered() > 0 && len(c.out) < maxCoalesce {
+			continue
+		}
+		if _, err := nc.Write(c.out); err != nil {
+			return
+		}
+		s.bytesOut.Add(uint64(len(c.out)))
+		s.flushes.Inc()
+		c.out = c.out[:0]
+	}
+}
+
+// handle decodes one request payload, executes it against the manager,
+// and appends the framed response to out. It reports ok=false only for
+// payloads that don't parse far enough to answer (the caller hangs
+// up); application failures become non-OK responses.
+func (c *srvConn) handle(payload, out []byte) ([]byte, bool) {
+	d, t, seq, id, err := decodeHeader(payload)
+	if err != nil {
+		return out, false
+	}
+	start := time.Now()
+	switch t {
+	case MsgLookup:
+		x, err := d.intVal()
+		if err != nil || !d.done() {
+			return out, false
+		}
+		phi, epoch, lerr := c.s.mgr.LookupEpochBytes(id, x)
+		if lerr != nil {
+			out = c.appendError(out, t, seq, lerr)
+		} else {
+			out = c.appendOK(out, Response{Type: t, Seq: seq, Phi: phi, Epoch: epoch})
+		}
+		c.s.lookupHist.Observe(time.Since(start))
+	case MsgLookupBatch:
+		n, err := d.count()
+		if err != nil {
+			return out, false
+		}
+		if cap(c.xs) < n {
+			c.xs = make([]int, n)
+			c.phis = make([]int, n)
+		}
+		c.xs, c.phis = c.xs[:n], c.phis[:n]
+		for i := range c.xs {
+			if c.xs[i], err = d.intVal(); err != nil {
+				return out, false
+			}
+		}
+		if !d.done() {
+			return out, false
+		}
+		epoch, lerr := c.s.mgr.LookupBatchBytes(id, c.xs, c.phis)
+		if lerr != nil {
+			out = c.appendError(out, t, seq, lerr)
+		} else {
+			out = c.appendOK(out, Response{Type: t, Seq: seq, Epoch: epoch, Phis: c.phis})
+		}
+		c.s.batchHist.Observe(time.Since(start))
+	case MsgApplyBatch:
+		n, err := d.count()
+		if err != nil {
+			return out, false
+		}
+		if cap(c.events) < n {
+			c.events = make([]fleet.Event, n)
+		}
+		c.events = c.events[:n]
+		for i := range c.events {
+			if c.events[i], err = d.event(); err != nil {
+				return out, false
+			}
+		}
+		if !d.done() {
+			return out, false
+		}
+		if c.s.readOnly {
+			out = c.appendStatus(out, t, seq, StatusReadOnly,
+				"read-only follower: state mutations come from the leader's commit stream")
+		} else if res, aerr := c.s.mgr.EventBatchBytes(id, c.events); aerr != nil {
+			out = c.appendError(out, t, seq, aerr)
+		} else {
+			out = c.appendOK(out, Response{Type: t, Seq: seq, Result: res})
+		}
+		c.s.applyHist.Observe(time.Since(start))
+	default:
+		return out, false
+	}
+	return out, true
+}
+
+// appendOK frames an OK response. The encode cannot fail for
+// server-produced values (phis and result fields are non-negative by
+// construction); a failure would indicate a server bug, answered by
+// hanging up via the empty-frame path below.
+func (c *srvConn) appendOK(out []byte, resp Response) []byte {
+	mark := len(out)
+	out = appendFrameHeader(out)
+	body, err := AppendResponse(out, resp)
+	if err != nil {
+		return out[:mark]
+	}
+	sealFrame(body, mark)
+	return body
+}
+
+func (c *srvConn) appendError(out []byte, t MsgType, seq uint64, err error) []byte {
+	return c.appendStatus(out, t, seq, statusOf(err), err.Error())
+}
+
+func (c *srvConn) appendStatus(out []byte, t MsgType, seq uint64, st Status, msg string) []byte {
+	return c.appendOK(out, Response{Type: t, Seq: seq, Status: st, Msg: msg})
+}
