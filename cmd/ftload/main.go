@@ -47,6 +47,24 @@
 //	ftload -scenario write-storm -addr http://leader:8080 \
 //	       -follower http://replica:8081 -obs-json BENCH_service.json
 //
+// The partition-torture scenario is the failover probe: ftload spawns
+// a leader (-exec) and a follower (-exec-follower), storms the leader,
+// SIGSTOPs the follower mid-storm (the partition — the leader keeps
+// acknowledging writes the replica never sees), SIGKILLs the leader,
+// SIGCONTs the follower and promotes it via POST /v1/promote, then
+// restarts the deposed leader over its own journal as a follower of
+// the new one (-exec-rejoin) and requires it to self-heal: demote on
+// the higher term, discard its unreplicated tail, converge
+// bit-identically, and 403 every direct write — zero stale-term writes
+// accepted. The run measures divergence_window (partition to kill) and
+// failover_downtime (kill to the promoted replica accepting writes):
+//
+//	ftload -scenario partition-torture -addr http://127.0.0.1:18080 \
+//	    -follower http://127.0.0.1:18081 \
+//	    -exec "./ftnetd -addr 127.0.0.1:18080 -journal /tmp/a.wal" \
+//	    -exec-follower "./ftnetd -addr 127.0.0.1:18081 -journal /tmp/b.wal -follow http://127.0.0.1:18080" \
+//	    -exec-rejoin "./ftnetd -addr 127.0.0.1:18080 -journal /tmp/a.wal -follow http://127.0.0.1:18081"
+//
 // With -rpc the hot path (lookups and event batches) runs over the
 // binary RPC plane (internal/wire) instead of HTTP+JSON: persistent
 // pipelined connections to the daemon's -rpc-addr listener, lookups
@@ -72,6 +90,7 @@ import (
 	"os/exec"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"ftnet/internal/fleet"
@@ -81,11 +100,13 @@ import (
 
 type config struct {
 	loadgen.Config
-	scenario string // named scenario; overrides eventfrac/batch when set
-	exec     string // daemon command line the restart scenario spawns and kills
-	follower string // follower base URL to verify convergence against after the run
-	obsJSON  string // path to write the BENCH_service.json SLO artifact to
-	rpc      bool   // drive the hot path over the binary RPC plane
+	scenario     string // named scenario; overrides eventfrac/batch when set
+	exec         string // daemon command line the restart/failover scenarios spawn and kill
+	execFollower string // follower daemon command line (partition-torture)
+	execRejoin   string // deposed-leader rejoin command line (partition-torture)
+	follower     string // follower base URL to verify convergence against after the run
+	obsJSON      string // path to write the BENCH_service.json SLO artifact to
+	rpc          bool   // drive the hot path over the binary RPC plane
 }
 
 func main() {
@@ -101,8 +122,10 @@ func main() {
 	flag.IntVar(&cfg.Requests, "requests", 20000, "total operations to issue")
 	flag.Float64Var(&cfg.Scenario.EventFrac, "eventfrac", 0.1, "fraction of ops that are fault/repair events")
 	flag.IntVar(&cfg.Scenario.Batch, "batch", 1, "events per reconfiguration op (> 1 uses atomic events:batch bursts)")
-	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy", "write-storm" or "restart" (overrides -eventfrac/-batch)`)
-	flag.StringVar(&cfg.exec, "exec", "", `daemon command line for -scenario restart (ftload spawns, SIGKILLs and restarts it)`)
+	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy", "write-storm", "restart" or "partition-torture" (overrides -eventfrac/-batch)`)
+	flag.StringVar(&cfg.exec, "exec", "", `daemon command line for -scenario restart/partition-torture (ftload spawns, SIGKILLs and restarts it)`)
+	flag.StringVar(&cfg.execFollower, "exec-follower", "", `follower daemon command line for -scenario partition-torture (SIGSTOPped for the partition, promoted after the kill)`)
+	flag.StringVar(&cfg.execRejoin, "exec-rejoin", "", `deposed-leader rejoin command line for -scenario partition-torture (same journal as -exec, -follow pointing at the promoted follower)`)
 	flag.StringVar(&cfg.follower, "follower", "", `follower base URL; after the run, require it to converge with -addr (same epochs, bit-identical phi)`)
 	flag.StringVar(&cfg.obsJSON, "obs-json", "", `write a BENCH_service.json SLO artifact here: request p99 by route, fsync p99, replication lag p99 (needs -follower), compaction pause max — scraped from /v1/stats after the run`)
 	var rpcAddr string
@@ -126,6 +149,9 @@ func main() {
 func run(cfg config, out io.Writer) error {
 	if cfg.scenario == "restart" {
 		return runRestart(cfg, out)
+	}
+	if cfg.scenario == "partition-torture" {
+		return runFailover(cfg, out)
 	}
 	if cfg.scenario != "" {
 		sc, ok := loadgen.ByName(cfg.scenario)
@@ -175,6 +201,12 @@ func writeObsArtifact(cfg config, res loadgen.Result, out io.Writer) error {
 		followerObs = e
 	}
 	art := loadgen.BuildServiceArtifact(cfg.Scenario.Name, &res, res.Service, followerObs)
+	return emitArtifact(cfg.obsJSON, art, out)
+}
+
+// emitArtifact writes one BENCH_service.json SLO artifact and echoes
+// its values.
+func emitArtifact(path string, art loadgen.ServiceArtifact, out io.Writer) error {
 	if len(art.Benchmarks) == 0 {
 		return fmt.Errorf("obs artifact is empty: the daemon exported no service histograms")
 	}
@@ -182,10 +214,10 @@ func writeObsArtifact(cfg config, res loadgen.Result, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(cfg.obsJSON, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "  obs          %d service SLO values -> %s\n", len(art.Benchmarks), cfg.obsJSON)
+	fmt.Fprintf(out, "  obs          %d service SLO values -> %s\n", len(art.Benchmarks), path)
 	for _, b := range art.Benchmarks {
 		if b.Unit == "ns" {
 			fmt.Fprintf(out, "    %-28s %v\n", b.Name, time.Duration(b.Value).Round(time.Microsecond))
@@ -222,6 +254,21 @@ func (d *daemonProc) kill() error {
 	return nil
 }
 
+// stop SIGSTOPs the daemon: the process freezes with its sockets open
+// — the partition-torture stand-in for a network partition (the watch
+// stream stalls but nothing errors until the peer notices).
+func (d *daemonProc) stop() error { return d.signal(syscall.SIGSTOP) }
+
+// cont SIGCONTs a stopped daemon; it resumes where it froze.
+func (d *daemonProc) cont() error { return d.signal(syscall.SIGCONT) }
+
+func (d *daemonProc) signal(sig syscall.Signal) error {
+	if d.cmd == nil || d.cmd.Process == nil {
+		return fmt.Errorf("daemon not running")
+	}
+	return d.cmd.Process.Signal(sig)
+}
+
 func runRestart(cfg config, out io.Writer) error {
 	if cfg.exec == "" {
 		return fmt.Errorf(`-scenario restart needs -exec "ftnetd ..." to own the daemon lifecycle`)
@@ -255,6 +302,78 @@ func runRestart(cfg config, out io.Writer) error {
 	fmt.Fprintf(out, "  recovered    %d/%d instances verified\n", res.Verified, cfg.Instances)
 	for _, id := range sortedKeys(res.Acked) {
 		fmt.Fprintf(out, "    %-20s acked epoch %-6d recovered epoch %d\n", id, res.Acked[id], res.Recovered[id])
+	}
+	return nil
+}
+
+// runFailover owns the partition-torture lifecycle: leader and
+// follower children, SIGSTOP as the partition, SIGKILL as the leader
+// failure, /v1/promote as the failover, and a rejoin child that must
+// self-heal.
+func runFailover(cfg config, out io.Writer) error {
+	if cfg.exec == "" || cfg.execFollower == "" || cfg.execRejoin == "" {
+		return fmt.Errorf(`-scenario partition-torture needs -exec (leader), -exec-follower and -exec-rejoin command lines`)
+	}
+	if cfg.follower == "" {
+		return fmt.Errorf(`-scenario partition-torture needs -follower (the replica's base URL, matching -exec-follower)`)
+	}
+	leader := &daemonProc{argv: strings.Fields(cfg.exec)}
+	replica := &daemonProc{argv: strings.Fields(cfg.execFollower)}
+	rejoin := &daemonProc{argv: strings.Fields(cfg.execRejoin)}
+	if err := leader.start(); err != nil {
+		return fmt.Errorf("start leader: %v", err)
+	}
+	defer rejoin.kill() // the leader's journal is owned by rejoin after RestartOld
+	defer leader.kill()
+	if err := waitHealthy(cfg.Addr, 15*time.Second); err != nil {
+		return err
+	}
+	if err := replica.start(); err != nil {
+		return fmt.Errorf("start follower: %v", err)
+	}
+	defer replica.kill()
+	if err := waitHealthy(cfg.follower, 15*time.Second); err != nil {
+		return err
+	}
+
+	res, err := loadgen.RunFailover(loadgen.FailoverConfig{
+		Config:       cfg.Config,
+		FollowerAddr: cfg.follower,
+		Partition:    replica.stop,
+		KillLeader:   leader.kill,
+		Heal:         replica.cont,
+		RestartOld: func() (string, error) {
+			return cfg.Addr, rejoin.start()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ftload: partition-torture scenario against %s (promoted %s)\n", cfg.Addr, cfg.follower)
+	fmt.Fprintf(out, "  storm        %d transitions acked (%d rejected, %d transport + %d other errors after the kill) in %v\n",
+		res.Storm.Batches, res.Storm.Rejected, res.Storm.Transport, res.Storm.Errors, res.Storm.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  divergence   %v (partition to leader kill: acked writes no replica had)\n",
+		res.DivergenceWindow.Round(time.Millisecond))
+	fmt.Fprintf(out, "  failover     %v downtime (kill to writable), new term %d\n",
+		res.FailoverDowntime.Round(time.Millisecond), res.Term)
+	fmt.Fprintf(out, "  self-heal    deposed leader demoted %d time(s), discarded %d stale entries, 0 stale writes accepted\n",
+		res.Demotions, res.Discarded)
+	fmt.Fprintf(out, "  converged    %d/%d instances bit-identical after rejoin\n", res.Converged, cfg.Instances)
+
+	if cfg.obsJSON != "" {
+		newLeader, err := loadgen.FetchObs(cfg.follower)
+		if err != nil {
+			return err
+		}
+		rejoined, err := loadgen.FetchObs(cfg.Addr)
+		if err != nil {
+			return err
+		}
+		art := loadgen.BuildServiceArtifact("partition-torture", nil, newLeader, rejoined)
+		loadgen.AppendFailover(&art, res)
+		if err := emitArtifact(cfg.obsJSON, art, out); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -34,6 +34,16 @@
 // manager, same journal, same metrics registry; on a -follow replica
 // the RPC plane is read-only like the HTTP plane.
 //
+// Failover: POST /v1/promote (or SIGUSR1) promotes a -follow replica
+// to leader — it stops tailing, drains the replication loop, commits
+// a term-bump fence to its own journal, and opens both planes for
+// writes. -term N fences the journal at leadership term N on boot,
+// for restarting a promoted follower's (or recovered leader's) data
+// directory directly as a leader. A deposed leader restarted with
+// -follow pointing at the new leader detects the higher term on its
+// first watch frame, discards its unreplicated tail, and resyncs from
+// the new leader's checkpoint.
+//
 // API (see internal/fleet/api.go for the full route table):
 //
 //	POST   /v1/instances              {"id":"prod","spec":{"kind":"debruijn","m":2,"h":4,"k":2}}
@@ -42,6 +52,7 @@
 //	GET    /v1/instances/{id}/phi?x=3 where does target node 3 run now?
 //	GET    /v1/watch?from=1           the commit stream, as live NDJSON
 //	POST   /v1/compact                checkpoint + truncate the journal
+//	POST   /v1/promote                promote this replica to leader (term-bump fence)
 //	GET    /v1/stats, /healthz, /metrics   (stats include journal/commit/follower counters)
 //
 // Example leader/follower session:
@@ -83,11 +94,25 @@ func main() {
 	compactEvery := flag.Duration("compact-every", 0, "checkpoint-compact the journal on this period (0 disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
 	rpcAddr := flag.String("rpc-addr", "", "binary RPC plane listen address for the hot path (empty disables)")
+	term := flag.Uint64("term", 0, "fence the journal at this leadership term on boot if ahead of the recovered term (0 leaves it; incompatible with -follow)")
 	flag.Parse()
+	if *term > 0 && *follow != "" {
+		log.Fatalf("ftnetd: -term promotes this daemon to leader and cannot be combined with -follow")
+	}
 
 	mgr := fleet.NewManager(fleet.Options{CacheSize: *cacheSize, CacheAdmission: *cacheAdmission})
 	if _, err := openJournal(mgr, *journalPath, *fsyncMode, *fsyncEvery, log.Printf); err != nil {
 		log.Fatalf("ftnetd: %v", err)
+	}
+	if *term > 0 {
+		if cur, _ := mgr.Term(); *term > cur {
+			if _, err := mgr.Promote(*term); err != nil {
+				log.Fatalf("ftnetd: term fence: %v", err)
+			}
+			log.Printf("ftnetd: leadership term fenced at %d", *term)
+		} else {
+			log.Printf("ftnetd: recovered term %d already covers -term %d", cur, *term)
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -115,6 +140,30 @@ func main() {
 	if *compactEvery > 0 {
 		go compactLoop(ctx, mgr, *compactEvery, log.Printf)
 	}
+
+	// SIGUSR1 promotes this daemon to leader: a follower drains its
+	// replication loop and fences its journal with a term bump; a
+	// daemon that is already the leader just reports its term.
+	promoteSig := make(chan os.Signal, 1)
+	signal.Notify(promoteSig, syscall.SIGUSR1)
+	go func() {
+		for range promoteSig {
+			var (
+				t   uint64
+				err error
+			)
+			if follower != nil {
+				t, err = follower.Promote(ctx)
+			} else {
+				t, err = mgr.Promote(0)
+			}
+			if err != nil {
+				log.Printf("ftnetd: promote (SIGUSR1): %v", err)
+			} else {
+				log.Printf("ftnetd: promoted to leadership term %d (SIGUSR1)", t)
+			}
+		}
+	}()
 
 	var rpcSrv *wire.Server
 	if *rpcAddr != "" {
@@ -152,14 +201,24 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("ftnetd: shutting down")
-		stop() // ends the follower and compaction loops; closes watch streams below
+		stop() // ends the follower and compaction loops
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Drain order: answer every RPC request already on the wire,
+		// end watch streams at a record boundary (clean EOF) so the
+		// HTTP drain below can finish, then flush+fsync the journal
+		// last — no acknowledged commit is ever lost to shutdown.
 		if rpcSrv != nil {
-			rpcSrv.Close()
+			if derr := rpcSrv.Shutdown(sctx); derr != nil {
+				log.Printf("ftnetd: rpc drain: %v", derr)
+			}
 		}
-		mgr.Close() // ends watch streams so Shutdown's drain can finish
-		done <- srv.Shutdown(sctx)
+		mgr.Quiesce()
+		err := srv.Shutdown(sctx)
+		if cerr := mgr.Close(); err == nil {
+			err = cerr
+		}
+		done <- err
 	}()
 
 	log.Printf("ftnetd: serving the reconfiguration API on %s", *addr)

@@ -74,6 +74,10 @@ var (
 	ErrSlowSubscriber = errors.New("commit: subscriber fell behind its buffer")
 	// ErrFutureSeq rejects subscriptions starting past the log end.
 	ErrFutureSeq = errors.New("commit: subscription starts past the log end")
+	// ErrStaleTerm rejects a term bump that does not move the term
+	// strictly forward — the commit-plane fence that makes a deposed
+	// leader's writes impossible to re-introduce.
+	ErrStaleTerm = errors.New("commit: stale term")
 )
 
 // DefaultHistory is the in-memory tail buffer (entries) kept for
@@ -106,6 +110,8 @@ type Stats struct {
 	Overflows    uint64 `json:"overflows"`               // subscriptions closed as too slow
 	Checkpoint   int    `json:"checkpoint"`              // records in the installed checkpoint
 	CheckpointAt uint64 `json:"checkpoint_at,omitempty"` // seq the checkpoint covers
+	Term         uint64 `json:"term"`                    // leadership term in force (0 = pre-term log)
+	TermSeq      uint64 `json:"term_seq,omitempty"`      // seq of the entry that set the term
 }
 
 type pendingEntry struct {
@@ -133,6 +139,15 @@ type Log struct {
 	subs    map[*Sub]struct{}
 	failed  error // sticky commit-path failure (journal poisoned)
 	closed  bool
+
+	// Leadership term fence. term is the highest term observed (via
+	// OpTermBump commits or SetTerm recovery wiring); termSeq is the
+	// commit seq of the entry that set it (0 when the term predates the
+	// current file, e.g. restored from an OpSeqBase marker). Commit
+	// refuses OpTermBump records that do not move the term strictly
+	// forward, so a deposed leader's fence can never land.
+	term    uint64
+	termSeq uint64
 
 	compactions uint64
 	overflows   uint64
@@ -215,6 +230,27 @@ func (l *Log) SetPosition(base, last uint64) {
 	l.flushed = last
 }
 
+// SetTerm installs the leadership term a journal replay (or a
+// follower resync) recovered: term is the highest term in the chain,
+// termSeq the commit seq of the record that set it (0 when the term
+// was carried by the file's OpSeqBase marker rather than an in-file
+// bump). Boot/resync wiring, like SetPosition.
+func (l *Log) SetTerm(term, termSeq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.term = term
+	l.termSeq = termSeq
+}
+
+// Term returns the leadership term in force and the commit seq of the
+// entry that established it (0 when inherited from a compaction
+// marker or never bumped).
+func (l *Log) Term() (term, termSeq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term, l.termSeq
+}
+
 // Writer returns the attached journal writer (nil when the log is
 // memory-only) — the stats surface reads its counters.
 func (l *Log) Writer() *journal.Writer {
@@ -250,6 +286,8 @@ func (l *Log) Stats() Stats {
 		Overflows:    l.overflows,
 		Checkpoint:   len(l.cp),
 		CheckpointAt: l.cpSeq,
+		Term:         l.term,
+		TermSeq:      l.termSeq,
 	}
 }
 
@@ -281,6 +319,15 @@ func (l *Log) Commit(rec journal.Record, publish func()) (uint64, error) {
 		l.mu.Unlock()
 		return 0, err
 	}
+	// The term fence: a bump must move the term strictly forward
+	// (multi-term jumps are fine — elections can skip terms), checked
+	// under the ordering lock so two racing promotions serialize and
+	// the loser is rejected, not reordered.
+	if rec.Op == journal.OpTermBump && rec.Term <= l.term {
+		cur := l.term
+		l.mu.Unlock()
+		return 0, fmt.Errorf("%w: bump to %d but term %d is in force", ErrStaleTerm, rec.Term, cur)
+	}
 	var wseq uint64
 	if l.w != nil {
 		var err error
@@ -292,6 +339,10 @@ func (l *Log) Commit(rec journal.Record, publish func()) (uint64, error) {
 	}
 	l.lastSeq++
 	seq := l.lastSeq
+	if rec.Op == journal.OpTermBump {
+		l.term = rec.Term
+		l.termSeq = seq
+	}
 	l.pending = append(l.pending, pendingEntry{e: Entry{Seq: seq, Rec: rec, At: start.UnixNano()}})
 	w := l.w
 	l.mu.Unlock()
@@ -377,6 +428,20 @@ func (l *Log) Close() error {
 	return nil
 }
 
+// Quiesce closes every live subscription with ErrClosed but leaves the
+// log itself open: commits still succeed and the journal writer stays
+// attached. It is the graceful-shutdown half-step between draining
+// request traffic and closing the journal — watch streams end at a
+// record boundary (a clean EOF for the consumer) while the final
+// flush+fsync still lies ahead.
+func (l *Log) Quiesce() {
+	l.mu.Lock()
+	for s := range l.subs {
+		s.closeLocked(ErrClosed)
+	}
+	l.mu.Unlock()
+}
+
 // Install atomically replaces the log's on-disk prefix with a
 // checkpoint: cps must capture the complete fleet state as of sequence
 // number seq. The journal file is rewritten as [seq-base marker,
@@ -429,7 +494,7 @@ func (l *Log) installFileLocked(seq uint64, cps []journal.Record) error {
 	}
 	// SyncNever: one explicit fsync below covers the whole checkpoint.
 	tw := journal.NewWriter(f, journal.Options{Sync: journal.SyncNever})
-	werr := tw.Append(journal.Record{Op: journal.OpSeqBase, ID: journal.SeqBaseID, Seq: seq + 1})
+	werr := tw.Append(journal.Record{Op: journal.OpSeqBase, ID: journal.SeqBaseID, Seq: seq + 1, Term: l.term})
 	for _, rec := range cps {
 		if werr != nil {
 			break

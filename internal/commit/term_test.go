@@ -1,0 +1,100 @@
+package commit
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"ftnet/internal/journal"
+)
+
+func bumpRec(term uint64) journal.Record {
+	return journal.Record{Op: journal.OpTermBump, ID: journal.SeqBaseID, Term: term}
+}
+
+// TestCommitTermFence pins the commit-plane leadership fence: a term
+// bump must move the term strictly forward, racing/stale bumps are
+// rejected with ErrStaleTerm (without consuming a sequence number),
+// and multi-term jumps are legal.
+func TestCommitTermFence(t *testing.T) {
+	l := NewLog(Config{})
+	defer l.Close()
+
+	if _, err := l.Commit(bumpRec(0), nil); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("bump to 0 = %v, want ErrStaleTerm", err)
+	}
+	seq := mustCommit(t, l, bumpRec(1))
+	if term, termSeq := l.Term(); term != 1 || termSeq != seq {
+		t.Fatalf("Term() = (%d, %d), want (1, %d)", term, termSeq, seq)
+	}
+	// Ordinary entries still flow after the fence.
+	mustCommit(t, l, trec("a", 1, 3))
+	// A stale bump — the deposed leader's promotion racing in — is
+	// rejected and consumes no seq.
+	before := l.LastSeq()
+	if _, err := l.Commit(bumpRec(1), nil); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("re-bump to 1 = %v, want ErrStaleTerm", err)
+	}
+	if l.LastSeq() != before {
+		t.Fatalf("stale bump consumed a seq: %d -> %d", before, l.LastSeq())
+	}
+	// Elections may skip terms.
+	seq = mustCommit(t, l, bumpRec(5))
+	if term, termSeq := l.Term(); term != 5 || termSeq != seq {
+		t.Fatalf("Term() after jump = (%d, %d), want (5, %d)", term, termSeq, seq)
+	}
+	if st := l.Stats(); st.Term != 5 || st.TermSeq != seq {
+		t.Fatalf("Stats term = (%d, %d), want (5, %d)", st.Term, st.TermSeq, seq)
+	}
+}
+
+// TestInstallCarriesTerm compacts a file-backed log after a term bump
+// and checks the term survives the checkpoint-and-truncate swap via
+// the OpSeqBase marker, and that the stale-bump fence still holds
+// afterwards even though the bump record itself was compacted away.
+func TestInstallCarriesTerm(t *testing.T) {
+	l, path := fileLog(t, journal.Options{Sync: journal.SyncAlways})
+	mustCommit(t, l, bumpRec(3))
+	mustCommit(t, l, trec("a", 1, 2))
+	cps := []journal.Record{{
+		Op: journal.OpCheckpoint, ID: "a",
+		Spec:   journal.Spec{Kind: "debruijn", M: 2, H: 4, K: 3},
+		Epoch:  1,
+		Faults: []int{2},
+	}}
+	if err := l.Install(2, cps); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := journal.ReadAll(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Op != journal.OpSeqBase || recs[0].Seq != 3 || recs[0].Term != 3 {
+		t.Fatalf("compacted head %+v, want OpSeqBase{Seq: 3, Term: 3}", recs)
+	}
+	if _, err := l.Commit(bumpRec(2), nil); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("bump below compacted-away term = %v, want ErrStaleTerm", err)
+	}
+	if term, _ := l.Term(); term != 3 {
+		t.Fatalf("term after install = %d, want 3", term)
+	}
+}
+
+// TestSetTerm pins the boot-wiring contract recovery relies on.
+func TestSetTerm(t *testing.T) {
+	l := NewLog(Config{})
+	defer l.Close()
+	l.SetTerm(7, 0)
+	if _, err := l.Commit(bumpRec(7), nil); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("bump to recovered term = %v, want ErrStaleTerm", err)
+	}
+	mustCommit(t, l, bumpRec(8))
+	if term, _ := l.Term(); term != 8 {
+		t.Fatalf("term = %d, want 8", term)
+	}
+}

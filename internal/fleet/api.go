@@ -30,6 +30,7 @@ import (
 //	GET    /v1/instances/{id}/phi?x=n single lookup (omit x for the slice;
 //	                                  the slice gzips when Accept-Encoding allows)
 //	GET    /v1/watch?from=n           NDJSON commit stream: catch-up, then live tail
+//	POST   /v1/promote                take leadership: bump the term, enable writes
 //	POST   /v1/compact                checkpoint state, truncate the journal prefix
 //	GET    /v1/stats                  fleet-wide counters (incl. per-shard cache stats)
 //	GET    /healthz                   liveness probe
@@ -59,13 +60,17 @@ import (
 
 // HandlerOptions tunes NewHTTPHandlerOpts.
 type HandlerOptions struct {
-	// ReadOnly rejects every state-mutating route (create, delete,
-	// events) with 403 — the follower posture: its state comes from the
-	// leader's commit stream, not from clients. Watch, lookups, stats
-	// and compaction (of its own local journal) stay available.
+	// ReadOnly sets the manager's initial write posture: every
+	// state-mutating route (create, delete, events) rejects with 403 —
+	// the follower posture: its state comes from the leader's commit
+	// stream, not from clients. Watch, lookups, stats and compaction
+	// (of its own local journal) stay available. The posture is
+	// per-request dynamic — POST /v1/promote (or Manager.Promote)
+	// flips it off without rewiring the handler.
 	ReadOnly bool
 	// Follower, when non-nil, adds the replication loop's counters to
-	// /v1/stats and /metrics.
+	// /v1/stats and /metrics, and routes POST /v1/promote through its
+	// stream-draining Promote.
 	Follower *Follower
 }
 
@@ -77,6 +82,9 @@ func NewHTTPHandler(mgr *Manager) http.Handler {
 // NewHTTPHandlerOpts returns the HTTP/JSON API with explicit options.
 func NewHTTPHandlerOpts(mgr *Manager, opts HandlerOptions) http.Handler {
 	s := &apiServer{mgr: mgr, opts: opts}
+	if opts.ReadOnly {
+		mgr.SetReadOnly(true)
+	}
 	reg := mgr.Metrics()
 	reqHist := reg.HistogramVec("ftnet_http_request_seconds",
 		"HTTP request latency by route.", "route")
@@ -113,6 +121,7 @@ func NewHTTPHandlerOpts(mgr *Manager, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/instances/{id}/events:batch", timed("events_batch", s.mutating(s.postEventBatch)))
 	mux.HandleFunc("GET /v1/instances/{id}/phi", timed("phi", s.getPhi))
 	mux.HandleFunc("GET /v1/watch", inflightOnly(s.watch))
+	mux.HandleFunc("POST /v1/promote", timed("promote", s.promote))
 	mux.HandleFunc("POST /v1/compact", timed("compact", s.compact))
 	mux.HandleFunc("GET /v1/stats", timed("stats", s.getStats))
 	mux.HandleFunc("GET /healthz", timed("healthz", s.healthz))
@@ -127,15 +136,56 @@ type apiServer struct {
 }
 
 // mutating guards a state-changing route against the read-only
-// (follower) posture.
+// (follower / deposed-leader) posture, consulted per request so a
+// promotion flips the whole surface at once. The Manager re-checks on
+// every mutation as the authoritative backstop; this wrapper just
+// rejects before the body is even parsed.
 func (s *apiServer) mutating(h http.HandlerFunc) http.HandlerFunc {
-	if !s.opts.ReadOnly {
-		return h
-	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusForbidden,
-			apiError{Error: "read-only follower: state mutations come from the leader's commit stream"})
+		if s.mgr.ReadOnly() {
+			msg := "read-only replica: state mutations come from the leader's commit stream"
+			if hint := s.mgr.LeaderHint(); hint != "" {
+				msg += " (leader: " + hint + ")"
+			}
+			writeJSON(w, http.StatusForbidden, apiError{Error: msg})
+			return
+		}
+		h(w, r)
 	}
+}
+
+// PromoteResponse is the body of POST /v1/promote.
+type PromoteResponse struct {
+	Term      uint64 `json:"term"`                // the new leadership term
+	Seq       uint64 `json:"seq"`                 // commit seq of the term-bump fence
+	WasLeader bool   `json:"was_leader"`          // already writable; no bump was needed
+	Discarded uint64 `json:"discarded,omitempty"` // (follower rejoin path) entries dropped
+}
+
+// promote serves POST /v1/promote: make this replica the leader. On a
+// follower it drains the in-flight stream first (Follower.Promote);
+// on a standalone read-only daemon it just bumps the term and enables
+// writes. Promoting a replica that is already the leader is a no-op
+// reporting the term in force.
+func (s *apiServer) promote(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.ReadOnly() {
+		term, termSeq := s.mgr.Term()
+		writeJSON(w, http.StatusOK, PromoteResponse{Term: term, Seq: termSeq, WasLeader: true})
+		return
+	}
+	var term uint64
+	var err error
+	if f := s.opts.Follower; f != nil {
+		term, err = f.Promote(r.Context())
+	} else {
+		term, err = s.mgr.Promote(0)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	_, termSeq := s.mgr.Term()
+	writeJSON(w, http.StatusOK, PromoteResponse{Term: term, Seq: termSeq})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -156,6 +206,8 @@ func errCode(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrReadOnly), errors.Is(err, ErrStaleTerm):
+		return http.StatusForbidden
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict
 	case errors.Is(err, ErrUnavailable):
@@ -433,6 +485,9 @@ func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE ftnet_journal_recovery_seconds gauge\nftnet_journal_recovery_seconds %g\n", rec.Seconds)
 		fmt.Fprintf(w, "# TYPE ftnet_journal_recovered_torn gauge\nftnet_journal_recovered_torn %d\n", boolGauge(rec.Torn))
 	}
+	fmt.Fprintf(w, "# TYPE ftnet_read_only gauge\nftnet_read_only %d\n", boolGauge(st.ReadOnly))
+	fmt.Fprintf(w, "# TYPE ftnet_rejected_read_only_total counter\nftnet_rejected_read_only_total %d\n", st.RejectedRO)
+	fmt.Fprintf(w, "# TYPE ftnet_term gauge\nftnet_term %d\n", st.Commit.Term)
 	fmt.Fprintf(w, "# TYPE ftnet_commit_last_seq gauge\nftnet_commit_last_seq %d\n", st.Commit.LastSeq)
 	fmt.Fprintf(w, "# TYPE ftnet_commit_base_seq gauge\nftnet_commit_base_seq %d\n", st.Commit.Base)
 	fmt.Fprintf(w, "# TYPE ftnet_watch_subscribers gauge\nftnet_watch_subscribers %d\n", st.Commit.Subscribers)
@@ -445,6 +500,9 @@ func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE ftnet_follower_entries_total counter\nftnet_follower_entries_total %d\n", fs.Entries)
 		fmt.Fprintf(w, "# TYPE ftnet_follower_reconnects_total counter\nftnet_follower_reconnects_total %d\n", fs.Reconnects)
 		fmt.Fprintf(w, "# TYPE ftnet_follower_resyncs_total counter\nftnet_follower_resyncs_total %d\n", fs.Resyncs)
+		fmt.Fprintf(w, "# TYPE ftnet_follower_demotions_total counter\nftnet_follower_demotions_total %d\n", fs.Demotions)
+		fmt.Fprintf(w, "# TYPE ftnet_follower_discarded_total counter\nftnet_follower_discarded_total %d\n", fs.Discarded)
+		fmt.Fprintf(w, "# TYPE ftnet_follower_promoted gauge\nftnet_follower_promoted %d\n", boolGauge(fs.Promoted))
 		fmt.Fprintf(w, "# TYPE ftnet_follower_last_seq gauge\nftnet_follower_last_seq %d\n", fs.LastSeq)
 	}
 	// Each metric family's samples must be contiguous under its # TYPE

@@ -1,0 +1,368 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ftnet/internal/journal"
+)
+
+// rebootManager boots a manager over a pre-existing journal image —
+// the deposed leader restarting on its own data directory.
+func rebootManager(t *testing.T, data []byte, dir string) *Manager {
+	t.Helper()
+	path := filepath.Join(dir, "epochs.wal")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Options{})
+	if _, err := m.RecoverFile(path); err != nil {
+		t.Fatalf("reboot recovery: %v", err)
+	}
+	w, err := journal.Create(path, journal.Options{Sync: journal.SyncInterval, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetJournal(w)
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// journalImage syncs a live manager's journal and returns its bytes.
+func journalImage(t *testing.T, m *Manager) []byte {
+	t.Helper()
+	w := m.CommitLog().Writer()
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// toggleStorm commits 2n guaranteed-accepted transitions by toggling
+// one node of a dedicated instance — random storms saturate the fault
+// budget and stop committing, but fault-then-repair pairs always
+// advance the log, which is what materializing divergence needs.
+func toggleStorm(t *testing.T, m *Manager, id string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := m.Event(id, Event{Kind: EventFault, Node: 0}); err != nil {
+			t.Fatalf("toggle fault %d: %v", i, err)
+		}
+		if _, err := m.Event(id, Event{Kind: EventRepair, Node: 0}); err != nil {
+			t.Fatalf("toggle repair %d: %v", i, err)
+		}
+	}
+}
+
+func awaitDemotions(t *testing.T, f *Follower, want uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for f.Stats().Demotions < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower demoted %d times, want %d, within %v", f.Stats().Demotions, want, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPromoteFailoverAndDeposedLeaderSelfHeals is the in-process
+// partition-torture sequence: a follower is cut off mid-storm, the
+// leader keeps acknowledging writes (divergence), dies, the follower
+// is promoted over POST /v1/promote, and the deposed leader — rebooted
+// from its own journal, following the new leader — must detect the
+// higher term, discard its unreplicated tail, resync bit-identically,
+// and refuse every direct write.
+func TestPromoteFailoverAndDeposedLeaderSelfHeals(t *testing.T) {
+	leader := journaledManager(t, t.TempDir())
+	ts := httptest.NewServer(NewHTTPHandler(leader))
+	t.Cleanup(ts.Close)
+
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 5, K: 4}
+	_, nHost := TargetHostSizesSpec(spec)
+	// "div" stays out of the random storms so its toggle writes are
+	// always accepted — the divergence generator.
+	ids := []string{"a", "b", "c", "div"}
+	stormIDs := ids[:3]
+	acked := make(map[string]*atomic.Uint64)
+	for _, id := range ids {
+		if _, err := leader.Create(id, spec); err != nil {
+			t.Fatal(err)
+		}
+		acked[id] = new(atomic.Uint64)
+	}
+	stormLeader(leader, stormIDs, nHost, 4, 20, acked)
+
+	// The follower, with its own HTTP surface so promotion travels the
+	// real route.
+	fm := journaledManager(t, t.TempDir())
+	f, err := NewFollower(fm, ts.URL, FollowerOptions{
+		Heartbeat:    50 * time.Millisecond,
+		StallTimeout: 2 * time.Second,
+		Backoff:      20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	fdone := make(chan struct{})
+	go func() { defer close(fdone); f.Run(fctx) }()
+	tsB := httptest.NewServer(NewHTTPHandlerOpts(fm, HandlerOptions{ReadOnly: true, Follower: f}))
+	t.Cleanup(tsB.Close)
+	waitConverged(t, leader, fm, 15*time.Second)
+
+	// Partition: the follower's stream is cut; the leader keeps
+	// acknowledging writes no replica sees.
+	fcancel()
+	<-fdone
+	stormLeader(leader, stormIDs, nHost, 4, 20, acked)
+	toggleStorm(t, leader, "div", 20)
+	divergedSeq := leader.CommitLog().LastSeq()
+	if divergedSeq <= fm.CommitLog().LastSeq() {
+		t.Fatalf("no divergence materialized: leader at %d, follower at %d",
+			divergedSeq, fm.CommitLog().LastSeq())
+	}
+
+	// Kill the leader, keeping its disk image for the rejoin.
+	image := journalImage(t, leader)
+	ts.Close()
+	leader.Close()
+
+	// Failover: promote the follower through the API.
+	resp, err := http.Post(tsB.URL+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.Term == 0 || pr.WasLeader {
+		t.Fatalf("promote: status %d, response %+v", resp.StatusCode, pr)
+	}
+	if fm.ReadOnly() {
+		t.Fatal("promoted replica still read-only")
+	}
+	if term, _ := fm.Term(); term != pr.Term {
+		t.Fatalf("manager term %d, promote reported %d", term, pr.Term)
+	}
+	// Promotion is idempotent: a second request reports the term in
+	// force instead of bumping again.
+	resp, err = http.Post(tsB.URL+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr2 PromoteResponse
+	json.NewDecoder(resp.Body).Decode(&pr2)
+	resp.Body.Close()
+	if !pr2.WasLeader || pr2.Term != pr.Term {
+		t.Fatalf("second promote: %+v, want WasLeader at term %d", pr2, pr.Term)
+	}
+
+	// The new leader moves on past the failover.
+	stormLeader(fm, stormIDs, nHost, 4, 20, acked)
+	toggleStorm(t, fm, "div", 10)
+
+	// Rejoin: the deposed leader reboots from its own journal — its
+	// recovered tail includes entries the new leader never saw — and
+	// follows the new leader.
+	dm := rebootManager(t, image, t.TempDir())
+	if dm.CommitLog().LastSeq() != divergedSeq {
+		t.Fatalf("deposed leader recovered to seq %d, want %d", dm.CommitLog().LastSeq(), divergedSeq)
+	}
+	f2 := startFollower(t, dm, tsB.URL)
+	awaitDemotions(t, f2, 1, 15*time.Second)
+	waitConverged(t, fm, dm, 15*time.Second)
+	assertSameFleet(t, fm, dm)
+	st := f2.Stats()
+	if st.Demotions != 1 {
+		t.Errorf("demotions = %d, want exactly 1", st.Demotions)
+	}
+	if st.Discarded == 0 {
+		t.Error("the deposed leader's unreplicated tail was not counted as discarded")
+	}
+	if term, _ := dm.Term(); term != pr.Term {
+		t.Errorf("rejoined replica at term %d, leader at %d", term, pr.Term)
+	}
+
+	// Fencing: the deposed leader must refuse direct writes.
+	if _, err := dm.EventBatch(ids[0], []Event{{Kind: EventFault, Node: 0}}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("stale-term write on the deposed leader: err = %v, want ErrReadOnly", err)
+	}
+	if !dm.ReadOnly() {
+		t.Error("deposed leader left read-only posture")
+	}
+}
+
+// TestDeposedLeaderResyncsFromCheckpointAfterTermBump is the
+// compaction × failover interaction: the new leader compacts after its
+// promotion, so the rejoining deposed leader cannot replay history —
+// it must resync from a checkpoint whose seq-base record carries the
+// new term. The result must be bit-identical to the promoted leader
+// (assertSameFleet re-verifies every phi slice against a fresh
+// recomputation), and a restart of the rejoined replica must recover
+// the new term from its own journal without spuriously re-demoting.
+func TestDeposedLeaderResyncsFromCheckpointAfterTermBump(t *testing.T) {
+	leader := journaledManager(t, t.TempDir())
+	ts := httptest.NewServer(NewHTTPHandler(leader))
+	t.Cleanup(ts.Close)
+
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 3}
+	_, nHost := TargetHostSizesSpec(spec)
+	ids := []string{"a", "b", "div"}
+	stormIDs := ids[:2]
+	acked := make(map[string]*atomic.Uint64)
+	for _, id := range ids {
+		if _, err := leader.Create(id, spec); err != nil {
+			t.Fatal(err)
+		}
+		acked[id] = new(atomic.Uint64)
+	}
+	stormLeader(leader, stormIDs, nHost, 2, 20, acked)
+
+	fm := journaledManager(t, t.TempDir())
+	f, err := NewFollower(fm, ts.URL, FollowerOptions{
+		Heartbeat:    50 * time.Millisecond,
+		StallTimeout: 2 * time.Second,
+		Backoff:      20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	fdone := make(chan struct{})
+	go func() { defer close(fdone); f.Run(fctx) }()
+	tsB := httptest.NewServer(NewHTTPHandlerOpts(fm, HandlerOptions{ReadOnly: true, Follower: f}))
+	t.Cleanup(tsB.Close)
+	waitConverged(t, leader, fm, 15*time.Second)
+
+	// Partition, diverge, kill.
+	fcancel()
+	<-fdone
+	toggleStorm(t, leader, "div", 20)
+	image := journalImage(t, leader)
+	ts.Close()
+	leader.Close()
+
+	// Promote, write past the bump, then compact: the checkpoint's
+	// seq-base record is now the only carrier of the term across a
+	// fresh catch-up.
+	term, err := f.Promote(context.Background())
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	toggleStorm(t, fm, "div", 10)
+	if _, err := fm.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	toggleStorm(t, fm, "div", 3) // a short post-compaction suffix
+
+	// The deposed leader rejoins past the compaction horizon.
+	dm := rebootManager(t, image, t.TempDir())
+	f2 := startFollower(t, dm, tsB.URL)
+	awaitDemotions(t, f2, 1, 15*time.Second)
+	waitConverged(t, fm, dm, 15*time.Second)
+	assertSameFleet(t, fm, dm)
+	st := f2.Stats()
+	if st.Demotions != 1 || st.Resyncs == 0 {
+		t.Errorf("stats %+v: want 1 demotion and >= 1 resync (checkpoint catch-up)", st)
+	}
+	if got, _ := dm.Term(); got != term {
+		t.Errorf("rejoined replica at term %d, want %d", got, term)
+	}
+
+	// A restart of the rejoined replica recovers the adopted term from
+	// its own journal: the chain check passes and no re-demotion would
+	// trigger (its term matches the leader's).
+	image2 := journalImage(t, dm)
+	dm2 := rebootManager(t, image2, t.TempDir())
+	if got, _ := dm2.Term(); got != term {
+		t.Errorf("restarted replica recovered term %d, want %d", got, term)
+	}
+	assertSameFleet(t, fm, dm2)
+}
+
+// TestReconnectJitterBounds pins the reconnect backoff's jitter range:
+// [d/2, 3d/2) — enough spread that a fleet of followers losing one
+// leader does not reconnect in lockstep, never less than half the
+// ladder value.
+func TestReconnectJitterBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := jitter(d)
+		if j < d/2 || j >= d+d/2 {
+			t.Fatalf("jitter(%v) = %v outside [%v, %v)", d, j, d/2, d+d/2)
+		}
+	}
+}
+
+// TestManagerPromoteAndTermFence pins the manager-level contract:
+// read-only posture refuses mutations with ErrReadOnly (carrying the
+// leader hint), Promote opens the write path and fences the term, and
+// a bump that does not move the term forward fails with ErrStaleTerm.
+func TestManagerPromoteAndTermFence(t *testing.T) {
+	m := NewManager(Options{})
+	defer m.Close()
+	if _, err := m.Create("a", Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	m.SetReadOnly(true)
+	m.SetLeaderHint("http://leader:8080")
+	if _, err := m.Create("b", Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("create in read-only posture: %v, want ErrReadOnly", err)
+	}
+	_, err := m.EventBatch("a", []Event{{Kind: EventFault, Node: 1}})
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("event batch in read-only posture: %v, want ErrReadOnly", err)
+	}
+	if !strings.Contains(fmt.Sprint(err), "http://leader:8080") {
+		t.Errorf("rejection %q does not carry the leader hint", err)
+	}
+
+	term, err := m.Promote(0)
+	if err != nil || term != 1 {
+		t.Fatalf("Promote(0) = %d, %v, want term 1", term, err)
+	}
+	if m.ReadOnly() {
+		t.Fatal("promotion left read-only posture in place")
+	}
+	if _, err := m.EventBatch("a", []Event{{Kind: EventFault, Node: 1}}); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+
+	// The fence: terms only move forward.
+	if _, err := m.Promote(1); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("Promote(1) at term 1: %v, want ErrStaleTerm", err)
+	}
+	if term, err = m.Promote(5); err != nil || term != 5 {
+		t.Fatalf("Promote(5) = %d, %v", term, err)
+	}
+	if got, _ := m.Term(); got != 5 {
+		t.Fatalf("Term() = %d, want 5", got)
+	}
+	// The failed bump consumed no sequence number and the stats surface
+	// reports the fence.
+	st := m.Stats()
+	if st.Commit.Term != 5 {
+		t.Errorf("stats term %d, want 5", st.Commit.Term)
+	}
+}

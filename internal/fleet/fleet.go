@@ -53,6 +53,19 @@ var (
 	// because they would exceed the spare budget k; stats report it
 	// separately from duplicate-fault/repair-healthy conflicts.
 	ErrBudget error = &fleetError{category: ErrConflict, msg: "fleet: fault budget exhausted"}
+
+	// ErrReadOnly marks mutations refused because this replica is in
+	// read-only posture (a follower, or a deposed leader that demoted
+	// itself). The error surfaced to clients carries the leader hint
+	// when one is known; transports map it to 403 / StatusReadOnly.
+	ErrReadOnly = errors.New("fleet: read-only replica")
+
+	// ErrStaleTerm marks writes fenced off by the leadership term: a
+	// term bump that does not move the term forward, or an entry from a
+	// leader whose term has been superseded. Transports map it to
+	// StatusStaleTerm so a deposed leader can tell "I must demote"
+	// apart from ordinary conflicts.
+	ErrStaleTerm = errors.New("fleet: stale leadership term")
 )
 
 // fleetError carries a human message plus an errors.Is-matchable

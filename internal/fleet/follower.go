@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,8 +42,18 @@ type Follower struct {
 	heartbeats atomic.Uint64
 	reconnects atomic.Uint64
 	resyncs    atomic.Uint64
+	demotions  atomic.Uint64 // deposed-leader resets (higher term seen upstream)
+	discarded  atomic.Uint64 // local entries dropped across all demotions
 	leaderSeq  atomic.Uint64 // highest seq the leader has shown us (entries + heartbeats)
 	lastErr    atomic.Pointer[string]
+
+	// Promotion handshake. promoted stops the Run loop from opening new
+	// streams; runCancel/runDone let Promote cut the in-flight stream
+	// and wait for the loop to fully drain before bumping the term.
+	promoted  atomic.Bool
+	runMu     sync.Mutex
+	runCancel context.CancelFunc
+	runDone   chan struct{}
 
 	// Replication observability, registered into the manager's metrics
 	// registry: how far behind the leader's stream we are (sequence
@@ -62,8 +75,14 @@ type FollowerOptions struct {
 	// StallTimeout disconnects a stream with no entries or heartbeats
 	// for this long (default 4x Heartbeat).
 	StallTimeout time.Duration
-	// Backoff is the pause between reconnect attempts (default 500ms).
+	// Backoff is the initial pause between reconnect attempts (default
+	// 500ms). Each consecutive failure doubles it up to BackoffMax,
+	// with +-50% jitter, so a fleet of followers does not hammer a dead
+	// leader in lockstep during exactly the window a failover happens;
+	// a stream that connects resets the ladder.
 	Backoff time.Duration
+	// BackoffMax caps the exponential reconnect backoff (default 10s).
+	BackoffMax time.Duration
 	// Logf, when non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -76,6 +95,9 @@ type FollowerStats struct {
 	Heartbeats uint64 `json:"heartbeats"` // heartbeat lines received
 	Reconnects uint64 `json:"reconnects"` // streams (re)opened
 	Resyncs    uint64 `json:"resyncs"`    // checkpoint resynchronizations
+	Demotions  uint64 `json:"demotions"`  // deposed-leader resets (higher term upstream)
+	Discarded  uint64 `json:"discarded"`  // local entries dropped across demotions
+	Promoted   bool   `json:"promoted"`   // this replica took leadership; the loop stopped
 	LastSeq    uint64 `json:"last_seq"`   // local commit position
 	LeaderSeq  uint64 `json:"leader_seq"` // highest seq the leader has shown us
 	LagSeqs    int64  `json:"lag_seqs"`   // leader_seq - last_seq at the last stream event
@@ -101,9 +123,17 @@ func NewFollower(mgr *Manager, leader string, opts FollowerOptions) (*Follower, 
 	if opts.Backoff <= 0 {
 		opts.Backoff = 500 * time.Millisecond
 	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 10 * time.Second
+	}
+	if opts.BackoffMax < opts.Backoff {
+		opts.BackoffMax = opts.Backoff
+	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	// Rejected writers should learn where the leader is.
+	mgr.SetLeaderHint(leader)
 	reg := mgr.Metrics()
 	return &Follower{
 		mgr: mgr, leader: leader, opts: opts,
@@ -139,6 +169,9 @@ func (f *Follower) Stats() FollowerStats {
 		Heartbeats: f.heartbeats.Load(),
 		Reconnects: f.reconnects.Load(),
 		Resyncs:    f.resyncs.Load(),
+		Demotions:  f.demotions.Load(),
+		Discarded:  f.discarded.Load(),
+		Promoted:   f.promoted.Load(),
 		LastSeq:    f.mgr.CommitLog().LastSeq(),
 		LeaderSeq:  f.leaderSeq.Load(),
 	}
@@ -149,27 +182,89 @@ func (f *Follower) Stats() FollowerStats {
 	return st
 }
 
-// Run drives the replication loop until ctx is canceled. Every stream
-// error is recorded, backed off, and retried; Run only returns the
-// context's error.
+// Run drives the replication loop until ctx is canceled (returning the
+// context's error) or the follower is promoted (returning nil). Every
+// stream error is recorded, retried after a jittered exponential
+// backoff, and a stream that connects resets the backoff ladder.
 func (f *Follower) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	f.runMu.Lock()
+	f.runCancel = cancel
+	f.runDone = done
+	f.runMu.Unlock()
+	defer close(done)
+	backoff := f.opts.Backoff
 	for {
+		if f.promoted.Load() {
+			return nil
+		}
+		before := f.reconnects.Load()
 		err := f.stream(ctx)
 		f.connected.Store(false)
+		if f.promoted.Load() {
+			return nil
+		}
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if f.reconnects.Load() > before {
+			backoff = f.opts.Backoff // the stream connected; start the ladder over
 		}
 		if err != nil {
 			msg := err.Error()
 			f.lastErr.Store(&msg)
-			f.opts.Logf("follower: stream from %s: %v (reconnecting)", f.leader, err)
+			f.opts.Logf("follower: stream from %s: %v (reconnecting in ~%s)", f.leader, err, backoff)
 		}
 		select {
-		case <-time.After(f.opts.Backoff):
+		case <-time.After(jitter(backoff)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+		backoff = min(backoff*2, f.opts.BackoffMax)
 	}
+}
+
+// jitter spreads a backoff pause over [d/2, 3d/2) so a fleet of
+// reconnecting followers desynchronizes instead of retrying in
+// lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// Promote makes this replica the leader: stop opening new streams, cut
+// the in-flight one, wait for the loop to drain (every received entry
+// is applied synchronously, so a drained loop means the local log is
+// at its final replicated position), then commit the term-bump fence
+// and enable writes. Safe to call whether or not Run is active; a
+// second call after success fails with ErrStaleTerm-free semantics via
+// Manager.Promote (the replica is already writable, no bump races).
+func (f *Follower) Promote(ctx context.Context) (uint64, error) {
+	f.promoted.Store(true)
+	f.runMu.Lock()
+	cancel, done := f.runCancel, f.runDone
+	f.runMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	term, err := f.mgr.Promote(0)
+	if err != nil {
+		f.promoted.Store(false) // allow the loop to resume following
+		return 0, err
+	}
+	f.opts.Logf("follower: promoted to leader at term %d (seq %d)", term, f.mgr.CommitLog().LastSeq())
+	return term, nil
 }
 
 // errResync asks the outer loop to reconnect from scratch (from=0):
@@ -204,6 +299,47 @@ func (f *Follower) streamFrom(ctx context.Context, from uint64) error {
 		return err
 	}
 	defer resp.Body.Close()
+	// The term handshake, before any entry is consumed. The leader
+	// advertises its term (and the seq of the fence that set it) on
+	// every watch response; comparing against local state classifies
+	// the connection:
+	//
+	//   - leader term < ours: the upstream is itself a stale leader
+	//     (deposed but not yet demoted). Never follow it — back off and
+	//     retry; it will demote or the config will change.
+	//   - leader term > ours AND our log extends past the fence seq: WE
+	//     are the deposed leader, holding a suffix that was acked
+	//     locally but never replicated before the promotion. Demote:
+	//     count and discard the suffix, reset the replica, and resync
+	//     from zero so the promoted leader's history lands
+	//     bit-identically.
+	//   - otherwise: normal lag; any term bump arrives in-stream and
+	//     re-commits through the local term chain.
+	var leaderTerm, leaderTermSeq uint64
+	if ts := resp.Header.Get("X-Ftnet-Term"); ts != "" {
+		leaderTerm, err = strconv.ParseUint(ts, 10, 64)
+		if err != nil {
+			return fmt.Errorf("fleet: follower: bad X-Ftnet-Term %q: %v", ts, err)
+		}
+		leaderTermSeq, _ = strconv.ParseUint(resp.Header.Get("X-Ftnet-Term-Seq"), 10, 64)
+		localTerm, _ := f.mgr.Term()
+		if leaderTerm < localTerm {
+			return errorf(ErrStaleTerm,
+				"fleet: follower: refusing stream from %s: it advertises term %d below local term %d (stale leader)",
+				f.leader, leaderTerm, localTerm)
+		}
+		if leaderTerm > localTerm && leaderTermSeq > 0 && from > leaderTermSeq {
+			dropped := from - leaderTermSeq
+			f.demotions.Add(1)
+			f.discarded.Add(dropped)
+			f.opts.Logf("follower: deposed by term %d (fenced at seq %d): discarding %d un-replicated local entries and resyncing",
+				leaderTerm, leaderTermSeq, dropped)
+			if err := f.mgr.DemoteAndReset(f.leader); err != nil {
+				return fmt.Errorf("fleet: follower: demote: %w", err)
+			}
+			return errResync
+		}
+	}
 	if resp.StatusCode == http.StatusRequestedRangeNotSatisfiable {
 		// The leader's log ends before our position: it restarted with
 		// less history than we replicated. Resync from its checkpoint.
@@ -230,7 +366,19 @@ func (f *Follower) streamFrom(ctx context.Context, from uint64) error {
 		if staged == nil {
 			return nil
 		}
-		if err := f.mgr.ResetFromCheckpoint(stagedSeq, staged); err != nil {
+		// The checkpoint group carries the leader's state at stagedSeq.
+		// The term in force THERE is the advertised one only if the
+		// fence that set it lies inside the checkpointed prefix; a
+		// fence in the suffix arrives in-stream after the group, and
+		// adopting its term early would make that bump look stale. In
+		// that case keep the local term — a chain-safe lower bound,
+		// since terms are monotone in seq and our old position was
+		// behind the checkpoint.
+		cpTerm := leaderTerm
+		if leaderTermSeq > stagedSeq {
+			cpTerm, _ = f.mgr.Term()
+		}
+		if err := f.mgr.ResetFromCheckpoint(stagedSeq, cpTerm, staged); err != nil {
 			return err
 		}
 		f.opts.Logf("follower: installed checkpoint of %d instances at seq %d", len(staged), stagedSeq)

@@ -66,6 +66,16 @@ type Manager struct {
 	recovered     atomic.Pointer[RecoverStats] // last Recover result, for stats
 	compactions   atomic.Uint64                // successful Compact calls
 
+	// Write posture. A replica in read-only posture (a follower, or a
+	// deposed leader) refuses Create/Delete/EventBatch with ErrReadOnly
+	// — consulted per-request by every transport, so promotion flips
+	// the whole surface at once without rewiring handlers. leaderHint,
+	// when known, is the leader's advertised URL, folded into the
+	// ErrReadOnly message so clients learn where to go.
+	readOnly   atomic.Bool
+	leaderHint atomic.Pointer[string]
+	rejectedRO atomic.Uint64 // mutations refused while read-only
+
 	obs       *obs.Registry  // service metrics registry; never nil
 	pauseHist *obs.Histogram // compaction pause (commits gated) duration
 }
@@ -135,8 +145,82 @@ func (m *Manager) NextSeq() uint64 { return m.pipe.log.NextSeq() }
 // ends. Further transitions are refused.
 func (m *Manager) Close() error { return m.pipe.log.Close() }
 
+// Quiesce ends every watch/replication subscription at a record
+// boundary while keeping the manager (and its journal) open — the
+// shutdown step that lets an http.Server drain streaming handlers
+// before the final journal flush+fsync in Close.
+func (m *Manager) Quiesce() { m.pipe.log.Quiesce() }
+
 func (m *Manager) shardFor(id string) *shard {
 	return &m.shards[maphash.String(m.seed, id)%numShards]
+}
+
+// SetReadOnly flips the manager's write posture. Read-only refuses
+// client mutations (Create, Delete, EventBatch) with ErrReadOnly;
+// replication and recovery paths are unaffected — they re-commit the
+// leader's entries by construction.
+func (m *Manager) SetReadOnly(ro bool) { m.readOnly.Store(ro) }
+
+// ReadOnly reports the current write posture.
+func (m *Manager) ReadOnly() bool { return m.readOnly.Load() }
+
+// SetLeaderHint records the leader URL advertised to rejected writers
+// ("" clears it).
+func (m *Manager) SetLeaderHint(url string) {
+	if url == "" {
+		m.leaderHint.Store(nil)
+		return
+	}
+	m.leaderHint.Store(&url)
+}
+
+// LeaderHint returns the advertised leader URL, or "".
+func (m *Manager) LeaderHint() string {
+	if p := m.leaderHint.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// errReadOnly builds the rejection for a mutation attempted in
+// read-only posture, carrying the leader hint when one is known.
+func (m *Manager) errReadOnly(verb string) error {
+	m.rejectedRO.Add(1)
+	if hint := m.LeaderHint(); hint != "" {
+		return errorf(ErrReadOnly, "fleet: %s refused: read-only replica (leader: %s)", verb, hint)
+	}
+	return errorf(ErrReadOnly, "fleet: %s refused: read-only replica", verb)
+}
+
+// Term returns the leadership term in force and the commit seq of the
+// entry that established it.
+func (m *Manager) Term() (term, termSeq uint64) { return m.pipe.log.Term() }
+
+// Promote makes this replica the leader: it commits the OpTermBump
+// fence — every subsequent entry belongs to the new term, and the
+// commit plane rejects any bump that does not move the term forward,
+// so two racing promotions serialize and the loser gets ErrStaleTerm
+// — then drops read-only posture. term selects the new term; 0 means
+// current+1. The caller (fleet.Follower, or ftnetd's signal handler)
+// must have stopped tailing the old leader first.
+func (m *Manager) Promote(term uint64) (uint64, error) {
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
+	cur, _ := m.pipe.log.Term()
+	if term == 0 {
+		term = cur + 1
+	}
+	rec := journal.Record{Op: journal.OpTermBump, ID: journal.SeqBaseID, Term: term}
+	if _, err := m.pipe.log.Commit(rec, nil); err != nil {
+		if errors.Is(err, commit.ErrStaleTerm) {
+			return 0, errorf(ErrStaleTerm, "fleet: promote to term %d: %v", term, err)
+		}
+		m.journalFailed.Add(1)
+		return 0, errorf(ErrUnavailable, "fleet: commit term bump: %v", err)
+	}
+	m.readOnly.Store(false)
+	m.leaderHint.Store(nil)
+	return term, nil
 }
 
 // Create registers a new instance under id. The id must be non-empty
@@ -149,6 +233,9 @@ func (m *Manager) shardFor(id string) *shard {
 // control-plane operations, and the hot transition path fsyncs only
 // under its own instance's writer mutex.
 func (m *Manager) Create(id string, spec Spec) (*Instance, error) {
+	if m.readOnly.Load() {
+		return nil, m.errReadOnly("create")
+	}
 	if id == "" {
 		return nil, fmt.Errorf("fleet: empty instance id")
 	}
@@ -227,6 +314,9 @@ func (m *Manager) GetBytes(id []byte) (*Instance, bool) {
 // tombstone and reject — so no transition record can ever trail its
 // instance's delete record, and a reused id recovers cleanly.
 func (m *Manager) Delete(id string) (bool, error) {
+	if m.readOnly.Load() {
+		return false, m.errReadOnly("delete")
+	}
 	m.pipe.gate.RLock()
 	defer m.pipe.gate.RUnlock()
 	s := m.shardFor(id)
@@ -288,6 +378,9 @@ func (m *Manager) EventBatchBytes(id []byte, events []Event) (EventResult, error
 // fleet-wide accept/reject counters — the shared tail of EventBatch
 // and EventBatchBytes.
 func (m *Manager) applyBatch(in *Instance, events []Event) (EventResult, error) {
+	if m.readOnly.Load() {
+		return EventResult{}, m.errReadOnly("event batch")
+	}
 	res, err := in.ApplyBatch(events)
 	if err != nil {
 		switch {
@@ -380,6 +473,9 @@ type Stats struct {
 	Batches    uint64        `json:"batches"`
 	Rejected   uint64        `json:"rejected"`
 	RejectedBy RejectedStats `json:"rejected_by_cause"`
+	ReadOnly   bool          `json:"read_only"`               // current write posture
+	RejectedRO uint64        `json:"rejected_read_only"`      // mutations refused while read-only
+	LeaderHint string        `json:"leader_hint,omitempty"`   // advertised leader URL, if known
 	Lookups    uint64        `json:"lookups"`
 	Cache      CacheStats    `json:"cache"`
 	Journal    JournalStats  `json:"journal"`
@@ -429,6 +525,9 @@ func (m *Manager) Stats() Stats {
 		Batches:    m.batches.Load(),
 		Rejected:   rej.Total(),
 		RejectedBy: rej,
+		ReadOnly:   m.readOnly.Load(),
+		RejectedRO: m.rejectedRO.Load(),
+		LeaderHint: m.LeaderHint(),
 		Lookups:    m.lookups.Load(),
 		Cache:      m.cache.Stats(),
 		Journal:    js,
@@ -498,6 +597,39 @@ func (m *Manager) Compact() (CompactStats, error) {
 	return CompactStats{Instances: len(cps), Seq: seq, Seconds: pause.Seconds()}, nil
 }
 
+// DemoteAndReset turns a deposed leader back into an empty follower:
+// read-only posture (advertising leaderHint), every instance dropped,
+// and the commit log rebased to zero — the local journal is rewritten
+// as an empty [seq marker] file, which is what discards the
+// acked-locally-but-never-replicated suffix. The caller then resyncs
+// from the promoted leader's stream from seq 0 and rebuilds
+// bit-identically; the term resets with the log and is re-verified as
+// the leader's history (including its fence) replays.
+func (m *Manager) DemoteAndReset(leaderHint string) error {
+	m.SetReadOnly(true)
+	m.SetLeaderHint(leaderHint)
+	m.pipe.gate.Lock()
+	defer m.pipe.gate.Unlock()
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id, in := range s.instances {
+			in.writeMu.Lock()
+			in.deleted = true
+			in.writeMu.Unlock()
+			delete(s.instances, id)
+		}
+		s.mu.Unlock()
+	}
+	// Zero the term BEFORE Install stamps the seq-base marker: the
+	// rewritten journal must replay from term 0 so the leader's own
+	// term-bump history (which we are about to re-commit during the
+	// resync) passes the strictly-increasing chain check even after a
+	// crash mid-resync.
+	m.pipe.log.SetTerm(0, 0)
+	return m.pipe.log.Install(0, nil)
+}
+
 // ErrSeqGap is returned by ReplicateEntry when the forwarded entry's
 // sequence number is ahead of the follower's next expected one — the
 // leader compacted past this follower (or lost history), and the
@@ -531,9 +663,27 @@ func (m *Manager) ReplicateEntry(e commit.Entry) error {
 			return errorf(ErrNotFound, "fleet: replicated transition for unknown instance %q", e.Rec.ID)
 		}
 		return in.replicate(e.Rec)
+	case journal.OpTermBump:
+		return m.replicateTermBump(e.Rec)
 	default:
 		return fmt.Errorf("fleet: cannot replicate %v record", e.Rec.Op)
 	}
+}
+
+// replicateTermBump re-commits a forwarded leadership fence through the
+// local pipeline. The local commit plane re-verifies the chain: a bump
+// that does not move the term forward is the signature of a stale
+// leader's stream and fails with ErrStaleTerm rather than landing.
+func (m *Manager) replicateTermBump(rec journal.Record) error {
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
+	if _, err := m.pipe.log.Commit(rec, nil); err != nil {
+		if errors.Is(err, commit.ErrStaleTerm) {
+			return errorf(ErrStaleTerm, "fleet: replicated term bump: %v", err)
+		}
+		return errorf(ErrUnavailable, "fleet: commit replicated term bump: %v", err)
+	}
+	return nil
 }
 
 // replicateCreate mirrors Create for a forwarded record: same commit
@@ -585,8 +735,11 @@ func (m *Manager) replicateDelete(id string) error {
 // rebased to seq via Install, truncating the local journal to
 // [seq marker, checkpoint] — exactly what the leader's compacted file
 // looks like. Instances absent from cps are dropped: the checkpoint is
-// the complete leader state.
-func (m *Manager) ResetFromCheckpoint(seq uint64, cps []journal.Record) error {
+// the complete leader state. term is the leader's term in force at the
+// checkpoint; the local term chain is rebased to it (a deposed leader
+// resynchronizing adopts the promoted leader's higher term here, which
+// is what makes its own discarded suffix unreplayable).
+func (m *Manager) ResetFromCheckpoint(seq, term uint64, cps []journal.Record) error {
 	m.pipe.gate.Lock()
 	defer m.pipe.gate.Unlock()
 	for i := range m.shards {
@@ -614,5 +767,10 @@ func (m *Manager) ResetFromCheckpoint(seq uint64, cps []journal.Record) error {
 			return err
 		}
 	}
+	// Adopt the leader's term BEFORE Install stamps the seq-base
+	// marker, so the truncated journal replays with the checkpoint's
+	// term in force — a restart right after the resync must not come
+	// back up believing the old term.
+	m.pipe.log.SetTerm(term, 0)
 	return m.pipe.log.Install(seq, cps)
 }

@@ -31,6 +31,9 @@ type RecoverStats struct {
 	LastEpoch   uint64  `json:"last_epoch"`  // highest epoch restored
 	BaseSeq     uint64  `json:"base_seq"`    // commit seq of the file's first ordinary record
 	NextSeq     uint64  `json:"next_seq"`    // commit seq the next transition will carry
+	Term        uint64  `json:"term"`        // leadership term in force at the end of the log
+	TermSeq     uint64  `json:"term_seq"`    // commit seq of the in-file bump that set it (0 = from seq base)
+	TermBumps   int     `json:"term_bumps"`  // OpTermBump records replayed
 	Torn        bool    `json:"torn"`        // a torn/corrupt tail was dropped
 	TornReason  string  `json:"torn_reason,omitempty"`
 	Offset      int64   `json:"offset"`  // end of the valid prefix, in bytes
@@ -74,10 +77,17 @@ func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 		switch rec.Op {
 		case journal.OpSeqBase:
 			// Metadata, not a transition: a compacted file leads with the
-			// commit seq of its first post-checkpoint record, so sequence
-			// numbers survive the checkpoint-and-truncate swap.
+			// commit seq of its first post-checkpoint record — and the
+			// leadership term in force at the cut — so both survive the
+			// checkpoint-and-truncate swap.
 			st.BaseSeq = rec.Seq
 			st.NextSeq = rec.Seq
+			if rec.Term < st.Term {
+				return st, fmt.Errorf("fleet: recover record %d: seq base term %d below term %d in force",
+					st.Records, rec.Term, st.Term)
+			}
+			st.Term = rec.Term
+			st.TermSeq = 0
 		case journal.OpCheckpoint:
 			// One instance's complete state at the compaction cut; does
 			// not consume a commit seq (it summarizes the dropped prefix).
@@ -108,6 +118,19 @@ func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 			deleted[rec.ID] = true
 			st.Deleted++
 			st.NextSeq++
+		case journal.OpTermBump:
+			// The leadership fence consumes a commit seq like any ordinary
+			// record, and the chain must be strictly increasing — a log
+			// where the term goes backwards is a deposed leader's suffix
+			// that should have been discarded, so replay refuses it.
+			if rec.Term <= st.Term {
+				return st, fmt.Errorf("fleet: recover record %d: term bump to %d but term %d already in force",
+					st.Records, rec.Term, st.Term)
+			}
+			st.Term = rec.Term
+			st.TermSeq = st.NextSeq
+			st.NextSeq++
+			st.TermBumps++
 		case journal.OpTransition:
 			st.NextSeq++
 			in, ok := m.Get(rec.ID)
@@ -133,8 +156,10 @@ func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 	st.Offset = jr.Offset()
 	st.Seconds = time.Since(start).Seconds()
 	// Seed the commit pipeline where the log left off, so watch and
-	// replication sequence numbers continue across the restart.
+	// replication sequence numbers — and the leadership term fence —
+	// continue across the restart.
 	m.pipe.log.SetPosition(st.BaseSeq, st.NextSeq-1)
+	m.pipe.log.SetTerm(st.Term, st.TermSeq)
 	m.recovered.Store(&st)
 	return st, nil
 }

@@ -34,6 +34,7 @@ type WatchEntry struct {
 	Epoch     uint64 `json:"epoch,omitempty"`   // transition / checkpoint
 	Applied   int    `json:"applied,omitempty"` // transition
 	Faults    []int  `json:"faults,omitempty"`  // transition / checkpoint
+	Term      uint64 `json:"term,omitempty"`    // termbump (the new leadership term)
 	Heartbeat bool   `json:"heartbeat,omitempty"`
 	// Ts is the leader's commit wall-clock in unix nanoseconds, when
 	// known (live entries only — catch-up from the journal has no
@@ -51,6 +52,7 @@ func watchEntryFrom(e commit.Entry) WatchEntry {
 		Epoch:   e.Rec.Epoch,
 		Applied: e.Rec.Applied,
 		Faults:  e.Rec.Faults,
+		Term:    e.Rec.Term,
 		Ts:      e.At,
 	}
 	if e.Rec.Op == journal.OpCreate || e.Rec.Op == journal.OpCheckpoint {
@@ -72,6 +74,10 @@ func (we WatchEntry) Entry() (commit.Entry, error) {
 		rec.Op = journal.OpTransition
 	case "checkpoint":
 		rec.Op = journal.OpCheckpoint
+	case "termbump":
+		rec.Op = journal.OpTermBump
+		rec.ID = journal.SeqBaseID
+		rec.Term = we.Term
 	default:
 		return commit.Entry{}, fmt.Errorf("fleet: unknown watch op %q", we.Op)
 	}
@@ -116,6 +122,16 @@ func (s *apiServer) watch(w http.ResponseWriter, r *http.Request) {
 		}
 		hb = min(max(d, minWatchHeartbeat), maxWatchHeartbeat)
 	}
+	// Advertise the leadership term in force (and the seq of the entry
+	// that set it) on every watch response — including the 416 rejection
+	// below. A reconnecting replica compares them against its own state
+	// BEFORE consuming any entries: a lower term here means this server
+	// is a stale leader and must not be followed; a higher term combined
+	// with a from beyond the term fence means the caller is a deposed
+	// leader holding un-replicated suffix it must discard.
+	term, termSeq := s.mgr.Term()
+	w.Header().Set("X-Ftnet-Term", strconv.FormatUint(term, 10))
+	w.Header().Set("X-Ftnet-Term-Seq", strconv.FormatUint(termSeq, 10))
 	sub, err := s.mgr.Subscribe(from, watchBuffer)
 	if err == commit.ErrFutureSeq {
 		writeJSON(w, http.StatusRequestedRangeNotSatisfiable,

@@ -30,7 +30,8 @@ func FuzzJournalDecode(f *testing.F) {
 		{Op: OpTransition, ID: "big", Epoch: 1 << 40, Applied: 7, Faults: []int{5, 1000, 1 << 20}},
 		{Op: OpTransition, ID: "empty", Epoch: 9, Applied: 2, Faults: nil},
 		{Op: OpSeqBase, ID: SeqBaseID, Seq: 1},
-		{Op: OpSeqBase, ID: SeqBaseID, Seq: 1 << 33},
+		{Op: OpSeqBase, ID: SeqBaseID, Seq: 1 << 33, Term: 5},
+		{Op: OpTermBump, ID: SeqBaseID, Term: 2},
 		{Op: OpCheckpoint, ID: "prod", Spec: Spec{Kind: "debruijn", M: 2, H: 4, K: 3}, Epoch: 17, Faults: []int{1, 5}},
 		{Op: OpCheckpoint, ID: "fresh", Spec: Spec{Kind: "shuffle", H: 6, K: 2}, Epoch: 0, Faults: nil},
 	} {

@@ -29,12 +29,17 @@ func sampleRecords() []Record {
 }
 
 // compactionRecords is the head of a compacted log: the seq-base
-// marker and full-state checkpoints (any epoch, including 0).
+// marker (carrying the leadership term in force) and full-state
+// checkpoints (any epoch, including 0), plus a term bump as a promoted
+// replica would fence its first write with.
 func compactionRecords() []Record {
 	return []Record{
 		{Op: OpSeqBase, ID: SeqBaseID, Seq: 42},
+		{Op: OpSeqBase, ID: SeqBaseID, Seq: 7, Term: 3},
 		{Op: OpCheckpoint, ID: "prod", Spec: Spec{Kind: "debruijn", M: 2, H: 4, K: 3}, Epoch: 17, Faults: []int{3, 11}},
 		{Op: OpCheckpoint, ID: "fresh", Spec: Spec{Kind: "shuffle", H: 4, K: 2}, Epoch: 0, Faults: nil},
+		{Op: OpTermBump, ID: SeqBaseID, Term: 1},
+		{Op: OpTermBump, ID: SeqBaseID, Term: 1 << 40},
 	}
 }
 
@@ -87,6 +92,7 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		{Op: OpTransition, ID: "x", Epoch: 1, Applied: 1, Faults: []int{-1}},
 		{Op: OpCreate, ID: "x", Spec: Spec{M: -1}},
 		{Op: OpSeqBase, ID: SeqBaseID, Seq: 0},
+		{Op: OpTermBump, ID: SeqBaseID, Term: 0},
 		{Op: OpCheckpoint, ID: "x", Spec: Spec{H: -1}},
 		{Op: OpCheckpoint, ID: "x", Faults: []int{9, 2}},
 	}

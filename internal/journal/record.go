@@ -15,17 +15,25 @@ type Op byte
 // one OpTransition — the epoch advances by one either way). Two more
 // kinds exist for compaction: OpSeqBase is the metadata record a
 // compacted log starts with (it pins the commit sequence number of the
-// next ordinary record, so positional sequence numbering survives the
-// checkpoint-and-truncate swap), and OpCheckpoint captures one
-// instance's entire state — spec, epoch, fault set — in a single
+// next ordinary record — and the leadership term in force — so both
+// survive the checkpoint-and-truncate swap), and OpCheckpoint captures
+// one instance's entire state — spec, epoch, fault set — in a single
 // record, which is all the paper's pure-function-of-the-fault-set
 // reconfiguration needs to rebuild it bit-identically.
+//
+// OpTermBump is the leadership fence: a promoted replica commits one
+// before accepting writes, and every entry after it belongs to the new
+// term. It consumes a commit sequence number like any ordinary record
+// (followers must observe it in-stream, in order), and recovery
+// verifies the term chain — strictly increasing — the same way it
+// verifies the per-instance epoch chain.
 const (
 	OpCreate     Op = 1
 	OpDelete     Op = 2
 	OpTransition Op = 3
 	OpSeqBase    Op = 4
 	OpCheckpoint Op = 5
+	OpTermBump   Op = 6
 )
 
 func (op Op) String() string {
@@ -40,6 +48,8 @@ func (op Op) String() string {
 		return "seqbase"
 	case OpCheckpoint:
 		return "checkpoint"
+	case OpTermBump:
+		return "termbump"
 	default:
 		return fmt.Sprintf("op(%d)", byte(op))
 	}
@@ -65,8 +75,9 @@ type Spec struct {
 //
 // OpCheckpoint sets Spec, Epoch and Faults together (Applied is
 // unused): the instance's complete state in one record, any epoch —
-// including 0 for a never-transitioned instance. OpSeqBase sets only
-// Seq; its ID is SeqBaseID by convention.
+// including 0 for a never-transitioned instance. OpSeqBase sets Seq
+// and Term; OpTermBump sets only Term; both use SeqBaseID as their ID
+// by convention.
 type Record struct {
 	Op      Op
 	ID      string
@@ -75,10 +86,12 @@ type Record struct {
 	Applied int    // OpTransition only; events in the atomic batch
 	Faults  []int  // OpTransition and OpCheckpoint; sorted, distinct, non-negative
 	Seq     uint64 // OpSeqBase only; commit seq of the next ordinary record
+	Term    uint64 // OpTermBump (the new term, >= 1) and OpSeqBase (term in force)
 }
 
-// SeqBaseID is the conventional instance-id slot of OpSeqBase records
-// (the codec requires a non-empty ID for every record).
+// SeqBaseID is the conventional instance-id slot of OpSeqBase and
+// OpTermBump records (the codec requires a non-empty ID for every
+// record).
 const SeqBaseID = "log"
 
 // recordVersion is the payload format version byte. Decoding rejects
@@ -113,10 +126,13 @@ func AppendRecord(dst []byte, rec Record) ([]byte, error) {
 		dst = appendFaults(dst, rec.Faults)
 	case OpSeqBase:
 		dst = binary.AppendUvarint(dst, rec.Seq)
+		dst = binary.AppendUvarint(dst, rec.Term)
 	case OpCheckpoint:
 		dst = appendSpec(dst, rec.Spec)
 		dst = binary.AppendUvarint(dst, rec.Epoch)
 		dst = appendFaults(dst, rec.Faults)
+	case OpTermBump:
+		dst = binary.AppendUvarint(dst, rec.Term)
 	}
 	return dst, nil
 }
@@ -169,6 +185,10 @@ func (rec Record) validate() error {
 			return fmt.Errorf("journal: negative spec field in %+v", rec.Spec)
 		}
 		return validateFaults(rec.Faults)
+	case OpTermBump:
+		if rec.Term == 0 {
+			return fmt.Errorf("journal: term bump to 0 (terms start at 1)")
+		}
 	default:
 		return fmt.Errorf("journal: unknown op %d", rec.Op)
 	}
@@ -347,6 +367,9 @@ func DecodeRecord(b []byte) (Record, error) {
 		if rec.Seq == 0 {
 			return Record{}, fmt.Errorf("journal: seq base 0")
 		}
+		if rec.Term, err = d.uvarint(); err != nil {
+			return Record{}, err
+		}
 	case OpCheckpoint:
 		if rec.Spec, err = d.spec(); err != nil {
 			return Record{}, err
@@ -356,6 +379,13 @@ func DecodeRecord(b []byte) (Record, error) {
 		}
 		if rec.Faults, err = d.faults(); err != nil {
 			return Record{}, err
+		}
+	case OpTermBump:
+		if rec.Term, err = d.uvarint(); err != nil {
+			return Record{}, err
+		}
+		if rec.Term == 0 {
+			return Record{}, fmt.Errorf("journal: term bump to 0")
 		}
 	default:
 		return Record{}, fmt.Errorf("journal: unknown op %d", b[1])

@@ -115,3 +115,19 @@ func BuildServiceArtifact(scenario string, res *Result, leader, follower *obs.Ex
 	}
 	return art
 }
+
+// AppendFailover folds a partition-torture run's client-measured
+// windows into a service artifact, as two more gateable families:
+//
+//	failover_downtime    leader kill to the promoted replica accepting
+//	                     writes — the unavailability window
+//	divergence_window    partition to kill: how long the old leader
+//	                     acknowledged writes no replica had
+func AppendFailover(art *ServiceArtifact, res FailoverResult) {
+	art.Benchmarks = append(art.Benchmarks,
+		ServiceBenchmark{Name: "failover_downtime", Family: "failover_downtime",
+			Value: float64(res.FailoverDowntime), Unit: "ns"},
+		ServiceBenchmark{Name: "divergence_window", Family: "divergence_window",
+			Value: float64(res.DivergenceWindow), Unit: "ns"},
+	)
+}

@@ -34,6 +34,10 @@ func (e *Error) Unwrap() error {
 		return fleet.ErrBudget
 	case StatusUnavailable:
 		return fleet.ErrUnavailable
+	case StatusReadOnly:
+		return fleet.ErrReadOnly
+	case StatusStaleTerm:
+		return fleet.ErrStaleTerm
 	default:
 		return nil
 	}
@@ -66,6 +70,10 @@ func statusOf(err error) Status {
 	switch {
 	case errors.Is(err, fleet.ErrNotFound):
 		return StatusNotFound
+	case errors.Is(err, fleet.ErrStaleTerm):
+		return StatusStaleTerm
+	case errors.Is(err, fleet.ErrReadOnly):
+		return StatusReadOnly
 	case errors.Is(err, fleet.ErrBudget):
 		return StatusBudget
 	case errors.Is(err, fleet.ErrConflict):

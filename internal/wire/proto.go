@@ -85,6 +85,7 @@ const (
 	StatusUnavailable Status = 4 // journal/commit failure, nothing applied (HTTP 503)
 	StatusInvalid     Status = 5 // bad input: node out of range, empty batch (HTTP 400)
 	StatusReadOnly    Status = 6 // follower posture: mutations come from the leader (HTTP 403)
+	StatusStaleTerm   Status = 7 // leadership term fence: the writer was deposed (HTTP 403)
 )
 
 func (s Status) String() string {
@@ -103,6 +104,8 @@ func (s Status) String() string {
 		return "invalid"
 	case StatusReadOnly:
 		return "read-only"
+	case StatusStaleTerm:
+		return "stale term"
 	default:
 		return fmt.Sprintf("status(%d)", byte(s))
 	}
@@ -353,7 +356,7 @@ func DecodeResponse(b []byte) (Response, error) {
 	return resp, nil
 }
 
-func validStatus(s Status) bool { return s <= StatusReadOnly }
+func validStatus(s Status) bool { return s <= StatusStaleTerm }
 
 func eventKindByte(k fleet.EventKind) (byte, bool) {
 	switch k {

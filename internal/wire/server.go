@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
@@ -26,8 +27,11 @@ const maxCoalesce = 256 << 10
 
 // ServerOptions tunes NewServer.
 type ServerOptions struct {
-	// ReadOnly rejects ApplyBatch with StatusReadOnly — the follower
-	// posture, mirroring the HTTP plane's 403.
+	// ReadOnly sets the manager's initial write posture: ApplyBatch is
+	// rejected with StatusReadOnly, mirroring the HTTP plane's 403.
+	// The posture is consulted per request on the manager, so a
+	// promotion (POST /v1/promote) opens the RPC plane for writes too,
+	// with no rewiring.
 	ReadOnly bool
 	// Metrics, when non-nil, is the registry the RPC plane's
 	// histograms, byte counters and connection gauge land in (pass the
@@ -43,8 +47,7 @@ type ServerOptions struct {
 // log-round batching that makes a pipelining client pay ~one syscall
 // pair per batch instead of per request.
 type Server struct {
-	mgr      *fleet.Manager
-	readOnly bool
+	mgr *fleet.Manager
 
 	lookupHist *obs.Histogram
 	batchHist  *obs.Histogram
@@ -70,9 +73,11 @@ func NewServer(mgr *fleet.Manager, opts ServerOptions) *Server {
 	}
 	opHist := reg.HistogramVec("ftnet_rpc_op_seconds",
 		"RPC-plane handling latency by operation.", "op")
+	if opts.ReadOnly {
+		mgr.SetReadOnly(true)
+	}
 	return &Server{
 		mgr:        mgr,
-		readOnly:   opts.ReadOnly,
 		lookupHist: opHist.With("lookup"),
 		batchHist:  opHist.With("lookup_batch"),
 		applyHist:  opHist.With("apply_batch"),
@@ -140,6 +145,41 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// Shutdown drains the server gracefully: listeners stop accepting, and
+// every open connection is nudged with an already-expired read deadline
+// — the serve loop finishes handling (and flushes responses for) every
+// request it has already read, then exits on its next blocking read
+// instead of being cut mid-frame. Connections still open when ctx
+// expires are closed hard, and the context's error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+		delete(s.lns, ln)
+	}
+	for nc := range s.conns {
+		nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.Close()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
 }
 
 func (s *Server) forget(nc net.Conn) {
@@ -276,10 +316,7 @@ func (c *srvConn) handle(payload, out []byte) ([]byte, bool) {
 		if !d.done() {
 			return out, false
 		}
-		if c.s.readOnly {
-			out = c.appendStatus(out, t, seq, StatusReadOnly,
-				"read-only follower: state mutations come from the leader's commit stream")
-		} else if res, aerr := c.s.mgr.EventBatchBytes(id, c.events); aerr != nil {
+		if res, aerr := c.s.mgr.EventBatchBytes(id, c.events); aerr != nil {
 			out = c.appendError(out, t, seq, aerr)
 		} else {
 			out = c.appendOK(out, Response{Type: t, Seq: seq, Result: res})
