@@ -65,6 +65,24 @@
 //	    -exec-follower "./ftnetd -addr 127.0.0.1:18081 -journal /tmp/b.wal -follow http://127.0.0.1:18080" \
 //	    -exec-rejoin "./ftnetd -addr 127.0.0.1:18080 -journal /tmp/a.wal -follow http://127.0.0.1:18081"
 //
+// The cluster scenario is the scale-out probe: point -peers at a fleet
+// of daemons booted *unsharded*, name the member that should join the
+// ring mid-storm with -join, and ftload owns the topology lifecycle —
+// it installs the initial ring over POST /v1/ring, storms the cluster
+// through a shard-aware client (ring routing + X-Ftnet-Owner redirect
+// learning + 503-staged backoff, the same convergence rules as
+// ftproxy), adds the joiner to every ring mid-storm, triggers
+// /v1/rebalance so displaced instances are checkpoint-streamed to it,
+// and then verifies the handoff: every instance on exactly its ring
+// owner, epoch equal to the acknowledged watermark (zero lost or
+// double-applied transitions), phi slice bit-identical to a fresh
+// recomputation. With -obs-json it emits the rebalance_pause and
+// cluster_lookups_per_sec SLO families:
+//
+//	ftload -scenario cluster -instances 24 -requests 30000 \
+//	    -peers a=http://127.0.0.1:18110,b=http://127.0.0.1:18111,c=http://127.0.0.1:18112 \
+//	    -join c -obs-json BENCH_service_shard.json
+//
 // With -rpc the hot path (lookups and event batches) runs over the
 // binary RPC plane (internal/wire) instead of HTTP+JSON: persistent
 // pipelined connections to the daemon's -rpc-addr listener, lookups
@@ -96,6 +114,7 @@ import (
 	"ftnet/internal/fleet"
 	"ftnet/internal/loadgen"
 	"ftnet/internal/obs"
+	"ftnet/internal/shard"
 )
 
 type config struct {
@@ -107,6 +126,9 @@ type config struct {
 	follower     string // follower base URL to verify convergence against after the run
 	obsJSON      string // path to write the BENCH_service.json SLO artifact to
 	rpc          bool   // drive the hot path over the binary RPC plane
+	peers        string // cluster membership "name=url,..." (cluster scenario)
+	join         string // member joining the ring mid-storm (cluster scenario)
+	replicas     int    // ring vnodes per member (cluster scenario)
 }
 
 func main() {
@@ -122,7 +144,10 @@ func main() {
 	flag.IntVar(&cfg.Requests, "requests", 20000, "total operations to issue")
 	flag.Float64Var(&cfg.Scenario.EventFrac, "eventfrac", 0.1, "fraction of ops that are fault/repair events")
 	flag.IntVar(&cfg.Scenario.Batch, "batch", 1, "events per reconfiguration op (> 1 uses atomic events:batch bursts)")
-	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy", "write-storm", "restart" or "partition-torture" (overrides -eventfrac/-batch)`)
+	flag.StringVar(&cfg.scenario, "scenario", "", `named scenario preset: "mixed", "read-heavy", "burst-heavy", "write-storm", "restart", "partition-torture" or "cluster" (overrides -eventfrac/-batch)`)
+	flag.StringVar(&cfg.peers, "peers", "", `cluster membership as "name=url,name=url,..." for -scenario cluster (daemons booted unsharded; ftload installs the rings)`)
+	flag.StringVar(&cfg.join, "join", "", `member of -peers held out of the initial ring and joined mid-storm (-scenario cluster)`)
+	flag.IntVar(&cfg.replicas, "replicas", 0, "virtual nodes per ring member for -scenario cluster (0 = shard default)")
 	flag.StringVar(&cfg.exec, "exec", "", `daemon command line for -scenario restart/partition-torture (ftload spawns, SIGKILLs and restarts it)`)
 	flag.StringVar(&cfg.execFollower, "exec-follower", "", `follower daemon command line for -scenario partition-torture (SIGSTOPped for the partition, promoted after the kill)`)
 	flag.StringVar(&cfg.execRejoin, "exec-rejoin", "", `deposed-leader rejoin command line for -scenario partition-torture (same journal as -exec, -follow pointing at the promoted follower)`)
@@ -152,6 +177,9 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.scenario == "partition-torture" {
 		return runFailover(cfg, out)
+	}
+	if cfg.scenario == "cluster" {
+		return runCluster(cfg, out)
 	}
 	if cfg.scenario != "" {
 		sc, ok := loadgen.ByName(cfg.scenario)
@@ -371,6 +399,48 @@ func runFailover(cfg config, out io.Writer) error {
 		}
 		art := loadgen.BuildServiceArtifact("partition-torture", nil, newLeader, rejoined)
 		loadgen.AppendFailover(&art, res)
+		if err := emitArtifact(cfg.obsJSON, art, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCluster owns the scale-out scenario: the daemons are already
+// running (and unsharded); ftload installs the rings, storms the
+// cluster through the shard-aware client, joins -join mid-storm,
+// rebalances, and verifies the handoff invariants.
+func runCluster(cfg config, out io.Writer) error {
+	if cfg.peers == "" || cfg.join == "" {
+		return fmt.Errorf(`-scenario cluster needs -peers "name=url,..." and -join <member>`)
+	}
+	peers, err := shard.ParsePeers(cfg.peers)
+	if err != nil {
+		return err
+	}
+	res, err := loadgen.RunCluster(loadgen.ClusterConfig{
+		Config:   cfg.Config,
+		Peers:    peers,
+		Joiner:   cfg.join,
+		Replicas: cfg.replicas,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ftload: cluster scenario across %d daemons (joiner %s)\n", len(peers), cfg.join)
+	fmt.Fprintf(out, "  storm        %d transitions acked, %d lookups (%d rejected, %d transport + %d other errors) in %v\n",
+		res.Storm.Batches, res.Storm.Lookups, res.Storm.Rejected, res.Storm.Transport, res.Storm.Errors,
+		res.Storm.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  rebalance    %d instances checkpoint-streamed in %v (max write-fence pause %v)\n",
+		res.Migrated, res.RebalanceWall.Round(time.Millisecond), res.PauseMax.Round(time.Microsecond))
+	fmt.Fprintf(out, "  routing      %d redirects followed, %d staged-window retries — no manual retry logic\n",
+		res.Redirects, res.StagedWaits)
+	fmt.Fprintf(out, "  lookups      %.0f routed lookups/s under the rebalance\n", res.Storm.LookupThroughput())
+	fmt.Fprintf(out, "  verified     %d/%d instances on their ring owner, epoch == acked watermark, phi bit-identical\n",
+		res.Verified, cfg.Instances)
+	if cfg.obsJSON != "" {
+		art := loadgen.ServiceArtifact{Kind: "service", Scenario: "cluster"}
+		loadgen.AppendCluster(&art, res)
 		if err := emitArtifact(cfg.obsJSON, art, out); err != nil {
 			return err
 		}

@@ -80,6 +80,7 @@ import (
 
 	"ftnet/internal/fleet"
 	"ftnet/internal/journal"
+	"ftnet/internal/shard"
 	"ftnet/internal/wire"
 )
 
@@ -95,6 +96,9 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
 	rpcAddr := flag.String("rpc-addr", "", "binary RPC plane listen address for the hot path (empty disables)")
 	term := flag.Uint64("term", 0, "fence the journal at this leadership term on boot if ahead of the recovered term (0 leaves it; incompatible with -follow)")
+	shardSelf := flag.String("shard-self", "", "this daemon's member name in the shard ring (enables sharding with -shard-peers)")
+	shardPeers := flag.String("shard-peers", "", `shard ring membership as "name=url,name=url,..." (must include -shard-self)`)
+	shardReplicas := flag.Int("shard-replicas", 0, "virtual nodes per ring member (0 selects the default)")
 	flag.Parse()
 	if *term > 0 && *follow != "" {
 		log.Fatalf("ftnetd: -term promotes this daemon to leader and cannot be combined with -follow")
@@ -113,6 +117,21 @@ func main() {
 		} else {
 			log.Printf("ftnetd: recovered term %d already covers -term %d", cur, *term)
 		}
+	}
+
+	// The topology is installed after recovery, so every recovered
+	// instance the ring assigns elsewhere gets pinned to this daemon
+	// (served here until a rebalance migrates it) instead of bounced.
+	if *shardSelf != "" || *shardPeers != "" {
+		peers, err := shard.ParsePeers(*shardPeers)
+		if err != nil {
+			log.Fatalf("ftnetd: %v", err)
+		}
+		if _, ok := peers[*shardSelf]; !ok {
+			log.Fatalf("ftnetd: -shard-self %q is not in -shard-peers", *shardSelf)
+		}
+		mgr.SetTopology(*shardSelf, peers, *shardReplicas)
+		log.Printf("ftnetd: sharding as %q across %d members", *shardSelf, len(peers))
 	}
 
 	if *pprofAddr != "" {

@@ -1,0 +1,57 @@
+// Command ftproxy is the cluster's routing front door: it maps each
+// instance id onto its owning daemon with the same consistent-hash
+// ring the daemons use (internal/shard) and forwards the request
+// there, so clients keep a single endpoint while the instance space is
+// sharded — and rebalanced — behind it.
+//
+// Usage:
+//
+//	ftproxy -addr :8200 -peers a=http://h1:8100,b=http://h2:8100,c=http://h3:8100
+//
+// The ring answer is a hint, not the truth: during a migration the
+// pinned source, and after a cutover the new owner, may disagree with
+// it. The proxy trusts the daemons — on a 403 carrying X-Ftnet-Owner
+// it caches the id->owner override, retries the request once at the
+// hinted URL, and keeps the override until a daemon's hint changes it
+// again. Routing therefore converges on whatever the daemons say
+// without any shared state or coordination; a proxy restart merely
+// re-learns the overrides from the next few redirects.
+//
+// Routes with an instance id in the path (or in a create body) are
+// forwarded to the owner; /healthz, /metrics and /v1/ring are answered
+// locally; everything else is refused — fan-in endpoints like /v1/stats
+// belong to the individual daemons.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"ftnet/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8200", "listen address")
+	peersFlag := flag.String("peers", "", `ring membership as "name=url,name=url,..."`)
+	replicas := flag.Int("replicas", 0, "virtual nodes per ring member (0 selects the default)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-attempt upstream timeout")
+	flag.Parse()
+
+	peers, err := shard.ParsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("ftproxy: %v", err)
+	}
+	p := newProxy(peers, *replicas, *timeout)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           p,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("ftproxy: routing %d shard members on %s", len(peers), *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/shard"
+)
+
+// twoShardCluster boots two in-process daemons sharing a topology with
+// the given vnode count, and a proxy (always at the default vnode
+// count) in front.
+func twoShardCluster(t *testing.T, daemonReplicas int) (*httptest.Server, *fleet.Manager, *fleet.Manager, map[string]string) {
+	t.Helper()
+	mA, mB := fleet.NewManager(fleet.Options{}), fleet.NewManager(fleet.Options{})
+	tsA := httptest.NewServer(fleet.NewHTTPHandler(mA))
+	tsB := httptest.NewServer(fleet.NewHTTPHandler(mB))
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	peers := map[string]string{"a": tsA.URL, "b": tsB.URL}
+	mA.SetTopology("a", peers, daemonReplicas)
+	mB.SetTopology("b", peers, daemonReplicas)
+	px := httptest.NewServer(newProxy(peers, 0, 10*time.Second))
+	t.Cleanup(px.Close)
+	return px, mA, mB, peers
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestProxyRoutesByRing(t *testing.T) {
+	px, mA, mB, _ := twoShardCluster(t, 0)
+	spec := fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2}
+
+	// Create a handful of instances through the proxy; each must land on
+	// the daemon the ring assigns, never the other one.
+	ring := shard.New([]string{"a", "b"}, 0)
+	byMember := map[string]*fleet.Manager{"a": mA, "b": mB}
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("inst-%d", i)
+		resp := postJSON(t, px.URL+"/v1/instances", fleet.CreateRequest{ID: id, Spec: spec})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s via proxy = %d", id, resp.StatusCode)
+		}
+		owner := ring.Owner(id)
+		if _, ok := byMember[owner].Get(id); !ok {
+			t.Fatalf("instance %s not on ring owner %s", id, owner)
+		}
+		for member, m := range byMember {
+			if member != owner {
+				if _, ok := m.Get(id); ok {
+					t.Fatalf("instance %s duplicated on %s", id, member)
+				}
+			}
+		}
+	}
+
+	// Events and lookups route the same way.
+	resp := postJSON(t, px.URL+"/v1/instances/inst-0/events", fleet.Event{Kind: fleet.EventFault, Node: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("event via proxy = %d", resp.StatusCode)
+	}
+	r, err := http.Get(px.URL + "/v1/instances/inst-0/phi?x=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("phi via proxy = %d", r.StatusCode)
+	}
+	var phi fleet.PhiResponse
+	if err := json.NewDecoder(r.Body).Decode(&phi); err != nil {
+		t.Fatal(err)
+	}
+	want, err := byMember[ring.Owner("inst-0")].Lookup("inst-0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi.Phi != want {
+		t.Fatalf("phi via proxy = %d, want %d", phi.Phi, want)
+	}
+
+	// Paths without an instance id are refused, not misrouted.
+	r2, err := http.Get(px.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/stats via proxy = %d, want 404", r2.StatusCode)
+	}
+}
+
+// TestProxyLearnsFromRedirect drives the redirect-learn-retry path
+// with a real daemon-generated hint: the daemons shard with a
+// different vnode count than the proxy, so for some id the proxy's
+// ring answer is wrong. The first request bounces off the wrong daemon
+// (403 + X-Ftnet-Owner), the proxy retries at the hinted URL, and the
+// client sees only the success; the second request uses the cached
+// override and never bounces.
+func TestProxyLearnsFromRedirect(t *testing.T) {
+	px, _, _, _ := twoShardCluster(t, 16) // daemons: 16 vnodes; proxy: default
+	spec := fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2}
+
+	proxyRing := shard.New([]string{"a", "b"}, 0)
+	daemonRing := shard.New([]string{"a", "b"}, 16)
+	id := ""
+	for i := 0; i < 10000 && id == ""; i++ {
+		probe := fmt.Sprintf("drift-%d", i)
+		if proxyRing.Owner(probe) != daemonRing.Owner(probe) {
+			id = probe
+		}
+	}
+	if id == "" {
+		t.Fatal("no id where the two rings disagree")
+	}
+
+	resp := postJSON(t, px.URL+"/v1/instances", fleet.CreateRequest{ID: id, Spec: spec})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create via mismatched proxy = %d (redirect not followed)", resp.StatusCode)
+	}
+	if got := metricValue(t, px.URL, "ftproxy_redirects_total"); got != "1" {
+		t.Errorf("redirects after create = %s, want 1", got)
+	}
+	resp = postJSON(t, px.URL+"/v1/instances/"+id+"/events", fleet.Event{Kind: fleet.EventFault, Node: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("event after learned override = %d", resp.StatusCode)
+	}
+	if got := metricValue(t, px.URL, "ftproxy_redirects_total"); got != "1" {
+		t.Errorf("redirects after cached-override request = %s, want still 1", got)
+	}
+	if got := metricValue(t, px.URL, "ftproxy_misroutes_total"); got != "0" {
+		t.Errorf("misroutes = %s, want 0", got)
+	}
+}
+
+// metricValue scrapes one counter from the proxy's /metrics text.
+func metricValue(t *testing.T, base, name string) string {
+	t.Helper()
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, b)
+	return ""
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ftnet/internal/obs"
+	"ftnet/internal/shard"
+)
+
+// maxBodyBytes bounds a buffered request body. Instance-plane bodies
+// are small JSON (an id+spec, an event burst); buffering is what makes
+// the single retry after a redirect possible.
+const maxBodyBytes = 8 << 20
+
+// proxy is the routing handler: ring + override cache + one shared
+// upstream transport with persistent connections per daemon.
+type proxy struct {
+	peers  map[string]string // member name -> base URL
+	ring   *shard.Ring
+	client *http.Client
+
+	mu       sync.RWMutex
+	override map[string]string // id -> base URL learned from X-Ftnet-Owner
+
+	requests  *obs.Counter
+	redirects *obs.Counter
+	misroutes *obs.Counter // exhausted the retry: both attempts bounced
+	upErrors  *obs.Counter
+	reg       *obs.Registry
+	hist      *obs.Histogram
+}
+
+func newProxy(peers map[string]string, replicas int, timeout time.Duration) *proxy {
+	members := make([]string, 0, len(peers))
+	for name := range peers {
+		members = append(members, name)
+	}
+	reg := obs.New()
+	p := &proxy{
+		peers: peers,
+		ring:  shard.New(members, replicas),
+		client: &http.Client{
+			Timeout: timeout,
+			// Redirect-following is the proxy's job (with override
+			// learning), never the HTTP client's.
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		},
+		override:  make(map[string]string),
+		reg:       reg,
+		requests:  reg.Counter("ftproxy_requests_total", "Requests routed to a shard owner."),
+		redirects: reg.Counter("ftproxy_redirects_total", "Requests re-routed after a wrong-shard hint."),
+		misroutes: reg.Counter("ftproxy_misroutes_total", "Requests still bounced after the redirect retry."),
+		upErrors:  reg.Counter("ftproxy_upstream_errors_total", "Upstream connection failures."),
+		hist:      reg.Histogram("ftproxy_request_seconds", "End-to-end proxied request latency."),
+	}
+	return p
+}
+
+func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+		return
+	case r.URL.Path == "/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		p.reg.WritePrometheus(w)
+		return
+	case r.URL.Path == "/v1/ring" && r.Method == http.MethodGet:
+		p.serveRing(w)
+		return
+	}
+	id, body, err := p.routeKey(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if id == "" {
+		writeErr(w, http.StatusNotFound,
+			"ftproxy: no instance id in request; fleet-wide endpoints are served by the daemons directly")
+		return
+	}
+	start := time.Now()
+	p.requests.Inc()
+	p.forward(w, r, id, body)
+	p.hist.Observe(time.Since(start))
+}
+
+// routeKey extracts the routing instance id and buffers the body (the
+// body must be replayable for the redirect retry). An empty id with a
+// nil error means the path carries none.
+func (p *proxy) routeKey(r *http.Request) (string, []byte, error) {
+	var body []byte
+	if r.Body != nil && r.Body != http.NoBody {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			return "", nil, fmt.Errorf("ftproxy: read body: %v", err)
+		}
+		if len(b) > maxBodyBytes {
+			return "", nil, fmt.Errorf("ftproxy: body over %d bytes", maxBodyBytes)
+		}
+		body = b
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/instances")
+	if !ok {
+		return "", body, nil
+	}
+	if rest == "" || rest == "/" {
+		// POST /v1/instances carries the id in the create body.
+		if r.Method != http.MethodPost {
+			return "", body, nil
+		}
+		var req struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil || req.ID == "" {
+			return "", nil, fmt.Errorf("ftproxy: create body has no instance id")
+		}
+		return req.ID, body, nil
+	}
+	id := strings.TrimPrefix(rest, "/")
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[:i]
+	}
+	if id == "" {
+		return "", nil, fmt.Errorf("ftproxy: empty instance id in path")
+	}
+	return id, body, nil
+}
+
+// forward sends the request to the id's owner; on a wrong-shard bounce
+// it learns the daemon's hint and retries exactly once. Two bounces in
+// a row mean the cluster is mid-cutover faster than we can chase —
+// surface the second answer (with its hint) and let the client retry.
+func (p *proxy) forward(w http.ResponseWriter, r *http.Request, id string, body []byte) {
+	target := p.lookupOverride(id)
+	if target == "" {
+		target = p.peers[p.ring.Owner(id)]
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := p.send(r, target, body)
+		if err != nil {
+			p.upErrors.Inc()
+			writeErr(w, http.StatusBadGateway, fmt.Sprintf("ftproxy: upstream %s: %v", target, err))
+			return
+		}
+		owner := resp.Header.Get("X-Ftnet-Owner")
+		if resp.StatusCode == http.StatusForbidden && owner != "" && owner != target && attempt == 0 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			p.setOverride(id, owner)
+			p.redirects.Inc()
+			target = owner
+			continue
+		}
+		if resp.StatusCode == http.StatusForbidden && owner != "" {
+			p.misroutes.Inc()
+		}
+		copyResponse(w, resp)
+		return
+	}
+}
+
+func (p *proxy) send(r *http.Request, baseURL string, body []byte) (*http.Response, error) {
+	url := baseURL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Del("Connection")
+	return p.client.Do(req)
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (p *proxy) lookupOverride(id string) string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.override[id]
+}
+
+func (p *proxy) setOverride(id, url string) {
+	p.mu.Lock()
+	// A hint that matches the ring again means the exception is over.
+	if p.peers[p.ring.Owner(id)] == url {
+		delete(p.override, id)
+	} else {
+		p.override[id] = url
+	}
+	p.mu.Unlock()
+}
+
+// serveRing reports the proxy's routing view: members, vnode count,
+// and how many ids are currently overridden away from the ring.
+func (p *proxy) serveRing(w http.ResponseWriter) {
+	p.mu.RLock()
+	n := len(p.override)
+	p.mu.RUnlock()
+	members := append([]string(nil), p.ring.Members()...)
+	sort.Strings(members)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"members":   members,
+		"peers":     p.peers,
+		"replicas":  p.ring.Replicas(),
+		"overrides": n,
+	})
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

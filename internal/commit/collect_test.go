@@ -1,0 +1,102 @@
+package commit
+
+import (
+	"errors"
+	"testing"
+
+	"ftnet/internal/journal"
+)
+
+func TestCollectFromTail(t *testing.T) {
+	l := NewLog(Config{})
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		mustCommit(t, l, trec("a", uint64(i), i))
+	}
+	got, err := l.Collect(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("collected %d entries, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(3+i) {
+			t.Fatalf("entry %d has seq %d, want %d", i, e.Seq, 3+i)
+		}
+		if e.Rec.Epoch != e.Seq {
+			t.Fatalf("entry %d carries epoch %d, want %d", i, e.Rec.Epoch, e.Seq)
+		}
+	}
+	// Empty range and zero-from normalization.
+	if got, err := l.Collect(8, 5); err != nil || got != nil {
+		t.Fatalf("inverted range = (%v, %v), want (nil, nil)", got, err)
+	}
+	if got, err := l.Collect(0, 2); err != nil || len(got) != 2 {
+		t.Fatalf("from 0 = (%d entries, %v), want 2", len(got), err)
+	}
+}
+
+func TestCollectFutureSeq(t *testing.T) {
+	l := NewLog(Config{})
+	defer l.Close()
+	mustCommit(t, l, trec("a", 1, 1))
+	if _, err := l.Collect(1, 5); !errors.Is(err, ErrFutureSeq) {
+		t.Fatalf("collect past log end = %v, want ErrFutureSeq", err)
+	}
+}
+
+func TestCollectFromFileBeyondHistory(t *testing.T) {
+	// A tiny in-memory tail forces the older half of the range onto the
+	// journal-file path.
+	path := t.TempDir() + "/commit.wal"
+	w, err := journal.Create(path, journal.Options{Sync: journal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLog(Config{Writer: w, History: 4})
+	defer l.Close()
+	for i := 1; i <= 40; i++ {
+		mustCommit(t, l, trec("a", uint64(i), i))
+	}
+	got, err := l.Collect(2, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 38 {
+		t.Fatalf("collected %d entries, want 38", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(2+i) {
+			t.Fatalf("entry %d has seq %d, want %d (gap)", i, e.Seq, 2+i)
+		}
+	}
+}
+
+func TestCollectAfterInstallServesCheckpoint(t *testing.T) {
+	l := NewLog(Config{})
+	defer l.Close()
+	for i := 1; i <= 6; i++ {
+		mustCommit(t, l, trec("a", uint64(i), i))
+	}
+	cp := []journal.Record{{Op: journal.OpCheckpoint, ID: "a", Spec: journal.Spec{Kind: "debruijn", M: 8, H: 8}, Epoch: 6, Faults: []int{6}}}
+	if err := l.Install(6, cp); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, l, trec("a", 7, 6, 7)) // seq 7
+	// A range reaching into the compacted prefix comes back as the
+	// checkpoint (reset entries at seq 6) plus the live tail.
+	got, err := l.Collect(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("collected %d entries, want 2 (checkpoint + tail)", len(got))
+	}
+	if got[0].Seq != 6 || got[0].Rec.Op != journal.OpCheckpoint {
+		t.Fatalf("first entry = seq %d op %v, want checkpoint at 6", got[0].Seq, got[0].Rec.Op)
+	}
+	if got[1].Seq != 7 || got[1].Rec.Op != journal.OpTransition {
+		t.Fatalf("second entry = seq %d op %v, want transition at 7", got[1].Seq, got[1].Rec.Op)
+	}
+}

@@ -123,6 +123,13 @@ func NewHTTPHandlerOpts(mgr *Manager, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("GET /v1/watch", inflightOnly(s.watch))
 	mux.HandleFunc("POST /v1/promote", timed("promote", s.promote))
 	mux.HandleFunc("POST /v1/compact", timed("compact", s.compact))
+	mux.HandleFunc("GET /v1/ring", timed("ring", s.getRing))
+	mux.HandleFunc("POST /v1/ring", timed("ring_set", s.setRing))
+	mux.HandleFunc("POST /v1/rebalance", timed("rebalance", s.rebalance))
+	mux.HandleFunc("POST /v1/migrate", timed("migrate", s.migrateOut))
+	mux.HandleFunc("POST /v1/migrate/stage", timed("migrate_stage", s.migrateStage))
+	mux.HandleFunc("POST /v1/migrate/commit", timed("migrate_commit", s.migrateCommit))
+	mux.HandleFunc("POST /v1/migrate/abort", timed("migrate_abort", s.migrateAbort))
 	mux.HandleFunc("GET /v1/stats", timed("stats", s.getStats))
 	mux.HandleFunc("GET /healthz", timed("healthz", s.healthz))
 	mux.HandleFunc("GET /metrics", timed("metrics", s.metrics))
@@ -206,7 +213,7 @@ func errCode(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrReadOnly), errors.Is(err, ErrStaleTerm):
+	case errors.Is(err, ErrReadOnly), errors.Is(err, ErrStaleTerm), errors.Is(err, ErrWrongShard):
 		return http.StatusForbidden
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict
@@ -218,6 +225,11 @@ func errCode(err error) int {
 }
 
 func writeError(w http.ResponseWriter, err error) {
+	// A wrong-shard rejection carries the owner's URL in a header so
+	// clients re-route on the 403 without parsing the message.
+	if owner := WrongShardOwner(err); owner != "" {
+		w.Header().Set("X-Ftnet-Owner", owner)
+	}
 	writeJSON(w, errCode(err), apiError{Error: err.Error()})
 }
 
@@ -246,9 +258,18 @@ func (s *apiServer) listInstances(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *apiServer) getInstance(w http.ResponseWriter, r *http.Request) {
-	in, ok := s.mgr.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	if err := s.mgr.checkOwned(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	in, ok := s.mgr.Get(id)
 	if !ok {
-		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", r.PathValue("id")))
+		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", id))
+		return
+	}
+	if in.staged.Load() {
+		writeError(w, errorf(ErrUnavailable, "fleet: instance %q is arriving (migration staged)", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, in.Info())
@@ -327,9 +348,20 @@ func (s *apiServer) getPhi(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, PhiResponse{X: x, Phi: phi})
 		return
 	}
+	// The dense path bypasses Manager.Lookup, so it carries its own
+	// ownership and arrival fences: a migrated-away instance redirects,
+	// a staged one answers 503 until its handoff record is durable.
+	if err := s.mgr.checkOwned(id); err != nil {
+		writeError(w, err)
+		return
+	}
 	in, ok := s.mgr.Get(id)
 	if !ok {
 		writeError(w, errorf(ErrNotFound, "fleet: no instance %q", id))
+		return
+	}
+	if in.staged.Load() {
+		writeError(w, errorf(ErrUnavailable, "fleet: instance %q is arriving (migration staged)", id))
 		return
 	}
 	// ?from=&count= selects a window of the dense embedding — the

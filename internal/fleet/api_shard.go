@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	sharding "ftnet/internal/shard"
+)
+
+// The shard-plane routes, served next to the instance API so every
+// daemon is simultaneously a data node and a migration endpoint:
+//
+//	GET  /v1/ring            installed topology (404 when unsharded)
+//	POST /v1/ring            install a topology {"self","peers","replicas"}
+//	POST /v1/rebalance       migrate every displaced instance to its owner
+//	POST /v1/migrate         migrate one instance {"id","peer"}
+//	POST /v1/migrate/stage   (daemon-to-daemon) binary checkpoint frame
+//	POST /v1/migrate/commit  (daemon-to-daemon) binary suffix frame
+//	POST /v1/migrate/abort   (daemon-to-daemon) drop a staged instance
+//
+// stage/commit bodies are the canonical shard.Migration encoding
+// (application/octet-stream), the same bytes FuzzMigrationDecode
+// hammers; everything else is JSON.
+
+func (s *apiServer) getRing(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.mgr.Topology()
+	if !ok {
+		writeError(w, errorf(ErrNotFound, "fleet: no shard topology installed"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// RingRequest is the body of POST /v1/ring.
+type RingRequest struct {
+	Self     string            `json:"self"`
+	Peers    map[string]string `json:"peers"`
+	Replicas int               `json:"replicas,omitempty"`
+}
+
+func (s *apiServer) setRing(w http.ResponseWriter, r *http.Request) {
+	var req RingRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	if req.Self != "" {
+		if _, ok := req.Peers[req.Self]; !ok {
+			writeError(w, fmt.Errorf("self %q is not in peers", req.Self))
+			return
+		}
+	}
+	s.mgr.SetTopology(req.Self, req.Peers, req.Replicas)
+	info, ok := s.mgr.Topology()
+	if !ok {
+		writeJSON(w, http.StatusOK, map[string]bool{"sharded": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// RebalanceResponse is the body of POST /v1/rebalance.
+type RebalanceResponse struct {
+	Migrated []MigrateStats `json:"migrated"`
+	Count    int            `json:"count"`
+	Error    string         `json:"error,omitempty"` // set when the run stopped early
+}
+
+func (s *apiServer) rebalance(w http.ResponseWriter, r *http.Request) {
+	out, err := s.mgr.Rebalance()
+	resp := RebalanceResponse{Migrated: out, Count: len(out)}
+	if err != nil {
+		resp.Error = err.Error()
+		writeJSON(w, errCode(err), resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MigrateRequest is the body of POST /v1/migrate.
+type MigrateRequest struct {
+	ID   string `json:"id"`
+	Peer string `json:"peer"`
+}
+
+func (s *apiServer) migrateOut(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	st, err := s.mgr.MigrateOut(req.ID, req.Peer)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// readMigration decodes a binary migration frame from a request body,
+// enforcing the codec's size cap before buffering.
+func readMigration(r *http.Request) (sharding.Migration, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, sharding.MaxMigrationSize+1))
+	if err != nil {
+		return sharding.Migration{}, fmt.Errorf("read migration body: %v", err)
+	}
+	return sharding.DecodeMigration(body)
+}
+
+func (s *apiServer) migrateStage(w http.ResponseWriter, r *http.Request) {
+	mig, err := readMigration(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.mgr.StageMigration(mig); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": mig.ID, "staged": true})
+}
+
+func (s *apiServer) migrateCommit(w http.ResponseWriter, r *http.Request) {
+	mig, err := readMigration(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	epoch, err := s.mgr.CommitMigration(mig)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": mig.ID, "epoch": epoch})
+}
+
+func (s *apiServer) migrateAbort(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "aborted": s.mgr.AbortMigration(req.ID)})
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The follower-chain topology: leader -> mid -> leaf, each tier
+// replicating over the watch plane from the one above. ROADMAP item 1
+// flags chains as the untested replication shape — a follower is also
+// a watch server, so its own appliance must be re-observable
+// downstream with the same gap-free seq and bit-identical state.
+
+// midTier is the chain's middle daemon on a stable address, so the
+// leaf can reconnect to the same URL after the tier is killed and
+// rebooted — the in-process analog of SIGKILLing the process and
+// restarting it on its port.
+type midTier struct {
+	t    *testing.T
+	addr string
+	srv  *http.Server
+	stop context.CancelFunc
+}
+
+func startMidTier(t *testing.T, m *Manager, leaderURL, addr string) *midTier {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		// The port of a just-closed listener can linger for a moment.
+		deadline := time.Now().Add(5 * time.Second)
+		for err != nil && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			ln, err = net.Listen("tcp", addr)
+		}
+		if err != nil {
+			t.Fatalf("mid tier rebind %s: %v", addr, err)
+		}
+	}
+	srv := &http.Server{Handler: NewHTTPHandler(m)}
+	go srv.Serve(ln)
+
+	f, err := NewFollower(m, leaderURL, FollowerOptions{
+		Heartbeat:    50 * time.Millisecond,
+		StallTimeout: 2 * time.Second,
+		Backoff:      20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go f.Run(ctx)
+	mt := &midTier{t: t, addr: ln.Addr().String(), srv: srv, stop: cancel}
+	t.Cleanup(mt.kill)
+	return mt
+}
+
+// kill drops the tier abruptly: the replication loop dies and every
+// open connection (including the leaf's watch stream) is severed.
+func (mt *midTier) kill() {
+	mt.stop()
+	mt.srv.Close()
+}
+
+// TestFollowerChainConvergesAtDepthTwo drives a depth-2 chain under a
+// leader-side storm and requires the leaf — which never talks to the
+// leader — to converge bit-identically, with live lag metrics.
+func TestFollowerChainConvergesAtDepthTwo(t *testing.T) {
+	leader := journaledManager(t, t.TempDir())
+	srvLeader := httptest.NewServer(NewHTTPHandler(leader))
+	t.Cleanup(srvLeader.Close)
+
+	mid := journaledManager(t, t.TempDir())
+	mt := startMidTier(t, mid, srvLeader.URL, "")
+
+	leaf := journaledManager(t, t.TempDir())
+	fLeaf := startFollower(t, leaf, "http://"+mt.addr)
+
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 5, K: 4}
+	for _, id := range []string{"chain-0", "chain-1", "chain-2"} {
+		if _, err := leader.Create(id, spec); err != nil {
+			t.Fatal(err)
+		}
+		toggleStorm(t, leader, id, 8)
+	}
+	waitConverged(t, leader, mid, 10*time.Second)
+	waitConverged(t, leader, leaf, 10*time.Second)
+	assertSameFleet(t, leader, leaf)
+
+	// Lag metrics at depth 2: the leaf measures its stream against the
+	// MID tier (its leader), and its entry-age histogram must have seen
+	// every live entry that trickled down both hops.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := fLeaf.Stats()
+		if st.LeaderSeq >= mid.CommitLog().LastSeq() && st.LagSeqs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("depth-2 lag never converged: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	e := leaf.Metrics().Export()
+	if v, ok := e.FindGauge("ftnet_replication_lag_seqs"); !ok || v != 0 {
+		t.Errorf("leaf lag gauge = %d (ok=%v), want 0", v, ok)
+	}
+	if h, ok := e.Find("ftnet_replication_entry_age_seconds", ""); !ok || h.Count == 0 {
+		t.Errorf("leaf entry-age histogram empty at depth 2: %+v (ok=%v)", h, ok)
+	} else if time.Duration(h.MaxNS) > time.Minute {
+		t.Errorf("leaf entry age max %v is implausible for a local chain", time.Duration(h.MaxNS))
+	}
+}
+
+// TestFollowerChainSurvivesMidChainKill kills the middle tier abruptly
+// while the leader keeps committing, reboots it from its own journal
+// on the same address, and requires the leaf to reconnect and converge
+// bit-identically with the leader — the chain self-heals around a
+// SIGKILL of its interior node.
+func TestFollowerChainSurvivesMidChainKill(t *testing.T) {
+	leader := journaledManager(t, t.TempDir())
+	srvLeader := httptest.NewServer(NewHTTPHandler(leader))
+	t.Cleanup(srvLeader.Close)
+
+	mid := journaledManager(t, t.TempDir())
+	mt := startMidTier(t, mid, srvLeader.URL, "")
+
+	leaf := journaledManager(t, t.TempDir())
+	fLeaf := startFollower(t, leaf, "http://"+mt.addr)
+
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 5, K: 4}
+	for _, id := range []string{"kill-0", "kill-1"} {
+		if _, err := leader.Create(id, spec); err != nil {
+			t.Fatal(err)
+		}
+		toggleStorm(t, leader, id, 4)
+	}
+	waitConverged(t, leader, leaf, 10*time.Second)
+
+	// Snapshot the mid tier's durable state and kill it: replication
+	// loop gone, leaf's stream severed mid-chain.
+	image := journalImage(t, mid)
+	mt.kill()
+
+	// The leader keeps committing while the interior of the chain is
+	// down; nothing below it can see these entries yet.
+	toggleStorm(t, leader, "kill-0", 6)
+	toggleStorm(t, leader, "kill-1", 6)
+
+	// Reboot the mid tier from its journal on the same address. Its
+	// recovery starts where the kill left it; its follower re-streams
+	// the missed suffix from the leader, and the leaf reconnects to the
+	// same URL it was always pointed at.
+	mid2 := rebootManager(t, image, t.TempDir())
+	startMidTier(t, mid2, srvLeader.URL, mt.addr)
+
+	waitConverged(t, leader, mid2, 15*time.Second)
+	waitConverged(t, leader, leaf, 15*time.Second)
+	assertSameFleet(t, leader, leaf)
+	if st := fLeaf.Stats(); st.Reconnects == 0 {
+		t.Errorf("leaf never reconnected through the mid-chain kill: %+v", st)
+	}
+}

@@ -66,6 +66,14 @@ var (
 	// StatusStaleTerm so a deposed leader can tell "I must demote"
 	// apart from ordinary conflicts.
 	ErrStaleTerm = errors.New("fleet: stale leadership term")
+
+	// ErrWrongShard marks requests naming an instance this daemon does
+	// not own under the shard ring — either never owned, or fenced away
+	// mid-migration. The error carries the owner's advertised URL when
+	// known (WrongShardOwner extracts it); transports surface it as
+	// 403 + X-Ftnet-Owner / StatusWrongShard so clients re-route
+	// instead of retrying here.
+	ErrWrongShard = errors.New("fleet: wrong shard")
 )
 
 // fleetError carries a human message plus an errors.Is-matchable
@@ -82,6 +90,41 @@ func (e *fleetError) Unwrap() error { return e.category }
 
 func errorf(category error, format string, args ...any) error {
 	return &fleetError{category: category, msg: fmt.Sprintf(format, args...)}
+}
+
+// wrongShardError is ErrWrongShard plus the owning daemon's advertised
+// URL, so every transport can hand the client a redirect target
+// without re-deriving ring state.
+type wrongShardError struct {
+	owner string // the owner's advertised URL ("" when unknown)
+	msg   string
+}
+
+func (e *wrongShardError) Error() string { return e.msg }
+
+func (e *wrongShardError) Unwrap() error { return ErrWrongShard }
+
+func wrongShardf(owner, format string, args ...any) error {
+	return &wrongShardError{owner: owner, msg: fmt.Sprintf(format, args...)}
+}
+
+// WrongShardError builds an ErrWrongShard error carrying the owning
+// daemon's advertised URL — the transports' decode side uses it so a
+// redirect received over the wire matches errors.Is(ErrWrongShard) and
+// WrongShardOwner exactly like one raised in-process.
+func WrongShardError(owner, msg string) error {
+	return &wrongShardError{owner: owner, msg: msg}
+}
+
+// WrongShardOwner extracts the owning daemon's advertised URL from an
+// ErrWrongShard error, or "" when the error is of another category (or
+// carries no hint).
+func WrongShardOwner(err error) string {
+	var e *wrongShardError
+	if errors.As(err, &e) {
+		return e.owner
+	}
+	return ""
 }
 
 // Kind selects the target topology of an instance.

@@ -60,6 +60,18 @@ type Instance struct {
 	writeMu sync.Mutex                  // serializes event application only
 	deleted bool                        // set by Manager.Delete; guarded by writeMu
 
+	// Migration state. migrating is the outbound write fence: set under
+	// writeMu when the journal suffix is captured, so a write that
+	// passed the manager's ownership check before the cutover still
+	// cannot apply — it is redirected to migrateTo (the new owner's
+	// URL) instead. staged marks an inbound instance whose checkpoint
+	// arrived but whose handoff has not committed: reads and writes get
+	// ErrUnavailable (retry shortly), never a stale answer.
+	migrating bool   // guarded by writeMu
+	migrateTo string // owner URL for fenced writes; guarded by writeMu
+	staged    atomic.Bool
+	stagedAt  uint64 // source commit seq of the staged checkpoint; guarded by writeMu
+
 	rejectedBudget   atomic.Uint64 // events refused: budget exhausted
 	rejectedConflict atomic.Uint64 // events refused: double fault / repair healthy
 	rejectedInvalid  atomic.Uint64 // events refused: unknown node or kind
@@ -167,6 +179,19 @@ func (in *Instance) ApplyBatch(events []Event) (EventResult, error) {
 	// which would poison recovery of a reused id.
 	if in.deleted {
 		return EventResult{}, errorf(ErrNotFound, "fleet: instance %s deleted", in.id)
+	}
+	// The migration write fence: a writer that resolved ownership before
+	// the cutover re-checks here, under the same mutex the fence was
+	// taken under — so a write is either fully applied before the fence
+	// (acked, in the shipped suffix) or redirected, never silently
+	// dropped or double-applied.
+	if in.migrating {
+		return EventResult{}, wrongShardf(in.migrateTo,
+			"fleet: instance %s migrated to %s", in.id, in.migrateTo)
+	}
+	if in.staged.Load() {
+		return EventResult{}, errorf(ErrUnavailable,
+			"fleet: instance %s is arriving (migration staged)", in.id)
 	}
 	next, err := in.snap.Load().Apply(batch, in.cache.Get)
 	if err != nil {

@@ -76,8 +76,24 @@ type Manager struct {
 	leaderHint atomic.Pointer[string]
 	rejectedRO atomic.Uint64 // mutations refused while read-only
 
-	obs       *obs.Registry  // service metrics registry; never nil
-	pauseHist *obs.Histogram // compaction pause (commits gated) duration
+	// Shard-ring state. topo is nil for unsharded deployments, so the
+	// single-daemon path pays one atomic load per request. moved pins
+	// per-id owners away from the ring's answer while instances are in
+	// flight (see topology.go); movedN mirrors len(moved) so the hot
+	// path skips the map lock when there are no pins.
+	topo          atomic.Pointer[topology]
+	movedMu       sync.RWMutex
+	moved         map[string]string
+	movedN        atomic.Int64
+	rejectedShard atomic.Uint64 // requests refused: instance owned elsewhere
+	migrateMu     sync.Mutex    // serializes outbound migrations
+
+	obs             *obs.Registry  // service metrics registry; never nil
+	pauseHist       *obs.Histogram // compaction pause (commits gated) duration
+	wrongShardTotal *obs.Counter   // requests redirected to the owning shard
+	migrationsOut   *obs.Counter   // instances migrated away
+	migrationsIn    *obs.Counter   // instances migrated in (committed)
+	migratePause    *obs.Histogram // per-migration write-fence window
 }
 
 type shard struct {
@@ -103,6 +119,14 @@ func NewManager(opts Options) *Manager {
 		obs:  reg,
 		pauseHist: reg.Histogram("ftnet_compaction_pause_seconds",
 			"Wall-clock time commits were gated during one checkpoint compaction."),
+		wrongShardTotal: reg.Counter("ftnet_shard_wrong_shard_total",
+			"Requests refused with a redirect because another daemon owns the instance."),
+		migrationsOut: reg.Counter("ftnet_shard_migrations_out_total",
+			"Instances migrated away from this daemon."),
+		migrationsIn: reg.Counter("ftnet_shard_migrations_in_total",
+			"Instances migrated onto this daemon (stage + suffix committed)."),
+		migratePause: reg.Histogram("ftnet_shard_migration_pause_seconds",
+			"Per-migration write-fence window: writes to the instance were redirected, not applied."),
 	}
 	for i := range m.shards {
 		m.shards[i].instances = make(map[string]*Instance)
@@ -239,6 +263,9 @@ func (m *Manager) Create(id string, spec Spec) (*Instance, error) {
 	if id == "" {
 		return nil, fmt.Errorf("fleet: empty instance id")
 	}
+	if err := m.checkOwned(id); err != nil {
+		return nil, err
+	}
 	in, err := newInstance(id, spec, m.cache, m.pipe)
 	if err != nil {
 		return nil, err
@@ -317,6 +344,9 @@ func (m *Manager) Delete(id string) (bool, error) {
 	if m.readOnly.Load() {
 		return false, m.errReadOnly("delete")
 	}
+	if err := m.checkOwned(id); err != nil {
+		return false, err
+	}
 	m.pipe.gate.RLock()
 	defer m.pipe.gate.RUnlock()
 	s := m.shardFor(id)
@@ -327,6 +357,11 @@ func (m *Manager) Delete(id string) (bool, error) {
 		return false, nil
 	}
 	in.writeMu.Lock()
+	if in.migrating {
+		owner := in.migrateTo
+		in.writeMu.Unlock()
+		return false, wrongShardf(owner, "fleet: instance %q is migrating; delete it at its new owner", id)
+	}
 	in.deleted = true
 	in.writeMu.Unlock()
 	rec := journal.Record{Op: journal.OpDelete, ID: id}
@@ -357,6 +392,9 @@ func (m *Manager) Event(id string, ev Event) (EventResult, error) {
 // atomic transition: either every event applies and the epoch advances
 // by exactly one, or none do.
 func (m *Manager) EventBatch(id string, events []Event) (EventResult, error) {
+	if err := m.checkOwned(id); err != nil {
+		return EventResult{}, err
+	}
 	in, ok := m.Get(id)
 	if !ok {
 		return EventResult{}, errorf(ErrNotFound, "fleet: no instance %q", id)
@@ -367,6 +405,9 @@ func (m *Manager) EventBatch(id string, events []Event) (EventResult, error) {
 // EventBatchBytes is EventBatch for an id held as bytes (the wire
 // plane's path).
 func (m *Manager) EventBatchBytes(id []byte, events []Event) (EventResult, error) {
+	if err := m.checkOwnedBytes(id); err != nil {
+		return EventResult{}, err
+	}
 	in, ok := m.GetBytes(id)
 	if !ok {
 		return EventResult{}, errorf(ErrNotFound, "fleet: no instance %q", id)
@@ -402,9 +443,15 @@ func (m *Manager) applyBatch(in *Instance, events []Event) (EventResult, error) 
 
 // Lookup answers where target node x of the named instance runs now.
 func (m *Manager) Lookup(id string, x int) (int, error) {
+	if err := m.checkOwned(id); err != nil {
+		return 0, err
+	}
 	in, ok := m.Get(id)
 	if !ok {
 		return 0, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	if in.staged.Load() {
+		return 0, errorf(ErrUnavailable, "fleet: instance %q is arriving (migration staged)", id)
 	}
 	phi, err := in.Lookup(x)
 	if err != nil {
@@ -418,9 +465,15 @@ func (m *Manager) Lookup(id string, x int) (int, error) {
 // payload subslice, and the answer carries the epoch of the snapshot
 // that produced it. Allocation-free on the happy path.
 func (m *Manager) LookupEpochBytes(id []byte, x int) (int, uint64, error) {
+	if err := m.checkOwnedBytes(id); err != nil {
+		return 0, 0, err
+	}
 	in, ok := m.GetBytes(id)
 	if !ok {
 		return 0, 0, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	if in.staged.Load() {
+		return 0, 0, errorf(ErrUnavailable, "fleet: instance %q is arriving (migration staged)", id)
 	}
 	phi, epoch, err := in.LookupEpoch(x)
 	if err != nil {
@@ -434,9 +487,15 @@ func (m *Manager) LookupEpochBytes(id []byte, x int) (int, uint64, error) {
 // snapshot of the named instance, filling phis (len(xs)) and returning
 // that snapshot's epoch. Allocation-free on the happy path.
 func (m *Manager) LookupBatchBytes(id []byte, xs, phis []int) (uint64, error) {
+	if err := m.checkOwnedBytes(id); err != nil {
+		return 0, err
+	}
 	in, ok := m.GetBytes(id)
 	if !ok {
 		return 0, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	if in.staged.Load() {
+		return 0, errorf(ErrUnavailable, "fleet: instance %q is arriving (migration staged)", id)
 	}
 	epoch, err := in.LookupBatch(xs, phis)
 	if err != nil {
@@ -476,10 +535,22 @@ type Stats struct {
 	ReadOnly   bool          `json:"read_only"`               // current write posture
 	RejectedRO uint64        `json:"rejected_read_only"`      // mutations refused while read-only
 	LeaderHint string        `json:"leader_hint,omitempty"`   // advertised leader URL, if known
+	Shard      *ShardStats   `json:"shard,omitempty"`         // ring state, when sharded
 	Lookups    uint64        `json:"lookups"`
 	Cache      CacheStats    `json:"cache"`
 	Journal    JournalStats  `json:"journal"`
 	Commit     commit.Stats  `json:"commit"`
+}
+
+// ShardStats reports the daemon's position in the shard ring and its
+// migration traffic.
+type ShardStats struct {
+	Self          string `json:"self"`           // this daemon's member name
+	Members       int    `json:"members"`        // daemons in the ring
+	Moved         int    `json:"moved"`          // ids pinned away from the ring's answer
+	WrongShard    uint64 `json:"wrong_shard"`    // requests redirected to their owner
+	MigrationsOut uint64 `json:"migrations_out"` // instances migrated away
+	MigrationsIn  uint64 `json:"migrations_in"`  // instances migrated in
 }
 
 // JournalStats reports the durability layer: the append-side counters
@@ -519,6 +590,17 @@ func (m *Manager) Stats() Stats {
 		js.Syncs = ws.Syncs
 		js.LastEpoch = ws.LastEpoch
 	}
+	var ss *ShardStats
+	if t := m.topo.Load(); t != nil {
+		ss = &ShardStats{
+			Self:          t.self,
+			Members:       len(t.ring.Members()),
+			Moved:         int(m.movedN.Load()),
+			WrongShard:    m.rejectedShard.Load(),
+			MigrationsOut: m.migrationsOut.Value(),
+			MigrationsIn:  m.migrationsIn.Value(),
+		}
+	}
 	return Stats{
 		Instances:  n,
 		Events:     m.events.Load(),
@@ -528,6 +610,7 @@ func (m *Manager) Stats() Stats {
 		ReadOnly:   m.readOnly.Load(),
 		RejectedRO: m.rejectedRO.Load(),
 		LeaderHint: m.LeaderHint(),
+		Shard:      ss,
 		Lookups:    m.lookups.Load(),
 		Cache:      m.cache.Stats(),
 		Journal:    js,
@@ -665,9 +748,41 @@ func (m *Manager) ReplicateEntry(e commit.Entry) error {
 		return in.replicate(e.Rec)
 	case journal.OpTermBump:
 		return m.replicateTermBump(e.Rec)
+	case journal.OpMigrate:
+		return m.replicateMigrate(e.Rec)
 	default:
 		return fmt.Errorf("fleet: cannot replicate %v record", e.Rec.Op)
 	}
+}
+
+// replicateMigrate applies a forwarded ownership-handoff record: the
+// instance arrived on the leader with the carried state, so the
+// follower rebuilds it from scratch — bit-identical verification
+// included — replacing any existing copy (the leader's stream is
+// authoritative, as with replicateCreate duplicates).
+func (m *Manager) replicateMigrate(rec journal.Record) error {
+	spec := Spec{Kind: Kind(rec.Spec.Kind), M: rec.Spec.M, H: rec.Spec.H, K: rec.Spec.K}
+	in, err := newInstance(rec.ID, spec, m.cache, m.pipe)
+	if err != nil {
+		return err
+	}
+	if err := in.restoreCheckpoint(rec.Epoch, rec.Faults); err != nil {
+		return err
+	}
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
+	s := m.shardFor(rec.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.instances[rec.ID]; ok {
+		old.writeMu.Lock()
+		old.deleted = true
+		old.writeMu.Unlock()
+	}
+	if _, err := m.pipe.log.Commit(rec, func() { s.instances[rec.ID] = in }); err != nil {
+		return errorf(ErrUnavailable, "fleet: commit replicated migrate %s: %v", rec.ID, err)
+	}
+	return nil
 }
 
 // replicateTermBump re-commits a forwarded leadership fence through the

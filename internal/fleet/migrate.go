@@ -1,0 +1,408 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ftnet/internal/ft"
+	"ftnet/internal/journal"
+	sharding "ftnet/internal/shard"
+)
+
+// This file is checkpoint-streamed migration: the rebalance unit that
+// moves one instance between daemons with a write fence only as wide
+// as the journal suffix. The paper makes an instance's entire state a
+// pure O(k) function of its fault set, so the handoff is two pushes:
+//
+//	phase 1 (unfenced): capture (snapshot, baseSeq) and push the O(k)
+//	  checkpoint record to the new owner, which rebuilds and verifies
+//	  it bit-identically — in memory only, not journaled.
+//	phase 2 (fenced):   set the write fence, capture fenceSeq, collect
+//	  the journal suffix in (baseSeq, fenceSeq] for this instance, and
+//	  push it. The target replays it under the strict epoch chain,
+//	  journals ONE OpMigrate record carrying the final state, and opens
+//	  for traffic. The source then journals its OpDelete and redirects.
+//
+// Crash safety is asymmetric by construction. Target crash before the
+// OpMigrate commit: its journal never mentions the instance, the stage
+// evaporates, the source (fenced or not) is still authoritative and
+// the migration simply failed. Source crash after the target's commit
+// but before its own OpDelete: both journals hold the instance, but
+// the ring (boot flags) assigns it to the target, so the source's
+// stale copy answers nothing and a later rebalance retires it. At no
+// point can a write land on both copies: the fence is checked under
+// the same mutex that serializes writes, and the target refuses
+// traffic until the handoff record is durable.
+
+// MigrateStats reports one completed migration.
+type MigrateStats struct {
+	ID       string  `json:"id"`
+	Peer     string  `json:"peer"`          // target member name
+	Epoch    uint64  `json:"epoch"`         // instance epoch at handoff
+	BaseSeq  uint64  `json:"base_seq"`      // source commit seq at the unfenced capture
+	FenceSeq uint64  `json:"fence_seq"`     // source commit seq writes were fenced at
+	Suffix   int     `json:"suffix"`        // records shipped after the checkpoint
+	Pause    float64 `json:"pause_seconds"` // write-fence window
+}
+
+// migrateClient pushes migration frames between daemons. Generous
+// timeout: a frame is O(k) + a short suffix, but the target's commit
+// includes an fsync.
+var migrateClient = &http.Client{Timeout: 30 * time.Second}
+
+func checkpointRecord(id string, spec Spec, snap *ft.Snapshot) journal.Record {
+	return journal.Record{
+		Op:     journal.OpCheckpoint,
+		ID:     id,
+		Spec:   journalSpec(spec),
+		Epoch:  snap.Epoch(),
+		Faults: snap.Faults(),
+	}
+}
+
+// MigrateOut hands instance id to peer (a member name from the
+// installed topology) and cuts over: after it returns nil, the peer
+// owns the instance, this daemon's journal records the departure, and
+// requests here are redirected. Outbound migrations are serialized —
+// a rebalance is a sequence of handoffs, each with its own short
+// fence, not one long pause.
+func (m *Manager) MigrateOut(id, peer string) (MigrateStats, error) {
+	if m.readOnly.Load() {
+		return MigrateStats{}, m.errReadOnly("migrate")
+	}
+	t := m.topo.Load()
+	if t == nil {
+		return MigrateStats{}, fmt.Errorf("fleet: migrate without a shard topology")
+	}
+	url, ok := t.peers[peer]
+	if !ok {
+		return MigrateStats{}, fmt.Errorf("fleet: migrate to unknown peer %q", peer)
+	}
+	if peer == t.self {
+		return MigrateStats{}, fmt.Errorf("fleet: migrate %q to self", id)
+	}
+	m.migrateMu.Lock()
+	defer m.migrateMu.Unlock()
+	in, ok := m.Get(id)
+	if !ok {
+		return MigrateStats{}, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+
+	// Phase 1: unfenced capture. Holding writeMu for the two loads only
+	// guarantees no commit for THIS instance straddles the capture —
+	// every one of its records is either reflected in snap0 (seq <=
+	// baseSeq) or will be assigned a seq > baseSeq and ride the suffix.
+	in.writeMu.Lock()
+	if in.deleted || in.staged.Load() {
+		in.writeMu.Unlock()
+		return MigrateStats{}, errorf(ErrNotFound, "fleet: no instance %q", id)
+	}
+	if in.migrating {
+		in.writeMu.Unlock()
+		return MigrateStats{}, errorf(ErrConflict, "fleet: instance %q is already migrating", id)
+	}
+	snap0 := in.snap.Load()
+	baseSeq := m.pipe.log.LastSeq()
+	in.writeMu.Unlock()
+
+	stage := sharding.Migration{
+		ID:      id,
+		BaseSeq: baseSeq,
+		Records: []journal.Record{checkpointRecord(id, in.spec, snap0)},
+	}
+	if err := pushMigration(url+"/v1/migrate/stage", stage); err != nil {
+		return MigrateStats{}, fmt.Errorf("fleet: stage %q on %s: %w", id, peer, err)
+	}
+
+	// Phase 2: fence, ship the suffix, cut over. The fence window —
+	// writes redirected rather than applied — is what the
+	// rebalance_pause SLO tracks.
+	fenceStart := time.Now()
+	in.writeMu.Lock()
+	if in.deleted {
+		in.writeMu.Unlock()
+		abortRemote(url, id)
+		return MigrateStats{}, errorf(ErrNotFound, "fleet: instance %q deleted mid-migration", id)
+	}
+	in.migrating = true
+	in.migrateTo = url
+	fenceSeq := m.pipe.log.LastSeq()
+	in.writeMu.Unlock()
+
+	suffix, err := m.collectSuffix(id, snap0.Epoch(), baseSeq, fenceSeq)
+	if err == nil {
+		frame := sharding.Migration{ID: id, BaseSeq: baseSeq, FenceSeq: fenceSeq, Records: suffix}
+		if perr := pushMigration(url+"/v1/migrate/commit", frame); perr != nil {
+			err = fmt.Errorf("fleet: commit %q on %s: %w", id, peer, perr)
+		}
+	}
+	if err != nil {
+		// Lift the fence: the source is still the owner.
+		in.writeMu.Lock()
+		in.migrating = false
+		in.migrateTo = ""
+		in.writeMu.Unlock()
+		abortRemote(url, id)
+		return MigrateStats{}, err
+	}
+
+	// The peer owns the instance now: erase the pin (the ring's answer —
+	// the peer — takes over for routing) and journal the departure.
+	if err := m.completeMigration(id, in); err != nil {
+		return MigrateStats{}, err
+	}
+	pause := time.Since(fenceStart)
+	m.migratePause.Observe(pause)
+	m.migrationsOut.Inc()
+	epoch := snap0.Epoch()
+	for _, rec := range suffix {
+		if rec.Epoch > epoch {
+			epoch = rec.Epoch
+		}
+	}
+	return MigrateStats{
+		ID:       id,
+		Peer:     peer,
+		Epoch:    epoch,
+		BaseSeq:  baseSeq,
+		FenceSeq: fenceSeq,
+		Suffix:   len(suffix),
+		Pause:    pause.Seconds(),
+	}, nil
+}
+
+// collectSuffix exports this instance's committed records in
+// (baseSeq, fenceSeq] — everything the staged checkpoint at
+// stagedEpoch missed. Checkpoint entries from a racing compaction are
+// kept when they carry newer state (the target treats them as resets);
+// a create or delete in the window means the instance's lifecycle
+// changed under the migration and the handoff must not proceed.
+func (m *Manager) collectSuffix(id string, stagedEpoch, baseSeq, fenceSeq uint64) ([]journal.Record, error) {
+	entries, err := m.pipe.log.Collect(baseSeq+1, fenceSeq)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: collect suffix for %q: %w", id, err)
+	}
+	var recs []journal.Record
+	for _, e := range entries {
+		if e.Rec.ID != id {
+			continue
+		}
+		switch e.Rec.Op {
+		case journal.OpTransition, journal.OpCheckpoint, journal.OpMigrate:
+			if e.Rec.Epoch > stagedEpoch {
+				recs = append(recs, e.Rec)
+			}
+		default:
+			return nil, errorf(ErrConflict,
+				"fleet: instance %q saw a %v mid-migration", id, e.Rec.Op)
+		}
+	}
+	return recs, nil
+}
+
+// completeMigration retires the source copy after a committed handoff:
+// erase the routing pin first (requests redirect to the new owner from
+// this instant), then journal the OpDelete so a restart does not
+// resurrect a stale replica.
+func (m *Manager) completeMigration(id string, in *Instance) error {
+	m.setMoved(id, "")
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in.writeMu.Lock()
+	in.deleted = true
+	in.writeMu.Unlock()
+	rec := journal.Record{Op: journal.OpDelete, ID: id}
+	if _, err := m.pipe.log.Commit(rec, func() { delete(s.instances, id) }); err != nil {
+		m.journalFailed.Add(1)
+		return errorf(ErrUnavailable, "fleet: commit migration cutover %s: %v", id, err)
+	}
+	return nil
+}
+
+// Rebalance migrates every displaced local instance (the ids the
+// current ring assigns elsewhere) to its owner, one fenced handoff at
+// a time. It returns the stats of the migrations that completed; on
+// the first failure it stops and reports both.
+func (m *Manager) Rebalance() ([]MigrateStats, error) {
+	var out []MigrateStats
+	for _, id := range m.Displaced() {
+		t := m.topo.Load()
+		if t == nil {
+			break
+		}
+		st, err := m.MigrateOut(id, t.ring.Owner(id))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// StageMigration is the target half of phase 1: rebuild the pushed
+// checkpoint bit-identically and hold it staged — in memory, invisible
+// to the journal, refusing traffic — until the suffix commits. Staging
+// is idempotent: a source retry replaces the previous stage.
+func (m *Manager) StageMigration(mig sharding.Migration) error {
+	if m.readOnly.Load() {
+		return m.errReadOnly("migration stage")
+	}
+	t := m.topo.Load()
+	if t == nil {
+		return fmt.Errorf("fleet: migration stage without a shard topology")
+	}
+	if owner := t.ring.Owner(mig.ID); owner != t.self {
+		return wrongShardf(t.peers[owner], "fleet: staged instance %q belongs to shard %s", mig.ID, owner)
+	}
+	if len(mig.Records) != 1 || mig.Records[0].Op != journal.OpCheckpoint {
+		return fmt.Errorf("fleet: migration stage wants exactly one checkpoint record, got %d", len(mig.Records))
+	}
+	rec := mig.Records[0]
+	spec := Spec{Kind: Kind(rec.Spec.Kind), M: rec.Spec.M, H: rec.Spec.H, K: rec.Spec.K}
+	in, err := newInstance(mig.ID, spec, m.cache, m.pipe)
+	if err != nil {
+		return err
+	}
+	in.staged.Store(true)
+	in.stagedAt = mig.BaseSeq
+	// Bit-identical verification happens before the instance becomes
+	// visible at all: a forged or corrupted checkpoint never registers.
+	if err := in.restoreCheckpoint(rec.Epoch, rec.Faults); err != nil {
+		return err
+	}
+	s := m.shardFor(mig.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.instances[mig.ID]; ok && !old.staged.Load() {
+		return errorf(ErrConflict, "fleet: instance %q already exists on this shard", mig.ID)
+	}
+	s.instances[mig.ID] = in
+	return nil
+}
+
+// CommitMigration is the target half of phase 2: replay the fenced
+// suffix onto the staged snapshot (strict epoch chain, every record
+// verified), journal ONE OpMigrate record carrying the final state,
+// and open the instance for traffic. The OpMigrate consumes a commit
+// seq like any ordinary record, so this daemon's followers receive the
+// arrival as a single atomic entry.
+func (m *Manager) CommitMigration(mig sharding.Migration) (uint64, error) {
+	if m.readOnly.Load() {
+		return 0, m.errReadOnly("migration commit")
+	}
+	in, ok := m.Get(mig.ID)
+	if !ok || !in.staged.Load() {
+		return 0, errorf(ErrNotFound, "fleet: no staged migration for %q", mig.ID)
+	}
+	m.pipe.gate.RLock()
+	defer m.pipe.gate.RUnlock()
+	in.writeMu.Lock()
+	defer in.writeMu.Unlock()
+	if in.stagedAt != mig.BaseSeq {
+		return 0, errorf(ErrConflict,
+			"fleet: migration commit for %q at base seq %d, staged at %d", mig.ID, mig.BaseSeq, in.stagedAt)
+	}
+	for _, rec := range mig.Records {
+		cur := in.snap.Load().Epoch()
+		switch rec.Op {
+		case journal.OpTransition:
+			if rec.Epoch <= cur {
+				continue // overlap with the staged checkpoint
+			}
+			if rec.Epoch != cur+1 {
+				return 0, fmt.Errorf("fleet: instance %s: suffix epoch %d follows epoch %d (gap)",
+					mig.ID, rec.Epoch, cur)
+			}
+		case journal.OpCheckpoint, journal.OpMigrate:
+			if rec.Epoch < cur {
+				continue // stale reset
+			}
+		default:
+			return 0, fmt.Errorf("fleet: instance %s: %v record in migration suffix", mig.ID, rec.Op)
+		}
+		next, err := in.restoredSnapshot(rec.Epoch, rec.Faults)
+		if err != nil {
+			return 0, err
+		}
+		in.snap.Store(next)
+	}
+	snap := in.snap.Load()
+	rec := journal.Record{
+		Op:     journal.OpMigrate,
+		ID:     mig.ID,
+		Spec:   journalSpec(in.spec),
+		Epoch:  snap.Epoch(),
+		Faults: snap.Faults(),
+	}
+	if _, err := m.pipe.log.Commit(rec, func() { in.staged.Store(false) }); err != nil {
+		m.journalFailed.Add(1)
+		return 0, errorf(ErrUnavailable, "fleet: commit migration arrival %s: %v", mig.ID, err)
+	}
+	m.migrationsIn.Inc()
+	return snap.Epoch(), nil
+}
+
+// AbortMigration drops a staged (never-committed) inbound instance,
+// reporting whether one existed. The source calls it when phase 2
+// fails; since the stage was never journaled, dropping it from memory
+// is the entire rollback.
+func (m *Manager) AbortMigration(id string) bool {
+	in, ok := m.Get(id)
+	if !ok || !in.staged.Load() {
+		return false
+	}
+	in.writeMu.Lock()
+	in.deleted = true
+	in.writeMu.Unlock()
+	m.deleteRaw(id)
+	return true
+}
+
+// pushMigration POSTs one encoded migration frame and decodes the
+// JSON error body on rejection.
+func pushMigration(url string, mig sharding.Migration) error {
+	body, err := sharding.AppendMigration(nil, mig)
+	if err != nil {
+		return err
+	}
+	resp, err := migrateClient.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	msg := ""
+	if b, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096)); rerr == nil {
+		if json.Unmarshal(b, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		} else {
+			msg = string(b)
+		}
+	}
+	return fmt.Errorf("peer returned %d: %s", resp.StatusCode, msg)
+}
+
+// abortRemote best-effort drops a staged instance on the target after
+// a failed phase 2; a target that already lost it (crash, restart)
+// answering anything is fine — the stage was never durable there.
+func abortRemote(url, id string) {
+	body, _ := json.Marshal(map[string]string{"id": id})
+	resp, err := migrateClient.Post(url+"/v1/migrate/abort", "application/json", bytes.NewReader(body))
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,436 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ftnet/internal/journal"
+	sharding "ftnet/internal/shard"
+)
+
+// shardPair is a two-daemon cluster in one process: managers a and b
+// with real journals, real HTTP servers, and a shared two-member ring.
+type shardPair struct {
+	a, b     *Manager
+	tsA, tsB *httptest.Server
+	peers    map[string]string
+}
+
+func newShardManager(t *testing.T, dir string) *Manager {
+	t.Helper()
+	m := NewManager(Options{})
+	path := filepath.Join(dir, "epochs.wal")
+	if _, err := m.RecoverFile(path); err != nil {
+		t.Fatal(err)
+	}
+	w, err := journal.Create(path, journal.Options{Sync: journal.SyncInterval, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetJournal(w)
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// newShardPair boots the pair; the topology is NOT installed yet, so
+// tests can create instances anywhere first (the pre-sharding world).
+func newShardPair(t *testing.T) *shardPair {
+	t.Helper()
+	p := &shardPair{
+		a: newShardManager(t, t.TempDir()),
+		b: newShardManager(t, t.TempDir()),
+	}
+	p.tsA = httptest.NewServer(NewHTTPHandler(p.a))
+	p.tsB = httptest.NewServer(NewHTTPHandler(p.b))
+	t.Cleanup(p.tsA.Close)
+	t.Cleanup(p.tsB.Close)
+	p.peers = map[string]string{"a": p.tsA.URL, "b": p.tsB.URL}
+	return p
+}
+
+func (p *shardPair) installTopology(t *testing.T) {
+	t.Helper()
+	p.a.SetTopology("a", p.peers, 0)
+	p.b.SetTopology("b", p.peers, 0)
+}
+
+// idOwnedBy probes for an instance id the two-member ring assigns to
+// the given member, so tests place instances deterministically.
+func idOwnedBy(t *testing.T, member string) string {
+	t.Helper()
+	ring := sharding.New([]string{"a", "b"}, 0)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("inst-%d", i)
+		if ring.Owner(id) == member {
+			return id
+		}
+	}
+	t.Fatalf("no probe id owned by %q", member)
+	return ""
+}
+
+func phiSliceOf(t *testing.T, m *Manager, id string) []int {
+	t.Helper()
+	in, ok := m.Get(id)
+	if !ok {
+		t.Fatalf("no instance %q", id)
+	}
+	return in.PhiSlice()
+}
+
+func TestMigrateMovesInstanceBitIdentically(t *testing.T) {
+	p := newShardPair(t)
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}
+	stays, moves := idOwnedBy(t, "a"), idOwnedBy(t, "b")
+
+	// Pre-sharding: both instances live on a, one of them with state.
+	for _, id := range []string{stays, moves} {
+		if _, err := p.a.Create(id, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, node := range []int{1, 5} {
+		if _, err := p.a.Event(moves, Event{EventFault, node}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantPhi := phiSliceOf(t, p.a, moves)
+
+	p.installTopology(t)
+	// The pin keeps the displaced instance fully served here until the
+	// migration actually runs.
+	if _, err := p.a.Lookup(moves, 0); err != nil {
+		t.Fatalf("pinned instance unavailable pre-migration: %v", err)
+	}
+	if got := p.a.Displaced(); len(got) != 1 || got[0] != moves {
+		t.Fatalf("Displaced = %v, want [%s]", got, moves)
+	}
+
+	stats, err := p.a.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].ID != moves || stats[0].Peer != "b" {
+		t.Fatalf("rebalance stats = %+v", stats)
+	}
+	if stats[0].Epoch != 2 {
+		t.Errorf("handoff epoch = %d, want 2", stats[0].Epoch)
+	}
+
+	// The new owner answers bit-identically; the old owner redirects.
+	gotPhi := phiSliceOf(t, p.b, moves)
+	if len(gotPhi) != len(wantPhi) {
+		t.Fatalf("phi length %d != %d", len(gotPhi), len(wantPhi))
+	}
+	for x := range wantPhi {
+		if gotPhi[x] != wantPhi[x] {
+			t.Fatalf("phi[%d] = %d on new owner, want %d", x, gotPhi[x], wantPhi[x])
+		}
+	}
+	if in, _ := p.b.Get(moves); in.Info().Epoch != 2 {
+		t.Errorf("epoch on new owner = %d, want 2", in.Info().Epoch)
+	}
+	_, err = p.a.Lookup(moves, 0)
+	if !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("old owner lookup err = %v, want ErrWrongShard", err)
+	}
+	if owner := WrongShardOwner(err); owner != p.tsB.URL {
+		t.Errorf("redirect owner = %q, want %q", owner, p.tsB.URL)
+	}
+	if _, err := p.a.Lookup(stays, 0); err != nil {
+		t.Errorf("non-displaced instance broken: %v", err)
+	}
+	if st := p.a.Stats(); st.Shard == nil || st.Shard.MigrationsOut != 1 {
+		t.Errorf("source shard stats = %+v", st.Shard)
+	}
+	if st := p.b.Stats(); st.Shard == nil || st.Shard.MigrationsIn != 1 {
+		t.Errorf("target shard stats = %+v", st.Shard)
+	}
+
+	// Durability on both sides: the target's journal replays the
+	// OpMigrate arrival (consuming its seq), the source's replays the
+	// departure — neither resurrects a stale copy.
+	for _, side := range []struct {
+		m       *Manager
+		has     []string
+		hasnt   []string
+		migrate int
+	}{
+		{p.b, []string{moves}, []string{stays}, 1},
+		{p.a, []string{stays}, []string{moves}, 0},
+	} {
+		img := journalImage(t, side.m)
+		m2 := NewManager(Options{})
+		path := filepath.Join(t.TempDir(), "replay.wal")
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := m2.RecoverFile(path)
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		if st.Migrated != side.migrate {
+			t.Errorf("recovered Migrated = %d, want %d", st.Migrated, side.migrate)
+		}
+		for _, id := range side.has {
+			if _, ok := m2.Get(id); !ok {
+				t.Errorf("recovered image lost %q", id)
+			}
+		}
+		for _, id := range side.hasnt {
+			if _, ok := m2.Get(id); ok {
+				t.Errorf("recovered image resurrected %q", id)
+			}
+		}
+	}
+	if got := phiSliceOf(t, p.b, moves); len(got) == 0 {
+		t.Error("empty phi after everything")
+	}
+}
+
+// TestMigrateWriteRaceLosesNothing is the cutover-race invariant: a
+// writer hammering the source during the migration either gets its
+// write applied (pre-fence, and the suffix carries it) or gets an
+// explicit wrong-shard redirect — never a silent drop, never a double
+// apply. Epoch arithmetic is the proof: the epoch on the new owner
+// must equal the number of acknowledged writes exactly.
+func TestMigrateWriteRaceLosesNothing(t *testing.T) {
+	p := newShardPair(t)
+	id := idOwnedBy(t, "b")
+	if _, err := p.a.Create(id, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	p.installTopology(t)
+
+	applied := 0
+	redirected := false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		kind := EventFault
+		for i := 0; i < 1_000_000; i++ {
+			_, err := p.a.Event(id, Event{kind, 0})
+			switch {
+			case err == nil:
+				applied++
+				if kind == EventFault {
+					kind = EventRepair
+				} else {
+					kind = EventFault
+				}
+			case errors.Is(err, ErrWrongShard):
+				redirected = true
+				return
+			default:
+				t.Errorf("write failed with %v mid-migration", err)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(5 * time.Millisecond) // let some pre-fence writes land
+	stats, err := p.a.MigrateOut(id, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if !redirected {
+		t.Fatal("writer never saw the wrong-shard redirect")
+	}
+	if applied == 0 {
+		t.Fatal("no writes applied before the fence")
+	}
+
+	in, ok := p.b.Get(id)
+	if !ok {
+		t.Fatal("instance missing on new owner")
+	}
+	info := in.Info()
+	if info.Epoch != uint64(applied) {
+		t.Fatalf("epoch on new owner = %d, acked writes = %d (lost or doubled)", info.Epoch, applied)
+	}
+	// The toggle pattern makes the final fault set a parity function of
+	// the write count — an independent check the state, not just the
+	// counter, arrived intact.
+	wantFaults := 0
+	if applied%2 == 1 {
+		wantFaults = 1
+	}
+	if len(info.Faults) != wantFaults {
+		t.Fatalf("faults = %v after %d toggles", info.Faults, applied)
+	}
+	// And bit-identical phi against an independent replay of the same
+	// acknowledged prefix.
+	ref := NewManager(Options{})
+	if _, err := ref.Create(id, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	kind := EventFault
+	for i := 0; i < applied; i++ {
+		if _, err := ref.Event(id, Event{kind, 0}); err != nil {
+			t.Fatal(err)
+		}
+		if kind == EventFault {
+			kind = EventRepair
+		} else {
+			kind = EventFault
+		}
+	}
+	want, got := phiSliceOf(t, ref, id), phiSliceOf(t, p.b, id)
+	for x := range want {
+		if got[x] != want[x] {
+			t.Fatalf("phi[%d] = %d, want %d after racing cutover", x, got[x], want[x])
+		}
+	}
+	if stats.FenceSeq < stats.BaseSeq {
+		t.Errorf("fence seq %d below base seq %d", stats.FenceSeq, stats.BaseSeq)
+	}
+}
+
+// TestMigrateHTTPRedirect pins the JSON plane's cutover contract:
+// after the handoff the old owner answers 403 with the new owner's
+// URL in X-Ftnet-Owner, and a client that follows it succeeds.
+func TestMigrateHTTPRedirect(t *testing.T) {
+	p := newShardPair(t)
+	id := idOwnedBy(t, "b")
+	if _, err := p.a.Create(id, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	p.installTopology(t)
+	if _, err := p.a.MigrateOut(id, "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(url string, body any) *http.Response {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	ev := Event{EventFault, 3}
+	resp := post(p.tsA.URL+"/v1/instances/"+id+"/events", ev)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("write on old owner = %d, want 403", resp.StatusCode)
+	}
+	owner := resp.Header.Get("X-Ftnet-Owner")
+	if owner != p.tsB.URL {
+		t.Fatalf("X-Ftnet-Owner = %q, want %q", owner, p.tsB.URL)
+	}
+	resp = post(owner+"/v1/instances/"+id+"/events", ev)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write on redirect target = %d, want 200", resp.StatusCode)
+	}
+
+	// Reads redirect too — both the single-x path and the dense stream.
+	for _, path := range []string{"/v1/instances/" + id + "/phi?x=0", "/v1/instances/" + id + "/phi", "/v1/instances/" + id} {
+		r, err := http.Get(p.tsA.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusForbidden || r.Header.Get("X-Ftnet-Owner") != p.tsB.URL {
+			t.Errorf("GET %s on old owner = %d (owner %q), want 403 + owner", path, r.StatusCode, r.Header.Get("X-Ftnet-Owner"))
+		}
+	}
+	// Creating an instance the ring assigns elsewhere redirects instead
+	// of planting a shadow copy.
+	other := idOwnedBy(t, "b") + "-new"
+	if owner := sharding.New([]string{"a", "b"}, 0).Owner(other); owner == "b" {
+		resp = post(p.tsA.URL+"/v1/instances", CreateRequest{ID: other, Spec: Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}})
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("create for foreign id = %d, want 403", resp.StatusCode)
+		}
+	}
+}
+
+func TestMigrateStageLifecycle(t *testing.T) {
+	p := newShardPair(t)
+	p.installTopology(t)
+	id := idOwnedBy(t, "b")
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}
+	frame := sharding.Migration{
+		ID:      id,
+		BaseSeq: 7,
+		Records: []journal.Record{{
+			Op:    journal.OpCheckpoint,
+			ID:    id,
+			Spec:  journalSpec(spec),
+			Epoch: 0,
+		}},
+	}
+
+	// Staging on the wrong member bounces with a redirect.
+	if err := p.a.StageMigration(frame); !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("stage on non-owner err = %v, want ErrWrongShard", err)
+	}
+	if err := p.b.StageMigration(frame); err != nil {
+		t.Fatal(err)
+	}
+	// Staged = invisible to readers until the suffix commits.
+	if _, err := p.b.Lookup(id, 0); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("lookup on staged instance err = %v, want ErrUnavailable", err)
+	}
+	// A commit that doesn't match the staged base seq is refused.
+	if _, err := p.b.CommitMigration(sharding.Migration{ID: id, BaseSeq: 99}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("mismatched commit err = %v, want ErrConflict", err)
+	}
+	// Re-staging (source retry) is idempotent.
+	if err := p.b.StageMigration(frame); err != nil {
+		t.Fatalf("re-stage: %v", err)
+	}
+	if !p.b.AbortMigration(id) {
+		t.Fatal("abort found nothing")
+	}
+	if _, ok := p.b.Get(id); ok {
+		t.Fatal("aborted stage still visible")
+	}
+	if p.b.AbortMigration(id) {
+		t.Fatal("second abort claimed success")
+	}
+	// A stage must never replace a live instance.
+	if _, err := p.b.Create(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.b.StageMigration(frame); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stage over live instance err = %v, want ErrConflict", err)
+	}
+}
+
+func TestMigrateGuards(t *testing.T) {
+	p := newShardPair(t)
+	id := idOwnedBy(t, "b")
+	if _, err := p.a.Create(id, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.a.MigrateOut(id, "b"); err == nil {
+		t.Error("migrate without topology accepted")
+	}
+	p.installTopology(t)
+	if _, err := p.a.MigrateOut(id, "ghost"); err == nil {
+		t.Error("migrate to unknown peer accepted")
+	}
+	if _, err := p.a.MigrateOut(id, "a"); err == nil {
+		t.Error("migrate to self accepted")
+	}
+	if _, err := p.a.MigrateOut("missing", "b"); !errors.Is(err, ErrNotFound) {
+		t.Error("migrate of unknown instance accepted")
+	}
+	// Delete is fenced off for an in-flight instance only; a plain
+	// displaced-but-unfenced instance still deletes locally.
+	if ok, err := p.a.Delete(id); !ok || err != nil {
+		t.Errorf("delete of pinned instance = %v, %v", ok, err)
+	}
+}

@@ -27,6 +27,7 @@ type RecoverStats struct {
 	Deleted     int     `json:"deleted"`     // instances deleted
 	Transitions int     `json:"transitions"` // epoch transitions restored
 	Checkpoints int     `json:"checkpoints"` // compaction checkpoints restored
+	Migrated    int     `json:"migrated"`    // migration arrivals restored
 	Orphaned    int     `json:"orphaned"`    // transitions for deleted instances, skipped
 	LastEpoch   uint64  `json:"last_epoch"`  // highest epoch restored
 	BaseSeq     uint64  `json:"base_seq"`    // commit seq of the file's first ordinary record
@@ -102,6 +103,26 @@ func (m *Manager) Recover(r io.Reader) (RecoverStats, error) {
 			}
 			delete(deleted, rec.ID)
 			st.Checkpoints++
+			if rec.Epoch > st.LastEpoch {
+				st.LastEpoch = rec.Epoch
+			}
+		case journal.OpMigrate:
+			// An instance that arrived via checkpoint-streamed migration:
+			// same complete-state shape as a checkpoint, but it consumes a
+			// commit seq — it is an ordinary entry this daemon's followers
+			// replicated, not a summary of a dropped prefix.
+			spec := Spec{Kind: Kind(rec.Spec.Kind), M: rec.Spec.M, H: rec.Spec.H, K: rec.Spec.K}
+			m.deleteRaw(rec.ID) // the arrival record is authoritative
+			in, err := m.createRaw(rec.ID, spec)
+			if err != nil {
+				return st, fmt.Errorf("fleet: recover record %d: %w", st.Records, err)
+			}
+			if err := in.restoreCheckpoint(rec.Epoch, rec.Faults); err != nil {
+				return st, fmt.Errorf("fleet: recover record %d: %w", st.Records, err)
+			}
+			delete(deleted, rec.ID)
+			st.Migrated++
+			st.NextSeq++
 			if rec.Epoch > st.LastEpoch {
 				st.LastEpoch = rec.Epoch
 			}

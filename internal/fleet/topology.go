@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"sort"
+
+	sharding "ftnet/internal/shard"
+)
+
+// This file is the manager's view of the shard ring: which daemon owns
+// which instance id, and the per-id overrides that keep service
+// seamless while an instance is in flight between daemons.
+//
+// Ownership resolution, in order:
+//
+//  1. No topology installed -> this daemon owns everything (the
+//     single-daemon deployments every prior PR built; they pay one
+//     atomic load).
+//  2. The moved-override map -> an id pinned to a daemon regardless of
+//     the ring. SetTopology pins every local instance the new ring
+//     assigns elsewhere to *this* daemon ("still mine until
+//     migrated"), so installing a new ring never drops service;
+//     completeMigration erases the pin, at which point the ring's
+//     answer (the new owner) takes over and clients are redirected.
+//  3. The ring.
+//
+// A request for an id owned elsewhere is refused with ErrWrongShard
+// carrying the owner's URL — never silently applied — which is the
+// invariant the cutover race tests pin down.
+
+// topology is an immutable ring-membership view; Manager.topo swaps it
+// atomically.
+type topology struct {
+	self     string            // this daemon's member name
+	peers    map[string]string // member name -> advertised base URL (includes self)
+	replicas int
+	ring     *sharding.Ring
+}
+
+// RingInfo describes the installed topology (the GET /v1/ring body).
+type RingInfo struct {
+	Self     string            `json:"self"`
+	Peers    map[string]string `json:"peers"`
+	Replicas int               `json:"replicas"`
+	Members  []string          `json:"members"`
+	Moved    int               `json:"moved"` // ids pinned away from the ring's answer
+}
+
+// SetTopology installs a shard-ring view: self is this daemon's member
+// name, peers maps every member name (self included) to its advertised
+// base URL, replicas is the virtual-node count (<= 0 selects the
+// default). Installing a topology never interrupts service: every
+// local instance the new ring assigns to another daemon is pinned to
+// this daemon in the moved-override map until a migration actually
+// moves it. An empty peers map (or empty self) clears sharding
+// entirely.
+//
+// Concurrent requests resolve ownership against either the old or the
+// new view — both are consistent; a rebalance then drains the pins.
+func (m *Manager) SetTopology(self string, peers map[string]string, replicas int) {
+	if self == "" || len(peers) == 0 {
+		m.topo.Store(nil)
+		m.movedMu.Lock()
+		m.moved = nil
+		m.movedN.Store(0)
+		m.movedMu.Unlock()
+		return
+	}
+	members := make([]string, 0, len(peers))
+	cp := make(map[string]string, len(peers))
+	for name, url := range peers {
+		members = append(members, name)
+		cp[name] = url
+	}
+	t := &topology{self: self, peers: cp, ring: sharding.New(members, replicas)}
+	t.replicas = t.ring.Replicas()
+	// Pin displaced local instances before the ring goes live, so no
+	// request window exists where this daemon bounces an id it still
+	// holds the only copy of.
+	pins := make(map[string]string)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for id, in := range s.instances {
+			if !in.staged.Load() && t.ring.Owner(id) != self {
+				pins[id] = self
+			}
+		}
+		s.mu.RUnlock()
+	}
+	m.movedMu.Lock()
+	m.moved = pins
+	m.movedN.Store(int64(len(pins)))
+	m.topo.Store(t)
+	m.movedMu.Unlock()
+}
+
+// Topology returns the installed ring view, or ok=false when this
+// daemon is unsharded.
+func (m *Manager) Topology() (RingInfo, bool) {
+	t := m.topo.Load()
+	if t == nil {
+		return RingInfo{}, false
+	}
+	info := RingInfo{
+		Self:     t.self,
+		Peers:    t.peers,
+		Replicas: t.replicas,
+		Members:  append([]string(nil), t.ring.Members()...),
+		Moved:    int(m.movedN.Load()),
+	}
+	return info, true
+}
+
+// Displaced returns the sorted ids of local instances the current ring
+// assigns to another daemon — the work list of a rebalance. Staged
+// inbound migrations are skipped (they are arriving, not leaving).
+func (m *Manager) Displaced() []string {
+	t := m.topo.Load()
+	if t == nil {
+		return nil
+	}
+	var ids []string
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for id, in := range s.instances {
+			if !in.staged.Load() && t.ring.Owner(id) != t.self {
+				ids = append(ids, id)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ownerName resolves the owning member name for id under t, honoring
+// the moved-override pins. Caller has checked t != nil.
+func (m *Manager) ownerName(t *topology, id string) string {
+	if m.movedN.Load() != 0 {
+		m.movedMu.RLock()
+		owner, ok := m.moved[id]
+		m.movedMu.RUnlock()
+		if ok {
+			return owner
+		}
+	}
+	return t.ring.Owner(id)
+}
+
+// setMoved pins id's owner ("" erases the pin).
+func (m *Manager) setMoved(id, owner string) {
+	m.movedMu.Lock()
+	if owner == "" {
+		if _, ok := m.moved[id]; ok {
+			delete(m.moved, id)
+			m.movedN.Add(-1)
+		}
+	} else {
+		if m.moved == nil {
+			m.moved = make(map[string]string)
+		}
+		if _, ok := m.moved[id]; !ok {
+			m.movedN.Add(1)
+		}
+		m.moved[id] = owner
+	}
+	m.movedMu.Unlock()
+}
+
+// checkOwned returns nil when this daemon owns id (or is unsharded),
+// and ErrWrongShard with the owner's URL otherwise.
+func (m *Manager) checkOwned(id string) error {
+	t := m.topo.Load()
+	if t == nil {
+		return nil
+	}
+	owner := m.ownerName(t, id)
+	if owner == t.self {
+		return nil
+	}
+	m.rejectedShard.Add(1)
+	m.wrongShardTotal.Inc()
+	return wrongShardf(t.peers[owner], "fleet: instance %q owned by shard %s", id, owner)
+}
+
+// checkOwnedBytes is checkOwned for an id held as a byte slice (the
+// wire plane's zero-copy path): the owned case — every request on a
+// correctly-routed daemon — allocates nothing.
+func (m *Manager) checkOwnedBytes(id []byte) error {
+	t := m.topo.Load()
+	if t == nil {
+		return nil
+	}
+	var owner string
+	if m.movedN.Load() != 0 {
+		m.movedMu.RLock()
+		pinned, ok := m.moved[string(id)] // no alloc: map index on conversion
+		m.movedMu.RUnlock()
+		if ok {
+			owner = pinned
+		}
+	}
+	if owner == "" {
+		owner = t.ring.OwnerBytes(id)
+	}
+	if owner == t.self {
+		return nil
+	}
+	m.rejectedShard.Add(1)
+	m.wrongShardTotal.Inc()
+	return wrongShardf(t.peers[owner], "fleet: instance %q owned by shard %s", id, owner)
+}

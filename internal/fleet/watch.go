@@ -55,7 +55,7 @@ func watchEntryFrom(e commit.Entry) WatchEntry {
 		Term:    e.Rec.Term,
 		Ts:      e.At,
 	}
-	if e.Rec.Op == journal.OpCreate || e.Rec.Op == journal.OpCheckpoint {
+	if e.Rec.Op == journal.OpCreate || e.Rec.Op == journal.OpCheckpoint || e.Rec.Op == journal.OpMigrate {
 		spec := Spec{Kind: Kind(e.Rec.Spec.Kind), M: e.Rec.Spec.M, H: e.Rec.Spec.H, K: e.Rec.Spec.K}
 		we.Spec = &spec
 	}
@@ -74,6 +74,8 @@ func (we WatchEntry) Entry() (commit.Entry, error) {
 		rec.Op = journal.OpTransition
 	case "checkpoint":
 		rec.Op = journal.OpCheckpoint
+	case "migrate":
+		rec.Op = journal.OpMigrate
 	case "termbump":
 		rec.Op = journal.OpTermBump
 		rec.ID = journal.SeqBaseID

@@ -27,6 +27,13 @@ type Op byte
 // (followers must observe it in-stream, in order), and recovery
 // verifies the term chain — strictly increasing — the same way it
 // verifies the per-instance epoch chain.
+//
+// OpMigrate is the ownership-handoff record: a daemon that accepts a
+// migrated instance commits one, carrying the instance's complete
+// state (spec, epoch, fault set — the same shape as OpCheckpoint).
+// Unlike OpCheckpoint it consumes a commit sequence number: recovery
+// and followers treat it as an ordinary in-stream entry ("this
+// instance arrived here with state X"), not as compaction metadata.
 const (
 	OpCreate     Op = 1
 	OpDelete     Op = 2
@@ -34,6 +41,7 @@ const (
 	OpSeqBase    Op = 4
 	OpCheckpoint Op = 5
 	OpTermBump   Op = 6
+	OpMigrate    Op = 7
 )
 
 func (op Op) String() string {
@@ -50,6 +58,8 @@ func (op Op) String() string {
 		return "checkpoint"
 	case OpTermBump:
 		return "termbump"
+	case OpMigrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("op(%d)", byte(op))
 	}
@@ -127,7 +137,7 @@ func AppendRecord(dst []byte, rec Record) ([]byte, error) {
 	case OpSeqBase:
 		dst = binary.AppendUvarint(dst, rec.Seq)
 		dst = binary.AppendUvarint(dst, rec.Term)
-	case OpCheckpoint:
+	case OpCheckpoint, OpMigrate:
 		dst = appendSpec(dst, rec.Spec)
 		dst = binary.AppendUvarint(dst, rec.Epoch)
 		dst = appendFaults(dst, rec.Faults)
@@ -180,7 +190,7 @@ func (rec Record) validate() error {
 		if rec.Seq == 0 {
 			return fmt.Errorf("journal: seq base 0 (commit sequence numbers start at 1)")
 		}
-	case OpCheckpoint:
+	case OpCheckpoint, OpMigrate:
 		if rec.Spec.M < 0 || rec.Spec.H < 0 || rec.Spec.K < 0 {
 			return fmt.Errorf("journal: negative spec field in %+v", rec.Spec)
 		}
@@ -370,7 +380,7 @@ func DecodeRecord(b []byte) (Record, error) {
 		if rec.Term, err = d.uvarint(); err != nil {
 			return Record{}, err
 		}
-	case OpCheckpoint:
+	case OpCheckpoint, OpMigrate:
 		if rec.Spec, err = d.spec(); err != nil {
 			return Record{}, err
 		}

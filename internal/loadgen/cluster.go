@@ -1,0 +1,520 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/ft"
+	"ftnet/internal/obs"
+	sharding "ftnet/internal/shard"
+)
+
+// The cluster scenario is the scale-out probe: storm a sharded fleet
+// of daemons through a shard-aware client while a new member joins the
+// ring mid-storm and the displaced instances are checkpoint-streamed
+// to it. The client routes by the same consistent-hash ring the
+// daemons use, but treats the ring as a hint exactly like ftproxy
+// does: a 403 carrying X-Ftnet-Owner teaches it the instance's real
+// home, a 503 (the instance is staged mid-migration) is ridden out
+// with backoff. No manual retry logic leaks to the workers — the
+// client converges on its own, which is the acceptance contract.
+//
+// After the storm, verification holds the cluster to the single-daemon
+// invariants across the ownership handoff: every instance lives on
+// exactly its ring owner, its epoch equals the highest epoch any
+// client was acknowledged (zero lost, zero double-applied
+// transitions), and its full phi slice is bit-identical to a fresh
+// client-side recomputation over the recovered fault set.
+//
+// Like restart and partition-torture it is not a Scenario preset: it
+// owns the topology lifecycle (installing rings over /v1/ring and
+// triggering /v1/rebalance), so the daemons are booted unsharded and
+// the scenario turns them into a cluster.
+
+// ClusterConfig drives one scale-out run. Peers names every running
+// daemon; Joiner is held out of the initial ring and joined mid-storm.
+type ClusterConfig struct {
+	Config
+	// Peers is the full membership, name -> base URL. Every daemon must
+	// be up; Config.Addr is ignored (the shard client routes by ring).
+	Peers map[string]string
+	// Joiner is the member excluded from the initial topology and added
+	// to every daemon's ring when the storm crosses JoinAfterFrac; the
+	// initial members then rebalance their displaced instances onto it.
+	Joiner string
+	// Replicas is the ring vnode count installed on every daemon and
+	// used by the client (0 selects the shard package default).
+	Replicas int
+	// JoinAfterFrac is the fraction of the request budget to complete
+	// before the join + rebalance fires (default 0.4 — mid-storm).
+	JoinAfterFrac float64
+	// HealthTimeout bounds the initial health checks and the client's
+	// patience with a 503-staged instance (default 15s).
+	HealthTimeout time.Duration
+}
+
+// ClusterResult reports one scale-out run.
+type ClusterResult struct {
+	Storm         Result
+	Acked         map[string]uint64 // per-instance max acknowledged epoch
+	Migrated      int               // instances the rebalance moved
+	RebalanceWall time.Duration     // join start to last rebalance done
+	Redirects     uint64            // wrong-shard hints the client followed
+	StagedWaits   uint64            // 503-staged responses ridden out
+	PauseMax      time.Duration     // widest write-fence window (daemon obs)
+	Verified      int               // instances that passed every check
+	Exports       map[string]*obs.Export
+}
+
+// RunCluster executes the scale-out scenario: install the initial
+// ring, storm through the shard client, join + rebalance mid-storm,
+// verify ownership, epochs and mappings afterwards.
+func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
+	if len(cfg.Peers) < 2 {
+		return ClusterResult{}, fmt.Errorf("loadgen: cluster scenario needs at least 2 peers")
+	}
+	if _, ok := cfg.Peers[cfg.Joiner]; !ok {
+		return ClusterResult{}, fmt.Errorf("loadgen: joiner %q is not in peers", cfg.Joiner)
+	}
+	initial := make(map[string]string, len(cfg.Peers)-1)
+	for name, url := range cfg.Peers {
+		if name != cfg.Joiner {
+			initial[name] = url
+		}
+	}
+	cfg.Scenario.Name = "cluster"
+	if cfg.Scenario.Batch < 1 {
+		cfg.Scenario.Batch = 4
+	}
+	// Role-split shape: dedicated writers storm events:batch while the
+	// other workers measure routed lookup throughput — the
+	// cluster_lookups_per_sec figure.
+	cfg.Scenario.EventFrac = 1
+	if cfg.Scenario.Writers < 1 {
+		cfg.Scenario.Writers = cfg.Workers / 2
+		if cfg.Scenario.Writers < 1 {
+			cfg.Scenario.Writers = 1
+		}
+	}
+	if cfg.JoinAfterFrac <= 0 || cfg.JoinAfterFrac >= 1 {
+		cfg.JoinAfterFrac = 0.4
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = 15 * time.Second
+	}
+	if err := cfg.Config.Validate(); err != nil {
+		return ClusterResult{}, err
+	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "load-cluster"
+	}
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	for name, url := range cfg.Peers {
+		if err := awaitHealthy(hc, url, cfg.HealthTimeout); err != nil {
+			return ClusterResult{}, fmt.Errorf("loadgen: cluster member %s: %w", name, err)
+		}
+	}
+	// Install the initial topology (joiner stays out: it gets its ring
+	// at join time, first, so it can accept migrations the instant the
+	// initial members learn the new membership).
+	for name, url := range initial {
+		if err := postRing(hc, url, fleet.RingRequest{Self: name, Peers: initial, Replicas: cfg.Replicas}); err != nil {
+			return ClusterResult{}, err
+		}
+	}
+
+	// The storm client's ring deliberately stays on the initial
+	// membership: every post-rebalance request to a moved instance must
+	// converge through daemon redirects alone.
+	sc := newShardClient(initial, cfg.Replicas, cfg.HealthTimeout)
+	ids := cfg.InstanceIDs()
+	for _, id := range ids {
+		if err := sc.create(id, cfg.Spec); err != nil {
+			return ClusterResult{}, err
+		}
+	}
+
+	acked := make(map[string]*atomic.Uint64, len(ids))
+	for _, id := range ids {
+		acked[id] = new(atomic.Uint64)
+	}
+	var (
+		ops           atomic.Int64
+		joinOnce      sync.Once
+		joinErr       error
+		joinedAt      time.Time
+		rebalanceWall time.Duration
+		migrated      int
+		threshold     = int64(float64(cfg.Requests) * cfg.JoinAfterFrac)
+	)
+	join := func() {
+		joinedAt = time.Now()
+		// Joiner first: its ring must name it owner before any stage
+		// frame arrives.
+		if joinErr = postRing(hc, cfg.Peers[cfg.Joiner], fleet.RingRequest{
+			Self: cfg.Joiner, Peers: cfg.Peers, Replicas: cfg.Replicas,
+		}); joinErr != nil {
+			return
+		}
+		for name, url := range initial {
+			if joinErr = postRing(hc, url, fleet.RingRequest{
+				Self: name, Peers: cfg.Peers, Replicas: cfg.Replicas,
+			}); joinErr != nil {
+				return
+			}
+		}
+		for name, url := range initial {
+			n, err := postRebalance(hc, url)
+			if err != nil {
+				joinErr = fmt.Errorf("loadgen: rebalance %s: %w", name, err)
+				return
+			}
+			migrated += n
+		}
+		rebalanceWall = time.Since(joinedAt)
+	}
+
+	nTarget, nHost := TargetHostSizes(cfg.Spec)
+	perWorker := make([]opStats, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		n := cfg.Requests / cfg.Workers
+		if w < cfg.Requests%cfg.Workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			st := &perWorker[w]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			writer := w < cfg.Scenario.Writers
+			for i := 0; i < n; i++ {
+				id := ids[rng.Intn(len(ids))]
+				if writer {
+					sc.driveBatch(id, rng, nHost, cfg.Scenario.Batch, st, acked[id])
+				} else {
+					sc.driveLookup(id, rng.Intn(nTarget), st)
+				}
+				// The worker that crosses the threshold performs the
+				// join + rebalance inline — the storm keeps running on
+				// the other workers while instances are fenced,
+				// streamed and cut over underneath it.
+				if ops.Add(1) >= threshold {
+					joinOnce.Do(join)
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+
+	res := ClusterResult{
+		Acked:         make(map[string]uint64, len(ids)),
+		Migrated:      migrated,
+		RebalanceWall: rebalanceWall,
+		Redirects:     sc.redirects.Load(),
+		StagedWaits:   sc.stagedWaits.Load(),
+		Exports:       make(map[string]*obs.Export, len(cfg.Peers)),
+	}
+	res.Storm = mergeStats(perWorker, time.Since(start))
+	for _, id := range ids {
+		res.Acked[id] = acked[id].Load()
+	}
+	if joinErr != nil {
+		return res, joinErr
+	}
+	if joinedAt.IsZero() {
+		return res, fmt.Errorf("loadgen: storm finished before the join threshold (%d ops) was reached", threshold)
+	}
+	if res.Migrated == 0 {
+		return res, fmt.Errorf("loadgen: the join displaced no instances — nothing was rebalanced")
+	}
+
+	// Scrape every member: the fence-pause histogram lives on whichever
+	// daemons ran migrations.
+	for name, url := range cfg.Peers {
+		e, err := FetchObs(url)
+		if err != nil {
+			return res, err
+		}
+		res.Exports[name] = e
+		if h, ok := e.Find("ftnet_shard_migration_pause_seconds", ""); ok && h.Count > 0 {
+			if d := time.Duration(h.MaxNS); d > res.PauseMax {
+				res.PauseMax = d
+			}
+		}
+	}
+
+	// Verify against the final ring. Epoch equality is the zero
+	// lost/double-applied proof — but only when every storm response
+	// was seen (a transport failure could hide an applied write).
+	members := make([]string, 0, len(cfg.Peers))
+	for name := range cfg.Peers {
+		members = append(members, name)
+	}
+	finalRing := sharding.New(members, cfg.Replicas)
+	strict := res.Storm.Transport == 0 && res.Storm.Errors == 0
+	for _, id := range ids {
+		if err := verifyClusterInstance(hc, cfg, finalRing, id, res.Acked[id], strict, &res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// verifyClusterInstance holds one instance to the handoff contract:
+// served by exactly its ring owner, epoch equal to the acknowledged
+// watermark, phi bit-identical to a client-side recomputation.
+func verifyClusterInstance(hc *http.Client, cfg ClusterConfig, ring *sharding.Ring, id string, acked uint64, strict bool, res *ClusterResult) error {
+	owner := ring.Owner(id)
+	info, err := fetchInstance(hc, cfg.Peers[owner], id)
+	if err != nil {
+		return fmt.Errorf("loadgen: %s not served by ring owner %s: %w", id, owner, err)
+	}
+	switch {
+	case info.Epoch < acked:
+		return fmt.Errorf("loadgen: %s on %s at epoch %d, below acknowledged epoch %d — transition lost in the handoff",
+			id, owner, info.Epoch, acked)
+	case strict && info.Epoch != acked:
+		return fmt.Errorf("loadgen: %s on %s at epoch %d, acknowledged watermark is %d — transition double-applied in the handoff",
+			id, owner, info.Epoch, acked)
+	}
+	if cfg.Spec.Kind == fleet.KindDeBruijn {
+		want, err := ft.NewMapping(info.NTarget, info.NHost, info.Faults)
+		if err != nil {
+			return fmt.Errorf("loadgen: %s recovered an invalid fault set %v: %v", id, info.Faults, err)
+		}
+		phi, err := fetchPhi(hc, cfg.Peers[owner], id)
+		if err != nil {
+			return fmt.Errorf("loadgen: %s phi on %s: %w", id, owner, err)
+		}
+		if len(phi) != info.NTarget {
+			return fmt.Errorf("loadgen: %s phi slice has %d entries, want %d", id, len(phi), info.NTarget)
+		}
+		for x, got := range phi {
+			if got != want.Phi(x) {
+				return fmt.Errorf("loadgen: %s phi(%d) = %d on %s, recomputation says %d — mapping corrupted in the handoff",
+					id, x, got, owner, want.Phi(x))
+			}
+		}
+	}
+	// Exactly one owner: every other member must refuse to serve it.
+	for name, url := range cfg.Peers {
+		if name == owner {
+			continue
+		}
+		resp, err := hc.Get(url + "/v1/instances/" + id)
+		if err != nil {
+			return fmt.Errorf("loadgen: probe %s on %s: %v", id, name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return fmt.Errorf("loadgen: %s also served by non-owner %s — double ownership after the rebalance", id, name)
+		}
+	}
+	res.Verified++
+	return nil
+}
+
+// shardClient is the client-side routing layer: it resolves each
+// instance to a daemon by consistent hash, learns exceptions from
+// X-Ftnet-Owner redirect hints, and rides out 503-staged windows —
+// the same convergence rules as ftproxy, embedded in the load driver.
+type shardClient struct {
+	hc          *http.Client
+	peers       map[string]string
+	ring        *sharding.Ring
+	stagedGrace time.Duration
+
+	mu       sync.RWMutex
+	override map[string]string // id -> base URL learned from hints
+
+	redirects   atomic.Uint64
+	stagedWaits atomic.Uint64
+}
+
+func newShardClient(peers map[string]string, replicas int, stagedGrace time.Duration) *shardClient {
+	members := make([]string, 0, len(peers))
+	for name := range peers {
+		members = append(members, name)
+	}
+	return &shardClient{
+		hc:          &http.Client{Timeout: 30 * time.Second},
+		peers:       peers,
+		ring:        sharding.New(members, replicas),
+		stagedGrace: stagedGrace,
+		override:    make(map[string]string),
+	}
+}
+
+// do routes one request for id: ring (or learned override) picks the
+// daemon, a 403 with an owner hint re-routes, a 503 (staged
+// mid-migration) retries the same target with backoff until the
+// cutover commits. The returned response is terminal; the caller
+// closes its body.
+func (sc *shardClient) do(method, id, pathAndQuery string, body []byte) (*http.Response, error) {
+	sc.mu.RLock()
+	target := sc.override[id]
+	sc.mu.RUnlock()
+	if target == "" {
+		target = sc.peers[sc.ring.Owner(id)]
+	}
+	deadline := time.Now().Add(sc.stagedGrace)
+	hops := 0
+	for {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, target+pathAndQuery, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := sc.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		owner := resp.Header.Get("X-Ftnet-Owner")
+		switch {
+		case resp.StatusCode == http.StatusForbidden && owner != "" && owner != target && hops < len(sc.peers):
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			sc.learn(id, owner)
+			sc.redirects.Add(1)
+			target = owner
+			hops++
+			continue
+		case resp.StatusCode == http.StatusServiceUnavailable && time.Now().Before(deadline):
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			sc.stagedWaits.Add(1)
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// learn caches (or, when the hint re-agrees with the ring, clears) an
+// ownership exception.
+func (sc *shardClient) learn(id, url string) {
+	sc.mu.Lock()
+	if sc.peers[sc.ring.Owner(id)] == url {
+		delete(sc.override, id)
+	} else {
+		sc.override[id] = url
+	}
+	sc.mu.Unlock()
+}
+
+// create makes one instance on its ring owner (tolerating leftovers
+// from a prior run, like createFleet).
+func (sc *shardClient) create(id string, spec fleet.Spec) error {
+	body, _ := json.Marshal(fleet.CreateRequest{ID: id, Spec: spec})
+	resp, err := sc.do(http.MethodPost, id, "/v1/instances", body)
+	if err != nil {
+		return fmt.Errorf("loadgen: create %s: %v", id, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("loadgen: create %s: status %d", id, resp.StatusCode)
+	}
+	return nil
+}
+
+// driveBatch is driveBatchAcked through the routing client: one atomic
+// rack burst, with the acknowledged epoch recorded — the watermark the
+// post-rebalance verification holds the new owner to.
+func (sc *shardClient) driveBatch(id string, rng *rand.Rand, nHost, batch int, st *opStats, acked *atomic.Uint64) {
+	events := makeEvents(rng, nHost, batch)
+	body, _ := json.Marshal(fleet.BatchRequest{Events: events})
+	t0 := time.Now()
+	resp, err := sc.do(http.MethodPost, id, "/v1/instances/"+id+"/events:batch", body)
+	if err != nil {
+		st.transport++
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var evr fleet.EventResult
+		if err := json.NewDecoder(resp.Body).Decode(&evr); err != nil {
+			st.errors++
+			return
+		}
+		ackMax(acked, evr.Epoch)
+		st.batches++
+		st.events += batch
+		st.eventLats = append(st.eventLats, time.Since(t0))
+	case resp.StatusCode == http.StatusConflict || resp.StatusCode == http.StatusBadRequest:
+		io.Copy(io.Discard, resp.Body)
+		st.rejected++
+		st.eventLats = append(st.eventLats, time.Since(t0))
+	default:
+		io.Copy(io.Discard, resp.Body)
+		st.errors++
+	}
+}
+
+func (sc *shardClient) driveLookup(id string, x int, st *opStats) {
+	t0 := time.Now()
+	resp, err := sc.do(http.MethodGet, id, fmt.Sprintf("/v1/instances/%s/phi?x=%d", id, x), nil)
+	if err != nil {
+		st.transport++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.errors++
+		return
+	}
+	st.lookups++
+	st.lookupLats = append(st.lookupLats, time.Since(t0))
+}
+
+func postRing(hc *http.Client, url string, req fleet.RingRequest) error {
+	body, _ := json.Marshal(req)
+	resp, err := hc.Post(url+"/v1/ring", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("loadgen: install ring on %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: install ring on %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// postRebalance triggers one daemon's rebalance and returns how many
+// instances it migrated away.
+func postRebalance(hc *http.Client, url string) (int, error) {
+	resp, err := hc.Post(url+"/v1/rebalance", "application/json", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var rr fleet.RebalanceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return rr.Count, fmt.Errorf("status %d: %s", resp.StatusCode, rr.Error)
+	}
+	return rr.Count, nil
+}

@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ftnet/internal/fleet"
+)
+
+// threeDaemons boots three in-process daemons (no topology installed —
+// RunCluster owns the ring lifecycle, like the real scenario against
+// unsharded ftnetd processes).
+func threeDaemons(t *testing.T) map[string]string {
+	t.Helper()
+	peers := make(map[string]string, 3)
+	for _, name := range []string{"a", "b", "c"} {
+		m := fleet.NewManager(fleet.Options{})
+		ts := httptest.NewServer(fleet.NewHTTPHandler(m))
+		t.Cleanup(ts.Close)
+		peers[name] = ts.URL
+	}
+	return peers
+}
+
+// TestRunClusterRebalanceMidStorm is the flagship scale-out e2e: a
+// 3-daemon cluster (two in the initial ring, one joining mid-storm)
+// under a role-split write storm routed by the shard client. The join
+// displaces instances onto the new member while writes are in flight;
+// afterwards every instance must live on exactly its ring owner, at
+// exactly the acknowledged epoch (zero lost / double-applied
+// transitions), with a phi slice bit-identical to a client-side
+// recomputation — and the clients must have converged through daemon
+// redirects alone.
+func TestRunClusterRebalanceMidStorm(t *testing.T) {
+	peers := threeDaemons(t)
+	cfg := ClusterConfig{
+		Config: Config{
+			Instances: 12,
+			Spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 3},
+			Workers:   4,
+			Requests:  1200,
+			Seed:      1,
+			Scenario:  Scenario{Batch: 2},
+		},
+		Peers:         peers,
+		Joiner:        "c",
+		JoinAfterFrac: 0.3,
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	if res.Storm.Transport != 0 || res.Storm.Errors != 0 {
+		t.Fatalf("storm saw %d transport and %d unexpected-status errors — the routing client did not converge",
+			res.Storm.Transport, res.Storm.Errors)
+	}
+	if res.Migrated == 0 {
+		t.Fatal("no instance was rebalanced onto the joiner")
+	}
+	if res.Verified != cfg.Instances {
+		t.Fatalf("verified %d/%d instances", res.Verified, cfg.Instances)
+	}
+	// With 12 instances over a 3-member ring, some must have moved to c
+	// — and the storm kept writing to them, so the client chased at
+	// least one redirect.
+	if res.Redirects == 0 {
+		t.Error("client followed no redirects: the storm never touched a moved instance")
+	}
+	if res.Storm.Batches == 0 || res.Storm.Lookups == 0 {
+		t.Fatalf("degenerate storm: %d batches, %d lookups", res.Storm.Batches, res.Storm.Lookups)
+	}
+	if res.PauseMax <= 0 {
+		t.Error("no write-fence pause was observed on any daemon")
+	}
+	if res.PauseMax > 5*time.Second {
+		t.Errorf("fence pause %v is implausibly wide", res.PauseMax)
+	}
+
+	// The artifact families the CI shard job gates.
+	art := ServiceArtifact{Kind: "service", Scenario: "cluster"}
+	AppendCluster(&art, res)
+	families := make(map[string]bool)
+	for _, b := range art.Benchmarks {
+		families[b.Family] = true
+	}
+	if !families["rebalance_pause"] || !families["cluster_lookups_per_sec"] {
+		t.Errorf("artifact families = %v, want rebalance_pause and cluster_lookups_per_sec", families)
+	}
+}
+
+// TestRunClusterGuards pins the scenario's configuration contract.
+func TestRunClusterGuards(t *testing.T) {
+	peers := threeDaemons(t)
+	base := Config{
+		Instances: 2,
+		Spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2},
+		Workers:   2,
+		Requests:  10,
+		Seed:      1,
+	}
+	if _, err := RunCluster(ClusterConfig{Config: base, Peers: peers, Joiner: "nope"}); err == nil {
+		t.Error("unknown joiner accepted")
+	}
+	if _, err := RunCluster(ClusterConfig{Config: base, Peers: map[string]string{"a": peers["a"]}, Joiner: "a"}); err == nil {
+		t.Error("single-member cluster accepted")
+	}
+}
+
+// TestShardClientRidesOutStagedWindow pins the 503 path in isolation:
+// a request that lands mid-migration (instance staged on the target,
+// cutover not yet committed) is retried with backoff until the daemon
+// serves it — the caller never sees the window.
+func TestShardClientRidesOutStagedWindow(t *testing.T) {
+	m := fleet.NewManager(fleet.Options{})
+	inner := fleet.NewHTTPHandler(m)
+	// The first few requests hit the staged window; then the "cutover
+	// commits" and the daemon answers normally.
+	staged := 3
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if staged > 0 {
+			staged--
+			http.Error(w, `{"error":"instance is mid-migration"}`, http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	peers := map[string]string{"a": ts.URL}
+
+	sc := newShardClient(peers, 0, 2*time.Second)
+	if err := sc.create("inst-0", fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatalf("create through staged window: %v", err)
+	}
+	if got := sc.stagedWaits.Load(); got != 3 {
+		t.Fatalf("staged waits = %d, want 3", got)
+	}
+	var st opStats
+	sc.driveLookup("inst-0", 0, &st)
+	if st.lookups != 1 || st.errors != 0 {
+		t.Fatalf("lookup after staged window: %+v", st)
+	}
+
+	// With the grace window elapsed, a persistent 503 surfaces as the
+	// daemon's answer instead of hanging the client forever.
+	staged = 1 << 30
+	impatient := newShardClient(peers, 0, 10*time.Millisecond)
+	var st2 opStats
+	impatient.driveLookup("inst-0", 0, &st2)
+	if st2.errors != 1 {
+		t.Fatalf("persistent 503 past the grace window: %+v", st2)
+	}
+}

@@ -131,3 +131,25 @@ func AppendFailover(art *ServiceArtifact, res FailoverResult) {
 			Value: float64(res.DivergenceWindow), Unit: "ns"},
 	)
 }
+
+// AppendCluster folds a scale-out run into a service artifact, as the
+// two families the shard SLO gate watches:
+//
+//	rebalance_pause          widest write-fence window of any migration
+//	                         — how long a client's writes to one
+//	                         instance stall during its handoff
+//	cluster_lookups_per_sec  routed lookup throughput while the ring
+//	                         changed underneath the storm (ops/s,
+//	                         higher is better)
+func AppendCluster(art *ServiceArtifact, res ClusterResult) {
+	if res.PauseMax > 0 {
+		art.Benchmarks = append(art.Benchmarks, ServiceBenchmark{
+			Name: "rebalance_pause", Family: "rebalance_pause",
+			Value: float64(res.PauseMax), Unit: "ns"})
+	}
+	if res.Storm.Lookups > 0 {
+		art.Benchmarks = append(art.Benchmarks, ServiceBenchmark{
+			Name: "cluster_lookups_per_sec", Family: "cluster_lookups_per_sec",
+			Value: res.Storm.LookupThroughput(), Unit: "ops/s"})
+	}
+}

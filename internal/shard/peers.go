@@ -1,0 +1,32 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePeers parses a ring-membership flag ("name=url,name=url,...")
+// into the member -> base-URL map every shard-aware binary takes:
+// ftnetd's -shard-peers, ftproxy's -peers, ftload's -peers. Trailing
+// slashes are trimmed so URL concatenation stays uniform.
+func ParsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf(`shard: bad peers entry %q (want "name=url")`, part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("shard: duplicate peers member %q", name)
+		}
+		peers[name] = strings.TrimSuffix(url, "/")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("shard: peers list is empty")
+	}
+	return peers, nil
+}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ftnet/internal/journal"
+)
+
+// Migration is one instance's state in flight between daemons. The
+// same frame carries both halves of the two-phase handoff:
+//
+//   - stage: BaseSeq is the source's commit seq at capture and Records
+//     holds exactly one OpCheckpoint — the O(k) record that is the
+//     instance's entire state, taken without fencing writes.
+//   - commit: FenceSeq is the seq the source fenced writes at and
+//     Records holds the journal suffix for this instance in
+//     (BaseSeq, FenceSeq] — every transition the staged checkpoint
+//     missed, in commit order.
+//
+// Every record must name the migrating instance: the codec rejects a
+// frame that smuggles another instance's state.
+type Migration struct {
+	ID       string
+	BaseSeq  uint64
+	FenceSeq uint64
+	Records  []journal.Record
+}
+
+// migrationVersion is the stream format version byte; decoding rejects
+// anything else.
+const migrationVersion = 1
+
+// MaxMigrationSize bounds one encoded migration frame. A checkpoint is
+// O(k) and a fenced suffix is short by construction (the fence window
+// is the pause the rebalance SLO tracks), so this is generous while
+// keeping a corrupt count from asking the receiver for gigabytes.
+const MaxMigrationSize = 64 << 20
+
+// AppendMigration appends the canonical encoding of m to dst. It is
+// the exact inverse of DecodeMigration: decode(append(nil, m)) == m,
+// and re-encoding any accepted payload reproduces it byte for byte.
+func AppendMigration(dst []byte, m Migration) ([]byte, error) {
+	if m.ID == "" {
+		return nil, fmt.Errorf("shard: empty migration id")
+	}
+	dst = append(dst, migrationVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(m.ID)))
+	dst = append(dst, m.ID...)
+	dst = binary.AppendUvarint(dst, m.BaseSeq)
+	dst = binary.AppendUvarint(dst, m.FenceSeq)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Records)))
+	var scratch []byte
+	for _, rec := range m.Records {
+		if rec.ID != m.ID {
+			return nil, fmt.Errorf("shard: record for %q in migration of %q", rec.ID, m.ID)
+		}
+		payload, err := journal.AppendRecord(scratch[:0], rec)
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = append(dst, payload...)
+		scratch = payload
+	}
+	return dst, nil
+}
+
+// mcursor is a strict cursor over a migration payload: bounds-checked,
+// minimal uvarints only — the same accepted-language-is-exactly-the-
+// canonical-encodings discipline as the journal and wire codecs.
+type mcursor struct {
+	b   []byte
+	off int
+}
+
+func (c *mcursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("shard: truncated or overlong uvarint at offset %d", c.off)
+	}
+	if n > 1 && c.b[c.off+n-1] == 0 {
+		return 0, fmt.Errorf("shard: non-minimal uvarint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *mcursor) intVal() (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt {
+		return 0, fmt.Errorf("shard: value %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+// DecodeMigration parses one canonical migration payload. It never
+// panics on arbitrary input; any deviation — unknown version, truncated
+// field, record naming another instance, trailing bytes — is an error.
+func DecodeMigration(b []byte) (Migration, error) {
+	if len(b) > MaxMigrationSize {
+		return Migration{}, fmt.Errorf("shard: migration of %d bytes exceeds max %d", len(b), MaxMigrationSize)
+	}
+	if len(b) < 1 {
+		return Migration{}, fmt.Errorf("shard: empty migration payload")
+	}
+	if b[0] != migrationVersion {
+		return Migration{}, fmt.Errorf("shard: unknown migration version %d", b[0])
+	}
+	c := &mcursor{b: b, off: 1}
+	var m Migration
+	idLen, err := c.intVal()
+	if err != nil {
+		return Migration{}, err
+	}
+	if idLen == 0 {
+		return Migration{}, fmt.Errorf("shard: empty migration id")
+	}
+	if idLen > len(b)-c.off {
+		return Migration{}, fmt.Errorf("shard: id length %d exceeds %d remaining bytes", idLen, len(b)-c.off)
+	}
+	m.ID = string(b[c.off : c.off+idLen])
+	c.off += idLen
+	if m.BaseSeq, err = c.uvarint(); err != nil {
+		return Migration{}, err
+	}
+	if m.FenceSeq, err = c.uvarint(); err != nil {
+		return Migration{}, err
+	}
+	count, err := c.intVal()
+	if err != nil {
+		return Migration{}, err
+	}
+	// Each record costs at least two bytes (length prefix + version), so
+	// a count beyond the remaining payload is corrupt — checked before
+	// allocating.
+	if count > len(b)-c.off {
+		return Migration{}, fmt.Errorf("shard: record count %d exceeds %d remaining bytes", count, len(b)-c.off)
+	}
+	if count > 0 {
+		m.Records = make([]journal.Record, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		recLen, err := c.intVal()
+		if err != nil {
+			return Migration{}, err
+		}
+		if recLen > journal.MaxRecordSize {
+			return Migration{}, fmt.Errorf("shard: record of %d bytes exceeds max %d", recLen, journal.MaxRecordSize)
+		}
+		if recLen > len(b)-c.off {
+			return Migration{}, fmt.Errorf("shard: record length %d exceeds %d remaining bytes", recLen, len(b)-c.off)
+		}
+		rec, err := journal.DecodeRecord(b[c.off : c.off+recLen])
+		if err != nil {
+			return Migration{}, fmt.Errorf("shard: record %d: %w", i, err)
+		}
+		if rec.ID != m.ID {
+			return Migration{}, fmt.Errorf("shard: record %d for %q in migration of %q", i, rec.ID, m.ID)
+		}
+		c.off += recLen
+		m.Records = append(m.Records, rec)
+	}
+	if c.off != len(b) {
+		return Migration{}, fmt.Errorf("shard: %d trailing bytes after migration", len(b)-c.off)
+	}
+	return m, nil
+}

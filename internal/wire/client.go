@@ -423,11 +423,19 @@ func decodeInto(ca *call, d *cursor) error {
 		if !validStatus(Status(st)) {
 			return fmt.Errorf("unknown response status %d", st)
 		}
-		msg, err := d.str()
-		if err != nil || !d.done() {
+		e := &Error{Status: Status(st)}
+		if e.Msg, err = d.str(); err != nil {
 			return errors.New("malformed error response")
 		}
-		ca.done <- &Error{Status: Status(st), Msg: msg}
+		if e.Status == StatusWrongShard {
+			if e.Owner, err = d.str(); err != nil {
+				return errors.New("malformed error response")
+			}
+		}
+		if !d.done() {
+			return errors.New("malformed error response")
+		}
+		ca.done <- e
 		return nil
 	}
 	switch ca.t {

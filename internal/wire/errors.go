@@ -15,6 +15,7 @@ import (
 type Error struct {
 	Status Status
 	Msg    string
+	Owner  string // StatusWrongShard only: the owning daemon's advertised URL
 }
 
 func (e *Error) Error() string {
@@ -38,6 +39,10 @@ func (e *Error) Unwrap() error {
 		return fleet.ErrReadOnly
 	case StatusStaleTerm:
 		return fleet.ErrStaleTerm
+	case StatusWrongShard:
+		// Rebuild the fleet-side error so fleet.WrongShardOwner works on
+		// an RPC rejection exactly as on an in-process one.
+		return fleet.WrongShardError(e.Owner, e.Msg)
 	default:
 		return nil
 	}
@@ -72,6 +77,8 @@ func statusOf(err error) Status {
 		return StatusNotFound
 	case errors.Is(err, fleet.ErrStaleTerm):
 		return StatusStaleTerm
+	case errors.Is(err, fleet.ErrWrongShard):
+		return StatusWrongShard
 	case errors.Is(err, fleet.ErrReadOnly):
 		return StatusReadOnly
 	case errors.Is(err, fleet.ErrBudget):

@@ -38,6 +38,7 @@ func FuzzWireDecode(f *testing.F) {
 		{Type: MsgLookupBatch, Seq: 3, Epoch: 9, Phis: []int{4, 4, 0}},
 		{Type: MsgApplyBatch, Seq: 4, Result: fleet.EventResult{Epoch: 2, NumFaults: 1, Budget: 3, Applied: 2}},
 		{Type: MsgApplyBatch, Seq: 5, Status: StatusReadOnly, Msg: "read-only follower"},
+		{Type: MsgApplyBatch, Seq: 6, Status: StatusWrongShard, Msg: "owned by shard b", Owner: "http://b:8100"},
 	}
 	for _, r := range resps {
 		b, err := AppendResponse(nil, r)
@@ -99,6 +100,7 @@ func TestWireCodecRoundTrip(t *testing.T) {
 		{Type: MsgLookup, Seq: 3, Phi: 9, Epoch: 4},
 		{Type: MsgLookupBatch, Seq: 8, Status: StatusBudget, Msg: "fleet: fault budget exhausted"},
 		{Type: MsgApplyBatch, Seq: 2, Result: fleet.EventResult{Epoch: 6, NumFaults: 2, Budget: 1, Applied: 4}},
+		{Type: MsgLookup, Seq: 9, Status: StatusWrongShard, Msg: "owned by shard b", Owner: "http://b:8100"},
 	}
 	for _, r := range resps {
 		b, err := AppendResponse(nil, r)
@@ -110,7 +112,7 @@ func TestWireCodecRoundTrip(t *testing.T) {
 			t.Fatalf("decode %+v: %v", r, err)
 		}
 		if got.Type != r.Type || got.Seq != r.Seq || got.Status != r.Status ||
-			got.Msg != r.Msg || got.Phi != r.Phi || got.Epoch != r.Epoch ||
+			got.Msg != r.Msg || got.Owner != r.Owner || got.Phi != r.Phi || got.Epoch != r.Epoch ||
 			got.Result != r.Result {
 			t.Fatalf("response round-trip: got %+v, want %+v", got, r)
 		}

@@ -86,6 +86,7 @@ const (
 	StatusInvalid     Status = 5 // bad input: node out of range, empty batch (HTTP 400)
 	StatusReadOnly    Status = 6 // follower posture: mutations come from the leader (HTTP 403)
 	StatusStaleTerm   Status = 7 // leadership term fence: the writer was deposed (HTTP 403)
+	StatusWrongShard  Status = 8 // instance owned by another daemon; response carries its URL (HTTP 403)
 )
 
 func (s Status) String() string {
@@ -106,6 +107,8 @@ func (s Status) String() string {
 		return "read-only"
 	case StatusStaleTerm:
 		return "stale term"
+	case StatusWrongShard:
+		return "wrong shard"
 	default:
 		return fmt.Sprintf("status(%d)", byte(s))
 	}
@@ -131,6 +134,7 @@ type Response struct {
 	Seq    uint64
 	Status Status
 	Msg    string
+	Owner  string // StatusWrongShard only: the owning daemon's advertised URL
 	Phi    int
 	Epoch  uint64
 	Phis   []int
@@ -246,7 +250,16 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 			return nil, fmt.Errorf("wire: unknown status %d", resp.Status)
 		}
 		dst = binary.AppendUvarint(dst, uint64(len(resp.Msg)))
-		return append(dst, resp.Msg...), nil
+		dst = append(dst, resp.Msg...)
+		// The owner hint rides only on wrong-shard rejections, so every
+		// other status keeps its exact pre-sharding encoding.
+		if resp.Status == StatusWrongShard {
+			dst = binary.AppendUvarint(dst, uint64(len(resp.Owner)))
+			dst = append(dst, resp.Owner...)
+		} else if resp.Owner != "" {
+			return nil, fmt.Errorf("wire: owner hint on status %v", resp.Status)
+		}
+		return dst, nil
 	}
 	switch resp.Type {
 	case MsgLookup:
@@ -309,6 +322,11 @@ func DecodeResponse(b []byte) (Response, error) {
 		if resp.Msg, err = d.str(); err != nil {
 			return Response{}, err
 		}
+		if resp.Status == StatusWrongShard {
+			if resp.Owner, err = d.str(); err != nil {
+				return Response{}, err
+			}
+		}
 	} else {
 		switch resp.Type {
 		case MsgLookup:
@@ -356,7 +374,7 @@ func DecodeResponse(b []byte) (Response, error) {
 	return resp, nil
 }
 
-func validStatus(s Status) bool { return s <= StatusStaleTerm }
+func validStatus(s Status) bool { return s <= StatusWrongShard }
 
 func eventKindByte(k fleet.EventKind) (byte, bool) {
 	switch k {

@@ -344,7 +344,12 @@ func (c *srvConn) appendOK(out []byte, resp Response) []byte {
 }
 
 func (c *srvConn) appendError(out []byte, t MsgType, seq uint64, err error) []byte {
-	return c.appendStatus(out, t, seq, statusOf(err), err.Error())
+	st := statusOf(err)
+	resp := Response{Type: t, Seq: seq, Status: st, Msg: err.Error()}
+	if st == StatusWrongShard {
+		resp.Owner = fleet.WrongShardOwner(err)
+	}
+	return c.appendOK(out, resp)
 }
 
 func (c *srvConn) appendStatus(out []byte, t MsgType, seq uint64, st Status, msg string) []byte {

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ftnet/internal/fleet"
+	sharding "ftnet/internal/shard"
+)
+
+// TestWireWrongShardRedirect pins the RPC plane's half of the cutover
+// contract: a request for an instance the ring assigns elsewhere is
+// answered with StatusWrongShard carrying the owner's URL, and the
+// decoded error matches fleet.ErrWrongShard / fleet.WrongShardOwner
+// exactly as an in-process rejection would — never a silent apply.
+func TestWireWrongShardRedirect(t *testing.T) {
+	ring := sharding.New([]string{"a", "b"}, 0)
+	foreign := ""
+	for i := 0; i < 1000 && foreign == ""; i++ {
+		if id := fmt.Sprintf("inst-%d", i); ring.Owner(id) == "b" {
+			foreign = id
+		}
+	}
+	if foreign == "" {
+		t.Fatal("no probe id owned by b")
+	}
+
+	mgr := fleet.NewManager(fleet.Options{})
+	ownerURL := "http://daemon-b.example:8100"
+	mgr.SetTopology("a", map[string]string{"a": "http://daemon-a.example:8100", "b": ownerURL}, 0)
+	addr, _ := startServer(t, mgr, ServerOptions{})
+	c := dialTest(t, addr, Options{})
+
+	checkRedirect := func(op string, err error) {
+		t.Helper()
+		if !errors.Is(err, fleet.ErrWrongShard) {
+			t.Fatalf("%s err = %v, want ErrWrongShard", op, err)
+		}
+		if IsTransport(err) {
+			t.Fatalf("%s surfaced as a transport error: %v", op, err)
+		}
+		if owner := fleet.WrongShardOwner(err); owner != ownerURL {
+			t.Fatalf("%s owner hint = %q, want %q", op, owner, ownerURL)
+		}
+	}
+
+	_, _, err := c.Lookup(foreign, 0)
+	checkRedirect("Lookup", err)
+	_, err = c.LookupBatch(foreign, []int{0, 1}, make([]int, 2))
+	checkRedirect("LookupBatch", err)
+	_, err = c.ApplyBatch(foreign, []fleet.Event{{Kind: fleet.EventFault, Node: 0}})
+	checkRedirect("ApplyBatch", err)
+
+	// The connection survives the rejection — a redirect is an answer,
+	// not a hangup — and owned instances keep working on it.
+	mine := ""
+	for i := 0; i < 1000 && mine == ""; i++ {
+		if id := fmt.Sprintf("inst-%d", i); ring.Owner(id) == "a" {
+			mine = id
+		}
+	}
+	if _, err := mgr.Create(mine, fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Lookup(mine, 0); err != nil {
+		t.Fatalf("owned lookup after redirect: %v", err)
+	}
+}
