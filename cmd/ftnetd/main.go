@@ -146,6 +146,10 @@ func main() {
 	ctx, stop := context.WithCancel(context.Background())
 	defer stop()
 
+	if _, sharded := mgr.Topology(); sharded {
+		go reconcileLoop(ctx, mgr, log.Printf)
+	}
+
 	var follower *fleet.Follower
 	if *follow != "" {
 		f, err := fleet.NewFollower(mgr, *follow, fleet.FollowerOptions{Logf: log.Printf})
@@ -246,6 +250,35 @@ func main() {
 	}
 	if err := <-done; err != nil {
 		log.Fatal(err)
+	}
+}
+
+// reconcileLoop audits the boot-time moved pins against the actual
+// ring owners (Manager.ReconcilePins): a crash between a handoff's
+// commit on the target and the OpDelete here leaves a stale local copy
+// that recovery faithfully resurrects and SetTopology pins to this
+// daemon — the audit retires every copy whose ring owner confirms a
+// committed handoff. Retries with backoff while any probe is
+// unresolved, since peers boot in arbitrary order.
+func reconcileLoop(ctx context.Context, mgr *fleet.Manager, logf func(string, ...any)) {
+	backoff := 2 * time.Second
+	for {
+		st := mgr.ReconcilePins()
+		if st.Checked > 0 {
+			logf("ftnetd: pin reconciliation: %d checked, %d retired (handoff had committed), %d kept, %d unresolved",
+				st.Checked, st.Retired, st.Kept, st.Unresolved)
+		}
+		if st.Unresolved == 0 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 30*time.Second {
+			backoff *= 2
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -172,4 +173,93 @@ func metricValue(t *testing.T, base, name string) string {
 	}
 	t.Fatalf("metric %s not found in:\n%s", name, b)
 	return ""
+}
+
+// TestProxyIgnoresForeignOwnerHint: X-Ftnet-Owner comes from an
+// upstream response, so a compromised or buggy daemon could use it to
+// steer (and cache) traffic toward an arbitrary URL. The proxy must
+// only honor hints naming a configured peer: a foreign hint is not
+// followed, not cached, and the bounce surfaces to the client.
+func TestProxyIgnoresForeignOwnerHint(t *testing.T) {
+	var evilHits atomic.Int64
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		evilHits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(evil.Close)
+	// Every configured daemon answers 403 with a hint pointing outside
+	// the cluster.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Ftnet-Owner", evil.URL)
+		w.WriteHeader(http.StatusForbidden)
+	}))
+	t.Cleanup(bad.Close)
+
+	px := httptest.NewServer(newProxy(map[string]string{"a": bad.URL, "b": bad.URL}, 0, 5*time.Second))
+	t.Cleanup(px.Close)
+
+	r, err := http.Get(px.URL + "/v1/instances/steered/phi?x=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusForbidden {
+		t.Fatalf("status with foreign hint = %d, want the 403 surfaced", r.StatusCode)
+	}
+	if n := evilHits.Load(); n != 0 {
+		t.Fatalf("foreign URL received %d requests, want 0", n)
+	}
+	if got := metricValue(t, px.URL, "ftproxy_redirects_total"); got != "0" {
+		t.Errorf("redirects = %s, want 0 (foreign hint must not be followed)", got)
+	}
+	if got := metricValue(t, px.URL, "ftproxy_misroutes_total"); got != "1" {
+		t.Errorf("misroutes = %s, want 1", got)
+	}
+	// Nothing cached: the poisoned hint must not survive to steer the
+	// next request either.
+	ringResp, err := http.Get(px.URL + "/v1/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ringResp.Body.Close()
+	var ring struct {
+		Overrides int `json:"overrides"`
+	}
+	if err := json.NewDecoder(ringResp.Body).Decode(&ring); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Overrides != 0 {
+		t.Errorf("override cache holds %d entries, want 0", ring.Overrides)
+	}
+}
+
+// TestProxyOverrideCacheBounded: the learned-override map is fed by
+// upstream responses, so without a cap a churning cluster (or a
+// hostile daemon) grows it without limit. Past maxOverrides an entry
+// is evicted; correctness survives because an evicted id is re-taught
+// by its next bounce.
+func TestProxyOverrideCacheBounded(t *testing.T) {
+	peers := map[string]string{"a": "http://a.example:1", "b": "http://b.example:1"}
+	p := newProxy(peers, 0, time.Second)
+	other := map[string]string{"a": peers["b"], "b": peers["a"]}
+	for i := 0; i < maxOverrides+64; i++ {
+		id := fmt.Sprintf("ov-%d", i)
+		// Pin away from the ring answer so the entry is stored, not
+		// treated as "exception over" and dropped.
+		p.setOverride(id, other[p.ring.Owner(id)])
+	}
+	p.mu.RLock()
+	n := len(p.override)
+	p.mu.RUnlock()
+	if n > maxOverrides {
+		t.Fatalf("override cache grew to %d entries, cap is %d", n, maxOverrides)
+	}
+	if n != maxOverrides {
+		t.Fatalf("override cache holds %d entries, want full at %d", n, maxOverrides)
+	}
+	// The cache still learns after hitting the cap.
+	p.setOverride("ov-fresh", other[p.ring.Owner("ov-fresh")])
+	if got := p.lookupOverride("ov-fresh"); got != other[p.ring.Owner("ov-fresh")] {
+		t.Fatalf("post-cap learn: override = %q, want the hinted peer", got)
+	}
 }

@@ -20,10 +20,17 @@ import (
 // the single retry after a redirect possible.
 const maxBodyBytes = 8 << 20
 
+// maxOverrides caps the learned-override cache. Past the cap an
+// arbitrary entry is evicted: overrides are a latency optimization,
+// not correctness — a dropped entry just means one extra bounce the
+// next time that id is touched, which re-teaches it.
+const maxOverrides = 4096
+
 // proxy is the routing handler: ring + override cache + one shared
 // upstream transport with persistent connections per daemon.
 type proxy struct {
 	peers  map[string]string // member name -> base URL
+	valid  map[string]bool   // configured peer base URLs: the only hints honored
 	ring   *shard.Ring
 	client *http.Client
 
@@ -40,12 +47,15 @@ type proxy struct {
 
 func newProxy(peers map[string]string, replicas int, timeout time.Duration) *proxy {
 	members := make([]string, 0, len(peers))
-	for name := range peers {
+	valid := make(map[string]bool, len(peers))
+	for name, url := range peers {
 		members = append(members, name)
+		valid[url] = true
 	}
 	reg := obs.New()
 	p := &proxy{
 		peers: peers,
+		valid: valid,
 		ring:  shard.New(members, replicas),
 		client: &http.Client{
 			Timeout: timeout,
@@ -152,8 +162,12 @@ func (p *proxy) forward(w http.ResponseWriter, r *http.Request, id string, body 
 			writeErr(w, http.StatusBadGateway, fmt.Sprintf("ftproxy: upstream %s: %v", target, err))
 			return
 		}
+		// Only hints naming a configured peer are honored: the header
+		// comes from an upstream response, and following (or caching) an
+		// arbitrary URL would let one bad daemon steer traffic anywhere.
 		owner := resp.Header.Get("X-Ftnet-Owner")
-		if resp.StatusCode == http.StatusForbidden && owner != "" && owner != target && attempt == 0 {
+		hintOK := owner != "" && p.valid[owner]
+		if resp.StatusCode == http.StatusForbidden && hintOK && owner != target && attempt == 0 {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			p.setOverride(id, owner)
@@ -206,6 +220,14 @@ func (p *proxy) setOverride(id, url string) {
 	if p.peers[p.ring.Owner(id)] == url {
 		delete(p.override, id)
 	} else {
+		if _, ok := p.override[id]; !ok && len(p.override) >= maxOverrides {
+			// Evict an arbitrary entry (map iteration order): the next
+			// bounce for the evicted id re-teaches it.
+			for victim := range p.override {
+				delete(p.override, victim)
+				break
+			}
+		}
 		p.override[id] = url
 	}
 	p.mu.Unlock()

@@ -130,6 +130,7 @@ func NewHTTPHandlerOpts(mgr *Manager, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/migrate/stage", timed("migrate_stage", s.migrateStage))
 	mux.HandleFunc("POST /v1/migrate/commit", timed("migrate_commit", s.migrateCommit))
 	mux.HandleFunc("POST /v1/migrate/abort", timed("migrate_abort", s.migrateAbort))
+	mux.HandleFunc("GET /v1/migrate/state", timed("migrate_state", s.migrateState))
 	mux.HandleFunc("GET /v1/stats", timed("stats", s.getStats))
 	mux.HandleFunc("GET /healthz", timed("healthz", s.healthz))
 	mux.HandleFunc("GET /metrics", timed("metrics", s.metrics))

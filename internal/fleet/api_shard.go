@@ -19,6 +19,10 @@ import (
 //	POST /v1/migrate/stage   (daemon-to-daemon) binary checkpoint frame
 //	POST /v1/migrate/commit  (daemon-to-daemon) binary suffix frame
 //	POST /v1/migrate/abort   (daemon-to-daemon) drop a staged instance
+//	GET  /v1/migrate/state   (daemon-to-daemon) this daemon's view of an
+//	                         id: absent | staged | committed (+epoch) —
+//	                         the probe resolveHandoff and ReconcilePins
+//	                         settle ambiguous handoffs with
 //
 // stage/commit bodies are the canonical shard.Migration encoding
 // (application/octet-stream), the same bytes FuzzMigrationDecode
@@ -145,4 +149,14 @@ func (s *apiServer) migrateAbort(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "aborted": s.mgr.AbortMigration(req.ID)})
+}
+
+func (s *apiServer) migrateState(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, fmt.Errorf("missing id query parameter"))
+		return
+	}
+	state, epoch := s.mgr.MigrationState(id)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": state, "epoch": epoch})
 }

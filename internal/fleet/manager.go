@@ -357,6 +357,14 @@ func (m *Manager) Delete(id string) (bool, error) {
 		return false, nil
 	}
 	in.writeMu.Lock()
+	if in.staged.Load() {
+		// A staged inbound copy is not journaled yet: tombstoning it here
+		// would commit an OpDelete for an id this journal never created
+		// and race the source's CommitMigration. Same answer as reads and
+		// ApplyBatch give.
+		in.writeMu.Unlock()
+		return false, errorf(ErrUnavailable, "fleet: instance %q is arriving (migration staged); retry shortly", id)
+	}
 	if in.migrating {
 		owner := in.migrateTo
 		in.writeMu.Unlock()
@@ -532,10 +540,10 @@ type Stats struct {
 	Batches    uint64        `json:"batches"`
 	Rejected   uint64        `json:"rejected"`
 	RejectedBy RejectedStats `json:"rejected_by_cause"`
-	ReadOnly   bool          `json:"read_only"`               // current write posture
-	RejectedRO uint64        `json:"rejected_read_only"`      // mutations refused while read-only
-	LeaderHint string        `json:"leader_hint,omitempty"`   // advertised leader URL, if known
-	Shard      *ShardStats   `json:"shard,omitempty"`         // ring state, when sharded
+	ReadOnly   bool          `json:"read_only"`             // current write posture
+	RejectedRO uint64        `json:"rejected_read_only"`    // mutations refused while read-only
+	LeaderHint string        `json:"leader_hint,omitempty"` // advertised leader URL, if known
+	Shard      *ShardStats   `json:"shard,omitempty"`       // ring state, when sharded
 	Lookups    uint64        `json:"lookups"`
 	Cache      CacheStats    `json:"cache"`
 	Journal    JournalStats  `json:"journal"`

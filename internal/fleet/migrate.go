@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"time"
 
 	"ftnet/internal/ft"
@@ -31,12 +32,15 @@ import (
 // OpMigrate commit: its journal never mentions the instance, the stage
 // evaporates, the source (fenced or not) is still authoritative and
 // the migration simply failed. Source crash after the target's commit
-// but before its own OpDelete: both journals hold the instance, but
-// the ring (boot flags) assigns it to the target, so the source's
-// stale copy answers nothing and a later rebalance retires it. At no
-// point can a write land on both copies: the fence is checked under
-// the same mutex that serializes writes, and the target refuses
-// traffic until the handoff record is durable.
+// but before its own OpDelete: both journals hold the instance, and
+// recovery + SetTopology on the restarted source pins the rebuilt copy
+// to itself — which is why ReconcilePins (topology.go) runs at boot:
+// it probes the ring owner and retires the local copy once the owner
+// confirms a committed handoff at the same or newer epoch. Until that
+// probe answers, the source may serve stale reads, but writes cannot
+// fork history: a lost commit ANSWER (as opposed to a crash) leaves
+// the fence up until resolveHandoff settles which side owns the id,
+// and the target refuses traffic until the handoff record is durable.
 
 // MigrateStats reports one completed migration.
 type MigrateStats struct {
@@ -53,6 +57,11 @@ type MigrateStats struct {
 // timeout: a frame is O(k) + a short suffix, but the target's commit
 // includes an fsync.
 var migrateClient = &http.Client{Timeout: 30 * time.Second}
+
+// probeClient asks the small questions — abort, state — whose answers
+// gate the fence. Short timeout: an unanswered probe keeps the fence
+// up, and a retry loop sits above it.
+var probeClient = &http.Client{Timeout: 5 * time.Second}
 
 func checkpointRecord(id string, spec Spec, snap *ft.Snapshot) journal.Record {
 	return journal.Record{
@@ -92,6 +101,37 @@ func (m *Manager) MigrateOut(id, peer string) (MigrateStats, error) {
 		return MigrateStats{}, errorf(ErrNotFound, "fleet: no instance %q", id)
 	}
 
+	// A fence left up by an earlier unresolved handoff is settled before
+	// anything else: either that commit actually landed (finish its
+	// cutover and report it) or it provably did not (lift the fence and
+	// run a fresh handoff below). migrateMu means nobody else is
+	// flipping these flags.
+	in.writeMu.Lock()
+	pending, pendingTo := in.migrating, in.migrateTo
+	in.writeMu.Unlock()
+	if pending {
+		if pendingTo != url {
+			return MigrateStats{}, errorf(ErrConflict,
+				"fleet: instance %q is already migrating to %s", id, pendingTo)
+		}
+		committed, epoch, rerr := resolveHandoff(url, id)
+		if rerr != nil {
+			return MigrateStats{}, errorf(ErrUnavailable,
+				"fleet: %v; write fence held, re-run the migration to resolve", rerr)
+		}
+		if committed {
+			if cerr := m.completeMigration(id, in); cerr != nil {
+				return MigrateStats{}, cerr
+			}
+			m.migrationsOut.Inc()
+			return MigrateStats{ID: id, Peer: peer, Epoch: epoch}, nil
+		}
+		in.writeMu.Lock()
+		in.migrating = false
+		in.migrateTo = ""
+		in.writeMu.Unlock()
+	}
+
 	// Phase 1: unfenced capture. Holding writeMu for the two loads only
 	// guarantees no commit for THIS instance straddles the capture —
 	// every one of its records is either reflected in snap0 (seq <=
@@ -100,10 +140,6 @@ func (m *Manager) MigrateOut(id, peer string) (MigrateStats, error) {
 	if in.deleted || in.staged.Load() {
 		in.writeMu.Unlock()
 		return MigrateStats{}, errorf(ErrNotFound, "fleet: no instance %q", id)
-	}
-	if in.migrating {
-		in.writeMu.Unlock()
-		return MigrateStats{}, errorf(ErrConflict, "fleet: instance %q is already migrating", id)
 	}
 	snap0 := in.snap.Load()
 	baseSeq := m.pipe.log.LastSeq()
@@ -115,6 +151,9 @@ func (m *Manager) MigrateOut(id, peer string) (MigrateStats, error) {
 		Records: []journal.Record{checkpointRecord(id, in.spec, snap0)},
 	}
 	if err := pushMigration(url+"/v1/migrate/stage", stage); err != nil {
+		// The push may have staged despite the lost answer; a leftover
+		// stage refuses traffic until dropped, so clean up best-effort.
+		abortRemote(url, id)
 		return MigrateStats{}, fmt.Errorf("fleet: stage %q on %s: %w", id, peer, err)
 	}
 
@@ -125,7 +164,7 @@ func (m *Manager) MigrateOut(id, peer string) (MigrateStats, error) {
 	in.writeMu.Lock()
 	if in.deleted {
 		in.writeMu.Unlock()
-		abortRemote(url, id)
+		abortRemote(url, id) // best effort; the stage was never durable
 		return MigrateStats{}, errorf(ErrNotFound, "fleet: instance %q deleted mid-migration", id)
 	}
 	in.migrating = true
@@ -141,13 +180,30 @@ func (m *Manager) MigrateOut(id, peer string) (MigrateStats, error) {
 		}
 	}
 	if err != nil {
-		// Lift the fence: the source is still the owner.
-		in.writeMu.Lock()
-		in.migrating = false
-		in.migrateTo = ""
-		in.writeMu.Unlock()
-		abortRemote(url, id)
-		return MigrateStats{}, err
+		// The commit push failed — but "failed" is ambiguous: a lost
+		// response or timeout may hide a commit the target durably
+		// journaled and is already serving. Lifting the fence on that
+		// guess would put two live owners behind one id (the moved-pin
+		// here, the ring there) and silently drop every write the source
+		// acks after this point. resolveHandoff settles it; while it
+		// cannot, the fence stays up — writes bounce with a redirect,
+		// never land on a maybe-stale copy — and a re-run of the
+		// migration resumes the resolution.
+		committed, _, rerr := resolveHandoff(url, id)
+		if rerr != nil {
+			return MigrateStats{}, errorf(ErrUnavailable,
+				"fleet: %v (commit push: %v); write fence held, re-run the migration to resolve", rerr, err)
+		}
+		if !committed {
+			// Provably not handed off: the source is still the owner.
+			in.writeMu.Lock()
+			in.migrating = false
+			in.migrateTo = ""
+			in.writeMu.Unlock()
+			return MigrateStats{}, err
+		}
+		// The commit landed and only its answer was lost: fall through
+		// to the cutover exactly as if the push had succeeded.
 	}
 
 	// The peer owns the instance now: erase the pin (the ring's answer —
@@ -305,6 +361,13 @@ func (m *Manager) CommitMigration(mig sharding.Migration) (uint64, error) {
 	defer m.pipe.gate.RUnlock()
 	in.writeMu.Lock()
 	defer in.writeMu.Unlock()
+	// Re-check under writeMu: a successful AbortMigration (which
+	// tombstones under this same mutex) is a definitive fence — no
+	// commit may land after it, or the source could resume ownership of
+	// an id this daemon also serves.
+	if in.deleted || !in.staged.Load() {
+		return 0, errorf(ErrNotFound, "fleet: no staged migration for %q", mig.ID)
+	}
 	if in.stagedAt != mig.BaseSeq {
 		return 0, errorf(ErrConflict,
 			"fleet: migration commit for %q at base seq %d, staged at %d", mig.ID, mig.BaseSeq, in.stagedAt)
@@ -352,17 +415,49 @@ func (m *Manager) CommitMigration(mig sharding.Migration) (uint64, error) {
 // AbortMigration drops a staged (never-committed) inbound instance,
 // reporting whether one existed. The source calls it when phase 2
 // fails; since the stage was never journaled, dropping it from memory
-// is the entire rollback.
+// is the entire rollback. The staged check happens under writeMu — the
+// mutex CommitMigration replays and journals under — so a true answer
+// is a fence: the commit for this stage either already happened
+// (answer false) or can never happen (answer true), never "is about
+// to". resolveHandoff leans on exactly that.
 func (m *Manager) AbortMigration(id string) bool {
 	in, ok := m.Get(id)
-	if !ok || !in.staged.Load() {
+	if !ok {
 		return false
 	}
 	in.writeMu.Lock()
+	if !in.staged.Load() || in.deleted {
+		in.writeMu.Unlock()
+		return false
+	}
 	in.deleted = true
 	in.writeMu.Unlock()
 	m.deleteRaw(id)
 	return true
+}
+
+// MigrationState reports this daemon's view of id for a peer resolving
+// an ambiguous handoff (or reconciling pins after a restart):
+// "absent" (no live copy — never arrived, aborted, or deleted),
+// "staged" (arrived but not committed; still refusing traffic), or
+// "committed" (a live, journaled copy; epoch is its current epoch).
+// The flags are read under writeMu so the answer never observes a
+// commit or abort halfway through.
+func (m *Manager) MigrationState(id string) (string, uint64) {
+	in, ok := m.Get(id)
+	if !ok {
+		return "absent", 0
+	}
+	in.writeMu.Lock()
+	defer in.writeMu.Unlock()
+	switch {
+	case in.deleted:
+		return "absent", 0
+	case in.staged.Load():
+		return "staged", 0
+	default:
+		return "committed", in.snap.Load().Epoch()
+	}
 }
 
 // pushMigration POSTs one encoded migration frame and decodes the
@@ -395,14 +490,92 @@ func pushMigration(url string, mig sharding.Migration) error {
 	return fmt.Errorf("peer returned %d: %s", resp.StatusCode, msg)
 }
 
-// abortRemote best-effort drops a staged instance on the target after
-// a failed phase 2; a target that already lost it (crash, restart)
-// answering anything is fine — the stage was never durable there.
-func abortRemote(url, id string) {
+// abortRemote asks the target to drop a staged instance, reporting
+// whether one was actually dropped. Thanks to AbortMigration's
+// writeMu discipline, aborted=true proves the handoff's commit can
+// never land; aborted=false says nothing by itself (already committed,
+// or never staged) and is disambiguated by a state probe.
+func abortRemote(url, id string) (bool, error) {
 	body, _ := json.Marshal(map[string]string{"id": id})
-	resp, err := migrateClient.Post(url+"/v1/migrate/abort", "application/json", bytes.NewReader(body))
-	if err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+	resp, err := probeClient.Post(url+"/v1/migrate/abort", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
 	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, resp.Body)
+		return false, fmt.Errorf("peer returned %d to abort", resp.StatusCode)
+	}
+	var out struct {
+		Aborted bool `json:"aborted"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&out); err != nil {
+		return false, fmt.Errorf("decode abort answer: %v", err)
+	}
+	return out.Aborted, nil
+}
+
+// remoteMigrationState probes the target's view of id: "absent",
+// "staged", or "committed" (with the live epoch).
+func remoteMigrationState(url, id string) (string, uint64, error) {
+	resp, err := probeClient.Get(url + "/v1/migrate/state?id=" + neturl.QueryEscape(id))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, resp.Body)
+		return "", 0, fmt.Errorf("peer returned %d to state probe", resp.StatusCode)
+	}
+	var out struct {
+		State string `json:"state"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&out); err != nil {
+		return "", 0, fmt.Errorf("decode state answer: %v", err)
+	}
+	return out.State, out.Epoch, nil
+}
+
+// resolveHandoff decides the fate of a handoff whose commit push got no
+// usable answer — the split-brain hinge. The order is what makes it
+// sound: abort FIRST. A successful abort is a fence (see
+// AbortMigration), so aborted=true means the commit provably never
+// happened and never will. Only when the abort found nothing staged do
+// we probe the state: "committed" means the push landed and its answer
+// was lost; "absent" means the stage evaporated (target restart) and a
+// commit — which requires a stage — is impossible. Anything else, or
+// any transport failure, leaves the handoff unresolved and the caller
+// MUST keep the write fence up.
+func resolveHandoff(url, id string) (committed bool, epoch uint64, err error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 200 * time.Millisecond)
+		}
+		aborted, aerr := abortRemote(url, id)
+		if aerr != nil {
+			lastErr = aerr
+			continue
+		}
+		if aborted {
+			return false, 0, nil
+		}
+		state, e, serr := remoteMigrationState(url, id)
+		if serr != nil {
+			lastErr = serr
+			continue
+		}
+		switch state {
+		case "committed":
+			return true, e, nil
+		case "absent":
+			return false, 0, nil
+		default:
+			// Still staged after an abort that dropped nothing: the
+			// commit handler is mid-flight between our two calls. Loop.
+			lastErr = fmt.Errorf("handoff %q still staged on target", id)
+		}
+	}
+	return false, 0, fmt.Errorf("fleet: handoff of %q unresolved: %v", id, lastErr)
 }

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -432,5 +434,307 @@ func TestMigrateGuards(t *testing.T) {
 	// displaced-but-unfenced instance still deletes locally.
 	if ok, err := p.a.Delete(id); !ok || err != nil {
 		t.Errorf("delete of pinned instance = %v, %v", ok, err)
+	}
+}
+
+// lossyFront fronts a daemon's HTTP server for fault injection: every
+// request is forwarded verbatim, but the RESPONSE of any path swallow
+// matches is replaced with a 502 (the backend did the work; the answer
+// was lost), and any path refuse matches is 502'd without forwarding
+// (the backend never heard about it).
+func lossyFront(t *testing.T, backend string, swallow, refuse func(path string) bool) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if refuse != nil && refuse(r.URL.Path) {
+			http.Error(w, "injected outage", http.StatusBadGateway)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		req, err := http.NewRequest(r.Method, backend+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if swallow != nil && swallow(r.URL.Path) {
+			http.Error(w, "injected response loss", http.StatusBadGateway)
+			return
+		}
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(b)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestMigrateCommitResponseLostStillCutsOver is the split-brain
+// regression: the commit frame reaches the target (which durably
+// journals the arrival and opens for traffic) but its answer is lost.
+// The source must NOT treat that as an abort and resume ownership —
+// resolveHandoff discovers the commit landed and the cutover finishes,
+// leaving exactly one live copy.
+func TestMigrateCommitResponseLostStillCutsOver(t *testing.T) {
+	p := newShardPair(t)
+	id := idOwnedBy(t, "b")
+	if _, err := p.a.Create(id, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 5} {
+		if _, err := p.a.Event(id, Event{EventFault, n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	front := lossyFront(t, p.tsB.URL,
+		func(path string) bool { return path == "/v1/migrate/commit" }, nil)
+	p.a.SetTopology("a", map[string]string{"a": p.tsA.URL, "b": front.URL}, 0)
+	p.b.SetTopology("b", p.peers, 0)
+
+	st, err := p.a.MigrateOut(id, "b")
+	if err != nil {
+		t.Fatalf("migrate with lost commit answer = %v, want resolved success", err)
+	}
+	if st.ID != id || st.Peer != "b" || st.Epoch != 2 {
+		t.Errorf("stats = %+v, want id=%s peer=b epoch=2", st, id)
+	}
+	// Exactly one live copy: the target serves, the source redirects.
+	if _, err := p.b.Lookup(id, 0); err != nil {
+		t.Fatalf("new owner lookup: %v", err)
+	}
+	if _, ok := p.a.Get(id); ok {
+		t.Error("stale copy still registered on the source")
+	}
+	if _, err := p.a.Lookup(id, 0); !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("old owner lookup err = %v, want ErrWrongShard", err)
+	}
+}
+
+// TestMigrateUnresolvedCommitHoldsFence: when the commit answer is
+// lost AND the target cannot be probed, the handoff is genuinely
+// ambiguous — the only safe posture is to keep the write fence up
+// (writes bounce with a redirect, they do not land on the maybe-stale
+// copy) and let a later MigrateOut resume the resolution.
+func TestMigrateUnresolvedCommitHoldsFence(t *testing.T) {
+	p := newShardPair(t)
+	id := idOwnedBy(t, "b")
+	if _, err := p.a.Create(id, Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 5} {
+		if _, err := p.a.Event(id, Event{EventFault, n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var outage atomic.Bool
+	outage.Store(true)
+	front := lossyFront(t, p.tsB.URL,
+		func(path string) bool { return path == "/v1/migrate/commit" },
+		func(path string) bool {
+			return outage.Load() &&
+				(path == "/v1/migrate/abort" || path == "/v1/migrate/state")
+		})
+	p.a.SetTopology("a", map[string]string{"a": p.tsA.URL, "b": front.URL}, 0)
+	p.b.SetTopology("b", p.peers, 0)
+
+	if _, err := p.a.MigrateOut(id, "b"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("unresolved migrate err = %v, want ErrUnavailable", err)
+	}
+	// The fence held: a write on the source is redirected, never applied
+	// — the target committed and is serving, so an applied write would
+	// be silently lost at retirement.
+	if _, err := p.a.Event(id, Event{EventFault, 2}); !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("write during unresolved handoff err = %v, want ErrWrongShard", err)
+	}
+	if _, err := p.b.Lookup(id, 0); err != nil {
+		t.Fatalf("target lookup: %v", err)
+	}
+
+	// The outage heals; re-running the migration resumes the pending
+	// resolution (not ErrConflict), finishes the cutover, and reports it.
+	outage.Store(false)
+	st, err := p.a.MigrateOut(id, "b")
+	if err != nil {
+		t.Fatalf("resumed migrate: %v", err)
+	}
+	if st.ID != id || st.Peer != "b" || st.Epoch != 2 {
+		t.Errorf("resumed stats = %+v, want id=%s peer=b epoch=2", st, id)
+	}
+	if _, ok := p.a.Get(id); ok {
+		t.Error("stale copy survived the resumed cutover")
+	}
+	if _, err := p.a.Lookup(id, 0); !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("old owner lookup err = %v, want ErrWrongShard", err)
+	}
+}
+
+// TestDeleteStagedRefused: a client DELETE racing an inbound migration
+// must not tombstone the staged copy — its journal never created the
+// id, so the OpDelete would be an orphan and the source's in-flight
+// commit would race it.
+func TestDeleteStagedRefused(t *testing.T) {
+	p := newShardPair(t)
+	p.installTopology(t)
+	id := idOwnedBy(t, "b")
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}
+	frame := sharding.Migration{
+		ID:      id,
+		BaseSeq: 3,
+		Records: []journal.Record{{Op: journal.OpCheckpoint, ID: id, Spec: journalSpec(spec), Epoch: 0}},
+	}
+	if err := p.b.StageMigration(frame); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.b.Delete(id)
+	if ok || !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("delete of staged copy = (%v, %v), want refused with ErrUnavailable", ok, err)
+	}
+	// The stage is untouched and the handoff still commits.
+	if state, _ := p.b.MigrationState(id); state != "staged" {
+		t.Fatalf("state after refused delete = %q, want staged", state)
+	}
+	if _, err := p.b.CommitMigration(sharding.Migration{ID: id, BaseSeq: 3}); err != nil {
+		t.Fatalf("commit after refused delete: %v", err)
+	}
+}
+
+// TestAbortCommitFence pins the resolution protocol's hinge: a
+// successful abort permanently fences the commit out (resolveHandoff
+// treats aborted=true as proof the handoff never happened), and an
+// abort after the commit is a no-op on the live copy.
+func TestAbortCommitFence(t *testing.T) {
+	p := newShardPair(t)
+	p.installTopology(t)
+	id := idOwnedBy(t, "b")
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}
+	frame := sharding.Migration{
+		ID:      id,
+		BaseSeq: 1,
+		Records: []journal.Record{{Op: journal.OpCheckpoint, ID: id, Spec: journalSpec(spec), Epoch: 0}},
+	}
+
+	// Abort first: the commit must find nothing to land on.
+	if err := p.b.StageMigration(frame); err != nil {
+		t.Fatal(err)
+	}
+	if !p.b.AbortMigration(id) {
+		t.Fatal("abort found nothing staged")
+	}
+	if _, err := p.b.CommitMigration(sharding.Migration{ID: id, BaseSeq: 1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("commit after abort err = %v, want ErrNotFound", err)
+	}
+	if state, _ := p.b.MigrationState(id); state != "absent" {
+		t.Fatalf("state after aborted handoff = %q, want absent", state)
+	}
+
+	// Commit first: the abort must not drop the committed copy.
+	if err := p.b.StageMigration(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.b.CommitMigration(sharding.Migration{ID: id, BaseSeq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p.b.AbortMigration(id) {
+		t.Fatal("abort claimed to drop a committed instance")
+	}
+	if state, _ := p.b.MigrationState(id); state != "committed" {
+		t.Fatalf("state after commit = %q, want committed", state)
+	}
+	if _, err := p.b.Lookup(id, 0); err != nil {
+		t.Fatalf("committed instance unavailable after no-op abort: %v", err)
+	}
+}
+
+// TestReconcilePinsRetiresStaleCopy covers the crash-resurrection
+// hole: the source crashed after the target's OpMigrate commit but
+// before its own OpDelete, restarted, recovered the instance, and
+// SetTopology pinned it to itself. ReconcilePins must retire exactly
+// the copies whose ring owner confirms a committed handoff at the same
+// or newer epoch, and keep serving everything else.
+func TestReconcilePinsRetiresStaleCopy(t *testing.T) {
+	p := newShardPair(t)
+	spec := Spec{Kind: KindDeBruijn, M: 2, H: 4, K: 2}
+	ring := sharding.New([]string{"a", "b"}, 0)
+	var ids []string
+	for i := 0; len(ids) < 3; i++ {
+		if id := fmt.Sprintf("rec-%d", i); ring.Owner(id) == "b" {
+			ids = append(ids, id)
+		}
+	}
+	handedOff, divergent, neverMoved := ids[0], ids[1], ids[2]
+	for _, id := range ids {
+		if _, err := p.a.Create(id, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []int{1, 5} {
+		if _, err := p.a.Event(handedOff, Event{EventFault, n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.a.Event(divergent, Event{EventFault, 1}); err != nil {
+		t.Fatal(err)
+	}
+	p.installTopology(t) // pins all three to a
+
+	// handedOff: the handoff committed on b at a's exact epoch (the
+	// crash-window state the OpDelete never recorded).
+	inA, _ := p.a.Get(handedOff)
+	if err := p.b.StageMigration(sharding.Migration{
+		ID: handedOff, BaseSeq: 5,
+		Records: []journal.Record{checkpointRecord(handedOff, spec, inA.snap.Load())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.b.CommitMigration(sharding.Migration{ID: handedOff, BaseSeq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// divergent: b holds an OLDER committed copy (epoch 0 < a's 1) — the
+	// local copy has history the owner lacks, so it must not be retired.
+	if err := p.b.StageMigration(sharding.Migration{
+		ID: divergent, BaseSeq: 6,
+		Records: []journal.Record{{Op: journal.OpCheckpoint, ID: divergent, Spec: journalSpec(spec), Epoch: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.b.CommitMigration(sharding.Migration{ID: divergent, BaseSeq: 6}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.a.ReconcilePins()
+	if st.Checked != 3 || st.Retired != 1 || st.Kept != 2 || st.Unresolved != 0 {
+		t.Fatalf("reconcile stats = %+v, want checked=3 retired=1 kept=2 unresolved=0", st)
+	}
+	// The confirmed-committed copy is gone and redirects...
+	if _, ok := p.a.Get(handedOff); ok {
+		t.Error("stale handed-off copy survived reconciliation")
+	}
+	if _, err := p.a.Lookup(handedOff, 0); !errors.Is(err, ErrWrongShard) {
+		t.Errorf("retired id lookup err = %v, want ErrWrongShard", err)
+	}
+	// ...while the divergent and never-moved copies keep serving here.
+	for _, id := range []string{divergent, neverMoved} {
+		if _, err := p.a.Lookup(id, 0); err != nil {
+			t.Errorf("kept instance %q unavailable after reconciliation: %v", id, err)
+		}
+	}
+	if info, ok := p.a.Topology(); !ok || info.Moved != 2 {
+		t.Errorf("moved pins after reconciliation = %d, want 2", info.Moved)
+	}
+	// A second pass converges: nothing more to retire, nothing lost.
+	if st2 := p.a.ReconcilePins(); st2.Retired != 0 || st2.Unresolved != 0 {
+		t.Errorf("second reconcile pass = %+v, want no retirements", st2)
 	}
 }

@@ -75,7 +75,10 @@ func (m *Manager) SetTopology(self string, peers map[string]string, replicas int
 	t.replicas = t.ring.Replicas()
 	// Pin displaced local instances before the ring goes live, so no
 	// request window exists where this daemon bounces an id it still
-	// holds the only copy of.
+	// holds the only copy of. The pin is an availability bet — after a
+	// crash mid-handoff the rebuilt copy may be stale; ReconcilePins
+	// audits every pin against the ring owner and retires the ones a
+	// committed handoff already moved.
 	pins := make(map[string]string)
 	for i := range m.shards {
 		s := &m.shards[i]
@@ -92,6 +95,64 @@ func (m *Manager) SetTopology(self string, peers map[string]string, replicas int
 	m.movedN.Store(int64(len(pins)))
 	m.topo.Store(t)
 	m.movedMu.Unlock()
+}
+
+// ReconcileStats reports one ReconcilePins pass.
+type ReconcileStats struct {
+	Checked    int `json:"checked"`    // displaced pinned ids audited
+	Retired    int `json:"retired"`    // stale copies retired (owner holds a committed copy)
+	Kept       int `json:"kept"`       // owner has no committed copy (or an older one): still ours
+	Unresolved int `json:"unresolved"` // owner unreachable or retire failed: re-run needed
+}
+
+// ReconcilePins audits every displaced id pinned to this daemon
+// against the ring owner's actual state. The pin exists so installing
+// a topology never drops service — but after a crash between the
+// target's OpMigrate commit and the source's OpDelete, recovery
+// rebuilds the handed-off instance and SetTopology would happily pin
+// it to a daemon that no longer owns it. For each such id the owner is
+// probed: a committed copy at the same or newer epoch means the
+// handoff finished and the local copy is retired (journaled OpDelete,
+// pin erased); anything else keeps the pin — absent or staged means
+// the handoff never completed and this is still the only live copy.
+// Unresolved probes keep the pin too (availability over a guess);
+// ftnetd re-runs the pass until everything resolves.
+//
+// Runs under migrateMu so it never interleaves with an active handoff.
+func (m *Manager) ReconcilePins() ReconcileStats {
+	var st ReconcileStats
+	t := m.topo.Load()
+	if t == nil {
+		return st
+	}
+	m.migrateMu.Lock()
+	defer m.migrateMu.Unlock()
+	for _, id := range m.Displaced() {
+		if m.ownerName(t, id) != t.self {
+			continue // not pinned here (already retired or re-routed)
+		}
+		in, ok := m.Get(id)
+		if !ok {
+			continue
+		}
+		st.Checked++
+		owner := t.ring.Owner(id)
+		state, epoch, err := remoteMigrationState(t.peers[owner], id)
+		if err != nil {
+			st.Unresolved++
+			continue
+		}
+		if state == "committed" && epoch >= in.snap.Load().Epoch() {
+			if err := m.completeMigration(id, in); err != nil {
+				st.Unresolved++
+				continue
+			}
+			st.Retired++
+		} else {
+			st.Kept++
+		}
+	}
+	return st
 }
 
 // Topology returns the installed ring view, or ok=false when this

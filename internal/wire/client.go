@@ -382,7 +382,7 @@ func (cc *clientConn) dispatch(payload []byte) error {
 	if len(payload) < 3 {
 		return errors.New("short response payload")
 	}
-	if payload[0] != Version {
+	if payload[0] != Version && payload[0] != VersionShard {
 		return fmt.Errorf("unknown response version %d", payload[0])
 	}
 	t := MsgType(payload[1])
@@ -403,7 +403,7 @@ func (cc *clientConn) dispatch(payload []byte) error {
 		ca.done <- &TransportError{Err: err}
 		return err
 	}
-	if err := decodeInto(ca, d); err != nil {
+	if err := decodeInto(ca, payload[0], d); err != nil {
 		ca.done <- &TransportError{Err: err}
 		return err
 	}
@@ -414,14 +414,14 @@ func (cc *clientConn) dispatch(payload []byte) error {
 // and completes it. The cursor discipline matches DecodeResponse; the
 // split exists so LookupBatch answers land directly in the caller's
 // phis slice instead of an allocated one.
-func decodeInto(ca *call, d *cursor) error {
+func decodeInto(ca *call, v byte, d *cursor) error {
 	st, err := d.byteVal()
 	if err != nil {
 		return err
 	}
 	if Status(st) != StatusOK {
-		if !validStatus(Status(st)) {
-			return fmt.Errorf("unknown response status %d", st)
+		if !validStatus(Status(st), v) {
+			return fmt.Errorf("status %d not valid at version %d", st, v)
 		}
 		e := &Error{Status: Status(st)}
 		if e.Msg, err = d.str(); err != nil {

@@ -24,6 +24,7 @@ func FuzzWireDecode(f *testing.F) {
 		{Type: MsgApplyBatch, Seq: 1 << 40, ID: "x", Events: []fleet.Event{
 			{Kind: fleet.EventFault, Node: 3}, {Kind: fleet.EventRepair, Node: 0},
 		}},
+		{Version: Version, Type: MsgLookup, Seq: 2, ID: "pre-shard", X: 1},
 	}
 	for _, r := range reqs {
 		b, err := AppendRequest(nil, r)
@@ -39,6 +40,8 @@ func FuzzWireDecode(f *testing.F) {
 		{Type: MsgApplyBatch, Seq: 4, Result: fleet.EventResult{Epoch: 2, NumFaults: 1, Budget: 3, Applied: 2}},
 		{Type: MsgApplyBatch, Seq: 5, Status: StatusReadOnly, Msg: "read-only follower"},
 		{Type: MsgApplyBatch, Seq: 6, Status: StatusWrongShard, Msg: "owned by shard b", Owner: "http://b:8100"},
+		{Version: Version, Type: MsgLookup, Seq: 7, Status: StatusReadOnly, Msg: "owned by shard b (owner http://b:8100)"},
+		{Version: Version, Type: MsgLookup, Seq: 8, Phi: 2, Epoch: 1},
 	}
 	for _, r := range resps {
 		b, err := AppendResponse(nil, r)

@@ -30,9 +30,19 @@ import (
 	"ftnet/internal/fleet"
 )
 
-// Version is the payload format version byte; decoding rejects
-// anything else.
-const Version = 1
+// Version is the original payload format version byte. VersionShard
+// is the sharding-aware revision: it changes no encoding, but a
+// request carrying it advertises that the sender understands
+// StatusWrongShard, and the server answers at the request's version —
+// a v1 request never receives status codes its decoder would reject
+// (wrong-shard rejections are downgraded to StatusReadOnly with the
+// owner URL folded into the message). Decoding rejects anything else.
+// Clients encode VersionShard, so daemons must be upgraded before
+// clients during a rolling upgrade.
+const (
+	Version      = 1
+	VersionShard = 2
+)
 
 // frameHeaderSize is the length + CRC32C prefix of every frame.
 const frameHeaderSize = 8
@@ -115,30 +125,49 @@ func (s Status) String() string {
 }
 
 // Request is one decoded request payload. X is set for MsgLookup, Xs
-// for MsgLookupBatch, Events for MsgApplyBatch.
+// for MsgLookupBatch, Events for MsgApplyBatch. Version is the
+// protocol version the payload carries (decode sets it; a zero
+// Version encodes as VersionShard, the current one).
 type Request struct {
-	Type   MsgType
-	Seq    uint64
-	ID     string
-	X      int
-	Xs     []int
-	Events []fleet.Event
+	Version byte
+	Type    MsgType
+	Seq     uint64
+	ID      string
+	X       int
+	Xs      []int
+	Events  []fleet.Event
 }
 
 // Response is one decoded response payload. Status selects which
 // fields are meaningful: Msg accompanies every non-OK status; an OK
 // Lookup carries Phi+Epoch, an OK LookupBatch carries Phis+Epoch, an
-// OK ApplyBatch carries Result.
+// OK ApplyBatch carries Result. Version is the protocol version the
+// payload carries (servers echo the request's; a zero Version encodes
+// as VersionShard). StatusWrongShard exists only at VersionShard and
+// above — a v1 payload carrying it is rejected as non-canonical.
 type Response struct {
-	Type   MsgType
-	Seq    uint64
-	Status Status
-	Msg    string
-	Owner  string // StatusWrongShard only: the owning daemon's advertised URL
-	Phi    int
-	Epoch  uint64
-	Phis   []int
-	Result fleet.EventResult
+	Version byte
+	Type    MsgType
+	Seq     uint64
+	Status  Status
+	Msg     string
+	Owner   string // StatusWrongShard only: the owning daemon's advertised URL
+	Phi     int
+	Epoch   uint64
+	Phis    []int
+	Result  fleet.EventResult
+}
+
+// resolveVersion maps the zero value to the current version and
+// rejects anything outside the supported range.
+func resolveVersion(v byte) (byte, error) {
+	if v == 0 {
+		return VersionShard, nil
+	}
+	if v < Version || v > VersionShard {
+		return 0, fmt.Errorf("wire: unknown version %d", v)
+	}
+	return v, nil
 }
 
 // AppendRequest appends the canonical payload encoding of req to dst.
@@ -150,7 +179,11 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	if req.ID == "" {
 		return nil, fmt.Errorf("wire: empty instance id")
 	}
-	dst = append(dst, Version, byte(req.Type))
+	v, err := resolveVersion(req.Version)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, v, byte(req.Type))
 	dst = binary.AppendUvarint(dst, req.Seq)
 	dst = binary.AppendUvarint(dst, uint64(len(req.ID)))
 	dst = append(dst, req.ID...)
@@ -191,11 +224,11 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 // on arbitrary input; any deviation from the canonical encoding is an
 // error.
 func DecodeRequest(b []byte) (Request, error) {
-	d, t, seq, id, err := decodeHeader(b)
+	d, v, t, seq, id, err := decodeHeader(b)
 	if err != nil {
 		return Request{}, err
 	}
-	req := Request{Type: t, Seq: seq, ID: string(id)}
+	req := Request{Version: v, Type: t, Seq: seq, ID: string(id)}
 	switch t {
 	case MsgLookup:
 		if req.X, err = d.intVal(); err != nil {
@@ -242,12 +275,16 @@ func DecodeRequest(b []byte) (Request, error) {
 // per-type body. Every numeric field must be representable as a
 // non-negative varint.
 func AppendResponse(dst []byte, resp Response) ([]byte, error) {
-	dst = append(dst, Version, byte(resp.Type))
+	v, err := resolveVersion(resp.Version)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, v, byte(resp.Type))
 	dst = binary.AppendUvarint(dst, resp.Seq)
 	dst = append(dst, byte(resp.Status))
 	if resp.Status != StatusOK {
-		if !validStatus(resp.Status) {
-			return nil, fmt.Errorf("wire: unknown status %d", resp.Status)
+		if !validStatus(resp.Status, v) {
+			return nil, fmt.Errorf("wire: status %d not valid at version %d", resp.Status, v)
 		}
 		dst = binary.AppendUvarint(dst, uint64(len(resp.Msg)))
 		dst = append(dst, resp.Msg...)
@@ -298,10 +335,10 @@ func DecodeResponse(b []byte) (Response, error) {
 	if len(b) < 3 {
 		return Response{}, fmt.Errorf("wire: response payload of %d bytes is shorter than the header", len(b))
 	}
-	if b[0] != Version {
+	if b[0] != Version && b[0] != VersionShard {
 		return Response{}, fmt.Errorf("wire: unknown version %d", b[0])
 	}
-	resp := Response{Type: MsgType(b[1])}
+	resp := Response{Version: b[0], Type: MsgType(b[1])}
 	if resp.Type != MsgLookup && resp.Type != MsgLookupBatch && resp.Type != MsgApplyBatch {
 		return Response{}, fmt.Errorf("wire: unknown message type %d", b[1])
 	}
@@ -316,8 +353,8 @@ func DecodeResponse(b []byte) (Response, error) {
 	}
 	resp.Status = Status(st)
 	if resp.Status != StatusOK {
-		if !validStatus(resp.Status) {
-			return Response{}, fmt.Errorf("wire: unknown status %d", st)
+		if !validStatus(resp.Status, resp.Version) {
+			return Response{}, fmt.Errorf("wire: status %d not valid at version %d", st, resp.Version)
 		}
 		if resp.Msg, err = d.str(); err != nil {
 			return Response{}, err
@@ -374,7 +411,17 @@ func DecodeResponse(b []byte) (Response, error) {
 	return resp, nil
 }
 
-func validStatus(s Status) bool { return s <= StatusWrongShard }
+// validStatus reports whether a status byte is legal at a protocol
+// version. StatusWrongShard arrived with VersionShard; emitting (or
+// accepting) it on a v1 payload would hand a pre-sharding decoder a
+// byte it treats as corruption, so the canonical-encoding rule is
+// per-version.
+func validStatus(s Status, v byte) bool {
+	if v < VersionShard {
+		return s <= StatusStaleTerm
+	}
+	return s <= StatusWrongShard
+}
 
 func eventKindByte(k fleet.EventKind) (byte, bool) {
 	switch k {
@@ -390,27 +437,28 @@ func eventKindByte(k fleet.EventKind) (byte, bool) {
 // decodeHeader parses the shared request prefix (version, type, seq,
 // id) and returns a cursor positioned at the body. The id is a
 // subslice of b — the server's zero-copy path; DecodeRequest copies it
-// into a string.
-func decodeHeader(b []byte) (cursor, MsgType, uint64, []byte, error) {
+// into a string. Both protocol versions share the header layout; the
+// version is returned so the server can answer at the sender's level.
+func decodeHeader(b []byte) (cursor, byte, MsgType, uint64, []byte, error) {
 	if len(b) < 2 {
-		return cursor{}, 0, 0, nil, fmt.Errorf("wire: request payload of %d bytes is shorter than the header", len(b))
+		return cursor{}, 0, 0, 0, nil, fmt.Errorf("wire: request payload of %d bytes is shorter than the header", len(b))
 	}
-	if b[0] != Version {
-		return cursor{}, 0, 0, nil, fmt.Errorf("wire: unknown version %d", b[0])
+	if b[0] != Version && b[0] != VersionShard {
+		return cursor{}, 0, 0, 0, nil, fmt.Errorf("wire: unknown version %d", b[0])
 	}
 	d := cursor{b: b, off: 2}
 	seq, err := d.uvarint()
 	if err != nil {
-		return cursor{}, 0, 0, nil, err
+		return cursor{}, 0, 0, 0, nil, err
 	}
 	id, err := d.bytesVal()
 	if err != nil {
-		return cursor{}, 0, 0, nil, err
+		return cursor{}, 0, 0, 0, nil, err
 	}
 	if len(id) == 0 {
-		return cursor{}, 0, 0, nil, fmt.Errorf("wire: empty instance id")
+		return cursor{}, 0, 0, 0, nil, fmt.Errorf("wire: empty instance id")
 	}
-	return d, MsgType(b[1]), seq, id, nil
+	return d, b[0], MsgType(b[1]), seq, id, nil
 }
 
 // cursor is a strict decoder over a payload: every read is

@@ -256,7 +256,7 @@ func (s *Server) serveConn(nc net.Conn) {
 // payloads that don't parse far enough to answer (the caller hangs
 // up); application failures become non-OK responses.
 func (c *srvConn) handle(payload, out []byte) ([]byte, bool) {
-	d, t, seq, id, err := decodeHeader(payload)
+	d, v, t, seq, id, err := decodeHeader(payload)
 	if err != nil {
 		return out, false
 	}
@@ -269,9 +269,9 @@ func (c *srvConn) handle(payload, out []byte) ([]byte, bool) {
 		}
 		phi, epoch, lerr := c.s.mgr.LookupEpochBytes(id, x)
 		if lerr != nil {
-			out = c.appendError(out, t, seq, lerr)
+			out = c.appendError(out, v, t, seq, lerr)
 		} else {
-			out = c.appendOK(out, Response{Type: t, Seq: seq, Phi: phi, Epoch: epoch})
+			out = c.appendOK(out, Response{Version: v, Type: t, Seq: seq, Phi: phi, Epoch: epoch})
 		}
 		c.s.lookupHist.Observe(time.Since(start))
 	case MsgLookupBatch:
@@ -294,9 +294,9 @@ func (c *srvConn) handle(payload, out []byte) ([]byte, bool) {
 		}
 		epoch, lerr := c.s.mgr.LookupBatchBytes(id, c.xs, c.phis)
 		if lerr != nil {
-			out = c.appendError(out, t, seq, lerr)
+			out = c.appendError(out, v, t, seq, lerr)
 		} else {
-			out = c.appendOK(out, Response{Type: t, Seq: seq, Epoch: epoch, Phis: c.phis})
+			out = c.appendOK(out, Response{Version: v, Type: t, Seq: seq, Epoch: epoch, Phis: c.phis})
 		}
 		c.s.batchHist.Observe(time.Since(start))
 	case MsgApplyBatch:
@@ -317,9 +317,9 @@ func (c *srvConn) handle(payload, out []byte) ([]byte, bool) {
 			return out, false
 		}
 		if res, aerr := c.s.mgr.EventBatchBytes(id, c.events); aerr != nil {
-			out = c.appendError(out, t, seq, aerr)
+			out = c.appendError(out, v, t, seq, aerr)
 		} else {
-			out = c.appendOK(out, Response{Type: t, Seq: seq, Result: res})
+			out = c.appendOK(out, Response{Version: v, Type: t, Seq: seq, Result: res})
 		}
 		c.s.applyHist.Observe(time.Since(start))
 	default:
@@ -343,15 +343,23 @@ func (c *srvConn) appendOK(out []byte, resp Response) []byte {
 	return body
 }
 
-func (c *srvConn) appendError(out []byte, t MsgType, seq uint64, err error) []byte {
+func (c *srvConn) appendError(out []byte, v byte, t MsgType, seq uint64, err error) []byte {
 	st := statusOf(err)
-	resp := Response{Type: t, Seq: seq, Status: st, Msg: err.Error()}
+	resp := Response{Version: v, Type: t, Seq: seq, Status: st, Msg: err.Error()}
 	if st == StatusWrongShard {
-		resp.Owner = fleet.WrongShardOwner(err)
+		if v < VersionShard {
+			// The requester predates StatusWrongShard; a byte it can't
+			// decode would kill its connection. Downgrade to the posture
+			// status it does know, folding the owner URL into the message
+			// so an operator (or log line) still sees where the instance
+			// went.
+			resp.Status = StatusReadOnly
+			if owner := fleet.WrongShardOwner(err); owner != "" {
+				resp.Msg += " (owner " + owner + ")"
+			}
+		} else {
+			resp.Owner = fleet.WrongShardOwner(err)
+		}
 	}
 	return c.appendOK(out, resp)
-}
-
-func (c *srvConn) appendStatus(out []byte, t MsgType, seq uint64, st Status, msg string) []byte {
-	return c.appendOK(out, Response{Type: t, Seq: seq, Status: st, Msg: msg})
 }

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"ftnet/internal/fleet"
+	sharding "ftnet/internal/shard"
+)
+
+// TestWireVersionDowngrade pins the rolling-upgrade contract: a
+// pre-sharding (v1) client asking a sharded daemon about a foreign
+// instance must get a status byte its decoder knows — StatusReadOnly
+// with the owner URL folded into the message — never StatusWrongShard,
+// which would kill its connection as "unknown status". The response
+// must also echo the request's version.
+func TestWireVersionDowngrade(t *testing.T) {
+	ring := sharding.New([]string{"a", "b"}, 0)
+	foreign := ""
+	for i := 0; i < 1000 && foreign == ""; i++ {
+		if id := fmt.Sprintf("inst-%d", i); ring.Owner(id) == "b" {
+			foreign = id
+		}
+	}
+	if foreign == "" {
+		t.Fatal("no probe id owned by b")
+	}
+
+	mgr := fleet.NewManager(fleet.Options{})
+	ownerURL := "http://daemon-b.example:8100"
+	mgr.SetTopology("a", map[string]string{"a": "http://daemon-a.example:8100", "b": ownerURL}, 0)
+	addr, _ := startServer(t, mgr, ServerOptions{})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	send := func(version byte, seq uint64) Response {
+		t.Helper()
+		payload, err := AppendRequest(nil, Request{Version: version, Type: MsgLookup, Seq: seq, ID: foreign, X: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := appendFrameHeader(nil)
+		frame = append(frame, payload...)
+		sealFrame(frame, 0)
+		if _, err := nc.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		body := make([]byte, size)
+		if _, err := io.ReadFull(nc, body); err != nil {
+			t.Fatal(err)
+		}
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			t.Fatal("response frame CRC mismatch")
+		}
+		resp, err := DecodeResponse(body)
+		if err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+		return resp
+	}
+
+	// v1 requester: wrong-shard downgraded to the read-only posture
+	// status, owner readable in the message, no owner field.
+	resp := send(Version, 1)
+	if resp.Version != Version {
+		t.Errorf("v1 request answered at version %d", resp.Version)
+	}
+	if resp.Status != StatusReadOnly {
+		t.Fatalf("v1 wrong-shard status = %v, want StatusReadOnly", resp.Status)
+	}
+	if !strings.Contains(resp.Msg, ownerURL) {
+		t.Errorf("v1 downgrade message %q does not carry the owner URL", resp.Msg)
+	}
+	if resp.Owner != "" {
+		t.Errorf("v1 response carries owner field %q", resp.Owner)
+	}
+
+	// v2 requester on the same connection: full wrong-shard answer.
+	resp = send(VersionShard, 2)
+	if resp.Version != VersionShard {
+		t.Errorf("v2 request answered at version %d", resp.Version)
+	}
+	if resp.Status != StatusWrongShard {
+		t.Fatalf("v2 wrong-shard status = %v, want StatusWrongShard", resp.Status)
+	}
+	if resp.Owner != ownerURL {
+		t.Errorf("v2 owner hint = %q, want %q", resp.Owner, ownerURL)
+	}
+}
+
+// TestWireStatusVersionGate pins the per-version canonical-status rule
+// on both codec directions: StatusWrongShard cannot be encoded into or
+// decoded out of a v1 payload.
+func TestWireStatusVersionGate(t *testing.T) {
+	bad := Response{Version: Version, Type: MsgLookup, Seq: 1,
+		Status: StatusWrongShard, Msg: "owned elsewhere", Owner: "http://b:8100"}
+	if _, err := AppendResponse(nil, bad); err == nil {
+		t.Error("AppendResponse encoded StatusWrongShard at version 1")
+	}
+
+	// Hand-craft the same payload: v1 header, status byte 8.
+	payload := []byte{Version, byte(MsgLookup)}
+	payload = binary.AppendUvarint(payload, 1)
+	payload = append(payload, byte(StatusWrongShard))
+	msg := "owned elsewhere"
+	payload = binary.AppendUvarint(payload, uint64(len(msg)))
+	payload = append(payload, msg...)
+	if _, err := DecodeResponse(payload); err == nil {
+		t.Error("DecodeResponse accepted StatusWrongShard in a v1 payload")
+	}
+}
