@@ -409,7 +409,9 @@ func runFailover(cfg config, out io.Writer) error {
 // runCluster owns the scale-out scenario: the daemons are already
 // running (and unsharded); ftload installs the rings, storms the
 // cluster through the shard-aware client, joins -join mid-storm,
-// rebalances, and verifies the handoff invariants.
+// rebalances, and verifies the handoff invariants. With -rpc the storm
+// data plane runs over the binary protocol through an ftproxy RPC
+// front at -rpc-addr (control plane and verification stay HTTP).
 func runCluster(cfg config, out io.Writer) error {
 	if cfg.peers == "" || cfg.join == "" {
 		return fmt.Errorf(`-scenario cluster needs -peers "name=url,..." and -join <member>`)
@@ -419,10 +421,11 @@ func runCluster(cfg config, out io.Writer) error {
 		return err
 	}
 	res, err := loadgen.RunCluster(loadgen.ClusterConfig{
-		Config:   cfg.Config,
-		Peers:    peers,
-		Joiner:   cfg.join,
-		Replicas: cfg.replicas,
+		Config:       cfg.Config,
+		Peers:        peers,
+		Joiner:       cfg.join,
+		Replicas:     cfg.replicas,
+		ProxyRPCAddr: cfg.RPCAddr,
 	})
 	if err != nil {
 		return err
@@ -435,7 +438,12 @@ func runCluster(cfg config, out io.Writer) error {
 		res.Migrated, res.RebalanceWall.Round(time.Millisecond), res.PauseMax.Round(time.Microsecond))
 	fmt.Fprintf(out, "  routing      %d redirects followed, %d staged-window retries — no manual retry logic\n",
 		res.Redirects, res.StagedWaits)
-	fmt.Fprintf(out, "  lookups      %.0f routed lookups/s under the rebalance\n", res.Storm.LookupThroughput())
+	if res.Storm.RPC {
+		fmt.Fprintf(out, "  lookups      %.0f lookups/s through the %s RPC front under the rebalance (p99 %v)\n",
+			res.Storm.LookupThroughput(), cfg.RPCAddr, res.Storm.LookupPercentile(99).Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(out, "  lookups      %.0f routed lookups/s under the rebalance\n", res.Storm.LookupThroughput())
+	}
 	fmt.Fprintf(out, "  verified     %d/%d instances on their ring owner, epoch == acked watermark, phi bit-identical\n",
 		res.Verified, cfg.Instances)
 	if cfg.obsJSON != "" {

@@ -88,6 +88,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", fleet.DefaultCacheSize, "mapping cache capacity")
 	cacheAdmission := flag.Bool("cache-admission", true, "doorkeeper admission: cache a fault pattern only once it recurs")
+	cacheDoorAge := flag.Int("cache-door-age", fleet.DefaultDoorAgePeriod, "doorkeeper reset interval: misses per cache shard between counter halvings")
 	journalPath := flag.String("journal", "", "append-only epoch journal path (empty disables durability)")
 	fsyncMode := flag.String("fsync", "always", `journal fsync policy: "always", "interval" or "never"`)
 	fsyncEvery := flag.Duration("fsync-interval", journal.DefaultSyncInterval, `sync period for -fsync interval`)
@@ -104,7 +105,7 @@ func main() {
 		log.Fatalf("ftnetd: -term promotes this daemon to leader and cannot be combined with -follow")
 	}
 
-	mgr := fleet.NewManager(fleet.Options{CacheSize: *cacheSize, CacheAdmission: *cacheAdmission})
+	mgr := fleet.NewManager(fleet.Options{CacheSize: *cacheSize, CacheAdmission: *cacheAdmission, CacheDoorAgePeriod: *cacheDoorAge})
 	if _, err := openJournal(mgr, *journalPath, *fsyncMode, *fsyncEvery, log.Printf); err != nil {
 		log.Fatalf("ftnetd: %v", err)
 	}

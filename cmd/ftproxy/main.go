@@ -21,15 +21,24 @@
 // forwarded to the owner; /healthz, /metrics and /v1/ring are answered
 // locally; everything else is refused — fan-in endpoints like /v1/stats
 // belong to the individual daemons.
+//
+// With -rpc-addr and -rpc-peers the proxy additionally fronts the
+// binary RPC plane: it speaks internal/wire to clients, fans frames
+// out to per-owner pooled wire clients, and merges responses back in
+// request order. Wrong-shard rejections on that plane re-teach the
+// same kind of override cache the HTTP path uses, and the RPC plane's
+// metrics land on this proxy's /metrics endpoint.
 package main
 
 import (
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"time"
 
 	"ftnet/internal/shard"
+	"ftnet/internal/wire"
 )
 
 func main() {
@@ -37,6 +46,9 @@ func main() {
 	peersFlag := flag.String("peers", "", `ring membership as "name=url,name=url,..."`)
 	replicas := flag.Int("replicas", 0, "virtual nodes per ring member (0 selects the default)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-attempt upstream timeout")
+	rpcAddr := flag.String("rpc-addr", "", "binary RPC plane listen address (empty disables)")
+	rpcPeersFlag := flag.String("rpc-peers", "", `RPC addresses of the same members as "name=host:port,..."`)
+	rpcConns := flag.Int("rpc-conns", 0, "connections pooled per RPC backend (0 selects the default)")
 	flag.Parse()
 
 	peers, err := shard.ParsePeers(*peersFlag)
@@ -44,6 +56,38 @@ func main() {
 		log.Fatalf("ftproxy: %v", err)
 	}
 	p := newProxy(peers, *replicas, *timeout)
+
+	if *rpcAddr != "" {
+		rpcPeers, err := shard.ParsePeers(*rpcPeersFlag)
+		if err != nil {
+			log.Fatalf("ftproxy: -rpc-peers: %v", err)
+		}
+		for name := range rpcPeers {
+			if _, ok := peers[name]; !ok {
+				log.Fatalf("ftproxy: -rpc-peers member %q not in -peers", name)
+			}
+		}
+		for name := range peers {
+			if _, ok := rpcPeers[name]; !ok {
+				log.Fatalf("ftproxy: member %q has no RPC address in -rpc-peers", name)
+			}
+		}
+		rp := wire.NewProxy(wire.ProxyOptions{
+			RPCPeers:  rpcPeers,
+			HTTPPeers: peers,
+			Replicas:  *replicas,
+			Conns:     *rpcConns,
+			Timeout:   *timeout,
+			Metrics:   p.reg, // one /metrics covers both planes
+		})
+		ln, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			log.Fatalf("ftproxy: rpc listen: %v", err)
+		}
+		log.Printf("ftproxy: RPC plane routing %d shard members on %s", len(rpcPeers), *rpcAddr)
+		go func() { log.Fatal(rp.Serve(ln)) }()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           p,

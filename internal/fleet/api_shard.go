@@ -50,12 +50,11 @@ func (s *apiServer) setRing(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("bad request body: %v", err))
 		return
 	}
-	if req.Self != "" {
-		if _, ok := req.Peers[req.Self]; !ok {
-			writeError(w, fmt.Errorf("self %q is not in peers", req.Self))
-			return
-		}
-	}
+	// A self outside peers is the spectator posture, not a typo worth
+	// rejecting: the daemon owns nothing on the installed ring and
+	// redirects every instance request to its owner — how a
+	// not-yet-joined member boots behind a routing proxy, so traffic
+	// misdirected to it converges through its hints instead of 404ing.
 	s.mgr.SetTopology(req.Self, req.Peers, req.Replicas)
 	info, ok := s.mgr.Topology()
 	if !ok {

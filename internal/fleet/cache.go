@@ -43,9 +43,10 @@ type cacheShard struct {
 	// missing pattern is only admitted to the LRU once the filter has
 	// seen it before, so a storm of one-off fault patterns computes
 	// its mappings without washing the recurring working set out of
-	// the cache. Counters age by halving every doorAgePeriod misses.
+	// the cache. Counters age by halving every doorAge misses.
 	admit   bool
 	door    [doorSlots]uint8
+	doorAge uint32
 	doorOps uint32
 
 	hits              uint64
@@ -55,12 +56,24 @@ type cacheShard struct {
 }
 
 // doorSlots is the doorkeeper's counter array size per shard (a power
-// of two; two probes per key). doorAgePeriod is how many misses pass
-// between halvings, bounding how long a one-off pattern stays "seen".
-const (
-	doorSlots     = 512
-	doorAgePeriod = 4096
-)
+// of two; two probes per key).
+const doorSlots = 512
+
+// DefaultDoorAgePeriod is the doorkeeper reset interval — misses per
+// shard between counter halvings — used when CacheConfig leaves
+// DoorAgePeriod zero. It bounds how long a pattern stays "seen": too
+// short and a recurring pattern is forgotten before it returns
+// (re-rejected, recomputed); longer periods let the counters fill and
+// wave repeat offenders through sooner. Swept under the cluster
+// scenario's fault-pattern churn (TestCacheDoorAgeSweep, capacities
+// 8–48): hit rate is monotone in the period and plateaus by 4096 at
+// every capacity (128 costs 1–4% hit rate re-rejecting returning
+// patterns; 512 still costs ~1%), because even a "one-off" fault set
+// is looked up repeatedly while it is an instance's current state —
+// admission that forgets too fast hurts exactly the working set it
+// exists to protect. 4096 takes the plateau while keeping the
+// counters bounded against a genuine unique-pattern flood.
+const DefaultDoorAgePeriod = 4096
 
 // admitted reports whether the key hash has been seen before, and
 // records this sighting. Caller holds the shard lock.
@@ -77,7 +90,7 @@ func (s *cacheShard) admitted(h uint64) bool {
 	if s.door[i2] < 255 {
 		s.door[i2]++
 	}
-	if s.doorOps++; s.doorOps >= doorAgePeriod {
+	if s.doorOps++; s.doorOps >= s.doorAge {
 		s.doorOps = 0
 		for i := range s.door {
 			s.door[i] /= 2
@@ -128,6 +141,9 @@ type CacheConfig struct {
 	// skip the single-flight dedup too (there is no entry to rally
 	// around) — the trade the hit-rate protection buys.
 	Admission bool
+	// DoorAgePeriod is the doorkeeper reset interval: misses per shard
+	// between counter halvings (<= 0 selects DefaultDoorAgePeriod).
+	DoorAgePeriod int
 }
 
 // NewCacheConfig returns an empty cache with the given configuration.
@@ -138,14 +154,18 @@ func NewCacheConfig(cfg CacheConfig) *Cache {
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultCacheShards
 	}
+	if cfg.DoorAgePeriod <= 0 {
+		cfg.DoorAgePeriod = DefaultDoorAgePeriod
+	}
 	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
 	c := &Cache{shards: make([]cacheShard, cfg.Shards)}
 	for i := range c.shards {
 		c.shards[i] = cacheShard{
-			cap:   perShard,
-			admit: cfg.Admission,
-			ll:    list.New(),
-			items: make(map[string]*list.Element, perShard),
+			cap:     perShard,
+			admit:   cfg.Admission,
+			doorAge: uint32(cfg.DoorAgePeriod),
+			ll:      list.New(),
+			items:   make(map[string]*list.Element, perShard),
 		}
 	}
 	return c

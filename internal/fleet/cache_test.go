@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -310,5 +312,123 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 	if st.Hits != workers-1 {
 		t.Fatalf("hits = %d, want %d", st.Hits, workers-1)
+	}
+}
+
+// doorWorkload replays a cluster-shaped fault-pattern stream against
+// c: a fleet of instances whose fault sets random-walk under an event
+// storm. Most transitions land back on a small recurring pool (the
+// same racks fail, the same repairs roll out); the rest are one-off
+// sets drawn from a keyspace wide enough (C(72,8) ~ 1e10) that they
+// essentially never recur. Lookups between transitions replay the
+// instance's current pattern — the working set admission protects.
+// Deterministic for a given seed.
+func doorWorkload(c *Cache, ops int, seed int64) {
+	const (
+		nTarget = 64
+		nHost   = 72
+		k       = 8
+		fleetSz = 12
+		poolSz  = 16
+	)
+	rng := rand.New(rand.NewSource(seed))
+	randSet := func() []int {
+		seen := make(map[int]bool, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			v := rng.Intn(nHost)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	pool := make([][]int, poolSz)
+	for i := range pool {
+		pool[i] = randSet()
+	}
+	cur := make([][]int, fleetSz)
+	for i := range cur {
+		cur[i] = pool[rng.Intn(poolSz)]
+	}
+	for i := 0; i < ops; i++ {
+		inst := rng.Intn(fleetSz)
+		if rng.Float64() < 0.10 { // a transition lands a new pattern
+			if rng.Float64() < 0.5 {
+				cur[inst] = pool[rng.Intn(poolSz)]
+			} else {
+				cur[inst] = randSet()
+			}
+		}
+		if _, err := c.Get(nTarget, nHost, cur[inst]); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestCacheDoorAgeSweep runs the cluster-shaped workload across
+// candidate doorkeeper reset intervals and logs hit rate and the
+// admission_rejected ratio — the sweep DefaultDoorAgePeriod was picked
+// from (go test -run TestCacheDoorAgeSweep -v). It asserts only the
+// orderings the default relies on: aggressive aging rejects more
+// (including returning patterns it forgot), and the long end must not
+// lose hit rate to the short end — the plateau the default sits on.
+func TestCacheDoorAgeSweep(t *testing.T) {
+	const ops = 120000
+	type point struct {
+		period   int
+		hitRate  float64
+		rejRatio float64
+	}
+	var pts []point
+	for _, period := range []int{256, 1024, 4096, 16384, 65536} {
+		c := NewCacheConfig(CacheConfig{
+			Capacity: 24, Shards: 1, Admission: true, DoorAgePeriod: period,
+		})
+		doorWorkload(c, ops, 1)
+		st := c.Stats()
+		p := point{
+			period:   period,
+			hitRate:  float64(st.Hits) / float64(st.Hits+st.Misses),
+			rejRatio: float64(st.AdmissionRejected) / float64(st.Misses),
+		}
+		pts = append(pts, p)
+		t.Logf("period %6d: hit rate %.4f, admission_rejected/misses %.4f (hits %d misses %d rejected %d evictions %d)",
+			p.period, p.hitRate, p.rejRatio, st.Hits, st.Misses, st.AdmissionRejected, st.Evictions)
+	}
+	short, long := pts[0], pts[len(pts)-1]
+	if short.rejRatio <= long.rejRatio {
+		t.Errorf("short interval rejected no more than the long end: %.4f (period %d) vs %.4f (period %d)",
+			short.rejRatio, short.period, long.rejRatio, long.period)
+	}
+	if long.hitRate < short.hitRate {
+		t.Errorf("hit rate fell from %.4f (period %d) to %.4f (period %d): the plateau ordering inverted",
+			short.hitRate, short.period, long.hitRate, long.period)
+	}
+}
+
+// TestCacheDoorAgeDefaultRatio pins the committed default under the
+// same cluster-shaped churn: the doorkeeper must still be filtering
+// first sightings (a dead filter drives the ratio to zero), must not
+// be rejecting the recurring working set (the short-interval failure
+// mode pushes the ratio past 0.3 here), and must hold the plateau hit
+// rate the default was picked for.
+func TestCacheDoorAgeDefaultRatio(t *testing.T) {
+	c := NewCacheConfig(CacheConfig{Capacity: 24, Shards: 1, Admission: true})
+	doorWorkload(c, 120000, 1)
+	st := c.Stats()
+	rejRatio := float64(st.AdmissionRejected) / float64(st.Misses)
+	hitRate := float64(st.Hits) / float64(st.Hits+st.Misses)
+	t.Logf("default period %d: hit rate %.4f, admission_rejected/misses %.4f", DefaultDoorAgePeriod, hitRate, rejRatio)
+	if rejRatio < 0.02 {
+		t.Errorf("admission_rejected/misses = %.4f, want >= 0.02: the doorkeeper stopped filtering first sightings", rejRatio)
+	}
+	if rejRatio > 0.30 {
+		t.Errorf("admission_rejected/misses = %.4f, want <= 0.30: the filter is forgetting the recurring working set", rejRatio)
+	}
+	if hitRate < 0.92 {
+		t.Errorf("hit rate = %.4f, want >= 0.92 (the plateau the default was swept onto)", hitRate)
 	}
 }

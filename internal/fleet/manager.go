@@ -36,6 +36,10 @@ type Options struct {
 	// pattern is only admitted to the LRU once it has been seen before,
 	// so one-off patterns cannot wash the working set out.
 	CacheAdmission bool
+	// CacheDoorAgePeriod sets the doorkeeper's reset interval — misses
+	// per cache shard between counter halvings (<= 0 selects
+	// DefaultDoorAgePeriod).
+	CacheDoorAgePeriod int
 	// CommitHistory caps the commit log's in-memory catch-up tail
 	// (<= 0 selects commit.DefaultHistory).
 	CommitHistory int
@@ -111,9 +115,10 @@ func NewManager(opts Options) *Manager {
 	m := &Manager{
 		seed: maphash.MakeSeed(),
 		cache: NewCacheConfig(CacheConfig{
-			Capacity:  opts.CacheSize,
-			Shards:    opts.CacheShards,
-			Admission: opts.CacheAdmission,
+			Capacity:      opts.CacheSize,
+			Shards:        opts.CacheShards,
+			Admission:     opts.CacheAdmission,
+			DoorAgePeriod: opts.CacheDoorAgePeriod,
 		}),
 		pipe: &pipeline{log: commit.NewLog(commit.Config{History: opts.CommitHistory, Obs: reg})},
 		obs:  reg,

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -15,6 +16,7 @@ import (
 	"ftnet/internal/ft"
 	"ftnet/internal/obs"
 	sharding "ftnet/internal/shard"
+	"ftnet/internal/wire"
 )
 
 // The cluster scenario is the scale-out probe: storm a sharded fleet
@@ -59,6 +61,17 @@ type ClusterConfig struct {
 	// HealthTimeout bounds the initial health checks and the client's
 	// patience with a 503-staged instance (default 15s).
 	HealthTimeout time.Duration
+	// ProxyRPCAddr, when non-empty, drives the storm's data plane
+	// (lookups and event bursts) over the binary RPC protocol through
+	// an ftproxy RPC front at this address instead of HTTP direct to
+	// the daemons. The proxy owns the routing then — wrong-shard
+	// redirect chasing happens inside it — while the storm client keeps
+	// only the retry discipline the HTTP path has: ride out
+	// staged/unavailable windows with backoff, and re-issue the rare
+	// double-bounce the proxy could not chase mid-cutover. Control
+	// plane (creates, ring installs, rebalances, verification) stays on
+	// HTTP. Config.RPCLookupBatch and Config.RPCConns apply.
+	ProxyRPCAddr string
 }
 
 // ClusterResult reports one scale-out run.
@@ -131,6 +144,15 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			return ClusterResult{}, err
 		}
 	}
+	// The joiner boots as a spectator on the same ring: it owns nothing
+	// yet, so anything misdirected to it (an RPC proxy whose ring
+	// already names the full membership) bounces to the real owner with
+	// a hint instead of 404ing.
+	if err := postRing(hc, cfg.Peers[cfg.Joiner], fleet.RingRequest{
+		Self: cfg.Joiner, Peers: initial, Replicas: cfg.Replicas,
+	}); err != nil {
+		return ClusterResult{}, err
+	}
 
 	// The storm client's ring deliberately stays on the initial
 	// membership: every post-rebalance request to a moved instance must
@@ -183,6 +205,22 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		rebalanceWall = time.Since(joinedAt)
 	}
 
+	// The RPC data plane: one pooled wire client to the proxy front,
+	// shared by every worker (callers pipeline down its connections).
+	var rpc *rpcStormClient
+	if cfg.ProxyRPCAddr != "" {
+		rc, err := wire.Dial(cfg.ProxyRPCAddr, wire.Options{Conns: cfg.RPCConns})
+		if err != nil {
+			return ClusterResult{}, fmt.Errorf("loadgen: dial RPC proxy: %w", err)
+		}
+		defer rc.Close()
+		rpc = &rpcStormClient{rc: rc, hops: len(cfg.Peers), stagedGrace: cfg.HealthTimeout}
+	}
+	lookupBatch := cfg.RPCLookupBatch
+	if lookupBatch <= 0 {
+		lookupBatch = DefaultRPCLookupBatch
+	}
+
 	nTarget, nHost := TargetHostSizes(cfg.Spec)
 	perWorker := make([]opStats, cfg.Workers)
 	var wg sync.WaitGroup
@@ -198,11 +236,17 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 			st := &perWorker[w]
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			writer := w < cfg.Scenario.Writers
+			var scratch rpcScratch
 			for i := 0; i < n; i++ {
 				id := ids[rng.Intn(len(ids))]
-				if writer {
+				switch {
+				case rpc != nil && writer:
+					rpc.driveBatch(id, rng, nHost, cfg.Scenario.Batch, st, acked[id])
+				case rpc != nil:
+					rpc.driveLookup(id, rng, nTarget, lookupBatch, &scratch, st)
+				case writer:
 					sc.driveBatch(id, rng, nHost, cfg.Scenario.Batch, st, acked[id])
-				} else {
+				default:
 					sc.driveLookup(id, rng.Intn(nTarget), st)
 				}
 				// The worker that crosses the threshold performs the
@@ -226,6 +270,11 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		Exports:       make(map[string]*obs.Export, len(cfg.Peers)),
 	}
 	res.Storm = mergeStats(perWorker, time.Since(start))
+	if rpc != nil {
+		res.Storm.RPC = true
+		res.Redirects += rpc.redirects.Load()
+		res.StagedWaits += rpc.stagedWaits.Load()
+	}
 	for _, id := range ids {
 		res.Acked[id] = acked[id].Load()
 	}
@@ -324,6 +373,90 @@ func verifyClusterInstance(hc *http.Client, cfg ClusterConfig, ring *sharding.Ri
 	}
 	res.Verified++
 	return nil
+}
+
+// rpcStormClient drives the storm's data plane over the binary RPC
+// protocol through an ftproxy RPC front. Routing convergence belongs
+// to the proxy (it chases wrong-shard hints and re-teaches its
+// override cache); the storm client keeps only the ride-out rules the
+// HTTP shardClient has: StatusUnavailable (staged mid-migration, or a
+// proxy that lost its backend for a beat) retries the same frame with
+// backoff until the grace deadline, and a wrong-shard answer — the
+// proxy's single retry also bounced, a cutover racing faster than one
+// hop — is re-issued a bounded number of times, by which point the
+// proxy has learned the new owner. Both retried statuses guarantee
+// nothing was applied, so re-issuing ApplyBatch is safe.
+type rpcStormClient struct {
+	rc          *wire.Client
+	hops        int // wrong-shard re-issues allowed per op
+	stagedGrace time.Duration
+
+	redirects   atomic.Uint64
+	stagedWaits atomic.Uint64
+}
+
+// retry reports whether err is a ride-out case, sleeping the backoff
+// itself. deadline bounds staged waits; *hops bounds redirect chases.
+func (rpc *rpcStormClient) retry(err error, deadline time.Time, hops *int) bool {
+	switch {
+	case errors.Is(err, fleet.ErrWrongShard) && *hops > 0:
+		*hops--
+		rpc.redirects.Add(1)
+		return true
+	case errors.Is(err, fleet.ErrUnavailable) && time.Now().Before(deadline):
+		rpc.stagedWaits.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		return true
+	}
+	return false
+}
+
+func (rpc *rpcStormClient) driveLookup(id string, rng *rand.Rand, nTarget, batch int, scratch *rpcScratch, st *opStats) {
+	scratch.size(batch)
+	for i := range scratch.xs {
+		scratch.xs[i] = rng.Intn(nTarget)
+	}
+	deadline := time.Now().Add(rpc.stagedGrace)
+	hops := rpc.hops
+	t0 := time.Now()
+	for {
+		_, err := rpc.rc.LookupBatch(id, scratch.xs, scratch.phis)
+		if err == nil {
+			st.lookups += batch
+			st.lookupLats = append(st.lookupLats, time.Since(t0))
+			return
+		}
+		if !rpc.retry(err, deadline, &hops) {
+			countRPCFailure(err, st)
+			return
+		}
+	}
+}
+
+func (rpc *rpcStormClient) driveBatch(id string, rng *rand.Rand, nHost, batch int, st *opStats, acked *atomic.Uint64) {
+	events := makeEvents(rng, nHost, batch)
+	deadline := time.Now().Add(rpc.stagedGrace)
+	hops := rpc.hops
+	t0 := time.Now()
+	for {
+		res, err := rpc.rc.ApplyBatch(id, events)
+		switch {
+		case err == nil:
+			ackMax(acked, res.Epoch)
+			st.batches++
+			st.events += batch
+			st.eventLats = append(st.eventLats, time.Since(t0))
+			return
+		case rejectedByStateMachine(err):
+			st.rejected++
+			st.eventLats = append(st.eventLats, time.Since(t0))
+			return
+		}
+		if !rpc.retry(err, deadline, &hops) {
+			countRPCFailure(err, st)
+			return
+		}
+	}
 }
 
 // shardClient is the client-side routing layer: it resolves each

@@ -1,12 +1,14 @@
 package loadgen
 
 import (
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"ftnet/internal/fleet"
+	"ftnet/internal/wire"
 )
 
 // threeDaemons boots three in-process daemons (no topology installed —
@@ -87,6 +89,98 @@ func TestRunClusterRebalanceMidStorm(t *testing.T) {
 	}
 	if !families["rebalance_pause"] || !families["cluster_lookups_per_sec"] {
 		t.Errorf("artifact families = %v, want rebalance_pause and cluster_lookups_per_sec", families)
+	}
+}
+
+// threeDaemonsRPC is threeDaemons with a binary RPC listener on each
+// daemon and an ftproxy-equivalent RPC front (wire.Proxy over the full
+// membership) in front, returning the HTTP peers and the proxy's RPC
+// address.
+func threeDaemonsRPC(t *testing.T) (map[string]string, string) {
+	t.Helper()
+	httpPeers := make(map[string]string, 3)
+	rpcPeers := make(map[string]string, 3)
+	for _, name := range []string{"a", "b", "c"} {
+		m := fleet.NewManager(fleet.Options{})
+		ts := httptest.NewServer(fleet.NewHTTPHandler(m))
+		t.Cleanup(ts.Close)
+		httpPeers[name] = ts.URL
+		srv := wire.NewServer(m, wire.ServerOptions{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		rpcPeers[name] = ln.Addr().String()
+	}
+	px := wire.NewProxy(wire.ProxyOptions{RPCPeers: rpcPeers, HTTPPeers: httpPeers})
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go px.Serve(pln)
+	t.Cleanup(func() { px.Close() })
+	return httpPeers, pln.Addr().String()
+}
+
+// TestRunClusterRebalanceMidStormRPC is the mid-storm-rebalance e2e
+// restated over the binary plane: the storm's lookups and event bursts
+// travel the wire protocol through a full-membership RPC proxy while
+// the join displaces instances underneath it. The proxy's ring names
+// the joiner from the start, so pre-join traffic converges through the
+// joiner's spectator redirects and post-cutover traffic through the
+// sources' hints — and the verification holds the same exact-epoch /
+// bit-identical / single-owner contract at zero transport errors.
+func TestRunClusterRebalanceMidStormRPC(t *testing.T) {
+	peers, proxyAddr := threeDaemonsRPC(t)
+	cfg := ClusterConfig{
+		Config: Config{
+			Instances: 12,
+			Spec:      fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 3},
+			Workers:   4,
+			Requests:  1200,
+			Seed:      1,
+			Scenario:  Scenario{Batch: 2},
+		},
+		Peers:         peers,
+		Joiner:        "c",
+		JoinAfterFrac: 0.3,
+		ProxyRPCAddr:  proxyAddr,
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	if !res.Storm.RPC {
+		t.Fatal("storm did not mark the RPC plane")
+	}
+	if res.Storm.Transport != 0 || res.Storm.Errors != 0 {
+		t.Fatalf("storm saw %d transport and %d unexpected-status errors through the proxy",
+			res.Storm.Transport, res.Storm.Errors)
+	}
+	if res.Migrated == 0 {
+		t.Fatal("no instance was rebalanced onto the joiner")
+	}
+	if res.Verified != cfg.Instances {
+		t.Fatalf("verified %d/%d instances", res.Verified, cfg.Instances)
+	}
+	if res.Storm.Batches == 0 || res.Storm.Lookups == 0 {
+		t.Fatalf("degenerate storm: %d batches, %d lookups", res.Storm.Batches, res.Storm.Lookups)
+	}
+
+	// The artifact grows the proxy-plane SLO families the CI shard job
+	// gates, alongside the families the HTTP run produces.
+	art := ServiceArtifact{Kind: "service", Scenario: "cluster"}
+	AppendCluster(&art, res)
+	families := make(map[string]bool)
+	for _, b := range art.Benchmarks {
+		families[b.Family] = true
+	}
+	for _, want := range []string{"rebalance_pause", "cluster_lookups_per_sec", "proxy_lookups_per_sec", "proxy_lookup_p99"} {
+		if !families[want] {
+			t.Errorf("artifact families = %v, missing %s", families, want)
+		}
 	}
 }
 

@@ -152,4 +152,14 @@ func AppendCluster(art *ServiceArtifact, res ClusterResult) {
 			Name: "cluster_lookups_per_sec", Family: "cluster_lookups_per_sec",
 			Value: res.Storm.LookupThroughput(), Unit: "ops/s"})
 	}
+	// RPC runs went through the ftproxy front door, so the lookup
+	// figures are the proxy-plane SLO families the shard CI job gates.
+	if res.Storm.RPC && res.Storm.Lookups > 0 {
+		art.Benchmarks = append(art.Benchmarks, ServiceBenchmark{
+			Name: "proxy_lookups_per_sec", Family: "proxy_lookups_per_sec",
+			Value: res.Storm.LookupThroughput(), Unit: "ops/s"})
+		art.Benchmarks = append(art.Benchmarks, ServiceBenchmark{
+			Name: "proxy_lookup_p99", Family: "proxy_lookup_p99",
+			Value: float64(res.Storm.LookupPercentile(99)), Unit: "ns"})
+	}
 }

@@ -49,6 +49,37 @@ func BenchmarkWireLookup(b *testing.B) {
 	})
 }
 
+// BenchmarkWireLookupBatchPipelined is BenchmarkWireLookupBatch with a
+// deep in-flight window (8 goroutines per proc share the pooled
+// connections), so the group-flush writev on the way out and the
+// server's log-round coalescing on the way back are actually
+// exercised — the single-caller variant is pure round-trip latency and
+// never batches. This is the per-core throughput figure.
+func BenchmarkWireLookupBatchPipelined(b *testing.B) {
+	addr, stop := benchServer(b)
+	defer stop()
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		xs := make([]int, 16)
+		phis := make([]int, 16)
+		for i := range xs {
+			xs[i] = i * 3 % 64
+		}
+		for pb.Next() {
+			if _, err := c.LookupBatch("bench", xs, phis); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkWireLookupBatch measures the vectorized read path: one
 // frame each way resolves 16 targets, the shape loadgen's RPC driver
 // uses.

@@ -191,9 +191,12 @@ func (c *Client) conn() (*clientConn, error) {
 
 // call is one in-flight request's completion slot, pooled across
 // calls. done is buffered so the reader never blocks handing off a
-// result.
+// result. The deadline timer is pooled with the call — a fresh
+// time.NewTimer per round trip is three allocations, and the pooled
+// Reset is what keeps the steady-state lookup path at zero.
 type call struct {
 	done   chan error
+	timer  *time.Timer
 	t      MsgType
 	phi    int
 	epoch  uint64
@@ -221,16 +224,17 @@ func putCall(ca *call) {
 }
 
 // clientConn is one pooled connection: a writer side that group-flushes
-// the shared accumulation buffer, and a reader goroutine that matches
-// response frames to pending calls by sequence number.
+// the shared chunked write queue as one writev, and a reader goroutine
+// that matches response frames to pending calls by sequence number.
 type clientConn struct {
 	nc      net.Conn
 	timeout time.Duration
 
 	mu       sync.Mutex
 	cond     *sync.Cond // waits for the in-progress flush to finish
-	wbuf     []byte     // frames accumulated since the last flush
-	spare    []byte     // the other half of the ping-pong buffer pair
+	wq       writeQueue // frames accumulated since the last flush
+	chunks   [][]byte   // flusher's chunk scratch, reused across flushes
+	vecs     net.Buffers
 	flushing bool
 	seq      uint64
 	pending  map[uint64]*call
@@ -248,7 +252,7 @@ func dialConn(addr string, opts Options) (*clientConn, error) {
 	return cc, nil
 }
 
-// do encodes req into the shared buffer, registers ca under a fresh
+// do encodes req into the shared write queue, registers ca under a fresh
 // sequence number, flushes, and waits for the reader (or a failure, or
 // the deadline) to complete ca.
 func (cc *clientConn) do(req Request, ca *call) error {
@@ -260,16 +264,14 @@ func (cc *clientConn) do(req Request, ca *call) error {
 	}
 	cc.seq++
 	req.Seq = cc.seq
-	mark := len(cc.wbuf)
-	cc.wbuf = appendFrameHeader(cc.wbuf)
-	buf, err := AppendRequest(cc.wbuf, req)
+	mark := cc.wq.mark()
+	buf, err := AppendRequest(appendFrameHeader(cc.wq.active), req)
 	if err != nil {
-		cc.wbuf = cc.wbuf[:mark]
+		cc.wq.active = cc.wq.active[:mark]
 		cc.mu.Unlock()
 		return err // invalid input, not a transport failure
 	}
-	sealFrame(buf, mark)
-	cc.wbuf = buf
+	cc.wq.sealFrameAt(buf, mark)
 	cc.pending[req.Seq] = ca
 	seq := req.Seq
 	cc.mu.Unlock()
@@ -281,15 +283,17 @@ func (cc *clientConn) do(req Request, ca *call) error {
 }
 
 // flush writes the accumulated frames in groups: one flusher at a time
-// swaps the buffer pair and writes outside the lock while later
-// callers' frames accumulate in the other buffer (the journal's
-// group-commit shape). Callers loop until their own frame — appended
-// before they got here — is on the wire or the connection has failed.
+// takes the queued chunk list and writes it outside the lock as one
+// vectored write (writev — the whole group leaves in one syscall, with
+// no copy into a staging buffer) while later callers' frames
+// accumulate in fresh chunks (the journal's group-commit shape).
+// Callers loop until their own frame — appended before they got here —
+// is on the wire or the connection has failed.
 func (cc *clientConn) flush() {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	for {
-		if cc.err != nil || len(cc.wbuf) == 0 {
+		if cc.err != nil || cc.wq.queued == 0 {
 			return
 		}
 		if cc.flushing {
@@ -297,13 +301,13 @@ func (cc *clientConn) flush() {
 			continue
 		}
 		cc.flushing = true
-		buf := cc.wbuf
-		cc.wbuf = cc.spare[:0]
+		chunks, _, _ := cc.wq.take(cc.chunks)
 		cc.mu.Unlock()
 		cc.nc.SetWriteDeadline(time.Now().Add(cc.timeout))
-		_, werr := cc.nc.Write(buf)
+		werr := writeBuffers(cc.nc, &cc.vecs, chunks)
+		recycle(chunks)
 		cc.mu.Lock()
-		cc.spare = buf[:0]
+		cc.chunks = chunks
 		cc.flushing = false
 		cc.cond.Broadcast()
 		if werr != nil {
@@ -318,12 +322,16 @@ func (cc *clientConn) flush() {
 // the reader already claimed it, the raced-in completion is taken
 // instead, so the call slot is always quiescent when wait returns.
 func (cc *clientConn) wait(seq uint64, ca *call) error {
-	timer := time.NewTimer(cc.timeout)
-	defer timer.Stop()
+	if ca.timer == nil {
+		ca.timer = time.NewTimer(cc.timeout)
+	} else {
+		ca.timer.Reset(cc.timeout)
+	}
+	defer ca.timer.Stop()
 	select {
 	case err := <-ca.done:
 		return err
-	case <-timer.C:
+	case <-ca.timer.C:
 		cc.mu.Lock()
 		_, still := cc.pending[seq]
 		if still {
@@ -339,11 +347,15 @@ func (cc *clientConn) wait(seq uint64, ca *call) error {
 
 // readLoop is the connection's single reader: it decodes response
 // frames and completes the matching pending call, in whatever order
-// the server answered.
+// the server answered. The receive buffer is a pooled class buffer
+// reused across frames (dispatch copies results into caller-owned
+// memory before the next read, so reuse is safe) and recirculated to
+// the pool when the connection dies.
 func (cc *clientConn) readLoop() {
 	br := bufio.NewReaderSize(cc.nc, readBufSize)
 	var hdr [frameHeaderSize]byte
 	var buf []byte
+	defer func() { putBuf(buf) }()
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			cc.fail(err)
@@ -355,10 +367,7 @@ func (cc *clientConn) readLoop() {
 			cc.fail(fmt.Errorf("frame of %d bytes exceeds limit", size))
 			return
 		}
-		if cap(buf) < int(size) {
-			buf = make([]byte, size)
-		}
-		buf = buf[:size]
+		buf = growRecv(buf, int(size))
 		if _, err := io.ReadFull(br, buf); err != nil {
 			cc.fail(err)
 			return

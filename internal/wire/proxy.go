@@ -1,0 +1,517 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ftnet/internal/obs"
+	"ftnet/internal/shard"
+)
+
+// proxyMaxOverrides caps the learned-override cache, matching the HTTP
+// proxy's bound: overrides are a latency optimization, not correctness
+// — an evicted entry costs one extra bounce that re-teaches it.
+const proxyMaxOverrides = 4096
+
+// proxyWindow bounds the per-connection in-flight window: how many
+// requests may be fanned out to backends while earlier responses are
+// still being merged back in order. Past the window the reader stops
+// pulling frames, which backpressures the client through TCP.
+const proxyWindow = 256
+
+// ProxyOptions configures NewProxy.
+type ProxyOptions struct {
+	// RPCPeers maps member name -> RPC address of each daemon's wire
+	// listener; the ring is built over these names.
+	RPCPeers map[string]string
+	// HTTPPeers maps member name -> advertised HTTP base URL.
+	// StatusWrongShard hints carry the owner's HTTP URL (the hint
+	// format both planes share), so the proxy needs this map to
+	// translate a hint back into a backend — and, as on the HTTP path,
+	// only hints naming a configured peer are honored.
+	HTTPPeers map[string]string
+	// Replicas is the ring's virtual-node count (0 selects the default).
+	Replicas int
+	// Conns is each backend client's connection pool size.
+	Conns int
+	// Timeout bounds one backend round trip.
+	Timeout time.Duration
+	// Metrics, when non-nil, receives the proxy's RPC-plane counters
+	// and histograms (pass the HTTP proxy's registry so one /metrics
+	// covers both planes). Nil creates a private one.
+	Metrics *obs.Registry
+}
+
+// Proxy is the RPC-plane routing front door: it speaks the wire
+// protocol to clients, routes each frame to the instance's owning
+// daemon over pooled persistent wire.Clients (frames for different
+// owners fan out concurrently), and merges the responses back onto the
+// client connection in request order. StatusWrongShard rejections
+// re-teach the id->owner override cache exactly like the HTTP 403
+// path: learn the hint, retry once, keep the override until a daemon
+// changes it again.
+type Proxy struct {
+	ring       *shard.Ring
+	rpcPeers   map[string]string
+	ownerByURL map[string]string // HTTP base URL -> member name
+
+	conns   int
+	timeout time.Duration
+
+	cmu     sync.Mutex
+	clients map[string]*Client // lazily dialed per-owner backends
+
+	omu      sync.RWMutex
+	override map[string]string // id -> member name learned from hints
+
+	requests  *obs.Counter
+	redirects *obs.Counter
+	misroutes *obs.Counter
+	upErrors  *obs.Counter
+	connGauge *obs.Gauge
+	hist      *obs.Histogram
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	fronts map[net.Conn]struct{}
+	closed bool
+}
+
+// NewProxy builds an RPC routing proxy over the configured peers.
+// Call Serve with a listener to start accepting.
+func NewProxy(opts ProxyOptions) *Proxy {
+	if opts.Conns <= 0 {
+		opts.Conns = DefaultConns
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
+	members := make([]string, 0, len(opts.RPCPeers))
+	for name := range opts.RPCPeers {
+		members = append(members, name)
+	}
+	ownerByURL := make(map[string]string, len(opts.HTTPPeers))
+	for name, url := range opts.HTTPPeers {
+		if _, ok := opts.RPCPeers[name]; ok {
+			ownerByURL[url] = name
+		}
+	}
+	return &Proxy{
+		ring:       shard.New(members, opts.Replicas),
+		rpcPeers:   opts.RPCPeers,
+		ownerByURL: ownerByURL,
+		conns:      opts.Conns,
+		timeout:    opts.Timeout,
+		clients:    make(map[string]*Client),
+		override:   make(map[string]string),
+		requests: reg.Counter("ftproxy_rpc_requests_total",
+			"RPC frames routed to a shard owner."),
+		redirects: reg.Counter("ftproxy_rpc_redirects_total",
+			"RPC requests re-routed after a wrong-shard hint."),
+		misroutes: reg.Counter("ftproxy_rpc_misroutes_total",
+			"RPC requests still bounced after the redirect retry."),
+		upErrors: reg.Counter("ftproxy_rpc_upstream_errors_total",
+			"Backend transport failures surfaced to RPC clients."),
+		connGauge: reg.Gauge("ftproxy_rpc_connections",
+			"RPC client connections currently open."),
+		hist: reg.Histogram("ftproxy_rpc_request_seconds",
+			"End-to-end proxied RPC request latency."),
+		lns:    make(map[net.Listener]struct{}),
+		fronts: make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts client connections on ln until Close (or a listener
+// error) and serves each on its own goroutine pair. It returns nil
+// after Close.
+func (p *Proxy) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return errors.New("wire: proxy closed")
+	}
+	p.lns[ln] = struct{}{}
+	p.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			delete(p.lns, ln)
+			p.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		p.fronts[nc] = struct{}{}
+		p.mu.Unlock()
+		go p.serveFront(nc)
+	}
+}
+
+// Close stops the listeners, hangs up every client connection, and
+// closes the backend clients.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for ln := range p.lns {
+		ln.Close()
+		delete(p.lns, ln)
+	}
+	for nc := range p.fronts {
+		nc.Close()
+		delete(p.fronts, nc)
+	}
+	p.mu.Unlock()
+	p.cmu.Lock()
+	for name, cl := range p.clients {
+		cl.Close()
+		delete(p.clients, name)
+	}
+	p.cmu.Unlock()
+	return nil
+}
+
+// Shutdown drains the proxy gracefully, mirroring Server.Shutdown:
+// listeners stop accepting and each front connection finishes the
+// frames it has already read before exiting on its nudged deadline.
+func (p *Proxy) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	p.closed = true
+	for ln := range p.lns {
+		ln.Close()
+		delete(p.lns, ln)
+	}
+	for nc := range p.fronts {
+		nc.SetReadDeadline(time.Now())
+	}
+	p.mu.Unlock()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		p.mu.Lock()
+		n := len(p.fronts)
+		p.mu.Unlock()
+		if n == 0 {
+			p.closeClients()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			p.Close()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+func (p *Proxy) closeClients() {
+	p.cmu.Lock()
+	for name, cl := range p.clients {
+		cl.Close()
+		delete(p.clients, name)
+	}
+	p.cmu.Unlock()
+}
+
+func (p *Proxy) forget(nc net.Conn) {
+	p.mu.Lock()
+	delete(p.fronts, nc)
+	p.mu.Unlock()
+}
+
+// client returns the pooled backend client for a member, dialing it on
+// first use. A dead client is not replaced here — wire.Client re-dials
+// its own connections lazily, so one handle per backend lives for the
+// proxy's lifetime.
+func (p *Proxy) client(owner string) (*Client, error) {
+	p.cmu.Lock()
+	defer p.cmu.Unlock()
+	if cl := p.clients[owner]; cl != nil {
+		return cl, nil
+	}
+	addr := p.rpcPeers[owner]
+	if addr == "" {
+		return nil, transportErrf("no RPC address for shard member %q", owner)
+	}
+	cl, err := Dial(addr, Options{Conns: p.conns, Timeout: p.timeout})
+	if err != nil {
+		return nil, err
+	}
+	p.clients[owner] = cl
+	return cl, nil
+}
+
+func (p *Proxy) lookupOverride(id string) string {
+	p.omu.RLock()
+	defer p.omu.RUnlock()
+	return p.override[id]
+}
+
+// setOverride learns (or clears) an id's owner exception, with the
+// same discipline as the HTTP proxy: a hint that agrees with the ring
+// again ends the exception, and past the cap an arbitrary entry is
+// evicted — the next bounce re-teaches it.
+func (p *Proxy) setOverride(id, owner string) {
+	p.omu.Lock()
+	if p.ring.Owner(id) == owner {
+		delete(p.override, id)
+	} else {
+		if _, ok := p.override[id]; !ok && len(p.override) >= proxyMaxOverrides {
+			for victim := range p.override {
+				delete(p.override, victim)
+				break
+			}
+		}
+		p.override[id] = owner
+	}
+	p.omu.Unlock()
+}
+
+// proxyCall is one in-flight frame's slot in a front connection's
+// order queue: the writer completes slots strictly in arrival order,
+// so responses merge back onto the client connection in request order
+// no matter how the backend fan-out interleaves.
+type proxyCall struct {
+	done  chan struct{}
+	v     byte // front's negotiated version for this frame
+	fatal bool // ambiguous-fate write: hang up instead of answering
+	resp  Response
+}
+
+// serveFront runs one client connection: this goroutine reads frames,
+// decodes them, and fans each out to its owner's backend on a fresh
+// goroutine; a writer goroutine drains the order queue, re-encodes
+// responses, and flushes them coalesced (one writev per drained run).
+func (p *Proxy) serveFront(nc net.Conn) {
+	defer p.forget(nc)
+	p.connGauge.Add(1)
+	defer p.connGauge.Add(-1)
+
+	order := make(chan *proxyCall, proxyWindow)
+	writerDone := make(chan struct{})
+	go p.frontWriter(nc, order, writerDone)
+	defer func() {
+		close(order)
+		<-writerDone // writer owns nc.Close after draining
+	}()
+
+	br := bufio.NewReaderSize(nc, readBufSize)
+	var hdr [frameHeaderSize]byte
+	var in []byte
+	defer func() { putBuf(in) }()
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if size > MaxFrame {
+			return
+		}
+		in = growRecv(in, int(size))
+		if _, err := io.ReadFull(br, in); err != nil {
+			return
+		}
+		if crc32.Checksum(in, castagnoli) != want {
+			return
+		}
+		req, err := DecodeRequest(in)
+		if err != nil {
+			// A malformed frame is a broken peer, same as on the server:
+			// hang up rather than guess at a sequence number.
+			return
+		}
+		pc := &proxyCall{done: make(chan struct{}), v: req.Version}
+		order <- pc // blocks at proxyWindow: TCP backpressure
+		go p.dispatch(req, pc)
+	}
+}
+
+// frontWriter merges responses back in request order and writes them
+// coalesced: it keeps appending completed responses while more slots
+// are immediately available, and pays for a writev only when the run
+// dries up (or the coalesce cap is hit) — the server's log-round
+// discipline applied to the proxy's merge point.
+func (p *Proxy) frontWriter(nc net.Conn, order <-chan *proxyCall, done chan<- struct{}) {
+	defer close(done)
+	defer nc.Close()
+	var wq writeQueue
+	var chunks [][]byte
+	var vecs net.Buffers
+	defer func() {
+		chunks, _, _ = wq.take(chunks)
+		recycle(chunks)
+	}()
+	flush := func() bool {
+		if wq.queued == 0 {
+			return true
+		}
+		var err error
+		chunks, _, _ = wq.take(chunks)
+		err = writeBuffers(nc, &vecs, chunks)
+		recycle(chunks)
+		return err == nil
+	}
+	for pc := range order {
+		<-pc.done
+		if pc.fatal {
+			// The backend connection died under an ApplyBatch: the burst
+			// may or may not have committed, and StatusUnavailable would
+			// promise "nothing applied". The only honest answer is the
+			// one wire.Client already refuses to retry — a transport
+			// failure — so flush what is answered and hang up.
+			flush()
+			for pc := range order {
+				<-pc.done
+			}
+			return
+		}
+		mark := wq.mark()
+		buf, err := AppendResponse(appendFrameHeader(wq.active), pc.resp)
+		if err != nil {
+			// Response encode failures are proxy bugs; drop the frame and
+			// let the client's deadline surface it.
+			wq.active = wq.active[:mark]
+			continue
+		}
+		wq.sealFrameAt(buf, mark)
+		if len(order) > 0 && wq.queued < maxCoalesce {
+			continue
+		}
+		if !flush() {
+			// The client hung up; keep draining completions so dispatch
+			// goroutines never leak, but stop writing.
+			for pc := range order {
+				<-pc.done
+			}
+			return
+		}
+	}
+	flush()
+}
+
+// dispatch routes one decoded request to its owner's backend, chasing
+// at most one wrong-shard hint, and completes the order slot with the
+// response to merge.
+func (p *Proxy) dispatch(req Request, pc *proxyCall) {
+	defer close(pc.done)
+	start := time.Now()
+	p.requests.Inc()
+	owner := p.lookupOverride(req.ID)
+	if owner == "" {
+		owner = p.ring.Owner(req.ID)
+	}
+	for attempt := 0; ; attempt++ {
+		err := p.callBackend(owner, req, pc)
+		if err == nil {
+			break
+		}
+		var we *Error
+		if errors.As(err, &we) && we.Status == StatusWrongShard {
+			hinted, ok := p.ownerByURL[we.Owner]
+			if ok && hinted != owner && attempt == 0 {
+				// The daemons know better than the ring mid-migration:
+				// learn the exception, retry once at the hinted owner.
+				p.setOverride(req.ID, hinted)
+				p.redirects.Inc()
+				owner = hinted
+				continue
+			}
+			p.misroutes.Inc()
+			p.fillError(pc, req, we)
+			break
+		}
+		if errors.As(err, &we) {
+			p.fillError(pc, req, we)
+			break
+		}
+		// Backend transport failure. For idempotent reads, surface as
+		// unavailable — the "retry me" category the HTTP plane's
+		// 502/503 occupies; nothing is at stake in a re-issue. For
+		// ApplyBatch the fate is ambiguous (the burst may have committed
+		// just before the connection died), so no retryable status is
+		// honest: mark the slot fatal and let the writer hang up.
+		p.upErrors.Inc()
+		if req.Type == MsgApplyBatch {
+			pc.fatal = true
+		} else {
+			pc.resp = Response{Version: pc.v, Type: req.Type, Seq: req.Seq,
+				Status: StatusUnavailable, Msg: "ftproxy: upstream " + owner + ": " + err.Error()}
+		}
+		break
+	}
+	p.hist.Observe(time.Since(start))
+}
+
+// callBackend performs req against one owner's client and fills pc's
+// response on success.
+func (p *Proxy) callBackend(owner string, req Request, pc *proxyCall) error {
+	cl, err := p.client(owner)
+	if err != nil {
+		return err
+	}
+	switch req.Type {
+	case MsgLookup:
+		phi, epoch, err := cl.Lookup(req.ID, req.X)
+		if err != nil {
+			return err
+		}
+		pc.resp = Response{Version: pc.v, Type: req.Type, Seq: req.Seq, Phi: phi, Epoch: epoch}
+	case MsgLookupBatch:
+		phis := make([]int, len(req.Xs))
+		epoch, err := cl.LookupBatch(req.ID, req.Xs, phis)
+		if err != nil {
+			return err
+		}
+		pc.resp = Response{Version: pc.v, Type: req.Type, Seq: req.Seq, Epoch: epoch, Phis: phis}
+	case MsgApplyBatch:
+		res, err := cl.ApplyBatch(req.ID, req.Events)
+		if err != nil {
+			return err
+		}
+		pc.resp = Response{Version: pc.v, Type: req.Type, Seq: req.Seq, Result: res}
+	default:
+		pc.resp = Response{Version: pc.v, Type: req.Type, Seq: req.Seq,
+			Status: StatusInvalid, Msg: "ftproxy: unroutable message type"}
+	}
+	return nil
+}
+
+// fillError re-encodes a backend rejection at the front's version,
+// applying the same v1 downgrade as the server: StatusWrongShard did
+// not exist before VersionShard, so older clients get StatusReadOnly
+// with the owner folded into the message.
+func (p *Proxy) fillError(pc *proxyCall, req Request, we *Error) {
+	resp := Response{Version: pc.v, Type: req.Type, Seq: req.Seq, Status: we.Status, Msg: we.Msg}
+	if we.Status == StatusWrongShard {
+		if pc.v < VersionShard {
+			resp.Status = StatusReadOnly
+			if we.Owner != "" {
+				resp.Msg += " (owner " + we.Owner + ")"
+			}
+		} else {
+			resp.Owner = we.Owner
+		}
+	}
+	pc.resp = resp
+}

@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"ftnet/internal/fleet"
+	"ftnet/internal/obs"
+	sharding "ftnet/internal/shard"
+)
+
+// rpcCluster boots two in-process daemons (manager + wire server)
+// sharing a topology with the given vnode count, and an RPC proxy
+// (always at the default vnode count) in front. The returned registry
+// carries the proxy's counters.
+func rpcCluster(t *testing.T, daemonReplicas int) (cl *Client, mA, mB *fleet.Manager, reg *obs.Registry) {
+	t.Helper()
+	mA, mB = fleet.NewManager(fleet.Options{}), fleet.NewManager(fleet.Options{})
+	addrA, _ := startServer(t, mA, ServerOptions{})
+	addrB, _ := startServer(t, mB, ServerOptions{})
+	httpPeers := map[string]string{"a": "http://daemon-a.example:8100", "b": "http://daemon-b.example:8100"}
+	mA.SetTopology("a", httpPeers, daemonReplicas)
+	mB.SetTopology("b", httpPeers, daemonReplicas)
+
+	reg = obs.New()
+	px := NewProxy(ProxyOptions{
+		RPCPeers:  map[string]string{"a": addrA, "b": addrB},
+		HTTPPeers: httpPeers,
+		Metrics:   reg,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { px.Close() })
+	go px.Serve(ln)
+	cl = dialTest(t, ln.Addr().String(), Options{})
+	return cl, mA, mB, reg
+}
+
+// TestWireProxyRoutesAndMerges pins the RPC front door's routing
+// contract when rings agree: every frame lands on the ring owner, the
+// answers match a direct lookup bit for bit, mutations apply on the
+// owner only, and a pipelined burst across both owners merges back
+// with every caller seeing its own answer.
+func TestWireProxyRoutesAndMerges(t *testing.T) {
+	cl, mA, mB, _ := rpcCluster(t, 0)
+	byMember := map[string]*fleet.Manager{"a": mA, "b": mB}
+	ring := sharding.New([]string{"a", "b"}, 0)
+	spec := fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2}
+
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("inst-%d", i)
+		if _, err := byMember[ring.Owner(ids[i])].Create(ids[i], spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, id := range ids {
+		phi, epoch, err := cl.Lookup(id, 3)
+		if err != nil {
+			t.Fatalf("Lookup(%s) via proxy: %v", id, err)
+		}
+		want, err := byMember[ring.Owner(id)].Lookup(id, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phi != want || epoch != 0 {
+			t.Fatalf("Lookup(%s) = (%d, %d), want (%d, 0)", id, phi, epoch, want)
+		}
+	}
+
+	// A batch resolves against one snapshot of its one owner.
+	xs := []int{0, 1, 2, 3}
+	phis := make([]int, len(xs))
+	if _, err := cl.LookupBatch(ids[0], xs, phis); err != nil {
+		t.Fatalf("LookupBatch via proxy: %v", err)
+	}
+	for i, x := range xs {
+		want, _ := byMember[ring.Owner(ids[0])].Lookup(ids[0], x)
+		if phis[i] != want {
+			t.Fatalf("batch phi[%d] = %d, want %d", i, phis[i], want)
+		}
+	}
+
+	// A mutation applies on the owner and bumps the epoch everywhere
+	// the proxy answers from.
+	res, err := cl.ApplyBatch(ids[0], []fleet.Event{{Kind: fleet.EventFault, Node: 1}})
+	if err != nil {
+		t.Fatalf("ApplyBatch via proxy: %v", err)
+	}
+	if res.Epoch != 1 || res.Applied != 1 {
+		t.Fatalf("ApplyBatch result = %+v, want epoch 1, applied 1", res)
+	}
+	if _, _, err := byMember[ring.Owner(ids[0])].LookupEpochBytes([]byte(ids[0]), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unknown instance's rejection crosses both hops intact.
+	if _, _, err := cl.Lookup("no-such-instance", 0); !errors.Is(err, fleet.ErrNotFound) {
+		t.Fatalf("unknown id via proxy = %v, want ErrNotFound", err)
+	}
+
+	// A pipelined burst across both owners: every caller gets its own
+	// instance's answer back, regardless of fan-out interleaving.
+	var wg sync.WaitGroup
+	errc := make(chan error, len(ids))
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			want, _ := byMember[ring.Owner(id)].Lookup(id, 5)
+			for i := 0; i < 50; i++ {
+				phi, _, err := cl.Lookup(id, 5)
+				if err != nil {
+					errc <- fmt.Errorf("pipelined Lookup(%s): %v", id, err)
+					return
+				}
+				if phi != want {
+					errc <- fmt.Errorf("pipelined Lookup(%s) = %d, want %d", id, phi, want)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestWireProxyLearnsFromRedirect drives the wrong-shard learn-retry
+// path with a real daemon-generated hint: the daemons shard with a
+// different vnode count than the proxy, so for some id the proxy's
+// ring answer is wrong. The first frame bounces (StatusWrongShard +
+// owner URL), the proxy re-teaches its override cache and retries at
+// the hinted owner, and the client sees only the success; repeat
+// frames use the override and never bounce again — exactly the HTTP
+// 403 path's contract, restated in binary.
+func TestWireProxyLearnsFromRedirect(t *testing.T) {
+	cl, mA, mB, reg := rpcCluster(t, 64)
+	byMember := map[string]*fleet.Manager{"a": mA, "b": mB}
+	proxyRing := sharding.New([]string{"a", "b"}, 0)
+	daemonRing := sharding.New([]string{"a", "b"}, 64)
+
+	moved := ""
+	for i := 0; i < 4096 && moved == ""; i++ {
+		if id := fmt.Sprintf("inst-%d", i); proxyRing.Owner(id) != daemonRing.Owner(id) {
+			moved = id
+		}
+	}
+	if moved == "" {
+		t.Fatal("no id where the rings disagree")
+	}
+	owner := daemonRing.Owner(moved)
+	if _, err := byMember[owner].Create(moved, fleet.Spec{Kind: fleet.KindDeBruijn, M: 2, H: 4, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	redirects := reg.Counter("ftproxy_rpc_redirects_total", "")
+	misroutes := reg.Counter("ftproxy_rpc_misroutes_total", "")
+
+	want, _ := byMember[owner].Lookup(moved, 2)
+	phi, _, err := cl.Lookup(moved, 2)
+	if err != nil {
+		t.Fatalf("Lookup through a bounce: %v", err)
+	}
+	if phi != want {
+		t.Fatalf("Lookup through a bounce = %d, want %d", phi, want)
+	}
+	if got := redirects.Value(); got != 1 {
+		t.Fatalf("redirects after first lookup = %d, want 1", got)
+	}
+
+	// The override is cached: no further bounces for the same id, on
+	// any operation type.
+	if _, err := cl.LookupBatch(moved, []int{0, 1}, make([]int, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ApplyBatch(moved, []fleet.Event{{Kind: fleet.EventFault, Node: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := redirects.Value(); got != 1 {
+		t.Fatalf("redirects after cached lookups = %d, want 1 (override not used)", got)
+	}
+	if got := misroutes.Value(); got != 0 {
+		t.Fatalf("misroutes = %d, want 0", got)
+	}
+}

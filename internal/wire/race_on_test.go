@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on the cross-goroutine paths, so the
+// alloc-count guards skip themselves under -race.
+const raceEnabled = true

@@ -49,14 +49,15 @@ type ServerOptions struct {
 type Server struct {
 	mgr *fleet.Manager
 
-	lookupHist *obs.Histogram
-	batchHist  *obs.Histogram
-	applyHist  *obs.Histogram
-	bytesIn    *obs.Counter
-	bytesOut   *obs.Counter
-	requests   *obs.Counter
-	flushes    *obs.Counter
-	connGauge  *obs.Gauge
+	lookupHist  *obs.Histogram
+	batchHist   *obs.Histogram
+	applyHist   *obs.Histogram
+	flushFrames *obs.Histogram
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+	requests    *obs.Counter
+	flushes     *obs.Counter
+	connGauge   *obs.Gauge
 
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
@@ -89,6 +90,12 @@ func NewServer(mgr *fleet.Manager, opts ServerOptions) *Server {
 			"RPC requests handled."),
 		flushes: reg.Counter("ftnet_rpc_flushes_total",
 			"Coalesced response writes (requests/flushes is the achieved batching factor)."),
+		// The histogram's unit is frames, not seconds: each coalesced
+		// write observes how many response frames it carried, so the
+		// distribution of achieved log-round batching is visible, not
+		// just its mean.
+		flushFrames: reg.Histogram("ftnet_rpc_flush_frames",
+			"Response frames per coalesced write (unit: frames — the log-round batching factor distribution)."),
 		connGauge: reg.Gauge("ftnet_rpc_connections",
 			"RPC connections currently open."),
 		lns:   make(map[net.Listener]struct{}),
@@ -188,13 +195,15 @@ func (s *Server) forget(nc net.Conn) {
 	s.mu.Unlock()
 }
 
-// srvConn is the per-connection state: the buffered reader, the
-// reusable frame and response buffers, and the decode scratch slices,
-// so a steady-state Lookup handles with zero allocations.
+// srvConn is the per-connection state: the pooled receive buffer, the
+// chunked response queue, and the decode scratch slices, so a
+// steady-state Lookup handles with zero allocations.
 type srvConn struct {
 	s      *Server
 	in     []byte
-	out    []byte
+	wq     writeQueue
+	chunks [][]byte
+	vecs   net.Buffers
 	xs     []int
 	phis   []int
 	events []fleet.Event
@@ -206,6 +215,15 @@ func (s *Server) serveConn(nc net.Conn) {
 	s.connGauge.Add(1)
 	defer s.connGauge.Add(-1)
 	c := &srvConn{s: s}
+	defer func() {
+		// Recirculate the connection's pooled buffers: the receive
+		// buffer and whatever the write queue still holds (a failed
+		// flush leaves chunks taken; a mid-coalesce hangup leaves them
+		// queued).
+		putBuf(c.in)
+		c.chunks, _, _ = c.wq.take(c.chunks)
+		recycle(c.chunks)
+	}()
 	br := bufio.NewReaderSize(nc, readBufSize)
 	var hdr [frameHeaderSize]byte
 	for {
@@ -217,10 +235,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		if size > MaxFrame {
 			return
 		}
-		if cap(c.in) < int(size) {
-			c.in = make([]byte, size)
-		}
-		c.in = c.in[:size]
+		c.in = growRecv(c.in, int(size))
 		if _, err := io.ReadFull(br, c.in); err != nil {
 			return
 		}
@@ -228,26 +243,36 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 		s.bytesIn.Add(frameHeaderSize + uint64(size))
-		var ok bool
-		if c.out, ok = c.handle(c.in, c.out); !ok {
+		mark := c.wq.mark()
+		out, ok := c.handle(c.in, c.wq.active)
+		if !ok {
 			// A malformed payload is a broken or hostile peer, not a bad
 			// argument: hang up rather than guess at a sequence number to
 			// answer on.
 			return
 		}
+		// handle framed (and sealed) the response itself via appendOK;
+		// the queue only needs the accounting and chunk rotation.
+		c.wq.sealAt(out, mark)
 		s.requests.Inc()
 		// The log-round drain: answer every request already queued on
 		// this connection before paying for a write, so a pipelining
-		// client's whole in-flight window shares one syscall pair.
-		if br.Buffered() > 0 && len(c.out) < maxCoalesce {
+		// client's whole in-flight window shares one syscall pair —
+		// and the queued chunks leave as one vectored write (writev),
+		// never re-copied into a contiguous staging buffer.
+		if br.Buffered() > 0 && c.wq.queued < maxCoalesce {
 			continue
 		}
-		if _, err := nc.Write(c.out); err != nil {
+		chunks, bytes, frames := c.wq.take(c.chunks)
+		err := writeBuffers(nc, &c.vecs, chunks)
+		recycle(chunks)
+		c.chunks = chunks
+		if err != nil {
 			return
 		}
-		s.bytesOut.Add(uint64(len(c.out)))
+		s.bytesOut.Add(uint64(bytes))
 		s.flushes.Inc()
-		c.out = c.out[:0]
+		s.flushFrames.Observe(time.Duration(frames))
 	}
 }
 
